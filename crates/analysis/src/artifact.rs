@@ -1,0 +1,277 @@
+//! Experiment artifacts: tables and figure series, with text and CSV
+//! rendering.
+//!
+//! Every experiment produces one or more artifacts. A [`Table`] maps to a
+//! paper table; a [`SeriesSet`] carries the `(x, y)` series a figure
+//! plots. Both render to aligned text for the terminal and to CSV for
+//! external plotting.
+
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+/// A rendered table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Artifact id (e.g. `T1`, `F6-summary`).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows (each the same length as `headers`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match the header count — that is
+    /// a programming error in an experiment pipeline, not a data error.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width mismatch in table {}",
+            self.id
+        );
+        self.rows.push(row);
+    }
+
+    /// Renders as aligned text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "[{}] {}", self.id, self.title);
+        let header_line: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{:>w$}", h, w = widths[i]))
+            .collect();
+        let _ = writeln!(out, "{}", header_line.join("  "));
+        let _ = writeln!(
+            out,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+        }
+        out
+    }
+
+    /// Renders as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+}
+
+/// One named series of `(x, y)` points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend name.
+    pub name: String,
+    /// The points, in plot order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A figure: several series over shared axes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesSet {
+    /// Artifact id (e.g. `F9`).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+impl SeriesSet {
+    /// Creates an empty figure.
+    pub fn new(id: &str, title: &str, x_label: &str, y_label: &str) -> Self {
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            y_label: y_label.to_string(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series.
+    pub fn push_series(&mut self, name: &str, points: Vec<(f64, f64)>) {
+        self.series.push(Series {
+            name: name.to_string(),
+            points,
+        });
+    }
+
+    /// Renders the series as aligned text columns (x then one column per
+    /// series, rows joined on x where series share x values).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "[{}] {}", self.id, self.title);
+        let _ = writeln!(out, "x = {}, y = {}", self.x_label, self.y_label);
+        for s in &self.series {
+            let _ = writeln!(out, "  series `{}` ({} points):", s.name, s.points.len());
+            for (x, y) in &s.points {
+                let _ = writeln!(out, "    {x:>12.4}  {y:>14.6}");
+            }
+        }
+        out
+    }
+
+    /// Renders as long-form CSV: `series,x,y`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "series,{},{}", self.x_label, self.y_label);
+        for s in &self.series {
+            for (x, y) in &s.points {
+                let _ = writeln!(out, "{},{},{}", s.name, x, y);
+            }
+        }
+        out
+    }
+}
+
+/// Any experiment output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Artifact {
+    /// A table artifact.
+    Table(Table),
+    /// A figure artifact.
+    Figure(SeriesSet),
+}
+
+impl Artifact {
+    /// The artifact id.
+    pub fn id(&self) -> &str {
+        match self {
+            Artifact::Table(t) => &t.id,
+            Artifact::Figure(f) => &f.id,
+        }
+    }
+
+    /// Renders as text.
+    pub fn render(&self) -> String {
+        match self {
+            Artifact::Table(t) => t.render(),
+            Artifact::Figure(f) => f.render(),
+        }
+    }
+
+    /// Renders as CSV.
+    pub fn to_csv(&self) -> String {
+        match self {
+            Artifact::Table(t) => t.to_csv(),
+            Artifact::Figure(f) => f.to_csv(),
+        }
+    }
+}
+
+/// Formats a float with `digits` decimal places (table cell helper).
+pub fn fmt(value: f64, digits: usize) -> String {
+    format!("{value:.digits$}")
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("T0", "demo", &["name", "value"]);
+        t.push_row(vec!["a".to_string(), "1".to_string()]);
+        t.push_row(vec!["longer".to_string(), "22".to_string()]);
+        let s = t.render();
+        assert!(s.contains("[T0] demo"));
+        assert!(s.contains("name"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // All data lines share the same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new("T0", "demo", &["a", "b"]);
+        t.push_row(vec!["only-one".to_string()]);
+    }
+
+    #[test]
+    fn table_csv() {
+        let mut t = Table::new("T0", "demo", &["a", "b"]);
+        t.push_row(vec!["x".to_string(), "1".to_string()]);
+        assert_eq!(t.to_csv(), "a,b\nx,1\n");
+    }
+
+    #[test]
+    fn series_render_and_csv() {
+        let mut f = SeriesSet::new("F0", "demo fig", "n", "err");
+        f.push_series("mem", vec![(1.0, 0.5), (2.0, 0.25)]);
+        f.push_series("disk", vec![(1.0, 0.9)]);
+        let s = f.render();
+        assert!(s.contains("series `mem` (2 points)"));
+        let csv = f.to_csv();
+        assert!(csv.starts_with("series,n,err\n"));
+        assert!(csv.contains("disk,1,0.9"));
+    }
+
+    #[test]
+    fn artifact_dispatch() {
+        let t = Artifact::Table(Table::new("T9", "t", &["h"]));
+        let f = Artifact::Figure(SeriesSet::new("F9", "f", "x", "y"));
+        assert_eq!(t.id(), "T9");
+        assert_eq!(f.id(), "F9");
+        assert!(t.render().contains("T9"));
+        assert!(f.to_csv().contains("series"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(pct(0.756), "75.6%");
+    }
+}

@@ -1,0 +1,141 @@
+//! Command-line driver that regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro list
+//! repro all [--scale quick|paper] [--seed N] [--out DIR]
+//! repro F9 T3 ... [--scale ...] [--seed ...] [--out DIR]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use analysis::{all, find, Context, Scale};
+
+struct Args {
+    ids: Vec<String>,
+    scale: Scale,
+    seed: u64,
+    out: Option<PathBuf>,
+    json: bool,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        ids: Vec::new(),
+        scale: Scale::Quick,
+        seed: 42,
+        out: None,
+        json: false,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "list" => args.list = true,
+            "all" => args.ids = all().iter().map(|e| e.id.to_string()).collect(),
+            "--scale" => {
+                let v = it.next().ok_or("--scale needs a value")?;
+                args.scale = Scale::parse(&v).ok_or(format!("unknown scale `{v}`"))?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a value")?;
+                args.out = Some(PathBuf::from(v));
+            }
+            "--json" => args.json = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: repro <list|all|ID...> [--scale quick|paper] [--seed N] \
+                     [--out DIR] [--json]"
+                        .to_string(),
+                );
+            }
+            id => args.ids.push(id.to_string()),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.list {
+        println!("{:<4}  {:<6}  title", "id", "kind");
+        for e in all() {
+            println!(
+                "{:<4}  {:<6}  {}",
+                e.id,
+                match e.kind {
+                    analysis::Kind::Table => "table",
+                    analysis::Kind::Figure => "figure",
+                },
+                e.title
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+    if args.ids.is_empty() {
+        eprintln!("nothing to do; try `repro list` or `repro all`");
+        return ExitCode::FAILURE;
+    }
+    // Resolve ids before paying for the campaign.
+    let mut experiments = Vec::new();
+    for id in &args.ids {
+        match find(id) {
+            Some(e) => experiments.push(e),
+            None => {
+                eprintln!("unknown experiment id `{id}` (see `repro list`)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    eprintln!(
+        "building campaign context (scale {:?}, seed {}) ...",
+        args.scale, args.seed
+    );
+    let ctx = Context::new(args.scale, args.seed);
+    eprintln!(
+        "campaign: {} machines, {} records",
+        ctx.cluster.machines().len(),
+        ctx.store.len()
+    );
+    if let Some(dir) = &args.out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    for e in experiments {
+        eprintln!("== running {} ({}) ==", e.id, e.title);
+        let artifacts = (e.run)(&ctx);
+        for artifact in &artifacts {
+            println!("{}", artifact.render());
+            if let Some(dir) = &args.out {
+                let (path, payload) = if args.json {
+                    (
+                        dir.join(format!("{}.json", artifact.id())),
+                        serde_json::to_string_pretty(artifact)
+                            .expect("artifacts always serialize"),
+                    )
+                } else {
+                    (dir.join(format!("{}.csv", artifact.id())), artifact.to_csv())
+                };
+                if let Err(err) = std::fs::write(&path, payload) {
+                    eprintln!("cannot write {}: {err}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote {}", path.display());
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,120 @@
+//! Shared experiment context.
+//!
+//! All experiments slice the same campaign dataset, so the registry
+//! builds one [`Context`] (cluster + store + defaults) and hands it to
+//! every pipeline. `Scale::Quick` keeps everything CI-sized;
+//! `Scale::Paper` provisions the full fleet and a dense session schedule.
+
+use confirm::ConfirmConfig;
+use dataset::{run_campaign, CampaignConfig, Store};
+use testbed::Cluster;
+
+/// How big the campaign backing the experiments is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Small fleet, seconds of compute. The default.
+    #[default]
+    Quick,
+    /// Full fleet and dense schedule — the scale of the published
+    /// dataset. Minutes of compute.
+    Paper,
+}
+
+impl Scale {
+    /// Parses `quick` / `paper`.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "quick" => Some(Scale::Quick),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// The campaign configuration this scale implies.
+    pub fn campaign(&self, seed: u64) -> CampaignConfig {
+        match self {
+            Scale::Quick => CampaignConfig::quick(seed),
+            Scale::Paper => CampaignConfig::paper(seed),
+        }
+    }
+
+    /// How many machines per type the machine-level experiments (CONFIRM
+    /// CDFs, normality census) consider.
+    pub fn machines_per_type(&self) -> usize {
+        match self {
+            Scale::Quick => 3,
+            Scale::Paper => 12,
+        }
+    }
+
+    /// Size of the per-machine measurement pools the repetition
+    /// experiments draw.
+    pub fn pool_size(&self) -> usize {
+        match self {
+            Scale::Quick => 60,
+            Scale::Paper => 150,
+        }
+    }
+}
+
+/// Everything an experiment pipeline needs.
+#[derive(Debug, Clone)]
+pub struct Context {
+    /// The scale this context was built at.
+    pub scale: Scale,
+    /// Master seed.
+    pub seed: u64,
+    /// The campaign configuration used.
+    pub campaign: CampaignConfig,
+    /// The provisioned cluster.
+    pub cluster: Cluster,
+    /// The collected dataset.
+    pub store: Store,
+    /// CONFIRM defaults (95%, ±1%, c = 200, s >= 10).
+    pub confirm: ConfirmConfig,
+}
+
+impl Context {
+    /// Runs the campaign and assembles the context.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        let campaign = scale.campaign(seed);
+        let (cluster, store) = run_campaign(&campaign);
+        Self {
+            scale,
+            seed,
+            campaign,
+            cluster,
+            store,
+            confirm: ConfirmConfig::default().with_seed(seed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_context_builds() {
+        let ctx = Context::new(Scale::Quick, 1);
+        assert!(!ctx.store.is_empty());
+        assert_eq!(ctx.scale, Scale::Quick);
+        assert!(ctx.cluster.machines().len() >= 10);
+    }
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn scales_differ_in_size() {
+        assert!(Scale::Paper.machines_per_type() > Scale::Quick.machines_per_type());
+        assert!(Scale::Paper.pool_size() > Scale::Quick.pool_size());
+        let q = Scale::Quick.campaign(1);
+        let p = Scale::Paper.campaign(1);
+        assert!(p.scale > q.scale);
+    }
+}

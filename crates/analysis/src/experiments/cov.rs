@@ -1,0 +1,187 @@
+//! F3/F4/F5: coefficient-of-variation by machine type, per subsystem
+//! family.
+//!
+//! For every machine the run-to-run CoV of each benchmark is computed
+//! from its campaign samples; the table reports the median per-machine
+//! CoV per (type, benchmark), plus the cross-machine CoV of per-machine
+//! medians (the hardware-lottery component). The paper's ordering —
+//! disk ≫ memory > network throughput — must emerge.
+
+use std::collections::BTreeMap;
+
+use varstats::descriptive::Moments;
+use varstats::quantile::median;
+use workloads::BenchmarkId;
+
+use crate::artifact::{pct, Artifact, Table};
+use crate::context::Context;
+
+/// Per-(type, benchmark) variability decomposition.
+struct CovRow {
+    type_name: String,
+    disk: &'static str,
+    median_within_cov: f64,
+    across_cov: f64,
+    machines: usize,
+}
+
+fn cov_rows(ctx: &Context, bench: BenchmarkId) -> Vec<CovRow> {
+    let by_machine = ctx.store.filter().benchmark(bench).group_by_machine();
+    // Organize machines by type.
+    let mut per_type: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new(); // (cov, median)
+    for (machine, values) in by_machine {
+        let m = ctx.cluster.machine(machine).expect("machine in store");
+        let moments: Moments = values.iter().copied().collect();
+        let cov = moments.cov().unwrap_or(0.0);
+        let med = median(&values).expect("non-empty group");
+        per_type
+            .entry(m.type_name.clone())
+            .or_default()
+            .push((cov, med));
+    }
+    per_type
+        .into_iter()
+        .map(|(type_name, entries)| {
+            let covs: Vec<f64> = entries.iter().map(|(c, _)| *c).collect();
+            let medians: Vec<f64> = entries.iter().map(|(_, m)| *m).collect();
+            let across: Moments = medians.iter().copied().collect();
+            let disk = ctx
+                .cluster
+                .types()
+                .iter()
+                .find(|t| t.name == type_name)
+                .map(|t| t.disk.label())
+                .unwrap_or("?");
+            CovRow {
+                type_name,
+                disk,
+                median_within_cov: median(&covs).expect("non-empty"),
+                across_cov: across.cov().unwrap_or(0.0),
+                machines: entries.len(),
+            }
+        })
+        .collect()
+}
+
+fn family_table(ctx: &Context, id: &str, title: &str, benches: &[BenchmarkId]) -> Artifact {
+    let mut t = Table::new(
+        id,
+        title,
+        &[
+            "type",
+            "disk",
+            "benchmark",
+            "machines",
+            "median within-machine CoV",
+            "across-machine CoV",
+        ],
+    );
+    for &bench in benches {
+        for row in cov_rows(ctx, bench) {
+            t.push_row(vec![
+                row.type_name,
+                row.disk.to_string(),
+                bench.label().to_string(),
+                row.machines.to_string(),
+                pct(row.median_within_cov),
+                pct(row.across_cov),
+            ]);
+        }
+    }
+    Artifact::Table(t)
+}
+
+/// F3: memory-family CoV by type.
+pub fn f3_cov_memory(ctx: &Context) -> Vec<Artifact> {
+    vec![family_table(
+        ctx,
+        "F3",
+        "CoV by machine type: memory benchmarks",
+        &[BenchmarkId::MemCopy, BenchmarkId::MemTriad, BenchmarkId::MemLatency],
+    )]
+}
+
+/// F4: disk-family CoV by type (HDD vs SSD ordering).
+pub fn f4_cov_disk(ctx: &Context) -> Vec<Artifact> {
+    vec![family_table(
+        ctx,
+        "F4",
+        "CoV by machine type: disk benchmarks",
+        &BenchmarkId::DISK,
+    )]
+}
+
+/// F5: network-family CoV by type (throughput the most stable subsystem).
+pub fn f5_cov_network(ctx: &Context) -> Vec<Artifact> {
+    vec![family_table(
+        ctx,
+        "F5",
+        "CoV by machine type: network benchmarks",
+        &BenchmarkId::NETWORK,
+    )]
+}
+
+/// Median within-machine CoV across all types for one benchmark —
+/// the summary number the cross-family comparisons quote.
+pub fn overall_cov(ctx: &Context, bench: BenchmarkId) -> f64 {
+    let rows = cov_rows(ctx, bench);
+    let covs: Vec<f64> = rows.iter().map(|r| r.median_within_cov).collect();
+    median(&covs).unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Scale;
+
+    #[test]
+    fn paper_ordering_disk_over_memory_over_network() {
+        let ctx = Context::new(Scale::Quick, 11);
+        let disk = overall_cov(&ctx, BenchmarkId::DiskRandRead);
+        let mem = overall_cov(&ctx, BenchmarkId::MemTriad);
+        let net = overall_cov(&ctx, BenchmarkId::NetBandwidth);
+        assert!(disk > mem, "disk {disk} vs mem {mem}");
+        assert!(mem > net, "mem {mem} vs net {net}");
+    }
+
+    #[test]
+    fn tables_cover_all_types() {
+        let ctx = Context::new(Scale::Quick, 12);
+        for (f, rows_per_bench) in [
+            (f3_cov_memory as fn(&Context) -> Vec<Artifact>, 3usize),
+            (f4_cov_disk, 4),
+            (f5_cov_network, 2),
+        ] {
+            let artifacts = f(&ctx);
+            match &artifacts[0] {
+                Artifact::Table(t) => {
+                    assert_eq!(t.rows.len(), rows_per_bench * ctx.cluster.types().len());
+                }
+                _ => panic!("expected table"),
+            }
+        }
+    }
+
+    #[test]
+    fn hdd_types_show_higher_disk_cov_than_flash() {
+        let ctx = Context::new(Scale::Quick, 13);
+        let rows = cov_rows(&ctx, BenchmarkId::DiskSeqRead);
+        let hdd_med = median(
+            &rows
+                .iter()
+                .filter(|r| r.disk == "HDD")
+                .map(|r| r.median_within_cov)
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let flash_med = median(
+            &rows
+                .iter()
+                .filter(|r| r.disk != "HDD")
+                .map(|r| r.median_within_cov)
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert!(hdd_med > flash_med, "hdd {hdd_med} vs flash {flash_med}");
+    }
+}

@@ -1,0 +1,79 @@
+//! T6: dataset overview — the campaign-scale table the paper's data
+//! section opens with (machines × benchmarks × sessions, per-benchmark
+//! record counts, and the outlier health sweep).
+
+use dataset::{outlier_sweep, overview, Fence};
+
+use crate::artifact::{fmt, pct, Artifact, Table};
+use crate::context::Context;
+
+/// T6: overview counts plus the per-benchmark outlier fractions.
+pub fn t6_dataset_overview(ctx: &Context) -> Vec<Artifact> {
+    let o = overview(&ctx.store);
+    let mut head = Table::new(
+        "T6",
+        "Campaign dataset overview",
+        &["property", "value"],
+    );
+    for (k, v) in [
+        ("measurements", o.measurements.to_string()),
+        ("machines", o.machines.to_string()),
+        ("machine types", o.machine_types.to_string()),
+        ("benchmarks", o.benchmarks.to_string()),
+        ("first day", fmt(o.first_day, 0)),
+        ("last day", fmt(o.last_day, 0)),
+        ("sessions", ctx.campaign.sessions().to_string()),
+        (
+            "runs per session",
+            ctx.campaign.runs_per_session.to_string(),
+        ),
+    ] {
+        head.push_row(vec![k.to_string(), v]);
+    }
+
+    let mut health = Table::new(
+        "T6-outliers",
+        "Outlier health sweep (MAD z > 3.5), per benchmark",
+        &["benchmark", "sets", "measurements", "outlier fraction", "worst set"],
+    );
+    let reports =
+        outlier_sweep(&ctx.store, Fence::MadZ { threshold: 3.5 }).expect("valid store");
+    for r in &reports {
+        health.push_row(vec![
+            r.benchmark.label().to_string(),
+            r.sets.to_string(),
+            r.measurements.to_string(),
+            pct(r.fraction()),
+            pct(r.worst_set_fraction),
+        ]);
+    }
+    vec![Artifact::Table(head), Artifact::Table(health)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Scale;
+
+    #[test]
+    fn overview_matches_store() {
+        let ctx = Context::new(Scale::Quick, 121);
+        let artifacts = t6_dataset_overview(&ctx);
+        assert_eq!(artifacts.len(), 2);
+        match &artifacts[0] {
+            Artifact::Table(t) => {
+                let get = |name: &str| -> String {
+                    t.rows.iter().find(|r| r[0] == name).unwrap()[1].clone()
+                };
+                assert_eq!(get("measurements"), ctx.store.len().to_string());
+                assert_eq!(get("machines"), "30");
+                assert_eq!(get("benchmarks"), "11");
+            }
+            _ => panic!("expected table"),
+        }
+        match &artifacts[1] {
+            Artifact::Table(t) => assert_eq!(t.rows.len(), 11),
+            _ => panic!("expected table"),
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! F12: inter- vs intra-machine variability decomposition.
+//!
+//! For each (type, benchmark) the total variance across all samples is
+//! split into the within-machine component (mean of per-machine
+//! variances) and the between-machine component (variance of per-machine
+//! means). The paper's finding: machine identity explains a substantial
+//! share — nominally identical machines differ persistently, by up to
+//! ~10% end to end.
+
+use varstats::descriptive::Moments;
+use workloads::BenchmarkId;
+
+use crate::artifact::{pct, Artifact, Table};
+use crate::context::Context;
+
+/// Variance decomposition of one (type, benchmark) cell.
+#[derive(Debug, Clone)]
+pub struct Decomposition {
+    /// Machine type.
+    pub type_name: String,
+    /// Benchmark.
+    pub benchmark: BenchmarkId,
+    /// Number of machines.
+    pub machines: usize,
+    /// Fraction of total variance explained by machine identity.
+    pub between_fraction: f64,
+    /// Relative spread of per-machine medians `(max - min) / max`.
+    pub median_spread: f64,
+}
+
+/// Decomposes one (type, benchmark).
+pub fn decompose(ctx: &Context, type_name: &str, bench: BenchmarkId) -> Option<Decomposition> {
+    let groups = ctx
+        .store
+        .filter()
+        .benchmark(bench)
+        .machine_type(type_name)
+        .group_by_machine();
+    if groups.len() < 2 {
+        return None;
+    }
+    let mut within = 0.0;
+    let mut means = Vec::new();
+    let mut medians = Vec::new();
+    let mut total_moments = Moments::new();
+    for values in groups.values() {
+        let m: Moments = values.iter().copied().collect();
+        within += m.population_variance();
+        means.push(m.mean());
+        medians.push(varstats::quantile::median(values).expect("non-empty"));
+        for &v in values {
+            total_moments.update(v);
+        }
+    }
+    within /= groups.len() as f64;
+    let between: Moments = means.iter().copied().collect();
+    let between_var = between.population_variance();
+    let total = within + between_var;
+    let max = medians.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min = medians.iter().cloned().fold(f64::INFINITY, f64::min);
+    Some(Decomposition {
+        type_name: type_name.to_string(),
+        benchmark: bench,
+        machines: groups.len(),
+        between_fraction: if total > 0.0 { between_var / total } else { 0.0 },
+        median_spread: if max > 0.0 { (max - min) / max } else { 0.0 },
+    })
+}
+
+/// F12: the decomposition table for memory and disk benchmarks.
+pub fn f12_inter_intra(ctx: &Context) -> Vec<Artifact> {
+    let mut t = Table::new(
+        "F12",
+        "Inter- vs intra-machine variability (between-machine variance share)",
+        &[
+            "type",
+            "benchmark",
+            "machines",
+            "between-machine share",
+            "median spread",
+        ],
+    );
+    for bench in [BenchmarkId::MemTriad, BenchmarkId::DiskSeqRead] {
+        for mtype in ctx.cluster.types() {
+            if let Some(d) = decompose(ctx, &mtype.name, bench) {
+                t.push_row(vec![
+                    d.type_name,
+                    d.benchmark.label().to_string(),
+                    d.machines.to_string(),
+                    pct(d.between_fraction),
+                    pct(d.median_spread),
+                ]);
+            }
+        }
+    }
+    vec![Artifact::Table(t)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Scale;
+
+    #[test]
+    fn memory_lottery_dominates_within_machine_noise() {
+        // Memory bandwidth: per-run noise is ~0.4% but the lottery is
+        // several percent, so machine identity should explain most of
+        // the variance for at least some types.
+        let ctx = Context::new(Scale::Quick, 81);
+        let fractions: Vec<f64> = ctx
+            .cluster
+            .types()
+            .iter()
+            .filter_map(|t| decompose(&ctx, &t.name, BenchmarkId::MemTriad))
+            .map(|d| d.between_fraction)
+            .collect();
+        assert!(!fractions.is_empty());
+        let max = fractions.iter().cloned().fold(0.0, f64::max);
+        assert!(max > 0.5, "lottery share should dominate somewhere: {max}");
+    }
+
+    #[test]
+    fn disk_noise_reduces_the_between_share() {
+        // Disk run noise is large, so the between-machine share for disk
+        // should typically sit below memory's.
+        let ctx = Context::new(Scale::Quick, 82);
+        let avg = |bench: BenchmarkId| -> f64 {
+            let fr: Vec<f64> = ctx
+                .cluster
+                .types()
+                .iter()
+                .filter_map(|t| decompose(&ctx, &t.name, bench))
+                .map(|d| d.between_fraction)
+                .collect();
+            fr.iter().sum::<f64>() / fr.len() as f64
+        };
+        assert!(avg(BenchmarkId::MemTriad) > avg(BenchmarkId::DiskSeqRead));
+    }
+
+    #[test]
+    fn median_spread_reaches_paper_magnitude() {
+        // "Up to ~10%" — the worst type's memory spread should be at
+        // least a few percent.
+        let ctx = Context::new(Scale::Quick, 83);
+        let max_spread = ctx
+            .cluster
+            .types()
+            .iter()
+            .filter_map(|t| decompose(&ctx, &t.name, BenchmarkId::MemTriad))
+            .map(|d| d.median_spread)
+            .fold(0.0, f64::max);
+        assert!(
+            (0.02..0.15).contains(&max_spread),
+            "max spread {max_spread}"
+        );
+    }
+
+    #[test]
+    fn single_machine_type_is_skipped() {
+        let ctx = Context::new(Scale::Quick, 84);
+        assert!(decompose(&ctx, "no-such-type", BenchmarkId::MemTriad).is_none());
+    }
+
+    #[test]
+    fn f12_table_is_populated() {
+        let ctx = Context::new(Scale::Quick, 85);
+        let artifacts = f12_inter_intra(&ctx);
+        match &artifacts[0] {
+            Artifact::Table(t) => {
+                assert_eq!(t.rows.len(), 2 * ctx.cluster.types().len());
+            }
+            _ => panic!("expected table"),
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! The experiment pipelines, one module per DESIGN.md entry.
+
+pub mod ablation;
+pub mod allocation_bias;
+pub mod confirm_stability;
+pub mod confirm_study;
+pub mod convergence;
+pub mod cov;
+pub mod dataset_overview;
+pub mod hardware_tables;
+pub mod inter_intra;
+pub mod interference_study;
+pub mod mean_median;
+pub mod motivating;
+pub mod normality;
+pub mod parametric_vs_confirm;
+pub mod qq_study;
+pub mod scaling_law;
+pub mod temporal;
+pub mod variance_homogeneity;

@@ -1,0 +1,157 @@
+//! F6: the normality census.
+//!
+//! Shapiro–Wilk is run on every (machine, benchmark) sample set of the
+//! campaign. The paper's headline: a large share of real benchmark data
+//! is not normal, and which share depends on the subsystem — eventful,
+//! skewed subsystems (disk, network latency) fail most.
+
+use varstats::normality::shapiro_wilk;
+use workloads::BenchmarkId;
+
+use crate::artifact::{pct, Artifact, Table};
+use crate::context::Context;
+
+/// Outcome of the census for one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct NormalityCensusRow {
+    /// Benchmark.
+    pub benchmark: BenchmarkId,
+    /// Number of (machine) sample sets tested.
+    pub sets: usize,
+    /// How many passed Shapiro–Wilk at the given alpha.
+    pub passed: usize,
+}
+
+impl NormalityCensusRow {
+    /// Fraction of sets passing.
+    pub fn pass_rate(&self) -> f64 {
+        if self.sets == 0 {
+            0.0
+        } else {
+            self.passed as f64 / self.sets as f64
+        }
+    }
+}
+
+/// Runs the census at significance `alpha`.
+pub fn census(ctx: &Context, alpha: f64) -> Vec<NormalityCensusRow> {
+    BenchmarkId::ALL
+        .iter()
+        .map(|&benchmark| {
+            let groups = ctx.store.filter().benchmark(benchmark).group_by_machine();
+            let mut sets = 0usize;
+            let mut passed = 0usize;
+            for values in groups.values() {
+                if values.len() < 20 {
+                    continue;
+                }
+                if let Ok(result) = shapiro_wilk(values) {
+                    sets += 1;
+                    if result.is_normal(alpha) {
+                        passed += 1;
+                    }
+                }
+            }
+            NormalityCensusRow {
+                benchmark,
+                sets,
+                passed,
+            }
+        })
+        .collect()
+}
+
+/// F6: pass rates per benchmark plus the overall fraction.
+pub fn f6_normality(ctx: &Context) -> Vec<Artifact> {
+    let rows = census(ctx, 0.05);
+    let mut t = Table::new(
+        "F6",
+        "Shapiro-Wilk normality census (alpha = 0.05), per benchmark",
+        &["benchmark", "subsystem", "sets", "passed", "pass rate"],
+    );
+    let mut total_sets = 0usize;
+    let mut total_passed = 0usize;
+    for row in &rows {
+        total_sets += row.sets;
+        total_passed += row.passed;
+        t.push_row(vec![
+            row.benchmark.label().to_string(),
+            row.benchmark.subsystem().label().to_string(),
+            row.sets.to_string(),
+            row.passed.to_string(),
+            pct(row.pass_rate()),
+        ]);
+    }
+    t.push_row(vec![
+        "TOTAL".to_string(),
+        "-".to_string(),
+        total_sets.to_string(),
+        total_passed.to_string(),
+        pct(total_passed as f64 / total_sets.max(1) as f64),
+    ]);
+    vec![Artifact::Table(t)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Scale;
+
+    #[test]
+    fn census_covers_every_benchmark_and_machine() {
+        let ctx = Context::new(Scale::Quick, 21);
+        let rows = census(&ctx, 0.05);
+        assert_eq!(rows.len(), BenchmarkId::ALL.len());
+        let machines = ctx.store.machines().len();
+        for row in &rows {
+            assert_eq!(row.sets, machines, "{:?}", row.benchmark);
+            assert!(row.passed <= row.sets);
+        }
+    }
+
+    #[test]
+    fn eventful_subsystems_fail_more_than_memory_bandwidth() {
+        // The campaign pools samples across a drifting, event-laden
+        // timeline: disk and network-latency sets should pass normality
+        // far less often than memory bandwidth (no drift, tiny normal
+        // noise).
+        let ctx = Context::new(Scale::Quick, 22);
+        let rows = census(&ctx, 0.05);
+        let rate = |b: BenchmarkId| {
+            rows.iter()
+                .find(|r| r.benchmark == b)
+                .unwrap()
+                .pass_rate()
+        };
+        let mem = rate(BenchmarkId::MemCopy);
+        let disk = rate(BenchmarkId::DiskRandRead);
+        let netlat = rate(BenchmarkId::NetLatency);
+        assert!(mem > disk, "mem {mem} vs disk {disk}");
+        assert!(mem > netlat, "mem {mem} vs net-lat {netlat}");
+        assert!(disk < 0.5, "disk sets should mostly fail, rate {disk}");
+    }
+
+    #[test]
+    fn f6_table_has_total_row() {
+        let ctx = Context::new(Scale::Quick, 23);
+        let artifacts = f6_normality(&ctx);
+        match &artifacts[0] {
+            Artifact::Table(t) => {
+                assert_eq!(t.rows.len(), BenchmarkId::ALL.len() + 1);
+                assert_eq!(t.rows.last().unwrap()[0], "TOTAL");
+            }
+            _ => panic!("expected table"),
+        }
+    }
+
+    #[test]
+    fn stricter_alpha_passes_more() {
+        let ctx = Context::new(Scale::Quick, 24);
+        let r5 = census(&ctx, 0.05);
+        let r1 = census(&ctx, 0.01);
+        let total = |rows: &[NormalityCensusRow]| -> usize {
+            rows.iter().map(|r| r.passed).sum()
+        };
+        assert!(total(&r1) >= total(&r5));
+    }
+}

@@ -1,0 +1,111 @@
+//! F13: QQ-plot study — the visual non-normality argument, quantified.
+//!
+//! Normal QQ data for one benchmark per subsystem family on one machine,
+//! plus the Filliben probability-plot correlation for every
+//! (machine, benchmark) set — the continuous companion of the binary
+//! Shapiro–Wilk census (F6).
+
+use varstats::qq::normal_qq;
+use varstats::quantile::median;
+use workloads::{sample, BenchmarkId};
+
+use crate::artifact::{fmt, Artifact, SeriesSet, Table};
+use crate::context::Context;
+
+/// Benchmarks whose QQ lines the figure draws.
+pub const REPRESENTATIVES: [BenchmarkId; 3] = [
+    BenchmarkId::MemTriad,
+    BenchmarkId::DiskSeqRead,
+    BenchmarkId::NetLatency,
+];
+
+/// F13: QQ series per representative benchmark plus the per-benchmark
+/// Filliben correlation census.
+pub fn f13_qq(ctx: &Context) -> Vec<Artifact> {
+    let machine = ctx.cluster.machines()[0].id;
+    let mut fig = SeriesSet::new(
+        "F13",
+        "Normal QQ (one machine, 200 runs per benchmark; values scaled by their median)",
+        "theoretical normal score",
+        "observed / median",
+    );
+    for bench in REPRESENTATIVES {
+        let runs: Vec<f64> = (0..200u64)
+            .map(|n| sample(&ctx.cluster, machine, bench, 0.0, n).unwrap())
+            .collect();
+        let med = median(&runs).expect("non-empty");
+        let scaled: Vec<f64> = runs.iter().map(|x| x / med).collect();
+        let qq = normal_qq(&scaled).expect("valid runs");
+        fig.push_series(bench.label(), qq.points);
+    }
+
+    // Filliben correlations across the campaign, per benchmark.
+    let mut t = Table::new(
+        "F13-summary",
+        "Filliben probability-plot correlation per benchmark (median across machines)",
+        &["benchmark", "median r", "min r"],
+    );
+    for bench in BenchmarkId::ALL {
+        let groups = ctx.store.filter().benchmark(bench).group_by_machine();
+        let mut rs = Vec::new();
+        for values in groups.values() {
+            if let Ok(qq) = normal_qq(values) {
+                rs.push(qq.correlation);
+            }
+        }
+        if rs.is_empty() {
+            continue;
+        }
+        let med = median(&rs).expect("non-empty");
+        let min = rs.iter().cloned().fold(f64::INFINITY, f64::min);
+        t.push_row(vec![bench.label().to_string(), fmt(med, 4), fmt(min, 4)]);
+    }
+    vec![Artifact::Figure(fig), Artifact::Table(t)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Scale;
+
+    #[test]
+    fn heavy_tailed_benchmarks_have_lower_filliben_r() {
+        let ctx = Context::new(Scale::Quick, 91);
+        let artifacts = f13_qq(&ctx);
+        match &artifacts[1] {
+            Artifact::Table(t) => {
+                let r_of = |label: &str| -> f64 {
+                    t.rows
+                        .iter()
+                        .find(|r| r[0] == label)
+                        .unwrap()[1]
+                        .parse()
+                        .unwrap()
+                };
+                let mem = r_of("mem-copy");
+                let netlat = r_of("net-latency");
+                assert!(mem > netlat, "mem {mem} vs net-lat {netlat}");
+                assert!(netlat < 0.99, "heavy tail should bend the line: {netlat}");
+            }
+            _ => panic!("expected table"),
+        }
+    }
+
+    #[test]
+    fn qq_series_are_monotone() {
+        let ctx = Context::new(Scale::Quick, 92);
+        let artifacts = f13_qq(&ctx);
+        match &artifacts[0] {
+            Artifact::Figure(f) => {
+                assert_eq!(f.series.len(), REPRESENTATIVES.len());
+                for s in &f.series {
+                    for w in s.points.windows(2) {
+                        assert!(w[1].0 > w[0].0);
+                        assert!(w[1].1 >= w[0].1);
+                    }
+                }
+            }
+            _ => panic!("expected figure"),
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! T7: variance homogeneity across same-type machines.
+//!
+//! "Nominally identical machines behave identically" has two parts:
+//! equal location (tested by the lottery analyses) and equal *spread*.
+//! Brown–Forsythe tests the latter across every machine of each type:
+//! rejection means even the run-to-run noise differs per unit — one more
+//! reason single-machine results do not generalize to a type.
+
+use varstats::anova::brown_forsythe;
+use workloads::BenchmarkId;
+
+use crate::artifact::{fmt, Artifact, Table};
+use crate::context::Context;
+
+/// Outcome for one (type, benchmark) cell.
+#[derive(Debug, Clone)]
+pub struct HomogeneityCell {
+    /// Machine type.
+    pub type_name: String,
+    /// Benchmark.
+    pub benchmark: BenchmarkId,
+    /// Brown–Forsythe p-value across the type's machines.
+    pub p_value: f64,
+}
+
+/// Runs Brown–Forsythe across each type's machines for `bench`.
+pub fn homogeneity_by_type(ctx: &Context, bench: BenchmarkId) -> Vec<HomogeneityCell> {
+    let mut out = Vec::new();
+    for mtype in ctx.cluster.types() {
+        let groups = ctx
+            .store
+            .filter()
+            .benchmark(bench)
+            .machine_type(&mtype.name)
+            .group_by_machine();
+        let refs: Vec<&[f64]> = groups.values().map(|v| v.as_slice()).collect();
+        if refs.len() < 2 {
+            continue;
+        }
+        if let Ok(r) = brown_forsythe(&refs) {
+            out.push(HomogeneityCell {
+                type_name: mtype.name.clone(),
+                benchmark: bench,
+                p_value: r.p_value,
+            });
+        }
+    }
+    out
+}
+
+/// T7: per-benchmark fraction of types whose machines fail variance
+/// homogeneity, plus the per-type detail for the representative disk
+/// benchmark.
+pub fn t7_variance_homogeneity(ctx: &Context) -> Vec<Artifact> {
+    let mut summary = Table::new(
+        "T7",
+        "Brown-Forsythe variance homogeneity across same-type machines (alpha = 0.05)",
+        &["benchmark", "types tested", "types rejected", "min p"],
+    );
+    for bench in [
+        BenchmarkId::MemTriad,
+        BenchmarkId::DiskSeqRead,
+        BenchmarkId::DiskRandRead,
+        BenchmarkId::NetLatency,
+        BenchmarkId::NetBandwidth,
+    ] {
+        let cells = homogeneity_by_type(ctx, bench);
+        let rejected = cells.iter().filter(|c| c.p_value < 0.05).count();
+        let min_p = cells
+            .iter()
+            .map(|c| c.p_value)
+            .fold(f64::INFINITY, f64::min);
+        summary.push_row(vec![
+            bench.label().to_string(),
+            cells.len().to_string(),
+            rejected.to_string(),
+            fmt(min_p, 4),
+        ]);
+    }
+
+    let mut detail = Table::new(
+        "T7-detail",
+        "Per-type Brown-Forsythe p-values (disk-seq-read)",
+        &["type", "p-value", "homogeneous at 5%"],
+    );
+    for cell in homogeneity_by_type(ctx, BenchmarkId::DiskSeqRead) {
+        detail.push_row(vec![
+            cell.type_name,
+            fmt(cell.p_value, 4),
+            (cell.p_value >= 0.05).to_string(),
+        ]);
+    }
+    vec![Artifact::Table(summary), Artifact::Table(detail)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Scale;
+
+    #[test]
+    fn homogeneity_mostly_holds_in_the_simulator() {
+        // The simulator's lottery scales each machine's noise only in
+        // proportion to its level, so *relative* spreads are nearly
+        // equal across same-type machines; at 5% the rejection count
+        // should look like the test's false-positive rate, not a
+        // wholesale rejection. (A testbed where this fails wholesale
+        // would be tagging genuinely heteroscedastic hardware.)
+        let ctx = Context::new(Scale::Quick, 141);
+        for bench in [BenchmarkId::DiskRandRead, BenchmarkId::NetBandwidth] {
+            let cells = homogeneity_by_type(&ctx, bench);
+            let rejected = cells.iter().filter(|c| c.p_value < 0.05).count();
+            assert!(
+                rejected <= cells.len() / 2,
+                "{bench}: {rejected}/{} rejections",
+                cells.len()
+            );
+        }
+    }
+
+    #[test]
+    fn genuinely_heteroscedastic_groups_are_caught() {
+        // Sanity: the pipeline's test has power when spreads really
+        // differ — mix machines from two types whose absolute disk noise
+        // differs by an order of magnitude (HDD vs NVMe baselines).
+        let ctx = Context::new(Scale::Quick, 144);
+        let hdd = ctx
+            .store
+            .filter()
+            .benchmark(BenchmarkId::DiskSeqRead)
+            .machine_type("c220g1")
+            .group_by_machine();
+        let nvme = ctx
+            .store
+            .filter()
+            .benchmark(BenchmarkId::DiskSeqRead)
+            .machine_type("m510")
+            .group_by_machine();
+        let mut refs: Vec<&[f64]> = hdd.values().map(|v| v.as_slice()).collect();
+        refs.extend(nvme.values().map(|v| v.as_slice()));
+        let r = varstats::anova::brown_forsythe(&refs).unwrap();
+        assert!(r.p_value < 1e-6, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn cells_cover_types_with_enough_machines() {
+        let ctx = Context::new(Scale::Quick, 142);
+        let cells = homogeneity_by_type(&ctx, BenchmarkId::MemTriad);
+        assert_eq!(cells.len(), ctx.cluster.types().len());
+        for c in &cells {
+            assert!((0.0..=1.0).contains(&c.p_value));
+        }
+    }
+
+    #[test]
+    fn t7_artifact_shape() {
+        let ctx = Context::new(Scale::Quick, 143);
+        let artifacts = t7_variance_homogeneity(&ctx);
+        assert_eq!(artifacts.len(), 2);
+        match &artifacts[0] {
+            Artifact::Table(t) => assert_eq!(t.rows.len(), 5),
+            _ => panic!("expected table"),
+        }
+    }
+}

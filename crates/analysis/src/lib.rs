@@ -1,0 +1,25 @@
+//! # analysis — the evaluation reproduction pipelines
+//!
+//! Every table and figure of the paper's evaluation (as reconstructed in
+//! DESIGN.md §4) has a pipeline here that regenerates it from the
+//! simulated campaign: T1/T2 (setup tables), F1–F12 (figures), T3/T4
+//! (comparison and summary tables). The [`registry`] maps ids to
+//! pipelines; the `repro` binary drives them from the command line:
+//!
+//! ```text
+//! cargo run -p analysis --bin repro -- list
+//! cargo run -p analysis --bin repro -- F9 --scale quick --seed 42
+//! cargo run -p analysis --bin repro -- all --out artifacts/
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod context;
+pub mod experiments;
+pub mod registry;
+
+pub use artifact::{Artifact, Series, SeriesSet, Table};
+pub use context::{Context, Scale};
+pub use registry::{all, find, Experiment, Kind};

@@ -1,0 +1,210 @@
+//! The experiment registry: every reproduced table and figure, by id.
+
+use crate::artifact::Artifact;
+use crate::context::Context;
+use crate::experiments;
+
+/// Whether an experiment reproduces a table or a figure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// A paper table.
+    Table,
+    /// A paper figure.
+    Figure,
+}
+
+/// One registered experiment.
+pub struct Experiment {
+    /// Experiment id (`T1`, `F9`, ...).
+    pub id: &'static str,
+    /// The kind of artifact it reproduces.
+    pub kind: Kind,
+    /// What paper finding it reproduces.
+    pub title: &'static str,
+    /// The pipeline.
+    pub run: fn(&Context) -> Vec<Artifact>,
+}
+
+/// All experiments, in DESIGN.md order.
+pub fn all() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "T1",
+            kind: Kind::Table,
+            title: "Hardware catalog: machine types, counts, specs",
+            run: experiments::hardware_tables::t1_hardware,
+        },
+        Experiment {
+            id: "T2",
+            kind: Kind::Table,
+            title: "Benchmark suite and parameters",
+            run: experiments::hardware_tables::t2_benchmarks,
+        },
+        Experiment {
+            id: "F1",
+            kind: Kind::Figure,
+            title: "Motivating example: skewed repeated disk runs on one machine",
+            run: experiments::motivating::f1_motivating,
+        },
+        Experiment {
+            id: "F2",
+            kind: Kind::Figure,
+            title: "Memory bandwidth across one type's machines is multimodal",
+            run: experiments::motivating::f2_memory_multimodal,
+        },
+        Experiment {
+            id: "F3",
+            kind: Kind::Figure,
+            title: "CoV by machine type: memory benchmarks",
+            run: experiments::cov::f3_cov_memory,
+        },
+        Experiment {
+            id: "F4",
+            kind: Kind::Figure,
+            title: "CoV by machine type: disk benchmarks (HDD >> SSD)",
+            run: experiments::cov::f4_cov_disk,
+        },
+        Experiment {
+            id: "F5",
+            kind: Kind::Figure,
+            title: "CoV by machine type: network benchmarks",
+            run: experiments::cov::f5_cov_network,
+        },
+        Experiment {
+            id: "F6",
+            kind: Kind::Figure,
+            title: "Shapiro-Wilk normality census: most sample sets are not normal",
+            run: experiments::normality::f6_normality,
+        },
+        Experiment {
+            id: "F7",
+            kind: Kind::Figure,
+            title: "Mean fragile vs median robust under contamination",
+            run: experiments::mean_median::f7_mean_vs_median,
+        },
+        Experiment {
+            id: "F8",
+            kind: Kind::Figure,
+            title: "Median-CI half-width vs repetitions (convergence curves)",
+            run: experiments::convergence::f8_ci_convergence,
+        },
+        Experiment {
+            id: "F9",
+            kind: Kind::Figure,
+            title: "CONFIRM: CDF of required repetitions across machines",
+            run: experiments::confirm_study::f9_confirm_cdf,
+        },
+        Experiment {
+            id: "F10",
+            kind: Kind::Figure,
+            title: "CONFIRM on tail quantiles: p95/p99 cost far more than the median",
+            run: experiments::confirm_study::f10_confirm_tails,
+        },
+        Experiment {
+            id: "T3",
+            kind: Kind::Table,
+            title: "Parametric (Jain) vs CONFIRM estimates with normality verdicts",
+            run: experiments::parametric_vs_confirm::t3_parametric_vs_confirm,
+        },
+        Experiment {
+            id: "F11",
+            kind: Kind::Figure,
+            title: "Temporal variability: maintenance changepoints detected",
+            run: experiments::temporal::f11_temporal,
+        },
+        Experiment {
+            id: "F12",
+            kind: Kind::Figure,
+            title: "Inter- vs intra-machine variability decomposition",
+            run: experiments::inter_intra::f12_inter_intra,
+        },
+        Experiment {
+            id: "T4",
+            kind: Kind::Table,
+            title: "Summary of required repetitions per benchmark and target",
+            run: experiments::confirm_study::t4_repetition_summary,
+        },
+        Experiment {
+            id: "F13",
+            kind: Kind::Figure,
+            title: "Normal QQ study: the visual non-normality argument, quantified",
+            run: experiments::qq_study::f13_qq,
+        },
+        Experiment {
+            id: "F14",
+            kind: Kind::Figure,
+            title: "Allocation-policy bias: randomize machine selection",
+            run: experiments::allocation_bias::f14_allocation_bias,
+        },
+        Experiment {
+            id: "F15",
+            kind: Kind::Figure,
+            title: "Noisy-neighbor interference inflates variability and repetitions",
+            run: experiments::interference_study::f15_interference,
+        },
+        Experiment {
+            id: "T5",
+            kind: Kind::Table,
+            title: "CONFIRM configuration ablation (criterion, CI method, growth)",
+            run: experiments::ablation::t5_confirm_ablation,
+        },
+        Experiment {
+            id: "T6",
+            kind: Kind::Table,
+            title: "Campaign dataset overview and outlier health sweep",
+            run: experiments::dataset_overview::t6_dataset_overview,
+        },
+        Experiment {
+            id: "F16",
+            kind: Kind::Figure,
+            title: "CONFIRM answer stability across subsampling seeds",
+            run: experiments::confirm_stability::f16_confirm_stability,
+        },
+        Experiment {
+            id: "T7",
+            kind: Kind::Table,
+            title: "Variance homogeneity across same-type machines (Brown-Forsythe)",
+            run: experiments::variance_homogeneity::t7_variance_homogeneity,
+        },
+        Experiment {
+            id: "F17",
+            kind: Kind::Figure,
+            title: "CONFIRM requirement vs CoV: the quadratic scaling law vs theory",
+            run: experiments::scaling_law::f17_scaling_law,
+        },
+    ]
+}
+
+/// Looks up an experiment by id (case-insensitive).
+pub fn find(id: &str) -> Option<Experiment> {
+    all().into_iter().find(|e| e.id.eq_ignore_ascii_case(id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_twenty_four_unique_experiments() {
+        let exps = all();
+        assert_eq!(exps.len(), 24);
+        let mut ids: Vec<&str> = exps.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 24);
+    }
+
+    #[test]
+    fn find_is_case_insensitive() {
+        assert!(find("f9").is_some());
+        assert!(find("T1").is_some());
+        assert!(find("F99").is_none());
+    }
+
+    #[test]
+    fn tables_and_figures_both_present() {
+        let exps = all();
+        assert_eq!(exps.iter().filter(|e| e.kind == Kind::Table).count(), 7);
+        assert_eq!(exps.iter().filter(|e| e.kind == Kind::Figure).count(), 17);
+    }
+}

@@ -1,0 +1,82 @@
+//! Integration tests driving the `repro` binary as a subprocess.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn list_prints_every_experiment() {
+    let out = repro().arg("list").output().expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for id in ["T1", "T7", "F1", "F16"] {
+        assert!(stdout.contains(id), "missing {id} in list output");
+    }
+    assert_eq!(stdout.lines().count(), 25); // header + 24 experiments.
+}
+
+#[test]
+fn unknown_id_fails_fast_with_message() {
+    let out = repro().arg("F99").output().expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown experiment id"));
+}
+
+#[test]
+fn bad_flags_fail_cleanly() {
+    for args in [
+        vec!["T1", "--scale", "huge"],
+        vec!["T1", "--seed", "abc"],
+        vec!["--scale"],
+    ] {
+        let out = repro().args(&args).output().expect("binary runs");
+        assert!(!out.status.success(), "{args:?} should fail");
+    }
+}
+
+#[test]
+fn no_ids_is_an_error() {
+    let out = repro().output().expect("binary runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn t2_runs_and_writes_csv_and_json() {
+    let dir = std::env::temp_dir().join(format!("repro-cli-test-{}", std::process::id()));
+    let out = repro()
+        .args(["T2", "--seed", "7", "--out", dir.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("disk-rand-write"));
+    let csv = std::fs::read_to_string(dir.join("T2.csv")).unwrap();
+    assert!(csv.starts_with("benchmark,"));
+
+    let out = repro()
+        .args(["T2", "--seed", "7", "--out", dir.to_str().unwrap(), "--json"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let json = std::fs::read_to_string(dir.join("T2.json")).unwrap();
+    assert!(json.contains("\"Table\""));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn seed_changes_measured_artifacts_but_not_structure() {
+    let run = |seed: &str| {
+        let out = repro().args(["F1", "--seed", seed]).output().expect("binary runs");
+        assert!(out.status.success());
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let a = run("1");
+    let b = run("1");
+    let c = run("2");
+    assert_eq!(a, b, "same seed must reproduce identical output");
+    assert_ne!(a, c, "different seeds must differ");
+    assert!(c.contains("[F1]"));
+}

@@ -1,0 +1,104 @@
+//! Criterion benches for the second-wave statistics kernels: KDE,
+//! robust estimators, rank tests, stationarity, QQ analytics, and the
+//! speedup-ratio bootstrap.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId as CriterionId, Criterion};
+use varstats::comparison::speedup_ci;
+use varstats::density::Kde;
+use varstats::qq::normal_qq;
+use varstats::ranktests::{kruskal_wallis, wilcoxon_signed_rank};
+use varstats::robust::{hodges_lehmann, hodges_lehmann_ci, trimmed_mean};
+use varstats::stationarity::adf_test;
+
+fn skewed_data(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let u = ((z >> 11) as f64) / ((1u64 << 53) as f64);
+            100.0 * (1.0 - 0.1 * u.max(1e-12).ln())
+        })
+        .collect()
+}
+
+fn bench_kde(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kde");
+    for n in [100usize, 1000] {
+        let data = skewed_data(n, 1);
+        group.bench_with_input(CriterionId::new("grid200", n), &data, |b, d| {
+            b.iter(|| {
+                Kde::new(black_box(d)).unwrap().grid(200).unwrap().len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_robust(c: &mut Criterion) {
+    let mut group = c.benchmark_group("robust");
+    let data = skewed_data(200, 2);
+    group.bench_function("trimmed_mean_200", |b| {
+        b.iter(|| trimmed_mean(black_box(&data), 0.1).unwrap());
+    });
+    group.bench_function("hodges_lehmann_200", |b| {
+        b.iter(|| hodges_lehmann(black_box(&data)).unwrap());
+    });
+    group.sample_size(20);
+    group.bench_function("hodges_lehmann_ci_200", |b| {
+        b.iter(|| hodges_lehmann_ci(black_box(&data), 0.95).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_rank_tests(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rank_tests");
+    let a = skewed_data(200, 3);
+    let b2 = skewed_data(200, 4);
+    let c3 = skewed_data(200, 5);
+    group.bench_function("wilcoxon_signed_rank_200", |b| {
+        b.iter(|| wilcoxon_signed_rank(black_box(&a), 105.0).unwrap());
+    });
+    group.bench_function("kruskal_wallis_3x200", |b| {
+        b.iter(|| kruskal_wallis(black_box(&[&a, &b2, &c3])).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_stationarity_and_qq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("series_diagnostics");
+    let series = skewed_data(500, 6);
+    group.bench_function("adf_lags4_500", |b| {
+        b.iter(|| adf_test(black_box(&series), 4).unwrap());
+    });
+    group.bench_function("normal_qq_500", |b| {
+        b.iter(|| normal_qq(black_box(&series)).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_speedup_ci(c: &mut Criterion) {
+    let mut group = c.benchmark_group("speedup_ci");
+    group.sample_size(20);
+    let a = skewed_data(100, 7);
+    let b2 = skewed_data(100, 8);
+    group.bench_function("bootstrap_1000_resamples", |b| {
+        b.iter(|| speedup_ci(black_box(&a), black_box(&b2), 0.95, 1000, 9).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kde,
+    bench_robust,
+    bench_rank_tests,
+    bench_stationarity_and_qq,
+    bench_speedup_ci
+);
+criterion_main!(benches);

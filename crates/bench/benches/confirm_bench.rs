@@ -1,0 +1,119 @@
+//! Criterion benches for CONFIRM, including the growth-schedule and
+//! error-criterion ablations called out in DESIGN.md §6.
+
+use std::hint::black_box;
+
+use confirm::{
+    estimate, estimate_stationary, ConfirmConfig, ErrorCriterion, Growth, SequentialPlanner,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId as CriterionId, Criterion};
+use testbed::{catalog, Cluster, Timeline};
+use workloads::{sample, BenchmarkId};
+
+fn pool(bench: BenchmarkId, n: usize) -> Vec<f64> {
+    let cluster = Cluster::provision(catalog(), 0.05, Timeline::quiet(10.0), 9);
+    let machine = cluster.machines()[0].id;
+    (0..n as u64)
+        .map(|i| sample(&cluster, machine, bench, 0.0, i).unwrap())
+        .collect()
+}
+
+fn bench_estimate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("confirm_estimate");
+    group.sample_size(10);
+    for (label, bench) in [
+        ("mem-triad", BenchmarkId::MemTriad),
+        ("disk-rand-read", BenchmarkId::DiskRandRead),
+    ] {
+        let data = pool(bench, 100);
+        group.bench_with_input(CriterionId::new("pool100", label), &data, |b, d| {
+            let config = ConfirmConfig::default().with_rounds(100);
+            b.iter(|| estimate(black_box(d), &config).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_growth_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("confirm_growth_ablation");
+    group.sample_size(10);
+    let data = pool(BenchmarkId::DiskSeqRead, 150);
+    for (label, growth) in [
+        ("linear1", Growth::Linear(1)),
+        ("linear5", Growth::Linear(5)),
+        ("geometric1.3", Growth::Geometric(1.3)),
+    ] {
+        group.bench_function(label, |b| {
+            let config = ConfirmConfig::default()
+                .with_rounds(100)
+                .with_growth(growth)
+                .with_target_rel_error(0.02);
+            b.iter(|| estimate(black_box(&data), &config).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_criterion_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("confirm_error_criterion");
+    group.sample_size(10);
+    let data = pool(BenchmarkId::DiskSeqRead, 100);
+    for (label, criterion) in [
+        ("half_width", ErrorCriterion::HalfWidth),
+        ("worst_bound", ErrorCriterion::WorstBound),
+    ] {
+        group.bench_function(label, |b| {
+            let config = ConfirmConfig::default()
+                .with_rounds(100)
+                .with_criterion(criterion)
+                .with_target_rel_error(0.02);
+            b.iter(|| estimate(black_box(&data), &config).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_sequential(c: &mut Criterion) {
+    let data = pool(BenchmarkId::MemTriad, 200);
+    c.bench_function("sequential_planner_200_pushes", |b| {
+        b.iter(|| {
+            let mut p = SequentialPlanner::new(
+                ConfirmConfig::default().with_target_rel_error(0.001),
+                10_000,
+            );
+            for &v in &data {
+                let _ = p.push(black_box(v)).unwrap();
+            }
+            p.len()
+        });
+    });
+}
+
+fn bench_segmented(c: &mut Criterion) {
+    let mut group = c.benchmark_group("confirm_segmented");
+    group.sample_size(10);
+    // A two-regime pool: plain estimate vs segmentation-aware.
+    let mut data = pool(BenchmarkId::MemTriad, 100);
+    let shifted: Vec<f64> = data.iter().map(|x| x * 1.1).collect();
+    data.extend(shifted);
+    let config = ConfirmConfig::default()
+        .with_rounds(60)
+        .with_target_rel_error(0.02);
+    group.bench_function("plain_on_shifted_pool", |b| {
+        b.iter(|| estimate(black_box(&data), &config).unwrap());
+    });
+    group.bench_function("stationary_on_shifted_pool", |b| {
+        b.iter(|| estimate_stationary(black_box(&data), &config).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_estimate,
+    bench_growth_ablation,
+    bench_criterion_ablation,
+    bench_sequential,
+    bench_segmented
+);
+criterion_main!(benches);

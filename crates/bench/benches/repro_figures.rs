@@ -1,0 +1,26 @@
+//! One bench per reproduced figure: regenerating F1–F12 end to end from
+//! a shared quick-scale campaign context.
+
+use std::hint::black_box;
+
+use analysis::{find, Context, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_figures(c: &mut Criterion) {
+    let ctx = Context::new(Scale::Quick, 42);
+    let mut group = c.benchmark_group("repro_figures");
+    group.sample_size(10);
+    for id in [
+        "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12",
+        "F13", "F14", "F15", "F16", "F17",
+    ] {
+        let experiment = find(id).expect("registered figure");
+        group.bench_function(id, |b| {
+            b.iter(|| (experiment.run)(black_box(&ctx)).len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! One bench per reproduced table: regenerating T1–T4 end to end from a
+//! shared quick-scale campaign context.
+
+use std::hint::black_box;
+
+use analysis::{find, Context, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_tables(c: &mut Criterion) {
+    let ctx = Context::new(Scale::Quick, 42);
+    let mut group = c.benchmark_group("repro_tables");
+    group.sample_size(10);
+    for id in ["T1", "T2", "T3", "T4", "T5", "T6", "T7"] {
+        let experiment = find(id).expect("registered table");
+        group.bench_function(id, |b| {
+            b.iter(|| (experiment.run)(black_box(&ctx)).len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

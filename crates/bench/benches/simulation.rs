@@ -1,0 +1,102 @@
+//! Criterion benches for the testbed simulator and campaign generator —
+//! the substrate must be fast enough that the paper-scale campaign stays
+//! interactive.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dataset::{run_campaign, CampaignConfig};
+use testbed::{catalog, Cluster, Subsystem, Timeline};
+use workloads::{sample, BenchmarkId};
+
+fn bench_single_measurement(c: &mut Criterion) {
+    let cluster = Cluster::provision(catalog(), 0.1, Timeline::cloudlab_default(), 1);
+    let machine = cluster.machines()[0].id;
+    let mut group = c.benchmark_group("simulator");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("measure_one", |b| {
+        let mut nonce = 0u64;
+        b.iter(|| {
+            nonce += 1;
+            cluster
+                .measure(machine, Subsystem::DiskSequential, 5.0, black_box(nonce))
+                .unwrap()
+        });
+    });
+    group.bench_function("sample_one_benchmark", |b| {
+        let mut nonce = 0u64;
+        b.iter(|| {
+            nonce += 1;
+            sample(
+                &cluster,
+                machine,
+                BenchmarkId::NetLatency,
+                5.0,
+                black_box(nonce),
+            )
+            .unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_provisioning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("provisioning");
+    group.sample_size(20);
+    group.bench_function("full_fleet", |b| {
+        b.iter(|| {
+            Cluster::provision(catalog(), 1.0, Timeline::cloudlab_default(), black_box(7))
+                .machines()
+                .len()
+        });
+    });
+    group.finish();
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(10);
+    let config = CampaignConfig::quick(3);
+    let records = {
+        let (_, store) = run_campaign(&config);
+        store.len() as u64
+    };
+    group.throughput(Throughput::Elements(records));
+    group.bench_function("quick_campaign", |b| {
+        b.iter(|| run_campaign(black_box(&config)).1.len());
+    });
+    group.finish();
+}
+
+fn bench_store_queries(c: &mut Criterion) {
+    let (_, store) = run_campaign(&CampaignConfig::quick(4));
+    let mut group = c.benchmark_group("store");
+    group.bench_function("filter_benchmark_values", |b| {
+        b.iter(|| {
+            store
+                .filter()
+                .benchmark(black_box(BenchmarkId::DiskSeqRead))
+                .values()
+                .len()
+        });
+    });
+    group.bench_function("group_by_machine", |b| {
+        b.iter(|| {
+            store
+                .filter()
+                .benchmark(black_box(BenchmarkId::MemTriad))
+                .group_by_machine()
+                .len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_measurement,
+    bench_provisioning,
+    bench_campaign,
+    bench_store_queries
+);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Criterion benches for the statistics kernels, including the
+//! exact-vs-approximate median CI ablation and the bootstrap flavors.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId as CriterionId, Criterion};
+use varstats::ci::bootstrap::{Bootstrap, BootstrapKind};
+use varstats::ci::nonparametric::{median_ci_approx, median_ci_exact};
+use varstats::ci::parametric::mean_ci_t;
+use varstats::descriptive::Moments;
+use varstats::histogram::{BinRule, Histogram};
+use varstats::normality::{anderson_darling, shapiro_wilk};
+use varstats::quantile::{quantile, QuantileMethod};
+
+fn skewed_data(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let u = ((z >> 11) as f64) / ((1u64 << 53) as f64);
+            100.0 * (1.0 - 0.1 * u.max(1e-12).ln())
+        })
+        .collect()
+}
+
+fn bench_median_ci(c: &mut Criterion) {
+    let mut group = c.benchmark_group("median_ci");
+    for n in [50usize, 500, 5000] {
+        let data = skewed_data(n, 1);
+        group.bench_with_input(CriterionId::new("exact", n), &data, |b, d| {
+            b.iter(|| median_ci_exact(black_box(d), 0.95).unwrap());
+        });
+        group.bench_with_input(CriterionId::new("approx", n), &data, |b, d| {
+            b.iter(|| median_ci_approx(black_box(d), 0.95).unwrap());
+        });
+        group.bench_with_input(CriterionId::new("mean_t", n), &data, |b, d| {
+            b.iter(|| mean_ci_t(black_box(d), 0.95).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_bootstrap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bootstrap");
+    group.sample_size(20);
+    let data = skewed_data(100, 2);
+    let median_stat =
+        |xs: &[f64]| varstats::quantile::median(xs).expect("non-empty replicate");
+    for kind in [BootstrapKind::Percentile, BootstrapKind::Basic, BootstrapKind::Bca] {
+        group.bench_function(format!("{kind:?}"), |b| {
+            let boot = Bootstrap::new(500, 3);
+            b.iter(|| boot.ci(black_box(&data), median_stat, 0.95, kind).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_normality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("normality");
+    for n in [50usize, 500, 2000] {
+        let data = skewed_data(n, 4);
+        group.bench_with_input(CriterionId::new("shapiro_wilk", n), &data, |b, d| {
+            b.iter(|| shapiro_wilk(black_box(d)).unwrap());
+        });
+        group.bench_with_input(CriterionId::new("anderson_darling", n), &data, |b, d| {
+            b.iter(|| anderson_darling(black_box(d)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_quantiles_and_moments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("descriptive");
+    let data = skewed_data(10_000, 5);
+    group.bench_function("quantile_p99_10k", |b| {
+        b.iter(|| quantile(black_box(&data), 0.99, QuantileMethod::Linear).unwrap());
+    });
+    group.bench_function("moments_10k", |b| {
+        b.iter(|| black_box(&data).iter().copied().collect::<Moments>());
+    });
+    group.bench_function("histogram_fd_10k", |b| {
+        b.iter(|| Histogram::new(black_box(&data), BinRule::FreedmanDiaconis).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_changepoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("changepoint");
+    group.sample_size(20);
+    let mut series = skewed_data(500, 6);
+    for v in series.iter_mut().skip(250) {
+        *v *= 1.1;
+    }
+    group.bench_function("pelt_500", |b| {
+        b.iter(|| varstats::changepoint::pelt_mean(black_box(&series), None).unwrap());
+    });
+    group.bench_function("binseg_500", |b| {
+        b.iter(|| {
+            varstats::changepoint::binary_segmentation(black_box(&series), None, 8).unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_median_ci,
+    bench_bootstrap,
+    bench_normality,
+    bench_quantiles_and_moments,
+    bench_changepoint
+);
+criterion_main!(benches);

@@ -1,0 +1,308 @@
+//! Configuration for the CONFIRM estimator.
+
+use serde::{Deserialize, Serialize};
+use varstats::error::{invalid, Result};
+
+/// The statistic whose confidence interval CONFIRM targets.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum Statistic {
+    /// The sample median — the paper's default and recommendation.
+    #[default]
+    Median,
+    /// An arbitrary quantile in `(0, 1)` (e.g. `0.99` for tail latency).
+    Quantile(f64),
+    /// The sample mean (classical methodology; for comparison runs).
+    Mean,
+}
+
+impl Statistic {
+    /// Short human-readable label.
+    pub fn label(&self) -> String {
+        match self {
+            Statistic::Median => "median".to_string(),
+            Statistic::Quantile(q) => format!("p{:.0}", q * 100.0),
+            Statistic::Mean => "mean".to_string(),
+        }
+    }
+}
+
+/// How the candidate subset size grows between CONFIRM iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Growth {
+    /// Increase the subset size by a fixed step (the paper's exhaustive
+    /// scan uses step 1).
+    Linear(usize),
+    /// Multiply the subset size by a factor `> 1` (coarser but much
+    /// faster; the returned requirement is an upper bound).
+    Geometric(f64),
+}
+
+impl Default for Growth {
+    fn default() -> Self {
+        Growth::Linear(1)
+    }
+}
+
+/// How each subset's confidence interval is computed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum CiMethod {
+    /// Order-statistic (binomial normal-approximation) intervals — the
+    /// paper's method and the default.
+    #[default]
+    OrderStatistic,
+    /// Bootstrap percentile intervals with this many resamples per
+    /// subset. Far slower, but works for statistics with no
+    /// order-statistic interval (the ablation in DESIGN.md §6).
+    Bootstrap {
+        /// Resamples per subset CI (at least 50).
+        resamples: usize,
+    },
+}
+
+/// How the CI "error" is measured against the target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ErrorCriterion {
+    /// Half the averaged CI width, relative to the full-sample statistic —
+    /// the literal reading of the paper's "CI with at most x% error".
+    #[default]
+    HalfWidth,
+    /// The worse of the two averaged bounds' distances from the
+    /// full-sample statistic (stricter for asymmetric intervals).
+    WorstBound,
+}
+
+/// Parameters of a CONFIRM run.
+///
+/// Defaults follow the paper: 95% confidence, ±1% target error, `c = 200`
+/// resampling rounds, minimum subset size 10, exhaustive linear growth,
+/// the median as the statistic.
+///
+/// # Examples
+///
+/// ```
+/// use confirm::{ConfirmConfig, Statistic};
+///
+/// let config = ConfirmConfig::default()
+///     .with_target_rel_error(0.05)
+///     .with_statistic(Statistic::Quantile(0.99));
+/// assert_eq!(config.rounds, 200);
+/// assert!(config.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfirmConfig {
+    /// Confidence level of the intervals (paper: 0.95).
+    pub confidence: f64,
+    /// Target relative error (paper: 0.01 for "±1%").
+    pub target_rel_error: f64,
+    /// Number of random subsets drawn per candidate size (paper: c = 200).
+    pub rounds: usize,
+    /// Smallest subset size considered (paper: s >= 10; smaller subsets
+    /// cannot carry a non-parametric 95% CI).
+    pub min_subset: usize,
+    /// Statistic under estimation.
+    pub statistic: Statistic,
+    /// Subset-size growth schedule.
+    pub growth: Growth,
+    /// Error criterion.
+    pub criterion: ErrorCriterion,
+    /// How subset CIs are computed.
+    pub ci_method: CiMethod,
+    /// RNG seed (CONFIRM is fully deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for ConfirmConfig {
+    fn default() -> Self {
+        Self {
+            confidence: 0.95,
+            target_rel_error: 0.01,
+            rounds: 200,
+            min_subset: 10,
+            statistic: Statistic::Median,
+            growth: Growth::Linear(1),
+            criterion: ErrorCriterion::HalfWidth,
+            ci_method: CiMethod::OrderStatistic,
+            seed: 0x5eed_c0f1,
+        }
+    }
+}
+
+impl ConfirmConfig {
+    /// Sets the confidence level.
+    pub fn with_confidence(mut self, confidence: f64) -> Self {
+        self.confidence = confidence;
+        self
+    }
+
+    /// Sets the target relative error (fraction, e.g. `0.01`).
+    pub fn with_target_rel_error(mut self, e: f64) -> Self {
+        self.target_rel_error = e;
+        self
+    }
+
+    /// Sets the number of resampling rounds per subset size.
+    pub fn with_rounds(mut self, c: usize) -> Self {
+        self.rounds = c;
+        self
+    }
+
+    /// Sets the minimum subset size.
+    pub fn with_min_subset(mut self, s: usize) -> Self {
+        self.min_subset = s;
+        self
+    }
+
+    /// Sets the statistic.
+    pub fn with_statistic(mut self, statistic: Statistic) -> Self {
+        self.statistic = statistic;
+        self
+    }
+
+    /// Sets the growth schedule.
+    pub fn with_growth(mut self, growth: Growth) -> Self {
+        self.growth = growth;
+        self
+    }
+
+    /// Sets the error criterion.
+    pub fn with_criterion(mut self, criterion: ErrorCriterion) -> Self {
+        self.criterion = criterion;
+        self
+    }
+
+    /// Sets the CI method.
+    pub fn with_ci_method(mut self, ci_method: CiMethod) -> Self {
+        self.ci_method = ci_method;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates every field.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive error for any out-of-domain parameter.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.confidence > 0.0 && self.confidence < 1.0) {
+            return Err(invalid(
+                "confidence",
+                format!("must be in (0, 1), got {}", self.confidence),
+            ));
+        }
+        if !(self.target_rel_error > 0.0 && self.target_rel_error < 1.0) {
+            return Err(invalid(
+                "target_rel_error",
+                format!("must be in (0, 1), got {}", self.target_rel_error),
+            ));
+        }
+        if self.rounds < 10 {
+            return Err(invalid(
+                "rounds",
+                format!("need at least 10 rounds, got {}", self.rounds),
+            ));
+        }
+        if self.min_subset < 4 {
+            return Err(invalid(
+                "min_subset",
+                format!("need at least 4, got {}", self.min_subset),
+            ));
+        }
+        if let Statistic::Quantile(q) = self.statistic {
+            if !(q > 0.0 && q < 1.0) {
+                return Err(invalid("statistic", format!("quantile must be in (0, 1), got {q}")));
+            }
+        }
+        if let CiMethod::Bootstrap { resamples } = self.ci_method {
+            if resamples < 50 {
+                return Err(invalid(
+                    "ci_method",
+                    format!("bootstrap needs at least 50 resamples, got {resamples}"),
+                ));
+            }
+        }
+        match self.growth {
+            Growth::Linear(0) => Err(invalid("growth", "linear step must be >= 1")),
+            Growth::Geometric(f) if f <= 1.0 || !f.is_finite() => {
+                Err(invalid("growth", format!("geometric factor must be > 1, got {f}")))
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = ConfirmConfig::default();
+        assert_eq!(c.confidence, 0.95);
+        assert_eq!(c.target_rel_error, 0.01);
+        assert_eq!(c.rounds, 200);
+        assert_eq!(c.min_subset, 10);
+        assert_eq!(c.statistic, Statistic::Median);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = ConfirmConfig::default()
+            .with_confidence(0.99)
+            .with_target_rel_error(0.05)
+            .with_rounds(100)
+            .with_min_subset(12)
+            .with_statistic(Statistic::Quantile(0.95))
+            .with_growth(Growth::Geometric(1.5))
+            .with_criterion(ErrorCriterion::WorstBound)
+            .with_seed(42);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.seed, 42);
+        assert_eq!(c.statistic.label(), "p95");
+    }
+
+    #[test]
+    fn validation_rejects_bad_fields() {
+        assert!(ConfirmConfig::default().with_confidence(1.0).validate().is_err());
+        assert!(ConfirmConfig::default().with_target_rel_error(0.0).validate().is_err());
+        assert!(ConfirmConfig::default().with_rounds(5).validate().is_err());
+        assert!(ConfirmConfig::default().with_min_subset(2).validate().is_err());
+        assert!(ConfirmConfig::default()
+            .with_statistic(Statistic::Quantile(1.0))
+            .validate()
+            .is_err());
+        assert!(ConfirmConfig::default()
+            .with_growth(Growth::Linear(0))
+            .validate()
+            .is_err());
+        assert!(ConfirmConfig::default()
+            .with_growth(Growth::Geometric(1.0))
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn ci_method_validation() {
+        assert!(ConfirmConfig::default()
+            .with_ci_method(CiMethod::Bootstrap { resamples: 10 })
+            .validate()
+            .is_err());
+        assert!(ConfirmConfig::default()
+            .with_ci_method(CiMethod::Bootstrap { resamples: 200 })
+            .validate()
+            .is_ok());
+        assert_eq!(ConfirmConfig::default().ci_method, CiMethod::OrderStatistic);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Statistic::Median.label(), "median");
+        assert_eq!(Statistic::Mean.label(), "mean");
+        assert_eq!(Statistic::Quantile(0.99).label(), "p99");
+    }
+}

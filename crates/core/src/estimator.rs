@@ -1,0 +1,482 @@
+//! The CONFIRM estimator.
+//!
+//! Given an empirical pool of measurements, CONFIRM answers: *how many
+//! repetitions does this experiment need so that a non-parametric CI of
+//! the statistic is within ±e% at the chosen confidence level?*
+//!
+//! The procedure (as published):
+//!
+//! 1. Pick a candidate subset size `s >= 10`.
+//! 2. Draw a random subset of size `s` (without replacement) and compute
+//!    the non-parametric CI of the statistic on it.
+//! 3. Repeat `c = 200` times; average the lower bounds and the upper
+//!    bounds separately.
+//! 4. If the averaged interval's relative error is within the target, `s`
+//!    is the required repetition count; otherwise grow `s` and repeat.
+//!
+//! If no `s <= n` reaches the target the result is *exhausted* — the
+//! paper reports these entries as "> n" (e.g. "> 50").
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use varstats::ci::nonparametric::{min_samples_for_quantile_ci, quantile_ci_approx};
+use varstats::ci::parametric::mean_ci_t;
+use varstats::error::{check_finite, Result, StatsError};
+use varstats::quantile::{quantile_sorted, QuantileMethod};
+
+use crate::config::{CiMethod, ConfirmConfig, ErrorCriterion, Growth, Statistic};
+
+/// One point of the CONFIRM convergence curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SizePoint {
+    /// Candidate subset size (repetition count).
+    pub subset_size: usize,
+    /// Average of the CI lower bounds over the rounds.
+    pub mean_lower: f64,
+    /// Average of the CI upper bounds over the rounds.
+    pub mean_upper: f64,
+    /// Relative error of the averaged interval under the configured
+    /// criterion.
+    pub rel_error: f64,
+}
+
+/// Whether CONFIRM found a satisfying repetition count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Requirement {
+    /// This many repetitions reach the target error.
+    Satisfied(usize),
+    /// No subset of the pool (size `n`) reached the target; the true
+    /// requirement exceeds `n` (the paper prints "> n").
+    Exhausted {
+        /// Size of the measurement pool that was exhausted.
+        pool: usize,
+    },
+}
+
+impl Requirement {
+    /// The repetition count if satisfied.
+    pub fn count(&self) -> Option<usize> {
+        match self {
+            Requirement::Satisfied(n) => Some(*n),
+            Requirement::Exhausted { .. } => None,
+        }
+    }
+
+    /// Paper-style rendering: a number, or `> n`.
+    pub fn display(&self) -> String {
+        match self {
+            Requirement::Satisfied(n) => n.to_string(),
+            Requirement::Exhausted { pool } => format!(">{pool}"),
+        }
+    }
+
+    /// A numeric value usable for sorting/CDFs: the count, or `pool + 1`
+    /// when exhausted.
+    pub fn as_ordinal(&self) -> usize {
+        match self {
+            Requirement::Satisfied(n) => *n,
+            Requirement::Exhausted { pool } => pool + 1,
+        }
+    }
+}
+
+/// Full result of a CONFIRM run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfirmResult {
+    /// The repetition requirement.
+    pub requirement: Requirement,
+    /// The full-pool value of the statistic (the reference the error is
+    /// measured against).
+    pub reference: f64,
+    /// Convergence curve: one point per candidate size tried.
+    pub curve: Vec<SizePoint>,
+    /// The statistic that was estimated.
+    pub statistic: Statistic,
+    /// Confidence level used.
+    pub confidence: f64,
+    /// Target relative error used.
+    pub target_rel_error: f64,
+}
+
+impl ConfirmResult {
+    /// Convenience accessor for the satisfied repetition count.
+    pub fn repetitions(&self) -> Option<usize> {
+        self.requirement.count()
+    }
+}
+
+/// Computes the statistic on a (small, unsorted) subset.
+fn point_estimate(sorted_pool_subset: &mut [f64], statistic: Statistic) -> Result<f64> {
+    match statistic {
+        Statistic::Mean => {
+            Ok(sorted_pool_subset.iter().sum::<f64>() / sorted_pool_subset.len() as f64)
+        }
+        Statistic::Median | Statistic::Quantile(_) => {
+            sorted_pool_subset.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let q = match statistic {
+                Statistic::Median => 0.5,
+                Statistic::Quantile(q) => q,
+                Statistic::Mean => unreachable!(),
+            };
+            quantile_sorted(sorted_pool_subset, q, QuantileMethod::Linear)
+        }
+    }
+}
+
+/// CI of the statistic on one subset.
+fn subset_ci(subset: &[f64], config: &ConfirmConfig, round_seed: u64) -> Result<(f64, f64)> {
+    if let CiMethod::Bootstrap { resamples } = config.ci_method {
+        let boot = varstats::ci::bootstrap::Bootstrap::new(resamples, round_seed);
+        let stat = config.statistic;
+        let ci = boot.ci(
+            subset,
+            move |xs| {
+                let mut buf = xs.to_vec();
+                point_estimate(&mut buf, stat).unwrap_or(f64::NAN)
+            },
+            config.confidence,
+            varstats::ci::bootstrap::BootstrapKind::Percentile,
+        )?;
+        return Ok((ci.lower, ci.upper));
+    }
+    match config.statistic {
+        Statistic::Median => {
+            let r = quantile_ci_approx(subset, 0.5, config.confidence)?;
+            Ok((r.ci.lower, r.ci.upper))
+        }
+        Statistic::Quantile(q) => {
+            let r = quantile_ci_approx(subset, q, config.confidence)?;
+            Ok((r.ci.lower, r.ci.upper))
+        }
+        Statistic::Mean => {
+            let ci = mean_ci_t(subset, config.confidence)?;
+            Ok((ci.lower, ci.upper))
+        }
+    }
+}
+
+/// Runs CONFIRM over a pool of measurements.
+///
+/// # Errors
+///
+/// Returns an error for an invalid config, an invalid pool, a pool smaller
+/// than `min_subset`, or a zero-valued reference statistic (relative error
+/// undefined).
+///
+/// # Examples
+///
+/// ```
+/// use confirm::{estimate, ConfirmConfig};
+///
+/// // A extremely tight pool: even 10 repetitions give a +/-1% CI.
+/// let pool: Vec<f64> = (0..60).map(|i| 100.0 + 0.01 * (i % 7) as f64).collect();
+/// let result = estimate(&pool, &ConfirmConfig::default()).unwrap();
+/// assert_eq!(result.repetitions(), Some(10));
+/// ```
+pub fn estimate(pool: &[f64], config: &ConfirmConfig) -> Result<ConfirmResult> {
+    config.validate()?;
+    check_finite(pool)?;
+    let n = pool.len();
+    if n < config.min_subset {
+        return Err(StatsError::TooFewSamples {
+            needed: config.min_subset,
+            got: n,
+        });
+    }
+    // A two-sided order-statistic CI for quantile q at this confidence
+    // only exists from a minimum sample size (e.g. 299 for p99 at 95%).
+    // Subsets below that floor would produce clamped, non-covering
+    // intervals that fool the width criterion, so CONFIRM never considers
+    // them.
+    let floor = match config.statistic {
+        Statistic::Median => min_samples_for_quantile_ci(0.5, config.confidence)?,
+        Statistic::Quantile(q) => min_samples_for_quantile_ci(q, config.confidence)?,
+        Statistic::Mean => 2,
+    };
+    let start = config.min_subset.max(floor);
+
+    // Full-pool reference value of the statistic.
+    let mut full = pool.to_vec();
+    let reference = point_estimate(&mut full, config.statistic)?;
+    if reference == 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    if start > n {
+        // The pool cannot even carry one valid CI at this size: the paper
+        // reports these as "> n".
+        return Ok(ConfirmResult {
+            requirement: Requirement::Exhausted { pool: n },
+            reference,
+            curve: Vec::new(),
+            statistic: config.statistic,
+            confidence: config.confidence,
+            target_rel_error: config.target_rel_error,
+        });
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut indices: Vec<usize> = (0..n).collect();
+    let mut subset = Vec::with_capacity(n);
+    let mut curve = Vec::new();
+
+    let mut size = start;
+    loop {
+        let mut sum_lower = 0.0;
+        let mut sum_upper = 0.0;
+        for round in 0..config.rounds {
+            // Partial Fisher-Yates: the first `size` entries become a
+            // uniform random subset without replacement.
+            for i in 0..size {
+                let j = rng.random_range(i..n);
+                indices.swap(i, j);
+            }
+            subset.clear();
+            subset.extend(indices[..size].iter().map(|&i| pool[i]));
+            let round_seed = config
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((size * 1_000_003 + round) as u64);
+            let (lo, hi) = subset_ci(&subset, config, round_seed)?;
+            sum_lower += lo;
+            sum_upper += hi;
+        }
+        let mean_lower = sum_lower / config.rounds as f64;
+        let mean_upper = sum_upper / config.rounds as f64;
+        let rel_error = match config.criterion {
+            ErrorCriterion::HalfWidth => {
+                (mean_upper - mean_lower) / (2.0 * reference.abs())
+            }
+            ErrorCriterion::WorstBound => {
+                let lo = (reference - mean_lower).abs();
+                let hi = (mean_upper - reference).abs();
+                lo.max(hi) / reference.abs()
+            }
+        };
+        curve.push(SizePoint {
+            subset_size: size,
+            mean_lower,
+            mean_upper,
+            rel_error,
+        });
+        if rel_error <= config.target_rel_error {
+            return Ok(ConfirmResult {
+                requirement: Requirement::Satisfied(size),
+                reference,
+                curve,
+                statistic: config.statistic,
+                confidence: config.confidence,
+                target_rel_error: config.target_rel_error,
+            });
+        }
+        if size >= n {
+            return Ok(ConfirmResult {
+                requirement: Requirement::Exhausted { pool: n },
+                reference,
+                curve,
+                statistic: config.statistic,
+                confidence: config.confidence,
+                target_rel_error: config.target_rel_error,
+            });
+        }
+        size = match config.growth {
+            Growth::Linear(step) => (size + step).min(n),
+            Growth::Geometric(f) => {
+                (((size as f64) * f).ceil() as usize).clamp(size + 1, n)
+            }
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn splitmix(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed;
+        move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            ((z >> 11) as f64) / ((1u64 << 53) as f64)
+        }
+    }
+
+    fn uniform_pool(seed: u64, n: usize, center: f64, spread: f64) -> Vec<f64> {
+        let mut u = splitmix(seed);
+        (0..n).map(|_| center + spread * (u() - 0.5)).collect()
+    }
+
+    #[test]
+    fn tight_data_needs_minimum() {
+        let pool = uniform_pool(1, 100, 100.0, 0.1); // CoV ~ 0.03%.
+        let r = estimate(&pool, &ConfirmConfig::default()).unwrap();
+        assert_eq!(r.repetitions(), Some(10));
+        assert_eq!(r.requirement.display(), "10");
+    }
+
+    #[test]
+    fn noisy_data_needs_more_than_tight_data() {
+        let tight = uniform_pool(2, 200, 100.0, 1.0);
+        let noisy = uniform_pool(2, 200, 100.0, 20.0);
+        let cfg = ConfirmConfig::default();
+        let rt = estimate(&tight, &cfg).unwrap();
+        let rn = estimate(&noisy, &cfg).unwrap();
+        assert!(
+            rn.requirement.as_ordinal() > rt.requirement.as_ordinal(),
+            "noisy {:?} should exceed tight {:?}",
+            rn.requirement,
+            rt.requirement
+        );
+    }
+
+    #[test]
+    fn impossible_target_exhausts_pool() {
+        let pool = uniform_pool(3, 50, 100.0, 40.0); // Large spread, small pool.
+        let cfg = ConfirmConfig::default().with_target_rel_error(0.001);
+        let r = estimate(&pool, &cfg).unwrap();
+        assert_eq!(r.requirement, Requirement::Exhausted { pool: 50 });
+        assert_eq!(r.requirement.display(), ">50");
+        assert_eq!(r.requirement.as_ordinal(), 51);
+        assert_eq!(r.repetitions(), None);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pool = uniform_pool(4, 120, 50.0, 5.0);
+        let cfg = ConfirmConfig::default().with_seed(7);
+        let a = estimate(&pool, &cfg).unwrap();
+        let b = estimate(&pool, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn looser_target_needs_fewer_reps() {
+        let pool = uniform_pool(5, 300, 100.0, 10.0);
+        let strict = estimate(&pool, &ConfirmConfig::default().with_target_rel_error(0.005))
+            .unwrap();
+        let loose = estimate(&pool, &ConfirmConfig::default().with_target_rel_error(0.05))
+            .unwrap();
+        assert!(loose.requirement.as_ordinal() <= strict.requirement.as_ordinal());
+    }
+
+    #[test]
+    fn curve_error_is_decreasing_overall() {
+        let pool = uniform_pool(6, 200, 100.0, 10.0);
+        let cfg = ConfirmConfig::default().with_target_rel_error(0.002);
+        let r = estimate(&pool, &cfg).unwrap();
+        assert!(r.curve.len() > 5);
+        let first = r.curve.first().unwrap().rel_error;
+        let last = r.curve.last().unwrap().rel_error;
+        assert!(last < first, "error should shrink: {first} -> {last}");
+    }
+
+    #[test]
+    fn geometric_growth_is_upper_bound_of_linear() {
+        let pool = uniform_pool(7, 250, 100.0, 8.0);
+        let lin = estimate(&pool, &ConfirmConfig::default()).unwrap();
+        let geo = estimate(
+            &pool,
+            &ConfirmConfig::default().with_growth(Growth::Geometric(1.3)),
+        )
+        .unwrap();
+        assert!(geo.requirement.as_ordinal() >= lin.requirement.as_ordinal());
+        assert!(geo.curve.len() <= lin.curve.len());
+    }
+
+    #[test]
+    fn mean_statistic_runs_and_matches_reference() {
+        let pool = uniform_pool(8, 150, 42.0, 2.0);
+        let cfg = ConfirmConfig::default().with_statistic(Statistic::Mean);
+        let r = estimate(&pool, &cfg).unwrap();
+        let mean = pool.iter().sum::<f64>() / pool.len() as f64;
+        assert!((r.reference - mean).abs() < 1e-9);
+        assert!(r.repetitions().is_some());
+    }
+
+    #[test]
+    fn tail_quantile_needs_more_than_median() {
+        let pool = uniform_pool(9, 400, 100.0, 10.0);
+        let med = estimate(
+            &pool,
+            &ConfirmConfig::default().with_target_rel_error(0.02),
+        )
+        .unwrap();
+        let p99 = estimate(
+            &pool,
+            &ConfirmConfig::default()
+                .with_target_rel_error(0.02)
+                .with_statistic(Statistic::Quantile(0.99)),
+        )
+        .unwrap();
+        // A valid two-sided 95% CI for p99 needs at least 299 samples, so
+        // the p99 requirement must start there.
+        assert!(
+            p99.requirement.as_ordinal() >= 299,
+            "p99 {:?}",
+            p99.requirement
+        );
+        assert!(p99.requirement.as_ordinal() >= med.requirement.as_ordinal());
+    }
+
+    #[test]
+    fn tail_quantile_on_small_pool_is_exhausted() {
+        let pool = uniform_pool(13, 50, 100.0, 10.0);
+        let r = estimate(
+            &pool,
+            &ConfirmConfig::default().with_statistic(Statistic::Quantile(0.99)),
+        )
+        .unwrap();
+        assert_eq!(r.requirement, Requirement::Exhausted { pool: 50 });
+        assert!(r.curve.is_empty());
+    }
+
+    #[test]
+    fn validation_errors() {
+        let pool = uniform_pool(10, 8, 1.0, 0.1);
+        assert!(estimate(&pool, &ConfirmConfig::default()).is_err()); // pool < min_subset.
+        assert!(estimate(&[], &ConfirmConfig::default()).is_err());
+        let zeros = vec![0.0; 50];
+        assert!(estimate(&zeros, &ConfirmConfig::default()).is_err()); // reference 0.
+        let bad = ConfirmConfig::default().with_rounds(1);
+        assert!(estimate(&uniform_pool(11, 50, 1.0, 0.1), &bad).is_err());
+    }
+
+    #[test]
+    fn bootstrap_ci_method_agrees_with_order_statistic() {
+        // The ablation: bootstrap percentile CIs should land in the same
+        // ballpark as order-statistic CIs for the median.
+        let pool = uniform_pool(14, 150, 100.0, 10.0);
+        let os = estimate(&pool, &ConfirmConfig::default().with_rounds(60)).unwrap();
+        let boot = estimate(
+            &pool,
+            &ConfirmConfig::default()
+                .with_rounds(60)
+                .with_ci_method(CiMethod::Bootstrap { resamples: 100 }),
+        )
+        .unwrap();
+        let a = os.requirement.as_ordinal() as f64;
+        let b = boot.requirement.as_ordinal() as f64;
+        let ratio = a.max(b) / a.min(b);
+        assert!(ratio < 4.0, "order-stat {a} vs bootstrap {b}");
+    }
+
+    #[test]
+    fn worst_bound_criterion_is_no_looser() {
+        let pool = uniform_pool(12, 200, 100.0, 12.0);
+        let hw = estimate(
+            &pool,
+            &ConfirmConfig::default().with_criterion(ErrorCriterion::HalfWidth),
+        )
+        .unwrap();
+        let wb = estimate(
+            &pool,
+            &ConfirmConfig::default().with_criterion(ErrorCriterion::WorstBound),
+        )
+        .unwrap();
+        assert!(wb.requirement.as_ordinal() >= hw.requirement.as_ordinal());
+    }
+}

@@ -1,0 +1,154 @@
+//! The paper's recommended decision flow.
+//!
+//! Recommendation (paper §6): pick the repetition-estimation method based
+//! on the distribution of the samples — the parametric closed form when
+//! the data is demonstrably normal, CONFIRM otherwise. This module
+//! automates that flow: test normality, run the appropriate planner, and
+//! report everything so the user can audit the decision.
+
+use serde::{Deserialize, Serialize};
+
+use varstats::error::Result;
+use varstats::normality::{shapiro_wilk, TestResult};
+
+use crate::config::ConfirmConfig;
+use crate::estimator::{estimate, ConfirmResult, Requirement};
+use crate::parametric::{parametric_plan, ParametricPlan};
+
+/// Which method the flow selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChosenMethod {
+    /// Data passed normality: the parametric formula applies.
+    Parametric,
+    /// Data failed normality (or was untestable): CONFIRM.
+    Confirm,
+}
+
+/// The audited outcome of the method-selection flow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Recommendation {
+    /// Shapiro–Wilk result on the pool (None if untestable, e.g. constant
+    /// data).
+    pub normality: Option<TestResult>,
+    /// The method that was selected.
+    pub method: ChosenMethod,
+    /// The repetition requirement from the selected method.
+    pub requirement: Requirement,
+    /// The parametric plan (always computed, for comparison).
+    pub parametric: ParametricPlan,
+    /// The CONFIRM result (always computed, for comparison).
+    pub confirm: ConfirmResult,
+}
+
+impl Recommendation {
+    /// Paper-style rendering of the recommended repetition count.
+    pub fn display(&self) -> String {
+        self.requirement.display()
+    }
+}
+
+/// Runs the full decision flow on a pool of pilot measurements.
+///
+/// Both planners are always executed (the paper's T3-style comparison
+/// needs both); `method`/`requirement` reflect which one the flow
+/// endorses at significance level `alpha`.
+///
+/// # Errors
+///
+/// Returns an error for invalid input or configuration, or a pool smaller
+/// than `config.min_subset`.
+///
+/// # Examples
+///
+/// ```
+/// use confirm::{recommend, ConfirmConfig};
+///
+/// let pool: Vec<f64> = (0..80).map(|i| 100.0 + ((i * 31) % 11) as f64 * 0.2).collect();
+/// let rec = recommend(&pool, &ConfirmConfig::default().with_target_rel_error(0.02), 0.05)
+///     .unwrap();
+/// println!("{} repetitions via {:?}", rec.display(), rec.method);
+/// ```
+pub fn recommend(pool: &[f64], config: &ConfirmConfig, alpha: f64) -> Result<Recommendation> {
+    config.validate()?;
+    let confirm_result = estimate(pool, config)?;
+    let parametric = parametric_plan(pool, config)?;
+    let normality = shapiro_wilk(pool).ok();
+    let normal = normality.map(|t| t.is_normal(alpha)).unwrap_or(false);
+    let (method, requirement) = if normal {
+        (
+            ChosenMethod::Parametric,
+            Requirement::Satisfied(parametric.repetitions),
+        )
+    } else {
+        (ChosenMethod::Confirm, confirm_result.requirement)
+    };
+    Ok(Recommendation {
+        normality,
+        method,
+        requirement,
+        parametric,
+        confirm: confirm_result,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn splitmix(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed;
+        move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            ((z >> 11) as f64) / ((1u64 << 53) as f64)
+        }
+    }
+
+    fn normal_pool(seed: u64, n: usize, mu: f64, sigma: f64) -> Vec<f64> {
+        let mut u = splitmix(seed);
+        (0..n)
+            .map(|_| {
+                let u1: f64 = u().max(1e-12);
+                let u2: f64 = u();
+                mu + sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn normal_data_selects_parametric() {
+        let pool = normal_pool(1, 100, 100.0, 2.0);
+        let rec = recommend(&pool, &ConfirmConfig::default(), 0.05).unwrap();
+        assert_eq!(rec.method, ChosenMethod::Parametric);
+        assert!(rec.normality.unwrap().is_normal(0.05));
+        assert!(rec.requirement.count().is_some());
+    }
+
+    #[test]
+    fn skewed_data_selects_confirm() {
+        let mut u = splitmix(2);
+        let pool: Vec<f64> = (0..100).map(|_| 10.0 - u().max(1e-12).ln() * 3.0).collect();
+        let rec = recommend(&pool, &ConfirmConfig::default().with_target_rel_error(0.05), 0.05)
+            .unwrap();
+        assert_eq!(rec.method, ChosenMethod::Confirm);
+        assert_eq!(rec.requirement, rec.confirm.requirement);
+    }
+
+    #[test]
+    fn both_planners_always_present() {
+        let pool = normal_pool(3, 60, 50.0, 1.0);
+        let rec = recommend(&pool, &ConfirmConfig::default(), 0.05).unwrap();
+        assert!(rec.parametric.repetitions >= 1);
+        assert!(!rec.confirm.curve.is_empty());
+        assert!(!rec.display().is_empty());
+    }
+
+    #[test]
+    fn propagates_pool_too_small() {
+        let pool = vec![1.0, 2.0, 3.0];
+        assert!(recommend(&pool, &ConfirmConfig::default(), 0.05).is_err());
+    }
+}

@@ -1,0 +1,61 @@
+//! # confirm — repetition estimation for statistically confident results
+//!
+//! This crate is the primary contribution of the *Taming Performance
+//! Variability* (OSDI 2018) reproduction: **CONFIRM**, a procedure that
+//! answers the question every experimenter faces — *how many times do I
+//! have to repeat this experiment before the result is statistically
+//! trustworthy?* — without assuming the data is normally distributed.
+//!
+//! Three planners are provided:
+//!
+//! * [`estimate`] — CONFIRM proper: subsample an existing measurement pool
+//!   at increasing subset sizes (`c = 200` rounds each, subsets of at
+//!   least 10), average the non-parametric CI bounds, and report the first
+//!   size whose averaged interval is within the target (default ±1% at
+//!   95%). Reports `>n` when the pool is exhausted, exactly like the
+//!   paper's tables.
+//! * [`SequentialPlanner`] — the live variant: feed measurements as they
+//!   arrive and stop when the CI of everything collected so far meets the
+//!   target.
+//! * [`parametric_plan`] — the classical baseline (Jain's closed form),
+//!   annotated with a Shapiro–Wilk check of the assumption it rests on.
+//!
+//! [`recommend`] wires them into the paper's decision flow: test
+//! normality, then trust the parametric answer only when the data earns
+//! it.
+//!
+//! ## Example
+//!
+//! ```
+//! use confirm::{estimate, ConfirmConfig, Statistic};
+//!
+//! // 200 historical runs of a benchmark.
+//! let pool: Vec<f64> = (0..200).map(|i| 100.0 + ((i * 17) % 23) as f64 * 0.1).collect();
+//!
+//! let config = ConfirmConfig::default()      // 95%, ±1%, c = 200, s >= 10
+//!     .with_statistic(Statistic::Median);
+//! let result = estimate(&pool, &config).unwrap();
+//! println!("run the experiment {} times", result.requirement.display());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod estimator;
+mod flow;
+mod multi;
+mod parametric;
+mod power;
+pub mod report;
+mod segmented;
+mod sequential;
+
+pub use config::{CiMethod, ConfirmConfig, ErrorCriterion, Growth, Statistic};
+pub use estimator::{estimate, ConfirmResult, Requirement, SizePoint};
+pub use flow::{recommend, ChosenMethod, Recommendation};
+pub use multi::{plan_joint, JointPlan};
+pub use parametric::{parametric_plan, ParametricPlan};
+pub use power::{ci_separation_plan, estimate_p_prime, noether_sample_size, NoetherPlan};
+pub use segmented::{estimate_stationary, SegmentedResult};
+pub use sequential::{PlanStatus, SequentialPlanner};

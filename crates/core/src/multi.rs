@@ -1,0 +1,152 @@
+//! Joint planning over several statistics at once.
+//!
+//! Real evaluations report more than one number — typically the median
+//! *and* a tail percentile. A repetition count that pins the median can
+//! be hopeless for p99, so the joint requirement is the maximum over all
+//! target statistics (and exhausted if any is).
+
+use serde::{Deserialize, Serialize};
+
+use varstats::error::{invalid, Result};
+
+use crate::config::{ConfirmConfig, Statistic};
+use crate::estimator::{estimate, ConfirmResult, Requirement};
+
+/// Result of a joint plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JointPlan {
+    /// Per-statistic CONFIRM results, in input order.
+    pub per_statistic: Vec<ConfirmResult>,
+    /// The combined requirement: the maximum repetition count, or
+    /// exhausted if any statistic exhausts the pool.
+    pub combined: Requirement,
+}
+
+impl JointPlan {
+    /// The statistic that drives the combined requirement.
+    pub fn binding_statistic(&self) -> Statistic {
+        self.per_statistic
+            .iter()
+            .max_by_key(|r| r.requirement.as_ordinal())
+            .map(|r| r.statistic)
+            .expect("at least one statistic")
+    }
+}
+
+/// Runs CONFIRM once per statistic and combines the requirements.
+///
+/// # Errors
+///
+/// Returns an error for an empty statistic list or any underlying
+/// estimation error.
+///
+/// # Examples
+///
+/// ```
+/// use confirm::{plan_joint, ConfirmConfig, Statistic};
+///
+/// let pool: Vec<f64> = (0..400).map(|i| 100.0 + ((i * 31) % 17) as f64 * 0.05).collect();
+/// let plan = plan_joint(
+///     &pool,
+///     &ConfirmConfig::default().with_target_rel_error(0.05),
+///     &[Statistic::Median, Statistic::Quantile(0.95)],
+/// )
+/// .unwrap();
+/// assert_eq!(plan.per_statistic.len(), 2);
+/// ```
+pub fn plan_joint(
+    pool: &[f64],
+    config: &ConfirmConfig,
+    statistics: &[Statistic],
+) -> Result<JointPlan> {
+    if statistics.is_empty() {
+        return Err(invalid("statistics", "need at least one statistic"));
+    }
+    let mut per_statistic = Vec::with_capacity(statistics.len());
+    for &stat in statistics {
+        per_statistic.push(estimate(pool, &config.with_statistic(stat))?);
+    }
+    let combined = per_statistic
+        .iter()
+        .map(|r| r.requirement)
+        .max_by_key(|r| r.as_ordinal())
+        .expect("non-empty");
+    Ok(JointPlan {
+        per_statistic,
+        combined,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(seed: u64, n: usize) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                100.0 + 10.0 * (((z >> 11) as f64) / ((1u64 << 53) as f64) - 0.5)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn combined_is_max_of_parts() {
+        let data = pool(1, 500);
+        let config = ConfirmConfig::default()
+            .with_target_rel_error(0.05)
+            .with_growth(crate::Growth::Geometric(1.4));
+        let plan = plan_joint(
+            &data,
+            &config,
+            &[Statistic::Median, Statistic::Quantile(0.95)],
+        )
+        .unwrap();
+        let max = plan
+            .per_statistic
+            .iter()
+            .map(|r| r.requirement.as_ordinal())
+            .max()
+            .unwrap();
+        assert_eq!(plan.combined.as_ordinal(), max);
+    }
+
+    #[test]
+    fn tail_statistic_is_binding() {
+        let data = pool(2, 600);
+        let config = ConfirmConfig::default()
+            .with_target_rel_error(0.05)
+            .with_growth(crate::Growth::Geometric(1.4));
+        let plan = plan_joint(
+            &data,
+            &config,
+            &[Statistic::Median, Statistic::Quantile(0.99)],
+        )
+        .unwrap();
+        assert_eq!(plan.binding_statistic(), Statistic::Quantile(0.99));
+    }
+
+    #[test]
+    fn exhaustion_propagates_to_combined() {
+        let data = pool(3, 100); // p99 floor (299) exceeds the pool.
+        let config = ConfirmConfig::default().with_target_rel_error(0.05);
+        let plan = plan_joint(
+            &data,
+            &config,
+            &[Statistic::Median, Statistic::Quantile(0.99)],
+        )
+        .unwrap();
+        assert!(matches!(plan.combined, Requirement::Exhausted { pool: 100 }));
+    }
+
+    #[test]
+    fn empty_statistics_rejected() {
+        let data = pool(4, 100);
+        assert!(plan_joint(&data, &ConfirmConfig::default(), &[]).is_err());
+    }
+}

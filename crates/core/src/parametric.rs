@@ -1,0 +1,123 @@
+//! The parametric baseline planner (Jain's formula).
+//!
+//! The paper compares CONFIRM against the classical normal-theory
+//! repetition estimate. This wrapper gives the two the same interface so
+//! experiment T3 can run them side by side, and annotates the parametric
+//! answer with a normality test so users see when its assumption is
+//! violated.
+
+use serde::{Deserialize, Serialize};
+
+use varstats::error::Result;
+use varstats::normality::{shapiro_wilk, TestResult};
+use varstats::samplesize::jain_sample_size;
+
+use crate::config::ConfirmConfig;
+
+/// Result of the parametric (Jain) planner.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParametricPlan {
+    /// Estimated repetitions from Jain's formula.
+    pub repetitions: usize,
+    /// Raw (unrounded) formula value.
+    pub raw: f64,
+    /// Shapiro–Wilk result on the pilot data — if this rejects, the
+    /// estimate below rests on a false assumption.
+    pub normality: Option<TestResult>,
+    /// Whether the pilot data passed normality at `alpha = 0.05`.
+    pub assumption_ok: bool,
+}
+
+/// Estimates repetitions with Jain's formula using `config`'s confidence
+/// and target error, and annotates the answer with a Shapiro–Wilk check.
+///
+/// # Errors
+///
+/// Returns an error for invalid pilot data or configuration.
+///
+/// # Examples
+///
+/// ```
+/// use confirm::{parametric_plan, ConfirmConfig};
+///
+/// let pilot: Vec<f64> = (0..50).map(|i| 100.0 + ((i * 13) % 7) as f64).collect();
+/// let plan = parametric_plan(&pilot, &ConfirmConfig::default()).unwrap();
+/// assert!(plan.repetitions >= 1);
+/// ```
+pub fn parametric_plan(pilot: &[f64], config: &ConfirmConfig) -> Result<ParametricPlan> {
+    config.validate()?;
+    let est = jain_sample_size(pilot, config.target_rel_error, config.confidence)?;
+    // Shapiro-Wilk needs 3..=5000 samples and nonzero variance; treat an
+    // untestable pilot as "assumption unknown" rather than an error.
+    let normality = shapiro_wilk(pilot).ok();
+    let assumption_ok = normality.map(|t| t.is_normal(0.05)).unwrap_or(false);
+    Ok(ParametricPlan {
+        repetitions: est.repetitions,
+        raw: est.raw,
+        normality,
+        assumption_ok,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn splitmix(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed;
+        move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            ((z >> 11) as f64) / ((1u64 << 53) as f64)
+        }
+    }
+
+    #[test]
+    fn normal_pilot_passes_assumption() {
+        let mut u = splitmix(1);
+        let pilot: Vec<f64> = (0..100)
+            .map(|_| {
+                let u1: f64 = u().max(1e-12);
+                let u2: f64 = u();
+                100.0 + (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+            })
+            .collect();
+        let plan = parametric_plan(&pilot, &ConfirmConfig::default()).unwrap();
+        assert!(plan.assumption_ok);
+        assert!(plan.repetitions >= 1);
+    }
+
+    #[test]
+    fn skewed_pilot_flags_assumption() {
+        let mut u = splitmix(2);
+        let pilot: Vec<f64> = (0..100).map(|_| 10.0 - u().max(1e-12).ln() * 5.0).collect();
+        let plan = parametric_plan(&pilot, &ConfirmConfig::default()).unwrap();
+        assert!(!plan.assumption_ok);
+        assert!(plan.normality.unwrap().p_value < 0.05);
+    }
+
+    #[test]
+    fn constant_pilot_is_untestable_but_plannable() {
+        let pilot = vec![5.0; 30];
+        let plan = parametric_plan(&pilot, &ConfirmConfig::default()).unwrap();
+        assert_eq!(plan.repetitions, 1);
+        assert!(plan.normality.is_none());
+        assert!(!plan.assumption_ok);
+    }
+
+    #[test]
+    fn tighter_target_more_reps() {
+        let mut u = splitmix(3);
+        let pilot: Vec<f64> = (0..60).map(|_| 100.0 + 10.0 * (u() - 0.5)).collect();
+        let strict =
+            parametric_plan(&pilot, &ConfirmConfig::default().with_target_rel_error(0.005))
+                .unwrap();
+        let loose =
+            parametric_plan(&pilot, &ConfirmConfig::default().with_target_rel_error(0.05))
+                .unwrap();
+        assert!(strict.repetitions > loose.repetitions);
+    }
+}

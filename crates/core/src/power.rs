@@ -1,0 +1,214 @@
+//! Two-sample power planning: repetitions needed to *detect a
+//! difference*, not just to pin down one median.
+//!
+//! The most common experimental question is comparative ("does my
+//! optimization beat the baseline by delta?"). Two planners are provided:
+//!
+//! * [`noether_sample_size`] — Noether's classical formula for the
+//!   Mann–Whitney test: repetitions per group from the effect size
+//!   `p' = P(X < Y)`, the significance level, and the target power.
+//! * [`ci_separation_plan`] — the CI-overlap route this library
+//!   recommends for verdicts: enough repetitions that each group's median
+//!   CI has half-width below `delta / 2`, so a true relative difference
+//!   of `delta` separates the intervals. Runs CONFIRM under the hood on
+//!   pilot data.
+
+use serde::{Deserialize, Serialize};
+
+use varstats::error::{invalid, Result};
+use varstats::special::normal_quantile;
+
+use crate::config::ConfirmConfig;
+use crate::estimator::{estimate, ConfirmResult};
+
+/// Result of Noether's Mann–Whitney sample-size formula.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoetherPlan {
+    /// Repetitions per group.
+    pub per_group: usize,
+    /// Total repetitions (both groups).
+    pub total: usize,
+    /// The effect size used, `p' = P(X < Y)`.
+    pub p_prime: f64,
+}
+
+/// Noether's (1987) sample-size formula for the two-sided Mann–Whitney
+/// test with equal group sizes:
+/// `N_total = (z_{1-alpha/2} + z_{power})^2 / (3 (p' - 1/2)^2)`.
+///
+/// `p_prime` is the probability that a random measurement from group X is
+/// smaller than one from group Y; 0.5 means no effect, and values near
+/// 0.5 require enormous samples.
+///
+/// # Errors
+///
+/// Returns an error for `p_prime` equal to 0.5 or outside `(0, 1)`, or
+/// out-of-range `alpha`/`power`.
+///
+/// # Examples
+///
+/// ```
+/// use confirm::noether_sample_size;
+///
+/// // A solid effect (p' = 0.71) at alpha 0.05, power 0.8 needs about 30
+/// // runs per group.
+/// let plan = noether_sample_size(0.71, 0.05, 0.8).unwrap();
+/// assert!((25..40).contains(&plan.per_group));
+/// ```
+pub fn noether_sample_size(p_prime: f64, alpha: f64, power: f64) -> Result<NoetherPlan> {
+    if !(p_prime > 0.0 && p_prime < 1.0) {
+        return Err(invalid(
+            "p_prime",
+            format!("must be in (0, 1), got {p_prime}"),
+        ));
+    }
+    if (p_prime - 0.5).abs() < 1e-6 {
+        return Err(invalid(
+            "p_prime",
+            "no effect (p' = 0.5): no sample size can detect it",
+        ));
+    }
+    if !(alpha > 0.0 && alpha < 1.0) {
+        return Err(invalid("alpha", format!("must be in (0, 1), got {alpha}")));
+    }
+    if !(power > 0.0 && power < 1.0) {
+        return Err(invalid("power", format!("must be in (0, 1), got {power}")));
+    }
+    let z_alpha = normal_quantile(1.0 - alpha / 2.0)?;
+    let z_power = normal_quantile(power)?;
+    let effect = p_prime - 0.5;
+    let total = ((z_alpha + z_power).powi(2) / (3.0 * effect * effect)).ceil() as usize;
+    let per_group = total.div_ceil(2);
+    Ok(NoetherPlan {
+        per_group,
+        total: per_group * 2,
+        p_prime,
+    })
+}
+
+/// Estimates `p' = P(x < y)` from pilot samples of the two groups.
+///
+/// # Errors
+///
+/// Returns an error on invalid input or fewer than 5 samples per group.
+pub fn estimate_p_prime(x: &[f64], y: &[f64]) -> Result<f64> {
+    varstats::error::check_finite(x)?;
+    varstats::error::check_finite(y)?;
+    if x.len() < 5 || y.len() < 5 {
+        return Err(varstats::error::StatsError::TooFewSamples {
+            needed: 5,
+            got: x.len().min(y.len()),
+        });
+    }
+    let mut sorted_y = y.to_vec();
+    sorted_y.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let mut wins = 0.0;
+    for &xi in x {
+        let below = sorted_y.partition_point(|&v| v < xi);
+        let below_or_eq = sorted_y.partition_point(|&v| v <= xi);
+        // x < y counts fully; ties count half.
+        wins += (sorted_y.len() - below_or_eq) as f64 + 0.5 * (below_or_eq - below) as f64;
+    }
+    Ok(wins / (x.len() * y.len()) as f64)
+}
+
+/// Plans repetitions so that a true relative median difference of
+/// `rel_difference` separates the two groups' 95% CIs: each group needs a
+/// CI half-width below `rel_difference / 2`, which is delegated to
+/// CONFIRM on the pilot pool.
+///
+/// # Errors
+///
+/// Returns an error for `rel_difference` outside `(0, 1)` or any
+/// underlying CONFIRM error.
+pub fn ci_separation_plan(
+    pilot: &[f64],
+    rel_difference: f64,
+    config: &ConfirmConfig,
+) -> Result<ConfirmResult> {
+    if !(rel_difference > 0.0 && rel_difference < 1.0) {
+        return Err(invalid(
+            "rel_difference",
+            format!("must be in (0, 1), got {rel_difference}"),
+        ));
+    }
+    estimate(pilot, &config.with_target_rel_error(rel_difference / 2.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noether_reference_value() {
+        // p' = 0.71, alpha = 0.05 two-sided, power 0.8:
+        // N = (1.96 + 0.8416)^2 / (3 * 0.21^2) ~ 59.3 -> 60 total.
+        let plan = noether_sample_size(0.71, 0.05, 0.8).unwrap();
+        assert!((plan.total as i64 - 60).abs() <= 2, "{plan:?}");
+        assert_eq!(plan.total, plan.per_group * 2);
+    }
+
+    #[test]
+    fn smaller_effects_need_quadratically_more() {
+        let big = noether_sample_size(0.7, 0.05, 0.8).unwrap();
+        let small = noether_sample_size(0.55, 0.05, 0.8).unwrap();
+        let ratio = small.total as f64 / big.total as f64;
+        // (0.2 / 0.05)^2 = 16.
+        assert!((10.0..25.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn higher_power_needs_more() {
+        let p80 = noether_sample_size(0.65, 0.05, 0.8).unwrap();
+        let p95 = noether_sample_size(0.65, 0.05, 0.95).unwrap();
+        assert!(p95.total > p80.total);
+    }
+
+    #[test]
+    fn symmetric_effects_cost_the_same() {
+        let a = noether_sample_size(0.6, 0.05, 0.8).unwrap();
+        let b = noether_sample_size(0.4, 0.05, 0.8).unwrap();
+        assert_eq!(a.total, b.total);
+    }
+
+    #[test]
+    fn p_prime_estimation() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [10.0, 11.0, 12.0, 13.0, 14.0];
+        assert_eq!(estimate_p_prime(&x, &y).unwrap(), 1.0);
+        assert_eq!(estimate_p_prime(&y, &x).unwrap(), 0.0);
+        assert_eq!(estimate_p_prime(&x, &x).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn pilot_to_plan_round_trip() {
+        // Pilot two groups with a clear shift, estimate p', plan, and
+        // check the plan is humane for a big effect.
+        let x: Vec<f64> = (0..30).map(|i| 100.0 + (i % 7) as f64).collect();
+        let y: Vec<f64> = (0..30).map(|i| 106.0 + (i % 7) as f64).collect();
+        let p = estimate_p_prime(&x, &y).unwrap();
+        assert!(p > 0.8);
+        let plan = noether_sample_size(p, 0.05, 0.9).unwrap();
+        assert!(plan.per_group < 30, "{plan:?}");
+    }
+
+    #[test]
+    fn ci_separation_delegates_to_confirm() {
+        let pilot: Vec<f64> = (0..200)
+            .map(|i| 100.0 + ((i * 13) % 11) as f64 * 0.1)
+            .collect();
+        let r = ci_separation_plan(&pilot, 0.02, &ConfirmConfig::default()).unwrap();
+        assert!((r.target_rel_error - 0.01).abs() < 1e-12);
+        assert!(r.repetitions().is_some());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(noether_sample_size(0.5, 0.05, 0.8).is_err());
+        assert!(noether_sample_size(0.0, 0.05, 0.8).is_err());
+        assert!(noether_sample_size(0.7, 0.0, 0.8).is_err());
+        assert!(noether_sample_size(0.7, 0.05, 1.0).is_err());
+        assert!(estimate_p_prime(&[1.0], &[2.0]).is_err());
+        assert!(ci_separation_plan(&[1.0; 50], 0.0, &ConfirmConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,182 @@
+//! Text rendering of CONFIRM results.
+
+use std::fmt::Write as _;
+
+use crate::estimator::ConfirmResult;
+
+/// Renders the convergence curve of a CONFIRM run as an aligned text
+/// table (one row per candidate subset size).
+///
+/// # Examples
+///
+/// ```
+/// use confirm::{estimate, report, ConfirmConfig};
+///
+/// let pool: Vec<f64> = (0..60).map(|i| 100.0 + 0.05 * (i % 9) as f64).collect();
+/// let result = estimate(&pool, &ConfirmConfig::default()).unwrap();
+/// let table = report::render_curve(&result);
+/// assert!(table.contains("subset"));
+/// ```
+pub fn render_curve(result: &ConfirmResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "CONFIRM: statistic={} confidence={:.0}% target=±{:.2}%",
+        result.statistic.label(),
+        result.confidence * 100.0,
+        result.target_rel_error * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "reference {} = {:.6}; requirement = {}",
+        result.statistic.label(),
+        result.reference,
+        result.requirement.display()
+    );
+    let _ = writeln!(
+        out,
+        "{:>8}  {:>14}  {:>14}  {:>10}",
+        "subset", "mean lower", "mean upper", "rel err %"
+    );
+    for p in &result.curve {
+        let _ = writeln!(
+            out,
+            "{:>8}  {:>14.6}  {:>14.6}  {:>10.4}",
+            p.subset_size,
+            p.mean_lower,
+            p.mean_upper,
+            p.rel_error * 100.0
+        );
+    }
+    out
+}
+
+/// One-line summary of a CONFIRM result.
+pub fn render_summary(result: &ConfirmResult) -> String {
+    format!(
+        "{} repetitions needed for a {:.0}% CI of the {} within ±{:.2}% (reference {:.4})",
+        result.requirement.display(),
+        result.confidence * 100.0,
+        result.statistic.label(),
+        result.target_rel_error * 100.0,
+        result.reference
+    )
+}
+
+/// Renders the full decision-flow outcome: normality verdict, both
+/// planners' answers, and the endorsement.
+pub fn render_recommendation(rec: &crate::Recommendation) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "method-selection flow:");
+    match rec.normality {
+        Some(t) => {
+            let _ = writeln!(
+                out,
+                "  Shapiro-Wilk: W = {:.4}, p = {:.4} -> {}",
+                t.statistic,
+                t.p_value,
+                if t.is_normal(0.05) { "normal" } else { "NOT normal" }
+            );
+        }
+        None => {
+            let _ = writeln!(out, "  Shapiro-Wilk: not assessable");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  parametric (Jain): {} repetitions{}",
+        rec.parametric.repetitions,
+        if rec.parametric.assumption_ok {
+            ""
+        } else {
+            "  [assumption violated]"
+        }
+    );
+    let _ = writeln!(
+        out,
+        "  CONFIRM:           {} repetitions",
+        rec.confirm.requirement.display()
+    );
+    let _ = writeln!(
+        out,
+        "  => use {} ({} repetitions)",
+        match rec.method {
+            crate::ChosenMethod::Parametric => "the parametric estimate",
+            crate::ChosenMethod::Confirm => "CONFIRM",
+        },
+        rec.display()
+    );
+    out
+}
+
+/// Renders a joint multi-statistic plan.
+pub fn render_joint(plan: &crate::JointPlan) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "joint repetition plan:");
+    for r in &plan.per_statistic {
+        let _ = writeln!(
+            out,
+            "  {:8} -> {}",
+            r.statistic.label(),
+            r.requirement.display()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  combined: {} (binding statistic: {})",
+        plan.combined.display(),
+        plan.binding_statistic().label()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ConfirmConfig;
+    use crate::estimator::estimate;
+
+    #[test]
+    fn curve_table_has_one_row_per_point() {
+        let pool: Vec<f64> = (0..80).map(|i| 50.0 + ((i * 7) % 5) as f64 * 0.01).collect();
+        let r = estimate(&pool, &ConfirmConfig::default()).unwrap();
+        let table = render_curve(&r);
+        // 3 header lines + one per curve point.
+        assert_eq!(table.lines().count(), 3 + r.curve.len());
+        assert!(table.contains("median"));
+    }
+
+    #[test]
+    fn recommendation_report_mentions_both_methods() {
+        let pool: Vec<f64> = (0..80).map(|i| 50.0 + ((i * 7) % 5) as f64 * 0.01).collect();
+        let rec = crate::recommend(&pool, &ConfirmConfig::default(), 0.05).unwrap();
+        let text = render_recommendation(&rec);
+        assert!(text.contains("parametric"));
+        assert!(text.contains("CONFIRM"));
+        assert!(text.contains("=> use"));
+    }
+
+    #[test]
+    fn joint_report_lists_statistics() {
+        let pool: Vec<f64> = (0..400).map(|i| 100.0 + ((i * 31) % 17) as f64 * 0.05).collect();
+        let plan = crate::plan_joint(
+            &pool,
+            &ConfirmConfig::default().with_target_rel_error(0.05),
+            &[crate::Statistic::Median, crate::Statistic::Quantile(0.95)],
+        )
+        .unwrap();
+        let text = render_joint(&plan);
+        assert!(text.contains("median"));
+        assert!(text.contains("p95"));
+        assert!(text.contains("combined"));
+    }
+
+    #[test]
+    fn summary_mentions_requirement() {
+        let pool: Vec<f64> = (0..80).map(|i| 50.0 + ((i * 7) % 5) as f64 * 0.01).collect();
+        let r = estimate(&pool, &ConfirmConfig::default()).unwrap();
+        let s = render_summary(&r);
+        assert!(s.contains("10"), "{s}");
+        assert!(s.contains("95%"));
+    }
+}

@@ -1,0 +1,167 @@
+//! Segmentation-aware planning.
+//!
+//! CONFIRM assumes its pool is stationary. The paper's temporal finding
+//! says long-lived pools often are not: environment changes shift the
+//! level mid-campaign, and a repetition estimate computed across the
+//! shift describes neither regime. This module composes the two results:
+//! detect changepoints first (PELT), then run CONFIRM on the **current**
+//! (latest) stationary segment only, reporting what was discarded so the
+//! user knows their history went stale.
+
+use serde::{Deserialize, Serialize};
+
+use varstats::changepoint::pelt_mean;
+use varstats::error::{Result, StatsError};
+
+use crate::config::ConfirmConfig;
+use crate::estimator::{estimate, ConfirmResult};
+
+/// Outcome of segmentation-aware estimation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SegmentedResult {
+    /// Changepoints detected in the pool (indices into the input order).
+    pub changepoints: Vec<usize>,
+    /// Number of leading measurements discarded as stale regimes.
+    pub discarded: usize,
+    /// CONFIRM result on the latest stationary segment.
+    pub result: ConfirmResult,
+    /// Whether the pool was non-stationary (at least one changepoint).
+    pub was_nonstationary: bool,
+}
+
+/// Runs changepoint detection on the (collection-ordered) pool, then
+/// CONFIRM on the latest stationary segment.
+///
+/// The pool must be in **collection order** — segmentation is meaningless
+/// on sorted data.
+///
+/// # Errors
+///
+/// Returns an error if the pool is invalid, or if the latest segment is
+/// smaller than the configuration's minimum subset (the honest answer:
+/// the current regime has too little data; collect more).
+///
+/// # Examples
+///
+/// ```
+/// use confirm::{estimate_stationary, ConfirmConfig};
+///
+/// // 80 runs in an old regime, 120 in the current one.
+/// let mut pool: Vec<f64> = (0..80).map(|i| 100.0 + (i * 37 % 11) as f64 * 0.05).collect();
+/// pool.extend((0..120).map(|i| 110.0 + (i * 37 % 11) as f64 * 0.05));
+/// let r = estimate_stationary(&pool, &ConfirmConfig::default()).unwrap();
+/// assert!(r.was_nonstationary);
+/// assert_eq!(r.discarded, 80);
+/// ```
+pub fn estimate_stationary(pool: &[f64], config: &ConfirmConfig) -> Result<SegmentedResult> {
+    config.validate()?;
+    varstats::error::check_finite(pool)?;
+    // PELT needs at least 6 points; with fewer, fall through to plain
+    // CONFIRM (which will itself reject pools below min_subset).
+    let changepoints = if pool.len() >= 6 {
+        pelt_mean(pool, None)?
+    } else {
+        Vec::new()
+    };
+    let start = changepoints.last().copied().unwrap_or(0);
+    let segment = &pool[start..];
+    if segment.len() < config.min_subset {
+        return Err(StatsError::TooFewSamples {
+            needed: config.min_subset,
+            got: segment.len(),
+        });
+    }
+    let result = estimate(segment, config)?;
+    Ok(SegmentedResult {
+        was_nonstationary: !changepoints.is_empty(),
+        discarded: start,
+        changepoints,
+        result,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Requirement;
+
+    fn splitmix(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed;
+        move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            ((z >> 11) as f64) / ((1u64 << 53) as f64)
+        }
+    }
+
+    #[test]
+    fn stationary_pool_passes_through_unchanged() {
+        let mut u = splitmix(1);
+        let pool: Vec<f64> = (0..150).map(|_| 100.0 + u()).collect();
+        let seg = estimate_stationary(&pool, &ConfirmConfig::default()).unwrap();
+        assert!(!seg.was_nonstationary);
+        assert_eq!(seg.discarded, 0);
+        let plain = estimate(&pool, &ConfirmConfig::default()).unwrap();
+        assert_eq!(seg.result, plain);
+    }
+
+    #[test]
+    fn shifted_pool_uses_only_the_new_regime() {
+        let mut u = splitmix(2);
+        let mut pool: Vec<f64> = (0..100).map(|_| 100.0 + u()).collect();
+        pool.extend((0..100).map(|_| 120.0 + u()));
+        let seg = estimate_stationary(&pool, &ConfirmConfig::default()).unwrap();
+        assert!(seg.was_nonstationary);
+        assert!((95..=105).contains(&seg.discarded), "{}", seg.discarded);
+        // The reference median must be the NEW regime's (~120.5), not the
+        // pooled one (~110).
+        assert!(
+            (119.0..122.0).contains(&seg.result.reference),
+            "reference {}",
+            seg.result.reference
+        );
+    }
+
+    #[test]
+    fn plain_confirm_on_shifted_pool_is_corrupted() {
+        // The negative control: without segmentation, the shifted pool's
+        // "median" straddles two regimes and the requirement explodes (or
+        // exhausts) because no subset CI stabilizes around it.
+        let mut u = splitmix(3);
+        let mut pool: Vec<f64> = (0..100).map(|_| 100.0 + u()).collect();
+        pool.extend((0..100).map(|_| 120.0 + u()));
+        let plain = estimate(&pool, &ConfirmConfig::default()).unwrap();
+        let seg = estimate_stationary(&pool, &ConfirmConfig::default()).unwrap();
+        assert!(
+            seg.result.requirement.as_ordinal() < plain.requirement.as_ordinal(),
+            "segmented {:?} should beat pooled {:?}",
+            seg.result.requirement,
+            plain.requirement
+        );
+    }
+
+    #[test]
+    fn too_new_a_regime_is_an_honest_error() {
+        let mut u = splitmix(4);
+        let mut pool: Vec<f64> = (0..100).map(|_| 100.0 + u()).collect();
+        pool.extend((0..5).map(|_| 150.0 + u()));
+        let err = estimate_stationary(&pool, &ConfirmConfig::default()).unwrap_err();
+        assert!(matches!(err, StatsError::TooFewSamples { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn requirement_is_usable_downstream() {
+        let mut u = splitmix(5);
+        let mut pool: Vec<f64> = (0..60).map(|_| 50.0 + u()).collect();
+        pool.extend((0..80).map(|_| 55.0 + 0.1 * u()));
+        let seg = estimate_stationary(
+            &pool,
+            &ConfirmConfig::default().with_target_rel_error(0.02),
+        )
+        .unwrap();
+        assert!(matches!(seg.result.requirement, Requirement::Satisfied(_)));
+    }
+}

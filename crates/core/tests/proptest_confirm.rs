@@ -1,0 +1,135 @@
+//! Property-based tests for the CONFIRM planners.
+
+use confirm::{
+    estimate, noether_sample_size, plan_joint, ConfirmConfig, Growth, PlanStatus, Requirement,
+    SequentialPlanner, Statistic,
+};
+use proptest::prelude::*;
+
+fn pool_strategy() -> impl Strategy<Value = Vec<f64>> {
+    // Positive measurements with a controlled relative spread.
+    (10.0..1000.0f64, 0.001..0.3f64, 30usize..120).prop_map(|(center, spread, n)| {
+        let mut state = (center.to_bits() ^ n as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                let u = ((z >> 11) as f64) / ((1u64 << 53) as f64);
+                center * (1.0 + spread * (u - 0.5))
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn requirement_respects_floor_and_pool(pool in pool_strategy()) {
+        let config = ConfirmConfig::default()
+            .with_rounds(20)
+            .with_growth(Growth::Geometric(1.5))
+            .with_target_rel_error(0.05);
+        let r = estimate(&pool, &config).unwrap();
+        match r.requirement {
+            Requirement::Satisfied(n) => {
+                prop_assert!(n >= config.min_subset);
+                prop_assert!(n <= pool.len());
+            }
+            Requirement::Exhausted { pool: p } => prop_assert_eq!(p, pool.len()),
+        }
+        // The reference statistic lies within the pool's range.
+        let min = pool.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = pool.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(r.reference >= min && r.reference <= max);
+    }
+
+    #[test]
+    fn looser_targets_never_need_more(pool in pool_strategy()) {
+        let base = ConfirmConfig::default()
+            .with_rounds(20)
+            .with_growth(Growth::Geometric(1.5));
+        let strict = estimate(&pool, &base.with_target_rel_error(0.01)).unwrap();
+        let loose = estimate(&pool, &base.with_target_rel_error(0.10)).unwrap();
+        prop_assert!(
+            loose.requirement.as_ordinal() <= strict.requirement.as_ordinal(),
+            "loose {:?} vs strict {:?}",
+            loose.requirement,
+            strict.requirement
+        );
+    }
+
+    #[test]
+    fn determinism_across_identical_calls(pool in pool_strategy()) {
+        let config = ConfirmConfig::default().with_rounds(15).with_growth(Growth::Geometric(2.0));
+        let a = estimate(&pool, &config).unwrap();
+        let b = estimate(&pool, &config).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn curve_is_strictly_increasing_in_size(pool in pool_strategy()) {
+        let config = ConfirmConfig::default()
+            .with_rounds(15)
+            .with_growth(Growth::Linear(7))
+            .with_target_rel_error(0.002);
+        let r = estimate(&pool, &config).unwrap();
+        for w in r.curve.windows(2) {
+            prop_assert!(w[1].subset_size > w[0].subset_size);
+        }
+        for p in &r.curve {
+            prop_assert!(p.mean_lower <= p.mean_upper);
+            prop_assert!(p.rel_error >= 0.0);
+        }
+    }
+
+    #[test]
+    fn joint_plan_is_max_of_parts(pool in pool_strategy()) {
+        let config = ConfirmConfig::default()
+            .with_rounds(15)
+            .with_growth(Growth::Geometric(1.6))
+            .with_target_rel_error(0.05);
+        let plan = plan_joint(&pool, &config, &[Statistic::Median, Statistic::Mean]).unwrap();
+        let max = plan
+            .per_statistic
+            .iter()
+            .map(|r| r.requirement.as_ordinal())
+            .max()
+            .unwrap();
+        prop_assert_eq!(plan.combined.as_ordinal(), max);
+    }
+
+    #[test]
+    fn sequential_planner_never_stops_before_minimum(pool in pool_strategy()) {
+        let config = ConfirmConfig::default().with_target_rel_error(0.5);
+        let mut planner = SequentialPlanner::new(config, 1000);
+        for (i, &v) in pool.iter().enumerate() {
+            match planner.push(v).unwrap() {
+                PlanStatus::Satisfied { repetitions, .. } => {
+                    prop_assert!(repetitions >= config.min_subset);
+                    prop_assert_eq!(repetitions, i + 1);
+                    return Ok(());
+                }
+                PlanStatus::Collecting { .. } => {
+                    prop_assert!(i + 1 < config.min_subset);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn noether_monotone_in_effect_size(p1 in 0.55..0.95f64, p2 in 0.55..0.95f64) {
+        let (weak, strong) = if (p1 - 0.5).abs() <= (p2 - 0.5).abs() {
+            (p1, p2)
+        } else {
+            (p2, p1)
+        };
+        let nw = noether_sample_size(weak, 0.05, 0.8).unwrap();
+        let ns = noether_sample_size(strong, 0.05, 0.8).unwrap();
+        prop_assert!(ns.total <= nw.total);
+    }
+}

@@ -1,0 +1,83 @@
+//! Standalone campaign generator: simulate a data-collection campaign
+//! and export it as CSV (plus a terminal overview).
+//!
+//! ```text
+//! campaign [--scale quick|paper] [--seed N] [--out FILE.csv]
+//! ```
+
+use std::process::ExitCode;
+
+use dataset::{overview, run_campaign, write_csv, CampaignConfig};
+
+struct Args {
+    config: CampaignConfig,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut seed = 42u64;
+    let mut scale = "quick".to_string();
+    let mut out = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => scale = it.next().ok_or("--scale needs a value")?,
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|_| "bad seed")?;
+            }
+            "--out" => out = Some(it.next().ok_or("--out needs a value")?),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: campaign [--scale quick|paper] [--seed N] [--out FILE.csv]"
+                        .to_string(),
+                );
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    let config = match scale.as_str() {
+        "quick" => CampaignConfig::quick(seed),
+        "paper" => CampaignConfig::paper(seed),
+        other => return Err(format!("unknown scale `{other}`")),
+    };
+    Ok(Args { config, out })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("running campaign (seed {}) ...", args.config.seed);
+    let (_cluster, store) = run_campaign(&args.config);
+    let o = overview(&store);
+    println!(
+        "campaign: {} measurements, {} machines, {} types, {} benchmarks, days {:.0}-{:.0}",
+        o.measurements, o.machines, o.machine_types, o.benchmarks, o.first_day, o.last_day
+    );
+    for (bench, count) in &o.per_benchmark {
+        println!("  {:16} {count}", bench.label());
+    }
+    if let Some(path) = args.out {
+        let file = match std::fs::File::create(&path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot create {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = write_csv(&store, std::io::BufWriter::new(file)) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,215 @@
+//! The data-collection campaign generator.
+//!
+//! Recreates the paper's measurement campaign on the simulated testbed:
+//! a fleet is provisioned, and every machine runs every benchmark in
+//! periodic sessions across a multi-month timeline. The result is one
+//! [`Store`] that all experiment pipelines slice.
+//!
+//! Two presets exist: [`CampaignConfig::quick`] (a small fleet,
+//! CI-friendly, finishes in well under a second) and
+//! [`CampaignConfig::paper`] (full fleet, ten months, millions of points
+//! — the scale of the published dataset).
+
+use serde::{Deserialize, Serialize};
+use testbed::{catalog, Cluster, Timeline};
+use workloads::{sample, BenchmarkId};
+
+use crate::record::Record;
+use crate::store::Store;
+
+/// Parameters of a simulated campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Fleet scale (1.0 = the full ~900-machine catalog).
+    pub scale: f64,
+    /// Campaign length in days.
+    pub duration_days: f64,
+    /// Days between measurement sessions.
+    pub session_every_days: f64,
+    /// Repetitions of each benchmark per session.
+    pub runs_per_session: usize,
+    /// Benchmarks to run (defaults to the full suite).
+    pub benchmarks: Vec<BenchmarkId>,
+    /// Cap on machines per type (None = whole fleet). Lets quick mode
+    /// keep type diversity without the full fleet.
+    pub machines_per_type: Option<usize>,
+    /// Master seed (drives provisioning and every measurement).
+    pub seed: u64,
+}
+
+impl CampaignConfig {
+    /// CI-friendly preset: ~30 machines, 10 sessions, 5 runs each
+    /// (50 samples per machine x benchmark, like the paper's
+    /// 50-repetition experiments).
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            scale: 0.1,
+            duration_days: 300.0,
+            session_every_days: 30.0,
+            runs_per_session: 5,
+            benchmarks: BenchmarkId::ALL.to_vec(),
+            machines_per_type: Some(3),
+            seed,
+        }
+    }
+
+    /// Full-scale preset: the whole fleet over ten months with 100
+    /// sessions — millions of data points, the scale of the published
+    /// dataset.
+    pub fn paper(seed: u64) -> Self {
+        Self {
+            scale: 1.0,
+            duration_days: 300.0,
+            session_every_days: 3.0,
+            runs_per_session: 5,
+            benchmarks: BenchmarkId::ALL.to_vec(),
+            machines_per_type: None,
+            seed,
+        }
+    }
+
+    /// Restricts the benchmark list.
+    pub fn with_benchmarks(mut self, benchmarks: Vec<BenchmarkId>) -> Self {
+        self.benchmarks = benchmarks;
+        self
+    }
+
+    /// Number of sessions the timeline yields.
+    pub fn sessions(&self) -> usize {
+        (self.duration_days / self.session_every_days).floor() as usize
+    }
+}
+
+/// Runs a campaign, returning the provisioned cluster and the collected
+/// dataset.
+///
+/// Total records = machines x benchmarks x sessions x runs_per_session.
+pub fn run_campaign(config: &CampaignConfig) -> (Cluster, Store) {
+    let cluster = Cluster::provision(
+        catalog(),
+        config.scale,
+        Timeline::cloudlab_default(),
+        config.seed,
+    );
+    let store = collect(&cluster, config);
+    (cluster, store)
+}
+
+/// Runs a campaign's measurement phase against an existing cluster.
+pub fn collect(cluster: &Cluster, config: &CampaignConfig) -> Store {
+    let mut store = Store::new();
+    // Select machines: up to `machines_per_type` per type, whole fleet
+    // otherwise.
+    let mut selected = Vec::new();
+    for t in cluster.types() {
+        let of_type = cluster.machines_of_type(&t.name);
+        let cap = config.machines_per_type.unwrap_or(of_type.len());
+        selected.extend(of_type.into_iter().take(cap));
+    }
+    let sessions = config.sessions();
+    for machine in selected {
+        for &bench in &config.benchmarks {
+            for session in 0..sessions {
+                let day = session as f64 * config.session_every_days;
+                for run in 0..config.runs_per_session {
+                    // The nonce folds the session in so every run of the
+                    // campaign is a distinct draw.
+                    let nonce = (session * config.runs_per_session + run) as u64;
+                    let value = sample(cluster, machine.id, bench, day, nonce)
+                        .expect("selected machines exist");
+                    store.push(Record {
+                        machine: machine.id,
+                        machine_type: machine.type_name.clone(),
+                        benchmark: bench,
+                        day,
+                        run: nonce as u32,
+                        value,
+                    });
+                }
+            }
+        }
+    }
+    store
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_campaign_shape() {
+        let config = CampaignConfig::quick(1);
+        let (cluster, store) = run_campaign(&config);
+        let machines = store.machines().len();
+        // 10 types x 3 machines.
+        assert_eq!(machines, 30);
+        let expected = machines * 11 * config.sessions() * config.runs_per_session;
+        assert_eq!(store.len(), expected);
+        assert_eq!(store.benchmarks().len(), 11);
+        assert!(cluster.machines().len() >= machines);
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let config = CampaignConfig::quick(5);
+        let (_, a) = run_campaign(&config);
+        let (_, b) = run_campaign(&config);
+        assert_eq!(a, b);
+        let (_, c) = run_campaign(&CampaignConfig::quick(6));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn per_machine_bench_sample_count_is_sessions_times_runs() {
+        let config = CampaignConfig::quick(2);
+        let (_, store) = run_campaign(&config);
+        let m = store.machines()[0];
+        let vals = store
+            .filter()
+            .machine(m)
+            .benchmark(BenchmarkId::MemTriad)
+            .values();
+        assert_eq!(vals.len(), config.sessions() * config.runs_per_session);
+    }
+
+    #[test]
+    fn restricted_benchmarks() {
+        let config = CampaignConfig::quick(3)
+            .with_benchmarks(vec![BenchmarkId::DiskSeqRead, BenchmarkId::NetLatency]);
+        let (_, store) = run_campaign(&config);
+        assert_eq!(store.benchmarks().len(), 2);
+    }
+
+    #[test]
+    fn values_are_positive_and_type_scaled() {
+        let config = CampaignConfig::quick(4);
+        let (cluster, store) = run_campaign(&config);
+        assert!(store.records().iter().all(|r| r.value > 0.0));
+        // Median disk-seq-read per type should track the type baseline.
+        for t in cluster.types().iter().take(3) {
+            let vals = store
+                .filter()
+                .machine_type(&t.name)
+                .benchmark(BenchmarkId::DiskSeqRead)
+                .values();
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            let rel = mean / t.disk_seq_mbps;
+            assert!((0.7..1.3).contains(&rel), "{} rel {rel}", t.name);
+        }
+    }
+
+    #[test]
+    fn sessions_cover_the_timeline() {
+        let config = CampaignConfig::quick(7);
+        let (_, store) = run_campaign(&config);
+        let ts = store
+            .filter()
+            .machine(store.machines()[0])
+            .benchmark(BenchmarkId::MemLatency)
+            .time_series();
+        let first_day = ts.first().unwrap().0;
+        let last_day = ts.last().unwrap().0;
+        assert_eq!(first_day, 0.0);
+        assert!(last_day >= 240.0, "last day {last_day}");
+    }
+}

@@ -1,0 +1,226 @@
+//! CSV import/export for measurement stores.
+//!
+//! The format is deliberately plain (one header, six columns) so datasets
+//! round-trip through spreadsheets and plotting scripts:
+//!
+//! ```text
+//! machine,machine_type,benchmark,day,run,value
+//! 0,c220g1,disk-seq-read,1,0,171.25
+//! ```
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use testbed::MachineId;
+
+use crate::record::{benchmark_from_label, Record};
+use crate::store::Store;
+
+/// Errors from CSV parsing.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line (1-based line number and reason).
+    Parse {
+        /// Line number, counting the header as line 1.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "I/O error: {e}"),
+            CsvError::Parse { line, reason } => write!(f, "line {line}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Writes a store as CSV.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn write_csv(store: &Store, mut writer: impl Write) -> Result<(), CsvError> {
+    writeln!(writer, "machine,machine_type,benchmark,day,run,value")?;
+    for r in store.records() {
+        writeln!(
+            writer,
+            "{},{},{},{},{},{}",
+            r.machine.0,
+            r.machine_type,
+            r.benchmark.label(),
+            r.day,
+            r.run,
+            r.value
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads a store from CSV (header required).
+///
+/// # Errors
+///
+/// Returns [`CsvError::Parse`] with the offending line number for any
+/// malformed row, unknown benchmark label, or non-finite value.
+pub fn read_csv(reader: impl Read) -> Result<Store, CsvError> {
+    let reader = BufReader::new(reader);
+    let mut store = Store::new();
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or(CsvError::Parse {
+            line: 1,
+            reason: "missing header".to_string(),
+        })??;
+    if header.trim() != "machine,machine_type,benchmark,day,run,value" {
+        return Err(CsvError::Parse {
+            line: 1,
+            reason: format!("unexpected header `{header}`"),
+        });
+    }
+    for (i, line) in lines.enumerate() {
+        let line_no = i + 2;
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split(',').collect();
+        if parts.len() != 6 {
+            return Err(CsvError::Parse {
+                line: line_no,
+                reason: format!("expected 6 fields, got {}", parts.len()),
+            });
+        }
+        let parse_err = |field: &str, what: &str| CsvError::Parse {
+            line: line_no,
+            reason: format!("bad {what}: `{field}`"),
+        };
+        let machine = MachineId(
+            parts[0]
+                .trim()
+                .parse::<u32>()
+                .map_err(|_| parse_err(parts[0], "machine id"))?,
+        );
+        let benchmark = benchmark_from_label(parts[2].trim())
+            .ok_or_else(|| parse_err(parts[2], "benchmark label"))?;
+        let day: f64 = parts[3]
+            .trim()
+            .parse()
+            .map_err(|_| parse_err(parts[3], "day"))?;
+        let run: u32 = parts[4]
+            .trim()
+            .parse()
+            .map_err(|_| parse_err(parts[4], "run"))?;
+        let value: f64 = parts[5]
+            .trim()
+            .parse()
+            .map_err(|_| parse_err(parts[5], "value"))?;
+        if !value.is_finite() || !day.is_finite() {
+            return Err(parse_err(parts[5], "non-finite value"));
+        }
+        store.push(Record {
+            machine,
+            machine_type: parts[1].trim().to_string(),
+            benchmark,
+            day,
+            run,
+            value,
+        });
+    }
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::BenchmarkId;
+
+    fn sample_store() -> Store {
+        let mut s = Store::new();
+        s.push(Record {
+            machine: MachineId(0),
+            machine_type: "c220g1".to_string(),
+            benchmark: BenchmarkId::DiskSeqRead,
+            day: 1.5,
+            run: 0,
+            value: 171.25,
+        });
+        s.push(Record {
+            machine: MachineId(7),
+            machine_type: "m400".to_string(),
+            benchmark: BenchmarkId::NetLatency,
+            day: 2.0,
+            run: 3,
+            value: 28.5,
+        });
+        s
+    }
+
+    #[test]
+    fn csv_round_trips() {
+        let s = sample_store();
+        let mut buf = Vec::new();
+        write_csv(&s, &mut buf).unwrap();
+        let back = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn csv_output_is_readable() {
+        let mut buf = Vec::new();
+        write_csv(&sample_store(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("machine,machine_type,benchmark,day,run,value\n"));
+        assert!(text.contains("0,c220g1,disk-seq-read,1.5,0,171.25"));
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let e = read_csv("nope\n1,2,3,4,5,6\n".as_bytes()).unwrap_err();
+        assert!(matches!(e, CsvError::Parse { line: 1, .. }), "{e}");
+    }
+
+    #[test]
+    fn rejects_wrong_field_count_with_line_number() {
+        let text = "machine,machine_type,benchmark,day,run,value\n1,a,mem-copy,1,0\n";
+        let e = read_csv(text.as_bytes()).unwrap_err();
+        match e {
+            CsvError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_benchmark_and_bad_numbers() {
+        let base = "machine,machine_type,benchmark,day,run,value\n";
+        for row in [
+            "1,a,not-a-bench,1,0,5",
+            "x,a,mem-copy,1,0,5",
+            "1,a,mem-copy,z,0,5",
+            "1,a,mem-copy,1,z,5",
+            "1,a,mem-copy,1,0,NaN",
+        ] {
+            let text = format!("{base}{row}\n");
+            assert!(read_csv(text.as_bytes()).is_err(), "{row}");
+        }
+    }
+
+    #[test]
+    fn empty_lines_skipped() {
+        let text = "machine,machine_type,benchmark,day,run,value\n\n1,a,mem-copy,1,0,5\n\n";
+        let s = read_csv(text.as_bytes()).unwrap();
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,33 @@
+//! # dataset — measurement records, storage, and the campaign generator
+//!
+//! Holds the data side of the reproduction: [`Record`]s, the sliceable
+//! in-memory [`Store`] (filter by benchmark / type / machine / time,
+//! group by machine or type), CSV and JSON round-trips, and the
+//! [`campaign`](run_campaign) generator that recreates the paper's
+//! ten-month multi-machine data collection at any scale.
+//!
+//! ```
+//! use dataset::{run_campaign, CampaignConfig};
+//! use workloads::BenchmarkId;
+//!
+//! let (_cluster, store) = run_campaign(&CampaignConfig::quick(42));
+//! let disk = store.filter().benchmark(BenchmarkId::DiskSeqRead).group_by_machine();
+//! assert!(!disk.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod campaign;
+mod csv;
+mod outliers;
+mod record;
+mod store;
+mod summarize;
+
+pub use campaign::{collect, run_campaign, CampaignConfig};
+pub use csv::{read_csv, write_csv, CsvError};
+pub use outliers::{outlier_indices, outlier_sweep, Fence, OutlierReport};
+pub use record::{benchmark_from_label, Record};
+pub use store::{Query, Store};
+pub use summarize::{overview, summarize_groups, DatasetOverview, GroupSummary};

@@ -1,0 +1,223 @@
+//! Outlier flagging for measurement datasets.
+//!
+//! The paper's campaign had to cope with pathological runs (dying disks,
+//! mid-benchmark maintenance). Two standard robust fences are provided —
+//! Tukey's IQR fence and the MAD z-score — plus a dataset-level sweep
+//! that reports per-(machine, benchmark) outlier fractions, which is
+//! itself a health signal for a fleet.
+
+use serde::{Deserialize, Serialize};
+use varstats::descriptive::mad;
+use varstats::error::{check_finite, invalid, Result};
+use varstats::quantile::{median, quantile, QuantileMethod};
+use workloads::BenchmarkId;
+
+use crate::store::Store;
+
+/// Which fence to use.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Fence {
+    /// Tukey: outside `[q1 - k * IQR, q3 + k * IQR]` (classic `k = 1.5`).
+    Tukey {
+        /// IQR multiplier.
+        k: f64,
+    },
+    /// Robust z-score: `|x - median| / MAD > threshold` (typical 3.5).
+    MadZ {
+        /// Threshold on the robust z-score.
+        threshold: f64,
+    },
+}
+
+/// Returns the indices of outliers in `data` under `fence`.
+///
+/// A zero-spread dataset (IQR or MAD of 0) has no detectable outliers by
+/// these fences and returns an empty vector.
+///
+/// # Errors
+///
+/// Returns an error on invalid input or non-positive fence parameters.
+///
+/// # Examples
+///
+/// ```
+/// use dataset::{outlier_indices, Fence};
+///
+/// let mut runs: Vec<f64> = (0..20).map(|i| 10.0 + (i % 5) as f64 * 0.1).collect();
+/// runs.push(100.0);
+/// let out = outlier_indices(&runs, Fence::MadZ { threshold: 3.5 }).unwrap();
+/// assert_eq!(out, vec![20]);
+/// ```
+pub fn outlier_indices(data: &[f64], fence: Fence) -> Result<Vec<usize>> {
+    check_finite(data)?;
+    match fence {
+        Fence::Tukey { k } => {
+            if k <= 0.0 || !k.is_finite() {
+                return Err(invalid("k", format!("must be > 0, got {k}")));
+            }
+            let q1 = quantile(data, 0.25, QuantileMethod::Linear)?;
+            let q3 = quantile(data, 0.75, QuantileMethod::Linear)?;
+            let iqr = q3 - q1;
+            if iqr <= 0.0 {
+                return Ok(Vec::new());
+            }
+            let lo = q1 - k * iqr;
+            let hi = q3 + k * iqr;
+            Ok(data
+                .iter()
+                .enumerate()
+                .filter(|(_, &x)| x < lo || x > hi)
+                .map(|(i, _)| i)
+                .collect())
+        }
+        Fence::MadZ { threshold } => {
+            if threshold <= 0.0 || !threshold.is_finite() {
+                return Err(invalid(
+                    "threshold",
+                    format!("must be > 0, got {threshold}"),
+                ));
+            }
+            let med = median(data)?;
+            let m = mad(data)?;
+            if m <= 0.0 {
+                return Ok(Vec::new());
+            }
+            Ok(data
+                .iter()
+                .enumerate()
+                .filter(|(_, &x)| ((x - med) / m).abs() > threshold)
+                .map(|(i, _)| i)
+                .collect())
+        }
+    }
+}
+
+/// Per-(machine, benchmark) outlier fraction across a store.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OutlierReport {
+    /// Benchmark.
+    pub benchmark: BenchmarkId,
+    /// Number of sample sets inspected.
+    pub sets: usize,
+    /// Total measurements inspected.
+    pub measurements: usize,
+    /// Total outliers flagged.
+    pub outliers: usize,
+    /// The single worst set's outlier fraction.
+    pub worst_set_fraction: f64,
+}
+
+impl OutlierReport {
+    /// Overall outlier fraction.
+    pub fn fraction(&self) -> f64 {
+        if self.measurements == 0 {
+            0.0
+        } else {
+            self.outliers as f64 / self.measurements as f64
+        }
+    }
+}
+
+/// Sweeps the store and reports outlier fractions per benchmark.
+///
+/// # Errors
+///
+/// Propagates fence errors.
+pub fn outlier_sweep(store: &Store, fence: Fence) -> Result<Vec<OutlierReport>> {
+    store
+        .benchmarks()
+        .into_iter()
+        .map(|benchmark| {
+            let groups = store.filter().benchmark(benchmark).group_by_machine();
+            let mut sets = 0usize;
+            let mut measurements = 0usize;
+            let mut outliers = 0usize;
+            let mut worst: f64 = 0.0;
+            for values in groups.values() {
+                if values.len() < 8 {
+                    continue;
+                }
+                let flagged = outlier_indices(values, fence)?.len();
+                sets += 1;
+                measurements += values.len();
+                outliers += flagged;
+                worst = worst.max(flagged as f64 / values.len() as f64);
+            }
+            Ok(OutlierReport {
+                benchmark,
+                sets,
+                measurements,
+                outliers,
+                worst_set_fraction: worst,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run_campaign, CampaignConfig};
+
+    #[test]
+    fn tukey_flags_a_planted_outlier() {
+        let mut data: Vec<f64> = (0..40).map(|i| 100.0 + (i % 7) as f64).collect();
+        data.push(500.0);
+        let out = outlier_indices(&data, Fence::Tukey { k: 1.5 }).unwrap();
+        assert_eq!(out, vec![40]);
+    }
+
+    #[test]
+    fn clean_uniform_data_has_no_tukey_outliers() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert!(outlier_indices(&data, Fence::Tukey { k: 1.5 })
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn madz_is_robust_to_many_outliers() {
+        // 20% contamination: the MAD fence still sees the planted points.
+        let mut data = vec![10.0, 10.1, 10.2, 9.9, 9.8, 10.0, 10.1, 9.95];
+        data.extend([50.0, 55.0]);
+        let out = outlier_indices(&data, Fence::MadZ { threshold: 3.5 }).unwrap();
+        assert_eq!(out, vec![8, 9]);
+    }
+
+    #[test]
+    fn zero_spread_has_no_outliers() {
+        let data = vec![5.0; 30];
+        assert!(outlier_indices(&data, Fence::Tukey { k: 1.5 }).unwrap().is_empty());
+        assert!(outlier_indices(&data, Fence::MadZ { threshold: 3.5 })
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn sweep_orders_disk_above_network_bandwidth() {
+        let (_, store) = run_campaign(&CampaignConfig::quick(7));
+        let reports = outlier_sweep(&store, Fence::MadZ { threshold: 3.5 }).unwrap();
+        let frac = |b: BenchmarkId| {
+            reports
+                .iter()
+                .find(|r| r.benchmark == b)
+                .unwrap()
+                .fraction()
+        };
+        assert!(
+            frac(BenchmarkId::NetLatency) > frac(BenchmarkId::NetBandwidth),
+            "latency tail should out-flag throughput"
+        );
+        for r in &reports {
+            assert!(r.sets > 0);
+            assert!(r.worst_set_fraction <= 0.5);
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(outlier_indices(&[], Fence::Tukey { k: 1.5 }).is_err());
+        assert!(outlier_indices(&[1.0, 2.0], Fence::Tukey { k: 0.0 }).is_err());
+        assert!(outlier_indices(&[1.0, 2.0], Fence::MadZ { threshold: -1.0 }).is_err());
+    }
+}

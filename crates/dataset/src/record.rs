@@ -1,0 +1,56 @@
+//! Measurement records.
+
+use serde::{Deserialize, Serialize};
+use testbed::MachineId;
+use workloads::BenchmarkId;
+
+/// One measurement taken during a campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    /// The machine measured.
+    pub machine: MachineId,
+    /// The machine's type name.
+    pub machine_type: String,
+    /// The benchmark run.
+    pub benchmark: BenchmarkId,
+    /// Campaign day of the measurement.
+    pub day: f64,
+    /// Run index within the session.
+    pub run: u32,
+    /// Measured value (in the benchmark's unit).
+    pub value: f64,
+}
+
+/// Parses a benchmark id from its label (inverse of
+/// [`BenchmarkId::label`]).
+pub fn benchmark_from_label(label: &str) -> Option<BenchmarkId> {
+    BenchmarkId::ALL.into_iter().find(|b| b.label() == label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_round_trips() {
+        for b in BenchmarkId::ALL {
+            assert_eq!(benchmark_from_label(b.label()), Some(b));
+        }
+        assert_eq!(benchmark_from_label("nope"), None);
+    }
+
+    #[test]
+    fn record_serde_round_trip() {
+        let r = Record {
+            machine: MachineId(3),
+            machine_type: "c220g1".to_string(),
+            benchmark: BenchmarkId::DiskSeqRead,
+            day: 12.5,
+            run: 4,
+            value: 171.25,
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: Record = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

@@ -1,0 +1,329 @@
+//! In-memory measurement store with filtering and grouping.
+//!
+//! The paper's analysis slices one big dataset every which way — by
+//! benchmark, by machine type, by individual machine, by time window.
+//! [`Store`] holds the records and [`Query`] is the slicing API all
+//! experiment pipelines use.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use testbed::MachineId;
+use workloads::BenchmarkId;
+
+use crate::record::Record;
+
+/// An append-only collection of measurement records.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Store {
+    records: Vec<Record>,
+}
+
+impl Store {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one record.
+    pub fn push(&mut self, record: Record) {
+        self.records.push(record);
+    }
+
+    /// Appends many records.
+    pub fn extend(&mut self, records: impl IntoIterator<Item = Record>) {
+        self.records.extend(records);
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records in insertion order.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Merges another store's records into this one (append semantics;
+    /// use when combining campaigns or sites).
+    pub fn merge(&mut self, other: Store) {
+        self.records.extend(other.records);
+    }
+
+    /// Starts a filtered query.
+    pub fn filter(&self) -> Query<'_> {
+        Query {
+            store: self,
+            benchmark: None,
+            machine_type: None,
+            machine: None,
+            day_range: None,
+        }
+    }
+
+    /// Sorted unique machine ids present.
+    pub fn machines(&self) -> Vec<MachineId> {
+        let mut ids: Vec<MachineId> = self.records.iter().map(|r| r.machine).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Sorted unique machine-type names present.
+    pub fn machine_types(&self) -> Vec<String> {
+        let mut names: Vec<String> =
+            self.records.iter().map(|r| r.machine_type.clone()).collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+
+    /// Sorted unique benchmarks present.
+    pub fn benchmarks(&self) -> Vec<BenchmarkId> {
+        let mut bs: Vec<BenchmarkId> = self.records.iter().map(|r| r.benchmark).collect();
+        bs.sort_unstable();
+        bs.dedup();
+        bs
+    }
+}
+
+/// A lazily evaluated filter over a [`Store`].
+#[derive(Debug, Clone)]
+pub struct Query<'a> {
+    store: &'a Store,
+    benchmark: Option<BenchmarkId>,
+    machine_type: Option<String>,
+    machine: Option<MachineId>,
+    day_range: Option<(f64, f64)>,
+}
+
+impl<'a> Query<'a> {
+    /// Restricts to one benchmark.
+    pub fn benchmark(mut self, b: BenchmarkId) -> Self {
+        self.benchmark = Some(b);
+        self
+    }
+
+    /// Restricts to one machine type.
+    pub fn machine_type(mut self, t: &str) -> Self {
+        self.machine_type = Some(t.to_string());
+        self
+    }
+
+    /// Restricts to one machine.
+    pub fn machine(mut self, m: MachineId) -> Self {
+        self.machine = Some(m);
+        self
+    }
+
+    /// Restricts to days in `[from, to)`.
+    pub fn days(mut self, from: f64, to: f64) -> Self {
+        self.day_range = Some((from, to));
+        self
+    }
+
+    fn matches(&self, r: &Record) -> bool {
+        self.benchmark.map(|b| r.benchmark == b).unwrap_or(true)
+            && self
+                .machine_type
+                .as_ref()
+                .map(|t| &r.machine_type == t)
+                .unwrap_or(true)
+            && self.machine.map(|m| r.machine == m).unwrap_or(true)
+            && self
+                .day_range
+                .map(|(lo, hi)| r.day >= lo && r.day < hi)
+                .unwrap_or(true)
+    }
+
+    /// Matching records, in insertion order.
+    pub fn records(&self) -> Vec<&'a Record> {
+        self.store
+            .records
+            .iter()
+            .filter(|r| self.matches(r))
+            .collect()
+    }
+
+    /// Matching measurement values, in insertion order.
+    pub fn values(&self) -> Vec<f64> {
+        self.store
+            .records
+            .iter()
+            .filter(|r| self.matches(r))
+            .map(|r| r.value)
+            .collect()
+    }
+
+    /// Number of matching records.
+    pub fn count(&self) -> usize {
+        self.store.records.iter().filter(|r| self.matches(r)).count()
+    }
+
+    /// Groups matching values by machine.
+    pub fn group_by_machine(&self) -> BTreeMap<MachineId, Vec<f64>> {
+        let mut out: BTreeMap<MachineId, Vec<f64>> = BTreeMap::new();
+        for r in self.store.records.iter().filter(|r| self.matches(r)) {
+            out.entry(r.machine).or_default().push(r.value);
+        }
+        out
+    }
+
+    /// Groups matching values by machine type.
+    pub fn group_by_type(&self) -> BTreeMap<String, Vec<f64>> {
+        let mut out: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+        for r in self.store.records.iter().filter(|r| self.matches(r)) {
+            out.entry(r.machine_type.clone()).or_default().push(r.value);
+        }
+        out
+    }
+
+    /// Groups matching values by campaign day (session), ordered by day.
+    /// Day keys are bit-exact, which is safe because the campaign
+    /// generator schedules sessions at exact multiples of the interval.
+    pub fn group_by_day(&self) -> Vec<(f64, Vec<f64>)> {
+        let mut out: BTreeMap<u64, (f64, Vec<f64>)> = BTreeMap::new();
+        for r in self.store.records.iter().filter(|r| self.matches(r)) {
+            out.entry(r.day.to_bits())
+                .or_insert_with(|| (r.day, Vec::new()))
+                .1
+                .push(r.value);
+        }
+        out.into_values().collect()
+    }
+
+    /// The matching records as a `(day, value)` time series, ordered by
+    /// day then run index.
+    pub fn time_series(&self) -> Vec<(f64, f64)> {
+        let mut rs: Vec<&Record> = self.records();
+        rs.sort_by(|a, b| {
+            a.day
+                .partial_cmp(&b.day)
+                .expect("finite days")
+                .then(a.run.cmp(&b.run))
+                .then(a.machine.cmp(&b.machine))
+        });
+        rs.into_iter().map(|r| (r.day, r.value)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> Store {
+        let mut s = Store::new();
+        for (i, (ty, bench, day, value)) in [
+            ("a", BenchmarkId::MemCopy, 1.0, 10.0),
+            ("a", BenchmarkId::MemCopy, 2.0, 11.0),
+            ("a", BenchmarkId::DiskSeqRead, 1.0, 100.0),
+            ("b", BenchmarkId::MemCopy, 1.0, 20.0),
+            ("b", BenchmarkId::DiskSeqRead, 3.0, 200.0),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            s.push(Record {
+                machine: MachineId(i as u32 % 3),
+                machine_type: ty.to_string(),
+                benchmark: bench,
+                day,
+                run: i as u32,
+                value,
+            });
+        }
+        s
+    }
+
+    #[test]
+    fn unfiltered_query_returns_everything() {
+        let s = sample_store();
+        assert_eq!(s.filter().count(), 5);
+        assert_eq!(s.filter().values().len(), 5);
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn filters_compose() {
+        let s = sample_store();
+        let q = s.filter().benchmark(BenchmarkId::MemCopy).machine_type("a");
+        assert_eq!(q.values(), vec![10.0, 11.0]);
+        let q = s
+            .filter()
+            .benchmark(BenchmarkId::MemCopy)
+            .machine_type("a")
+            .days(1.5, 3.0);
+        assert_eq!(q.values(), vec![11.0]);
+        let q = s.filter().machine(MachineId(0));
+        assert_eq!(q.count(), 2);
+    }
+
+    #[test]
+    fn day_range_is_half_open() {
+        let s = sample_store();
+        assert_eq!(s.filter().days(1.0, 2.0).count(), 3);
+        assert_eq!(s.filter().days(1.0, 1.0).count(), 0);
+    }
+
+    #[test]
+    fn grouping_by_machine_and_type() {
+        let s = sample_store();
+        let by_machine = s.filter().benchmark(BenchmarkId::MemCopy).group_by_machine();
+        assert_eq!(by_machine.len(), 2);
+        let by_type = s.filter().group_by_type();
+        assert_eq!(by_type["a"].len(), 3);
+        assert_eq!(by_type["b"].len(), 2);
+    }
+
+    #[test]
+    fn unique_dimension_lists() {
+        let s = sample_store();
+        assert_eq!(s.machine_types(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(s.machines().len(), 3);
+        assert_eq!(
+            s.benchmarks(),
+            vec![BenchmarkId::MemCopy, BenchmarkId::DiskSeqRead]
+        );
+    }
+
+    #[test]
+    fn time_series_is_day_ordered() {
+        let s = sample_store();
+        let ts = s.filter().benchmark(BenchmarkId::DiskSeqRead).time_series();
+        assert_eq!(ts, vec![(1.0, 100.0), (3.0, 200.0)]);
+    }
+
+    #[test]
+    fn group_by_day_partitions_and_orders() {
+        let s = sample_store();
+        let by_day = s.filter().group_by_day();
+        let days: Vec<f64> = by_day.iter().map(|(d, _)| *d).collect();
+        assert_eq!(days, vec![1.0, 2.0, 3.0]);
+        let total: usize = by_day.iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(total, s.len());
+    }
+
+    #[test]
+    fn merge_appends_everything() {
+        let mut a = sample_store();
+        let b = sample_store();
+        let total = a.len() + b.len();
+        a.merge(b);
+        assert_eq!(a.len(), total);
+    }
+
+    #[test]
+    fn store_serde_round_trip() {
+        let s = sample_store();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Store = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,149 @@
+//! Dataset-level summaries.
+//!
+//! The campaign overview the paper's data section opens with: how many
+//! measurements, over how many machines and sessions, and the per-group
+//! descriptive statistics everything downstream starts from.
+
+use serde::{Deserialize, Serialize};
+use varstats::error::Result;
+use varstats::Summary;
+use workloads::BenchmarkId;
+
+use crate::store::Store;
+
+/// Overview counts of a campaign dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetOverview {
+    /// Total measurements.
+    pub measurements: usize,
+    /// Distinct machines.
+    pub machines: usize,
+    /// Distinct machine types.
+    pub machine_types: usize,
+    /// Distinct benchmarks.
+    pub benchmarks: usize,
+    /// First measurement day.
+    pub first_day: f64,
+    /// Last measurement day.
+    pub last_day: f64,
+    /// Measurements per benchmark, in [`Store::benchmarks`] order.
+    pub per_benchmark: Vec<(BenchmarkId, usize)>,
+}
+
+/// Builds the overview.
+pub fn overview(store: &Store) -> DatasetOverview {
+    let mut first_day = f64::INFINITY;
+    let mut last_day = f64::NEG_INFINITY;
+    for r in store.records() {
+        first_day = first_day.min(r.day);
+        last_day = last_day.max(r.day);
+    }
+    if store.is_empty() {
+        first_day = 0.0;
+        last_day = 0.0;
+    }
+    let per_benchmark = store
+        .benchmarks()
+        .into_iter()
+        .map(|b| (b, store.filter().benchmark(b).count()))
+        .collect();
+    DatasetOverview {
+        measurements: store.len(),
+        machines: store.machines().len(),
+        machine_types: store.machine_types().len(),
+        benchmarks: store.benchmarks().len(),
+        first_day,
+        last_day,
+        per_benchmark,
+    }
+}
+
+/// A per-(machine-type, benchmark) descriptive summary row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupSummary {
+    /// Machine type.
+    pub machine_type: String,
+    /// Benchmark.
+    pub benchmark: BenchmarkId,
+    /// Descriptive summary of all measurements in the group.
+    pub summary: Summary,
+}
+
+/// Summarizes every (type, benchmark) group with at least `min_samples`
+/// measurements.
+///
+/// # Errors
+///
+/// Propagates summary errors (cannot occur for non-empty groups).
+pub fn summarize_groups(store: &Store, min_samples: usize) -> Result<Vec<GroupSummary>> {
+    let mut out = Vec::new();
+    for machine_type in store.machine_types() {
+        for benchmark in store.benchmarks() {
+            let values = store
+                .filter()
+                .machine_type(&machine_type)
+                .benchmark(benchmark)
+                .values();
+            if values.len() < min_samples.max(1) {
+                continue;
+            }
+            out.push(GroupSummary {
+                machine_type: machine_type.clone(),
+                benchmark,
+                summary: Summary::from_slice(&values)?,
+            });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run_campaign, CampaignConfig};
+
+    #[test]
+    fn overview_counts_are_consistent() {
+        let config = CampaignConfig::quick(9);
+        let (_, store) = run_campaign(&config);
+        let o = overview(&store);
+        assert_eq!(o.measurements, store.len());
+        assert_eq!(o.machines, 30);
+        assert_eq!(o.machine_types, 10);
+        assert_eq!(o.benchmarks, 11);
+        assert_eq!(o.first_day, 0.0);
+        assert!(o.last_day >= 240.0);
+        let sum: usize = o.per_benchmark.iter().map(|(_, n)| n).sum();
+        assert_eq!(sum, o.measurements);
+    }
+
+    #[test]
+    fn group_summaries_cover_the_grid() {
+        let (_, store) = run_campaign(&CampaignConfig::quick(10));
+        let groups = summarize_groups(&store, 10).unwrap();
+        assert_eq!(groups.len(), 10 * 11);
+        for g in &groups {
+            assert!(g.summary.n >= 10);
+            assert!(g.summary.min <= g.summary.median);
+            assert!(g.summary.median <= g.summary.max);
+        }
+    }
+
+    #[test]
+    fn min_samples_filters_groups() {
+        let (_, store) = run_campaign(&CampaignConfig::quick(11));
+        let all = summarize_groups(&store, 1).unwrap();
+        let none = summarize_groups(&store, usize::MAX).unwrap();
+        assert!(!all.is_empty());
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn empty_store_overview() {
+        let store = Store::new();
+        let o = overview(&store);
+        assert_eq!(o.measurements, 0);
+        assert_eq!(o.first_day, 0.0);
+        assert_eq!(o.last_day, 0.0);
+    }
+}

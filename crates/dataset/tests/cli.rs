@@ -1,0 +1,42 @@
+//! Integration tests driving the `campaign` binary as a subprocess.
+
+use std::process::Command;
+
+fn campaign() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_campaign"))
+}
+
+#[test]
+fn default_run_prints_overview() {
+    let out = campaign().output().expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("16500 measurements"));
+    assert!(stdout.contains("mem-triad"));
+}
+
+#[test]
+fn csv_export_round_trips_through_the_library() {
+    let path = std::env::temp_dir().join(format!(
+        "campaign-cli-test-{}.csv",
+        std::process::id()
+    ));
+    let out = campaign()
+        .args(["--seed", "9", "--out", path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let file = std::fs::File::open(&path).unwrap();
+    let store = dataset::read_csv(file).unwrap();
+    assert_eq!(store.len(), 16500);
+    assert_eq!(store.machines().len(), 30);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn bad_arguments_fail_cleanly() {
+    for args in [vec!["--scale", "giant"], vec!["--seed", "x"], vec!["--bogus"]] {
+        let out = campaign().args(&args).output().expect("binary runs");
+        assert!(!out.status.success(), "{args:?} should fail");
+    }
+}

@@ -1,0 +1,245 @@
+//! Group-comparison tests on means and variances.
+//!
+//! The cross-machine analyses need more than pairwise tools: one-way
+//! ANOVA (do `k` groups share a mean?), Welch's t (two groups, unequal
+//! variances — the honest parametric two-sample test), and
+//! **Brown–Forsythe** (do `k` groups share a *variance*? — the
+//! median-centered Levene test, robust to the non-normality this field
+//! guarantees). Brown–Forsythe is what turns "machine variability
+//! differs" from an impression into a test.
+
+use crate::descriptive::Moments;
+use crate::error::{check_finite, invalid, Result, StatsError};
+use crate::normality::TestResult;
+use crate::quantile::median;
+use crate::special::{f_cdf, student_t_cdf};
+
+fn validate_groups(groups: &[&[f64]], min_per_group: usize) -> Result<()> {
+    if groups.len() < 2 {
+        return Err(invalid("groups", "need at least 2 groups"));
+    }
+    for g in groups {
+        check_finite(g)?;
+        if g.len() < min_per_group {
+            return Err(StatsError::TooFewSamples {
+                needed: min_per_group,
+                got: g.len(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// One-way ANOVA F test on the raw values of `k` groups.
+///
+/// # Errors
+///
+/// Returns an error with fewer than 2 groups, any group smaller than 3,
+/// invalid values, or zero within-group variance.
+pub fn one_way_anova(groups: &[&[f64]]) -> Result<TestResult> {
+    validate_groups(groups, 3)?;
+    anova_f(groups)
+}
+
+/// The core F computation shared by ANOVA and Brown–Forsythe.
+fn anova_f(groups: &[&[f64]]) -> Result<TestResult> {
+    let k = groups.len() as f64;
+    let n_total: usize = groups.iter().map(|g| g.len()).sum();
+    let n = n_total as f64;
+    let grand_mean = groups
+        .iter()
+        .flat_map(|g| g.iter())
+        .sum::<f64>()
+        / n;
+    let mut between = 0.0;
+    let mut within = 0.0;
+    for g in groups {
+        let m: Moments = g.iter().copied().collect();
+        let d = m.mean() - grand_mean;
+        between += g.len() as f64 * d * d;
+        within += g
+            .iter()
+            .map(|x| (x - m.mean()) * (x - m.mean()))
+            .sum::<f64>();
+    }
+    let df1 = k - 1.0;
+    let df2 = n - k;
+    if within <= 0.0 || df2 <= 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    let f = (between / df1) / (within / df2);
+    let p = 1.0 - f_cdf(f, df1, df2)?;
+    Ok(TestResult {
+        statistic: f,
+        p_value: p.clamp(0.0, 1.0),
+    })
+}
+
+/// Brown–Forsythe test of variance homogeneity: one-way ANOVA on the
+/// absolute deviations from each group's **median**.
+///
+/// Small p-values mean the groups' spreads genuinely differ — e.g.
+/// nominally identical machines with different run-to-run noise.
+///
+/// # Errors
+///
+/// Same as [`one_way_anova`], plus zero variance of the deviations.
+///
+/// # Examples
+///
+/// ```
+/// use varstats::anova::brown_forsythe;
+///
+/// let tight: Vec<f64> = (0..40).map(|i| 100.0 + (i % 5) as f64 * 0.1).collect();
+/// let wide: Vec<f64> = (0..40).map(|i| 100.0 + (i % 5) as f64 * 5.0).collect();
+/// let r = brown_forsythe(&[&tight, &wide]).unwrap();
+/// assert!(r.p_value < 0.001);
+/// ```
+pub fn brown_forsythe(groups: &[&[f64]]) -> Result<TestResult> {
+    validate_groups(groups, 3)?;
+    let deviations: Vec<Vec<f64>> = groups
+        .iter()
+        .map(|g| {
+            let med = median(g)?;
+            Ok(g.iter().map(|x| (x - med).abs()).collect())
+        })
+        .collect::<Result<_>>()?;
+    let refs: Vec<&[f64]> = deviations.iter().map(|d| d.as_slice()).collect();
+    anova_f(&refs)
+}
+
+/// Welch's two-sample t test (unequal variances, two-sided) on the means.
+///
+/// # Errors
+///
+/// Returns an error on invalid input, fewer than 5 samples per side, or
+/// zero variance in both groups.
+///
+/// # Examples
+///
+/// ```
+/// use varstats::anova::welch_t;
+///
+/// let a: Vec<f64> = (0..20).map(|i| 10.0 + (i % 4) as f64).collect();
+/// let b: Vec<f64> = (0..20).map(|i| 20.0 + (i % 4) as f64).collect();
+/// let r = welch_t(&a, &b).unwrap();
+/// assert!(r.p_value < 1e-6);
+/// ```
+pub fn welch_t(a: &[f64], b: &[f64]) -> Result<TestResult> {
+    check_finite(a)?;
+    check_finite(b)?;
+    if a.len() < 5 || b.len() < 5 {
+        return Err(StatsError::TooFewSamples {
+            needed: 5,
+            got: a.len().min(b.len()),
+        });
+    }
+    let ma: Moments = a.iter().copied().collect();
+    let mb: Moments = b.iter().copied().collect();
+    let va = ma.sample_variance() / a.len() as f64;
+    let vb = mb.sample_variance() / b.len() as f64;
+    let se2 = va + vb;
+    if se2 <= 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    let t = (ma.mean() - mb.mean()) / se2.sqrt();
+    // Welch–Satterthwaite degrees of freedom.
+    let df = se2 * se2
+        / (va * va / (a.len() as f64 - 1.0) + vb * vb / (b.len() as f64 - 1.0));
+    let p = 2.0 * (1.0 - student_t_cdf(t.abs(), df)?);
+    Ok(TestResult {
+        statistic: t,
+        p_value: p.clamp(0.0, 1.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn splitmix(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed;
+        move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            ((z >> 11) as f64) / ((1u64 << 53) as f64)
+        }
+    }
+
+    #[test]
+    fn anova_accepts_identical_groups() {
+        let mut u = splitmix(1);
+        let groups: Vec<Vec<f64>> = (0..3).map(|_| (0..40).map(|_| u()).collect()).collect();
+        let refs: Vec<&[f64]> = groups.iter().map(|g| g.as_slice()).collect();
+        let r = one_way_anova(&refs).unwrap();
+        assert!(r.p_value > 0.01, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn anova_rejects_shifted_group() {
+        let mut u = splitmix(2);
+        let g1: Vec<f64> = (0..40).map(|_| u()).collect();
+        let g2: Vec<f64> = (0..40).map(|_| u()).collect();
+        let g3: Vec<f64> = (0..40).map(|_| u() + 1.0).collect();
+        let r = one_way_anova(&[&g1, &g2, &g3]).unwrap();
+        assert!(r.p_value < 1e-6, "p={}", r.p_value);
+        assert!(r.statistic > 10.0);
+    }
+
+    #[test]
+    fn brown_forsythe_accepts_equal_spreads() {
+        let mut u = splitmix(3);
+        let g1: Vec<f64> = (0..50).map(|_| u()).collect();
+        let g2: Vec<f64> = (0..50).map(|_| 100.0 + u()).collect(); // shifted, same spread
+        let r = brown_forsythe(&[&g1, &g2]).unwrap();
+        assert!(r.p_value > 0.05, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn brown_forsythe_rejects_unequal_spreads() {
+        let mut u = splitmix(4);
+        let tight: Vec<f64> = (0..50).map(|_| u() * 0.1).collect();
+        let wide: Vec<f64> = (0..50).map(|_| u() * 10.0).collect();
+        let r = brown_forsythe(&[&tight, &wide]).unwrap();
+        assert!(r.p_value < 1e-6, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn brown_forsythe_is_location_insensitive() {
+        // The whole point of median centering: a shifted copy does not
+        // trigger the variance test.
+        let mut u = splitmix(5);
+        let base: Vec<f64> = (0..60).map(|_| u()).collect();
+        let shifted: Vec<f64> = base.iter().map(|x| x + 1000.0).collect();
+        let r = brown_forsythe(&[&base, &shifted]).unwrap();
+        assert!(r.p_value > 0.5, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn welch_t_behaviour() {
+        let mut u = splitmix(6);
+        let a: Vec<f64> = (0..30).map(|_| 10.0 + u()).collect();
+        let same: Vec<f64> = (0..30).map(|_| 10.0 + u()).collect();
+        let shifted: Vec<f64> = (0..30).map(|_| 11.0 + u() * 3.0).collect();
+        assert!(welch_t(&a, &same).unwrap().p_value > 0.01);
+        assert!(welch_t(&a, &shifted).unwrap().p_value < 0.001);
+        // Symmetry of the two-sided p.
+        let p1 = welch_t(&a, &shifted).unwrap().p_value;
+        let p2 = welch_t(&shifted, &a).unwrap().p_value;
+        assert!((p1 - p2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        let g: Vec<f64> = (0..10).map(f64::from).collect();
+        assert!(one_way_anova(&[&g]).is_err());
+        assert!(one_way_anova(&[&g, &[1.0, 2.0]]).is_err());
+        let same = [5.0; 10];
+        assert!(one_way_anova(&[&same, &same]).is_err());
+        assert!(welch_t(&g, &[1.0]).is_err());
+        assert!(welch_t(&same, &same).is_err());
+    }
+}

@@ -1,0 +1,425 @@
+//! Non-parametric (order-statistic) confidence intervals for quantiles.
+//!
+//! These intervals make no distributional assumption: the CI for the
+//! `q`-quantile is a pair of order statistics `[x_(l), x_(u)]` whose ranks
+//! are chosen so the binomial probability that the true quantile lies
+//! between them meets the confidence level. Two variants are provided:
+//!
+//! * [`quantile_ci_exact`] — exact binomial ranks (recommended; achieved
+//!   coverage is reported because it is discrete and ≥ nominal).
+//! * [`median_ci_approx`] / [`quantile_ci_approx`] — the normal
+//!   approximation to the binomial. For the median this is exactly the
+//!   formula the paper (and Le Boudec's textbook) prints:
+//!   `lower = floor((n - z*sqrt(n)) / 2)`,
+//!   `upper = ceil(1 + (n + z*sqrt(n)) / 2)` (1-based ranks).
+
+use serde::{Deserialize, Serialize};
+
+use crate::ci::{check_confidence, ConfidenceInterval};
+use crate::error::{check_finite, invalid, Result, StatsError};
+use crate::quantile::{quantile_sorted, QuantileMethod};
+use crate::special::{binomial_cdf, normal_quantile};
+
+/// A quantile confidence interval with its order-statistic ranks and the
+/// coverage actually achieved (exact method only; the approximation reports
+/// the nominal level).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantileCi {
+    /// The interval itself.
+    pub ci: ConfidenceInterval,
+    /// 1-based rank of the lower order statistic.
+    pub lower_rank: usize,
+    /// 1-based rank of the upper order statistic.
+    pub upper_rank: usize,
+    /// Coverage probability actually achieved by the chosen ranks.
+    pub achieved_confidence: f64,
+}
+
+fn sort_copy(data: &[f64]) -> Result<Vec<f64>> {
+    check_finite(data)?;
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("validated finite"));
+    Ok(sorted)
+}
+
+fn check_q(q: f64) -> Result<()> {
+    if !(q > 0.0 && q < 1.0) {
+        return Err(invalid("q", format!("must be in (0, 1), got {q}")));
+    }
+    Ok(())
+}
+
+/// Exact order-statistic confidence interval for the `q`-quantile.
+///
+/// Ranks are the equal-tailed binomial choice: the largest `l` with
+/// `P(B <= l - 1) <= alpha/2` and the smallest `u` with
+/// `P(B <= u - 1) >= 1 - alpha/2`, for `B ~ Binomial(n, q)`. The achieved
+/// coverage `P(l <= B < u)` is reported and is always `>=` the nominal
+/// level when the ranks exist; when `n` is too small for the requested
+/// level the interval degrades to `[min, max]` and the achieved coverage
+/// reported may be below nominal.
+///
+/// # Errors
+///
+/// Returns an error on invalid input, `q` outside `(0, 1)`, an invalid
+/// confidence level, or fewer than 3 samples.
+///
+/// # Examples
+///
+/// ```
+/// use varstats::ci::nonparametric::quantile_ci_exact;
+///
+/// let data: Vec<f64> = (1..=100).map(f64::from).collect();
+/// let r = quantile_ci_exact(&data, 0.5, 0.95).unwrap();
+/// assert_eq!((r.lower_rank, r.upper_rank), (40, 61));
+/// assert!(r.ci.contains(50.5));
+/// assert!(r.achieved_confidence >= 0.95);
+/// ```
+pub fn quantile_ci_exact(data: &[f64], q: f64, confidence: f64) -> Result<QuantileCi> {
+    check_q(q)?;
+    check_confidence(confidence)?;
+    let sorted = sort_copy(data)?;
+    let n = sorted.len();
+    if n < 3 {
+        return Err(StatsError::TooFewSamples { needed: 3, got: n });
+    }
+    let alpha = 1.0 - confidence;
+    let n_u = n as u64;
+
+    // Largest l in [1, n] with P(B <= l-1) <= alpha/2.
+    let mut lower_rank = 1usize;
+    for l in (1..=n).rev() {
+        if binomial_cdf(l as i64 - 1, n_u, q)? <= alpha / 2.0 {
+            lower_rank = l;
+            break;
+        }
+    }
+    // Smallest u in [1, n] with P(B <= u-1) >= 1 - alpha/2.
+    let mut upper_rank = n;
+    for u in 1..=n {
+        if binomial_cdf(u as i64 - 1, n_u, q)? >= 1.0 - alpha / 2.0 {
+            upper_rank = u;
+            break;
+        }
+    }
+    if upper_rank < lower_rank {
+        (lower_rank, upper_rank) = (1, n);
+    }
+    let achieved = binomial_cdf(upper_rank as i64 - 1, n_u, q)?
+        - binomial_cdf(lower_rank as i64 - 1, n_u, q)?;
+    let estimate = quantile_sorted(&sorted, q, QuantileMethod::Linear)?;
+    Ok(QuantileCi {
+        ci: ConfidenceInterval {
+            estimate,
+            lower: sorted[lower_rank - 1],
+            upper: sorted[upper_rank - 1],
+            confidence,
+        },
+        lower_rank,
+        upper_rank,
+        achieved_confidence: achieved,
+    })
+}
+
+/// Normal-approximation order-statistic CI for an arbitrary quantile.
+///
+/// Ranks: `l = floor(n q - z sqrt(n q (1-q)))` and
+/// `u = 1 + ceil(n q + z sqrt(n q (1-q)))`, clamped to `[1, n]`. For
+/// `q = 0.5` this is exactly the paper's median formula.
+///
+/// # Errors
+///
+/// Returns an error on invalid input, `q` outside `(0, 1)`, an invalid
+/// confidence level, or fewer than 3 samples.
+pub fn quantile_ci_approx(data: &[f64], q: f64, confidence: f64) -> Result<QuantileCi> {
+    check_q(q)?;
+    check_confidence(confidence)?;
+    let sorted = sort_copy(data)?;
+    let n = sorted.len();
+    if n < 3 {
+        return Err(StatsError::TooFewSamples { needed: 3, got: n });
+    }
+    let z = normal_quantile(0.5 + confidence / 2.0)?;
+    let nf = n as f64;
+    let center = nf * q;
+    let spread = z * (nf * q * (1.0 - q)).sqrt();
+    let lower_rank = ((center - spread).floor() as i64).clamp(1, n as i64) as usize;
+    let upper_rank = ((1.0 + (center + spread).ceil()) as i64).clamp(1, n as i64) as usize;
+    let estimate = quantile_sorted(&sorted, q, QuantileMethod::Linear)?;
+    Ok(QuantileCi {
+        ci: ConfidenceInterval {
+            estimate,
+            lower: sorted[lower_rank - 1],
+            upper: sorted[upper_rank - 1],
+            confidence,
+        },
+        lower_rank,
+        upper_rank,
+        achieved_confidence: confidence,
+    })
+}
+
+/// The paper's median confidence interval (normal approximation):
+/// `lower = floor((n - z sqrt(n)) / 2)`, `upper = ceil(1 + (n + z sqrt(n)) / 2)`.
+///
+/// # Errors
+///
+/// Returns an error on invalid input, an invalid confidence level, or fewer
+/// than 3 samples.
+///
+/// # Examples
+///
+/// ```
+/// use varstats::ci::nonparametric::median_ci_approx;
+///
+/// let data: Vec<f64> = (1..=50).map(f64::from).collect();
+/// let r = median_ci_approx(&data, 0.95).unwrap();
+/// assert!(r.ci.contains(25.5));
+/// ```
+pub fn median_ci_approx(data: &[f64], confidence: f64) -> Result<QuantileCi> {
+    quantile_ci_approx(data, 0.5, confidence)
+}
+
+/// Exact median confidence interval (binomial order-statistic ranks).
+///
+/// # Errors
+///
+/// Same as [`quantile_ci_exact`].
+pub fn median_ci_exact(data: &[f64], confidence: f64) -> Result<QuantileCi> {
+    quantile_ci_exact(data, 0.5, confidence)
+}
+
+/// Distribution-free **prediction interval** for the next measurement:
+/// `[x_(l), x_(u)]` with `l = floor((n+1) * alpha/2)` and
+/// `u = ceil((n+1) * (1 - alpha/2))` — the interval a future observation
+/// falls into with the stated probability, assuming exchangeability.
+///
+/// Prediction intervals answer a different question than CIs: not "where
+/// is the median" but "what will the next run look like" — the right
+/// object for SLO-style statements.
+///
+/// # Errors
+///
+/// Returns an error on invalid input, an invalid confidence level, or a
+/// sample too small to support the level (`n + 1 < 2 / alpha`).
+///
+/// # Examples
+///
+/// ```
+/// use varstats::ci::nonparametric::prediction_interval;
+///
+/// let runs: Vec<f64> = (1..=99).map(f64::from).collect();
+/// let pi = prediction_interval(&runs, 0.90).unwrap();
+/// assert!(pi.lower <= 5.0 && pi.upper >= 95.0);
+/// ```
+pub fn prediction_interval(data: &[f64], confidence: f64) -> Result<ConfidenceInterval> {
+    check_confidence(confidence)?;
+    let sorted = sort_copy(data)?;
+    let n = sorted.len();
+    let alpha = 1.0 - confidence;
+    // Need (n+1) * alpha/2 >= 1 for both tails to exist.
+    if ((n + 1) as f64) * alpha / 2.0 < 1.0 {
+        return Err(StatsError::TooFewSamples {
+            needed: (2.0 / alpha).ceil() as usize,
+            got: n,
+        });
+    }
+    let l = (((n + 1) as f64) * alpha / 2.0).floor() as usize;
+    let u = (((n + 1) as f64) * (1.0 - alpha / 2.0)).ceil() as usize;
+    let lower_rank = l.clamp(1, n);
+    let upper_rank = u.clamp(1, n);
+    let estimate = quantile_sorted(&sorted, 0.5, QuantileMethod::Linear)?;
+    Ok(ConfidenceInterval {
+        estimate,
+        lower: sorted[lower_rank - 1],
+        upper: sorted[upper_rank - 1],
+        confidence,
+    })
+}
+
+/// Minimum sample size for which an exact two-sided order-statistic CI of
+/// the `q`-quantile at `confidence` exists at all (i.e. `[x_(1), x_(n)]`
+/// reaches the level).
+///
+/// Useful to explain why CONFIRM refuses subsets smaller than ~10 for the
+/// median at 95%.
+///
+/// # Errors
+///
+/// Returns an error for invalid `q` or confidence.
+pub fn min_samples_for_quantile_ci(q: f64, confidence: f64) -> Result<usize> {
+    check_q(q)?;
+    check_confidence(confidence)?;
+    // Coverage of [x_(1), x_(n)] is 1 - q^n - (1-q)^n; find smallest n
+    // reaching the level.
+    for n in 2..100_000usize {
+        let cover = 1.0 - q.powi(n as i32) - (1.0 - q).powi(n as i32);
+        if cover >= confidence {
+            return Ok(n);
+        }
+    }
+    Err(StatsError::NoConvergence {
+        routine: "min_samples_for_quantile_ci",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_median_formula_ranks_n100() {
+        // n = 100, z = 1.96: lower = floor((100 - 19.6)/2) = 40,
+        // upper = ceil(1 + 119.6/2) = 61.
+        let data: Vec<f64> = (1..=100).map(f64::from).collect();
+        let r = median_ci_approx(&data, 0.95).unwrap();
+        assert_eq!(r.lower_rank, 40);
+        assert_eq!(r.upper_rank, 61);
+        assert_eq!(r.ci.lower, 40.0);
+        assert_eq!(r.ci.upper, 61.0);
+        assert_eq!(r.ci.estimate, 50.5);
+    }
+
+    #[test]
+    fn exact_and_approx_agree_for_moderate_n() {
+        let data: Vec<f64> = (1..=100).map(f64::from).collect();
+        let exact = median_ci_exact(&data, 0.95).unwrap();
+        let approx = median_ci_approx(&data, 0.95).unwrap();
+        assert_eq!(exact.lower_rank, 40);
+        assert_eq!(exact.upper_rank, 61);
+        assert!(exact.achieved_confidence >= 0.95);
+        assert!((exact.lower_rank as i64 - approx.lower_rank as i64).abs() <= 1);
+        assert!((exact.upper_rank as i64 - approx.upper_rank as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn median_always_inside_its_ci() {
+        // The sample median must lie within the CI bounds (paper's sanity
+        // criterion).
+        for n in [5usize, 10, 23, 50, 101, 500] {
+            let data: Vec<f64> = (0..n).map(|i| ((i * 37) % n) as f64).collect();
+            for f in [median_ci_exact, median_ci_approx] {
+                let r = f(&data, 0.95).unwrap();
+                assert!(
+                    r.ci.contains(r.ci.estimate),
+                    "n={n}: median {} outside [{}, {}]",
+                    r.ci.estimate,
+                    r.ci.lower,
+                    r.ci.upper
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_tail_quantile_needs_more_data() {
+        // With n = 20 a two-sided 95% CI for p99 cannot exist.
+        let n99 = min_samples_for_quantile_ci(0.99, 0.95).unwrap();
+        let n50 = min_samples_for_quantile_ci(0.5, 0.95).unwrap();
+        assert!(n99 > 250, "p99 needs hundreds of samples, got {n99}");
+        assert!(n50 <= 10, "median needs few samples, got {n50}");
+    }
+
+    #[test]
+    fn min_samples_median_95_is_six() {
+        // 1 - 2 * 0.5^n >= 0.95 first holds at n = 6 (coverage 0.96875).
+        assert_eq!(min_samples_for_quantile_ci(0.5, 0.95).unwrap(), 6);
+    }
+
+    #[test]
+    fn ranks_widen_with_confidence() {
+        let data: Vec<f64> = (1..=200).map(f64::from).collect();
+        let c90 = median_ci_exact(&data, 0.90).unwrap();
+        let c99 = median_ci_exact(&data, 0.99).unwrap();
+        assert!(c99.lower_rank <= c90.lower_rank);
+        assert!(c99.upper_rank >= c90.upper_rank);
+        assert!(c99.ci.width() >= c90.ci.width());
+    }
+
+    #[test]
+    fn small_samples_are_rejected() {
+        assert!(median_ci_exact(&[1.0, 2.0], 0.95).is_err());
+        assert!(median_ci_approx(&[1.0], 0.95).is_err());
+    }
+
+    #[test]
+    fn works_on_unsorted_input() {
+        let data = [5.0, 1.0, 4.0, 2.0, 3.0, 9.0, 7.0, 8.0, 6.0, 10.0];
+        let r = median_ci_exact(&data, 0.95).unwrap();
+        assert!(r.ci.lower <= r.ci.estimate && r.ci.estimate <= r.ci.upper);
+        assert!(r.ci.lower >= 1.0 && r.ci.upper <= 10.0);
+    }
+
+    #[test]
+    fn exact_coverage_is_empirically_correct() {
+        // Draw many samples from a known distribution and count how often
+        // the exact CI covers the true median. Uses a deterministic LCG.
+        let mut state = 42u64;
+        let mut uniform = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        let true_median = 1.0f64; // Exponential(1) has median ln 2 / lambda; use uniform instead.
+        let _ = true_median;
+        let mut hits = 0;
+        let trials = 300;
+        for _ in 0..trials {
+            // Uniform(0, 2): true median = 1.
+            let data: Vec<f64> = (0..25).map(|_| uniform() * 2.0).collect();
+            let r = quantile_ci_exact(&data, 0.5, 0.95).unwrap();
+            if r.ci.contains(1.0) {
+                hits += 1;
+            }
+        }
+        let coverage = hits as f64 / trials as f64;
+        assert!(coverage >= 0.92, "coverage {coverage} below nominal");
+    }
+
+    #[test]
+    fn prediction_interval_covers_future_draws() {
+        // Empirical: build the interval from n draws, then check the
+        // fraction of fresh draws it contains.
+        let mut state = 77u64;
+        let mut uniform = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        let train: Vec<f64> = (0..200).map(|_| uniform()).collect();
+        let pi = prediction_interval(&train, 0.90).unwrap();
+        let hits = (0..2000)
+            .filter(|_| {
+                let x = uniform();
+                pi.contains(x)
+            })
+            .count();
+        let coverage = hits as f64 / 2000.0;
+        assert!((0.85..0.96).contains(&coverage), "coverage {coverage}");
+    }
+
+    #[test]
+    fn prediction_interval_is_wider_than_median_ci() {
+        let data: Vec<f64> = (1..=200).map(f64::from).collect();
+        let pi = prediction_interval(&data, 0.95).unwrap();
+        let ci = median_ci_exact(&data, 0.95).unwrap();
+        assert!(pi.width() > ci.ci.width());
+    }
+
+    #[test]
+    fn prediction_interval_needs_enough_data() {
+        let small: Vec<f64> = (1..=10).map(f64::from).collect();
+        assert!(prediction_interval(&small, 0.95).is_err());
+        assert!(prediction_interval(&small, 0.80).is_ok());
+    }
+
+    #[test]
+    fn p95_ci_upper_rank_near_tail() {
+        let data: Vec<f64> = (1..=1000).map(f64::from).collect();
+        let r = quantile_ci_exact(&data, 0.95, 0.95).unwrap();
+        assert!(r.lower_rank > 900 && r.upper_rank <= 1000);
+        assert!(r.ci.contains(r.ci.estimate));
+    }
+}

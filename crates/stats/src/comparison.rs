@@ -1,0 +1,395 @@
+//! Two-sample comparison: "is configuration A actually faster than B?"
+//!
+//! The paper's decision rule is CI non-overlap on the medians; this module
+//! implements that rule plus the Mann–Whitney U test and Cliff's delta
+//! effect size as distribution-free corroboration. These are the tools an
+//! experimenter needs to avoid publishing a speedup that is really noise.
+
+use serde::{Deserialize, Serialize};
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::ci::nonparametric::median_ci_exact;
+use crate::ci::ConfidenceInterval;
+use crate::error::{check_finite, Result, StatsError};
+use crate::normality::TestResult;
+use crate::special::normal_cdf;
+
+/// Verdict of a median comparison via CI overlap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// A's CI lies entirely below B's: A is smaller (faster, if lower is
+    /// better).
+    ALower,
+    /// B's CI lies entirely below A's.
+    BLower,
+    /// The CIs overlap: no conclusion at this confidence level.
+    Indistinguishable,
+}
+
+/// Full result of comparing two sample sets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    /// Median CI of the first sample.
+    pub ci_a: ConfidenceInterval,
+    /// Median CI of the second sample.
+    pub ci_b: ConfidenceInterval,
+    /// CI-overlap verdict.
+    pub verdict: Verdict,
+    /// Relative median difference `(median_b - median_a) / median_a`.
+    pub relative_difference: f64,
+    /// Mann–Whitney two-sided test result.
+    pub mann_whitney: TestResult,
+    /// Cliff's delta effect size in `[-1, 1]` (positive: B tends larger).
+    pub cliffs_delta: f64,
+}
+
+/// Mann–Whitney U test (two-sided, normal approximation with tie
+/// correction and continuity correction).
+///
+/// The statistic reported is `U` for the first sample; the p-value tests
+/// the null that the two distributions are identical against a location
+/// shift.
+///
+/// # Errors
+///
+/// Returns an error on invalid input or fewer than 5 samples per side.
+///
+/// # Examples
+///
+/// ```
+/// use varstats::comparison::mann_whitney_u;
+///
+/// let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+/// let b = [10.0, 11.0, 12.0, 13.0, 14.0, 15.0];
+/// let r = mann_whitney_u(&a, &b).unwrap();
+/// assert!(r.p_value < 0.01);
+/// ```
+pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> Result<TestResult> {
+    check_finite(a)?;
+    check_finite(b)?;
+    let (n1, n2) = (a.len(), b.len());
+    if n1 < 5 || n2 < 5 {
+        return Err(StatsError::TooFewSamples {
+            needed: 5,
+            got: n1.min(n2),
+        });
+    }
+    // Rank the pooled sample with mid-ranks for ties.
+    let mut pooled: Vec<(f64, usize)> = a
+        .iter()
+        .map(|&x| (x, 0usize))
+        .chain(b.iter().map(|&x| (x, 1usize)))
+        .collect();
+    pooled.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("validated finite"));
+    let n = pooled.len();
+    let mut rank_sum_a = 0.0f64;
+    let mut tie_correction = 0.0f64;
+    let mut i = 0usize;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && pooled[j + 1].0 == pooled[i].0 {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        let ties = (j - i + 1) as f64;
+        if ties > 1.0 {
+            tie_correction += ties * ties * ties - ties;
+        }
+        for item in &pooled[i..=j] {
+            if item.1 == 0 {
+                rank_sum_a += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let n1f = n1 as f64;
+    let n2f = n2 as f64;
+    let u_a = rank_sum_a - n1f * (n1f + 1.0) / 2.0;
+    let mean_u = n1f * n2f / 2.0;
+    let nf = n as f64;
+    let var_u = n1f * n2f / 12.0 * ((nf + 1.0) - tie_correction / (nf * (nf - 1.0)));
+    if var_u <= 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    // Continuity correction toward the mean.
+    let diff = u_a - mean_u;
+    let corrected = if diff > 0.5 {
+        diff - 0.5
+    } else if diff < -0.5 {
+        diff + 0.5
+    } else {
+        0.0
+    };
+    let z = corrected / var_u.sqrt();
+    let p = 2.0 * (1.0 - normal_cdf(z.abs()));
+    Ok(TestResult {
+        statistic: u_a,
+        p_value: p.clamp(0.0, 1.0),
+    })
+}
+
+/// Cliff's delta effect size: `P(a < b) - P(a > b)`, in `[-1, 1]`.
+///
+/// # Errors
+///
+/// Returns an error on invalid input.
+pub fn cliffs_delta(a: &[f64], b: &[f64]) -> Result<f64> {
+    check_finite(a)?;
+    check_finite(b)?;
+    // O(n log n) via sorting b and binary search.
+    let mut sorted_b = b.to_vec();
+    sorted_b.sort_by(|x, y| x.partial_cmp(y).expect("validated finite"));
+    let mut wins = 0i64;
+    let mut losses = 0i64;
+    for &x in a {
+        let below = sorted_b.partition_point(|&v| v < x) as i64;
+        let below_or_eq = sorted_b.partition_point(|&v| v <= x) as i64;
+        wins += below; // b values smaller than x: a > b.
+        losses += sorted_b.len() as i64 - below_or_eq; // b values larger.
+    }
+    let total = (a.len() * b.len()) as f64;
+    Ok((losses - wins) as f64 / total)
+}
+
+/// Bootstrap percentile confidence interval for the **speedup ratio**
+/// `median(a) / median(b)` — the number evaluations actually quote.
+///
+/// Resamples both groups independently; deterministic under `seed`.
+///
+/// # Errors
+///
+/// Returns an error on invalid inputs, fewer than 5 samples per side,
+/// fewer than 100 resamples, an invalid confidence level, or a zero
+/// median in `b`.
+///
+/// # Examples
+///
+/// ```
+/// use varstats::comparison::speedup_ci;
+///
+/// let slow: Vec<f64> = (0..30).map(|i| 200.0 + (i % 5) as f64).collect();
+/// let fast: Vec<f64> = (0..30).map(|i| 100.0 + (i % 5) as f64).collect();
+/// let ci = speedup_ci(&slow, &fast, 0.95, 500, 7).unwrap();
+/// // slow/fast is about 2x.
+/// assert!(ci.lower > 1.8 && ci.upper < 2.2);
+/// ```
+pub fn speedup_ci(
+    a: &[f64],
+    b: &[f64],
+    confidence: f64,
+    resamples: usize,
+    seed: u64,
+) -> Result<ConfidenceInterval> {
+    check_finite(a)?;
+    check_finite(b)?;
+    crate::ci::check_confidence(confidence)?;
+    if a.len() < 5 || b.len() < 5 {
+        return Err(StatsError::TooFewSamples {
+            needed: 5,
+            got: a.len().min(b.len()),
+        });
+    }
+    if resamples < 100 {
+        return Err(crate::error::invalid(
+            "resamples",
+            format!("need at least 100, got {resamples}"),
+        ));
+    }
+    let med_b = crate::quantile::median(b)?;
+    if med_b == 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    let estimate = crate::quantile::median(a)? / med_b;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ratios = Vec::with_capacity(resamples);
+    let mut ra = vec![0.0; a.len()];
+    let mut rb = vec![0.0; b.len()];
+    for _ in 0..resamples {
+        for slot in ra.iter_mut() {
+            *slot = a[rng.random_range(0..a.len())];
+        }
+        for slot in rb.iter_mut() {
+            *slot = b[rng.random_range(0..b.len())];
+        }
+        let mb = crate::quantile::median(&rb)?;
+        if mb != 0.0 {
+            ratios.push(crate::quantile::median(&ra)? / mb);
+        }
+    }
+    ratios.sort_by(|x, y| x.partial_cmp(y).expect("finite ratios"));
+    let alpha = 1.0 - confidence;
+    let lower = crate::quantile::quantile_sorted(
+        &ratios,
+        alpha / 2.0,
+        crate::quantile::QuantileMethod::Linear,
+    )?;
+    let upper = crate::quantile::quantile_sorted(
+        &ratios,
+        1.0 - alpha / 2.0,
+        crate::quantile::QuantileMethod::Linear,
+    )?;
+    Ok(ConfidenceInterval {
+        estimate,
+        lower,
+        upper,
+        confidence,
+    })
+}
+
+/// Compares two sample sets with the paper's methodology: exact
+/// non-parametric median CIs, overlap verdict, Mann–Whitney corroboration,
+/// and Cliff's delta.
+///
+/// # Errors
+///
+/// Returns an error if either sample has fewer than 5 elements (too few
+/// for the rank test and for a meaningful median CI) or is invalid.
+pub fn compare_medians(a: &[f64], b: &[f64], confidence: f64) -> Result<Comparison> {
+    let ra = median_ci_exact(a, confidence)?;
+    let rb = median_ci_exact(b, confidence)?;
+    let verdict = if ra.ci.upper < rb.ci.lower {
+        Verdict::ALower
+    } else if rb.ci.upper < ra.ci.lower {
+        Verdict::BLower
+    } else {
+        Verdict::Indistinguishable
+    };
+    let relative_difference = if ra.ci.estimate == 0.0 {
+        f64::INFINITY
+    } else {
+        (rb.ci.estimate - ra.ci.estimate) / ra.ci.estimate.abs()
+    };
+    Ok(Comparison {
+        ci_a: ra.ci,
+        ci_b: rb.ci,
+        verdict,
+        relative_difference,
+        mann_whitney: mann_whitney_u(a, b)?,
+        cliffs_delta: cliffs_delta(a, b)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_series(seed: u64, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                lo + (hi - lo) * ((state >> 11) as f64) / ((1u64 << 53) as f64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mann_whitney_separated_samples() {
+        let a = uniform_series(1, 30, 0.0, 1.0);
+        let b = uniform_series(2, 30, 10.0, 11.0);
+        let r = mann_whitney_u(&a, &b).unwrap();
+        assert!(r.p_value < 1e-6);
+        assert_eq!(r.statistic, 0.0); // A never beats B.
+    }
+
+    #[test]
+    fn mann_whitney_identical_distributions() {
+        let a = uniform_series(3, 50, 0.0, 1.0);
+        let b = uniform_series(4, 50, 0.0, 1.0);
+        let r = mann_whitney_u(&a, &b).unwrap();
+        assert!(r.p_value > 0.05, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn mann_whitney_handles_ties() {
+        let a = [1.0, 1.0, 2.0, 2.0, 3.0, 3.0];
+        let b = [2.0, 2.0, 3.0, 3.0, 4.0, 4.0];
+        let r = mann_whitney_u(&a, &b).unwrap();
+        assert!(r.p_value > 0.0 && r.p_value <= 1.0);
+        assert!(mann_whitney_u(&[1.0; 10], &[1.0; 10]).is_err());
+    }
+
+    #[test]
+    fn mann_whitney_u_statistic_known_value() {
+        // Classic hand example: A = {1,2,3}, padded to minimum size.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [6.0, 7.0, 8.0, 9.0, 10.0];
+        let r = mann_whitney_u(&a, &b).unwrap();
+        assert_eq!(r.statistic, 0.0);
+        let r_rev = mann_whitney_u(&b, &a).unwrap();
+        assert_eq!(r_rev.statistic, 25.0); // n1*n2.
+    }
+
+    #[test]
+    fn cliffs_delta_extremes_and_zero() {
+        let lo = [1.0, 2.0, 3.0];
+        let hi = [10.0, 11.0, 12.0];
+        assert_eq!(cliffs_delta(&lo, &hi).unwrap(), 1.0);
+        assert_eq!(cliffs_delta(&hi, &lo).unwrap(), -1.0);
+        assert_eq!(cliffs_delta(&lo, &lo).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn compare_medians_distinguishes_clear_gap() {
+        let a = uniform_series(5, 40, 100.0, 102.0);
+        let b = uniform_series(6, 40, 110.0, 112.0);
+        let c = compare_medians(&a, &b, 0.95).unwrap();
+        assert_eq!(c.verdict, Verdict::ALower);
+        assert!(c.relative_difference > 0.05);
+        assert!(c.mann_whitney.p_value < 1e-6);
+        assert!(c.cliffs_delta > 0.9);
+        let rev = compare_medians(&b, &a, 0.95).unwrap();
+        assert_eq!(rev.verdict, Verdict::BLower);
+    }
+
+    #[test]
+    fn compare_medians_overlapping_samples() {
+        let a = uniform_series(7, 25, 100.0, 110.0);
+        let b = uniform_series(8, 25, 100.0, 110.0);
+        let c = compare_medians(&a, &b, 0.95).unwrap();
+        assert_eq!(c.verdict, Verdict::Indistinguishable);
+    }
+
+    #[test]
+    fn speedup_ci_brackets_the_true_ratio() {
+        let slow = uniform_series(11, 40, 195.0, 205.0);
+        let fast = uniform_series(12, 40, 98.0, 102.0);
+        let ci = speedup_ci(&slow, &fast, 0.95, 1000, 3).unwrap();
+        assert!(ci.contains(ci.estimate));
+        assert!(ci.lower > 1.8 && ci.upper < 2.2, "{ci:?}");
+        // Deterministic under the seed.
+        let ci2 = speedup_ci(&slow, &fast, 0.95, 1000, 3).unwrap();
+        assert_eq!(ci, ci2);
+    }
+
+    #[test]
+    fn speedup_ci_near_one_for_identical_groups() {
+        let a = uniform_series(13, 50, 99.0, 101.0);
+        let b = uniform_series(14, 50, 99.0, 101.0);
+        let ci = speedup_ci(&a, &b, 0.95, 500, 9).unwrap();
+        assert!(ci.contains(1.0), "{ci:?}");
+    }
+
+    #[test]
+    fn speedup_ci_validation() {
+        let a = uniform_series(15, 50, 1.0, 2.0);
+        assert!(speedup_ci(&a, &a[..3], 0.95, 500, 0).is_err());
+        assert!(speedup_ci(&a, &a, 0.95, 10, 0).is_err());
+        assert!(speedup_ci(&a, &a, 1.5, 500, 0).is_err());
+        let zeros = vec![0.0; 20];
+        assert!(speedup_ci(&a, &zeros, 0.95, 500, 0).is_err());
+    }
+
+    #[test]
+    fn small_samples_cannot_conclude() {
+        // With 3 samples per side an exact 95% median CI does not exist;
+        // the comparison must error rather than fabricate confidence.
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 11.0, 12.0];
+        assert!(compare_medians(&a, &b, 0.95).is_err());
+    }
+}

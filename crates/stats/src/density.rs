@@ -1,0 +1,239 @@
+//! Kernel density estimation and modality detection.
+//!
+//! The paper's multimodality exhibits (same-type machines clustering into
+//! distinct performance modes) need a smoother detector than histogram
+//! bin-counting. A Gaussian KDE with Silverman's bandwidth gives a
+//! continuous density whose local maxima are the modes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::descriptive::Moments;
+use crate::error::{check_finite, invalid, Result, StatsError};
+use crate::quantile::{quantile, QuantileMethod};
+
+/// A Gaussian kernel density estimate over a sample set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Kde {
+    data: Vec<f64>,
+    bandwidth: f64,
+}
+
+impl Kde {
+    /// Builds a KDE with Silverman's rule-of-thumb bandwidth
+    /// `0.9 * min(sd, IQR/1.34) * n^(-1/5)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on empty/non-finite input, fewer than 3 samples,
+    /// or zero spread (all samples identical).
+    pub fn new(data: &[f64]) -> Result<Self> {
+        check_finite(data)?;
+        if data.len() < 3 {
+            return Err(StatsError::TooFewSamples {
+                needed: 3,
+                got: data.len(),
+            });
+        }
+        let m: Moments = data.iter().copied().collect();
+        let sd = m.std_dev();
+        let iqr = quantile(data, 0.75, QuantileMethod::Linear)?
+            - quantile(data, 0.25, QuantileMethod::Linear)?;
+        let spread = if iqr > 0.0 { sd.min(iqr / 1.34) } else { sd };
+        if spread <= 0.0 {
+            return Err(StatsError::ZeroVariance);
+        }
+        let bandwidth = 0.9 * spread * (data.len() as f64).powf(-0.2);
+        Ok(Self {
+            data: data.to_vec(),
+            bandwidth,
+        })
+    }
+
+    /// Builds a KDE with an explicit bandwidth.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid data or non-positive bandwidth.
+    pub fn with_bandwidth(data: &[f64], bandwidth: f64) -> Result<Self> {
+        check_finite(data)?;
+        if bandwidth <= 0.0 || !bandwidth.is_finite() {
+            return Err(invalid(
+                "bandwidth",
+                format!("must be > 0, got {bandwidth}"),
+            ));
+        }
+        Ok(Self {
+            data: data.to_vec(),
+            bandwidth,
+        })
+    }
+
+    /// The bandwidth in use.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Evaluates the density at `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        let h = self.bandwidth;
+        let norm = 1.0 / (self.data.len() as f64 * h * (2.0 * std::f64::consts::PI).sqrt());
+        self.data
+            .iter()
+            .map(|&xi| {
+                let u = (x - xi) / h;
+                (-0.5 * u * u).exp()
+            })
+            .sum::<f64>()
+            * norm
+    }
+
+    /// Evaluates the density on an evenly spaced grid of `points` spanning
+    /// the data (padded by 3 bandwidths each side). Returns `(x, f(x))`
+    /// pairs — the series a density plot needs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for fewer than 2 grid points.
+    pub fn grid(&self, points: usize) -> Result<Vec<(f64, f64)>> {
+        if points < 2 {
+            return Err(invalid("points", "need at least 2 grid points"));
+        }
+        let min = self.data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = self.data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let lo = min - 3.0 * self.bandwidth;
+        let hi = max + 3.0 * self.bandwidth;
+        let step = (hi - lo) / (points - 1) as f64;
+        Ok((0..points)
+            .map(|i| {
+                let x = lo + i as f64 * step;
+                (x, self.eval(x))
+            })
+            .collect())
+    }
+
+    /// Counts density modes: local maxima of the gridded density whose
+    /// height is at least `min_height_fraction` of the global maximum.
+    ///
+    /// # Errors
+    ///
+    /// Propagates grid errors.
+    pub fn count_modes(&self, grid_points: usize, min_height_fraction: f64) -> Result<usize> {
+        let grid = self.grid(grid_points)?;
+        let peak = grid
+            .iter()
+            .map(|(_, y)| *y)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let threshold = peak * min_height_fraction;
+        let mut modes = 0usize;
+        for i in 0..grid.len() {
+            let y = grid[i].1;
+            let left = if i == 0 { f64::NEG_INFINITY } else { grid[i - 1].1 };
+            let right = if i == grid.len() - 1 {
+                f64::NEG_INFINITY
+            } else {
+                grid[i + 1].1
+            };
+            if y > left && y > right && y >= threshold {
+                modes += 1;
+            }
+        }
+        Ok(modes.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn splitmix(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed;
+        move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            ((z >> 11) as f64) / ((1u64 << 53) as f64)
+        }
+    }
+
+    fn normal_data(seed: u64, n: usize, mu: f64, sigma: f64) -> Vec<f64> {
+        let mut u = splitmix(seed);
+        (0..n)
+            .map(|_| {
+                let u1: f64 = u().max(1e-12);
+                let u2: f64 = u();
+                mu + sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let data = normal_data(1, 200, 10.0, 2.0);
+        let kde = Kde::new(&data).unwrap();
+        let grid = kde.grid(2000).unwrap();
+        let step = grid[1].0 - grid[0].0;
+        let integral: f64 = grid.iter().map(|(_, y)| y * step).sum();
+        assert!((integral - 1.0).abs() < 0.02, "integral {integral}");
+    }
+
+    #[test]
+    fn density_peaks_near_the_mean() {
+        let data = normal_data(2, 500, 42.0, 1.0);
+        let kde = Kde::new(&data).unwrap();
+        let grid = kde.grid(500).unwrap();
+        let (peak_x, _) = grid
+            .iter()
+            .cloned()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        assert!((peak_x - 42.0).abs() < 0.5, "peak at {peak_x}");
+    }
+
+    #[test]
+    fn unimodal_vs_bimodal_mode_count() {
+        let uni = normal_data(3, 300, 0.0, 1.0);
+        let kde = Kde::new(&uni).unwrap();
+        assert_eq!(kde.count_modes(400, 0.15).unwrap(), 1);
+
+        let mut bi = normal_data(4, 150, 0.0, 0.5);
+        bi.extend(normal_data(5, 150, 8.0, 0.5));
+        let kde = Kde::new(&bi).unwrap();
+        assert_eq!(kde.count_modes(400, 0.15).unwrap(), 2);
+    }
+
+    #[test]
+    fn trimodal_lottery_shape() {
+        // Three clusters like the memory lottery: 77% / 20% / 3%.
+        let mut data = normal_data(6, 770, 1.0, 0.005);
+        data.extend(normal_data(7, 200, 0.965, 0.005));
+        data.extend(normal_data(8, 30, 0.92, 0.006));
+        let kde = Kde::new(&data).unwrap();
+        let modes = kde.count_modes(600, 0.02).unwrap();
+        assert!(modes >= 2, "expected the lottery clusters, got {modes}");
+    }
+
+    #[test]
+    fn explicit_bandwidth_controls_smoothing() {
+        let mut bi = normal_data(9, 100, 0.0, 0.3);
+        bi.extend(normal_data(10, 100, 4.0, 0.3));
+        // A huge bandwidth smears the modes into one.
+        let smooth = Kde::with_bandwidth(&bi, 5.0).unwrap();
+        assert_eq!(smooth.count_modes(300, 0.1).unwrap(), 1);
+        // A reasonable bandwidth keeps two.
+        let sharp = Kde::with_bandwidth(&bi, 0.3).unwrap();
+        assert_eq!(sharp.count_modes(300, 0.1).unwrap(), 2);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Kde::new(&[1.0, 2.0]).is_err());
+        assert!(Kde::new(&[3.0; 10]).is_err());
+        assert!(Kde::with_bandwidth(&[1.0, 2.0, 3.0], 0.0).is_err());
+        assert!(Kde::with_bandwidth(&[1.0, 2.0, 3.0], f64::NAN).is_err());
+        let kde = Kde::new(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!(kde.grid(1).is_err());
+        assert!(kde.bandwidth() > 0.0);
+    }
+}

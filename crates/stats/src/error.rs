@@ -1,0 +1,135 @@
+//! Error types for the statistics library.
+
+use std::fmt;
+
+/// Errors produced by statistical routines.
+///
+/// All fallible entry points in this crate return [`StatsError`] instead of
+/// panicking, so callers can distinguish "not enough data" from "bad data"
+/// and react accordingly (e.g. collect more repetitions).
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// The input slice was empty.
+    EmptyInput,
+    /// The routine needs at least `needed` samples but only `got` were given.
+    TooFewSamples {
+        /// Minimum number of samples the routine requires.
+        needed: usize,
+        /// Number of samples actually provided.
+        got: usize,
+    },
+    /// An input value was NaN or infinite.
+    NonFiniteValue {
+        /// Index of the offending value in the input.
+        index: usize,
+    },
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Human-readable description of the violated constraint.
+        message: String,
+    },
+    /// All samples are identical, so a scale-dependent statistic is undefined.
+    ZeroVariance,
+    /// A numerical routine failed to converge.
+    NoConvergence {
+        /// Name of the routine that failed.
+        routine: &'static str,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptyInput => write!(f, "input is empty"),
+            StatsError::TooFewSamples { needed, got } => {
+                write!(f, "need at least {needed} samples, got {got}")
+            }
+            StatsError::NonFiniteValue { index } => {
+                write!(f, "non-finite value at index {index}")
+            }
+            StatsError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            StatsError::ZeroVariance => {
+                write!(f, "all samples are identical (zero variance)")
+            }
+            StatsError::NoConvergence { routine } => {
+                write!(f, "numerical routine `{routine}` failed to converge")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, StatsError>;
+
+/// Builds an [`StatsError::InvalidParameter`] with a formatted message.
+pub fn invalid(name: &'static str, message: impl Into<String>) -> StatsError {
+    StatsError::InvalidParameter {
+        name,
+        message: message.into(),
+    }
+}
+
+/// Validates that every value in `data` is finite.
+///
+/// # Errors
+///
+/// Returns [`StatsError::NonFiniteValue`] for the first NaN or infinity, and
+/// [`StatsError::EmptyInput`] if `data` is empty.
+pub fn check_finite(data: &[f64]) -> Result<()> {
+    if data.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    for (index, value) in data.iter().enumerate() {
+        if !value.is_finite() {
+            return Err(StatsError::NonFiniteValue { index });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StatsError::TooFewSamples { needed: 10, got: 3 };
+        assert_eq!(e.to_string(), "need at least 10 samples, got 3");
+        let e = StatsError::EmptyInput;
+        assert!(e.to_string().contains("empty"));
+        let e = invalid("q", "must be in (0, 1)");
+        assert!(e.to_string().contains('q'));
+        assert!(e.to_string().contains("(0, 1)"));
+    }
+
+    #[test]
+    fn check_finite_accepts_normal_data() {
+        assert!(check_finite(&[1.0, 2.0, -3.5]).is_ok());
+    }
+
+    #[test]
+    fn check_finite_rejects_empty() {
+        assert_eq!(check_finite(&[]), Err(StatsError::EmptyInput));
+    }
+
+    #[test]
+    fn check_finite_reports_first_bad_index() {
+        let data = [1.0, f64::NAN, f64::INFINITY];
+        assert_eq!(
+            check_finite(&data),
+            Err(StatsError::NonFiniteValue { index: 1 })
+        );
+    }
+
+    #[test]
+    fn errors_implement_std_error() {
+        fn takes_error(_e: &dyn std::error::Error) {}
+        takes_error(&StatsError::ZeroVariance);
+    }
+}

@@ -1,0 +1,485 @@
+//! Independence diagnostics for measurement series.
+//!
+//! Confidence intervals assume i.i.d. samples. Repeated benchmark runs can
+//! violate independence (warm caches, thermal state, background daemons),
+//! so the paper's methodology — and any sound use of CONFIRM — starts by
+//! checking it. Provided: the autocorrelation function, a turning-point
+//! test, a runs test around the median, and Spearman rank correlation
+//! against time.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{check_finite, invalid, Result, StatsError};
+use crate::normality::TestResult;
+use crate::special::{chi_squared_cdf, normal_cdf};
+
+/// Sample autocorrelation at a single `lag`.
+///
+/// # Errors
+///
+/// Returns an error on invalid input, `lag >= n`, or zero variance.
+///
+/// # Examples
+///
+/// ```
+/// use varstats::independence::autocorrelation;
+///
+/// // A strictly alternating series is perfectly negatively correlated at
+/// // lag 1.
+/// let data = [1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0];
+/// let r = autocorrelation(&data, 1).unwrap();
+/// assert!(r < -0.8);
+/// ```
+pub fn autocorrelation(data: &[f64], lag: usize) -> Result<f64> {
+    check_finite(data)?;
+    let n = data.len();
+    if lag >= n {
+        return Err(invalid(
+            "lag",
+            format!("lag {lag} must be smaller than the series length {n}"),
+        ));
+    }
+    let mean = data.iter().sum::<f64>() / n as f64;
+    let denom: f64 = data.iter().map(|x| (x - mean).powi(2)).sum();
+    if denom == 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    let num: f64 = (0..n - lag)
+        .map(|i| (data[i] - mean) * (data[i + lag] - mean))
+        .sum();
+    Ok(num / denom)
+}
+
+/// Autocorrelation function up to `max_lag` (inclusive), starting at lag 1.
+///
+/// # Errors
+///
+/// Same as [`autocorrelation`].
+pub fn acf(data: &[f64], max_lag: usize) -> Result<Vec<f64>> {
+    (1..=max_lag).map(|l| autocorrelation(data, l)).collect()
+}
+
+/// The approximate 95% white-noise band for an ACF of a series of length
+/// `n`: correlations within `±1.96/sqrt(n)` are consistent with
+/// independence.
+pub fn acf_confidence_band(n: usize) -> f64 {
+    1.96 / (n as f64).sqrt()
+}
+
+/// Verdict of an ACF-based independence check.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AcfCheck {
+    /// Autocorrelations at lags `1..=max_lag`.
+    pub correlations: Vec<f64>,
+    /// The white-noise band used.
+    pub band: f64,
+    /// Lags whose correlation escapes the band.
+    pub flagged_lags: Vec<usize>,
+}
+
+impl AcfCheck {
+    /// Whether the series looks independent (no flagged lags).
+    pub fn looks_independent(&self) -> bool {
+        self.flagged_lags.is_empty()
+    }
+}
+
+/// Runs the ACF check at lags `1..=max_lag` against the 95% band.
+///
+/// # Errors
+///
+/// Same as [`autocorrelation`].
+pub fn acf_check(data: &[f64], max_lag: usize) -> Result<AcfCheck> {
+    let correlations = acf(data, max_lag)?;
+    let band = acf_confidence_band(data.len());
+    let flagged_lags = correlations
+        .iter()
+        .enumerate()
+        .filter(|(_, &r)| r.abs() > band)
+        .map(|(i, _)| i + 1)
+        .collect();
+    Ok(AcfCheck {
+        correlations,
+        band,
+        flagged_lags,
+    })
+}
+
+/// Ljung–Box portmanteau test: are the first `max_lag` autocorrelations
+/// jointly zero?
+///
+/// `Q = n (n + 2) * sum_k rho_k^2 / (n - k)`, compared against
+/// chi-squared with `max_lag` degrees of freedom. The standard "is this
+/// series white noise" test — more powerful than eyeballing single lags
+/// against the ACF band.
+///
+/// # Errors
+///
+/// Returns an error on invalid input, `max_lag == 0`, or a series shorter
+/// than `3 * max_lag`.
+pub fn ljung_box(data: &[f64], max_lag: usize) -> Result<TestResult> {
+    check_finite(data)?;
+    if max_lag == 0 {
+        return Err(invalid("max_lag", "must be at least 1"));
+    }
+    let n = data.len();
+    if n < 3 * max_lag {
+        return Err(StatsError::TooFewSamples {
+            needed: 3 * max_lag,
+            got: n,
+        });
+    }
+    let nf = n as f64;
+    let mut q = 0.0;
+    for k in 1..=max_lag {
+        let rho = autocorrelation(data, k)?;
+        q += rho * rho / (nf - k as f64);
+    }
+    q *= nf * (nf + 2.0);
+    let p = 1.0 - chi_squared_cdf(q, max_lag as f64)?;
+    Ok(TestResult {
+        statistic: q,
+        p_value: p.clamp(0.0, 1.0),
+    })
+}
+
+/// Lag-plot data: the `(x_t, x_{t+lag})` pairs whose scatter is the
+/// classic visual i.i.d. check (structure in the plot = dependence).
+///
+/// # Errors
+///
+/// Returns an error on invalid input or `lag >= n`.
+pub fn lag_pairs(data: &[f64], lag: usize) -> Result<Vec<(f64, f64)>> {
+    check_finite(data)?;
+    if lag == 0 || lag >= data.len() {
+        return Err(invalid(
+            "lag",
+            format!("must be in [1, {}), got {lag}", data.len()),
+        ));
+    }
+    Ok(data
+        .windows(lag + 1)
+        .map(|w| (w[0], w[lag]))
+        .collect())
+}
+
+/// Turning-point test of randomness.
+///
+/// Counts local extrema; for an i.i.d. series the count is asymptotically
+/// normal with mean `2(n-2)/3` and variance `(16n - 29)/90`. Small p-values
+/// indicate serial structure (trend or oscillation).
+///
+/// # Errors
+///
+/// Returns an error with fewer than 20 samples (asymptotics unreliable) or
+/// invalid input.
+pub fn turning_point_test(data: &[f64]) -> Result<TestResult> {
+    check_finite(data)?;
+    let n = data.len();
+    if n < 20 {
+        return Err(StatsError::TooFewSamples { needed: 20, got: n });
+    }
+    let mut turning_points = 0usize;
+    for w in data.windows(3) {
+        if (w[1] > w[0] && w[1] > w[2]) || (w[1] < w[0] && w[1] < w[2]) {
+            turning_points += 1;
+        }
+    }
+    let nf = n as f64;
+    let mean = 2.0 * (nf - 2.0) / 3.0;
+    let var = (16.0 * nf - 29.0) / 90.0;
+    let z = (turning_points as f64 - mean) / var.sqrt();
+    let p = 2.0 * (1.0 - normal_cdf(z.abs()));
+    Ok(TestResult {
+        statistic: z,
+        p_value: p.clamp(0.0, 1.0),
+    })
+}
+
+/// Wald–Wolfowitz runs test around the median.
+///
+/// Dichotomizes the series at its median and counts runs of consecutive
+/// same-side values; too few runs indicates positive serial correlation,
+/// too many indicates oscillation.
+///
+/// # Errors
+///
+/// Returns an error with fewer than 20 samples or invalid input, or when
+/// one side of the median is empty.
+pub fn runs_test(data: &[f64]) -> Result<TestResult> {
+    check_finite(data)?;
+    let n = data.len();
+    if n < 20 {
+        return Err(StatsError::TooFewSamples { needed: 20, got: n });
+    }
+    let median = crate::quantile::median(data)?;
+    // Values equal to the median are dropped, the usual convention.
+    let signs: Vec<bool> = data
+        .iter()
+        .filter(|&&x| x != median)
+        .map(|&x| x > median)
+        .collect();
+    let n_pos = signs.iter().filter(|&&s| s).count() as f64;
+    let n_neg = signs.len() as f64 - n_pos;
+    if n_pos == 0.0 || n_neg == 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    let mut runs = 1usize;
+    for w in signs.windows(2) {
+        if w[0] != w[1] {
+            runs += 1;
+        }
+    }
+    let m = signs.len() as f64;
+    let mean = 2.0 * n_pos * n_neg / m + 1.0;
+    let var = 2.0 * n_pos * n_neg * (2.0 * n_pos * n_neg - m) / (m * m * (m - 1.0));
+    if var <= 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    let z = (runs as f64 - mean) / var.sqrt();
+    let p = 2.0 * (1.0 - normal_cdf(z.abs()));
+    Ok(TestResult {
+        statistic: z,
+        p_value: p.clamp(0.0, 1.0),
+    })
+}
+
+/// Assigns mid-ranks (average rank for ties) to `data`.
+fn ranks(data: &[f64]) -> Vec<f64> {
+    let n = data.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| data[a].partial_cmp(&data[b]).expect("finite"));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && data[idx[j + 1]] == data[idx[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation between two series, with an asymptotic
+/// (t-approximation) p-value for the null of no monotone association.
+///
+/// Returns `(rho, p_value)`.
+///
+/// # Errors
+///
+/// Returns an error on invalid input, mismatched lengths, or fewer than 10
+/// pairs.
+pub fn spearman(a: &[f64], b: &[f64]) -> Result<(f64, f64)> {
+    check_finite(a)?;
+    check_finite(b)?;
+    if a.len() != b.len() {
+        return Err(invalid(
+            "b",
+            format!("length mismatch: {} vs {}", a.len(), b.len()),
+        ));
+    }
+    let n = a.len();
+    if n < 10 {
+        return Err(StatsError::TooFewSamples { needed: 10, got: n });
+    }
+    let ra = ranks(a);
+    let rb = ranks(b);
+    let mean = (n as f64 + 1.0) / 2.0;
+    let mut num = 0.0;
+    let mut da = 0.0;
+    let mut db = 0.0;
+    for i in 0..n {
+        let xa = ra[i] - mean;
+        let xb = rb[i] - mean;
+        num += xa * xb;
+        da += xa * xa;
+        db += xb * xb;
+    }
+    if da == 0.0 || db == 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    let rho: f64 = num / (da * db).sqrt();
+    let rho_c = rho.clamp(-0.999_999_999, 0.999_999_999);
+    let t = rho_c * ((n as f64 - 2.0) / (1.0 - rho_c * rho_c)).sqrt();
+    let p = 2.0 * (1.0 - crate::special::student_t_cdf(t.abs(), n as f64 - 2.0)?);
+    Ok((rho, p.clamp(0.0, 1.0)))
+}
+
+/// Spearman correlation of a series against its own index — a monotone
+/// trend detector for measurement campaigns.
+///
+/// # Errors
+///
+/// Same as [`spearman`].
+pub fn trend_test(data: &[f64]) -> Result<(f64, f64)> {
+    let time: Vec<f64> = (0..data.len()).map(|i| i as f64).collect();
+    spearman(&time, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg_series(seed: u64, n: usize) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 11) as f64) / ((1u64 << 53) as f64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn iid_series_has_small_acf() {
+        let data = lcg_series(1, 500);
+        let check = acf_check(&data, 10).unwrap();
+        // Allow a stray lag or two to brush the 95% band.
+        assert!(check.flagged_lags.len() <= 1, "{:?}", check.flagged_lags);
+    }
+
+    #[test]
+    fn trending_series_has_large_acf() {
+        let data: Vec<f64> = (0..200).map(|i| i as f64 * 0.1).collect();
+        let r1 = autocorrelation(&data, 1).unwrap();
+        assert!(r1 > 0.9, "r1={r1}");
+        let check = acf_check(&data, 5).unwrap();
+        assert!(!check.looks_independent());
+    }
+
+    #[test]
+    fn acf_lag_zero_would_be_one() {
+        let data = lcg_series(2, 100);
+        let r0 = autocorrelation(&data, 0).unwrap();
+        assert!((r0 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acf_validates_input() {
+        assert!(autocorrelation(&[1.0, 2.0], 2).is_err());
+        assert!(autocorrelation(&[5.0; 10], 1).is_err());
+        assert!(autocorrelation(&[], 0).is_err());
+    }
+
+    #[test]
+    fn ljung_box_accepts_noise_rejects_ar1() {
+        let noise = lcg_series(31, 400);
+        let r = ljung_box(&noise, 10).unwrap();
+        assert!(r.p_value > 0.01, "white noise rejected, p={}", r.p_value);
+
+        // AR(1) with strong memory.
+        let mut y = 0.0;
+        let seed = lcg_series(32, 400);
+        let ar1: Vec<f64> = seed.iter().map(|u| { y = 0.7 * y + u; y }).collect();
+        let r = ljung_box(&ar1, 10).unwrap();
+        assert!(r.p_value < 1e-6, "AR(1) accepted, p={}", r.p_value);
+    }
+
+    #[test]
+    fn ljung_box_validation() {
+        assert!(ljung_box(&lcg_series(1, 20), 10).is_err());
+        assert!(ljung_box(&lcg_series(1, 100), 0).is_err());
+    }
+
+    #[test]
+    fn lag_pairs_shape_and_content() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let pairs = lag_pairs(&data, 2).unwrap();
+        assert_eq!(pairs, vec![(1.0, 3.0), (2.0, 4.0), (3.0, 5.0)]);
+        assert!(lag_pairs(&data, 0).is_err());
+        assert!(lag_pairs(&data, 5).is_err());
+    }
+
+    #[test]
+    fn turning_point_accepts_random_rejects_trend() {
+        let random = lcg_series(3, 300);
+        let r = turning_point_test(&random).unwrap();
+        assert!(r.p_value > 0.05, "random rejected, p={}", r.p_value);
+
+        let trend: Vec<f64> = (0..300).map(|i| i as f64).collect();
+        let r = turning_point_test(&trend).unwrap();
+        assert!(r.p_value < 0.001, "trend accepted, p={}", r.p_value);
+    }
+
+    #[test]
+    fn turning_point_rejects_alternating() {
+        let alt: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect();
+        let r = turning_point_test(&alt).unwrap();
+        // Alternating has the maximum number of turning points.
+        assert!(r.statistic > 3.0);
+        assert!(r.p_value < 0.01);
+    }
+
+    #[test]
+    fn runs_test_behaviour() {
+        let random = lcg_series(9, 300);
+        let r = runs_test(&random).unwrap();
+        assert!(r.p_value > 0.05, "random rejected, p={}", r.p_value);
+
+        // Strong positive correlation: long blocks below then above median.
+        let mut blocky = vec![0.0; 150];
+        blocky.extend(vec![1.0; 150]);
+        let r = runs_test(&blocky).unwrap();
+        assert!(r.p_value < 1e-6, "blocky accepted, p={}", r.p_value);
+        assert!(r.statistic < 0.0, "too few runs should give negative z");
+    }
+
+    #[test]
+    fn runs_test_validation() {
+        assert!(runs_test(&[1.0; 30]).is_err());
+        assert!(runs_test(&lcg_series(1, 10)).is_err());
+    }
+
+    #[test]
+    fn spearman_perfect_monotone() {
+        let a: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let b: Vec<f64> = a.iter().map(|x| x.exp().min(1e300)).collect();
+        let (rho, p) = spearman(&a, &b).unwrap();
+        assert!((rho - 1.0).abs() < 1e-9);
+        assert!(p < 1e-6);
+        let c: Vec<f64> = a.iter().map(|x| -x).collect();
+        let (rho, _) = spearman(&a, &c).unwrap();
+        assert!((rho + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spearman_independent_series() {
+        let a = lcg_series(4, 200);
+        let b = lcg_series(5, 200);
+        let (rho, p) = spearman(&a, &b).unwrap();
+        assert!(rho.abs() < 0.2, "rho={rho}");
+        assert!(p > 0.01, "p={p}");
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let a = [1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 4.0, 4.0, 5.0, 5.0];
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        let (rho, _) = spearman(&a, &b).unwrap();
+        assert!(rho > 0.9);
+    }
+
+    #[test]
+    fn trend_test_flags_drift() {
+        let drifting: Vec<f64> = (0..100).map(|i| 100.0 + 0.5 * i as f64).collect();
+        let (rho, p) = trend_test(&drifting).unwrap();
+        assert!(rho > 0.99);
+        assert!(p < 1e-6);
+        let flat = lcg_series(6, 100);
+        let (_, p) = trend_test(&flat).unwrap();
+        assert!(p > 0.01);
+    }
+
+    #[test]
+    fn ranks_midrank_convention() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+}

@@ -1,0 +1,399 @@
+//! Normality tests.
+//!
+//! The paper's pivotal empirical observation is that most benchmark sample
+//! sets fail normality tests, invalidating classical mean/t-interval
+//! methodology. The primary test used (here and in the paper) is
+//! **Shapiro–Wilk**, implemented from Royston's AS R94 algorithm
+//! (the same algorithm behind R's `shapiro.test` and SciPy's `shapiro`).
+//! Anderson–Darling and Jarque–Bera are provided as cross-checks.
+
+use serde::{Deserialize, Serialize};
+
+use crate::descriptive::Moments;
+use crate::error::{check_finite, Result, StatsError};
+use crate::special::{normal_cdf, normal_quantile};
+
+/// Outcome of a hypothesis test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TestResult {
+    /// The test statistic (W for Shapiro–Wilk, A*^2 for Anderson–Darling,
+    /// JB for Jarque–Bera).
+    pub statistic: f64,
+    /// The p-value of the test under the null hypothesis of normality.
+    pub p_value: f64,
+}
+
+impl TestResult {
+    /// Whether the null hypothesis (data is normal) survives at level
+    /// `alpha`, i.e. `p_value > alpha`.
+    pub fn is_normal(&self, alpha: f64) -> bool {
+        self.p_value > alpha
+    }
+}
+
+fn sorted_copy(data: &[f64]) -> Result<Vec<f64>> {
+    check_finite(data)?;
+    let mut v = data.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("validated finite"));
+    Ok(v)
+}
+
+/// Shapiro–Wilk test of normality (Royston 1995, AS R94).
+///
+/// Supports `3 <= n <= 5000`. The statistic `W` is close to 1 for normal
+/// data; small `W` (and small p-value) indicates departure from normality.
+///
+/// # Errors
+///
+/// Returns an error on invalid input, `n < 3` or `n > 5000`, or if all
+/// samples are identical.
+///
+/// # Examples
+///
+/// ```
+/// use varstats::normality::shapiro_wilk;
+///
+/// // Perfect normal scores look extremely normal.
+/// let data: Vec<f64> = (1..=50)
+///     .map(|i| varstats::special::normal_quantile((i as f64 - 0.5) / 50.0).unwrap())
+///     .collect();
+/// let r = shapiro_wilk(&data).unwrap();
+/// assert!(r.statistic > 0.98);
+/// assert!(r.is_normal(0.05));
+/// ```
+pub fn shapiro_wilk(data: &[f64]) -> Result<TestResult> {
+    let x = sorted_copy(data)?;
+    let n = x.len();
+    if n < 3 {
+        return Err(StatsError::TooFewSamples { needed: 3, got: n });
+    }
+    if n > 5000 {
+        return Err(crate::error::invalid(
+            "n",
+            format!("Shapiro-Wilk is calibrated for n <= 5000, got {n}"),
+        ));
+    }
+    if x[0] == x[n - 1] {
+        return Err(StatsError::ZeroVariance);
+    }
+
+    // Expected normal order statistics (Blom scores).
+    let nf = n as f64;
+    let mut m = vec![0.0f64; n];
+    for (i, mi) in m.iter_mut().enumerate() {
+        *mi = normal_quantile(((i + 1) as f64 - 0.375) / (nf + 0.25))?;
+    }
+    let ssq_m: f64 = m.iter().map(|v| v * v).sum();
+    let rsn = 1.0 / nf.sqrt();
+
+    // Royston's polynomial-corrected weights for the two extreme order
+    // statistics (and the next pair when n > 5).
+    let mut a = vec![0.0f64; n];
+    if n == 3 {
+        a[0] = std::f64::consts::FRAC_1_SQRT_2;
+        a[2] = -a[0];
+    } else {
+        let c_n = m[n - 1] / ssq_m.sqrt();
+        let a_n = c_n + 0.221_157 * rsn - 0.147_981 * rsn.powi(2) - 2.071_190 * rsn.powi(3)
+            + 4.434_685 * rsn.powi(4)
+            - 2.706_056 * rsn.powi(5);
+        if n > 5 {
+            let c_n1 = m[n - 2] / ssq_m.sqrt();
+            let a_n1 = c_n1 + 0.042_981 * rsn - 0.293_762 * rsn.powi(2)
+                - 1.752_461 * rsn.powi(3)
+                + 5.682_633 * rsn.powi(4)
+                - 3.582_633 * rsn.powi(5);
+            let phi = (ssq_m - 2.0 * m[n - 1].powi(2) - 2.0 * m[n - 2].powi(2))
+                / (1.0 - 2.0 * a_n.powi(2) - 2.0 * a_n1.powi(2));
+            a[n - 1] = a_n;
+            a[n - 2] = a_n1;
+            a[0] = -a_n;
+            a[1] = -a_n1;
+            let scale = phi.sqrt();
+            for i in 2..n - 2 {
+                a[i] = m[i] / scale;
+            }
+        } else {
+            let phi = (ssq_m - 2.0 * m[n - 1].powi(2)) / (1.0 - 2.0 * a_n.powi(2));
+            a[n - 1] = a_n;
+            a[0] = -a_n;
+            let scale = phi.sqrt();
+            for i in 1..n - 1 {
+                a[i] = m[i] / scale;
+            }
+        }
+    }
+
+    // W = (sum a_i x_(i))^2 / sum (x_i - mean)^2.
+    let mean = x.iter().sum::<f64>() / nf;
+    let ssq_dev: f64 = x.iter().map(|v| (v - mean).powi(2)).sum();
+    let num: f64 = a.iter().zip(x.iter()).map(|(ai, xi)| ai * xi).sum();
+    let w = ((num * num) / ssq_dev).min(1.0);
+
+    // P-value transforms (Royston 1995).
+    let p_value = if n == 3 {
+        let pi = std::f64::consts::PI;
+        ((6.0 / pi) * (w.sqrt().asin() - 0.75f64.sqrt().asin())).clamp(0.0, 1.0)
+    } else if n <= 11 {
+        let g = -2.273 + 0.459 * nf;
+        let arg = g - (1.0 - w).ln();
+        if arg <= 0.0 {
+            0.0
+        } else {
+            let wt = -arg.ln();
+            let mu = 0.544 - 0.399_78 * nf + 0.025_054 * nf * nf - 0.000_671_4 * nf.powi(3);
+            let sigma =
+                (1.3822 - 0.77857 * nf + 0.062_767 * nf * nf - 0.002_032_2 * nf.powi(3)).exp();
+            1.0 - normal_cdf((wt - mu) / sigma)
+        }
+    } else {
+        let ln_n = nf.ln();
+        let wt = (1.0 - w).ln();
+        let mu = -1.5861 - 0.310_82 * ln_n - 0.083_751 * ln_n * ln_n + 0.003_891_5 * ln_n.powi(3);
+        let sigma = (-0.4803 - 0.082_676 * ln_n + 0.003_030_2 * ln_n * ln_n).exp();
+        1.0 - normal_cdf((wt - mu) / sigma)
+    };
+
+    Ok(TestResult {
+        statistic: w,
+        p_value: p_value.clamp(0.0, 1.0),
+    })
+}
+
+/// Anderson–Darling test of normality with estimated mean and variance
+/// (the "case 4" small-sample adjustment of D'Agostino & Stephens).
+///
+/// # Errors
+///
+/// Returns an error on invalid input, fewer than 8 samples (the p-value
+/// approximation is unreliable below that), or zero variance.
+pub fn anderson_darling(data: &[f64]) -> Result<TestResult> {
+    let x = sorted_copy(data)?;
+    let n = x.len();
+    if n < 8 {
+        return Err(StatsError::TooFewSamples { needed: 8, got: n });
+    }
+    let m: Moments = x.iter().copied().collect();
+    let sd = m.std_dev();
+    if sd == 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    let nf = n as f64;
+    let mut sum = 0.0;
+    for i in 0..n {
+        let yi = (x[i] - m.mean()) / sd;
+        let yrev = (x[n - 1 - i] - m.mean()) / sd;
+        // Clamp CDF values away from 0/1 so the logs stay finite.
+        let f1 = normal_cdf(yi).clamp(1e-300, 1.0 - 1e-16);
+        let f2 = normal_cdf(yrev).clamp(1e-300, 1.0 - 1e-16);
+        sum += (2.0 * (i + 1) as f64 - 1.0) * (f1.ln() + (1.0 - f2).ln());
+    }
+    let a2 = -nf - sum / nf;
+    let a2_star = a2 * (1.0 + 0.75 / nf + 2.25 / (nf * nf));
+    let p = if a2_star >= 0.6 {
+        (1.2937 - 5.709 * a2_star + 0.0186 * a2_star * a2_star).exp()
+    } else if a2_star >= 0.34 {
+        (0.9177 - 4.279 * a2_star - 1.38 * a2_star * a2_star).exp()
+    } else if a2_star > 0.2 {
+        1.0 - (-8.318 + 42.796 * a2_star - 59.938 * a2_star * a2_star).exp()
+    } else {
+        1.0 - (-13.436 + 101.14 * a2_star - 223.73 * a2_star * a2_star).exp()
+    };
+    Ok(TestResult {
+        statistic: a2_star,
+        p_value: p.clamp(0.0, 1.0),
+    })
+}
+
+/// Jarque–Bera test of normality (skewness/kurtosis based, asymptotic).
+///
+/// Only trustworthy for large `n` (hundreds); included for cross-checking.
+///
+/// # Errors
+///
+/// Returns an error on invalid input, fewer than 20 samples, or zero
+/// variance.
+pub fn jarque_bera(data: &[f64]) -> Result<TestResult> {
+    check_finite(data)?;
+    let n = data.len();
+    if n < 20 {
+        return Err(StatsError::TooFewSamples { needed: 20, got: n });
+    }
+    let m: Moments = data.iter().copied().collect();
+    if m.std_dev() == 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    let s = m.skewness();
+    let k = m.excess_kurtosis();
+    let jb = n as f64 / 6.0 * (s * s + k * k / 4.0);
+    // Chi-squared survival with 2 degrees of freedom is exp(-x/2).
+    let p = (-jb / 2.0).exp();
+    Ok(TestResult {
+        statistic: jb,
+        p_value: p.clamp(0.0, 1.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic standard-normal generator (splitmix64 + Box–Muller).
+    fn normal_stream(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed;
+        move || {
+            let mut next = || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                ((z >> 11) as f64) / ((1u64 << 53) as f64)
+            };
+            let u1: f64 = next().max(1e-12);
+            let u2: f64 = next();
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        }
+    }
+
+    #[test]
+    fn shapiro_perfect_normal_scores_pass() {
+        for n in [10usize, 30, 100, 500] {
+            let data: Vec<f64> = (1..=n)
+                .map(|i| normal_quantile((i as f64 - 0.5) / n as f64).unwrap())
+                .collect();
+            let r = shapiro_wilk(&data).unwrap();
+            assert!(r.statistic > 0.97, "n={n} W={}", r.statistic);
+            assert!(r.p_value > 0.5, "n={n} p={}", r.p_value);
+        }
+    }
+
+    #[test]
+    fn shapiro_uniform_1_to_10_matches_r() {
+        // R: shapiro.test(1:10) gives W ~ 0.970, p ~ 0.89.
+        let data: Vec<f64> = (1..=10).map(f64::from).collect();
+        let r = shapiro_wilk(&data).unwrap();
+        assert!((r.statistic - 0.970).abs() < 0.01, "W={}", r.statistic);
+        assert!(r.p_value > 0.5, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn shapiro_rejects_exponential_data() {
+        let mut gen = normal_stream(3);
+        // Exponential via -ln(U) where U built from normal CDF of stream.
+        let data: Vec<f64> = (0..80)
+            .map(|_| -normal_cdf(gen()).clamp(1e-9, 1.0 - 1e-9).ln())
+            .collect();
+        let r = shapiro_wilk(&data).unwrap();
+        assert!(r.p_value < 0.01, "p={} W={}", r.p_value, r.statistic);
+    }
+
+    #[test]
+    fn shapiro_rejects_bimodal_data() {
+        let mut data = Vec::new();
+        for i in 0..40 {
+            data.push(10.0 + (i % 5) as f64 * 0.01);
+            data.push(20.0 + (i % 5) as f64 * 0.01);
+        }
+        let r = shapiro_wilk(&data).unwrap();
+        assert!(r.p_value < 0.001, "bimodal p={}", r.p_value);
+    }
+
+    #[test]
+    fn shapiro_is_location_scale_invariant() {
+        let mut gen = normal_stream(17);
+        let data: Vec<f64> = (0..60).map(|_| gen()).collect();
+        let shifted: Vec<f64> = data.iter().map(|x| 1000.0 + 3.5 * x).collect();
+        let r1 = shapiro_wilk(&data).unwrap();
+        let r2 = shapiro_wilk(&shifted).unwrap();
+        assert!((r1.statistic - r2.statistic).abs() < 1e-9);
+        assert!((r1.p_value - r2.p_value).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shapiro_false_positive_rate_is_calibrated() {
+        // On genuinely normal data, rejection at alpha = 0.05 should occur
+        // roughly 5% of the time.
+        let mut rejections = 0;
+        let trials = 300;
+        for t in 0..trials {
+            let mut gen = normal_stream(1000 + t);
+            let data: Vec<f64> = (0..30).map(|_| gen()).collect();
+            if !shapiro_wilk(&data).unwrap().is_normal(0.05) {
+                rejections += 1;
+            }
+        }
+        let rate = rejections as f64 / trials as f64;
+        assert!(
+            (0.005..=0.13).contains(&rate),
+            "false positive rate {rate} not near 0.05"
+        );
+    }
+
+    #[test]
+    fn shapiro_input_validation() {
+        assert!(shapiro_wilk(&[1.0, 2.0]).is_err());
+        assert_eq!(
+            shapiro_wilk(&[5.0; 10]).unwrap_err(),
+            StatsError::ZeroVariance
+        );
+        let huge = vec![0.0; 5001];
+        assert!(shapiro_wilk(&huge).is_err());
+    }
+
+    #[test]
+    fn shapiro_n3_edge_case() {
+        let r = shapiro_wilk(&[1.0, 2.0, 3.0]).unwrap();
+        assert!(r.statistic > 0.99);
+        assert!(r.p_value > 0.5);
+    }
+
+    #[test]
+    fn anderson_darling_passes_normal_rejects_skewed() {
+        let mut gen = normal_stream(5);
+        let normal: Vec<f64> = (0..100).map(|_| gen()).collect();
+        let r = anderson_darling(&normal).unwrap();
+        assert!(r.p_value > 0.05, "normal data rejected, p={}", r.p_value);
+
+        let skewed: Vec<f64> = (0..100)
+            .map(|_| -normal_cdf(gen()).clamp(1e-9, 1.0 - 1e-9).ln())
+            .collect();
+        let r = anderson_darling(&skewed).unwrap();
+        assert!(r.p_value < 0.01, "skewed data accepted, p={}", r.p_value);
+    }
+
+    #[test]
+    fn anderson_darling_validation() {
+        assert!(anderson_darling(&[1.0; 5]).is_err());
+        assert!(anderson_darling(&[3.0; 20]).is_err());
+    }
+
+    #[test]
+    fn jarque_bera_behaviour() {
+        let mut gen = normal_stream(11);
+        let normal: Vec<f64> = (0..500).map(|_| gen()).collect();
+        let r = jarque_bera(&normal).unwrap();
+        assert!(r.p_value > 0.05, "p={}", r.p_value);
+
+        let heavy: Vec<f64> = (0..500)
+            .map(|_| {
+                let u = normal_cdf(gen()).clamp(1e-9, 1.0 - 1e-9);
+                // Pareto-like heavy tail.
+                (1.0 - u).powf(-0.5)
+            })
+            .collect();
+        let r = jarque_bera(&heavy).unwrap();
+        assert!(r.p_value < 0.01, "heavy-tail accepted, p={}", r.p_value);
+        assert!(jarque_bera(&[1.0; 25]).is_err());
+        assert!(jarque_bera(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn tests_agree_on_clear_cases() {
+        let mut gen = normal_stream(23);
+        let data: Vec<f64> = (0..200).map(|_| 50.0 + 2.0 * gen()).collect();
+        assert!(shapiro_wilk(&data).unwrap().is_normal(0.01));
+        assert!(anderson_darling(&data).unwrap().is_normal(0.01));
+        assert!(jarque_bera(&data).unwrap().is_normal(0.01));
+    }
+}

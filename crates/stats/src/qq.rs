@@ -1,0 +1,221 @@
+//! Quantile–quantile analytics.
+//!
+//! QQ plots are the visual argument for non-normality that the
+//! measurement-variability literature leans on. This module produces the
+//! plot data (sample quantiles against theoretical normal scores or
+//! against a second sample) plus the Filliben-style probability-plot
+//! correlation coefficient — a single number summarizing "how straight is
+//! the QQ line".
+
+use serde::{Deserialize, Serialize};
+
+use crate::descriptive::Moments;
+use crate::error::{check_finite, Result, StatsError};
+use crate::quantile::{quantile_sorted, QuantileMethod};
+use crate::special::normal_quantile;
+
+/// QQ data against the normal distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NormalQq {
+    /// `(theoretical normal score, observed order statistic)` pairs.
+    pub points: Vec<(f64, f64)>,
+    /// Correlation between scores and order statistics (Filliben's
+    /// statistic): 1.0 = perfectly normal.
+    pub correlation: f64,
+    /// Intercept of the least-squares QQ line (estimates the mean).
+    pub intercept: f64,
+    /// Slope of the least-squares QQ line (estimates the SD).
+    pub slope: f64,
+}
+
+/// Builds normal QQ data using Filliben's plotting positions
+/// `(i - 0.375) / (n + 0.25)`.
+///
+/// # Errors
+///
+/// Returns an error on invalid input, fewer than 5 samples, or zero
+/// variance.
+///
+/// # Examples
+///
+/// ```
+/// use varstats::qq::normal_qq;
+///
+/// let data: Vec<f64> = (1..=40)
+///     .map(|i| varstats::special::normal_quantile((i as f64 - 0.5) / 40.0).unwrap())
+///     .collect();
+/// let qq = normal_qq(&data).unwrap();
+/// assert!(qq.correlation > 0.999);
+/// ```
+pub fn normal_qq(data: &[f64]) -> Result<NormalQq> {
+    check_finite(data)?;
+    let n = data.len();
+    if n < 5 {
+        return Err(StatsError::TooFewSamples { needed: 5, got: n });
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("validated finite"));
+    if sorted[0] == sorted[n - 1] {
+        return Err(StatsError::ZeroVariance);
+    }
+    let nf = n as f64;
+    let mut points = Vec::with_capacity(n);
+    for (i, &x) in sorted.iter().enumerate() {
+        let p = ((i + 1) as f64 - 0.375) / (nf + 0.25);
+        points.push((normal_quantile(p)?, x));
+    }
+    // Least-squares line and Pearson correlation of the pairs.
+    let mx: Moments = points.iter().map(|(t, _)| *t).collect();
+    let my: Moments = points.iter().map(|(_, x)| *x).collect();
+    let mut cov = 0.0;
+    for (t, x) in &points {
+        cov += (t - mx.mean()) * (x - my.mean());
+    }
+    cov /= nf - 1.0;
+    let sx = mx.std_dev();
+    let sy = my.std_dev();
+    if sx == 0.0 || sy == 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    let correlation = cov / (sx * sy);
+    let slope = cov / (sx * sx);
+    let intercept = my.mean() - slope * mx.mean();
+    Ok(NormalQq {
+        points,
+        correlation,
+        intercept,
+        slope,
+    })
+}
+
+/// Two-sample QQ data: quantiles of `a` against quantiles of `b` at
+/// `points` evenly spaced probabilities.
+///
+/// Near-identical distributions trace the diagonal; divergence in the
+/// upper corner is the tail signature the paper's latency exhibits show.
+///
+/// # Errors
+///
+/// Returns an error on invalid inputs or `points < 2`.
+pub fn two_sample_qq(a: &[f64], b: &[f64], points: usize) -> Result<Vec<(f64, f64)>> {
+    check_finite(a)?;
+    check_finite(b)?;
+    if points < 2 {
+        return Err(crate::error::invalid("points", "need at least 2"));
+    }
+    let mut sa = a.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    let mut sb = b.to_vec();
+    sb.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    (0..points)
+        .map(|i| {
+            let q = (i as f64 + 0.5) / points as f64;
+            Ok((
+                quantile_sorted(&sa, q, QuantileMethod::Linear)?,
+                quantile_sorted(&sb, q, QuantileMethod::Linear)?,
+            ))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn splitmix(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed;
+        move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            ((z >> 11) as f64) / ((1u64 << 53) as f64)
+        }
+    }
+
+    #[test]
+    fn normal_data_traces_a_straight_line() {
+        let mut u = splitmix(1);
+        let data: Vec<f64> = (0..200)
+            .map(|_| {
+                let u1: f64 = u().max(1e-12);
+                let u2: f64 = u();
+                50.0 + 3.0
+                    * (-2.0 * u1.ln()).sqrt()
+                    * (2.0 * std::f64::consts::PI * u2).cos()
+            })
+            .collect();
+        let qq = normal_qq(&data).unwrap();
+        assert!(qq.correlation > 0.99, "r = {}", qq.correlation);
+        assert!((qq.intercept - 50.0).abs() < 1.0, "intercept {}", qq.intercept);
+        assert!((qq.slope - 3.0).abs() < 0.5, "slope {}", qq.slope);
+    }
+
+    #[test]
+    fn exponential_data_bends_the_line() {
+        let mut u = splitmix(2);
+        let data: Vec<f64> = (0..200).map(|_| -u().max(1e-12).ln()).collect();
+        let qq = normal_qq(&data).unwrap();
+        assert!(qq.correlation < 0.985, "r = {}", qq.correlation);
+        // The points must be monotone in both coordinates.
+        for w in qq.points.windows(2) {
+            assert!(w[1].0 > w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn filliben_r_separates_normal_from_heavy_tail() {
+        let mut u = splitmix(3);
+        let normal: Vec<f64> = (0..150)
+            .map(|_| {
+                let u1: f64 = u().max(1e-12);
+                let u2: f64 = u();
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+            })
+            .collect();
+        let heavy: Vec<f64> = (0..150).map(|_| u().max(1e-9).powf(-0.5)).collect();
+        let rn = normal_qq(&normal).unwrap().correlation;
+        let rh = normal_qq(&heavy).unwrap().correlation;
+        assert!(rn > rh + 0.02, "normal {rn} vs heavy {rh}");
+    }
+
+    #[test]
+    fn two_sample_qq_identical_is_diagonal() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let pts = two_sample_qq(&data, &data, 20).unwrap();
+        for (x, y) in pts {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn two_sample_qq_shows_tail_divergence() {
+        let mut u = splitmix(4);
+        let base: Vec<f64> = (0..500).map(|_| u()).collect();
+        let tailed: Vec<f64> = (0..500)
+            .map(|_| {
+                let v = u();
+                if v > 0.97 {
+                    v * 10.0
+                } else {
+                    v
+                }
+            })
+            .collect();
+        let pts = two_sample_qq(&base, &tailed, 50).unwrap();
+        let (first_x, first_y) = pts[0];
+        let (last_x, last_y) = *pts.last().unwrap();
+        assert!((first_y / first_x.max(1e-9) - 1.0).abs() < 0.5);
+        assert!(last_y / last_x > 2.0, "tail should diverge: {last_x} vs {last_y}");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(normal_qq(&[1.0, 2.0]).is_err());
+        assert!(normal_qq(&[3.0; 10]).is_err());
+        assert!(two_sample_qq(&[1.0], &[], 10).is_err());
+        assert!(two_sample_qq(&[1.0, 2.0], &[1.0, 2.0], 1).is_err());
+    }
+}

@@ -1,0 +1,341 @@
+//! Sample quantiles and empirical CDFs.
+//!
+//! Quantile estimation follows the Hyndman–Fan taxonomy. The paper's
+//! analyses are built on medians and tail quantiles (p95/p99), so getting
+//! the interpolation conventions right — and stating which one is used —
+//! matters for reproducibility.
+
+use crate::error::{check_finite, invalid, Result};
+
+/// Quantile estimation method (Hyndman–Fan taxonomy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QuantileMethod {
+    /// Type 1: inverse of the empirical CDF (no interpolation).
+    InverseCdf,
+    /// Type 2: inverse ECDF with averaging at discontinuities.
+    InverseCdfAveraged,
+    /// Type 4: linear interpolation of the ECDF, `h = n q`.
+    EcdfLinear,
+    /// Type 6: `h = (n + 1) q` — the convention used by many benchmarking
+    /// tools for tail percentiles.
+    Weibull,
+    /// Type 7 (default, matches R/NumPy defaults): `h = (n - 1) q + 1`.
+    #[default]
+    Linear,
+    /// Type 8: `h = (n + 1/3) q + 1/3` — approximately median-unbiased,
+    /// recommended by Hyndman & Fan.
+    MedianUnbiased,
+}
+
+/// Computes the `q`-quantile of already-sorted data.
+///
+/// # Errors
+///
+/// Returns an error if `sorted` is empty or non-finite, or if `q` is outside
+/// `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use varstats::quantile::{quantile_sorted, QuantileMethod};
+///
+/// let data = [1.0, 2.0, 3.0, 4.0];
+/// let med = quantile_sorted(&data, 0.5, QuantileMethod::Linear).unwrap();
+/// assert_eq!(med, 2.5);
+/// ```
+pub fn quantile_sorted(sorted: &[f64], q: f64, method: QuantileMethod) -> Result<f64> {
+    check_finite(sorted)?;
+    if !(0.0..=1.0).contains(&q) {
+        return Err(invalid("q", format!("must be in [0, 1], got {q}")));
+    }
+    let n = sorted.len();
+    if n == 1 {
+        return Ok(sorted[0]);
+    }
+    let nf = n as f64;
+    match method {
+        QuantileMethod::InverseCdf => {
+            // Smallest x with ECDF(x) >= q.
+            let h = (nf * q).ceil() as usize;
+            Ok(sorted[h.clamp(1, n) - 1])
+        }
+        QuantileMethod::InverseCdfAveraged => {
+            let pos = nf * q;
+            let k = pos.ceil() as usize;
+            if (pos - pos.round()).abs() < 1e-12 && pos.round() as usize >= 1 {
+                let k = pos.round() as usize;
+                if k < n {
+                    return Ok((sorted[k - 1] + sorted[k]) / 2.0);
+                }
+                return Ok(sorted[n - 1]);
+            }
+            Ok(sorted[k.clamp(1, n) - 1])
+        }
+        QuantileMethod::EcdfLinear => interpolate(sorted, nf * q),
+        QuantileMethod::Weibull => interpolate(sorted, (nf + 1.0) * q),
+        QuantileMethod::Linear => interpolate(sorted, (nf - 1.0) * q + 1.0),
+        QuantileMethod::MedianUnbiased => interpolate(sorted, (nf + 1.0 / 3.0) * q + 1.0 / 3.0),
+    }
+}
+
+/// Computes the `q`-quantile of unsorted data (copies and sorts internally).
+///
+/// # Errors
+///
+/// Same as [`quantile_sorted`].
+pub fn quantile(data: &[f64], q: f64, method: QuantileMethod) -> Result<f64> {
+    check_finite(data)?;
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("validated finite"));
+    quantile_sorted(&sorted, q, method)
+}
+
+/// Median of unsorted data (type-7 interpolation).
+///
+/// # Errors
+///
+/// Returns an error on empty or non-finite input.
+pub fn median(data: &[f64]) -> Result<f64> {
+    quantile(data, 0.5, QuantileMethod::Linear)
+}
+
+/// Linear interpolation at 1-based fractional order-statistic index `h`.
+fn interpolate(sorted: &[f64], h: f64) -> Result<f64> {
+    let n = sorted.len();
+    let h = h.clamp(1.0, n as f64);
+    let lo = h.floor() as usize;
+    let frac = h - h.floor();
+    if lo >= n {
+        return Ok(sorted[n - 1]);
+    }
+    let low_val = sorted[lo - 1];
+    if frac == 0.0 || lo == n {
+        Ok(low_val)
+    } else {
+        Ok(low_val + frac * (sorted[lo] - low_val))
+    }
+}
+
+/// Empirical cumulative distribution function of a sample set.
+///
+/// # Examples
+///
+/// ```
+/// use varstats::quantile::Ecdf;
+///
+/// let e = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(e.eval(2.5), 0.5);
+/// assert_eq!(e.eval(0.0), 0.0);
+/// assert_eq!(e.eval(4.0), 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF from (unsorted) data.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on empty or non-finite input.
+    pub fn new(data: &[f64]) -> Result<Self> {
+        check_finite(data)?;
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("validated finite"));
+        Ok(Self { sorted })
+    }
+
+    /// Builds the ECDF from already-sorted data without re-sorting.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on empty or non-finite input.
+    pub fn from_sorted(sorted: Vec<f64>) -> Result<Self> {
+        check_finite(&sorted)?;
+        debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        Ok(Self { sorted })
+    }
+
+    /// Number of underlying samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Fraction of samples `<= x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The sorted support points of the ECDF.
+    pub fn support(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Evaluates the ECDF at each of its own support points, producing the
+    /// step-function vertices `(x_i, i/n)` — the series a CDF plot needs.
+    pub fn steps(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, (i + 1) as f64 / n))
+            .collect()
+    }
+}
+
+/// Two-sample Kolmogorov–Smirnov statistic `D = sup |F1 - F2|`.
+///
+/// # Errors
+///
+/// Returns an error if either sample is empty or non-finite.
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> Result<f64> {
+    let ea = Ecdf::new(a)?;
+    let eb = Ecdf::new(b)?;
+    let mut d: f64 = 0.0;
+    for &x in ea.support().iter().chain(eb.support().iter()) {
+        d = d.max((ea.eval(x) - eb.eval(x)).abs());
+    }
+    Ok(d)
+}
+
+/// Two-sample Kolmogorov–Smirnov test with the asymptotic p-value.
+///
+/// Returns `(statistic, p_value)`.
+///
+/// # Errors
+///
+/// Returns an error if either sample is empty or non-finite.
+pub fn ks_test(a: &[f64], b: &[f64]) -> Result<(f64, f64)> {
+    let d = ks_statistic(a, b)?;
+    let na = a.len() as f64;
+    let nb = b.len() as f64;
+    let ne = (na * nb / (na + nb)).sqrt();
+    let lambda = (ne + 0.12 + 0.11 / ne) * d;
+    Ok((d, crate::special::kolmogorov_survival(lambda)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type7_matches_r_defaults() {
+        // R: quantile(c(1,2,3,4), 0.5) = 2.5; quantile(1:5, 0.25) = 2.
+        let even = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&even, 0.5, QuantileMethod::Linear).unwrap(), 2.5);
+        let five = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&five, 0.25, QuantileMethod::Linear).unwrap(), 2.0);
+        assert_eq!(quantile(&five, 0.0, QuantileMethod::Linear).unwrap(), 1.0);
+        assert_eq!(quantile(&five, 1.0, QuantileMethod::Linear).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn type6_matches_r_type6() {
+        // R: quantile(1:4, 0.25, type = 6) = 1.25.
+        let data = [1.0, 2.0, 3.0, 4.0];
+        let v = quantile(&data, 0.25, QuantileMethod::Weibull).unwrap();
+        assert!((v - 1.25).abs() < 1e-12, "got {v}");
+    }
+
+    #[test]
+    fn type1_is_a_data_point() {
+        let data = [10.0, 20.0, 30.0];
+        for &q in &[0.01, 0.2, 0.5, 0.77, 0.999] {
+            let v = quantile(&data, q, QuantileMethod::InverseCdf).unwrap();
+            assert!(data.contains(&v));
+        }
+        assert_eq!(
+            quantile(&data, 0.5, QuantileMethod::InverseCdf).unwrap(),
+            20.0
+        );
+    }
+
+    #[test]
+    fn type2_averages_at_jumps() {
+        // n*q integral: Binomial median convention.
+        let data = [1.0, 2.0, 3.0, 4.0];
+        let v = quantile(&data, 0.5, QuantileMethod::InverseCdfAveraged).unwrap();
+        assert_eq!(v, 2.5);
+        let v = quantile(&data, 0.25, QuantileMethod::InverseCdfAveraged).unwrap();
+        assert_eq!(v, 1.5);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let data = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        for method in [
+            QuantileMethod::InverseCdf,
+            QuantileMethod::Weibull,
+            QuantileMethod::Linear,
+            QuantileMethod::MedianUnbiased,
+            QuantileMethod::EcdfLinear,
+        ] {
+            let mut last = f64::NEG_INFINITY;
+            for i in 0..=20 {
+                let q = i as f64 / 20.0;
+                let v = quantile(&data, q, method).unwrap();
+                assert!(v >= last - 1e-12, "method {method:?} q {q}");
+                last = v;
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_rejects_bad_q() {
+        assert!(quantile(&[1.0], 1.5, QuantileMethod::Linear).is_err());
+        assert!(quantile(&[1.0], -0.1, QuantileMethod::Linear).is_err());
+        assert!(quantile(&[1.0], f64::NAN, QuantileMethod::Linear).is_err());
+    }
+
+    #[test]
+    fn single_element_is_every_quantile() {
+        for &q in &[0.0, 0.3, 1.0] {
+            assert_eq!(quantile(&[7.0], q, QuantileMethod::Linear).unwrap(), 7.0);
+        }
+    }
+
+    #[test]
+    fn ecdf_basics() {
+        let e = Ecdf::new(&[3.0, 1.0, 2.0, 2.0]).unwrap();
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.0), 0.75);
+        assert_eq!(e.eval(3.0), 1.0);
+        assert_eq!(e.eval(99.0), 1.0);
+        assert_eq!(e.len(), 4);
+        let steps = e.steps();
+        assert_eq!(steps.first().unwrap().0, 1.0);
+        assert_eq!(steps.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn ks_identical_samples_is_zero() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(ks_statistic(&a, &a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn ks_disjoint_samples_is_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 11.0, 12.0];
+        assert_eq!(ks_statistic(&a, &b).unwrap(), 1.0);
+        let (_, p) = ks_test(&a, &b).unwrap();
+        assert!(p < 0.2, "disjoint tiny samples should look different, p={p}");
+    }
+
+    #[test]
+    fn ks_similar_samples_high_p() {
+        let a: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..100).map(|i| i as f64 + 0.01).collect();
+        let (d, p) = ks_test(&a, &b).unwrap();
+        assert!(d <= 0.02, "d={d}");
+        assert!(p > 0.9, "p={p}");
+    }
+}

@@ -1,0 +1,277 @@
+//! Rank-based hypothesis tests.
+//!
+//! Distribution-free companions to the CI machinery: the Wilcoxon
+//! signed-rank test (is the median equal to a hypothesized value / did a
+//! paired change help?) and the Kruskal–Wallis test (do `k` groups —
+//! machines, types, configurations — share a distribution?).
+
+use crate::error::{check_finite, invalid, Result, StatsError};
+use crate::normality::TestResult;
+use crate::special::{chi_squared_cdf, normal_cdf};
+
+/// Ranks `values` ascending with mid-ranks for ties; returns the ranks
+/// and the tie-correction term `sum(t^3 - t)` over tie groups.
+fn rank_with_ties(values: &[f64]) -> (Vec<f64>, f64) {
+    let n = values.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite"));
+    let mut ranks = vec![0.0; n];
+    let mut tie_term = 0.0;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        let t = (j - i + 1) as f64;
+        if t > 1.0 {
+            tie_term += t * t * t - t;
+        }
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    (ranks, tie_term)
+}
+
+/// One-sample Wilcoxon signed-rank test of `H0: median == m0`
+/// (two-sided, normal approximation with tie and continuity corrections).
+///
+/// The statistic reported is `W+`, the sum of ranks of positive
+/// deviations.
+///
+/// # Errors
+///
+/// Returns an error on invalid input or fewer than 10 nonzero deviations
+/// (the normal approximation needs them).
+///
+/// # Examples
+///
+/// ```
+/// use varstats::ranktests::wilcoxon_signed_rank;
+///
+/// let data: Vec<f64> = (1..=30).map(f64::from).collect();
+/// // The true median is 15.5; testing against 3 must reject.
+/// let r = wilcoxon_signed_rank(&data, 3.0).unwrap();
+/// assert!(r.p_value < 0.001);
+/// ```
+pub fn wilcoxon_signed_rank(data: &[f64], m0: f64) -> Result<TestResult> {
+    check_finite(data)?;
+    if !m0.is_finite() {
+        return Err(invalid("m0", "must be finite"));
+    }
+    let deviations: Vec<f64> = data
+        .iter()
+        .map(|&x| x - m0)
+        .filter(|&d| d != 0.0)
+        .collect();
+    let n = deviations.len();
+    if n < 10 {
+        return Err(StatsError::TooFewSamples { needed: 10, got: n });
+    }
+    let abs: Vec<f64> = deviations.iter().map(|d| d.abs()).collect();
+    let (ranks, tie_term) = rank_with_ties(&abs);
+    let w_plus: f64 = deviations
+        .iter()
+        .zip(ranks.iter())
+        .filter(|(d, _)| **d > 0.0)
+        .map(|(_, r)| *r)
+        .sum();
+    let nf = n as f64;
+    let mean = nf * (nf + 1.0) / 4.0;
+    let var = nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0 - tie_term / 48.0;
+    if var <= 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    let diff = w_plus - mean;
+    let corrected = if diff > 0.5 {
+        diff - 0.5
+    } else if diff < -0.5 {
+        diff + 0.5
+    } else {
+        0.0
+    };
+    let z = corrected / var.sqrt();
+    let p = 2.0 * (1.0 - normal_cdf(z.abs()));
+    Ok(TestResult {
+        statistic: w_plus,
+        p_value: p.clamp(0.0, 1.0),
+    })
+}
+
+/// Paired Wilcoxon signed-rank test: `H0: median(after - before) == 0`.
+///
+/// # Errors
+///
+/// Returns an error on invalid input, mismatched lengths, or too few
+/// nonzero differences.
+pub fn wilcoxon_paired(before: &[f64], after: &[f64]) -> Result<TestResult> {
+    check_finite(before)?;
+    check_finite(after)?;
+    if before.len() != after.len() {
+        return Err(invalid(
+            "after",
+            format!("length mismatch: {} vs {}", before.len(), after.len()),
+        ));
+    }
+    let diffs: Vec<f64> = before.iter().zip(after).map(|(b, a)| a - b).collect();
+    wilcoxon_signed_rank(&diffs, 0.0)
+}
+
+/// Kruskal–Wallis H test: do `k >= 2` groups share one distribution?
+///
+/// Ranks the pooled sample (mid-ranks for ties), computes
+/// `H = 12 / (N (N+1)) * sum R_j^2 / n_j - 3 (N + 1)` with the tie
+/// correction, and reports a chi-squared(k−1) p-value.
+///
+/// # Errors
+///
+/// Returns an error with fewer than 2 groups, any group smaller than 5,
+/// invalid values, or all-identical data.
+///
+/// # Examples
+///
+/// ```
+/// use varstats::ranktests::kruskal_wallis;
+///
+/// let g1: Vec<f64> = (0..20).map(|i| 10.0 + (i % 5) as f64).collect();
+/// let g2: Vec<f64> = (0..20).map(|i| 30.0 + (i % 5) as f64).collect();
+/// let r = kruskal_wallis(&[&g1, &g2]).unwrap();
+/// assert!(r.p_value < 0.001);
+/// ```
+pub fn kruskal_wallis(groups: &[&[f64]]) -> Result<TestResult> {
+    if groups.len() < 2 {
+        return Err(invalid("groups", "need at least 2 groups"));
+    }
+    for g in groups {
+        check_finite(g)?;
+        if g.len() < 5 {
+            return Err(StatsError::TooFewSamples {
+                needed: 5,
+                got: g.len(),
+            });
+        }
+    }
+    let pooled: Vec<f64> = groups.iter().flat_map(|g| g.iter().copied()).collect();
+    let n_total = pooled.len() as f64;
+    let (ranks, tie_term) = rank_with_ties(&pooled);
+    let tie_correction = 1.0 - tie_term / (n_total * n_total * n_total - n_total);
+    if tie_correction <= 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    let mut h = 0.0;
+    let mut offset = 0usize;
+    for g in groups {
+        let r_sum: f64 = ranks[offset..offset + g.len()].iter().sum();
+        h += r_sum * r_sum / g.len() as f64;
+        offset += g.len();
+    }
+    h = 12.0 / (n_total * (n_total + 1.0)) * h - 3.0 * (n_total + 1.0);
+    h /= tie_correction;
+    let df = (groups.len() - 1) as f64;
+    let p = 1.0 - chi_squared_cdf(h.max(0.0), df)?;
+    Ok(TestResult {
+        statistic: h,
+        p_value: p.clamp(0.0, 1.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn splitmix(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed;
+        move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            ((z >> 11) as f64) / ((1u64 << 53) as f64)
+        }
+    }
+
+    #[test]
+    fn signed_rank_accepts_true_median() {
+        let mut u = splitmix(1);
+        let data: Vec<f64> = (0..50).map(|_| 100.0 + (u() - 0.5)).collect();
+        let r = wilcoxon_signed_rank(&data, 100.0).unwrap();
+        assert!(r.p_value > 0.05, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn signed_rank_rejects_wrong_median() {
+        let mut u = splitmix(2);
+        let data: Vec<f64> = (0..50).map(|_| 100.0 + (u() - 0.5)).collect();
+        let r = wilcoxon_signed_rank(&data, 101.0).unwrap();
+        assert!(r.p_value < 1e-6, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn signed_rank_statistic_extremes() {
+        // All deviations positive: W+ = n(n+1)/2.
+        let data: Vec<f64> = (1..=15).map(f64::from).collect();
+        let r = wilcoxon_signed_rank(&data, 0.0).unwrap();
+        assert_eq!(r.statistic, 120.0);
+    }
+
+    #[test]
+    fn paired_test_detects_shift() {
+        let mut u = splitmix(3);
+        let before: Vec<f64> = (0..40).map(|_| 10.0 + u()).collect();
+        let after: Vec<f64> = before.iter().map(|b| b * 1.05 + 0.01).collect();
+        let r = wilcoxon_paired(&before, &after).unwrap();
+        assert!(r.p_value < 1e-6);
+        // No-change control.
+        let mut u2 = splitmix(4);
+        let jitter: Vec<f64> = before.iter().map(|b| b + (u2() - 0.5) * 0.1).collect();
+        let r = wilcoxon_paired(&before, &jitter).unwrap();
+        assert!(r.p_value > 0.01, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn kruskal_identical_groups_accept() {
+        let mut u = splitmix(5);
+        let groups: Vec<Vec<f64>> = (0..3)
+            .map(|_| (0..30).map(|_| u()).collect())
+            .collect();
+        let refs: Vec<&[f64]> = groups.iter().map(|g| g.as_slice()).collect();
+        let r = kruskal_wallis(&refs).unwrap();
+        assert!(r.p_value > 0.01, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn kruskal_shifted_group_rejects() {
+        let mut u = splitmix(6);
+        let g1: Vec<f64> = (0..30).map(|_| u()).collect();
+        let g2: Vec<f64> = (0..30).map(|_| u()).collect();
+        let g3: Vec<f64> = (0..30).map(|_| u() + 0.8).collect();
+        let r = kruskal_wallis(&[&g1, &g2, &g3]).unwrap();
+        assert!(r.p_value < 0.001, "p={}", r.p_value);
+        assert!(r.statistic > 10.0);
+    }
+
+    #[test]
+    fn kruskal_handles_ties() {
+        let g1 = [1.0, 1.0, 2.0, 2.0, 3.0];
+        let g2 = [2.0, 2.0, 3.0, 3.0, 4.0];
+        let r = kruskal_wallis(&[&g1, &g2]).unwrap();
+        assert!((0.0..=1.0).contains(&r.p_value));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(wilcoxon_signed_rank(&[1.0; 5], 1.0).is_err()); // all zero deviations
+        assert!(wilcoxon_signed_rank(&[1.0, 2.0], 0.0).is_err());
+        assert!(wilcoxon_signed_rank(&[1.0; 20], f64::NAN).is_err());
+        assert!(wilcoxon_paired(&[1.0, 2.0], &[1.0]).is_err());
+        let g: Vec<f64> = (0..10).map(f64::from).collect();
+        assert!(kruskal_wallis(&[&g]).is_err());
+        assert!(kruskal_wallis(&[&g, &[1.0, 2.0]]).is_err());
+        let same = [5.0; 10];
+        assert!(kruskal_wallis(&[&same, &same]).is_err());
+    }
+}

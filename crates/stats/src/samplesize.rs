@@ -1,0 +1,213 @@
+//! Parametric sample-size (repetition-count) estimation.
+//!
+//! Classical methodology (Jain, *The Art of Computer Systems Performance
+//! Analysis*, 1991) prescribes a closed-form repetition count assuming
+//! normally distributed samples:
+//!
+//! ```text
+//! n = (100 * z * s / (r * x))^2
+//! ```
+//!
+//! where `z` is the normal variate of the confidence level, `s` the sample
+//! standard deviation, `x` the sample mean, and `r` the target error as a
+//! *percentage* of the mean. The paper contrasts this with the
+//! non-parametric CONFIRM procedure (see the `confirm` crate); the
+//! comparison is experiment T3.
+
+use serde::{Deserialize, Serialize};
+
+use crate::descriptive::Moments;
+use crate::error::{check_finite, invalid, Result, StatsError};
+use crate::special::normal_quantile;
+
+/// Result of a parametric repetition estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParametricEstimate {
+    /// Estimated number of repetitions (rounded up, at least 1).
+    pub repetitions: usize,
+    /// The raw (un-rounded) value of Jain's formula.
+    pub raw: f64,
+    /// Coefficient of variation of the pilot data used.
+    pub cov: f64,
+}
+
+/// Jain's closed-form repetition estimate from pilot measurements.
+///
+/// `rel_error` is the target half-width as a *fraction* of the mean (the
+/// paper's ±1% criterion is `0.01`), and `confidence` the CI level.
+///
+/// # Errors
+///
+/// Returns an error on invalid input, fewer than 2 pilot samples, a zero
+/// mean, or out-of-range `rel_error`/`confidence`.
+///
+/// # Examples
+///
+/// ```
+/// use varstats::samplesize::jain_sample_size;
+///
+/// // Pilot data with CoV ~ 2% needs ~16 repetitions for +/-1% at 95%.
+/// let pilot: Vec<f64> = (0..30).map(|i| 100.0 + 2.0 * ((i * 7 % 13) as f64 / 6.0 - 1.0)).collect();
+/// let est = jain_sample_size(&pilot, 0.01, 0.95).unwrap();
+/// assert!(est.repetitions >= 1);
+/// ```
+pub fn jain_sample_size(
+    pilot: &[f64],
+    rel_error: f64,
+    confidence: f64,
+) -> Result<ParametricEstimate> {
+    check_finite(pilot)?;
+    if pilot.len() < 2 {
+        return Err(StatsError::TooFewSamples {
+            needed: 2,
+            got: pilot.len(),
+        });
+    }
+    if !(rel_error > 0.0 && rel_error < 1.0) {
+        return Err(invalid(
+            "rel_error",
+            format!("must be in (0, 1), got {rel_error}"),
+        ));
+    }
+    crate::ci::check_confidence(confidence)?;
+    let m: Moments = pilot.iter().copied().collect();
+    if m.mean() == 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    let z = normal_quantile(0.5 + confidence / 2.0)?;
+    // Jain's formula with r expressed in percent: n = (100 z s / (r x))^2.
+    let r_percent = rel_error * 100.0;
+    let raw = (100.0 * z * m.std_dev() / (r_percent * m.mean().abs())).powi(2);
+    Ok(ParametricEstimate {
+        repetitions: raw.ceil().max(1.0) as usize,
+        raw,
+        cov: m.std_dev() / m.mean().abs(),
+    })
+}
+
+/// Jain's formula from a known coefficient of variation rather than pilot
+/// data: `n = (z * cov / rel_error)^2`.
+///
+/// # Errors
+///
+/// Returns an error on out-of-range arguments.
+pub fn jain_sample_size_from_cov(
+    cov: f64,
+    rel_error: f64,
+    confidence: f64,
+) -> Result<ParametricEstimate> {
+    if cov < 0.0 || !cov.is_finite() {
+        return Err(invalid("cov", format!("must be >= 0, got {cov}")));
+    }
+    if !(rel_error > 0.0 && rel_error < 1.0) {
+        return Err(invalid(
+            "rel_error",
+            format!("must be in (0, 1), got {rel_error}"),
+        ));
+    }
+    crate::ci::check_confidence(confidence)?;
+    let z = normal_quantile(0.5 + confidence / 2.0)?;
+    let raw = (z * cov / rel_error).powi(2);
+    Ok(ParametricEstimate {
+        repetitions: raw.ceil().max(1.0) as usize,
+        raw,
+        cov,
+    })
+}
+
+/// Conservative distribution-free bound from Chebyshev's inequality:
+/// `n >= cov^2 / (alpha * rel_error^2)`.
+///
+/// Always valid but typically far larger than Jain's estimate; included as
+/// the "no assumptions at all" end of the spectrum.
+///
+/// # Errors
+///
+/// Same domain checks as [`jain_sample_size_from_cov`].
+pub fn chebyshev_sample_size(
+    cov: f64,
+    rel_error: f64,
+    confidence: f64,
+) -> Result<ParametricEstimate> {
+    if cov < 0.0 || !cov.is_finite() {
+        return Err(invalid("cov", format!("must be >= 0, got {cov}")));
+    }
+    if !(rel_error > 0.0 && rel_error < 1.0) {
+        return Err(invalid(
+            "rel_error",
+            format!("must be in (0, 1), got {rel_error}"),
+        ));
+    }
+    crate::ci::check_confidence(confidence)?;
+    let alpha = 1.0 - confidence;
+    let raw = cov * cov / (alpha * rel_error * rel_error);
+    Ok(ParametricEstimate {
+        repetitions: raw.ceil().max(1.0) as usize,
+        raw,
+        cov,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formula_matches_hand_computation() {
+        // cov = 0.05, rel_error = 0.01, z = 1.96 -> n = (1.96*0.05/0.01)^2 = 96.04.
+        let est = jain_sample_size_from_cov(0.05, 0.01, 0.95).unwrap();
+        assert!((est.raw - 96.04).abs() < 0.05, "raw={}", est.raw);
+        assert_eq!(est.repetitions, 97);
+    }
+
+    #[test]
+    fn pilot_and_cov_paths_agree() {
+        let pilot: Vec<f64> = (0..100)
+            .map(|i| 100.0 + ((i * 31) % 17) as f64 - 8.0)
+            .collect();
+        let a = jain_sample_size(&pilot, 0.02, 0.95).unwrap();
+        let b = jain_sample_size_from_cov(a.cov, 0.02, 0.95).unwrap();
+        assert_eq!(a.repetitions, b.repetitions);
+        assert!((a.raw - b.raw).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tighter_error_needs_quadratically_more() {
+        let c1 = jain_sample_size_from_cov(0.1, 0.02, 0.95).unwrap();
+        let c2 = jain_sample_size_from_cov(0.1, 0.01, 0.95).unwrap();
+        assert!((c2.raw / c1.raw - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_confidence_needs_more() {
+        let c95 = jain_sample_size_from_cov(0.1, 0.01, 0.95).unwrap();
+        let c99 = jain_sample_size_from_cov(0.1, 0.01, 0.99).unwrap();
+        assert!(c99.repetitions > c95.repetitions);
+    }
+
+    #[test]
+    fn zero_cov_needs_one_repetition() {
+        let est = jain_sample_size_from_cov(0.0, 0.01, 0.95).unwrap();
+        assert_eq!(est.repetitions, 1);
+    }
+
+    #[test]
+    fn chebyshev_dominates_jain() {
+        for &cov in &[0.01, 0.05, 0.2] {
+            let j = jain_sample_size_from_cov(cov, 0.01, 0.95).unwrap();
+            let c = chebyshev_sample_size(cov, 0.01, 0.95).unwrap();
+            assert!(c.repetitions >= j.repetitions, "cov={cov}");
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(jain_sample_size(&[1.0], 0.01, 0.95).is_err());
+        assert!(jain_sample_size(&[1.0, 2.0], 0.0, 0.95).is_err());
+        assert!(jain_sample_size(&[1.0, 2.0], 1.5, 0.95).is_err());
+        assert!(jain_sample_size(&[1.0, 2.0], 0.01, 1.0).is_err());
+        assert!(jain_sample_size(&[-1.0, 1.0], 0.01, 0.95).is_err());
+        assert!(jain_sample_size_from_cov(-0.1, 0.01, 0.95).is_err());
+        assert!(jain_sample_size_from_cov(f64::NAN, 0.01, 0.95).is_err());
+    }
+}

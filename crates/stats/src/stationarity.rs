@@ -1,0 +1,290 @@
+//! Stationarity testing (Augmented Dickey–Fuller).
+//!
+//! CONFIRM and every CI in this library assume the measurement process is
+//! stationary — no drift, no level shifts. Changepoint detection finds
+//! discrete shifts; the ADF test (the one Lancet popularized for latency
+//! measurement) asks the broader question: *does this series revert to a
+//! stable level at all?*
+//!
+//! The regression is the standard constant-only ADF:
+//! `dy_t = alpha + gamma * y_{t-1} + sum_i beta_i * dy_{t-i} + e_t`,
+//! with `t = gamma_hat / se(gamma_hat)` compared against the
+//! Dickey–Fuller distribution (MacKinnon large-sample critical values,
+//! linearly interpolated for an approximate p-value).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{check_finite, invalid, Result, StatsError};
+
+/// Result of an ADF test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdfResult {
+    /// The ADF t-statistic (more negative = more stationary).
+    pub statistic: f64,
+    /// Approximate p-value (interpolated from the DF table; values
+    /// outside the table clamp to 0.001 / 0.999).
+    pub p_value: f64,
+    /// Number of lagged difference terms included.
+    pub lags: usize,
+}
+
+impl AdfResult {
+    /// Whether the unit-root null is rejected at `alpha` — i.e. the
+    /// series looks stationary.
+    pub fn is_stationary(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Large-sample Dickey–Fuller quantiles for the constant-only case:
+/// `(p, critical value)`.
+const DF_TABLE: [(f64, f64); 8] = [
+    (0.01, -3.43),
+    (0.025, -3.12),
+    (0.05, -2.86),
+    (0.10, -2.57),
+    (0.90, -0.44),
+    (0.95, -0.07),
+    (0.975, 0.23),
+    (0.99, 0.60),
+];
+
+fn df_p_value(stat: f64) -> f64 {
+    if stat <= DF_TABLE[0].1 {
+        return 0.001;
+    }
+    if stat >= DF_TABLE[DF_TABLE.len() - 1].1 {
+        return 0.999;
+    }
+    for w in DF_TABLE.windows(2) {
+        let (p0, c0) = w[0];
+        let (p1, c1) = w[1];
+        if stat >= c0 && stat <= c1 {
+            let frac = (stat - c0) / (c1 - c0);
+            return p0 + frac * (p1 - p0);
+        }
+    }
+    0.5
+}
+
+/// Solves the symmetric positive-definite system `a x = b` in place via
+/// Gaussian elimination with partial pivoting (tiny systems only).
+// Index-based loops mirror the textbook elimination and stay readable.
+#[allow(clippy::needless_range_loop)]
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let mut pivot = col;
+        for row in col + 1..n {
+            if a[row][col].abs() > a[pivot][col].abs() {
+                pivot = row;
+            }
+        }
+        if a[pivot][col].abs() < 1e-12 {
+            return Err(StatsError::NoConvergence { routine: "adf_ols" });
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..n {
+            let f = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= f * a[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut sum = b[row];
+        for k in row + 1..n {
+            sum -= a[row][k] * x[k];
+        }
+        x[row] = sum / a[row][row];
+    }
+    Ok(x)
+}
+
+/// Augmented Dickey–Fuller test with `lags` lagged difference terms
+/// (constant, no trend). Use `lags = 0` for the plain DF test; Schwert's
+/// rule of thumb is `lags ~ (12 (n/100)^0.25)` for long series.
+///
+/// # Errors
+///
+/// Returns an error on invalid input, too few observations
+/// (`n < lags + 15`), or a singular regression (constant series).
+///
+/// # Examples
+///
+/// ```
+/// use varstats::stationarity::adf_test;
+///
+/// // White noise around a level is stationary.
+/// let series: Vec<f64> = (0..200).map(|i| 10.0 + ((i * 37) % 11) as f64 * 0.1).collect();
+/// let r = adf_test(&series, 2).unwrap();
+/// assert!(r.is_stationary(0.05));
+/// ```
+// The X'X accumulation is clearest with explicit matrix indices.
+#[allow(clippy::needless_range_loop)]
+pub fn adf_test(series: &[f64], lags: usize) -> Result<AdfResult> {
+    check_finite(series)?;
+    let n = series.len();
+    if n < lags + 15 {
+        return Err(StatsError::TooFewSamples {
+            needed: lags + 15,
+            got: n,
+        });
+    }
+    if lags > 20 {
+        return Err(invalid("lags", format!("at most 20 supported, got {lags}")));
+    }
+    // Build the regression: rows t = lags+1 .. n-1 (0-based on diffs).
+    let diffs: Vec<f64> = series.windows(2).map(|w| w[1] - w[0]).collect();
+    let rows = diffs.len() - lags;
+    let k = 2 + lags; // constant, y_{t-1}, lagged diffs.
+    // Design matrix X (rows x k) and response y.
+    let mut xtx = vec![vec![0.0; k]; k];
+    let mut xty = vec![0.0; k];
+    let mut regressors = vec![0.0; k];
+    let mut design: Vec<Vec<f64>> = Vec::with_capacity(rows);
+    let mut response: Vec<f64> = Vec::with_capacity(rows);
+    for t in lags..diffs.len() {
+        regressors[0] = 1.0;
+        regressors[1] = series[t]; // y_{t-1} for dy_t = y_{t+1}-y_t at index t.
+        for (i, slot) in regressors[2..2 + lags].iter_mut().enumerate() {
+            *slot = diffs[t - 1 - i];
+        }
+        let y = diffs[t];
+        for a in 0..k {
+            for b in a..k {
+                xtx[a][b] += regressors[a] * regressors[b];
+            }
+            xty[a] += regressors[a] * y;
+        }
+        design.push(regressors.clone());
+        response.push(y);
+    }
+    for a in 1..k {
+        for b in 0..a {
+            xtx[a][b] = xtx[b][a];
+        }
+    }
+    let beta = solve(xtx.clone(), xty)?;
+    // Residual variance.
+    let mut ssr = 0.0;
+    for (x, &y) in design.iter().zip(response.iter()) {
+        let fit: f64 = x.iter().zip(beta.iter()).map(|(a, b)| a * b).sum();
+        let r = y - fit;
+        ssr += r * r;
+    }
+    let dof = rows as f64 - k as f64;
+    if dof <= 0.0 {
+        return Err(StatsError::TooFewSamples {
+            needed: k + 1,
+            got: rows,
+        });
+    }
+    let sigma2 = ssr / dof;
+    // se(gamma) = sqrt(sigma2 * (X'X)^-1 [1][1]); get the column of the
+    // inverse by solving X'X v = e_1.
+    let mut e1 = vec![0.0; k];
+    e1[1] = 1.0;
+    let v = solve(xtx, e1)?;
+    let se = (sigma2 * v[1]).sqrt();
+    if se <= 0.0 || !se.is_finite() {
+        return Err(StatsError::ZeroVariance);
+    }
+    let statistic = beta[1] / se;
+    Ok(AdfResult {
+        statistic,
+        p_value: df_p_value(statistic),
+        lags,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn splitmix(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed;
+        move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            ((z >> 11) as f64) / ((1u64 << 53) as f64)
+        }
+    }
+
+    #[test]
+    fn white_noise_is_stationary() {
+        let mut u = splitmix(1);
+        let series: Vec<f64> = (0..300).map(|_| 100.0 + u()).collect();
+        let r = adf_test(&series, 2).unwrap();
+        assert!(r.is_stationary(0.05), "stat {} p {}", r.statistic, r.p_value);
+        assert!(r.statistic < -5.0);
+    }
+
+    #[test]
+    fn random_walk_is_not_stationary() {
+        let mut u = splitmix(2);
+        let mut level = 100.0;
+        let series: Vec<f64> = (0..300)
+            .map(|_| {
+                level += u() - 0.5;
+                level
+            })
+            .collect();
+        let r = adf_test(&series, 2).unwrap();
+        assert!(!r.is_stationary(0.05), "stat {} p {}", r.statistic, r.p_value);
+    }
+
+    #[test]
+    fn trending_series_is_not_stationary() {
+        let mut u = splitmix(3);
+        let series: Vec<f64> = (0..300)
+            .map(|i| 100.0 + 0.05 * i as f64 + 0.2 * (u() - 0.5))
+            .collect();
+        let r = adf_test(&series, 1).unwrap();
+        assert!(!r.is_stationary(0.01), "stat {}", r.statistic);
+    }
+
+    #[test]
+    fn ar1_with_strong_mean_reversion_is_stationary() {
+        let mut u = splitmix(4);
+        let mut y = 0.0;
+        let series: Vec<f64> = (0..400)
+            .map(|_| {
+                y = 0.5 * y + (u() - 0.5);
+                y + 50.0
+            })
+            .collect();
+        let r = adf_test(&series, 3).unwrap();
+        assert!(r.is_stationary(0.05), "stat {}", r.statistic);
+    }
+
+    #[test]
+    fn p_value_interpolation_is_monotone() {
+        let mut last = 0.0;
+        for stat in [-5.0, -3.43, -3.0, -2.86, -2.0, -1.0, 0.0, 1.0] {
+            let p = df_p_value(stat);
+            assert!(p >= last, "p({stat}) = {p} < {last}");
+            last = p;
+        }
+        assert_eq!(df_p_value(-10.0), 0.001);
+        assert_eq!(df_p_value(5.0), 0.999);
+    }
+
+    #[test]
+    fn lag_count_is_recorded_and_validated() {
+        let mut u = splitmix(5);
+        let series: Vec<f64> = (0..100).map(|_| u()).collect();
+        let r = adf_test(&series, 4).unwrap();
+        assert_eq!(r.lags, 4);
+        assert!(adf_test(&series, 25).is_err());
+        assert!(adf_test(&series[..10], 0).is_err());
+        assert!(adf_test(&[5.0; 100], 0).is_err());
+    }
+}

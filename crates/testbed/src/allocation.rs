@@ -1,0 +1,142 @@
+//! Machine-allocation policies.
+//!
+//! A testbed user asking for "3 machines of type X" gets *some* 3 of the
+//! fleet. Because machines of one type differ persistently (the hardware
+//! lottery), the allocation policy leaks into every result: always
+//! receiving the same first-k machines (sequential allocation) bakes
+//! their particular lottery draw into the "type performance" estimate,
+//! while random allocation turns machine identity into sampled noise —
+//! which is why the paper recommends randomizing machine selection.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::Cluster;
+use crate::machine::Machine;
+
+/// How machines are picked from a type's fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllocationPolicy {
+    /// Always the first `k` machines (what naive schedulers and habit
+    /// produce).
+    Sequential,
+    /// A uniform random subset, reseeded per experiment.
+    Random {
+        /// Seed of the draw.
+        seed: u64,
+    },
+    /// Evenly spaced across the fleet (a cheap stratification).
+    Strided,
+}
+
+/// Picks `k` machines of `type_name` under `policy`.
+///
+/// Returns fewer than `k` machines if the fleet is smaller; an unknown
+/// type yields an empty vector.
+pub fn allocate<'a>(
+    cluster: &'a Cluster,
+    type_name: &str,
+    k: usize,
+    policy: AllocationPolicy,
+) -> Vec<&'a Machine> {
+    let fleet = cluster.machines_of_type(type_name);
+    if fleet.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    let k = k.min(fleet.len());
+    match policy {
+        AllocationPolicy::Sequential => fleet.into_iter().take(k).collect(),
+        AllocationPolicy::Random { seed } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut indices: Vec<usize> = (0..fleet.len()).collect();
+            // Partial Fisher-Yates.
+            for i in 0..k {
+                let j = rng.random_range(i..indices.len());
+                indices.swap(i, j);
+            }
+            let mut picked: Vec<usize> = indices[..k].to_vec();
+            picked.sort_unstable();
+            picked.into_iter().map(|i| fleet[i]).collect()
+        }
+        AllocationPolicy::Strided => {
+            let stride = fleet.len() as f64 / k as f64;
+            (0..k)
+                .map(|i| fleet[(i as f64 * stride) as usize])
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hardware::catalog;
+    use crate::temporal::Timeline;
+
+    fn cluster() -> Cluster {
+        Cluster::provision(catalog(), 0.2, Timeline::quiet(10.0), 3)
+    }
+
+    #[test]
+    fn sequential_is_the_prefix() {
+        let c = cluster();
+        let fleet = c.machines_of_type("m400");
+        let picked = allocate(&c, "m400", 3, AllocationPolicy::Sequential);
+        assert_eq!(picked.len(), 3);
+        for (p, f) in picked.iter().zip(fleet.iter()) {
+            assert_eq!(p.id, f.id);
+        }
+    }
+
+    #[test]
+    fn random_is_seed_deterministic_and_varies_across_seeds() {
+        let c = cluster();
+        let a = allocate(&c, "m400", 5, AllocationPolicy::Random { seed: 1 });
+        let b = allocate(&c, "m400", 5, AllocationPolicy::Random { seed: 1 });
+        let ids = |v: &[&Machine]| v.iter().map(|m| m.id).collect::<Vec<_>>();
+        assert_eq!(ids(&a), ids(&b));
+        // Across many seeds, at least one draw differs from sequential.
+        let sequential = ids(&allocate(&c, "m400", 5, AllocationPolicy::Sequential));
+        let mut any_different = false;
+        for seed in 0..20 {
+            if ids(&allocate(&c, "m400", 5, AllocationPolicy::Random { seed })) != sequential {
+                any_different = true;
+                break;
+            }
+        }
+        assert!(any_different);
+    }
+
+    #[test]
+    fn random_draws_without_replacement() {
+        let c = cluster();
+        for seed in 0..10 {
+            let picked = allocate(&c, "c220g2", 8, AllocationPolicy::Random { seed });
+            let mut ids: Vec<u32> = picked.iter().map(|m| m.id.0).collect();
+            let before = ids.len();
+            ids.dedup();
+            assert_eq!(ids.len(), before);
+        }
+    }
+
+    #[test]
+    fn strided_spans_the_fleet() {
+        let c = cluster();
+        let fleet = c.machines_of_type("m400");
+        let picked = allocate(&c, "m400", 4, AllocationPolicy::Strided);
+        assert_eq!(picked.len(), 4);
+        assert_eq!(picked[0].id, fleet[0].id);
+        assert!(picked[3].id.0 > fleet[fleet.len() / 2].id.0);
+    }
+
+    #[test]
+    fn edge_cases() {
+        let c = cluster();
+        assert!(allocate(&c, "no-such-type", 3, AllocationPolicy::Sequential).is_empty());
+        assert!(allocate(&c, "m400", 0, AllocationPolicy::Sequential).is_empty());
+        let fleet_size = c.machines_of_type("r320").len();
+        let picked = allocate(&c, "r320", 10_000, AllocationPolicy::Random { seed: 2 });
+        assert_eq!(picked.len(), fleet_size);
+    }
+}

@@ -1,0 +1,303 @@
+//! Cluster provisioning and the measurement entry point.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::hardware::{MachineType, Subsystem};
+use crate::interference::InterferenceModel;
+use crate::machine::{Machine, MachineId};
+use crate::temporal::Timeline;
+use crate::variation::default_variation;
+
+/// A provisioned fleet: machines, their types, and the campaign timeline.
+///
+/// # Examples
+///
+/// ```
+/// use testbed::{catalog, Cluster, Subsystem, Timeline};
+///
+/// let cluster = Cluster::provision(catalog(), 0.1, Timeline::quiet(30.0), 42);
+/// assert!(cluster.machines().len() > 50);
+/// let m = &cluster.machines()[0];
+/// let v = cluster.measure(m.id, Subsystem::MemoryBandwidth, 3.0, 0);
+/// assert!(v.unwrap() > 0.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cluster {
+    types: Vec<MachineType>,
+    machines: Vec<Machine>,
+    timeline: Timeline,
+    seed: u64,
+    #[serde(default)]
+    interference: Option<InterferenceModel>,
+}
+
+impl Cluster {
+    /// Provisions a cluster from a catalog, scaling each type's fleet
+    /// count by `scale` (at least one machine per type), with a campaign
+    /// `timeline` and a deterministic `seed`.
+    pub fn provision(
+        types: Vec<MachineType>,
+        scale: f64,
+        timeline: Timeline,
+        seed: u64,
+    ) -> Self {
+        let mut machines = Vec::new();
+        let mut next_id = 0u32;
+        for t in &types {
+            let count = ((t.count as f64 * scale).round() as usize).max(1);
+            for _ in 0..count {
+                machines.push(Machine::provision(t, MachineId(next_id), seed));
+                next_id += 1;
+            }
+        }
+        Self {
+            types,
+            machines,
+            timeline,
+            seed,
+            interference: None,
+        }
+    }
+
+    /// Attaches a multi-tenant interference model; every subsequent
+    /// measurement of an affected subsystem may be contended.
+    pub fn with_interference(mut self, model: InterferenceModel) -> Self {
+        self.interference = Some(model);
+        self
+    }
+
+    /// The attached interference model, if any.
+    pub fn interference(&self) -> Option<&InterferenceModel> {
+        self.interference.as_ref()
+    }
+
+    /// Every machine in the fleet.
+    pub fn machines(&self) -> &[Machine] {
+        &self.machines
+    }
+
+    /// The machine-type catalog this cluster was provisioned from.
+    pub fn types(&self) -> &[MachineType] {
+        &self.types
+    }
+
+    /// The campaign timeline.
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// Looks up a machine by id (O(1): provisioning assigns dense ids).
+    pub fn machine(&self, id: MachineId) -> Option<&Machine> {
+        self.machines
+            .get(id.0 as usize)
+            .filter(|m| m.id == id)
+            .or_else(|| self.machines.iter().find(|m| m.id == id))
+    }
+
+    /// The machines of one type.
+    pub fn machines_of_type(&self, type_name: &str) -> Vec<&Machine> {
+        self.machines
+            .iter()
+            .filter(|m| m.type_name == type_name)
+            .collect()
+    }
+
+    /// The type descriptor of a machine.
+    pub fn type_of(&self, machine: &Machine) -> &MachineType {
+        self.types
+            .iter()
+            .find(|t| t.name == machine.type_name)
+            .expect("machine type always present in catalog")
+    }
+
+    /// Performs one simulated measurement of `subsystem` on machine `id`
+    /// at campaign day `day`; `run_nonce` distinguishes repeated runs so
+    /// every (machine, subsystem, day, run) tuple is reproducible
+    /// independently.
+    ///
+    /// The measured value composes the paper's variability anatomy:
+    /// `baseline(type) x lottery(machine) x timeline(day) x run noise`.
+    ///
+    /// Returns `None` for an unknown machine id.
+    pub fn measure(
+        &self,
+        id: MachineId,
+        subsystem: Subsystem,
+        day: f64,
+        run_nonce: u64,
+    ) -> Option<f64> {
+        let machine = self.machine(id)?;
+        let mtype = self.type_of(machine);
+        let variation = default_variation(subsystem, mtype.disk);
+        // Derive an independent stream per (seed, machine, subsystem, day,
+        // nonce) so measurements are reproducible in any order.
+        let mut h = self.seed;
+        for k in [
+            id.0 as u64,
+            subsystem.index() as u64,
+            day.to_bits(),
+            run_nonce,
+        ] {
+            h ^= k.wrapping_add(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(h << 6)
+                .wrapping_add(h >> 2);
+        }
+        let mut rng = StdRng::seed_from_u64(h);
+        let baseline = mtype.baseline(subsystem);
+        let lottery = machine.unit_factor(subsystem);
+        let environment = self.timeline.factor(subsystem, day);
+        let run = variation.run_factor(day, &mut rng);
+        let mut value = baseline * lottery * environment * run;
+        if let Some(model) = &self.interference {
+            value = model.apply(value, subsystem, h);
+        }
+        Some(value)
+    }
+
+    /// Collects `n` repeated measurements (nonces `0..n`) of a subsystem
+    /// on one machine at a fixed day.
+    pub fn measure_n(
+        &self,
+        id: MachineId,
+        subsystem: Subsystem,
+        day: f64,
+        n: usize,
+    ) -> Option<Vec<f64>> {
+        (0..n as u64)
+            .map(|nonce| self.measure(id, subsystem, day, nonce))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hardware::catalog;
+
+    fn small_cluster() -> Cluster {
+        Cluster::provision(catalog(), 0.05, Timeline::quiet(300.0), 1)
+    }
+
+    #[test]
+    fn provisioning_scales_counts() {
+        let full = Cluster::provision(catalog(), 1.0, Timeline::quiet(1.0), 1);
+        let tenth = Cluster::provision(catalog(), 0.1, Timeline::quiet(1.0), 1);
+        assert!(full.machines().len() > 800);
+        let ratio = full.machines().len() as f64 / tenth.machines().len() as f64;
+        assert!((8.0..12.0).contains(&ratio), "ratio {ratio}");
+        // At least one machine per type even at tiny scale.
+        let tiny = Cluster::provision(catalog(), 0.0001, Timeline::quiet(1.0), 1);
+        assert_eq!(tiny.machines().len(), tiny.types().len());
+    }
+
+    #[test]
+    fn ids_are_unique_and_dense() {
+        let c = small_cluster();
+        let mut ids: Vec<u32> = c.machines().iter().map(|m| m.id.0).collect();
+        ids.sort_unstable();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(*id, i as u32);
+        }
+    }
+
+    #[test]
+    fn measurements_are_reproducible_and_nonce_sensitive() {
+        let c = small_cluster();
+        let id = c.machines()[0].id;
+        let a = c.measure(id, Subsystem::DiskSequential, 5.0, 0).unwrap();
+        let b = c.measure(id, Subsystem::DiskSequential, 5.0, 0).unwrap();
+        let d = c.measure(id, Subsystem::DiskSequential, 5.0, 1).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn unknown_machine_returns_none() {
+        let c = small_cluster();
+        assert!(c.measure(MachineId(9999), Subsystem::DiskRandom, 0.0, 0).is_none());
+        assert!(c.machine(MachineId(9999)).is_none());
+    }
+
+    #[test]
+    fn measured_values_near_type_baseline() {
+        let c = small_cluster();
+        for m in c.machines().iter().take(20) {
+            let t = c.type_of(m);
+            let v = c
+                .measure(m.id, Subsystem::MemoryBandwidth, 0.0, 0)
+                .unwrap();
+            let rel = v / t.mem_bw_mbps;
+            assert!((0.8..1.2).contains(&rel), "rel {rel}");
+        }
+    }
+
+    #[test]
+    fn machines_of_type_partition_fleet() {
+        let c = small_cluster();
+        let total: usize = c
+            .types()
+            .iter()
+            .map(|t| c.machines_of_type(&t.name).len())
+            .sum();
+        assert_eq!(total, c.machines().len());
+        assert!(!c.machines_of_type("c220g1").is_empty());
+        assert!(c.machines_of_type("nope").is_empty());
+    }
+
+    #[test]
+    fn timeline_shifts_measurements() {
+        let timeline = Timeline::cloudlab_default();
+        let c = Cluster::provision(catalog(), 0.05, timeline, 3);
+        let id = c.machines()[0].id;
+        // Average many runs before/after the memory-latency event at day 95.
+        let before: f64 = c
+            .measure_n(id, Subsystem::MemoryLatency, 90.0, 200)
+            .unwrap()
+            .iter()
+            .sum::<f64>()
+            / 200.0;
+        let after: f64 = c
+            .measure_n(id, Subsystem::MemoryLatency, 100.0, 200)
+            .unwrap()
+            .iter()
+            .sum::<f64>()
+            / 200.0;
+        let shift = after / before;
+        assert!((1.02..1.08).contains(&shift), "shift {shift}");
+    }
+
+    #[test]
+    fn interference_widens_and_hurts() {
+        let quiet = small_cluster();
+        let noisy = small_cluster()
+            .with_interference(crate::interference::InterferenceModel::noisy_neighbor());
+        let id = quiet.machines()[0].id;
+        let q = quiet
+            .measure_n(id, Subsystem::MemoryBandwidth, 0.0, 500)
+            .unwrap();
+        let n = noisy
+            .measure_n(id, Subsystem::MemoryBandwidth, 0.0, 500)
+            .unwrap();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(mean(&n) < mean(&q), "contention must reduce throughput");
+        // Contended runs never exceed the quiet value for the same nonce.
+        for (a, b) in q.iter().zip(n.iter()) {
+            assert!(b <= a, "quiet {a} vs noisy {b}");
+        }
+        assert!(noisy.interference().is_some());
+        assert!(quiet.interference().is_none());
+    }
+
+    #[test]
+    fn measure_n_length_and_variety() {
+        let c = small_cluster();
+        let id = c.machines()[0].id;
+        let xs = c.measure_n(id, Subsystem::DiskRandom, 1.0, 50).unwrap();
+        assert_eq!(xs.len(), 50);
+        let distinct: std::collections::HashSet<u64> =
+            xs.iter().map(|x| x.to_bits()).collect();
+        assert!(distinct.len() > 40);
+    }
+}

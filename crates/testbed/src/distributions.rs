@@ -1,0 +1,272 @@
+//! Hand-rolled sampling distributions.
+//!
+//! The testbed needs the distribution families the paper observed in real
+//! hardware — lognormal disk noise, mixture-of-normals memory lotteries,
+//! heavy (Pareto) latency tails — and `rand` alone only provides uniform
+//! bits. Everything else is built here (Box–Muller, inverse-CDF
+//! exponential, inverse-CDF Pareto, weighted mixtures), deterministic
+//! under a seeded [`StdRng`].
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+/// A sampleable distribution over `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use testbed::Dist;
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let d = Dist::Normal { mean: 10.0, std: 2.0 };
+/// let x = d.sample(&mut rng);
+/// assert!(x.is_finite());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Dist {
+    /// Always the same value.
+    Constant(f64),
+    /// Uniform on `[lo, hi)`.
+    Uniform {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Normal (Gaussian) via Box–Muller.
+    Normal {
+        /// Mean.
+        mean: f64,
+        /// Standard deviation.
+        std: f64,
+    },
+    /// Lognormal: `exp(N(mu, sigma))`.
+    LogNormal {
+        /// Mean of the underlying normal.
+        mu: f64,
+        /// Standard deviation of the underlying normal.
+        sigma: f64,
+    },
+    /// Exponential with rate `lambda` (mean `1/lambda`).
+    Exponential {
+        /// Rate parameter.
+        rate: f64,
+    },
+    /// Pareto with minimum `scale` and tail index `shape` (heavier tail
+    /// for smaller `shape`).
+    Pareto {
+        /// Minimum value.
+        scale: f64,
+        /// Tail index.
+        shape: f64,
+    },
+    /// Weighted mixture of component distributions.
+    Mixture(Vec<(f64, Dist)>),
+}
+
+impl Dist {
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut StdRng) -> f64 {
+        match self {
+            Dist::Constant(v) => *v,
+            Dist::Uniform { lo, hi } => lo + (hi - lo) * rng.random::<f64>(),
+            Dist::Normal { mean, std } => {
+                let u1: f64 = rng.random::<f64>().max(1e-300);
+                let u2: f64 = rng.random::<f64>();
+                mean + std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+            }
+            Dist::LogNormal { mu, sigma } => {
+                let n = Dist::Normal {
+                    mean: *mu,
+                    std: *sigma,
+                };
+                n.sample(rng).exp()
+            }
+            Dist::Exponential { rate } => {
+                let u: f64 = rng.random::<f64>().max(1e-300);
+                -u.ln() / rate
+            }
+            Dist::Pareto { scale, shape } => {
+                let u: f64 = rng.random::<f64>().max(1e-300);
+                scale / u.powf(1.0 / shape)
+            }
+            Dist::Mixture(components) => {
+                let total: f64 = components.iter().map(|(w, _)| *w).sum();
+                let mut pick = rng.random::<f64>() * total;
+                for (w, d) in components {
+                    if pick < *w {
+                        return d.sample(rng);
+                    }
+                    pick -= w;
+                }
+                components
+                    .last()
+                    .map(|(_, d)| d.sample(rng))
+                    .unwrap_or(f64::NAN)
+            }
+        }
+    }
+
+    /// Theoretical mean of the distribution (used by tests and calibration;
+    /// for Pareto with `shape <= 1` the mean is infinite and `f64::INFINITY`
+    /// is returned).
+    pub fn mean(&self) -> f64 {
+        match self {
+            Dist::Constant(v) => *v,
+            Dist::Uniform { lo, hi } => (lo + hi) / 2.0,
+            Dist::Normal { mean, .. } => *mean,
+            Dist::LogNormal { mu, sigma } => (mu + sigma * sigma / 2.0).exp(),
+            Dist::Exponential { rate } => 1.0 / rate,
+            Dist::Pareto { scale, shape } => {
+                if *shape <= 1.0 {
+                    f64::INFINITY
+                } else {
+                    shape * scale / (shape - 1.0)
+                }
+            }
+            Dist::Mixture(components) => {
+                let total: f64 = components.iter().map(|(w, _)| *w).sum();
+                components
+                    .iter()
+                    .map(|(w, d)| w / total * d.mean())
+                    .sum()
+            }
+        }
+    }
+
+    /// A multiplicative-noise helper: a normal centered on 1.0 with
+    /// relative standard deviation `rel_std`.
+    pub fn rel_normal(rel_std: f64) -> Dist {
+        Dist::Normal {
+            mean: 1.0,
+            std: rel_std,
+        }
+    }
+
+    /// A multiplicative lognormal centered (in median) on 1.0 with shape
+    /// `sigma`.
+    pub fn rel_lognormal(sigma: f64) -> Dist {
+        Dist::LogNormal { mu: 0.0, sigma }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn draw(d: &Dist, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| d.sample(&mut rng)).collect()
+    }
+
+    fn mean(v: &[f64]) -> f64 {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let xs = draw(&Dist::Constant(3.5), 10, 1);
+        assert!(xs.iter().all(|&x| x == 3.5));
+        assert_eq!(Dist::Constant(3.5).mean(), 3.5);
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let d = Dist::Uniform { lo: 2.0, hi: 4.0 };
+        let xs = draw(&d, 5000, 2);
+        assert!(xs.iter().all(|&x| (2.0..4.0).contains(&x)));
+        assert!((mean(&xs) - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn normal_mean_and_spread() {
+        let d = Dist::Normal {
+            mean: 100.0,
+            std: 5.0,
+        };
+        let xs = draw(&d, 20000, 3);
+        assert!((mean(&xs) - 100.0).abs() < 0.2);
+        let var = xs.iter().map(|x| (x - 100.0) * (x - 100.0)).sum::<f64>() / xs.len() as f64;
+        assert!((var.sqrt() - 5.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn lognormal_median_and_positivity() {
+        let d = Dist::LogNormal { mu: 0.0, sigma: 0.5 };
+        let mut xs = draw(&d, 20001, 4);
+        assert!(xs.iter().all(|&x| x > 0.0));
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[xs.len() / 2];
+        assert!((median - 1.0).abs() < 0.05, "median {median}");
+        assert!((mean(&xs) - d.mean()).abs() < 0.05);
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let d = Dist::Exponential { rate: 0.5 };
+        let xs = draw(&d, 20000, 5);
+        assert!(xs.iter().all(|&x| x >= 0.0));
+        assert!((mean(&xs) - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn pareto_minimum_and_tail() {
+        let d = Dist::Pareto {
+            scale: 1.0,
+            shape: 3.0,
+        };
+        let xs = draw(&d, 20000, 6);
+        assert!(xs.iter().all(|&x| x >= 1.0));
+        assert!((mean(&xs) - 1.5).abs() < 0.1);
+        assert_eq!(
+            Dist::Pareto {
+                scale: 1.0,
+                shape: 0.5
+            }
+            .mean(),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn mixture_weights_respected() {
+        let d = Dist::Mixture(vec![
+            (0.9, Dist::Constant(0.0)),
+            (0.1, Dist::Constant(1.0)),
+        ]);
+        let xs = draw(&d, 20000, 7);
+        let frac_ones = xs.iter().filter(|&&x| x == 1.0).count() as f64 / xs.len() as f64;
+        assert!((frac_ones - 0.1).abs() < 0.01, "{frac_ones}");
+        assert!((d.mean() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixture_creates_bimodality() {
+        let d = Dist::Mixture(vec![
+            (0.5, Dist::Normal { mean: 0.0, std: 0.5 }),
+            (0.5, Dist::Normal { mean: 10.0, std: 0.5 }),
+        ]);
+        let xs = draw(&d, 2000, 8);
+        let near_zero = xs.iter().filter(|&&x| x.abs() < 2.0).count();
+        let near_ten = xs.iter().filter(|&&x| (x - 10.0).abs() < 2.0).count();
+        assert!(near_zero > 800 && near_ten > 800);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = Dist::LogNormal { mu: 1.0, sigma: 0.3 };
+        assert_eq!(draw(&d, 100, 9), draw(&d, 100, 9));
+        assert_ne!(draw(&d, 100, 9), draw(&d, 100, 10));
+    }
+
+    #[test]
+    fn helpers_center_on_one() {
+        let xs = draw(&Dist::rel_normal(0.01), 10000, 11);
+        assert!((mean(&xs) - 1.0).abs() < 0.01);
+        let xs = draw(&Dist::rel_lognormal(0.05), 10000, 12);
+        assert!((mean(&xs) - 1.0).abs() < 0.02);
+    }
+}

@@ -1,0 +1,44 @@
+//! # testbed — a simulated multi-machine measurement testbed
+//!
+//! The *Taming Performance Variability* campaign ran on ~900 physical
+//! CloudLab servers for ten months. This crate is the substitute substrate
+//! (documented in DESIGN.md §3): a deterministic simulator whose fleet,
+//! per-unit hardware lottery, per-subsystem noise models, and maintenance
+//! timeline reproduce the statistical structure the paper reports —
+//! skewed/lognormal disk behaviour, multimodal memory lotteries,
+//! heavy-tailed network latency, near-constant network throughput, and
+//! level shifts at environment upgrades.
+//!
+//! Everything is seeded: the same seed reproduces the same fleet and the
+//! same measurement for any `(machine, subsystem, day, run)` tuple,
+//! independent of evaluation order.
+//!
+//! ```
+//! use testbed::{catalog, Cluster, Subsystem, Timeline};
+//!
+//! let cluster = Cluster::provision(catalog(), 0.05, Timeline::cloudlab_default(), 7);
+//! let node = cluster.machines()[0].id;
+//! let runs = cluster.measure_n(node, Subsystem::DiskSequential, 12.0, 30).unwrap();
+//! assert_eq!(runs.len(), 30);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod allocation;
+mod cluster;
+mod distributions;
+mod hardware;
+mod interference;
+mod machine;
+mod temporal;
+mod variation;
+
+pub use allocation::{allocate, AllocationPolicy};
+pub use cluster::Cluster;
+pub use distributions::Dist;
+pub use hardware::{catalog, find_type, DiskKind, MachineType, Subsystem};
+pub use interference::InterferenceModel;
+pub use machine::{Machine, MachineId};
+pub use temporal::{MaintenanceEvent, Timeline};
+pub use variation::{default_variation, SubsystemVariation};

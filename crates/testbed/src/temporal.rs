@@ -1,0 +1,174 @@
+//! The campaign timeline: drift and maintenance changepoints.
+//!
+//! The paper's data collection ran for roughly ten months, across which
+//! the testbed's software environment changed (kernel upgrades, firmware
+//! rollouts). Those events shift performance levels and are exactly what
+//! changepoint detection (experiment F11) must find. The timeline applies
+//! a multiplicative factor per subsystem as a function of the simulated
+//! day.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hardware::Subsystem;
+
+/// A fleet-wide environment change at a point in time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MaintenanceEvent {
+    /// Day (from campaign start) the change lands.
+    pub day: f64,
+    /// Affected subsystem; `None` means every subsystem.
+    pub subsystem: Option<Subsystem>,
+    /// Multiplicative factor applied from `day` onward.
+    pub factor: f64,
+    /// Human-readable description (appears in experiment artifacts).
+    pub description: String,
+}
+
+/// The campaign timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    /// Campaign length in days.
+    pub duration_days: f64,
+    /// Ordered list of environment changes.
+    pub events: Vec<MaintenanceEvent>,
+}
+
+impl Timeline {
+    /// A timeline with no events (for controlled experiments).
+    pub fn quiet(duration_days: f64) -> Self {
+        Self {
+            duration_days,
+            events: Vec::new(),
+        }
+    }
+
+    /// The default ten-month campaign with three realistic maintenance
+    /// events.
+    pub fn cloudlab_default() -> Self {
+        Self {
+            duration_days: 300.0,
+            events: vec![
+                MaintenanceEvent {
+                    day: 95.0,
+                    subsystem: Some(Subsystem::MemoryLatency),
+                    factor: 1.05,
+                    description: "kernel upgrade (page-table isolation)".to_string(),
+                },
+                MaintenanceEvent {
+                    day: 170.0,
+                    subsystem: Some(Subsystem::DiskSequential),
+                    factor: 0.96,
+                    description: "I/O scheduler change".to_string(),
+                },
+                MaintenanceEvent {
+                    day: 230.0,
+                    subsystem: Some(Subsystem::NetworkLatency),
+                    factor: 0.93,
+                    description: "switch firmware rollout".to_string(),
+                },
+            ],
+        }
+    }
+
+    /// Adds an event (keeps the list ordered by day).
+    pub fn with_event(mut self, event: MaintenanceEvent) -> Self {
+        self.events.push(event);
+        self.events
+            .sort_by(|a, b| a.day.partial_cmp(&b.day).expect("finite days"));
+        self
+    }
+
+    /// The cumulative multiplicative factor for `subsystem` at `day`.
+    pub fn factor(&self, subsystem: Subsystem, day: f64) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| e.day <= day && e.subsystem.map(|s| s == subsystem).unwrap_or(true))
+            .map(|e| e.factor)
+            .product()
+    }
+
+    /// Days on which any event affecting `subsystem` lands (the ground
+    /// truth for changepoint experiments).
+    pub fn change_days(&self, subsystem: Subsystem) -> Vec<f64> {
+        self.events
+            .iter()
+            .filter(|e| e.subsystem.map(|s| s == subsystem).unwrap_or(true))
+            .map(|e| e.day)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_timeline_is_identity() {
+        let t = Timeline::quiet(100.0);
+        for s in Subsystem::ALL {
+            assert_eq!(t.factor(s, 0.0), 1.0);
+            assert_eq!(t.factor(s, 99.0), 1.0);
+        }
+        assert!(t.change_days(Subsystem::DiskSequential).is_empty());
+    }
+
+    #[test]
+    fn default_timeline_shifts_after_events() {
+        let t = Timeline::cloudlab_default();
+        assert_eq!(t.factor(Subsystem::MemoryLatency, 94.0), 1.0);
+        assert!((t.factor(Subsystem::MemoryLatency, 95.0) - 1.05).abs() < 1e-12);
+        assert!((t.factor(Subsystem::DiskSequential, 200.0) - 0.96).abs() < 1e-12);
+        // Unaffected subsystem is untouched.
+        assert_eq!(t.factor(Subsystem::NetworkBandwidth, 299.0), 1.0);
+    }
+
+    #[test]
+    fn factors_compose_multiplicatively() {
+        let t = Timeline::quiet(50.0)
+            .with_event(MaintenanceEvent {
+                day: 10.0,
+                subsystem: Some(Subsystem::DiskRandom),
+                factor: 0.9,
+                description: "a".to_string(),
+            })
+            .with_event(MaintenanceEvent {
+                day: 20.0,
+                subsystem: Some(Subsystem::DiskRandom),
+                factor: 1.1,
+                description: "b".to_string(),
+            });
+        assert!((t.factor(Subsystem::DiskRandom, 25.0) - 0.99).abs() < 1e-12);
+        assert_eq!(t.change_days(Subsystem::DiskRandom), vec![10.0, 20.0]);
+    }
+
+    #[test]
+    fn global_events_hit_every_subsystem() {
+        let t = Timeline::quiet(50.0).with_event(MaintenanceEvent {
+            day: 5.0,
+            subsystem: None,
+            factor: 0.95,
+            description: "power cap".to_string(),
+        });
+        for s in Subsystem::ALL {
+            assert!((t.factor(s, 6.0) - 0.95).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn with_event_keeps_order() {
+        let t = Timeline::quiet(50.0)
+            .with_event(MaintenanceEvent {
+                day: 30.0,
+                subsystem: None,
+                factor: 1.0,
+                description: "late".to_string(),
+            })
+            .with_event(MaintenanceEvent {
+                day: 10.0,
+                subsystem: None,
+                factor: 1.0,
+                description: "early".to_string(),
+            });
+        assert!(t.events[0].day < t.events[1].day);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the testbed simulator.
+
+use proptest::prelude::*;
+use testbed::{allocate, catalog, AllocationPolicy, Cluster, Subsystem, Timeline};
+
+fn any_subsystem() -> impl Strategy<Value = Subsystem> {
+    prop::sample::select(Subsystem::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn measurements_are_positive_and_reproducible(
+        seed in 0u64..1000,
+        subsystem in any_subsystem(),
+        day in 0.0..300.0f64,
+        nonce in 0u64..10_000,
+    ) {
+        let cluster = Cluster::provision(catalog(), 0.02, Timeline::cloudlab_default(), seed);
+        let id = cluster.machines()[(seed % cluster.machines().len() as u64) as usize].id;
+        let a = cluster.measure(id, subsystem, day, nonce).unwrap();
+        let b = cluster.measure(id, subsystem, day, nonce).unwrap();
+        prop_assert!(a > 0.0);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn measurements_stay_near_baseline(
+        seed in 0u64..200,
+        subsystem in any_subsystem(),
+    ) {
+        let cluster = Cluster::provision(catalog(), 0.02, Timeline::quiet(10.0), seed);
+        let machine = &cluster.machines()[0];
+        let mtype = cluster.type_of(machine);
+        let baseline = mtype.baseline(subsystem);
+        // Average over runs: multiplicative factors center near 1.
+        let xs = cluster.measure_n(machine.id, subsystem, 0.0, 100).unwrap();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let rel = mean / baseline;
+        prop_assert!((0.5..2.5).contains(&rel), "rel {rel} for {subsystem:?}");
+    }
+
+    #[test]
+    fn provisioning_scale_is_monotone(sa in 0.01..0.5f64, sb in 0.01..0.5f64) {
+        let (small, large) = if sa <= sb { (sa, sb) } else { (sb, sa) };
+        let cs = Cluster::provision(catalog(), small, Timeline::quiet(1.0), 1);
+        let cl = Cluster::provision(catalog(), large, Timeline::quiet(1.0), 1);
+        prop_assert!(cs.machines().len() <= cl.machines().len());
+    }
+
+    #[test]
+    fn allocation_never_duplicates_or_overflows(
+        seed in 0u64..500,
+        k in 1usize..30,
+    ) {
+        let cluster = Cluster::provision(catalog(), 0.1, Timeline::quiet(1.0), 3);
+        for policy in [
+            AllocationPolicy::Sequential,
+            AllocationPolicy::Random { seed },
+            AllocationPolicy::Strided,
+        ] {
+            let picked = allocate(&cluster, "m400", k, policy);
+            let fleet = cluster.machines_of_type("m400").len();
+            prop_assert!(picked.len() == k.min(fleet));
+            let mut ids: Vec<u32> = picked.iter().map(|m| m.id.0).collect();
+            ids.sort_unstable();
+            let before = ids.len();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), before, "{:?} duplicated machines", policy);
+        }
+    }
+
+    #[test]
+    fn timeline_factor_is_piecewise_constant_and_composes(
+        day in 0.0..300.0f64,
+        subsystem in any_subsystem(),
+    ) {
+        let t = Timeline::cloudlab_default();
+        let f = t.factor(subsystem, day);
+        prop_assert!(f > 0.0);
+        // Just after the same day the factor is identical (events land on
+        // whole days in the default timeline).
+        let g = t.factor(subsystem, day + 1e-9);
+        prop_assert_eq!(f, g);
+        // At the campaign end the factor equals the product of all
+        // matching events.
+        let expected: f64 = t
+            .events
+            .iter()
+            .filter(|e| e.subsystem.map(|s| s == subsystem).unwrap_or(true))
+            .map(|e| e.factor)
+            .product();
+        prop_assert!((t.factor(subsystem, 1e9) - expected).abs() < 1e-12);
+    }
+}

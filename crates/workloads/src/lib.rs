@@ -1,0 +1,27 @@
+//! # workloads — the benchmark suite
+//!
+//! The measurement campaign of *Taming Performance Variability* ran
+//! memory, disk, and network micro-benchmarks across a large fleet. This
+//! crate provides that suite twice over, behind one [`Workload`] trait:
+//!
+//! * [`SimBenchmark`] — bound to the `testbed` simulator: deterministic,
+//!   instant, and statistically faithful to the paper's observations.
+//!   This is what the full-scale campaign and every experiment pipeline
+//!   use.
+//! * [`native`] — real in-process equivalents (STREAM kernels, a
+//!   pointer-chase latency probe, file I/O, TCP loopback) so the library
+//!   measures actual hardware end-to-end.
+//!
+//! [`Harness`] collects warmed-up repetitions from either kind.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod native;
+mod runner;
+mod sim;
+mod spec;
+
+pub use runner::{Harness, Result, Workload, WorkloadError};
+pub use sim::{run_suite, sample, SimBenchmark};
+pub use spec::{BenchmarkId, Unit};

@@ -1,0 +1,244 @@
+//! Native disk I/O benchmarks (fio-style) over a temporary file.
+//!
+//! Sequential read/write with large blocks and random read/write with
+//! 4 KiB blocks, reporting MB/s. The file lives in the system temp
+//! directory and is removed on drop. Page-cache effects are real and
+//! intentional — the paper measured whole-system disk behaviour, warts
+//! and all; use file sizes larger than RAM to measure the device itself.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::time::Instant;
+
+use crate::runner::{Result, Workload, WorkloadError};
+use crate::spec::BenchmarkId;
+
+/// Access pattern of a disk benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskMode {
+    /// Sequential read, 1 MiB blocks.
+    SeqRead,
+    /// Sequential write, 1 MiB blocks.
+    SeqWrite,
+    /// Random read, 4 KiB blocks.
+    RandRead,
+    /// Random write, 4 KiB blocks.
+    RandWrite,
+}
+
+impl DiskMode {
+    fn benchmark_id(&self) -> BenchmarkId {
+        match self {
+            DiskMode::SeqRead => BenchmarkId::DiskSeqRead,
+            DiskMode::SeqWrite => BenchmarkId::DiskSeqWrite,
+            DiskMode::RandRead => BenchmarkId::DiskRandRead,
+            DiskMode::RandWrite => BenchmarkId::DiskRandWrite,
+        }
+    }
+
+    fn block_size(&self) -> usize {
+        match self {
+            DiskMode::SeqRead | DiskMode::SeqWrite => 1 << 20,
+            DiskMode::RandRead | DiskMode::RandWrite => 4 << 10,
+        }
+    }
+}
+
+/// A native disk benchmark over a scratch file.
+///
+/// # Examples
+///
+/// ```
+/// use workloads::native::{DiskBench, DiskMode};
+/// use workloads::Workload;
+///
+/// let mut bench = DiskBench::new(DiskMode::SeqWrite, 2 << 20, 1 << 20, 0).unwrap();
+/// let mbps = bench.run_once().unwrap();
+/// assert!(mbps > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct DiskBench {
+    mode: DiskMode,
+    path: PathBuf,
+    file_size: u64,
+    io_bytes: u64,
+    seed: u64,
+}
+
+impl DiskBench {
+    /// Creates a benchmark over a fresh scratch file of `file_size` bytes,
+    /// moving `io_bytes` per run; `seed` drives the random offsets.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the scratch file cannot be created or the
+    /// sizes are smaller than one block.
+    pub fn new(mode: DiskMode, file_size: u64, io_bytes: u64, seed: u64) -> Result<Self> {
+        let block = mode.block_size() as u64;
+        if file_size < block || io_bytes < block {
+            return Err(WorkloadError::InvalidConfig(format!(
+                "file_size and io_bytes must be at least one block ({block} B)"
+            )));
+        }
+        let path = std::env::temp_dir().join(format!(
+            "taming-variability-disk-{}-{}.dat",
+            std::process::id(),
+            seed
+        ));
+        // Pre-fill the file so reads have real data.
+        let mut f = File::create(&path)?;
+        let chunk = vec![0xa5u8; 1 << 20];
+        let mut written = 0u64;
+        while written < file_size {
+            let n = ((file_size - written) as usize).min(chunk.len());
+            f.write_all(&chunk[..n])?;
+            written += n as u64;
+        }
+        f.sync_all()?;
+        Ok(Self {
+            mode,
+            path,
+            file_size,
+            io_bytes,
+            seed,
+        })
+    }
+
+    fn next_offset(&mut self, block: u64) -> u64 {
+        // splitmix64 offset stream.
+        self.seed = self.seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let blocks = self.file_size / block;
+        (z % blocks) * block
+    }
+}
+
+impl Workload for DiskBench {
+    fn id(&self) -> BenchmarkId {
+        self.mode.benchmark_id()
+    }
+
+    fn run_once(&mut self) -> Result<f64> {
+        let block = self.mode.block_size();
+        let mut buf = vec![0u8; block];
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&self.path)?;
+        let blocks_per_run = (self.io_bytes / block as u64).max(1);
+        let start = Instant::now();
+        match self.mode {
+            DiskMode::SeqRead => {
+                file.seek(SeekFrom::Start(0))?;
+                for _ in 0..blocks_per_run {
+                    if file.read(&mut buf)? == 0 {
+                        file.seek(SeekFrom::Start(0))?;
+                    }
+                }
+            }
+            DiskMode::SeqWrite => {
+                file.seek(SeekFrom::Start(0))?;
+                let mut written = 0u64;
+                for _ in 0..blocks_per_run {
+                    if written + block as u64 > self.file_size {
+                        file.seek(SeekFrom::Start(0))?;
+                        written = 0;
+                    }
+                    file.write_all(&buf)?;
+                    written += block as u64;
+                }
+                file.flush()?;
+            }
+            DiskMode::RandRead => {
+                for _ in 0..blocks_per_run {
+                    let off = self.next_offset(block as u64);
+                    file.seek(SeekFrom::Start(off))?;
+                    file.read_exact(&mut buf)?;
+                }
+            }
+            DiskMode::RandWrite => {
+                for _ in 0..blocks_per_run {
+                    let off = self.next_offset(block as u64);
+                    file.seek(SeekFrom::Start(off))?;
+                    file.write_all(&buf)?;
+                }
+                file.flush()?;
+            }
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed <= 0.0 {
+            return Err(WorkloadError::InvalidConfig(
+                "timer resolution too coarse for this I/O size".to_string(),
+            ));
+        }
+        Ok((blocks_per_run * block as u64) as f64 / elapsed / 1.0e6)
+    }
+}
+
+impl Drop for DiskBench {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_modes_produce_positive_throughput() {
+        for (i, mode) in [
+            DiskMode::SeqRead,
+            DiskMode::SeqWrite,
+            DiskMode::RandRead,
+            DiskMode::RandWrite,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let mut b = DiskBench::new(mode, 4 << 20, 1 << 20, 100 + i as u64).unwrap();
+            let mbps = b.run_once().unwrap();
+            assert!(mbps > 0.0, "{mode:?}");
+            assert_eq!(b.id(), mode.benchmark_id());
+        }
+    }
+
+    #[test]
+    fn scratch_file_is_cleaned_up() {
+        let path;
+        {
+            let b = DiskBench::new(DiskMode::SeqRead, 2 << 20, 1 << 20, 999).unwrap();
+            path = b.path.clone();
+            assert!(path.exists());
+        }
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn rejects_sub_block_sizes() {
+        assert!(DiskBench::new(DiskMode::SeqRead, 100, 1 << 20, 0).is_err());
+        assert!(DiskBench::new(DiskMode::RandRead, 1 << 20, 100, 0).is_err());
+    }
+
+    #[test]
+    fn random_offsets_stay_in_file() {
+        let mut b = DiskBench::new(DiskMode::RandRead, 4 << 20, 4 << 10, 5).unwrap();
+        for _ in 0..1000 {
+            let off = b.next_offset(4096);
+            assert!(off + 4096 <= 4 << 20);
+            assert_eq!(off % 4096, 0);
+        }
+    }
+
+    #[test]
+    fn repeated_runs_work() {
+        let mut b = DiskBench::new(DiskMode::RandWrite, 2 << 20, 256 << 10, 7).unwrap();
+        for _ in 0..3 {
+            assert!(b.run_once().unwrap() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Native memory-latency probe (pointer chasing).
+//!
+//! Builds a random single-cycle permutation over a buffer of indices and
+//! chases it: every load depends on the previous one, so the measured
+//! time per step is the true dependent-load latency (cache or DRAM,
+//! depending on the buffer size).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use crate::runner::{Result, Workload, WorkloadError};
+use crate::spec::BenchmarkId;
+
+/// A native pointer-chase latency benchmark.
+///
+/// # Examples
+///
+/// ```
+/// use workloads::native::MemLatencyBench;
+/// use workloads::Workload;
+///
+/// let mut bench = MemLatencyBench::new(1 << 10, 1 << 12, 1).unwrap();
+/// let ns = bench.run_once().unwrap();
+/// assert!(ns > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct MemLatencyBench {
+    chain: Vec<usize>,
+    steps: usize,
+}
+
+impl MemLatencyBench {
+    /// Creates a chase over `elements` slots (each 8 bytes) performing
+    /// `steps` dependent loads per run; `seed` randomizes the permutation
+    /// (Sattolo's algorithm, guaranteeing a single cycle).
+    ///
+    /// # Errors
+    ///
+    /// Rejects `elements < 16` or `steps < 16`.
+    pub fn new(elements: usize, steps: usize, seed: u64) -> Result<Self> {
+        if elements < 16 || steps < 16 {
+            return Err(WorkloadError::InvalidConfig(format!(
+                "need elements >= 16 and steps >= 16, got {elements}/{steps}"
+            )));
+        }
+        // Sattolo's algorithm: a uniformly random cyclic permutation.
+        let mut chain: Vec<usize> = (0..elements).collect();
+        let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut next = move || {
+            let mut z = state;
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for i in (1..elements).rev() {
+            let j = (next() % i as u64) as usize; // j in [0, i).
+            chain.swap(i, j);
+        }
+        Ok(Self { chain, steps })
+    }
+}
+
+impl Workload for MemLatencyBench {
+    fn id(&self) -> BenchmarkId {
+        BenchmarkId::MemLatency
+    }
+
+    fn run_once(&mut self) -> Result<f64> {
+        let mut pos = 0usize;
+        let start = Instant::now();
+        for _ in 0..self.steps {
+            pos = self.chain[pos];
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        black_box(pos);
+        if elapsed <= 0.0 {
+            return Err(WorkloadError::InvalidConfig(
+                "timer resolution too coarse for this step count".to_string(),
+            ));
+        }
+        Ok(elapsed * 1.0e9 / self.steps as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_is_a_single_cycle() {
+        let b = MemLatencyBench::new(1024, 64, 42).unwrap();
+        let mut visited = vec![false; 1024];
+        let mut pos = 0usize;
+        for _ in 0..1024 {
+            assert!(!visited[pos], "revisited {pos} before covering the cycle");
+            visited[pos] = true;
+            pos = b.chain[pos];
+        }
+        assert_eq!(pos, 0, "must return to start after n steps");
+        assert!(visited.iter().all(|&v| v));
+    }
+
+    #[test]
+    fn latency_is_positive_and_sane() {
+        let mut b = MemLatencyBench::new(1 << 12, 1 << 14, 1).unwrap();
+        let ns = b.run_once().unwrap();
+        // L1-resident chase: somewhere between 0.1 ns and 1 us per load.
+        assert!((0.05..1000.0).contains(&ns), "{ns} ns");
+        assert_eq!(b.id(), BenchmarkId::MemLatency);
+    }
+
+    #[test]
+    fn bigger_buffers_are_not_faster() {
+        // DRAM-size chases should be slower than (or equal to) L1-size
+        // ones. Allow generous slack: CI machines are noisy.
+        let mut small = MemLatencyBench::new(1 << 9, 1 << 15, 2).unwrap();
+        let mut large = MemLatencyBench::new(1 << 20, 1 << 15, 2).unwrap();
+        let s: f64 = (0..3).map(|_| small.run_once().unwrap()).fold(f64::INFINITY, f64::min);
+        let l: f64 = (0..3).map(|_| large.run_once().unwrap()).fold(f64::INFINITY, f64::min);
+        assert!(l > s * 0.8, "large {l} vs small {s}");
+    }
+
+    #[test]
+    fn rejects_degenerate_sizes() {
+        assert!(MemLatencyBench::new(4, 100, 0).is_err());
+        assert!(MemLatencyBench::new(100, 4, 0).is_err());
+    }
+
+    #[test]
+    fn different_seeds_give_different_chains() {
+        let a = MemLatencyBench::new(256, 64, 1).unwrap();
+        let b = MemLatencyBench::new(256, 64, 2).unwrap();
+        assert_ne!(a.chain, b.chain);
+    }
+}

@@ -1,0 +1,20 @@
+//! Real in-process micro-benchmarks.
+//!
+//! These exercise the host machine's actual memory, disk, and network
+//! stack with the same [`Workload`](crate::Workload) interface as the
+//! simulated benchmarks, proving the harness and planners run end-to-end
+//! on real hardware. Sizes are configurable so tests stay fast.
+
+mod disk;
+mod memlat;
+mod netloop;
+mod oslat;
+mod stream;
+mod timer;
+
+pub use disk::{DiskBench, DiskMode};
+pub use memlat::MemLatencyBench;
+pub use netloop::{NetBandwidthBench, NetLatencyBench};
+pub use oslat::{ContextSwitchProbe, SyscallLatencyProbe};
+pub use stream::{StreamBench, StreamKernel};
+pub use timer::SleepJitterProbe;

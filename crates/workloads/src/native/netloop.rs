@@ -1,0 +1,214 @@
+//! Native network benchmarks over TCP loopback.
+//!
+//! A background echo/sink server on `127.0.0.1` gives the harness a real
+//! kernel network stack to measure: `NetLatency` ping-pongs small
+//! messages and reports mean round-trip microseconds; `NetBandwidth`
+//! streams bulk data and reports Mb/s. Loopback stands in for the paper's
+//! switch fabric — the substitution is documented in DESIGN.md.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::runner::{Result, Workload, WorkloadError};
+use crate::spec::BenchmarkId;
+
+/// Round-trip latency over TCP loopback.
+///
+/// # Examples
+///
+/// ```
+/// use workloads::native::NetLatencyBench;
+/// use workloads::Workload;
+///
+/// let mut bench = NetLatencyBench::new(50).unwrap();
+/// let us = bench.run_once().unwrap();
+/// assert!(us > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct NetLatencyBench {
+    stream: TcpStream,
+    round_trips: usize,
+    server: Option<JoinHandle<()>>,
+}
+
+impl NetLatencyBench {
+    /// Starts an echo server thread and connects to it; each run performs
+    /// `round_trips` 64-byte ping-pongs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the loopback socket cannot be created or
+    /// `round_trips == 0`.
+    pub fn new(round_trips: usize) -> Result<Self> {
+        if round_trips == 0 {
+            return Err(WorkloadError::InvalidConfig(
+                "round_trips must be at least 1".to_string(),
+            ));
+        }
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let server = std::thread::spawn(move || {
+            if let Ok((mut conn, _)) = listener.accept() {
+                let mut buf = [0u8; 64];
+                // Echo until the client hangs up.
+                while let Ok(()) = conn.read_exact(&mut buf) {
+                    if conn.write_all(&buf).is_err() {
+                        break;
+                    }
+                }
+            }
+        });
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            round_trips,
+            server: Some(server),
+        })
+    }
+}
+
+impl Workload for NetLatencyBench {
+    fn id(&self) -> BenchmarkId {
+        BenchmarkId::NetLatency
+    }
+
+    fn run_once(&mut self) -> Result<f64> {
+        let msg = [0x42u8; 64];
+        let mut buf = [0u8; 64];
+        let start = Instant::now();
+        for _ in 0..self.round_trips {
+            self.stream.write_all(&msg)?;
+            self.stream.read_exact(&mut buf)?;
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        Ok(elapsed * 1.0e6 / self.round_trips as f64)
+    }
+}
+
+impl Drop for NetLatencyBench {
+    fn drop(&mut self) {
+        // Closing the stream unblocks the echo loop; then join the thread.
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        if let Some(h) = self.server.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Bulk TCP throughput over loopback.
+#[derive(Debug)]
+pub struct NetBandwidthBench {
+    stream: TcpStream,
+    bytes_per_run: usize,
+    server: Option<JoinHandle<()>>,
+}
+
+impl NetBandwidthBench {
+    /// Starts a sink server and connects; each run streams
+    /// `bytes_per_run` bytes and reports Mb/s.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on socket failure or `bytes_per_run < 64 KiB`.
+    pub fn new(bytes_per_run: usize) -> Result<Self> {
+        if bytes_per_run < (64 << 10) {
+            return Err(WorkloadError::InvalidConfig(
+                "bytes_per_run must be at least 64 KiB".to_string(),
+            ));
+        }
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let server = std::thread::spawn(move || {
+            if let Ok((mut conn, _)) = listener.accept() {
+                let mut sink = vec![0u8; 256 << 10];
+                while let Ok(n) = conn.read(&mut sink) {
+                    if n == 0 {
+                        break;
+                    }
+                }
+            }
+        });
+        let stream = TcpStream::connect(addr)?;
+        Ok(Self {
+            stream,
+            bytes_per_run,
+            server: Some(server),
+        })
+    }
+}
+
+impl Workload for NetBandwidthBench {
+    fn id(&self) -> BenchmarkId {
+        BenchmarkId::NetBandwidth
+    }
+
+    fn run_once(&mut self) -> Result<f64> {
+        let chunk = vec![0x5au8; 256 << 10];
+        let mut sent = 0usize;
+        let start = Instant::now();
+        while sent < self.bytes_per_run {
+            let n = (self.bytes_per_run - sent).min(chunk.len());
+            self.stream.write_all(&chunk[..n])?;
+            sent += n;
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed <= 0.0 {
+            return Err(WorkloadError::InvalidConfig(
+                "timer resolution too coarse for this transfer size".to_string(),
+            ));
+        }
+        Ok(sent as f64 * 8.0 / elapsed / 1.0e6)
+    }
+}
+
+impl Drop for NetBandwidthBench {
+    fn drop(&mut self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        if let Some(h) = self.server.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_round_trips_complete() {
+        let mut b = NetLatencyBench::new(20).unwrap();
+        let us = b.run_once().unwrap();
+        // Loopback RTT: somewhere between 1 and 10000 microseconds.
+        assert!((0.1..10_000.0).contains(&us), "{us} us");
+        assert_eq!(b.id(), BenchmarkId::NetLatency);
+        // A second run must work on the same connection.
+        assert!(b.run_once().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn bandwidth_transfers_complete() {
+        let mut b = NetBandwidthBench::new(1 << 20).unwrap();
+        let mbps = b.run_once().unwrap();
+        assert!(mbps > 1.0, "{mbps} Mb/s");
+        assert_eq!(b.id(), BenchmarkId::NetBandwidth);
+        assert!(b.run_once().unwrap() > 1.0);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(NetLatencyBench::new(0).is_err());
+        assert!(NetBandwidthBench::new(1024).is_err());
+    }
+
+    #[test]
+    fn drop_joins_server_cleanly() {
+        // Constructing and dropping without running must not hang.
+        let b = NetLatencyBench::new(10).unwrap();
+        drop(b);
+        let b = NetBandwidthBench::new(1 << 20).unwrap();
+        drop(b);
+    }
+}

@@ -1,0 +1,160 @@
+//! OS-level latency probes: syscall cost and context-switch cost.
+//!
+//! Like the sleep-jitter probe, these characterize the *host* rather than
+//! the suite's subsystems: how much a kernel round-trip costs (a floor
+//! under every I/O measurement) and how much a thread handoff costs (a
+//! floor under every blocking benchmark harness). Both are host
+//! diagnostics and deliberately not [`Workload`](crate::Workload)s.
+
+use std::io::Write;
+use std::sync::mpsc;
+use std::time::Instant;
+
+use crate::runner::{Result, WorkloadError};
+
+/// Measures raw syscall latency by writing one byte to `/dev/null` per
+/// call (one `write(2)` round-trip each).
+///
+/// # Examples
+///
+/// ```
+/// use workloads::native::SyscallLatencyProbe;
+///
+/// let mut probe = SyscallLatencyProbe::new(1000).unwrap();
+/// let ns = probe.run_once().unwrap();
+/// assert!(ns > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct SyscallLatencyProbe {
+    sink: std::fs::File,
+    calls_per_run: usize,
+}
+
+impl SyscallLatencyProbe {
+    /// Creates a probe issuing `calls_per_run` syscalls per measurement.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `/dev/null` cannot be opened or
+    /// `calls_per_run < 100` (too few to time).
+    pub fn new(calls_per_run: usize) -> Result<Self> {
+        if calls_per_run < 100 {
+            return Err(WorkloadError::InvalidConfig(format!(
+                "need at least 100 calls per run, got {calls_per_run}"
+            )));
+        }
+        let sink = std::fs::OpenOptions::new()
+            .write(true)
+            .open("/dev/null")?;
+        Ok(Self {
+            sink,
+            calls_per_run,
+        })
+    }
+
+    /// Performs one measurement: mean nanoseconds per syscall.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn run_once(&mut self) -> Result<f64> {
+        let buf = [0u8; 1];
+        let start = Instant::now();
+        for _ in 0..self.calls_per_run {
+            self.sink.write_all(&buf)?;
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        Ok(elapsed * 1.0e9 / self.calls_per_run as f64)
+    }
+}
+
+/// Measures thread context-switch (handoff) cost with a two-thread
+/// channel ping-pong.
+///
+/// Each round trip forces two scheduler handoffs; the reported value is
+/// the mean microseconds per round trip.
+#[derive(Debug, Clone, Copy)]
+pub struct ContextSwitchProbe {
+    round_trips: usize,
+}
+
+impl ContextSwitchProbe {
+    /// Creates a probe performing `round_trips` ping-pongs per run.
+    ///
+    /// # Errors
+    ///
+    /// Rejects fewer than 100 round trips.
+    pub fn new(round_trips: usize) -> Result<Self> {
+        if round_trips < 100 {
+            return Err(WorkloadError::InvalidConfig(format!(
+                "need at least 100 round trips, got {round_trips}"
+            )));
+        }
+        Ok(Self { round_trips })
+    }
+
+    /// Performs one measurement: mean microseconds per round trip.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the echo thread dies mid-run.
+    pub fn run_once(&mut self) -> Result<f64> {
+        let (to_echo, from_main) = mpsc::channel::<u32>();
+        let (to_main, from_echo) = mpsc::channel::<u32>();
+        let n = self.round_trips;
+        let echo = std::thread::spawn(move || {
+            for _ in 0..n {
+                match from_main.recv() {
+                    Ok(v) => {
+                        if to_main.send(v + 1).is_err() {
+                            return;
+                        }
+                    }
+                    Err(_) => return,
+                }
+            }
+        });
+        let start = Instant::now();
+        for i in 0..n as u32 {
+            to_echo
+                .send(i)
+                .map_err(|_| WorkloadError::InvalidConfig("echo thread died".into()))?;
+            let got = from_echo
+                .recv()
+                .map_err(|_| WorkloadError::InvalidConfig("echo thread died".into()))?;
+            debug_assert_eq!(got, i + 1);
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let _ = echo.join();
+        Ok(elapsed * 1.0e6 / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn syscall_latency_is_sane() {
+        let mut probe = SyscallLatencyProbe::new(1000).unwrap();
+        let ns = probe.run_once().unwrap();
+        // A write(2) to /dev/null is tens of ns to tens of us, never 0.
+        assert!((1.0..100_000.0).contains(&ns), "{ns} ns/syscall");
+        // Repeated runs work on the same fd.
+        assert!(probe.run_once().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn context_switch_is_sane() {
+        let mut probe = ContextSwitchProbe::new(200).unwrap();
+        let us = probe.run_once().unwrap();
+        // A thread round trip costs somewhere between 0.1 us and 10 ms.
+        assert!((0.05..10_000.0).contains(&us), "{us} us/roundtrip");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(SyscallLatencyProbe::new(10).is_err());
+        assert!(ContextSwitchProbe::new(10).is_err());
+    }
+}

@@ -1,0 +1,199 @@
+//! Native STREAM-style memory bandwidth kernels.
+//!
+//! Real, in-process equivalents of the paper's memory benchmark: the four
+//! classic STREAM kernels over heap arrays, timed with a monotonic clock,
+//! reporting MB/s. Array sizes are configurable so tests can run in
+//! milliseconds while the examples use cache-busting sizes.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use crate::runner::{Result, Workload, WorkloadError};
+use crate::spec::BenchmarkId;
+
+/// Which STREAM kernel to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamKernel {
+    /// `c[i] = a[i]`
+    Copy,
+    /// `b[i] = s * c[i]`
+    Scale,
+    /// `c[i] = a[i] + b[i]`
+    Add,
+    /// `a[i] = b[i] + s * c[i]`
+    Triad,
+}
+
+impl StreamKernel {
+    /// Bytes moved per element per iteration (reads + writes).
+    fn bytes_per_element(&self) -> usize {
+        match self {
+            StreamKernel::Copy | StreamKernel::Scale => 2 * 8,
+            StreamKernel::Add | StreamKernel::Triad => 3 * 8,
+        }
+    }
+
+    /// The corresponding suite benchmark id.
+    pub fn benchmark_id(&self) -> BenchmarkId {
+        match self {
+            StreamKernel::Copy => BenchmarkId::MemCopy,
+            StreamKernel::Scale => BenchmarkId::MemScale,
+            StreamKernel::Add => BenchmarkId::MemAdd,
+            StreamKernel::Triad => BenchmarkId::MemTriad,
+        }
+    }
+}
+
+/// A native STREAM benchmark instance.
+///
+/// # Examples
+///
+/// ```
+/// use workloads::native::{StreamBench, StreamKernel};
+/// use workloads::Workload;
+///
+/// // Tiny arrays: fast enough for doctests.
+/// let mut bench = StreamBench::new(StreamKernel::Triad, 1 << 12).unwrap();
+/// let mbps = bench.run_once().unwrap();
+/// assert!(mbps > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct StreamBench {
+    kernel: StreamKernel,
+    a: Vec<f64>,
+    b: Vec<f64>,
+    c: Vec<f64>,
+    scalar: f64,
+    iterations: usize,
+}
+
+impl StreamBench {
+    /// Allocates the three arrays with `elements` `f64`s each.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `elements < 64` (timings would be all overhead).
+    pub fn new(kernel: StreamKernel, elements: usize) -> Result<Self> {
+        if elements < 64 {
+            return Err(WorkloadError::InvalidConfig(format!(
+                "need at least 64 elements, got {elements}"
+            )));
+        }
+        Ok(Self {
+            kernel,
+            a: (0..elements).map(|i| i as f64 * 0.5).collect(),
+            b: vec![2.0; elements],
+            c: vec![0.0; elements],
+            scalar: 3.0,
+            iterations: 10,
+        })
+    }
+
+    /// Sets the number of kernel sweeps per run (more sweeps, steadier
+    /// timings).
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations.max(1);
+        self
+    }
+
+    fn sweep(&mut self) {
+        let n = self.a.len();
+        match self.kernel {
+            StreamKernel::Copy => {
+                for i in 0..n {
+                    self.c[i] = self.a[i];
+                }
+            }
+            StreamKernel::Scale => {
+                for i in 0..n {
+                    self.b[i] = self.scalar * self.c[i];
+                }
+            }
+            StreamKernel::Add => {
+                for i in 0..n {
+                    self.c[i] = self.a[i] + self.b[i];
+                }
+            }
+            StreamKernel::Triad => {
+                for i in 0..n {
+                    self.a[i] = self.b[i] + self.scalar * self.c[i];
+                }
+            }
+        }
+    }
+}
+
+impl Workload for StreamBench {
+    fn id(&self) -> BenchmarkId {
+        self.kernel.benchmark_id()
+    }
+
+    fn run_once(&mut self) -> Result<f64> {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            self.sweep();
+            // Defeat dead-code elimination across sweeps.
+            black_box(&mut self.a);
+            black_box(&mut self.b);
+            black_box(&mut self.c);
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let bytes = self.kernel.bytes_per_element() * self.a.len() * self.iterations;
+        if elapsed <= 0.0 {
+            return Err(WorkloadError::InvalidConfig(
+                "timer resolution too coarse for this array size".to_string(),
+            ));
+        }
+        Ok(bytes as f64 / elapsed / 1.0e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kernels_produce_positive_bandwidth() {
+        for kernel in [
+            StreamKernel::Copy,
+            StreamKernel::Scale,
+            StreamKernel::Add,
+            StreamKernel::Triad,
+        ] {
+            let mut b = StreamBench::new(kernel, 4096).unwrap().with_iterations(3);
+            let mbps = b.run_once().unwrap();
+            assert!(mbps > 0.0, "{kernel:?}");
+            assert_eq!(b.id(), kernel.benchmark_id());
+        }
+    }
+
+    #[test]
+    fn kernels_compute_correct_results() {
+        let mut b = StreamBench::new(StreamKernel::Add, 128).unwrap().with_iterations(1);
+        b.run_once().unwrap();
+        // c = a + b with a[i] = 0.5 i, b[i] = 2.0.
+        assert_eq!(b.c[10], 10.0 * 0.5 + 2.0);
+
+        let mut b = StreamBench::new(StreamKernel::Copy, 128).unwrap().with_iterations(1);
+        b.run_once().unwrap();
+        assert_eq!(b.c[17], 17.0 * 0.5);
+    }
+
+    #[test]
+    fn rejects_tiny_arrays() {
+        assert!(StreamBench::new(StreamKernel::Copy, 10).is_err());
+    }
+
+    #[test]
+    fn repeated_runs_vary_but_stay_in_band() {
+        let mut b = StreamBench::new(StreamKernel::Triad, 1 << 14)
+            .unwrap()
+            .with_iterations(5);
+        let xs: Vec<f64> = (0..5).map(|_| b.run_once().unwrap()).collect();
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(min > 0.0);
+        // Native timings vary, but not by 100x within one process.
+        assert!(max / min < 100.0, "spread {}", max / min);
+    }
+}

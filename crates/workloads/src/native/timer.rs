@@ -1,0 +1,110 @@
+//! Sleep-jitter probe: how accurately can this host time anything?
+//!
+//! Every timestamp-based harness silently assumes the OS wakes it up when
+//! asked. This probe requests short sleeps and measures the overshoot —
+//! the compound of timer slack, scheduler latency, and power-state
+//! exit costs. Large or heavy-tailed overshoots mean the *harness* is a
+//! variability source, before the system under test contributes anything.
+//!
+//! This is a host diagnostic rather than a suite benchmark, so it does
+//! not implement [`Workload`](crate::Workload): it has no simulated
+//! counterpart on the testbed and is excluded from campaigns by design.
+
+use std::time::{Duration, Instant};
+
+use crate::runner::{Result, WorkloadError};
+
+/// A sleep-overshoot probe.
+///
+/// # Examples
+///
+/// ```
+/// use workloads::native::SleepJitterProbe;
+///
+/// let mut probe = SleepJitterProbe::new(200).unwrap();
+/// let overshoot_us = probe.run_once().unwrap();
+/// assert!(overshoot_us >= 0.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SleepJitterProbe {
+    request_us: u64,
+}
+
+impl SleepJitterProbe {
+    /// Creates a probe that requests sleeps of `request_us` microseconds.
+    ///
+    /// # Errors
+    ///
+    /// Rejects requests below 10 us (dominated by call overhead) or above
+    /// one second (pointlessly slow runs).
+    pub fn new(request_us: u64) -> Result<Self> {
+        if !(10..=1_000_000).contains(&request_us) {
+            return Err(WorkloadError::InvalidConfig(format!(
+                "request must be in [10 us, 1 s], got {request_us} us"
+            )));
+        }
+        Ok(Self { request_us })
+    }
+
+    /// The requested sleep duration in microseconds.
+    pub fn request_us(&self) -> u64 {
+        self.request_us
+    }
+
+    /// Sleeps once and returns the overshoot in microseconds
+    /// (`actual - requested`, never negative in practice; clamped at 0).
+    pub fn run_once(&mut self) -> Result<f64> {
+        let requested = Duration::from_micros(self.request_us);
+        let start = Instant::now();
+        std::thread::sleep(requested);
+        let actual = start.elapsed();
+        let overshoot = actual.saturating_sub(requested);
+        Ok(overshoot.as_secs_f64() * 1.0e6)
+    }
+
+    /// Collects `n` overshoot measurements.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `n == 0`.
+    pub fn collect(&mut self, n: usize) -> Result<Vec<f64>> {
+        if n == 0 {
+            return Err(WorkloadError::InvalidConfig(
+                "n must be at least 1".to_string(),
+            ));
+        }
+        (0..n).map(|_| self.run_once()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overshoot_is_nonnegative_and_bounded() {
+        let mut probe = SleepJitterProbe::new(100).unwrap();
+        let xs = probe.collect(5).unwrap();
+        assert_eq!(xs.len(), 5);
+        for &x in &xs {
+            assert!(x >= 0.0);
+            // Even a terrible scheduler wakes within a second.
+            assert!(x < 1.0e6, "overshoot {x} us");
+        }
+        assert_eq!(probe.request_us(), 100);
+    }
+
+    #[test]
+    fn longer_requests_still_return() {
+        let mut probe = SleepJitterProbe::new(5_000).unwrap();
+        assert!(probe.run_once().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(SleepJitterProbe::new(5).is_err());
+        assert!(SleepJitterProbe::new(2_000_000).is_err());
+        let mut probe = SleepJitterProbe::new(100).unwrap();
+        assert!(probe.collect(0).is_err());
+    }
+}

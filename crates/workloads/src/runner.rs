@@ -1,0 +1,167 @@
+//! The workload abstraction and collection harness.
+
+use std::fmt;
+
+use crate::spec::{BenchmarkId, Unit};
+
+/// Errors from running a workload.
+#[derive(Debug)]
+pub enum WorkloadError {
+    /// An I/O error from a native benchmark.
+    Io(std::io::Error),
+    /// The simulated cluster did not recognize the machine.
+    UnknownMachine,
+    /// A configuration problem (sizes, counts).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::Io(e) => write!(f, "I/O error: {e}"),
+            WorkloadError::UnknownMachine => write!(f, "unknown machine id"),
+            WorkloadError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WorkloadError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WorkloadError {
+    fn from(e: std::io::Error) -> Self {
+        WorkloadError::Io(e)
+    }
+}
+
+/// Result alias for workloads.
+pub type Result<T> = std::result::Result<T, WorkloadError>;
+
+/// A runnable benchmark producing one scalar measurement per run.
+///
+/// Implemented by both the simulated benchmarks (`sim`) and the native
+/// in-process ones (`native`), so the same harness, statistics and
+/// planners drive either.
+pub trait Workload {
+    /// Which benchmark this is.
+    fn id(&self) -> BenchmarkId;
+
+    /// Unit of the produced measurements.
+    fn unit(&self) -> Unit {
+        self.id().unit()
+    }
+
+    /// Performs one run and returns its measurement.
+    fn run_once(&mut self) -> Result<f64>;
+}
+
+/// Collects repeated measurements from a workload with warmup.
+#[derive(Debug, Clone, Copy)]
+pub struct Harness {
+    /// Discarded initial runs.
+    pub warmup: usize,
+    /// Recorded runs.
+    pub runs: usize,
+}
+
+impl Harness {
+    /// Creates a harness.
+    pub fn new(warmup: usize, runs: usize) -> Self {
+        Self { warmup, runs }
+    }
+
+    /// Runs the workload `warmup + runs` times, returning the last `runs`
+    /// measurements in collection order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first workload error; also rejects `runs == 0`.
+    pub fn collect(&self, workload: &mut dyn Workload) -> Result<Vec<f64>> {
+        if self.runs == 0 {
+            return Err(WorkloadError::InvalidConfig(
+                "runs must be at least 1".to_string(),
+            ));
+        }
+        for _ in 0..self.warmup {
+            workload.run_once()?;
+        }
+        let mut out = Vec::with_capacity(self.runs);
+        for _ in 0..self.runs {
+            out.push(workload.run_once()?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter {
+        calls: usize,
+    }
+
+    impl Workload for Counter {
+        fn id(&self) -> BenchmarkId {
+            BenchmarkId::MemCopy
+        }
+        fn run_once(&mut self) -> Result<f64> {
+            self.calls += 1;
+            Ok(self.calls as f64)
+        }
+    }
+
+    #[test]
+    fn harness_discards_warmup() {
+        let mut w = Counter { calls: 0 };
+        let xs = Harness::new(3, 4).collect(&mut w).unwrap();
+        assert_eq!(xs, vec![4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(w.calls, 7);
+    }
+
+    #[test]
+    fn harness_rejects_zero_runs() {
+        let mut w = Counter { calls: 0 };
+        assert!(Harness::new(0, 0).collect(&mut w).is_err());
+    }
+
+    #[test]
+    fn default_unit_comes_from_id() {
+        let w = Counter { calls: 0 };
+        assert_eq!(w.unit(), Unit::MBps);
+    }
+
+    struct Failing;
+
+    impl Workload for Failing {
+        fn id(&self) -> BenchmarkId {
+            BenchmarkId::DiskSeqRead
+        }
+        fn run_once(&mut self) -> Result<f64> {
+            Err(WorkloadError::UnknownMachine)
+        }
+    }
+
+    #[test]
+    fn harness_propagates_errors() {
+        let mut w = Failing;
+        let e = Harness::new(0, 5).collect(&mut w).unwrap_err();
+        assert!(matches!(e, WorkloadError::UnknownMachine));
+        assert!(e.to_string().contains("unknown machine"));
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        use std::error::Error;
+        let io = WorkloadError::from(std::io::Error::other("boom"));
+        assert!(io.to_string().contains("boom"));
+        assert!(io.source().is_some());
+        assert!(WorkloadError::UnknownMachine.source().is_none());
+    }
+}

@@ -1,0 +1,230 @@
+//! Simulated benchmarks bound to the testbed.
+//!
+//! A [`SimBenchmark`] runs a suite benchmark against one machine of a
+//! simulated [`Cluster`]: each `run_once` draws the next reproducible
+//! measurement for that `(machine, benchmark, day)` and advances the run
+//! nonce — exactly what the real campaign did with fio/STREAM/iperf on a
+//! real node, at nanosecond cost and perfectly replayable.
+
+use testbed::{Cluster, MachineId};
+
+use crate::runner::{Result, Workload, WorkloadError};
+use crate::spec::BenchmarkId;
+
+/// One benchmark bound to one machine of a simulated cluster.
+///
+/// # Examples
+///
+/// ```
+/// use testbed::{catalog, Cluster, Timeline};
+/// use workloads::{BenchmarkId, Harness, SimBenchmark, Workload};
+///
+/// let cluster = Cluster::provision(catalog(), 0.05, Timeline::quiet(10.0), 3);
+/// let node = cluster.machines()[0].id;
+/// let mut bench = SimBenchmark::new(&cluster, node, BenchmarkId::MemTriad, 0.0);
+/// let runs = Harness::new(2, 20).collect(&mut bench).unwrap();
+/// assert_eq!(runs.len(), 20);
+/// assert!(runs.iter().all(|&x| x > 0.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimBenchmark<'a> {
+    cluster: &'a Cluster,
+    machine: MachineId,
+    id: BenchmarkId,
+    day: f64,
+    nonce: u64,
+}
+
+impl<'a> SimBenchmark<'a> {
+    /// Binds `id` to `machine` at campaign day `day` (nonce starts at 0).
+    pub fn new(cluster: &'a Cluster, machine: MachineId, id: BenchmarkId, day: f64) -> Self {
+        Self {
+            cluster,
+            machine,
+            id,
+            day,
+            nonce: 0,
+        }
+    }
+
+    /// Moves the benchmark to a different campaign day (the nonce keeps
+    /// advancing, so measurements never repeat).
+    pub fn set_day(&mut self, day: f64) {
+        self.day = day;
+    }
+
+    /// The campaign day measurements are taken at.
+    pub fn day(&self) -> f64 {
+        self.day
+    }
+
+    /// The machine this benchmark runs on.
+    pub fn machine(&self) -> MachineId {
+        self.machine
+    }
+}
+
+impl Workload for SimBenchmark<'_> {
+    fn id(&self) -> BenchmarkId {
+        self.id
+    }
+
+    fn run_once(&mut self) -> Result<f64> {
+        let value = sample(self.cluster, self.machine, self.id, self.day, self.nonce)
+            .ok_or(WorkloadError::UnknownMachine)?;
+        self.nonce += 1;
+        Ok(value)
+    }
+}
+
+/// Draws the reproducible measurement for a single
+/// `(machine, benchmark, day, nonce)` tuple.
+///
+/// Returns `None` for an unknown machine.
+pub fn sample(
+    cluster: &Cluster,
+    machine: MachineId,
+    id: BenchmarkId,
+    day: f64,
+    nonce: u64,
+) -> Option<f64> {
+    // The nonce stream is salted with the benchmark so two benchmarks on
+    // the same subsystem (e.g. seq-read vs seq-write) see independent
+    // noise.
+    let salted = nonce
+        .wrapping_mul(31)
+        .wrapping_add(id as u64 + 1)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    cluster
+        .measure(machine, id.subsystem(), day, salted)
+        .map(|v| v * id.baseline_scale())
+}
+
+/// Runs the entire suite on one machine at one day: `runs` repetitions
+/// of every benchmark, returned in [`BenchmarkId::ALL`] order.
+///
+/// Returns `None` for an unknown machine.
+pub fn run_suite(
+    cluster: &Cluster,
+    machine: MachineId,
+    day: f64,
+    runs: usize,
+) -> Option<Vec<(BenchmarkId, Vec<f64>)>> {
+    cluster.machine(machine)?;
+    Some(
+        BenchmarkId::ALL
+            .into_iter()
+            .map(|bench| {
+                let xs = (0..runs as u64)
+                    .map(|n| sample(cluster, machine, bench, day, n).expect("machine exists"))
+                    .collect();
+                (bench, xs)
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Harness;
+    use testbed::{catalog, Timeline};
+
+    fn cluster() -> Cluster {
+        Cluster::provision(catalog(), 0.05, Timeline::quiet(100.0), 9)
+    }
+
+    #[test]
+    fn run_once_advances_nonce() {
+        let c = cluster();
+        let node = c.machines()[0].id;
+        let mut b = SimBenchmark::new(&c, node, BenchmarkId::DiskRandRead, 1.0);
+        let x1 = b.run_once().unwrap();
+        let x2 = b.run_once().unwrap();
+        assert_ne!(x1, x2);
+    }
+
+    #[test]
+    fn rebinding_replays_identically() {
+        let c = cluster();
+        let node = c.machines()[0].id;
+        let mut b1 = SimBenchmark::new(&c, node, BenchmarkId::MemCopy, 2.0);
+        let mut b2 = SimBenchmark::new(&c, node, BenchmarkId::MemCopy, 2.0);
+        let xs1: Vec<f64> = (0..10).map(|_| b1.run_once().unwrap()).collect();
+        let xs2: Vec<f64> = (0..10).map(|_| b2.run_once().unwrap()).collect();
+        assert_eq!(xs1, xs2);
+    }
+
+    #[test]
+    fn benchmarks_on_same_subsystem_are_independent() {
+        let c = cluster();
+        let node = c.machines()[0].id;
+        let r = sample(&c, node, BenchmarkId::DiskSeqRead, 0.0, 0).unwrap();
+        let w = sample(&c, node, BenchmarkId::DiskSeqWrite, 0.0, 0).unwrap();
+        // Different baseline scale AND different noise stream.
+        assert!((r / w - 1.0 / 0.9).abs() > 1e-6);
+    }
+
+    #[test]
+    fn unknown_machine_errors() {
+        let c = cluster();
+        let mut b = SimBenchmark::new(&c, MachineId(65000), BenchmarkId::MemAdd, 0.0);
+        assert!(b.run_once().is_err());
+        assert!(sample(&c, MachineId(65000), BenchmarkId::MemAdd, 0.0, 0).is_none());
+    }
+
+    #[test]
+    fn values_scale_with_benchmark() {
+        let c = cluster();
+        let node = c.machines()[0].id;
+        // Average over many runs: copy should exceed triad by ~10%.
+        let copy: f64 = (0..500)
+            .map(|n| sample(&c, node, BenchmarkId::MemCopy, 0.0, n).unwrap())
+            .sum::<f64>()
+            / 500.0;
+        let triad: f64 = (0..500)
+            .map(|n| sample(&c, node, BenchmarkId::MemTriad, 0.0, n).unwrap())
+            .sum::<f64>()
+            / 500.0;
+        let ratio = copy / triad;
+        assert!((1.05..1.15).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn harness_integration() {
+        let c = cluster();
+        let node = c.machines()[3].id;
+        let mut b = SimBenchmark::new(&c, node, BenchmarkId::NetLatency, 5.0);
+        let xs = Harness::new(5, 50).collect(&mut b).unwrap();
+        assert_eq!(xs.len(), 50);
+        let t = c.type_of(c.machine(node).unwrap());
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((0.5..2.0).contains(&(mean / t.net_lat_us)));
+    }
+
+    #[test]
+    fn run_suite_covers_everything() {
+        let c = cluster();
+        let node = c.machines()[0].id;
+        let suite = run_suite(&c, node, 0.0, 7).unwrap();
+        assert_eq!(suite.len(), BenchmarkId::ALL.len());
+        for (bench, xs) in &suite {
+            assert_eq!(xs.len(), 7, "{bench}");
+            assert!(xs.iter().all(|&x| x > 0.0));
+        }
+        assert!(run_suite(&c, MachineId(60000), 0.0, 3).is_none());
+    }
+
+    #[test]
+    fn set_day_crosses_timeline_events() {
+        let c = Cluster::provision(catalog(), 0.05, Timeline::cloudlab_default(), 4);
+        let node = c.machines()[0].id;
+        let mut b = SimBenchmark::new(&c, node, BenchmarkId::MemLatency, 90.0);
+        let before: f64 =
+            (0..200).map(|_| b.run_once().unwrap()).sum::<f64>() / 200.0;
+        b.set_day(100.0);
+        assert_eq!(b.day(), 100.0);
+        let after: f64 = (0..200).map(|_| b.run_once().unwrap()).sum::<f64>() / 200.0;
+        assert!(after / before > 1.02, "{}", after / before);
+    }
+}

@@ -1,0 +1,250 @@
+//! The benchmark suite specification.
+//!
+//! Mirrors the paper's three benchmark families — memory (STREAM kernels
+//! and a latency probe), disk (fio-style sequential/random read/write),
+//! and network (ping-style latency, iperf-style throughput) — with the
+//! parameters each one runs at. This table *is* experiment T2.
+
+use serde::{Deserialize, Serialize};
+use testbed::Subsystem;
+
+/// Unit of a measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Unit {
+    /// Megabytes per second.
+    MBps,
+    /// Megabits per second.
+    Mbps,
+    /// Nanoseconds.
+    Nanoseconds,
+    /// Microseconds.
+    Microseconds,
+}
+
+impl Unit {
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Unit::MBps => "MB/s",
+            Unit::Mbps => "Mb/s",
+            Unit::Nanoseconds => "ns",
+            Unit::Microseconds => "us",
+        }
+    }
+}
+
+/// A benchmark in the suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum BenchmarkId {
+    /// STREAM copy kernel (`c[i] = a[i]`).
+    MemCopy,
+    /// STREAM scale kernel (`b[i] = s * c[i]`).
+    MemScale,
+    /// STREAM add kernel (`c[i] = a[i] + b[i]`).
+    MemAdd,
+    /// STREAM triad kernel (`a[i] = b[i] + s * c[i]`).
+    MemTriad,
+    /// Dependent-load (pointer-chase) memory latency.
+    MemLatency,
+    /// Sequential read throughput (1 MiB blocks).
+    DiskSeqRead,
+    /// Sequential write throughput (1 MiB blocks).
+    DiskSeqWrite,
+    /// Random read throughput (4 KiB blocks).
+    DiskRandRead,
+    /// Random write throughput (4 KiB blocks).
+    DiskRandWrite,
+    /// Round-trip network latency (64-byte messages).
+    NetLatency,
+    /// Bulk TCP throughput.
+    NetBandwidth,
+}
+
+impl BenchmarkId {
+    /// All benchmarks in display order.
+    pub const ALL: [BenchmarkId; 11] = [
+        BenchmarkId::MemCopy,
+        BenchmarkId::MemScale,
+        BenchmarkId::MemAdd,
+        BenchmarkId::MemTriad,
+        BenchmarkId::MemLatency,
+        BenchmarkId::DiskSeqRead,
+        BenchmarkId::DiskSeqWrite,
+        BenchmarkId::DiskRandRead,
+        BenchmarkId::DiskRandWrite,
+        BenchmarkId::NetLatency,
+        BenchmarkId::NetBandwidth,
+    ];
+
+    /// The memory-family benchmarks.
+    pub const MEMORY: [BenchmarkId; 5] = [
+        BenchmarkId::MemCopy,
+        BenchmarkId::MemScale,
+        BenchmarkId::MemAdd,
+        BenchmarkId::MemTriad,
+        BenchmarkId::MemLatency,
+    ];
+
+    /// The disk-family benchmarks.
+    pub const DISK: [BenchmarkId; 4] = [
+        BenchmarkId::DiskSeqRead,
+        BenchmarkId::DiskSeqWrite,
+        BenchmarkId::DiskRandRead,
+        BenchmarkId::DiskRandWrite,
+    ];
+
+    /// The network-family benchmarks.
+    pub const NETWORK: [BenchmarkId; 2] = [BenchmarkId::NetLatency, BenchmarkId::NetBandwidth];
+
+    /// The testbed subsystem this benchmark exercises.
+    pub fn subsystem(&self) -> Subsystem {
+        match self {
+            BenchmarkId::MemCopy
+            | BenchmarkId::MemScale
+            | BenchmarkId::MemAdd
+            | BenchmarkId::MemTriad => Subsystem::MemoryBandwidth,
+            BenchmarkId::MemLatency => Subsystem::MemoryLatency,
+            BenchmarkId::DiskSeqRead | BenchmarkId::DiskSeqWrite => Subsystem::DiskSequential,
+            BenchmarkId::DiskRandRead | BenchmarkId::DiskRandWrite => Subsystem::DiskRandom,
+            BenchmarkId::NetLatency => Subsystem::NetworkLatency,
+            BenchmarkId::NetBandwidth => Subsystem::NetworkBandwidth,
+        }
+    }
+
+    /// Measurement unit.
+    pub fn unit(&self) -> Unit {
+        match self {
+            BenchmarkId::MemCopy
+            | BenchmarkId::MemScale
+            | BenchmarkId::MemAdd
+            | BenchmarkId::MemTriad
+            | BenchmarkId::DiskSeqRead
+            | BenchmarkId::DiskSeqWrite
+            | BenchmarkId::DiskRandRead
+            | BenchmarkId::DiskRandWrite => Unit::MBps,
+            BenchmarkId::MemLatency => Unit::Nanoseconds,
+            BenchmarkId::NetLatency => Unit::Microseconds,
+            BenchmarkId::NetBandwidth => Unit::Mbps,
+        }
+    }
+
+    /// Short name (table row key).
+    pub fn label(&self) -> &'static str {
+        match self {
+            BenchmarkId::MemCopy => "mem-copy",
+            BenchmarkId::MemScale => "mem-scale",
+            BenchmarkId::MemAdd => "mem-add",
+            BenchmarkId::MemTriad => "mem-triad",
+            BenchmarkId::MemLatency => "mem-latency",
+            BenchmarkId::DiskSeqRead => "disk-seq-read",
+            BenchmarkId::DiskSeqWrite => "disk-seq-write",
+            BenchmarkId::DiskRandRead => "disk-rand-read",
+            BenchmarkId::DiskRandWrite => "disk-rand-write",
+            BenchmarkId::NetLatency => "net-latency",
+            BenchmarkId::NetBandwidth => "net-bandwidth",
+        }
+    }
+
+    /// Multiplier on the subsystem baseline, distinguishing benchmarks
+    /// that share a subsystem (e.g. STREAM copy streams more bytes/s than
+    /// triad; writes are slower than reads).
+    pub fn baseline_scale(&self) -> f64 {
+        match self {
+            BenchmarkId::MemCopy => 1.10,
+            BenchmarkId::MemScale => 1.07,
+            BenchmarkId::MemAdd => 1.02,
+            BenchmarkId::MemTriad => 1.00,
+            BenchmarkId::MemLatency => 1.00,
+            BenchmarkId::DiskSeqRead => 1.00,
+            BenchmarkId::DiskSeqWrite => 0.90,
+            BenchmarkId::DiskRandRead => 1.00,
+            BenchmarkId::DiskRandWrite => 0.82,
+            BenchmarkId::NetLatency => 1.00,
+            BenchmarkId::NetBandwidth => 0.96,
+        }
+    }
+
+    /// Workload parameters (for the T2 table).
+    pub fn params(&self) -> &'static str {
+        match self {
+            BenchmarkId::MemCopy | BenchmarkId::MemScale | BenchmarkId::MemAdd
+            | BenchmarkId::MemTriad => "3 x 32 MiB f64 arrays, 10 iterations",
+            BenchmarkId::MemLatency => "64 MiB pointer chain, 2^22 dependent loads",
+            BenchmarkId::DiskSeqRead | BenchmarkId::DiskSeqWrite => "1 GiB file, 1 MiB blocks",
+            BenchmarkId::DiskRandRead | BenchmarkId::DiskRandWrite => "1 GiB file, 4 KiB blocks",
+            BenchmarkId::NetLatency => "64 B TCP ping-pong, 1000 round trips",
+            BenchmarkId::NetBandwidth => "TCP bulk transfer, 1 GiB",
+        }
+    }
+
+    /// Whether larger values are better for this benchmark.
+    pub fn higher_is_better(&self) -> bool {
+        self.subsystem().higher_is_better()
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_partition_the_suite() {
+        let mut all: Vec<BenchmarkId> = BenchmarkId::MEMORY
+            .iter()
+            .chain(BenchmarkId::DISK.iter())
+            .chain(BenchmarkId::NETWORK.iter())
+            .copied()
+            .collect();
+        all.sort();
+        let mut expected = BenchmarkId::ALL.to_vec();
+        expected.sort();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = BenchmarkId::ALL.iter().map(|b| b.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), BenchmarkId::ALL.len());
+    }
+
+    #[test]
+    fn units_match_subsystems() {
+        assert_eq!(BenchmarkId::MemTriad.unit(), Unit::MBps);
+        assert_eq!(BenchmarkId::MemLatency.unit(), Unit::Nanoseconds);
+        assert_eq!(BenchmarkId::NetLatency.unit(), Unit::Microseconds);
+        assert_eq!(BenchmarkId::NetBandwidth.unit(), Unit::Mbps);
+        assert_eq!(Unit::MBps.label(), "MB/s");
+    }
+
+    #[test]
+    fn direction_follows_subsystem() {
+        assert!(BenchmarkId::MemCopy.higher_is_better());
+        assert!(!BenchmarkId::MemLatency.higher_is_better());
+        assert!(!BenchmarkId::NetLatency.higher_is_better());
+    }
+
+    #[test]
+    fn copy_streams_faster_than_triad() {
+        assert!(BenchmarkId::MemCopy.baseline_scale() > BenchmarkId::MemTriad.baseline_scale());
+        assert!(
+            BenchmarkId::DiskSeqWrite.baseline_scale()
+                < BenchmarkId::DiskSeqRead.baseline_scale()
+        );
+    }
+
+    #[test]
+    fn display_and_params_nonempty() {
+        for b in BenchmarkId::ALL {
+            assert!(!b.to_string().is_empty());
+            assert!(!b.params().is_empty());
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based tests for the benchmark suite.
+
+use proptest::prelude::*;
+use testbed::{catalog, Cluster, Timeline};
+use workloads::native::{StreamBench, StreamKernel};
+use workloads::{run_suite, sample, BenchmarkId, Harness, SimBenchmark, Workload};
+
+fn any_benchmark() -> impl Strategy<Value = BenchmarkId> {
+    prop::sample::select(BenchmarkId::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn samples_are_positive_deterministic_and_nonce_sensitive(
+        seed in 0u64..300,
+        bench in any_benchmark(),
+        day in 0.0..200.0f64,
+        nonce in 0u64..100_000,
+    ) {
+        let cluster = Cluster::provision(catalog(), 0.02, Timeline::cloudlab_default(), seed);
+        let machine = cluster.machines()[0].id;
+        let a = sample(&cluster, machine, bench, day, nonce).unwrap();
+        let b = sample(&cluster, machine, bench, day, nonce).unwrap();
+        let c = sample(&cluster, machine, bench, day, nonce.wrapping_add(1)).unwrap();
+        prop_assert!(a > 0.0);
+        prop_assert_eq!(a, b);
+        prop_assert_ne!(a, c);
+    }
+
+    #[test]
+    fn harness_returns_exactly_runs_measurements(
+        warmup in 0usize..5,
+        runs in 1usize..30,
+        bench in any_benchmark(),
+    ) {
+        let cluster = Cluster::provision(catalog(), 0.02, Timeline::quiet(5.0), 3);
+        let machine = cluster.machines()[0].id;
+        let mut w = SimBenchmark::new(&cluster, machine, bench, 0.0);
+        let xs = Harness::new(warmup, runs).collect(&mut w).unwrap();
+        prop_assert_eq!(xs.len(), runs);
+        prop_assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn suite_order_matches_all(day in 0.0..100.0f64) {
+        let cluster = Cluster::provision(catalog(), 0.02, Timeline::quiet(200.0), 5);
+        let machine = cluster.machines()[0].id;
+        let suite = run_suite(&cluster, machine, day, 3).unwrap();
+        let ids: Vec<BenchmarkId> = suite.iter().map(|(b, _)| *b).collect();
+        prop_assert_eq!(ids, BenchmarkId::ALL.to_vec());
+    }
+
+    #[test]
+    fn stream_bandwidth_is_finite_positive(elements_pow in 7u32..13) {
+        let mut bench =
+            StreamBench::new(StreamKernel::Scale, 1usize << elements_pow).unwrap()
+                .with_iterations(2);
+        let mbps = bench.run_once().unwrap();
+        prop_assert!(mbps.is_finite());
+        prop_assert!(mbps > 0.0);
+    }
+
+    #[test]
+    fn benchmark_metadata_is_total(bench in any_benchmark()) {
+        // Every benchmark has a label, unit, params, subsystem, and a
+        // positive baseline scale — no panicking matches anywhere.
+        prop_assert!(!bench.label().is_empty());
+        prop_assert!(!bench.params().is_empty());
+        prop_assert!(!bench.unit().label().is_empty());
+        prop_assert!(bench.baseline_scale() > 0.0);
+        let _ = bench.subsystem();
+        let _ = bench.higher_is_better();
+    }
+}

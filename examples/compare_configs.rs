@@ -1,0 +1,82 @@
+//! "Is A faster than B?" — done wrong, then done right.
+//!
+//! Two nominally identical machines of the same type differ persistently
+//! (the hardware lottery). With a handful of runs and mean-based
+//! eyeballing, it is easy to "conclude" a difference that is noise — or
+//! to miss one that is real. This example runs the comparison both ways:
+//! a naive 5-run mean comparison, then the paper's methodology
+//! (CONFIRM-planned repetitions, non-parametric CIs, overlap verdict,
+//! Mann-Whitney corroboration).
+//!
+//! Run with: `cargo run --release --example compare_configs`
+
+use taming_variability::confirm::{estimate, ConfirmConfig};
+use taming_variability::stats::comparison::{compare_medians, Verdict};
+use taming_variability::testbed::{catalog, Cluster, Timeline};
+use taming_variability::workloads::{sample, BenchmarkId};
+
+fn runs(cluster: &Cluster, m: taming_variability::testbed::MachineId, n: usize, base: u64) -> Vec<f64> {
+    (0..n as u64)
+        .map(|i| sample(cluster, m, BenchmarkId::MemTriad, 0.0, base + i).unwrap())
+        .collect()
+}
+
+fn main() {
+    let cluster = Cluster::provision(catalog(), 0.2, Timeline::quiet(30.0), 1234);
+    let fleet = cluster.machines_of_type("c220g2");
+    let (a, b) = (fleet[0].id, fleet[4].id);
+    println!("comparing mem-triad on two c220g2 machines: {a} vs {b}\n");
+
+    // --- The wrong way: 5 runs, compare the means. ---
+    let quick_a = runs(&cluster, a, 5, 0);
+    let quick_b = runs(&cluster, b, 5, 0);
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let (ma, mb) = (mean(&quick_a), mean(&quick_b));
+    println!("naive (5 runs each, compare means):");
+    println!("  A = {ma:.0} MB/s, B = {mb:.0} MB/s");
+    println!(
+        "  naive conclusion: {} is faster by {:.2}% — with no error bars at all\n",
+        if ma > mb { "A" } else { "B" },
+        (ma - mb).abs() / ma.min(mb) * 100.0
+    );
+
+    // --- The paper's way. ---
+    // 1. Plan the repetition count with CONFIRM on a pilot pool.
+    let pilot = runs(&cluster, a, 100, 1000);
+    let plan = estimate(
+        &pilot,
+        &ConfirmConfig::default().with_target_rel_error(0.005),
+    )
+    .unwrap();
+    let n = plan.repetitions().unwrap_or(100).max(30);
+    println!("CONFIRM: +/-0.5% on the median needs {} repetitions", plan.requirement.display());
+
+    // 2. Collect that many runs on both machines and compare medians with
+    //    non-parametric CIs.
+    let full_a = runs(&cluster, a, n, 2000);
+    let full_b = runs(&cluster, b, n, 3000);
+    let cmp = compare_medians(&full_a, &full_b, 0.95).unwrap();
+    println!("\nsound comparison ({n} runs each):");
+    println!(
+        "  A median {:.0} MB/s, 95% CI [{:.0}, {:.0}]",
+        cmp.ci_a.estimate, cmp.ci_a.lower, cmp.ci_a.upper
+    );
+    println!(
+        "  B median {:.0} MB/s, 95% CI [{:.0}, {:.0}]",
+        cmp.ci_b.estimate, cmp.ci_b.lower, cmp.ci_b.upper
+    );
+    let verdict = match cmp.verdict {
+        Verdict::ALower => "B is genuinely faster (CIs do not overlap)",
+        Verdict::BLower => "A is genuinely faster (CIs do not overlap)",
+        Verdict::Indistinguishable => "no real difference at 95% confidence",
+    };
+    println!("  verdict: {verdict}");
+    println!(
+        "  Mann-Whitney p = {:.4}, Cliff's delta = {:.3}",
+        cmp.mann_whitney.p_value, cmp.cliffs_delta
+    );
+    println!(
+        "\nmoral: same hardware SKU, persistent per-unit difference — only the \
+         CI-based comparison can tell lottery from noise."
+    );
+}

@@ -1,0 +1,97 @@
+//! Power planning: how many runs to *detect* a speedup?
+//!
+//! Pinning down one median is half the story; most evaluations claim "A
+//! beats B by x%". This example walks the two-sample workflow: pilot both
+//! configurations, estimate the effect size, plan the repetition count
+//! with Noether's Mann–Whitney formula (cross-checked against the
+//! CI-separation plan), then run the planned experiment and render the
+//! verdict.
+//!
+//! Run with: `cargo run --release --example detect_speedup`
+
+use taming_variability::confirm::{
+    ci_separation_plan, estimate_p_prime, noether_sample_size, ConfirmConfig,
+};
+use taming_variability::stats::comparison::{compare_medians, Verdict};
+use taming_variability::testbed::{catalog, Cluster, Timeline};
+use taming_variability::workloads::{sample, BenchmarkId};
+
+fn runs(
+    cluster: &Cluster,
+    m: taming_variability::testbed::MachineId,
+    bench: BenchmarkId,
+    n: usize,
+    base: u64,
+) -> Vec<f64> {
+    (0..n as u64)
+        .map(|i| sample(cluster, m, bench, 0.0, base + i).unwrap())
+        .collect()
+}
+
+fn main() {
+    // "Configuration A" and "configuration B" are two same-type machines —
+    // the hardware lottery provides a genuine few-percent difference.
+    let cluster = Cluster::provision(catalog(), 0.2, Timeline::quiet(30.0), 77);
+    let fleet = cluster.machines_of_type("d430");
+    let (a, b) = (fleet[0].id, fleet[2].id);
+    let bench = BenchmarkId::DiskSeqRead;
+    println!("question: does {b} beat {a} on {bench}?\n");
+
+    // 1. Pilot: 20 runs each.
+    let pilot_a = runs(&cluster, a, bench, 20, 0);
+    let pilot_b = runs(&cluster, b, bench, 20, 0);
+
+    // 2. Effect size and Noether plan.
+    let p_prime = estimate_p_prime(&pilot_a, &pilot_b).unwrap();
+    println!("pilot effect size p' = P(a < b) = {p_prime:.3}");
+    let n = match noether_sample_size(p_prime, 0.05, 0.9) {
+        Ok(plan) => {
+            println!(
+                "Noether: {} runs per group for 90% power at alpha = 0.05",
+                plan.per_group
+            );
+            plan.per_group.clamp(20, 400)
+        }
+        Err(_) => {
+            println!("pilot shows no effect (p' = 0.5); running 100 per group anyway");
+            100
+        }
+    };
+
+    // 3. Cross-check: CI separation for the pilot's relative difference.
+    let med = |v: &[f64]| taming_variability::stats::quantile::median(v).unwrap();
+    let rel_diff =
+        ((med(&pilot_b) - med(&pilot_a)) / med(&pilot_a)).abs().clamp(0.005, 0.5);
+    let ci_plan = ci_separation_plan(&pilot_a, rel_diff, &ConfirmConfig::default()).unwrap();
+    println!(
+        "CI-separation cross-check (for a {:.1}% gap): {} runs",
+        rel_diff * 100.0,
+        ci_plan.requirement.display()
+    );
+
+    // 4. Run the planned experiment with FRESH runs and render the verdict.
+    let full_a = runs(&cluster, a, bench, n, 10_000);
+    let full_b = runs(&cluster, b, bench, n, 20_000);
+    let cmp = compare_medians(&full_a, &full_b, 0.95).unwrap();
+    println!("\nplanned experiment ({n} runs per group):");
+    println!(
+        "  A median {:.1} MB/s  [{:.1}, {:.1}]",
+        cmp.ci_a.estimate, cmp.ci_a.lower, cmp.ci_a.upper
+    );
+    println!(
+        "  B median {:.1} MB/s  [{:.1}, {:.1}]",
+        cmp.ci_b.estimate, cmp.ci_b.lower, cmp.ci_b.upper
+    );
+    println!(
+        "  relative difference {:+.2}%, Mann-Whitney p = {:.4}, Cliff's delta {:+.3}",
+        cmp.relative_difference * 100.0,
+        cmp.mann_whitney.p_value,
+        cmp.cliffs_delta
+    );
+    let verdict = match cmp.verdict {
+        Verdict::ALower => "B is faster (CIs separated)",
+        Verdict::BLower => "A is faster (CIs separated)",
+        Verdict::Indistinguishable => "indistinguishable at 95% — do not publish a winner",
+    };
+    println!("  verdict: {verdict}");
+}

@@ -1,0 +1,121 @@
+//! Host health check: is this machine fit to benchmark on?
+//!
+//! Before trusting any measurement, probe the host itself: how accurately
+//! does it time a sleep (scheduler/power-state jitter), does repeated
+//! work drift (thermal ramp, frequency scaling), and do quick native
+//! benchmarks produce independent, stationary samples? This is the
+//! pre-flight checklist the paper's recommendations imply.
+//!
+//! Run with: `cargo run --release --example host_health`
+
+use taming_variability::stats::independence::{acf_check, trend_test};
+use taming_variability::stats::normality::shapiro_wilk;
+use taming_variability::stats::stationarity::adf_test;
+use taming_variability::stats::Summary;
+use taming_variability::workloads::native::{
+    ContextSwitchProbe, SleepJitterProbe, StreamBench, StreamKernel, SyscallLatencyProbe,
+};
+use taming_variability::workloads::Workload;
+
+fn verdict(ok: bool) -> &'static str {
+    if ok {
+        "OK"
+    } else {
+        "SUSPECT"
+    }
+}
+
+fn main() {
+    println!("== host benchmarking health check ==\n");
+
+    // 1. Timer jitter: request 200 us sleeps, measure the overshoot.
+    let mut probe = SleepJitterProbe::new(200).expect("valid request");
+    let overshoots = probe.collect(60).expect("sleep works");
+    let s = Summary::from_slice(&overshoots).expect("non-empty");
+    println!("sleep(200 us) overshoot:");
+    println!("  median {:8.1} us   p99 {:8.1} us   max {:8.1} us", s.median, s.p99, s.max);
+    let timer_ok = s.median < 500.0;
+    println!(
+        "  timer fidelity: {} (microsecond-scale measurements {} trustworthy here)\n",
+        verdict(timer_ok),
+        if timer_ok { "are" } else { "are NOT" }
+    );
+
+    // 2. OS floors: syscall and context-switch costs bound every
+    //    blocking harness on this host.
+    let mut syscall = SyscallLatencyProbe::new(5000).expect("/dev/null opens");
+    let sys_ns: Vec<f64> = (0..15).map(|_| syscall.run_once().expect("writes")).collect();
+    let mut ctx = ContextSwitchProbe::new(500).expect("valid");
+    let ctx_us: Vec<f64> = (0..10).map(|_| ctx.run_once().expect("threads run")).collect();
+    let med = |v: &[f64]| {
+        taming_variability::stats::quantile::median(v).expect("non-empty")
+    };
+    println!(
+        "OS floors: syscall {:.0} ns, thread round trip {:.1} us\n",
+        med(&sys_ns),
+        med(&ctx_us)
+    );
+
+    // 3. Sustained compute: 60 STREAM triad runs; look for drift.
+    let mut bench = StreamBench::new(StreamKernel::Triad, 1 << 19)
+        .expect("valid size")
+        .with_iterations(3);
+    for _ in 0..3 {
+        let _ = bench.run_once().expect("triad runs");
+    }
+    let runs: Vec<f64> = (0..60).map(|_| bench.run_once().expect("triad runs")).collect();
+    let rs = Summary::from_slice(&runs).expect("non-empty");
+    println!("STREAM triad (60 runs after warmup):");
+    println!(
+        "  median {:9.0} MB/s   CoV {:5.2}%   skew {:+.2}",
+        rs.median,
+        rs.cov * 100.0,
+        rs.skewness
+    );
+
+    // Drift: monotone trend across the run sequence?
+    let (rho, p_trend) = trend_test(&runs).expect("n >= 10");
+    let drift_ok = p_trend > 0.01 || rho.abs() < 0.3;
+    println!(
+        "  drift: Spearman rho = {rho:+.3} (p = {p_trend:.4}) -> {}",
+        verdict(drift_ok)
+    );
+
+    // Independence: autocorrelation within the white-noise band?
+    let acf = acf_check(&runs, 5).expect("n >= 10");
+    println!(
+        "  independence: {} lag(s) escape the 95% band -> {}",
+        acf.flagged_lags.len(),
+        verdict(acf.flagged_lags.len() <= 1)
+    );
+
+    // Stationarity: ADF unit-root test.
+    match adf_test(&runs, 2) {
+        Ok(adf) => println!(
+            "  stationarity: ADF stat {:.2} (p ~ {:.3}) -> {}",
+            adf.statistic,
+            adf.p_value,
+            verdict(adf.is_stationary(0.05))
+        ),
+        Err(e) => println!("  stationarity: not assessable ({e})"),
+    }
+
+    // Normality — not required, but know what statistics you may use.
+    match shapiro_wilk(&runs) {
+        Ok(sw) => println!(
+            "  normality: Shapiro-Wilk p = {:.4} -> {}",
+            sw.p_value,
+            if sw.is_normal(0.05) {
+                "normal (t-intervals admissible)"
+            } else {
+                "not normal (use median + non-parametric CIs)"
+            }
+        ),
+        Err(e) => println!("  normality: not assessable ({e})"),
+    }
+
+    println!(
+        "\nchecklist: fix anything SUSPECT (pin frequency, disable deep C-states, \
+         close background work) before collecting results you intend to publish."
+    );
+}

@@ -1,0 +1,75 @@
+//! Live repetition planning on YOUR machine.
+//!
+//! Runs the real in-process STREAM triad kernel and feeds each
+//! measurement into the sequential planner until the median memory
+//! bandwidth is pinned to +/-2% at 95% confidence — the workflow the
+//! paper recommends instead of a hard-coded "we ran it 10 times".
+//!
+//! Run with: `cargo run --release --example plan_repetitions`
+
+use taming_variability::confirm::{ConfirmConfig, PlanStatus, SequentialPlanner};
+use taming_variability::stats::independence::acf_check;
+use taming_variability::workloads::native::{StreamBench, StreamKernel};
+use taming_variability::workloads::Workload;
+
+fn main() {
+    // 8 MiB per array: big enough to leave L2 on most machines while
+    // keeping the example fast. Use larger arrays for DRAM bandwidth.
+    let mut bench = StreamBench::new(StreamKernel::Triad, 1 << 20)
+        .expect("valid size")
+        .with_iterations(4);
+
+    // Warm up: first runs pay page-fault and frequency-ramp costs.
+    for _ in 0..3 {
+        let _ = bench.run_once().expect("triad runs");
+    }
+
+    let config = ConfirmConfig::default().with_target_rel_error(0.02);
+    let mut planner = SequentialPlanner::new(config, 400);
+    println!("measuring STREAM triad until the median is within +/-2% @ 95% ...\n");
+
+    loop {
+        let mbps = bench.run_once().expect("triad runs");
+        match planner.push(mbps).expect("finite measurement") {
+            PlanStatus::Collecting { needed } => {
+                println!("  {mbps:10.1} MB/s  (collecting, {needed} more to minimum)");
+            }
+            PlanStatus::Continue { rel_error, .. } => {
+                println!(
+                    "  {mbps:10.1} MB/s  (CI half-width {:.2}%, target 2%)",
+                    rel_error * 100.0
+                );
+            }
+            PlanStatus::Satisfied { repetitions, ci } => {
+                println!(
+                    "\nstop after {repetitions} repetitions: median triad bandwidth \
+                     {:.1} MB/s, 95% CI [{:.1}, {:.1}]",
+                    ci.estimate, ci.lower, ci.upper
+                );
+                break;
+            }
+            PlanStatus::CapReached { cap, rel_error } => {
+                println!(
+                    "\ngave up at the {cap}-run cap (half-width still {:.2}%) — this \
+                     machine is noisy; consider pinning frequency/cores",
+                    rel_error * 100.0
+                );
+                break;
+            }
+        }
+    }
+
+    // Sound CIs need independent samples: check before trusting the stop.
+    match planner.independence_ok() {
+        Ok(true) => println!("independence check: ACF within the white-noise band — OK"),
+        Ok(false) => println!(
+            "independence check: serial correlation detected — interleave other \
+             work or add cool-down gaps between runs"
+        ),
+        Err(_) => {
+            // Too few samples to check; print the ACF band size instead.
+            let _ = acf_check(planner.data(), 1);
+            println!("independence check: not enough samples to evaluate");
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Quickstart: measure, test normality, report a defensible result.
+//!
+//! Provisions a simulated machine, collects 50 repetitions of a disk
+//! benchmark (the paper's canonical troublemaker), and walks the
+//! recommended reporting pipeline: summary -> normality -> non-parametric
+//! CI -> CONFIRM repetition estimate.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use taming_variability::confirm::{estimate, report, ConfirmConfig};
+use taming_variability::dataset::{run_campaign, CampaignConfig};
+use taming_variability::stats::ci::nonparametric::median_ci_exact;
+use taming_variability::stats::normality::shapiro_wilk;
+use taming_variability::stats::Summary;
+use taming_variability::workloads::{sample, BenchmarkId};
+
+fn main() {
+    // 1. A small simulated fleet and its measurement campaign.
+    let (cluster, store) = run_campaign(&CampaignConfig::quick(42));
+    println!(
+        "campaign: {} machines, {} measurements\n",
+        store.machines().len(),
+        store.len()
+    );
+
+    // 2. Fifty repetitions of disk-seq-read on one HDD machine.
+    let machine = cluster
+        .machines()
+        .iter()
+        .find(|m| m.type_name == "c220g1")
+        .expect("catalog has c220g1")
+        .id;
+    let runs: Vec<f64> = (0..50u64)
+        .map(|n| sample(&cluster, machine, BenchmarkId::DiskSeqRead, 0.0, n).unwrap())
+        .collect();
+
+    // 3. Describe the data.
+    let summary = Summary::from_slice(&runs).unwrap();
+    println!("disk-seq-read on {machine:?} (50 runs):");
+    println!("  mean   = {:8.2} MB/s", summary.mean);
+    println!("  median = {:8.2} MB/s", summary.median);
+    println!("  CoV    = {:8.2} %", summary.cov * 100.0);
+    println!("  skew   = {:8.2}", summary.skewness);
+
+    // 4. Would a mean +/- t-interval be justified? Usually not.
+    let sw = shapiro_wilk(&runs).unwrap();
+    println!(
+        "\nShapiro-Wilk: W = {:.4}, p = {:.4} -> {}",
+        sw.statistic,
+        sw.p_value,
+        if sw.is_normal(0.05) {
+            "looks normal (this time)"
+        } else {
+            "NOT normal: report the median, not the mean"
+        }
+    );
+
+    // 5. The defensible headline number: a non-parametric median CI.
+    let ci = median_ci_exact(&runs, 0.95).unwrap();
+    println!(
+        "\n95% CI of the median: [{:.2}, {:.2}] MB/s (achieved {:.1}%)",
+        ci.ci.lower,
+        ci.ci.upper,
+        ci.achieved_confidence * 100.0
+    );
+
+    // 6. How many repetitions would a +/-1% result need? Ask CONFIRM.
+    let pool: Vec<f64> = (0..200u64)
+        .map(|n| sample(&cluster, machine, BenchmarkId::DiskSeqRead, 0.0, n).unwrap())
+        .collect();
+    let result = estimate(&pool, &ConfirmConfig::default()).unwrap();
+    println!("\n{}", report::render_summary(&result));
+}

@@ -1,0 +1,77 @@
+//! Detecting environment changes in a long-running campaign.
+//!
+//! Ten months of daily memory-latency measurements on one machine span a
+//! kernel upgrade that shifts latency by ~5%. Treating the series as one
+//! i.i.d. pool would corrupt every statistic; this example segments it
+//! first (PELT + CUSUM) and reports per-segment medians, as the paper's
+//! temporal analysis prescribes.
+//!
+//! Run with: `cargo run --release --example temporal_drift`
+
+use taming_variability::confirm::{estimate_stationary, ConfirmConfig};
+use taming_variability::stats::changepoint::{cusum_detect, pelt_mean, split_segments};
+use taming_variability::stats::quantile::median;
+use taming_variability::testbed::{catalog, Cluster, Subsystem, Timeline};
+use taming_variability::workloads::{sample, BenchmarkId};
+
+fn main() {
+    let cluster = Cluster::provision(catalog(), 0.05, Timeline::cloudlab_default(), 99);
+    let machine = cluster.machines()[0].id;
+    println!(
+        "ground truth: maintenance events at days {:?}\n",
+        cluster.timeline().change_days(Subsystem::MemoryLatency)
+    );
+
+    // One measurement per day for the whole campaign.
+    let series: Vec<f64> = (0..cluster.timeline().duration_days as usize)
+        .map(|d| {
+            sample(&cluster, machine, BenchmarkId::MemLatency, d as f64, d as u64).unwrap()
+        })
+        .collect();
+
+    // Multiple-changepoint detection (PELT, automatic penalty).
+    let changepoints = pelt_mean(&series, None).expect("long series");
+    println!("PELT detected changepoints at days: {changepoints:?}");
+
+    // Single-change CUSUM with permutation significance, as a cross-check.
+    let cusum = cusum_detect(&series, 500, 7).expect("long series");
+    println!(
+        "CUSUM: day {} (p = {:.4}), level {:.1} -> {:.1} ns\n",
+        cusum.changepoint, cusum.p_value, cusum.mean_before, cusum.mean_after
+    );
+
+    // Report per-segment medians — the statistics that are actually safe
+    // to quote.
+    let segments = split_segments(&series, &changepoints).expect("valid changepoints");
+    let mut start = 0usize;
+    for seg in segments {
+        let med = median(seg).expect("non-empty segment");
+        println!(
+            "  days {:>3}..{:<3}  median latency {:.1} ns  ({} days)",
+            start,
+            start + seg.len(),
+            med,
+            seg.len()
+        );
+        start += seg.len();
+    }
+    println!(
+        "\nmoral: a single pooled median would average across the upgrade and \
+         describe neither environment."
+    );
+
+    // Segmentation-aware planning does all of the above in one call:
+    // detect the shift, discard the stale regime, plan on the current one.
+    let seg = estimate_stationary(
+        &series,
+        &ConfirmConfig::default().with_target_rel_error(0.02),
+    )
+    .expect("current regime has enough data");
+    println!(
+        "\nsegmentation-aware CONFIRM: discarded {} stale days, current-regime \
+         median {:.1} ns, {} repetitions for +/-2%",
+        seg.discarded,
+        seg.result.reference,
+        seg.result.requirement.display()
+    );
+}

@@ -1,0 +1,85 @@
+//! # taming-variability
+//!
+//! A from-scratch Rust reproduction of **"Taming Performance Variability"
+//! (OSDI 2018)** — the measurement study and the CONFIRM methodology for
+//! deciding how many repetitions an experiment needs before its result is
+//! statistically trustworthy.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`stats`] (`varstats`) — non-parametric confidence intervals,
+//!   hand-rolled bootstrap, Shapiro–Wilk and friends, independence
+//!   diagnostics, sample-size formulas, changepoint detection.
+//! * [`confirm`] — the CONFIRM repetition estimator, the sequential
+//!   online planner, the parametric baseline, and the recommendation
+//!   flow.
+//! * [`testbed`] — the simulated multi-machine fleet (hardware lottery,
+//!   subsystem noise models, maintenance timeline).
+//! * [`workloads`] — the benchmark suite, simulated and native.
+//! * [`dataset`] — records, the sliceable store, CSV/JSON, and the
+//!   campaign generator.
+//! * [`analysis`] — the pipelines regenerating every table and figure of
+//!   the paper's evaluation (see `cargo run -p analysis --bin repro`).
+//!
+//! ## Sixty seconds to a defensible result
+//!
+//! ```
+//! use taming_variability::confirm::{ConfirmConfig, PlanStatus, SequentialPlanner};
+//! use taming_variability::stats::ci::nonparametric::median_ci_exact;
+//!
+//! // Stream benchmark runs into the planner until the median is pinned
+//! // to +/-2% at 95% confidence.
+//! let mut planner = SequentialPlanner::new(
+//!     ConfirmConfig::default().with_target_rel_error(0.02),
+//!     500,
+//! );
+//! let mut reps = 0;
+//! for i in 0.. {
+//!     let measurement = 100.0 + ((i * 17) % 13) as f64 * 0.3; // your benchmark here
+//!     reps += 1;
+//!     if let PlanStatus::Satisfied { ci, .. } = planner.push(measurement).unwrap() {
+//!         println!("stop after {reps} runs: median in [{:.2}, {:.2}]", ci.lower, ci.upper);
+//!         break;
+//!     }
+//! }
+//! // And report a non-parametric CI, not a mean +/- t-interval:
+//! let ci = median_ci_exact(planner.data(), 0.95).unwrap();
+//! assert!(ci.ci.contains(ci.ci.estimate));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use analysis;
+pub use confirm;
+pub use dataset;
+pub use testbed;
+pub use workloads;
+
+/// The statistics substrate (`varstats`), re-exported under a friendlier
+/// name.
+pub use varstats as stats;
+
+/// The most commonly used items in one import.
+///
+/// ```
+/// use taming_variability::prelude::*;
+///
+/// let runs: Vec<f64> = (0..50).map(|i| 100.0 + (i % 7) as f64).collect();
+/// let ci = median_ci_exact(&runs, 0.95).unwrap();
+/// assert!(ci.ci.contains(ci.ci.estimate));
+/// ```
+pub mod prelude {
+    pub use analysis::{Context, Scale};
+    pub use confirm::{
+        estimate, estimate_stationary, recommend, ConfirmConfig, PlanStatus, Requirement,
+        SequentialPlanner, Statistic,
+    };
+    pub use dataset::{run_campaign, CampaignConfig, Store};
+    pub use testbed::{catalog, Cluster, MachineId, Subsystem, Timeline};
+    pub use varstats::ci::nonparametric::{median_ci_approx, median_ci_exact};
+    pub use varstats::comparison::{compare_medians, speedup_ci, Verdict};
+    pub use varstats::normality::shapiro_wilk;
+    pub use varstats::{ConfidenceInterval, Samples, Summary};
+    pub use workloads::{sample, BenchmarkId, Harness, SimBenchmark, Workload};
+}

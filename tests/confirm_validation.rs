@@ -1,0 +1,151 @@
+//! CONFIRM validated against ground truth.
+//!
+//! The estimator's answer is only useful if, having run the recommended
+//! number of *fresh* repetitions, the resulting CI actually lands within
+//! the target. These tests close that loop on testbed data, and check
+//! agreement with the parametric formula where its assumptions hold.
+
+use taming_variability::confirm::{
+    estimate, parametric_plan, ConfirmConfig, Growth, PlanStatus, Requirement,
+    SequentialPlanner, Statistic,
+};
+use taming_variability::stats::ci::nonparametric::median_ci_approx;
+use taming_variability::testbed::{catalog, Cluster, Timeline};
+use taming_variability::workloads::{sample, BenchmarkId};
+
+fn cluster() -> Cluster {
+    Cluster::provision(catalog(), 0.05, Timeline::quiet(10.0), 31)
+}
+
+#[test]
+fn recommended_repetitions_actually_deliver_the_target() {
+    let cluster = cluster();
+    let machine = cluster.machines()[0].id;
+    let bench = BenchmarkId::MemTriad;
+    let pool: Vec<f64> = (0..300u64)
+        .map(|n| sample(&cluster, machine, bench, 0.0, n).unwrap())
+        .collect();
+    let config = ConfirmConfig::default().with_target_rel_error(0.005);
+    let result = estimate(&pool, &config).unwrap();
+    let n = result
+        .repetitions()
+        .expect("memory bandwidth satisfies 0.5% easily");
+
+    // Collect n FRESH runs (disjoint nonces) many times; the CI should
+    // meet the target in the typical case (CONFIRM averages over subsets,
+    // so individual draws may wobble — require 70% of trials within 1.5x
+    // of the target).
+    let mut within = 0usize;
+    let trials = 40;
+    for t in 0..trials {
+        let fresh: Vec<f64> = (0..n as u64)
+            .map(|i| {
+                sample(&cluster, machine, bench, 0.0, 10_000 + t * n as u64 + i).unwrap()
+            })
+            .collect();
+        let ci = median_ci_approx(&fresh, 0.95).unwrap();
+        if ci.ci.relative_half_width() <= 0.005 * 1.5 {
+            within += 1;
+        }
+    }
+    assert!(
+        within as f64 / trials as f64 >= 0.7,
+        "only {within}/{trials} fresh batches met the target with n = {n}"
+    );
+}
+
+#[test]
+fn confirm_and_jain_roughly_agree_on_normal_data() {
+    // Memory-bandwidth run noise is a clean normal: the non-parametric
+    // answer should be within a small factor of the parametric one
+    // (medians are ~25% less efficient than means under normality, and
+    // CONFIRM's subset floor adds discreteness).
+    let cluster = cluster();
+    let machine = cluster.machines()[0].id;
+    let pool: Vec<f64> = (0..300u64)
+        .map(|n| sample(&cluster, machine, BenchmarkId::MemTriad, 0.0, n).unwrap())
+        .collect();
+    let config = ConfirmConfig::default().with_target_rel_error(0.002);
+    let confirm_n = estimate(&pool, &config)
+        .unwrap()
+        .requirement
+        .as_ordinal() as f64;
+    let jain_n = parametric_plan(&pool, &config).unwrap().repetitions as f64;
+    let ratio = confirm_n.max(jain_n) / confirm_n.min(jain_n).max(1.0);
+    assert!(
+        ratio < 5.0,
+        "confirm {confirm_n} vs jain {jain_n}: ratio {ratio}"
+    );
+}
+
+#[test]
+fn sequential_planner_matches_confirm_scale() {
+    // The live planner and the subsampling estimator answer the same
+    // question; on stationary data their answers should be on the same
+    // order.
+    let cluster = cluster();
+    let machine = cluster.machines()[0].id;
+    let bench = BenchmarkId::DiskSeqRead;
+    let config = ConfirmConfig::default().with_target_rel_error(0.02);
+
+    let pool: Vec<f64> = (0..400u64)
+        .map(|n| sample(&cluster, machine, bench, 0.0, n).unwrap())
+        .collect();
+    let confirm_n = estimate(&pool, &config).unwrap().requirement.as_ordinal();
+
+    let mut planner = SequentialPlanner::new(config, 400);
+    let mut sequential_n = 400usize;
+    for n in 0..400u64 {
+        let v = sample(&cluster, machine, bench, 0.0, 50_000 + n).unwrap();
+        if let PlanStatus::Satisfied { repetitions, .. } = planner.push(v).unwrap() {
+            sequential_n = repetitions;
+            break;
+        }
+    }
+    let ratio = (confirm_n.max(sequential_n) as f64) / (confirm_n.min(sequential_n) as f64);
+    assert!(
+        ratio < 4.0,
+        "confirm {confirm_n} vs sequential {sequential_n}"
+    );
+}
+
+#[test]
+fn exhaustion_reports_pool_size_faithfully() {
+    let cluster = cluster();
+    // Random disk I/O on an HDD machine at +/-0.2%: hopeless with 60 runs.
+    let machine = cluster
+        .machines()
+        .iter()
+        .find(|m| m.type_name == "d430")
+        .unwrap()
+        .id;
+    let pool: Vec<f64> = (0..60u64)
+        .map(|n| sample(&cluster, machine, BenchmarkId::DiskRandRead, 0.0, n).unwrap())
+        .collect();
+    let config = ConfirmConfig::default().with_target_rel_error(0.002);
+    let result = estimate(&pool, &config).unwrap();
+    assert_eq!(result.requirement, Requirement::Exhausted { pool: 60 });
+    assert_eq!(result.requirement.display(), ">60");
+}
+
+#[test]
+fn statistic_ordering_median_p95_p99() {
+    let cluster = cluster();
+    let machine = cluster.machines()[0].id;
+    let pool: Vec<f64> = (0..900u64)
+        .map(|n| sample(&cluster, machine, BenchmarkId::NetLatency, 0.0, n).unwrap())
+        .collect();
+    let req = |stat: Statistic| {
+        let config = ConfirmConfig::default()
+            .with_statistic(stat)
+            .with_target_rel_error(0.05)
+            .with_growth(Growth::Geometric(1.4));
+        estimate(&pool, &config).unwrap().requirement.as_ordinal()
+    };
+    let med = req(Statistic::Median);
+    let p95 = req(Statistic::Quantile(0.95));
+    let p99 = req(Statistic::Quantile(0.99));
+    assert!(med <= p95, "median {med} vs p95 {p95}");
+    assert!(p95 <= p99, "p95 {p95} vs p99 {p99}");
+    assert!(p99 >= 299, "p99 floor");
+}

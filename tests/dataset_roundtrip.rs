@@ -1,0 +1,76 @@
+//! Dataset integrity: campaign determinism, CSV/JSON round trips, and
+//! store/sampler consistency.
+
+use taming_variability::dataset::{read_csv, run_campaign, write_csv, CampaignConfig, Store};
+use taming_variability::workloads::{sample, BenchmarkId};
+
+#[test]
+fn campaign_csv_round_trip_preserves_everything() {
+    let (_cluster, store) = run_campaign(&CampaignConfig::quick(101));
+    let mut buf = Vec::new();
+    write_csv(&store, &mut buf).unwrap();
+    let back = read_csv(buf.as_slice()).unwrap();
+    assert_eq!(store, back);
+}
+
+#[test]
+fn campaign_json_round_trip_preserves_everything() {
+    let (_cluster, store) = run_campaign(&CampaignConfig::quick(102));
+    let json = serde_json::to_string(&store).unwrap();
+    let back: Store = serde_json::from_str(&json).unwrap();
+    assert_eq!(store, back);
+}
+
+#[test]
+fn store_values_match_direct_sampling() {
+    // Every record in the store must be reproducible by calling the
+    // sampler directly with the same coordinates.
+    let config = CampaignConfig::quick(103);
+    let (cluster, store) = run_campaign(&config);
+    for record in store.records().iter().step_by(97) {
+        let direct = sample(
+            &cluster,
+            record.machine,
+            record.benchmark,
+            record.day,
+            record.run as u64,
+        )
+        .unwrap();
+        assert_eq!(record.value, direct, "{record:?}");
+    }
+}
+
+#[test]
+fn filters_partition_the_dataset() {
+    let (_cluster, store) = run_campaign(&CampaignConfig::quick(104));
+    // Summing per-benchmark counts reconstructs the total.
+    let total: usize = store
+        .benchmarks()
+        .into_iter()
+        .map(|b| store.filter().benchmark(b).count())
+        .sum();
+    assert_eq!(total, store.len());
+    // Summing per-type counts reconstructs the total.
+    let total: usize = store
+        .machine_types()
+        .into_iter()
+        .map(|t| store.filter().machine_type(&t).count())
+        .sum();
+    assert_eq!(total, store.len());
+}
+
+#[test]
+fn type_baselines_order_the_measurements() {
+    // m510 (NVMe) must report far higher disk-seq throughput than d710
+    // (old HDD) — the catalog's heterogeneity must survive the pipeline.
+    let (_cluster, store) = run_campaign(&CampaignConfig::quick(105));
+    let med = |ty: &str| {
+        let vals = store
+            .filter()
+            .machine_type(ty)
+            .benchmark(BenchmarkId::DiskSeqRead)
+            .values();
+        taming_variability::stats::quantile::median(&vals).unwrap()
+    };
+    assert!(med("m510") > 4.0 * med("d710"));
+}

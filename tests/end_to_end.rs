@@ -1,0 +1,69 @@
+//! End-to-end: the full campaign feeds every experiment pipeline.
+
+use taming_variability::analysis::{all, Artifact, Context, Kind, Scale};
+
+#[test]
+fn every_registered_experiment_runs_and_produces_artifacts() {
+    let ctx = Context::new(Scale::Quick, 2024);
+    for experiment in all() {
+        let artifacts = (experiment.run)(&ctx);
+        assert!(
+            !artifacts.is_empty(),
+            "{} produced no artifacts",
+            experiment.id
+        );
+        // The first artifact's id starts with the experiment id.
+        assert!(
+            artifacts[0].id().starts_with(experiment.id),
+            "{} produced artifact {}",
+            experiment.id,
+            artifacts[0].id()
+        );
+        for artifact in &artifacts {
+            let text = artifact.render();
+            assert!(!text.trim().is_empty());
+            let csv = artifact.to_csv();
+            assert!(csv.lines().count() >= 2, "{} CSV too small", artifact.id());
+            match artifact {
+                Artifact::Table(t) => {
+                    assert!(!t.rows.is_empty(), "{} table empty", t.id);
+                }
+                Artifact::Figure(f) => {
+                    assert!(!f.series.is_empty(), "{} figure empty", f.id);
+                    assert!(f.series.iter().all(|s| !s.points.is_empty()));
+                }
+            }
+        }
+        // Table experiments emit a table first; figure experiments may
+        // legitimately render their series as either artifact kind.
+        if experiment.kind == Kind::Table {
+            assert!(matches!(artifacts[0], Artifact::Table(_)));
+        }
+    }
+}
+
+#[test]
+fn key_paper_shapes_hold_end_to_end() {
+    use taming_variability::analysis::experiments::cov::overall_cov;
+    use taming_variability::analysis::experiments::normality::census;
+    use taming_variability::workloads::BenchmarkId;
+
+    let ctx = Context::new(Scale::Quick, 77);
+
+    // Shape 1: disk most variable, network throughput least.
+    let disk = overall_cov(&ctx, BenchmarkId::DiskRandRead);
+    let mem = overall_cov(&ctx, BenchmarkId::MemTriad);
+    let net = overall_cov(&ctx, BenchmarkId::NetBandwidth);
+    assert!(disk > 3.0 * mem, "disk {disk} should dwarf memory {mem}");
+    assert!(net < mem, "net-bw {net} should undercut memory {mem}");
+
+    // Shape 2: a substantial share of sample sets fail normality.
+    let rows = census(&ctx, 0.05);
+    let sets: usize = rows.iter().map(|r| r.sets).sum();
+    let passed: usize = rows.iter().map(|r| r.passed).sum();
+    let fail_rate = 1.0 - passed as f64 / sets as f64;
+    assert!(
+        fail_rate > 0.3,
+        "at least a third of sample sets should fail normality, got {fail_rate}"
+    );
+}

@@ -1,0 +1,70 @@
+//! Native workloads driven end to end through the statistics pipeline.
+//!
+//! Small sizes keep these fast; the point is that real measurements flow
+//! through the same harness, planner, and intervals as simulated ones.
+
+use taming_variability::confirm::{ConfirmConfig, PlanStatus, SequentialPlanner};
+use taming_variability::stats::ci::nonparametric::median_ci_approx;
+use taming_variability::stats::Summary;
+use taming_variability::workloads::native::{
+    DiskBench, DiskMode, MemLatencyBench, NetLatencyBench, StreamBench, StreamKernel,
+};
+use taming_variability::workloads::{Harness, Workload};
+
+#[test]
+fn stream_measurements_support_a_median_ci() {
+    let mut bench = StreamBench::new(StreamKernel::Copy, 1 << 14)
+        .unwrap()
+        .with_iterations(2);
+    let runs = Harness::new(2, 15).collect(&mut bench).unwrap();
+    let ci = median_ci_approx(&runs, 0.95).unwrap();
+    assert!(ci.ci.lower > 0.0);
+    assert!(ci.ci.contains(ci.ci.estimate));
+    let s = Summary::from_slice(&runs).unwrap();
+    assert!(s.cov < 5.0, "copy kernel CoV insane: {}", s.cov);
+}
+
+#[test]
+fn memory_latency_feeds_the_planner() {
+    let mut bench = MemLatencyBench::new(1 << 10, 1 << 12, 3).unwrap();
+    // A loose 20% target so the test terminates fast even on noisy CI
+    // machines.
+    let mut planner = SequentialPlanner::new(
+        ConfirmConfig::default().with_target_rel_error(0.2),
+        200,
+    );
+    let mut stopped = false;
+    for _ in 0..200 {
+        let ns = bench.run_once().unwrap();
+        match planner.push(ns).unwrap() {
+            PlanStatus::Satisfied { repetitions, .. } => {
+                assert!(repetitions >= 10);
+                stopped = true;
+                break;
+            }
+            PlanStatus::CapReached { .. } => break,
+            _ => {}
+        }
+    }
+    // Either outcome is valid behaviour; the pipeline must simply not
+    // wedge or error.
+    assert!(planner.len() >= 10);
+    let _ = stopped;
+}
+
+#[test]
+fn disk_bench_through_harness() {
+    let mut bench = DiskBench::new(DiskMode::SeqRead, 4 << 20, 1 << 20, 77).unwrap();
+    let runs = Harness::new(1, 5).collect(&mut bench).unwrap();
+    assert_eq!(runs.len(), 5);
+    assert!(runs.iter().all(|&x| x > 0.0));
+}
+
+#[test]
+fn net_latency_through_harness() {
+    let mut bench = NetLatencyBench::new(25).unwrap();
+    let runs = Harness::new(1, 10).collect(&mut bench).unwrap();
+    assert_eq!(runs.len(), 10);
+    let s = Summary::from_slice(&runs).unwrap();
+    assert!(s.median > 0.0);
+}

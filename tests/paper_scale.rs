@@ -1,0 +1,24 @@
+//! Full-scale (paper-sized) campaign validation.
+//!
+//! Ignored by default (several seconds + gigabytes of samples); run with
+//! `cargo test --test paper_scale -- --ignored`.
+
+use taming_variability::analysis::experiments::normality::census;
+use taming_variability::analysis::{Context, Scale};
+
+#[test]
+#[ignore = "paper-scale campaign: run explicitly with -- --ignored"]
+fn paper_scale_campaign_reproduces_the_headlines() {
+    let ctx = Context::new(Scale::Paper, 42);
+    // The published dataset's scale: ~900 machines, millions of points.
+    assert!(ctx.cluster.machines().len() >= 850);
+    assert!(ctx.store.len() >= 4_000_000, "records {}", ctx.store.len());
+
+    // At this sample size the normality census has full power: the
+    // overwhelming majority of sets fail.
+    let rows = census(&ctx, 0.05);
+    let sets: usize = rows.iter().map(|r| r.sets).sum();
+    let passed: usize = rows.iter().map(|r| r.passed).sum();
+    let fail_rate = 1.0 - passed as f64 / sets as f64;
+    assert!(fail_rate > 0.6, "fail rate {fail_rate}");
+}

@@ -1,0 +1,151 @@
+//! Property-based tests over the statistics substrate.
+
+use proptest::prelude::*;
+use taming_variability::stats::ci::bootstrap::{Bootstrap, BootstrapKind};
+use taming_variability::stats::ci::nonparametric::{median_ci_approx, median_ci_exact};
+use taming_variability::stats::descriptive::Moments;
+use taming_variability::stats::histogram::{BinRule, Histogram};
+use taming_variability::stats::quantile::{quantile, Ecdf, QuantileMethod};
+use taming_variability::stats::{Samples, Summary};
+
+/// Strategy: a vector of reasonable finite measurements.
+fn measurements(min_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(1.0e-3..1.0e6f64, min_len..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(data in measurements(1), q1 in 0.0..1.0f64, q2 in 0.0..1.0f64) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        for method in [QuantileMethod::Linear, QuantileMethod::Weibull, QuantileMethod::InverseCdf] {
+            let a = quantile(&data, lo, method).unwrap();
+            let b = quantile(&data, hi, method).unwrap();
+            prop_assert!(a <= b + 1e-9);
+            let min = data.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(a >= min - 1e-9 && b <= max + 1e-9);
+        }
+    }
+
+    #[test]
+    fn median_cis_bracket_the_median(data in measurements(10)) {
+        let med = quantile(&data, 0.5, QuantileMethod::Linear).unwrap();
+        for r in [median_ci_exact(&data, 0.95).unwrap(), median_ci_approx(&data, 0.95).unwrap()] {
+            prop_assert!(r.ci.lower <= med + 1e-9, "lower {} median {med}", r.ci.lower);
+            prop_assert!(r.ci.upper >= med - 1e-9, "upper {} median {med}", r.ci.upper);
+            prop_assert!(r.lower_rank >= 1 && r.upper_rank <= data.len());
+            prop_assert!(r.lower_rank <= r.upper_rank);
+        }
+    }
+
+    #[test]
+    fn exact_ci_achieved_confidence_meets_nominal_when_possible(data in measurements(10)) {
+        let r = median_ci_exact(&data, 0.90).unwrap();
+        // With n >= 10 a 90% two-sided median CI always exists.
+        prop_assert!(r.achieved_confidence >= 0.90 - 1e-9);
+    }
+
+    #[test]
+    fn summary_orderings_hold(data in measurements(2)) {
+        let s = Summary::from_slice(&data).unwrap();
+        prop_assert!(s.min <= s.q1 + 1e-9);
+        prop_assert!(s.q1 <= s.median + 1e-9);
+        prop_assert!(s.median <= s.q3 + 1e-9);
+        prop_assert!(s.q3 <= s.max + 1e-9);
+        prop_assert!(s.p95 <= s.p99 + 1e-9);
+        prop_assert!(s.std_dev >= 0.0 && s.mad >= 0.0);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+    }
+
+    #[test]
+    fn moments_merge_is_associative_enough(data in measurements(3), split in 1usize..100) {
+        let k = split % (data.len() - 1) + 1;
+        let (a, b) = data.split_at(k);
+        let mut ma: Moments = a.iter().copied().collect();
+        let mb: Moments = b.iter().copied().collect();
+        ma.merge(&mb);
+        let full: Moments = data.iter().copied().collect();
+        prop_assert!((ma.mean() - full.mean()).abs() <= 1e-6 * (1.0 + full.mean().abs()));
+        prop_assert!(
+            (ma.sample_variance() - full.sample_variance()).abs()
+                <= 1e-6 * (1.0 + full.sample_variance())
+        );
+        prop_assert_eq!(ma.count(), full.count());
+    }
+
+    #[test]
+    fn histogram_preserves_mass(data in measurements(1), bins in 1usize..40) {
+        let h = Histogram::new(&data, BinRule::Fixed(bins)).unwrap();
+        prop_assert_eq!(h.counts.iter().sum::<u64>() as usize, data.len());
+        prop_assert_eq!(h.bins(), bins);
+        let freq_sum: f64 = (0..h.bins()).map(|i| h.frequency(i)).sum();
+        prop_assert!((freq_sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ecdf_is_monotone_zero_to_one(data in measurements(1)) {
+        let e = Ecdf::new(&data).unwrap();
+        let min = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(e.eval(min - 1.0), 0.0);
+        prop_assert_eq!(e.eval(max), 1.0);
+        let mut last = 0.0;
+        for step in 0..=20 {
+            let x = min + (max - min) * step as f64 / 20.0;
+            let v = e.eval(x);
+            prop_assert!(v >= last - 1e-12);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn percentile_bootstrap_stays_within_data_range(data in measurements(3)) {
+        let ci = Bootstrap::new(100, 7)
+            .ci(
+                &data,
+                |xs| quantile(xs, 0.5, QuantileMethod::Linear).unwrap(),
+                0.95,
+                BootstrapKind::Percentile,
+            )
+            .unwrap();
+        let min = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(ci.lower >= min - 1e-9);
+        prop_assert!(ci.upper <= max + 1e-9);
+        prop_assert!(ci.lower <= ci.upper);
+    }
+
+    #[test]
+    fn samples_sorted_view_is_a_permutation(data in measurements(1)) {
+        let s = Samples::new(data.clone()).unwrap();
+        prop_assert_eq!(s.len(), data.len());
+        let mut expect = data.clone();
+        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(s.sorted(), expect.as_slice());
+        prop_assert_eq!(s.data(), data.as_slice());
+    }
+
+    #[test]
+    fn shapiro_w_is_in_unit_interval(data in prop::collection::vec(0.0..1000.0f64, 10..300)) {
+        // Skip degenerate all-equal vectors.
+        let min = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assume!(max > min);
+        let r = taming_variability::stats::normality::shapiro_wilk(&data).unwrap();
+        prop_assert!(r.statistic > 0.0 && r.statistic <= 1.0);
+        prop_assert!((0.0..=1.0).contains(&r.p_value));
+    }
+
+    #[test]
+    fn pelt_changepoints_are_sorted_in_range(data in measurements(10)) {
+        let cps = taming_variability::stats::changepoint::pelt_mean(&data, None).unwrap();
+        for w in cps.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        for &cp in &cps {
+            prop_assert!(cp >= 1 && cp < data.len());
+        }
+    }
+}
