@@ -2,14 +2,40 @@
 //!
 //! ```text
 //! repro list
-//! repro all [--scale quick|paper] [--seed N] [--out DIR]
-//! repro F9 T3 ... [--scale ...] [--seed ...] [--out DIR]
+//! repro all [--scale quick|paper] [--seed N] [--out DIR] [--trace] [--metrics]
+//! repro F9 T3 ... [--scale ...] [--seed ...] [--out DIR] [--json]
 //! ```
+//!
+//! With `--trace` / `--metrics` the run measures itself through the
+//! `telemetry` crate: a per-experiment timing table and a span-latency
+//! summary (median + non-parametric 95% CI + CoV, per the paper's own
+//! methodology) are printed, and `trace.json` / `metrics.json` land next
+//! to the artifacts. A `manifest.json` recording seed, scale, host, and
+//! per-experiment wall times is written whenever `--out` is given.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Instant;
 
-use analysis::{all, find, Context, Scale};
+use analysis::{all, find, Context, Scale, Table};
+
+const USAGE: &str = "\
+usage: repro <list|all|ID...> [options]
+
+  list                  print the experiment registry
+  all                   run every experiment
+
+options:
+  --scale quick|paper   campaign scale (default quick)
+  --seed N              master seed (default 42)
+  --out DIR             write artifacts into DIR (CSV, or JSON with --json)
+  --json                write artifacts as JSON instead of CSV
+  --trace               collect span traces: prints a span latency table
+                        (median + 95% CI + CoV) and writes trace.json
+                        into --out
+  --metrics             collect counters/gauges/histograms and write
+                        metrics.json into --out
+  --help, -h            print this help";
 
 struct Args {
     ids: Vec<String>,
@@ -18,9 +44,16 @@ struct Args {
     out: Option<PathBuf>,
     json: bool,
     list: bool,
+    trace: bool,
+    metrics: bool,
 }
 
-fn parse_args() -> Result<Args, String> {
+enum Parsed {
+    Run(Box<Args>),
+    Help,
+}
+
+fn parse_args() -> Result<Parsed, String> {
     let mut args = Args {
         ids: Vec::new(),
         scale: Scale::Quick,
@@ -28,12 +61,14 @@ fn parse_args() -> Result<Args, String> {
         out: None,
         json: false,
         list: false,
+        trace: false,
+        metrics: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "list" => args.list = true,
-            "all" => args.ids = all().iter().map(|e| e.id.to_string()).collect(),
+            "all" => args.ids.extend(all().iter().map(|e| e.id.to_string())),
             "--scale" => {
                 let v = it.next().ok_or("--scale needs a value")?;
                 args.scale = Scale::parse(&v).ok_or(format!("unknown scale `{v}`"))?;
@@ -47,24 +82,90 @@ fn parse_args() -> Result<Args, String> {
                 args.out = Some(PathBuf::from(v));
             }
             "--json" => args.json = true,
-            "--help" | "-h" => {
-                return Err(
-                    "usage: repro <list|all|ID...> [--scale quick|paper] [--seed N] \
-                     [--out DIR] [--json]"
-                        .to_string(),
-                );
-            }
+            "--trace" => args.trace = true,
+            "--metrics" => args.metrics = true,
+            "--help" | "-h" => return Ok(Parsed::Help),
             id => args.ids.push(id.to_string()),
         }
     }
-    Ok(args)
+    // An id may arrive more than once (`repro all F9`, `repro F9 f9`);
+    // each experiment runs at most once, in first-seen order.
+    let mut seen = std::collections::HashSet::new();
+    args.ids.retain(|id| seen.insert(id.to_ascii_uppercase()));
+    Ok(Parsed::Run(Box::new(args)))
+}
+
+fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Quick => "quick",
+        Scale::Paper => "paper",
+    }
+}
+
+fn write_file(dir: &Path, name: &str, payload: &str) -> Result<(), ExitCode> {
+    let path = dir.join(name);
+    if let Err(err) = std::fs::write(&path, payload) {
+        eprintln!("cannot write {}: {err}", path.display());
+        return Err(ExitCode::FAILURE);
+    }
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}
+
+fn timing_table(manifest: &telemetry::RunManifest) -> Table {
+    let mut table = Table::new(
+        "timing",
+        "per-experiment wall time",
+        &["experiment", "wall s", "artifacts"],
+    );
+    for t in &manifest.experiments {
+        table.push_row(vec![
+            t.id.clone(),
+            format!("{:.3}", t.wall_secs),
+            t.artifacts.to_string(),
+        ]);
+    }
+    table.push_row(vec![
+        "TOTAL".to_string(),
+        format!("{:.3}", manifest.total_wall_secs),
+        manifest.artifact_count.to_string(),
+    ]);
+    table
+}
+
+fn span_table(report: &[telemetry::SpanStats]) -> Table {
+    let mut table = Table::new(
+        "spans",
+        "span latency summary (median + non-parametric 95% CI + CoV)",
+        &["span", "count", "total s", "median s", "95% CI s", "CoV"],
+    );
+    for s in report {
+        table.push_row(vec![
+            s.name.clone(),
+            s.count.to_string(),
+            format!("{:.3}", s.total_secs),
+            format!("{:.6}", s.latency.median_secs),
+            s.latency
+                .ci_secs
+                .map_or_else(|| "-".to_string(), |(lo, hi)| format!("[{lo:.6}, {hi:.6}]")),
+            s.latency
+                .cov
+                .map_or_else(|| "-".to_string(), |cov| format!("{cov:.3}")),
+        ]);
+    }
+    table
 }
 
 fn main() -> ExitCode {
     let args = match parse_args() {
-        Ok(a) => a,
+        Ok(Parsed::Run(a)) => a,
+        Ok(Parsed::Help) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
         Err(msg) => {
             eprintln!("{msg}");
+            eprintln!("{USAGE}");
             return ExitCode::FAILURE;
         }
     };
@@ -98,15 +199,42 @@ fn main() -> ExitCode {
             }
         }
     }
+    let self_measuring = args.trace || args.metrics;
+    if self_measuring {
+        telemetry::set_enabled(true);
+    }
+    let mut manifest = telemetry::RunManifest::new(
+        "repro",
+        env!("CARGO_PKG_VERSION"),
+        args.seed,
+        scale_name(args.scale),
+    );
+    // The workspace shares one version across crates.
+    for name in [
+        "varstats",
+        "confirm",
+        "testbed",
+        "workloads",
+        "dataset",
+        "analysis",
+        "telemetry",
+    ] {
+        manifest.push_crate(name, env!("CARGO_PKG_VERSION"));
+    }
+
+    let run_started = Instant::now();
     eprintln!(
         "building campaign context (scale {:?}, seed {}) ...",
         args.scale, args.seed
     );
     let ctx = Context::new(args.scale, args.seed);
+    manifest.records = ctx.store.len() as u64;
+    manifest.machines = ctx.cluster.machines().len() as u64;
     eprintln!(
-        "campaign: {} machines, {} records",
-        ctx.cluster.machines().len(),
-        ctx.store.len()
+        "campaign: {} machines, {} records ({:.2}s)",
+        manifest.machines,
+        manifest.records,
+        run_started.elapsed().as_secs_f64()
     );
     if let Some(dir) = &args.out {
         if let Err(e) = std::fs::create_dir_all(dir) {
@@ -114,27 +242,71 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    for e in experiments {
-        eprintln!("== running {} ({}) ==", e.id, e.title);
-        let artifacts = (e.run)(&ctx);
+    let total = experiments.len();
+    for (i, e) in experiments.iter().enumerate() {
+        eprintln!(
+            "[{}/{total}] running {} ({}) — {:.2}s elapsed",
+            i + 1,
+            e.id,
+            e.title,
+            run_started.elapsed().as_secs_f64()
+        );
+        let started = Instant::now();
+        let artifacts = {
+            let _span = telemetry::span(format!("experiment.{}", e.id));
+            (e.run)(&ctx)
+        };
+        manifest.push_experiment(e.id, started.elapsed().as_secs_f64(), artifacts.len());
         for artifact in &artifacts {
             println!("{}", artifact.render());
             if let Some(dir) = &args.out {
-                let (path, payload) = if args.json {
+                let (name, payload) = if args.json {
                     (
-                        dir.join(format!("{}.json", artifact.id())),
-                        serde_json::to_string_pretty(artifact)
-                            .expect("artifacts always serialize"),
+                        format!("{}.json", artifact.id()),
+                        serde_json::to_string_pretty(artifact).expect("artifacts always serialize"),
                     )
                 } else {
-                    (dir.join(format!("{}.csv", artifact.id())), artifact.to_csv())
+                    (format!("{}.csv", artifact.id()), artifact.to_csv())
                 };
-                if let Err(err) = std::fs::write(&path, payload) {
-                    eprintln!("cannot write {}: {err}", path.display());
-                    return ExitCode::FAILURE;
+                if let Err(code) = write_file(dir, &name, &payload) {
+                    return code;
                 }
-                eprintln!("wrote {}", path.display());
             }
+        }
+    }
+    manifest.total_wall_secs = run_started.elapsed().as_secs_f64();
+
+    if self_measuring {
+        telemetry::set_enabled(false);
+        println!("{}", timing_table(&manifest).render());
+    }
+    if args.trace {
+        let trace = telemetry::trace::drain();
+        println!(
+            "{}",
+            span_table(&telemetry::span_report(&trace, 0.95)).render()
+        );
+        if let Some(dir) = &args.out {
+            let payload = serde_json::to_string_pretty(&trace).expect("traces always serialize");
+            if let Err(code) = write_file(dir, "trace.json", &payload) {
+                return code;
+            }
+        }
+    }
+    if args.metrics {
+        let snapshot = telemetry::metrics::snapshot();
+        if let Some(dir) = &args.out {
+            let payload =
+                serde_json::to_string_pretty(&snapshot).expect("snapshots always serialize");
+            if let Err(code) = write_file(dir, "metrics.json", &payload) {
+                return code;
+            }
+        }
+    }
+    if let Some(dir) = &args.out {
+        let payload = manifest.to_json().expect("manifests always serialize");
+        if let Err(code) = write_file(dir, "manifest.json", &payload) {
+            return code;
         }
     }
     ExitCode::SUCCESS

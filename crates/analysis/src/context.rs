@@ -77,6 +77,7 @@ pub struct Context {
 impl Context {
     /// Runs the campaign and assembles the context.
     pub fn new(scale: Scale, seed: u64) -> Self {
+        let _span = telemetry::span("context.build");
         let campaign = scale.campaign(seed);
         let (cluster, store) = run_campaign(&campaign);
         Self {

@@ -32,10 +32,7 @@ fn run_variant(pool: &[f64], label: &str, config: &ConfirmConfig) -> AblationRow
 pub fn t5_confirm_ablation(ctx: &Context) -> Vec<Artifact> {
     let machine = ctx.cluster.machines_of_type("c220g1")[0].id;
     let pool = machine_pool(ctx, machine, BenchmarkId::DiskSeqRead, 120);
-    let base = ctx
-        .confirm
-        .with_target_rel_error(0.02)
-        .with_rounds(100);
+    let base = ctx.confirm.with_target_rel_error(0.02).with_rounds(100);
     let variants: Vec<(&str, ConfirmConfig)> = vec![
         ("baseline (half-width, order-stat, linear+1)", base),
         (
@@ -52,10 +49,7 @@ pub fn t5_confirm_ablation(ctx: &Context) -> Vec<Artifact> {
             base.with_growth(Growth::Geometric(1.3)),
         ),
         ("c = 50 rounds", base.with_rounds(50)),
-        (
-            "confidence 99%",
-            base.with_confidence(0.99),
-        ),
+        ("confidence 99%", base.with_confidence(0.99)),
     ];
     let mut t = Table::new(
         "T5",

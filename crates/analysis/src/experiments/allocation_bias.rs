@@ -173,7 +173,10 @@ mod tests {
         // its mean (trivially) and the outcomes differ across draws.
         let ctx = Context::new(Scale::Quick, 96);
         let outcomes = evaluate_policies(&ctx, "c220g2", BenchmarkId::MemTriad, 3, 15);
-        let random = outcomes.iter().find(|o| o.policy.starts_with("random")).unwrap();
+        let random = outcomes
+            .iter()
+            .find(|o| o.policy.starts_with("random"))
+            .unwrap();
         assert!(random.worst_error > 0.0);
     }
 

@@ -65,9 +65,7 @@ pub fn requirements_per_machine(
         .into_iter()
         .map(|machine| {
             let pool = machine_pool(ctx, machine, bench, pool_size);
-            estimate(&pool, config)
-                .expect("pool is valid")
-                .requirement
+            estimate(&pool, config).expect("pool is valid").requirement
         })
         .collect()
 }
@@ -86,9 +84,7 @@ pub fn requirement_cdf(requirements: &[Requirement]) -> Vec<(f64, f64)> {
 
 /// F9: CDFs of required repetitions (±1% @ 95%) across machines.
 pub fn f9_confirm_cdf(ctx: &Context) -> Vec<Artifact> {
-    let config = ctx
-        .confirm
-        .with_growth(confirm::Growth::Geometric(1.25));
+    let config = ctx.confirm.with_growth(confirm::Growth::Geometric(1.25));
     let mut fig = SeriesSet::new(
         "F9",
         "CONFIRM: CDF across machines of repetitions for a +/-1% 95% CI of the median",
@@ -123,8 +119,7 @@ pub fn f10_confirm_tails(ctx: &Context) -> Vec<Artifact> {
     // machine on a heavy-tailed benchmark (network latency).
     let bench = BenchmarkId::NetLatency;
     let pool_size = 800;
-    let machines: Vec<testbed::MachineId> =
-        study_machines(ctx).into_iter().take(8).collect();
+    let machines: Vec<testbed::MachineId> = study_machines(ctx).into_iter().take(8).collect();
     let statistics = [
         Statistic::Median,
         Statistic::Quantile(0.95),
@@ -263,9 +258,8 @@ mod tests {
         let artifacts = f10_confirm_tails(&ctx);
         match &artifacts[1] {
             Artifact::Table(t) => {
-                let parse = |row: usize| -> f64 {
-                    t.rows[row][1].trim_start_matches('>').parse().unwrap()
-                };
+                let parse =
+                    |row: usize| -> f64 { t.rows[row][1].trim_start_matches('>').parse().unwrap() };
                 let median_req = parse(0);
                 let p99_req = parse(2);
                 assert!(
@@ -288,9 +282,7 @@ mod tests {
                 // For each benchmark, the 5% row's median requirement is
                 // <= the 1% row's.
                 for pair in t.rows.chunks(2) {
-                    let parse = |s: &str| -> f64 {
-                        s.trim_start_matches('>').parse().unwrap()
-                    };
+                    let parse = |s: &str| -> f64 { s.trim_start_matches('>').parse().unwrap() };
                     let strict = parse(&pair[0][2]);
                     let loose = parse(&pair[1][2]);
                     assert!(loose <= strict, "{pair:?}");

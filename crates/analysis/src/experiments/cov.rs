@@ -97,7 +97,11 @@ pub fn f3_cov_memory(ctx: &Context) -> Vec<Artifact> {
         ctx,
         "F3",
         "CoV by machine type: memory benchmarks",
-        &[BenchmarkId::MemCopy, BenchmarkId::MemTriad, BenchmarkId::MemLatency],
+        &[
+            BenchmarkId::MemCopy,
+            BenchmarkId::MemTriad,
+            BenchmarkId::MemLatency,
+        ],
     )]
 }
 

@@ -10,11 +10,7 @@ use crate::context::Context;
 /// T6: overview counts plus the per-benchmark outlier fractions.
 pub fn t6_dataset_overview(ctx: &Context) -> Vec<Artifact> {
     let o = overview(&ctx.store);
-    let mut head = Table::new(
-        "T6",
-        "Campaign dataset overview",
-        &["property", "value"],
-    );
+    let mut head = Table::new("T6", "Campaign dataset overview", &["property", "value"]);
     for (k, v) in [
         ("measurements", o.measurements.to_string()),
         ("machines", o.machines.to_string()),
@@ -34,10 +30,15 @@ pub fn t6_dataset_overview(ctx: &Context) -> Vec<Artifact> {
     let mut health = Table::new(
         "T6-outliers",
         "Outlier health sweep (MAD z > 3.5), per benchmark",
-        &["benchmark", "sets", "measurements", "outlier fraction", "worst set"],
+        &[
+            "benchmark",
+            "sets",
+            "measurements",
+            "outlier fraction",
+            "worst set",
+        ],
     );
-    let reports =
-        outlier_sweep(&ctx.store, Fence::MadZ { threshold: 3.5 }).expect("valid store");
+    let reports = outlier_sweep(&ctx.store, Fence::MadZ { threshold: 3.5 }).expect("valid store");
     for r in &reports {
         health.push_row(vec![
             r.benchmark.label().to_string(),

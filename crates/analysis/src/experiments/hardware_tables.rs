@@ -11,7 +11,15 @@ pub fn t1_hardware(ctx: &Context) -> Vec<Artifact> {
         "T1",
         "Hardware catalog (fleet types and provisioned counts)",
         &[
-            "type", "site", "cpu", "cores", "GHz", "RAM GiB", "disk", "NIC Gb/s", "fleet",
+            "type",
+            "site",
+            "cpu",
+            "cores",
+            "GHz",
+            "RAM GiB",
+            "disk",
+            "NIC Gb/s",
+            "fleet",
             "provisioned",
         ],
     );

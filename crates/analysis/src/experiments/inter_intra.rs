@@ -62,7 +62,11 @@ pub fn decompose(ctx: &Context, type_name: &str, bench: BenchmarkId) -> Option<D
         type_name: type_name.to_string(),
         benchmark: bench,
         machines: groups.len(),
-        between_fraction: if total > 0.0 { between_var / total } else { 0.0 },
+        between_fraction: if total > 0.0 {
+            between_var / total
+        } else {
+            0.0
+        },
         median_spread: if max > 0.0 { (max - min) / max } else { 0.0 },
     })
 }

@@ -48,9 +48,7 @@ pub fn compare_interference(ctx: &Context, benches: &[BenchmarkId]) -> Vec<Inter
             let c: Vec<f64> = (0..pool_size as u64)
                 .map(|n| sample(&noisy, machine, bench, 0.0, n).unwrap())
                 .collect();
-            let cov = |v: &[f64]| {
-                v.iter().copied().collect::<Moments>().cov().unwrap_or(0.0)
-            };
+            let cov = |v: &[f64]| v.iter().copied().collect::<Moments>().cov().unwrap_or(0.0);
             let config = ctx
                 .confirm
                 .with_target_rel_error(0.02)
@@ -119,10 +117,8 @@ mod tests {
     #[test]
     fn contention_raises_cov_everywhere() {
         let ctx = Context::new(Scale::Quick, 98);
-        let outcomes = compare_interference(
-            &ctx,
-            &[BenchmarkId::MemTriad, BenchmarkId::NetBandwidth],
-        );
+        let outcomes =
+            compare_interference(&ctx, &[BenchmarkId::MemTriad, BenchmarkId::NetBandwidth]);
         for o in &outcomes {
             assert!(
                 o.contended_cov > o.quiet_cov,

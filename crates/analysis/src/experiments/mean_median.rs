@@ -54,8 +54,7 @@ pub fn contamination_sweep(
                         // Box-Muller normal around the truth.
                         let u1: f64 = rng.random::<f64>().max(1e-12);
                         let u2: f64 = rng.random::<f64>();
-                        let z = (-2.0 * u1.ln()).sqrt()
-                            * (2.0 * std::f64::consts::PI * u2).cos();
+                        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                         let base = truth + z;
                         if rng.random::<f64>() < contamination {
                             base * outlier_factor
@@ -94,7 +93,10 @@ pub fn f7_mean_vs_median(ctx: &Context) -> Vec<Artifact> {
     );
     fig.push_series(
         "mean",
-        points.iter().map(|p| (p.contamination, p.mean_bias)).collect(),
+        points
+            .iter()
+            .map(|p| (p.contamination, p.mean_bias))
+            .collect(),
     );
     fig.push_series(
         "median",

@@ -87,9 +87,7 @@ pub fn f2_memory_multimodal(ctx: &Context) -> Vec<Artifact> {
         .iter()
         .map(|m| {
             let runs: Vec<f64> = (0..30u64)
-                .map(|n| {
-                    sample(&ctx.cluster, m.id, BenchmarkId::MemTriad, 0.0, n).unwrap()
-                })
+                .map(|n| sample(&ctx.cluster, m.id, BenchmarkId::MemTriad, 0.0, n).unwrap())
                 .collect();
             median(&runs).expect("non-empty")
         })
@@ -149,14 +147,14 @@ mod tests {
         match &artifacts[1] {
             Artifact::Table(t) => {
                 let get = |name: &str| -> f64 {
-                    t.rows
-                        .iter()
-                        .find(|r| r[0] == name)
-                        .unwrap()[1]
+                    t.rows.iter().find(|r| r[0] == name).unwrap()[1]
                         .parse()
                         .unwrap()
                 };
-                assert!(get("mean") < get("median"), "disk outliers drag the mean down");
+                assert!(
+                    get("mean") < get("median"),
+                    "disk outliers drag the mean down"
+                );
                 assert!(get("skewness") < 0.0);
                 assert_eq!(get("n"), 1000.0);
             }
@@ -176,7 +174,10 @@ mod tests {
         match &artifacts[1] {
             Artifact::Table(t) => {
                 let spread: f64 = t.rows[0][3].trim_end_matches('%').parse().unwrap();
-                assert!(spread > 1.0, "lottery spread should exceed 1%, got {spread}%");
+                assert!(
+                    spread > 1.0,
+                    "lottery spread should exceed 1%, got {spread}%"
+                );
             }
             _ => panic!("expected summary table"),
         }

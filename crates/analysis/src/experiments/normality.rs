@@ -117,12 +117,7 @@ mod tests {
         // noise).
         let ctx = Context::new(Scale::Quick, 22);
         let rows = census(&ctx, 0.05);
-        let rate = |b: BenchmarkId| {
-            rows.iter()
-                .find(|r| r.benchmark == b)
-                .unwrap()
-                .pass_rate()
-        };
+        let rate = |b: BenchmarkId| rows.iter().find(|r| r.benchmark == b).unwrap().pass_rate();
         let mem = rate(BenchmarkId::MemCopy);
         let disk = rate(BenchmarkId::DiskRandRead);
         let netlat = rate(BenchmarkId::NetLatency);
@@ -149,9 +144,7 @@ mod tests {
         let ctx = Context::new(Scale::Quick, 24);
         let r5 = census(&ctx, 0.05);
         let r1 = census(&ctx, 0.01);
-        let total = |rows: &[NormalityCensusRow]| -> usize {
-            rows.iter().map(|r| r.passed).sum()
-        };
+        let total = |rows: &[NormalityCensusRow]| -> usize { rows.iter().map(|r| r.passed).sum() };
         assert!(total(&r1) >= total(&r5));
     }
 }

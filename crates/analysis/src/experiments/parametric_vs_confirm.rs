@@ -35,9 +35,7 @@ pub fn t3_parametric_vs_confirm(ctx: &Context) -> Vec<Artifact> {
             "chosen method",
         ],
     );
-    let config = ctx
-        .confirm
-        .with_growth(confirm::Growth::Geometric(1.25));
+    let config = ctx.confirm.with_growth(confirm::Growth::Geometric(1.25));
     for mtype in ctx.cluster.types() {
         let machine = ctx.cluster.machines_of_type(&mtype.name)[0].id;
         for bench in BENCHES {
@@ -76,13 +74,11 @@ mod tests {
             Artifact::Table(t) => {
                 assert_eq!(t.rows.len(), ctx.cluster.types().len() * BENCHES.len());
                 // Both verdicts occur somewhere across the grid.
-                let methods: Vec<&str> =
-                    t.rows.iter().map(|r| r[5].as_str()).collect();
+                let methods: Vec<&str> = t.rows.iter().map(|r| r[5].as_str()).collect();
                 assert!(methods.contains(&"CONFIRM"), "{methods:?}");
                 // CONFIRM column uses the paper's `>n` rendering when
                 // pools exhaust.
-                let confirm_col: Vec<&str> =
-                    t.rows.iter().map(|r| r[4].as_str()).collect();
+                let confirm_col: Vec<&str> = t.rows.iter().map(|r| r[4].as_str()).collect();
                 assert!(
                     confirm_col.iter().any(|c| c.starts_with('>'))
                         || confirm_col.iter().all(|c| c.parse::<usize>().is_ok())

@@ -75,10 +75,7 @@ mod tests {
         match &artifacts[1] {
             Artifact::Table(t) => {
                 let r_of = |label: &str| -> f64 {
-                    t.rows
-                        .iter()
-                        .find(|r| r[0] == label)
-                        .unwrap()[1]
+                    t.rows.iter().find(|r| r[0] == label).unwrap()[1]
                         .parse()
                         .unwrap()
                 };

@@ -43,8 +43,7 @@ pub fn sweep(ctx: &Context, target: f64) -> Vec<ScalingPoint> {
                 .map(|_| {
                     let u1: f64 = rng.random::<f64>().max(1e-300);
                     let u2: f64 = rng.random::<f64>();
-                    let n = (-2.0 * u1.ln()).sqrt()
-                        * (2.0 * std::f64::consts::PI * u2).cos();
+                    let n = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                     100.0 * (1.0 + cov * n)
                 })
                 .collect();
@@ -112,8 +111,7 @@ mod tests {
         let points = sweep(&ctx, 0.01);
         // Above the floor, doubling CoV should multiply the requirement
         // by roughly 4 (allow 2.2x..7x for subset discreteness).
-        let above_floor: Vec<&ScalingPoint> =
-            points.iter().filter(|p| p.measured > 12).collect();
+        let above_floor: Vec<&ScalingPoint> = points.iter().filter(|p| p.measured > 12).collect();
         for w in above_floor.windows(2) {
             let growth = w[1].measured as f64 / w[0].measured as f64;
             assert!(

@@ -13,11 +13,7 @@ use crate::context::Context;
 
 /// Builds a daily series (one sample per day, decorrelated nonces) of
 /// `bench` on `machine`.
-pub fn daily_series(
-    ctx: &Context,
-    machine: testbed::MachineId,
-    bench: BenchmarkId,
-) -> Vec<f64> {
+pub fn daily_series(ctx: &Context, machine: testbed::MachineId, bench: BenchmarkId) -> Vec<f64> {
     let days = ctx.cluster.timeline().duration_days as usize;
     (0..days)
         .map(|d| sample(&ctx.cluster, machine, bench, d as f64, d as u64).unwrap())
@@ -94,9 +90,7 @@ mod tests {
         assert_eq!(truth, vec![95.0]);
         let detected = pelt_mean(&series, None).unwrap();
         assert!(
-            detected
-                .iter()
-                .any(|&cp| (cp as f64 - 95.0).abs() <= 5.0),
+            detected.iter().any(|&cp| (cp as f64 - 95.0).abs() <= 5.0),
             "PELT missed day-95 event: {detected:?}"
         );
     }
@@ -108,7 +102,11 @@ mod tests {
         let series = daily_series(&ctx, machine, BenchmarkId::MemLatency);
         let c = cusum_detect(&series, 200, 7).unwrap();
         assert!(c.is_significant(0.05), "p = {}", c.p_value);
-        assert!((c.changepoint as f64 - 95.0).abs() <= 10.0, "{}", c.changepoint);
+        assert!(
+            (c.changepoint as f64 - 95.0).abs() <= 10.0,
+            "{}",
+            c.changepoint
+        );
         assert!(c.mean_after > c.mean_before);
     }
 

@@ -50,14 +50,25 @@ fn t2_runs_and_writes_csv_and_json() {
         .args(["T2", "--seed", "7", "--out", dir.to_str().unwrap()])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("disk-rand-write"));
     let csv = std::fs::read_to_string(dir.join("T2.csv")).unwrap();
     assert!(csv.starts_with("benchmark,"));
 
     let out = repro()
-        .args(["T2", "--seed", "7", "--out", dir.to_str().unwrap(), "--json"])
+        .args([
+            "T2",
+            "--seed",
+            "7",
+            "--out",
+            dir.to_str().unwrap(),
+            "--json",
+        ])
         .output()
         .expect("binary runs");
     assert!(out.status.success());
@@ -69,7 +80,10 @@ fn t2_runs_and_writes_csv_and_json() {
 #[test]
 fn seed_changes_measured_artifacts_but_not_structure() {
     let run = |seed: &str| {
-        let out = repro().args(["F1", "--seed", seed]).output().expect("binary runs");
+        let out = repro()
+            .args(["F1", "--seed", seed])
+            .output()
+            .expect("binary runs");
         assert!(out.status.success());
         String::from_utf8(out.stdout).unwrap()
     };

@@ -32,9 +32,7 @@ fn bench_kde(c: &mut Criterion) {
     for n in [100usize, 1000] {
         let data = skewed_data(n, 1);
         group.bench_with_input(CriterionId::new("grid200", n), &data, |b, d| {
-            b.iter(|| {
-                Kde::new(black_box(d)).unwrap().grid(200).unwrap().len()
-            });
+            b.iter(|| Kde::new(black_box(d)).unwrap().grid(200).unwrap().len());
         });
     }
     group.finish();

@@ -11,8 +11,8 @@ fn bench_figures(c: &mut Criterion) {
     let mut group = c.benchmark_group("repro_figures");
     group.sample_size(10);
     for id in [
-        "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12",
-        "F13", "F14", "F15", "F16", "F17",
+        "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12", "F13", "F14",
+        "F15", "F16", "F17",
     ] {
         let experiment = find(id).expect("registered figure");
         group.bench_function(id, |b| {

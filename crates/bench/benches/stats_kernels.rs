@@ -48,9 +48,12 @@ fn bench_bootstrap(c: &mut Criterion) {
     let mut group = c.benchmark_group("bootstrap");
     group.sample_size(20);
     let data = skewed_data(100, 2);
-    let median_stat =
-        |xs: &[f64]| varstats::quantile::median(xs).expect("non-empty replicate");
-    for kind in [BootstrapKind::Percentile, BootstrapKind::Basic, BootstrapKind::Bca] {
+    let median_stat = |xs: &[f64]| varstats::quantile::median(xs).expect("non-empty replicate");
+    for kind in [
+        BootstrapKind::Percentile,
+        BootstrapKind::Basic,
+        BootstrapKind::Bca,
+    ] {
         group.bench_function(format!("{kind:?}"), |b| {
             let boot = Bootstrap::new(500, 3);
             b.iter(|| boot.ci(black_box(&data), median_stat, 0.95, kind).unwrap());
@@ -99,9 +102,7 @@ fn bench_changepoint(c: &mut Criterion) {
         b.iter(|| varstats::changepoint::pelt_mean(black_box(&series), None).unwrap());
     });
     group.bench_function("binseg_500", |b| {
-        b.iter(|| {
-            varstats::changepoint::binary_segmentation(black_box(&series), None, 8).unwrap()
-        });
+        b.iter(|| varstats::changepoint::binary_segmentation(black_box(&series), None, 8).unwrap());
     });
     group.finish();
 }

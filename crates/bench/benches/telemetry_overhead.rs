@@ -1,0 +1,54 @@
+//! Measures the cost of instrumentation sites, with telemetry disabled
+//! (the default everywhere outside `repro --trace/--metrics`) and
+//! enabled.
+//!
+//! The disabled path is the one every hot loop pays unconditionally; the
+//! acceptance bar is "at most one relaxed atomic load per site", so
+//! `disabled/*` results should sit within a nanosecond or two of the
+//! `baseline` empty loop.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_disabled(c: &mut Criterion) {
+    telemetry::set_enabled(false);
+    let mut group = c.benchmark_group("telemetry_disabled");
+    group.bench_function("baseline_black_box", |b| b.iter(|| black_box(1u64)));
+    group.bench_function("span_open_drop", |b| {
+        b.iter(|| {
+            let _span = telemetry::span(black_box("bench.span"));
+        })
+    });
+    group.bench_function("counter_lookup_and_inc", |b| {
+        b.iter(|| telemetry::metrics::counter(black_box("bench.counter")).inc())
+    });
+    group.bench_function("histogram_lookup_and_record", |b| {
+        b.iter(|| telemetry::metrics::histogram(black_box("bench.hist")).record(black_box(1.5)))
+    });
+    group.finish();
+}
+
+fn bench_enabled(c: &mut Criterion) {
+    telemetry::set_enabled(true);
+    let mut group = c.benchmark_group("telemetry_enabled");
+    group.bench_function("span_open_drop", |b| {
+        b.iter(|| {
+            let _span = telemetry::span(black_box("bench.span"));
+        })
+    });
+    // Handle held across iterations: the realistic hot-loop shape.
+    let counter = telemetry::metrics::counter("bench.counter");
+    group.bench_function("counter_inc_held_handle", |b| b.iter(|| counter.inc()));
+    let hist = telemetry::metrics::histogram("bench.hist");
+    group.bench_function("histogram_record_held_handle", |b| {
+        b.iter(|| hist.record(black_box(1.5)))
+    });
+    group.finish();
+    telemetry::set_enabled(false);
+    telemetry::trace::clear();
+    telemetry::metrics::reset();
+}
+
+criterion_group!(benches, bench_disabled, bench_enabled);
+criterion_main!(benches);

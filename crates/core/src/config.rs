@@ -214,7 +214,10 @@ impl ConfirmConfig {
         }
         if let Statistic::Quantile(q) = self.statistic {
             if !(q > 0.0 && q < 1.0) {
-                return Err(invalid("statistic", format!("quantile must be in (0, 1), got {q}")));
+                return Err(invalid(
+                    "statistic",
+                    format!("quantile must be in (0, 1), got {q}"),
+                ));
             }
         }
         if let CiMethod::Bootstrap { resamples } = self.ci_method {
@@ -227,9 +230,10 @@ impl ConfirmConfig {
         }
         match self.growth {
             Growth::Linear(0) => Err(invalid("growth", "linear step must be >= 1")),
-            Growth::Geometric(f) if f <= 1.0 || !f.is_finite() => {
-                Err(invalid("growth", format!("geometric factor must be > 1, got {f}")))
-            }
+            Growth::Geometric(f) if f <= 1.0 || !f.is_finite() => Err(invalid(
+                "growth",
+                format!("geometric factor must be > 1, got {f}"),
+            )),
             _ => Ok(()),
         }
     }
@@ -268,10 +272,19 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_fields() {
-        assert!(ConfirmConfig::default().with_confidence(1.0).validate().is_err());
-        assert!(ConfirmConfig::default().with_target_rel_error(0.0).validate().is_err());
+        assert!(ConfirmConfig::default()
+            .with_confidence(1.0)
+            .validate()
+            .is_err());
+        assert!(ConfirmConfig::default()
+            .with_target_rel_error(0.0)
+            .validate()
+            .is_err());
         assert!(ConfirmConfig::default().with_rounds(5).validate().is_err());
-        assert!(ConfirmConfig::default().with_min_subset(2).validate().is_err());
+        assert!(ConfirmConfig::default()
+            .with_min_subset(2)
+            .validate()
+            .is_err());
         assert!(ConfirmConfig::default()
             .with_statistic(Statistic::Quantile(1.0))
             .validate()

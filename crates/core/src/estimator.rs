@@ -176,6 +176,7 @@ fn subset_ci(subset: &[f64], config: &ConfirmConfig, round_seed: u64) -> Result<
 /// assert_eq!(result.repetitions(), Some(10));
 /// ```
 pub fn estimate(pool: &[f64], config: &ConfirmConfig) -> Result<ConfirmResult> {
+    let _span = telemetry::span("confirm.estimate");
     config.validate()?;
     check_finite(pool)?;
     let n = pool.len();
@@ -206,6 +207,7 @@ pub fn estimate(pool: &[f64], config: &ConfirmConfig) -> Result<ConfirmResult> {
     if start > n {
         // The pool cannot even carry one valid CI at this size: the paper
         // reports these as "> n".
+        telemetry::metrics::counter("confirm.exhausted").inc();
         return Ok(ConfirmResult {
             requirement: Requirement::Exhausted { pool: n },
             reference,
@@ -221,8 +223,11 @@ pub fn estimate(pool: &[f64], config: &ConfirmConfig) -> Result<ConfirmResult> {
     let mut subset = Vec::with_capacity(n);
     let mut curve = Vec::new();
 
+    let rounds_run = telemetry::metrics::counter("confirm.rounds");
+    let sizes_tried = telemetry::metrics::histogram("confirm.subset_size");
     let mut size = start;
     loop {
+        sizes_tried.record(size as f64);
         let mut sum_lower = 0.0;
         let mut sum_upper = 0.0;
         for round in 0..config.rounds {
@@ -245,15 +250,14 @@ pub fn estimate(pool: &[f64], config: &ConfirmConfig) -> Result<ConfirmResult> {
         let mean_lower = sum_lower / config.rounds as f64;
         let mean_upper = sum_upper / config.rounds as f64;
         let rel_error = match config.criterion {
-            ErrorCriterion::HalfWidth => {
-                (mean_upper - mean_lower) / (2.0 * reference.abs())
-            }
+            ErrorCriterion::HalfWidth => (mean_upper - mean_lower) / (2.0 * reference.abs()),
             ErrorCriterion::WorstBound => {
                 let lo = (reference - mean_lower).abs();
                 let hi = (mean_upper - reference).abs();
                 lo.max(hi) / reference.abs()
             }
         };
+        rounds_run.add(config.rounds as u64);
         curve.push(SizePoint {
             subset_size: size,
             mean_lower,
@@ -261,6 +265,7 @@ pub fn estimate(pool: &[f64], config: &ConfirmConfig) -> Result<ConfirmResult> {
             rel_error,
         });
         if rel_error <= config.target_rel_error {
+            telemetry::metrics::counter("confirm.satisfied").inc();
             return Ok(ConfirmResult {
                 requirement: Requirement::Satisfied(size),
                 reference,
@@ -271,6 +276,7 @@ pub fn estimate(pool: &[f64], config: &ConfirmConfig) -> Result<ConfirmResult> {
             });
         }
         if size >= n {
+            telemetry::metrics::counter("confirm.exhausted").inc();
             return Ok(ConfirmResult {
                 requirement: Requirement::Exhausted { pool: n },
                 reference,
@@ -282,9 +288,7 @@ pub fn estimate(pool: &[f64], config: &ConfirmConfig) -> Result<ConfirmResult> {
         }
         size = match config.growth {
             Growth::Linear(step) => (size + step).min(n),
-            Growth::Geometric(f) => {
-                (((size as f64) * f).ceil() as usize).clamp(size + 1, n)
-            }
+            Growth::Geometric(f) => (((size as f64) * f).ceil() as usize).clamp(size + 1, n),
         };
     }
 }
@@ -356,10 +360,12 @@ mod tests {
     #[test]
     fn looser_target_needs_fewer_reps() {
         let pool = uniform_pool(5, 300, 100.0, 10.0);
-        let strict = estimate(&pool, &ConfirmConfig::default().with_target_rel_error(0.005))
-            .unwrap();
-        let loose = estimate(&pool, &ConfirmConfig::default().with_target_rel_error(0.05))
-            .unwrap();
+        let strict = estimate(
+            &pool,
+            &ConfirmConfig::default().with_target_rel_error(0.005),
+        )
+        .unwrap();
+        let loose = estimate(&pool, &ConfirmConfig::default().with_target_rel_error(0.05)).unwrap();
         assert!(loose.requirement.as_ordinal() <= strict.requirement.as_ordinal());
     }
 
@@ -400,11 +406,7 @@ mod tests {
     #[test]
     fn tail_quantile_needs_more_than_median() {
         let pool = uniform_pool(9, 400, 100.0, 10.0);
-        let med = estimate(
-            &pool,
-            &ConfirmConfig::default().with_target_rel_error(0.02),
-        )
-        .unwrap();
+        let med = estimate(&pool, &ConfirmConfig::default().with_target_rel_error(0.02)).unwrap();
         let p99 = estimate(
             &pool,
             &ConfirmConfig::default()

@@ -131,8 +131,12 @@ mod tests {
     fn skewed_data_selects_confirm() {
         let mut u = splitmix(2);
         let pool: Vec<f64> = (0..100).map(|_| 10.0 - u().max(1e-12).ln() * 3.0).collect();
-        let rec = recommend(&pool, &ConfirmConfig::default().with_target_rel_error(0.05), 0.05)
-            .unwrap();
+        let rec = recommend(
+            &pool,
+            &ConfirmConfig::default().with_target_rel_error(0.05),
+            0.05,
+        )
+        .unwrap();
         assert_eq!(rec.method, ChosenMethod::Confirm);
         assert_eq!(rec.requirement, rec.confirm.requirement);
     }

@@ -141,7 +141,10 @@ mod tests {
             &[Statistic::Median, Statistic::Quantile(0.99)],
         )
         .unwrap();
-        assert!(matches!(plan.combined, Requirement::Exhausted { pool: 100 }));
+        assert!(matches!(
+            plan.combined,
+            Requirement::Exhausted { pool: 100 }
+        ));
     }
 
     #[test]

@@ -112,12 +112,16 @@ mod tests {
     fn tighter_target_more_reps() {
         let mut u = splitmix(3);
         let pilot: Vec<f64> = (0..60).map(|_| 100.0 + 10.0 * (u() - 0.5)).collect();
-        let strict =
-            parametric_plan(&pilot, &ConfirmConfig::default().with_target_rel_error(0.005))
-                .unwrap();
-        let loose =
-            parametric_plan(&pilot, &ConfirmConfig::default().with_target_rel_error(0.05))
-                .unwrap();
+        let strict = parametric_plan(
+            &pilot,
+            &ConfirmConfig::default().with_target_rel_error(0.005),
+        )
+        .unwrap();
+        let loose = parametric_plan(
+            &pilot,
+            &ConfirmConfig::default().with_target_rel_error(0.05),
+        )
+        .unwrap();
         assert!(strict.repetitions > loose.repetitions);
     }
 }

@@ -75,7 +75,11 @@ pub fn render_recommendation(rec: &crate::Recommendation) -> String {
                 "  Shapiro-Wilk: W = {:.4}, p = {:.4} -> {}",
                 t.statistic,
                 t.p_value,
-                if t.is_normal(0.05) { "normal" } else { "NOT normal" }
+                if t.is_normal(0.05) {
+                    "normal"
+                } else {
+                    "NOT normal"
+                }
             );
         }
         None => {
@@ -138,7 +142,9 @@ mod tests {
 
     #[test]
     fn curve_table_has_one_row_per_point() {
-        let pool: Vec<f64> = (0..80).map(|i| 50.0 + ((i * 7) % 5) as f64 * 0.01).collect();
+        let pool: Vec<f64> = (0..80)
+            .map(|i| 50.0 + ((i * 7) % 5) as f64 * 0.01)
+            .collect();
         let r = estimate(&pool, &ConfirmConfig::default()).unwrap();
         let table = render_curve(&r);
         // 3 header lines + one per curve point.
@@ -148,7 +154,9 @@ mod tests {
 
     #[test]
     fn recommendation_report_mentions_both_methods() {
-        let pool: Vec<f64> = (0..80).map(|i| 50.0 + ((i * 7) % 5) as f64 * 0.01).collect();
+        let pool: Vec<f64> = (0..80)
+            .map(|i| 50.0 + ((i * 7) % 5) as f64 * 0.01)
+            .collect();
         let rec = crate::recommend(&pool, &ConfirmConfig::default(), 0.05).unwrap();
         let text = render_recommendation(&rec);
         assert!(text.contains("parametric"));
@@ -158,7 +166,9 @@ mod tests {
 
     #[test]
     fn joint_report_lists_statistics() {
-        let pool: Vec<f64> = (0..400).map(|i| 100.0 + ((i * 31) % 17) as f64 * 0.05).collect();
+        let pool: Vec<f64> = (0..400)
+            .map(|i| 100.0 + ((i * 31) % 17) as f64 * 0.05)
+            .collect();
         let plan = crate::plan_joint(
             &pool,
             &ConfirmConfig::default().with_target_rel_error(0.05),
@@ -173,7 +183,9 @@ mod tests {
 
     #[test]
     fn summary_mentions_requirement() {
-        let pool: Vec<f64> = (0..80).map(|i| 50.0 + ((i * 7) % 5) as f64 * 0.01).collect();
+        let pool: Vec<f64> = (0..80)
+            .map(|i| 50.0 + ((i * 7) % 5) as f64 * 0.01)
+            .collect();
         let r = estimate(&pool, &ConfirmConfig::default()).unwrap();
         let s = render_summary(&r);
         assert!(s.contains("10"), "{s}");

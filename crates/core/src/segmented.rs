@@ -157,11 +157,8 @@ mod tests {
         let mut u = splitmix(5);
         let mut pool: Vec<f64> = (0..60).map(|_| 50.0 + u()).collect();
         pool.extend((0..80).map(|_| 55.0 + 0.1 * u()));
-        let seg = estimate_stationary(
-            &pool,
-            &ConfirmConfig::default().with_target_rel_error(0.02),
-        )
-        .unwrap();
+        let seg = estimate_stationary(&pool, &ConfirmConfig::default().with_target_rel_error(0.02))
+            .unwrap();
         assert!(matches!(seg.result.requirement, Requirement::Satisfied(_)));
     }
 }

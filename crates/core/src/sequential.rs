@@ -113,7 +113,13 @@ impl SequentialPlanner {
             });
         }
         self.data.push(value);
-        self.status()
+        telemetry::metrics::counter("confirm.seq.pushed").inc();
+        let status = self.status()?;
+        if let PlanStatus::Satisfied { repetitions, .. } = &status {
+            telemetry::metrics::counter("confirm.seq.satisfied").inc();
+            telemetry::metrics::histogram("confirm.seq.stop_n").record(*repetitions as f64);
+        }
+        Ok(status)
     }
 
     /// Evaluates the stopping rule on the current data.
@@ -125,20 +131,18 @@ impl SequentialPlanner {
         let n = self.data.len();
         let floor = match self.config.statistic {
             Statistic::Median => min_samples_for_quantile_ci(0.5, self.config.confidence)?,
-            Statistic::Quantile(q) => {
-                min_samples_for_quantile_ci(q, self.config.confidence)?
-            }
+            Statistic::Quantile(q) => min_samples_for_quantile_ci(q, self.config.confidence)?,
             Statistic::Mean => 2,
         };
         let minimum = self.config.min_subset.max(floor);
         if n < minimum {
-            return Ok(PlanStatus::Collecting { needed: minimum - n });
+            return Ok(PlanStatus::Collecting {
+                needed: minimum - n,
+            });
         }
         let ci = match self.config.statistic {
             Statistic::Median => quantile_ci_approx(&self.data, 0.5, self.config.confidence)?.ci,
-            Statistic::Quantile(q) => {
-                quantile_ci_approx(&self.data, q, self.config.confidence)?.ci
-            }
+            Statistic::Quantile(q) => quantile_ci_approx(&self.data, q, self.config.confidence)?.ci,
             Statistic::Mean => mean_ci_t(&self.data, self.config.confidence)?,
         };
         if ci.estimate == 0.0 {
@@ -149,10 +153,7 @@ impl SequentialPlanner {
             ErrorCriterion::WorstBound => ci.relative_bound_error(),
         };
         if rel_error <= self.config.target_rel_error {
-            Ok(PlanStatus::Satisfied {
-                repetitions: n,
-                ci,
-            })
+            Ok(PlanStatus::Satisfied { repetitions: n, ci })
         } else if n >= self.cap {
             Ok(PlanStatus::CapReached {
                 cap: self.cap,
@@ -210,10 +211,8 @@ mod tests {
 
     #[test]
     fn tight_stream_satisfies_quickly() {
-        let mut p = SequentialPlanner::new(
-            ConfirmConfig::default().with_target_rel_error(0.01),
-            500,
-        );
+        let mut p =
+            SequentialPlanner::new(ConfirmConfig::default().with_target_rel_error(0.01), 500);
         let mut u = splitmix(1);
         let mut reps = 0;
         for _ in 0..500 {
@@ -231,10 +230,8 @@ mod tests {
 
     #[test]
     fn noisy_stream_hits_cap() {
-        let mut p = SequentialPlanner::new(
-            ConfirmConfig::default().with_target_rel_error(0.001),
-            40,
-        );
+        let mut p =
+            SequentialPlanner::new(ConfirmConfig::default().with_target_rel_error(0.001), 40);
         let mut u = splitmix(2);
         let mut last = None;
         for _ in 0..40 {

@@ -32,8 +32,7 @@ fn parse_args() -> Result<Args, String> {
             "--out" => out = Some(it.next().ok_or("--out needs a value")?),
             "--help" | "-h" => {
                 return Err(
-                    "usage: campaign [--scale quick|paper] [--seed N] [--out FILE.csv]"
-                        .to_string(),
+                    "usage: campaign [--scale quick|paper] [--seed N] [--out FILE.csv]".to_string(),
                 );
             }
             other => return Err(format!("unknown argument `{other}`")),

@@ -85,6 +85,7 @@ impl CampaignConfig {
 ///
 /// Total records = machines x benchmarks x sessions x runs_per_session.
 pub fn run_campaign(config: &CampaignConfig) -> (Cluster, Store) {
+    let _span = telemetry::span("campaign.run");
     let cluster = Cluster::provision(
         catalog(),
         config.scale,
@@ -97,6 +98,7 @@ pub fn run_campaign(config: &CampaignConfig) -> (Cluster, Store) {
 
 /// Runs a campaign's measurement phase against an existing cluster.
 pub fn collect(cluster: &Cluster, config: &CampaignConfig) -> Store {
+    let _span = telemetry::span("campaign.collect");
     let mut store = Store::new();
     // Select machines: up to `machines_per_type` per type, whole fleet
     // otherwise.
@@ -106,8 +108,13 @@ pub fn collect(cluster: &Cluster, config: &CampaignConfig) -> Store {
         let cap = config.machines_per_type.unwrap_or(of_type.len());
         selected.extend(of_type.into_iter().take(cap));
     }
+    telemetry::metrics::gauge("campaign.machines").set(selected.len() as f64);
+    let records = telemetry::metrics::counter("campaign.records");
+    let machine_secs = telemetry::metrics::histogram("campaign.machine_secs");
     let sessions = config.sessions();
     for machine in selected {
+        let started = telemetry::enabled().then(std::time::Instant::now);
+        let before = store.len();
         for &bench in &config.benchmarks {
             for session in 0..sessions {
                 let day = session as f64 * config.session_every_days;
@@ -127,6 +134,10 @@ pub fn collect(cluster: &Cluster, config: &CampaignConfig) -> Store {
                     });
                 }
             }
+        }
+        records.add((store.len() - before) as u64);
+        if let Some(t) = started {
+            machine_secs.record(t.elapsed().as_secs_f64());
         }
     }
     store

@@ -78,12 +78,10 @@ pub fn read_csv(reader: impl Read) -> Result<Store, CsvError> {
     let reader = BufReader::new(reader);
     let mut store = Store::new();
     let mut lines = reader.lines();
-    let header = lines
-        .next()
-        .ok_or(CsvError::Parse {
-            line: 1,
-            reason: "missing header".to_string(),
-        })??;
+    let header = lines.next().ok_or(CsvError::Parse {
+        line: 1,
+        reason: "missing header".to_string(),
+    })??;
     if header.trim() != "machine,machine_type,benchmark,day,run,value" {
         return Err(CsvError::Parse {
             line: 1,

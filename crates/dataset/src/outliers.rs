@@ -187,7 +187,9 @@ mod tests {
     #[test]
     fn zero_spread_has_no_outliers() {
         let data = vec![5.0; 30];
-        assert!(outlier_indices(&data, Fence::Tukey { k: 1.5 }).unwrap().is_empty());
+        assert!(outlier_indices(&data, Fence::Tukey { k: 1.5 })
+            .unwrap()
+            .is_empty());
         assert!(outlier_indices(&data, Fence::MadZ { threshold: 3.5 })
             .unwrap()
             .is_empty());

@@ -77,8 +77,11 @@ impl Store {
 
     /// Sorted unique machine-type names present.
     pub fn machine_types(&self) -> Vec<String> {
-        let mut names: Vec<String> =
-            self.records.iter().map(|r| r.machine_type.clone()).collect();
+        let mut names: Vec<String> = self
+            .records
+            .iter()
+            .map(|r| r.machine_type.clone())
+            .collect();
         names.sort_unstable();
         names.dedup();
         names
@@ -163,7 +166,11 @@ impl<'a> Query<'a> {
 
     /// Number of matching records.
     pub fn count(&self) -> usize {
-        self.store.records.iter().filter(|r| self.matches(r)).count()
+        self.store
+            .records
+            .iter()
+            .filter(|r| self.matches(r))
+            .count()
     }
 
     /// Groups matching values by machine.
@@ -275,7 +282,10 @@ mod tests {
     #[test]
     fn grouping_by_machine_and_type() {
         let s = sample_store();
-        let by_machine = s.filter().benchmark(BenchmarkId::MemCopy).group_by_machine();
+        let by_machine = s
+            .filter()
+            .benchmark(BenchmarkId::MemCopy)
+            .group_by_machine();
         assert_eq!(by_machine.len(), 2);
         let by_type = s.filter().group_by_type();
         assert_eq!(by_type["a"].len(), 3);

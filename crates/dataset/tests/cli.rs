@@ -17,15 +17,16 @@ fn default_run_prints_overview() {
 
 #[test]
 fn csv_export_round_trips_through_the_library() {
-    let path = std::env::temp_dir().join(format!(
-        "campaign-cli-test-{}.csv",
-        std::process::id()
-    ));
+    let path = std::env::temp_dir().join(format!("campaign-cli-test-{}.csv", std::process::id()));
     let out = campaign()
         .args(["--seed", "9", "--out", path.to_str().unwrap()])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let file = std::fs::File::open(&path).unwrap();
     let store = dataset::read_csv(file).unwrap();
     assert_eq!(store.len(), 16500);
@@ -35,7 +36,11 @@ fn csv_export_round_trips_through_the_library() {
 
 #[test]
 fn bad_arguments_fail_cleanly() {
-    for args in [vec!["--scale", "giant"], vec!["--seed", "x"], vec!["--bogus"]] {
+    for args in [
+        vec!["--scale", "giant"],
+        vec!["--seed", "x"],
+        vec!["--bogus"],
+    ] {
         let out = campaign().args(&args).output().expect("binary runs");
         assert!(!out.status.success(), "{args:?} should fail");
     }

@@ -46,11 +46,7 @@ fn anova_f(groups: &[&[f64]]) -> Result<TestResult> {
     let k = groups.len() as f64;
     let n_total: usize = groups.iter().map(|g| g.len()).sum();
     let n = n_total as f64;
-    let grand_mean = groups
-        .iter()
-        .flat_map(|g| g.iter())
-        .sum::<f64>()
-        / n;
+    let grand_mean = groups.iter().flat_map(|g| g.iter()).sum::<f64>() / n;
     let mut between = 0.0;
     let mut within = 0.0;
     for g in groups {
@@ -144,8 +140,7 @@ pub fn welch_t(a: &[f64], b: &[f64]) -> Result<TestResult> {
     }
     let t = (ma.mean() - mb.mean()) / se2.sqrt();
     // Welch–Satterthwaite degrees of freedom.
-    let df = se2 * se2
-        / (va * va / (a.len() as f64 - 1.0) + vb * vb / (b.len() as f64 - 1.0));
+    let df = se2 * se2 / (va * va / (a.len() as f64 - 1.0) + vb * vb / (b.len() as f64 - 1.0));
     let p = 2.0 * (1.0 - student_t_cdf(t.abs(), df)?);
     Ok(TestResult {
         statistic: t,

@@ -461,7 +461,11 @@ mod tests {
         let data = noisy_steps(&[(100.0, 80), (110.0, 80)], 6, 2.0);
         let r = cusum_detect(&data, 200, 9).unwrap();
         assert!(r.is_significant(0.05), "p={}", r.p_value);
-        assert!((r.changepoint as i64 - 80).unsigned_abs() <= 4, "{}", r.changepoint);
+        assert!(
+            (r.changepoint as i64 - 80).unsigned_abs() <= 4,
+            "{}",
+            r.changepoint
+        );
         assert!((r.mean_before - 100.0).abs() < 1.0);
         assert!((r.mean_after - 110.0).abs() < 1.0);
     }
@@ -478,8 +482,9 @@ mod tests {
         // A modular sawtooth ties the diffs so heavily that the MAD is 0;
         // the IQR fallback must keep the scale positive, and PELT must
         // still find a genuine level shift on top of the pattern.
-        let mut series: Vec<f64> =
-            (0..80).map(|i| 100.0 + (i * 37 % 11) as f64 * 0.05).collect();
+        let mut series: Vec<f64> = (0..80)
+            .map(|i| 100.0 + (i * 37 % 11) as f64 * 0.05)
+            .collect();
         series.extend((0..120).map(|i| 110.0 + (i * 37 % 11) as f64 * 0.05));
         let sigma = robust_noise_sigma(&series).unwrap();
         assert!(sigma > 0.0, "fallback failed: {sigma}");

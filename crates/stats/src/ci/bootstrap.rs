@@ -78,7 +78,10 @@ impl Bootstrap {
         if self.resamples < 50 {
             return Err(invalid(
                 "resamples",
-                format!("need at least 50 bootstrap resamples, got {}", self.resamples),
+                format!(
+                    "need at least 50 bootstrap resamples, got {}",
+                    self.resamples
+                ),
             ));
         }
         let n = data.len();

@@ -105,8 +105,8 @@ pub fn quantile_ci_exact(data: &[f64], q: f64, confidence: f64) -> Result<Quanti
     if upper_rank < lower_rank {
         (lower_rank, upper_rank) = (1, n);
     }
-    let achieved = binomial_cdf(upper_rank as i64 - 1, n_u, q)?
-        - binomial_cdf(lower_rank as i64 - 1, n_u, q)?;
+    let achieved =
+        binomial_cdf(upper_rank as i64 - 1, n_u, q)? - binomial_cdf(lower_rank as i64 - 1, n_u, q)?;
     let estimate = quantile_sorted(&sorted, q, QuantileMethod::Linear)?;
     Ok(QuantileCi {
         ci: ConfidenceInterval {
@@ -187,6 +187,35 @@ pub fn median_ci_approx(data: &[f64], confidence: f64) -> Result<QuantileCi> {
 /// Same as [`quantile_ci_exact`].
 pub fn median_ci_exact(data: &[f64], confidence: f64) -> Result<QuantileCi> {
     quantile_ci_exact(data, 0.5, confidence)
+}
+
+/// Median CI with automatic method selection: exact binomial ranks up to
+/// `n = 1000`, the normal approximation beyond (where the two methods
+/// differ by at most one rank and the exact search's `O(n^2)` binomial
+/// scans stop being worth it). This is the variant the telemetry layer
+/// uses for its self-measurement reports.
+///
+/// # Errors
+///
+/// Same as [`quantile_ci_exact`] / [`quantile_ci_approx`].
+///
+/// # Examples
+///
+/// ```
+/// use varstats::ci::nonparametric::{median_ci_auto, median_ci_exact};
+///
+/// let data: Vec<f64> = (1..=100).map(f64::from).collect();
+/// assert_eq!(
+///     median_ci_auto(&data, 0.95).unwrap(),
+///     median_ci_exact(&data, 0.95).unwrap()
+/// );
+/// ```
+pub fn median_ci_auto(data: &[f64], confidence: f64) -> Result<QuantileCi> {
+    if data.len() <= 1000 {
+        median_ci_exact(data, confidence)
+    } else {
+        median_ci_approx(data, confidence)
+    }
 }
 
 /// Distribution-free **prediction interval** for the next measurement:
@@ -334,6 +363,20 @@ mod tests {
         assert!(c99.lower_rank <= c90.lower_rank);
         assert!(c99.upper_rank >= c90.upper_rank);
         assert!(c99.ci.width() >= c90.ci.width());
+    }
+
+    #[test]
+    fn auto_switches_methods_at_one_thousand() {
+        let small: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(
+            median_ci_auto(&small, 0.95).unwrap(),
+            median_ci_exact(&small, 0.95).unwrap()
+        );
+        let large: Vec<f64> = (1..=5000).map(f64::from).collect();
+        assert_eq!(
+            median_ci_auto(&large, 0.95).unwrap(),
+            median_ci_approx(&large, 0.95).unwrap()
+        );
     }
 
     #[test]

@@ -133,7 +133,9 @@ mod tests {
         // generator (Box-Muller).
         let mut state = 0x1234_5678_9abc_def0u64;
         let mut uniform = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64) / ((1u64 << 53) as f64)
         };
         let mut hits = 0;

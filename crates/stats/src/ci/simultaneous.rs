@@ -87,8 +87,7 @@ mod tests {
     fn corrected_intervals_are_wider() {
         let data: Vec<f64> = (1..=200).map(f64::from).collect();
         let single = quantile_ci_exact(&data, 0.5, 0.95).unwrap();
-        let family =
-            simultaneous_median_cis(&[&data, &data, &data, &data, &data], 0.95).unwrap();
+        let family = simultaneous_median_cis(&[&data, &data, &data, &data, &data], 0.95).unwrap();
         for ci in &family.intervals {
             assert!(ci.ci.width() >= single.ci.width());
         }

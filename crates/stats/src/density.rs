@@ -127,7 +127,11 @@ impl Kde {
         let mut modes = 0usize;
         for i in 0..grid.len() {
             let y = grid[i].1;
-            let left = if i == 0 { f64::NEG_INFINITY } else { grid[i - 1].1 };
+            let left = if i == 0 {
+                f64::NEG_INFINITY
+            } else {
+                grid[i - 1].1
+            };
             let right = if i == grid.len() - 1 {
                 f64::NEG_INFINITY
             } else {

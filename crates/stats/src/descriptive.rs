@@ -279,9 +279,8 @@ impl Summary {
     pub fn from_samples(samples: &Samples) -> Self {
         let sorted = samples.sorted();
         let moments: Moments = samples.data().iter().copied().collect();
-        let q = |p: f64| {
-            quantile_sorted(sorted, p, QuantileMethod::Linear).expect("validated samples")
-        };
+        let q =
+            |p: f64| quantile_sorted(sorted, p, QuantileMethod::Linear).expect("validated samples");
         let median = q(0.5);
         let deviations: Vec<f64> = samples.data().iter().map(|x| (x - median).abs()).collect();
         let mad_raw = crate::quantile::median(&deviations).expect("non-empty");

@@ -177,7 +177,11 @@ mod tests {
     #[test]
     fn counts_sum_to_n() {
         let data: Vec<f64> = (0..250).map(|i| (i as f64 * 1.37).sin() * 10.0).collect();
-        for rule in [BinRule::Fixed(7), BinRule::Sturges, BinRule::FreedmanDiaconis] {
+        for rule in [
+            BinRule::Fixed(7),
+            BinRule::Sturges,
+            BinRule::FreedmanDiaconis,
+        ] {
             let h = Histogram::new(&data, rule).unwrap();
             assert_eq!(h.counts.iter().sum::<u64>() as usize, data.len());
             assert_eq!(h.n, data.len());

@@ -157,10 +157,7 @@ pub fn lag_pairs(data: &[f64], lag: usize) -> Result<Vec<(f64, f64)>> {
             format!("must be in [1, {}), got {lag}", data.len()),
         ));
     }
-    Ok(data
-        .windows(lag + 1)
-        .map(|w| (w[0], w[lag]))
-        .collect())
+    Ok(data.windows(lag + 1).map(|w| (w[0], w[lag])).collect())
 }
 
 /// Turning-point test of randomness.
@@ -377,7 +374,13 @@ mod tests {
         // AR(1) with strong memory.
         let mut y = 0.0;
         let seed = lcg_series(32, 400);
-        let ar1: Vec<f64> = seed.iter().map(|u| { y = 0.7 * y + u; y }).collect();
+        let ar1: Vec<f64> = seed
+            .iter()
+            .map(|u| {
+                y = 0.7 * y + u;
+                y
+            })
+            .collect();
         let r = ljung_box(&ar1, 10).unwrap();
         assert!(r.p_value < 1e-6, "AR(1) accepted, p={}", r.p_value);
     }
@@ -410,7 +413,9 @@ mod tests {
 
     #[test]
     fn turning_point_rejects_alternating() {
-        let alt: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect();
+        let alt: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 1.0 })
+            .collect();
         let r = turning_point_test(&alt).unwrap();
         // Alternating has the maximum number of turning points.
         assert!(r.statistic > 3.0);

@@ -99,8 +99,7 @@ pub fn shapiro_wilk(data: &[f64]) -> Result<TestResult> {
             - 2.706_056 * rsn.powi(5);
         if n > 5 {
             let c_n1 = m[n - 2] / ssq_m.sqrt();
-            let a_n1 = c_n1 + 0.042_981 * rsn - 0.293_762 * rsn.powi(2)
-                - 1.752_461 * rsn.powi(3)
+            let a_n1 = c_n1 + 0.042_981 * rsn - 0.293_762 * rsn.powi(2) - 1.752_461 * rsn.powi(3)
                 + 5.682_633 * rsn.powi(4)
                 - 3.582_633 * rsn.powi(5);
             let phi = (ssq_m - 2.0 * m[n - 1].powi(2) - 2.0 * m[n - 2].powi(2))

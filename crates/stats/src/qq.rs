@@ -141,14 +141,16 @@ mod tests {
             .map(|_| {
                 let u1: f64 = u().max(1e-12);
                 let u2: f64 = u();
-                50.0 + 3.0
-                    * (-2.0 * u1.ln()).sqrt()
-                    * (2.0 * std::f64::consts::PI * u2).cos()
+                50.0 + 3.0 * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
             })
             .collect();
         let qq = normal_qq(&data).unwrap();
         assert!(qq.correlation > 0.99, "r = {}", qq.correlation);
-        assert!((qq.intercept - 50.0).abs() < 1.0, "intercept {}", qq.intercept);
+        assert!(
+            (qq.intercept - 50.0).abs() < 1.0,
+            "intercept {}",
+            qq.intercept
+        );
         assert!((qq.slope - 3.0).abs() < 0.5, "slope {}", qq.slope);
     }
 
@@ -208,7 +210,10 @@ mod tests {
         let (first_x, first_y) = pts[0];
         let (last_x, last_y) = *pts.last().unwrap();
         assert!((first_y / first_x.max(1e-9) - 1.0).abs() < 0.5);
-        assert!(last_y / last_x > 2.0, "tail should diverge: {last_x} vs {last_y}");
+        assert!(
+            last_y / last_x > 2.0,
+            "tail should diverge: {last_x} vs {last_y}"
+        );
     }
 
     #[test]

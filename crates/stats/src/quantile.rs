@@ -327,7 +327,10 @@ mod tests {
         let b = [10.0, 11.0, 12.0];
         assert_eq!(ks_statistic(&a, &b).unwrap(), 1.0);
         let (_, p) = ks_test(&a, &b).unwrap();
-        assert!(p < 0.2, "disjoint tiny samples should look different, p={p}");
+        assert!(
+            p < 0.2,
+            "disjoint tiny samples should look different, p={p}"
+        );
     }
 
     #[test]

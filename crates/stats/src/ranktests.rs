@@ -62,11 +62,7 @@ pub fn wilcoxon_signed_rank(data: &[f64], m0: f64) -> Result<TestResult> {
     if !m0.is_finite() {
         return Err(invalid("m0", "must be finite"));
     }
-    let deviations: Vec<f64> = data
-        .iter()
-        .map(|&x| x - m0)
-        .filter(|&d| d != 0.0)
-        .collect();
+    let deviations: Vec<f64> = data.iter().map(|&x| x - m0).filter(|&d| d != 0.0).collect();
     let n = deviations.len();
     if n < 10 {
         return Err(StatsError::TooFewSamples { needed: 10, got: n });
@@ -235,9 +231,7 @@ mod tests {
     #[test]
     fn kruskal_identical_groups_accept() {
         let mut u = splitmix(5);
-        let groups: Vec<Vec<f64>> = (0..3)
-            .map(|_| (0..30).map(|_| u()).collect())
-            .collect();
+        let groups: Vec<Vec<f64>> = (0..3).map(|_| (0..30).map(|_| u()).collect()).collect();
         let refs: Vec<&[f64]> = groups.iter().map(|g| g.as_slice()).collect();
         let r = kruskal_wallis(&refs).unwrap();
         assert!(r.p_value > 0.01, "p={}", r.p_value);

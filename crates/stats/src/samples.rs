@@ -117,9 +117,7 @@ impl Samples {
             });
         }
         self.data.push(value);
-        let pos = self
-            .sorted
-            .partition_point(|&x| x < value);
+        let pos = self.sorted.partition_point(|&x| x < value);
         self.sorted.insert(pos, value);
         Ok(())
     }

@@ -70,7 +70,7 @@ pub fn erfc(x: f64) -> f64 {
                                 + t * (-1.135_203_98
                                     + t * (1.488_515_87
                                         + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
-        .exp();
+            .exp();
     if x >= 0.0 {
         ans
     } else {
@@ -266,8 +266,7 @@ pub fn incomplete_beta(a: f64, b: f64, x: f64) -> Result<f64> {
     if x == 1.0 {
         return Ok(1.0);
     }
-    let ln_bt =
-        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let ln_bt = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
     let bt = ln_bt.exp();
     if x < (a + 1.0) / (a + b + 2.0) {
         Ok(bt * beta_cf(a, b, x)? / a)
@@ -378,9 +377,8 @@ pub fn student_t_cdf(t: f64, df: f64) -> Result<f64> {
 
 /// Density of Student's t distribution with `df` degrees of freedom.
 fn student_t_pdf(t: f64, df: f64) -> f64 {
-    let ln_c = ln_gamma((df + 1.0) / 2.0)
-        - ln_gamma(df / 2.0)
-        - 0.5 * (df * std::f64::consts::PI).ln();
+    let ln_c =
+        ln_gamma((df + 1.0) / 2.0) - ln_gamma(df / 2.0) - 0.5 * (df * std::f64::consts::PI).ln();
     (ln_c - (df + 1.0) / 2.0 * (1.0 + t * t / df).ln()).exp()
 }
 
@@ -650,11 +648,7 @@ mod tests {
     #[test]
     fn chi_squared_reference_values() {
         // Chi-squared with 2 df: CDF(x) = 1 - exp(-x/2).
-        close(
-            chi_squared_cdf(5.991_46, 2.0).unwrap(),
-            0.95,
-            1e-5,
-        );
+        close(chi_squared_cdf(5.991_46, 2.0).unwrap(), 0.95, 1e-5);
         // Chi-squared 95th percentile with 1 df is 3.8415.
         close(chi_squared_cdf(3.841_46, 1.0).unwrap(), 0.95, 1e-5);
     }

@@ -142,7 +142,7 @@ pub fn adf_test(series: &[f64], lags: usize) -> Result<AdfResult> {
     let diffs: Vec<f64> = series.windows(2).map(|w| w[1] - w[0]).collect();
     let rows = diffs.len() - lags;
     let k = 2 + lags; // constant, y_{t-1}, lagged diffs.
-    // Design matrix X (rows x k) and response y.
+                      // Design matrix X (rows x k) and response y.
     let mut xtx = vec![vec![0.0; k]; k];
     let mut xty = vec![0.0; k];
     let mut regressors = vec![0.0; k];
@@ -223,7 +223,12 @@ mod tests {
         let mut u = splitmix(1);
         let series: Vec<f64> = (0..300).map(|_| 100.0 + u()).collect();
         let r = adf_test(&series, 2).unwrap();
-        assert!(r.is_stationary(0.05), "stat {} p {}", r.statistic, r.p_value);
+        assert!(
+            r.is_stationary(0.05),
+            "stat {} p {}",
+            r.statistic,
+            r.p_value
+        );
         assert!(r.statistic < -5.0);
     }
 
@@ -238,7 +243,12 @@ mod tests {
             })
             .collect();
         let r = adf_test(&series, 2).unwrap();
-        assert!(!r.is_stationary(0.05), "stat {} p {}", r.statistic, r.p_value);
+        assert!(
+            !r.is_stationary(0.05),
+            "stat {} p {}",
+            r.statistic,
+            r.p_value
+        );
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! Run manifests: provenance for every batch of artifacts.
+//!
+//! A [`RunManifest`] records what produced a directory of artifacts —
+//! seed, scale, crate versions, host, per-experiment wall times, and
+//! artifact counts — and serializes to JSON next to them, so a CSV found
+//! on disk six months later can be traced back to an exact configuration.
+
+use serde::{Deserialize, Serialize};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Host identification captured at manifest creation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostInfo {
+    /// Operating system (`std::env::consts::OS`).
+    pub os: String,
+    /// CPU architecture (`std::env::consts::ARCH`).
+    pub arch: String,
+    /// Available parallelism (logical CPUs), 1 if undeterminable.
+    pub cpus: usize,
+    /// Hostname, or `"unknown"` when it cannot be read.
+    pub hostname: String,
+}
+
+impl HostInfo {
+    /// Detects the current host using std-only sources.
+    pub fn detect() -> Self {
+        let hostname = std::fs::read_to_string("/proc/sys/kernel/hostname")
+            .map(|s| s.trim().to_string())
+            .or_else(|_| std::env::var("HOSTNAME"))
+            .unwrap_or_else(|_| "unknown".to_string());
+        HostInfo {
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            hostname,
+        }
+    }
+}
+
+/// Name and version of one workspace crate involved in the run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrateVersion {
+    /// Crate name.
+    pub name: String,
+    /// Semantic version string.
+    pub version: String,
+}
+
+/// Wall time and output of one experiment within the run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentTiming {
+    /// Experiment id (e.g. `"F9"`).
+    pub id: String,
+    /// Wall time of the experiment's run function, in seconds.
+    pub wall_secs: f64,
+    /// Number of artifacts the experiment produced.
+    pub artifacts: usize,
+}
+
+/// Everything needed to identify and reproduce one `repro` invocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Producing tool (e.g. `"repro"`).
+    pub tool: String,
+    /// Version of the producing tool.
+    pub version: String,
+    /// RNG seed the run was driven by.
+    pub seed: u64,
+    /// Scale preset (`"quick"` or `"paper"`).
+    pub scale: String,
+    /// Unix timestamp (whole seconds) when the manifest was created.
+    pub started_unix_secs: u64,
+    /// Total wall time of the run, in seconds.
+    pub total_wall_secs: f64,
+    /// Host the run executed on.
+    pub host: HostInfo,
+    /// Workspace crates and their versions.
+    pub crates: Vec<CrateVersion>,
+    /// Records in the simulated campaign dataset.
+    pub records: u64,
+    /// Machines in the simulated testbed.
+    pub machines: u64,
+    /// Per-experiment timings, in execution order.
+    pub experiments: Vec<ExperimentTiming>,
+    /// Total artifacts across all experiments.
+    pub artifact_count: u64,
+}
+
+impl RunManifest {
+    /// Starts a manifest for `tool` at `version`, stamping host and time.
+    pub fn new(tool: &str, version: &str, seed: u64, scale: &str) -> Self {
+        RunManifest {
+            tool: tool.to_string(),
+            version: version.to_string(),
+            seed,
+            scale: scale.to_string(),
+            started_unix_secs: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map_or(0, |d| d.as_secs()),
+            total_wall_secs: 0.0,
+            host: HostInfo::detect(),
+            crates: Vec::new(),
+            records: 0,
+            machines: 0,
+            experiments: Vec::new(),
+            artifact_count: 0,
+        }
+    }
+
+    /// Registers a workspace crate's version.
+    pub fn push_crate(&mut self, name: &str, version: &str) {
+        self.crates.push(CrateVersion {
+            name: name.to_string(),
+            version: version.to_string(),
+        });
+    }
+
+    /// Appends one experiment's timing and adds to the artifact total.
+    pub fn push_experiment(&mut self, id: &str, wall_secs: f64, artifacts: usize) {
+        self.experiments.push(ExperimentTiming {
+            id: id.to_string(),
+            wall_secs,
+            artifacts,
+        });
+        self.artifact_count += artifacts as u64;
+    }
+
+    /// Serializes to pretty-printed JSON.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Deserializes from JSON produced by [`RunManifest::to_json`].
+    pub fn from_json(s: &str) -> serde_json::Result<Self> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_accumulates_experiments() {
+        let mut m = RunManifest::new("repro", "0.1.0", 42, "quick");
+        m.push_crate("varstats", "0.1.0");
+        m.push_experiment("T2", 0.5, 2);
+        m.push_experiment("F9", 1.25, 1);
+        assert_eq!(m.seed, 42);
+        assert_eq!(m.scale, "quick");
+        assert_eq!(m.experiments.len(), 2);
+        assert_eq!(m.artifact_count, 3);
+        assert_eq!(m.experiments[1].id, "F9");
+        assert!(m.experiments[1].wall_secs > m.experiments[0].wall_secs);
+        assert_eq!(m.crates[0].name, "varstats");
+    }
+
+    #[test]
+    fn host_detection_is_populated() {
+        let host = HostInfo::detect();
+        assert!(!host.os.is_empty());
+        assert!(!host.arch.is_empty());
+        assert!(host.cpus >= 1);
+        assert!(!host.hostname.is_empty());
+    }
+}

@@ -1,0 +1,504 @@
+//! Named counters, gauges, and log-bucketed histograms.
+//!
+//! Handles come from the global registry via [`counter`], [`gauge`], and
+//! [`histogram`]. While telemetry is disabled each of those costs one
+//! relaxed atomic load and returns an inert handle whose operations are
+//! plain branches — no locks, no allocation, no atomics. While enabled,
+//! the hot paths (`add`, `set`, `record`) are lock-free: the registry
+//! mutex is only taken when a handle is created or a snapshot is built.
+//!
+//! [`Histogram`] buckets values on a logarithmic grid — 16 sub-buckets
+//! per octave, taken straight from the top four mantissa bits of the
+//! `f64` — so quantile queries have a bounded relative error of about
+//! 2.2 % over the full positive range with a fixed 1 344-slot table.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// Sub-buckets per octave (power of two); 4 mantissa bits → 16.
+const SUB: usize = 16;
+/// Smallest representable octave: 2^-44 ≈ 5.7e-14, far below a nanosecond.
+const MIN_EXP: i32 = -44;
+/// Largest representable octave: 2^39 ≈ 5.5e11, far above any wall time.
+const MAX_EXP: i32 = 39;
+const OCTAVES: usize = (MAX_EXP - MIN_EXP + 1) as usize;
+const BUCKETS: usize = OCTAVES * SUB;
+
+struct HistogramCore {
+    counts: Vec<AtomicU64>,
+    /// Values rejected from the grid: zero, negative, or non-finite.
+    nonpositive: AtomicU64,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl HistogramCore {
+    fn new() -> Self {
+        HistogramCore {
+            counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            nonpositive: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Bucket index for a positive finite value: octave from the biased
+    /// exponent, sub-bucket from the top four mantissa bits.
+    fn index(v: f64) -> usize {
+        let bits = v.to_bits();
+        let biased = ((bits >> 52) & 0x7ff) as i32;
+        if biased == 0 {
+            return 0; // subnormal: below the grid, clamp to the first slot
+        }
+        let exp = biased - 1023;
+        if exp < MIN_EXP {
+            return 0;
+        }
+        if exp > MAX_EXP {
+            return BUCKETS - 1;
+        }
+        let sub = ((bits >> 48) & 0xf) as usize;
+        (exp - MIN_EXP) as usize * SUB + sub
+    }
+
+    /// Lower and upper bounds of bucket `i`.
+    fn bounds(i: usize) -> (f64, f64) {
+        let exp = MIN_EXP + (i / SUB) as i32;
+        let sub = (i % SUB) as f64;
+        let base = (exp as f64).exp2();
+        (
+            base * (1.0 + sub / SUB as f64),
+            base * (1.0 + (sub + 1.0) / SUB as f64),
+        )
+    }
+
+    fn record(&self, v: f64) {
+        if !(v > 0.0 && v.is_finite()) {
+            self.nonpositive.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        self.counts[Self::index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let bits = v.to_bits();
+        // For positive finite f64 the bit pattern orders like the value.
+        self.min_bits.fetch_min(bits, Ordering::Relaxed);
+        self.max_bits.fetch_max(bits, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    fn min(&self) -> Option<f64> {
+        (self.count.load(Ordering::Relaxed) > 0)
+            .then(|| f64::from_bits(self.min_bits.load(Ordering::Relaxed)))
+    }
+
+    fn max(&self) -> Option<f64> {
+        (self.count.load(Ordering::Relaxed) > 0)
+            .then(|| f64::from_bits(self.max_bits.load(Ordering::Relaxed)))
+    }
+
+    /// Nearest-rank quantile over the bucketed values; the returned
+    /// representative is the bucket's geometric midpoint clamped to the
+    /// observed [min, max], so q = 0 and q = 1 are exact.
+    fn quantile(&self, q: f64) -> Option<f64> {
+        let n = self.count.load(Ordering::Relaxed);
+        if n == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * (n - 1) as f64).round() as u64;
+        let mut cum = 0u64;
+        for (i, slot) in self.counts.iter().enumerate() {
+            cum += slot.load(Ordering::Relaxed);
+            if cum > rank {
+                let (lo, hi) = Self::bounds(i);
+                let rep = (lo * hi).sqrt();
+                let lo_clamp = self.min().unwrap_or(rep);
+                let hi_clamp = self.max().unwrap_or(rep);
+                return Some(rep.clamp(lo_clamp, hi_clamp));
+            }
+        }
+        self.max()
+    }
+}
+
+/// Monotonically increasing event counter. Inert when obtained while
+/// telemetry is disabled.
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for an inert handle).
+    pub fn value(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// Last-write-wins instantaneous value. Inert when obtained while
+/// telemetry is disabled.
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// Overwrites the gauge with `v`.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if let Some(cell) = &self.0 {
+            cell.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0.0 for an inert handle).
+    pub fn value(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |c| f64::from_bits(c.load(Ordering::Relaxed)))
+    }
+}
+
+/// Log-bucketed distribution of positive values with quantile queries.
+/// Inert when obtained while telemetry is disabled.
+pub struct Histogram(Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    /// Records one observation. Zero, negative, and non-finite values go
+    /// to a separate rejection counter instead of the grid.
+    #[inline]
+    pub fn record(&self, v: f64) {
+        if let Some(core) = &self.0 {
+            core.record(v);
+        }
+    }
+
+    /// Number of values on the grid.
+    pub fn count(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |c| c.count.load(Ordering::Relaxed))
+    }
+
+    /// Nearest-rank quantile (`0.0 ..= 1.0`) with ≈2.2 % relative bucket
+    /// error; `None` when empty or for an inert handle.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        self.0.as_ref().and_then(|c| c.quantile(q))
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<String, Arc<AtomicU64>>,
+    gauges: BTreeMap<String, Arc<AtomicU64>>,
+    histograms: BTreeMap<String, Arc<HistogramCore>>,
+}
+
+fn registry() -> MutexGuard<'static, Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY
+        .get_or_init(|| Mutex::new(Registry::default()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Looks up (registering on first use) the counter named `name`.
+/// Returns an inert handle while telemetry is disabled.
+pub fn counter(name: &str) -> Counter {
+    if !crate::enabled() {
+        return Counter(None);
+    }
+    Counter(Some(
+        registry()
+            .counters
+            .entry(name.to_string())
+            .or_default()
+            .clone(),
+    ))
+}
+
+/// Looks up (registering on first use) the gauge named `name`.
+/// Returns an inert handle while telemetry is disabled.
+pub fn gauge(name: &str) -> Gauge {
+    if !crate::enabled() {
+        return Gauge(None);
+    }
+    Gauge(Some(
+        registry()
+            .gauges
+            .entry(name.to_string())
+            .or_default()
+            .clone(),
+    ))
+}
+
+/// Looks up (registering on first use) the histogram named `name`.
+/// Returns an inert handle while telemetry is disabled.
+pub fn histogram(name: &str) -> Histogram {
+    if !crate::enabled() {
+        return Histogram(None);
+    }
+    Histogram(Some(
+        registry()
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(HistogramCore::new()))
+            .clone(),
+    ))
+}
+
+/// Point-in-time value of one counter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterValue {
+    /// Registered name.
+    pub name: String,
+    /// Accumulated count.
+    pub value: u64,
+}
+
+/// Point-in-time value of one gauge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeValue {
+    /// Registered name.
+    pub name: String,
+    /// Last value set.
+    pub value: f64,
+}
+
+/// Point-in-time summary of one histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Registered name.
+    pub name: String,
+    /// Observations on the grid.
+    pub count: u64,
+    /// Observations rejected (zero, negative, or non-finite).
+    pub rejected: u64,
+    /// Sum of gridded observations.
+    pub total: f64,
+    /// Smallest observation, if any.
+    pub min: Option<f64>,
+    /// Largest observation, if any.
+    pub max: Option<f64>,
+    /// Median (p50), if any.
+    pub p50: Option<f64>,
+    /// 90th percentile, if any.
+    pub p90: Option<f64>,
+    /// 95th percentile, if any.
+    pub p95: Option<f64>,
+    /// 99th percentile, if any.
+    pub p99: Option<f64>,
+}
+
+/// Point-in-time view of every registered metric, sorted by name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct MetricsSnapshot {
+    /// All counters.
+    pub counters: Vec<CounterValue>,
+    /// All gauges.
+    pub gauges: Vec<GaugeValue>,
+    /// All histograms, summarized.
+    pub histograms: Vec<HistogramSummary>,
+}
+
+impl MetricsSnapshot {
+    /// Value of the counter named `name`, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Value of the gauge named `name`, if registered.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// Summary of the histogram named `name`, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+/// Captures the current value of every registered metric.
+pub fn snapshot() -> MetricsSnapshot {
+    let reg = registry();
+    MetricsSnapshot {
+        counters: reg
+            .counters
+            .iter()
+            .map(|(name, cell)| CounterValue {
+                name: name.clone(),
+                value: cell.load(Ordering::Relaxed),
+            })
+            .collect(),
+        gauges: reg
+            .gauges
+            .iter()
+            .map(|(name, cell)| GaugeValue {
+                name: name.clone(),
+                value: f64::from_bits(cell.load(Ordering::Relaxed)),
+            })
+            .collect(),
+        histograms: reg
+            .histograms
+            .iter()
+            .map(|(name, core)| HistogramSummary {
+                name: name.clone(),
+                count: core.count.load(Ordering::Relaxed),
+                rejected: core.nonpositive.load(Ordering::Relaxed),
+                total: f64::from_bits(core.sum_bits.load(Ordering::Relaxed)),
+                min: core.min(),
+                max: core.max(),
+                p50: core.quantile(0.50),
+                p90: core.quantile(0.90),
+                p95: core.quantile(0.95),
+                p99: core.quantile(0.99),
+            })
+            .collect(),
+    }
+}
+
+/// Unregisters every metric. Live handles keep their cells but the cells
+/// no longer appear in snapshots.
+pub fn reset() {
+    let mut reg = registry();
+    reg.counters.clear();
+    reg.gauges.clear();
+    reg.histograms.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handles_are_inert() {
+        let _guard = crate::test_guard();
+        crate::set_enabled(false);
+        reset();
+        let c = counter("off.counter");
+        c.inc();
+        c.add(10);
+        let g = gauge("off.gauge");
+        g.set(3.5);
+        let h = histogram("off.hist");
+        h.record(1.0);
+        assert_eq!(c.value(), 0);
+        assert_eq!(g.value(), 0.0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), None);
+        let snap = snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let _guard = crate::test_guard();
+        crate::set_enabled(true);
+        reset();
+        counter("t.requests").add(3);
+        counter("t.requests").inc();
+        gauge("t.depth").set(2.0);
+        gauge("t.depth").set(7.5);
+        let snap = snapshot();
+        crate::set_enabled(false);
+        reset();
+        assert_eq!(snap.counter("t.requests"), Some(4));
+        assert_eq!(snap.gauge("t.depth"), Some(7.5));
+    }
+
+    #[test]
+    fn histogram_rejects_nonpositive_and_tracks_extremes() {
+        let _guard = crate::test_guard();
+        crate::set_enabled(true);
+        reset();
+        let h = histogram("t.span");
+        h.record(0.0);
+        h.record(-1.0);
+        h.record(f64::NAN);
+        h.record(0.25);
+        h.record(4.0);
+        let snap = snapshot();
+        crate::set_enabled(false);
+        reset();
+        let s = snap.histogram("t.span").unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.rejected, 3);
+        assert_eq!(s.min, Some(0.25));
+        assert_eq!(s.max, Some(4.0));
+        assert!((s.total - 4.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_quantiles_match_varstats_exact_quantiles() {
+        let _guard = crate::test_guard();
+        crate::set_enabled(true);
+        reset();
+        // Log-uniform-ish spread over six orders of magnitude.
+        let values: Vec<f64> = (1..=2000)
+            .map(|i| 1e-6 * (1.0 + i as f64 / 7.0) * (i as f64))
+            .collect();
+        let h = histogram("t.quant");
+        for &v in &values {
+            h.record(v);
+        }
+        crate::set_enabled(false);
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let approx = h.quantile(q).unwrap();
+            let exact = varstats::quantile::quantile_sorted(
+                &sorted,
+                q,
+                varstats::quantile::QuantileMethod::Linear,
+            )
+            .unwrap();
+            let rel = (approx - exact).abs() / exact;
+            assert!(
+                rel < 0.05,
+                "q={q}: approx {approx} vs exact {exact} (rel err {rel:.4})"
+            );
+        }
+        reset();
+    }
+
+    #[test]
+    fn bucket_index_and_bounds_agree() {
+        for v in [1e-9, 3.7e-6, 0.001, 0.5, 1.0, 1.5, 123.456, 9.9e9] {
+            let i = HistogramCore::index(v);
+            let (lo, hi) = HistogramCore::bounds(i);
+            assert!(lo <= v && v < hi, "v={v} not in [{lo}, {hi})");
+            assert!(hi / lo < 1.07, "bucket [{lo}, {hi}) too wide");
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Dogfooded latency summaries.
+//!
+//! The paper's core prescription — report the median with a
+//! non-parametric order-statistic confidence interval, quote a CoV, and
+//! never summarize skewed timing data as mean ± stddev — applies to the
+//! pipeline's own latencies too. [`latency_summary`] builds such a
+//! summary from raw samples via `varstats`, and [`span_report`]
+//! aggregates a [`Trace`] into per-name summaries for display.
+
+use crate::trace::Trace;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use varstats::ci::nonparametric::median_ci_auto;
+use varstats::descriptive::coefficient_of_variation;
+use varstats::quantile::median;
+
+/// Median-centered summary of a latency sample, per the paper's
+/// methodology. Mean and standard deviation are deliberately absent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Sample size.
+    pub n: usize,
+    /// Sample median in seconds.
+    pub median_secs: f64,
+    /// Non-parametric order-statistic CI for the median `(lower, upper)`,
+    /// when `n` is large enough to support one at `confidence`.
+    pub ci_secs: Option<(f64, f64)>,
+    /// Nominal confidence level of `ci_secs` (e.g. 0.95).
+    pub confidence: f64,
+    /// Coefficient of variation (dimensionless), when `n >= 2`.
+    pub cov: Option<f64>,
+}
+
+/// Summarizes `samples` (seconds) as median + non-parametric CI + CoV.
+///
+/// Returns `None` for an empty sample. With too few samples for an
+/// order-statistic CI at `confidence`, `ci_secs` is `None` but the median
+/// (and CoV, for `n >= 2`) are still reported.
+pub fn latency_summary(samples: &[f64], confidence: f64) -> Option<LatencySummary> {
+    let med = median(samples).ok()?;
+    let ci = median_ci_auto(samples, confidence)
+        .ok()
+        .map(|r| (r.ci.lower, r.ci.upper));
+    let cov = coefficient_of_variation(samples).ok();
+    Some(LatencySummary {
+        n: samples.len(),
+        median_secs: med,
+        ci_secs: ci,
+        confidence,
+        cov,
+    })
+}
+
+/// Per-span-name aggregate over a trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanStats {
+    /// Span name.
+    pub name: String,
+    /// Number of spans with this name.
+    pub count: usize,
+    /// Sum of their wall times, in seconds.
+    pub total_secs: f64,
+    /// Median / CI / CoV of the individual span durations.
+    pub latency: LatencySummary,
+}
+
+/// Groups every span in `trace` by name and summarizes each group's
+/// durations with [`latency_summary`]. Results are sorted by descending
+/// total time (the usual "where did the time go" ordering).
+pub fn span_report(trace: &Trace, confidence: f64) -> Vec<SpanStats> {
+    let mut by_name: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    trace.walk(|node| {
+        by_name
+            .entry(node.name.clone())
+            .or_default()
+            .push(node.duration_secs);
+    });
+    let mut stats: Vec<SpanStats> = by_name
+        .into_iter()
+        .filter_map(|(name, durations)| {
+            let latency = latency_summary(&durations, confidence)?;
+            Some(SpanStats {
+                name,
+                count: durations.len(),
+                total_secs: durations.iter().sum(),
+                latency,
+            })
+        })
+        .collect();
+    stats.sort_by(|a, b| {
+        b.total_secs
+            .partial_cmp(&a.total_secs)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::SpanNode;
+
+    fn leaf(name: &str, start: f64, dur: f64) -> SpanNode {
+        SpanNode {
+            name: name.to_string(),
+            start_secs: start,
+            duration_secs: dur,
+            children: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn summary_matches_varstats_directly() {
+        let samples: Vec<f64> = (1..=50).map(|i| i as f64 / 10.0).collect();
+        let s = latency_summary(&samples, 0.95).unwrap();
+        assert_eq!(s.n, 50);
+        assert_eq!(s.median_secs, median(&samples).unwrap());
+        let expected = median_ci_auto(&samples, 0.95).unwrap();
+        assert_eq!(s.ci_secs, Some((expected.ci.lower, expected.ci.upper)));
+        assert_eq!(s.cov, Some(coefficient_of_variation(&samples).unwrap()));
+    }
+
+    #[test]
+    fn tiny_samples_degrade_gracefully() {
+        assert!(latency_summary(&[], 0.95).is_none());
+        let one = latency_summary(&[2.0], 0.95).unwrap();
+        assert_eq!(one.median_secs, 2.0);
+        assert_eq!(one.ci_secs, None);
+        let two = latency_summary(&[2.0, 4.0], 0.95).unwrap();
+        assert_eq!(two.median_secs, 3.0);
+        assert_eq!(two.ci_secs, None);
+        assert!(two.cov.is_some());
+    }
+
+    #[test]
+    fn span_report_groups_and_orders_by_total_time() {
+        let trace = Trace {
+            roots: vec![SpanNode {
+                name: "outer".to_string(),
+                start_secs: 0.0,
+                duration_secs: 10.0,
+                children: vec![
+                    leaf("inner", 0.0, 1.0),
+                    leaf("inner", 2.0, 3.0),
+                    leaf("other", 6.0, 2.0),
+                ],
+            }],
+        };
+        let report = span_report(&trace, 0.95);
+        let names: Vec<&str> = report.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["outer", "inner", "other"]);
+        let inner = &report[1];
+        assert_eq!(inner.count, 2);
+        assert_eq!(inner.total_secs, 4.0);
+        assert_eq!(inner.latency.median_secs, 2.0);
+    }
+}

@@ -1,0 +1,309 @@
+//! RAII wall-time spans forming a hierarchical trace tree.
+//!
+//! A [`Span`] measures the wall time between its creation and its drop.
+//! Spans opened while another span is live **on the same thread** become
+//! its children, so nesting scopes yields a tree without any explicit
+//! plumbing. Finished spans are appended to a global collector;
+//! [`drain`] assembles them into a [`Trace`] and empties the collector.
+//!
+//! While telemetry is disabled ([`crate::enabled`] is false), [`span`]
+//! costs one relaxed atomic load and returns an inert guard.
+
+use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// A finished span as recorded by the collector (internal form).
+struct RawSpan {
+    id: u64,
+    parent: u64,
+    name: Cow<'static, str>,
+    start_ns: u64,
+    end_ns: u64,
+}
+
+/// Monotonic clock origin shared by every span in the process.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+fn collector() -> MutexGuard<'static, Vec<RawSpan>> {
+    static SPANS: OnceLock<Mutex<Vec<RawSpan>>> = OnceLock::new();
+    SPANS
+        .get_or_init(|| Mutex::new(Vec::new()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Span ids start at 1; 0 means "no parent" (a root span).
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Innermost live span on this thread, or 0 at top level.
+    static CURRENT: Cell<u64> = const { Cell::new(0) };
+}
+
+struct ActiveSpan {
+    id: u64,
+    parent: u64,
+    name: Cow<'static, str>,
+    start_ns: u64,
+}
+
+/// RAII guard measuring the wall time of a scope; see [`span`].
+///
+/// Not `Send`: a span must be dropped on the thread that opened it so the
+/// thread-local parent chain stays consistent (RAII scoping guarantees
+/// this naturally).
+pub struct Span {
+    inner: Option<ActiveSpan>,
+    _not_send: PhantomData<*const ()>,
+}
+
+/// Opens a span named `name`; the returned guard records the scope's wall
+/// time when dropped. Inert (one relaxed atomic load, no allocation) while
+/// telemetry is disabled.
+pub fn span(name: impl Into<Cow<'static, str>>) -> Span {
+    if !crate::enabled() {
+        return Span {
+            inner: None,
+            _not_send: PhantomData,
+        };
+    }
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = CURRENT.with(|c| c.replace(id));
+    Span {
+        inner: Some(ActiveSpan {
+            id,
+            parent,
+            name: name.into(),
+            start_ns: now_ns(),
+        }),
+        _not_send: PhantomData,
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(active) = self.inner.take() {
+            let end_ns = now_ns();
+            CURRENT.with(|c| c.set(active.parent));
+            collector().push(RawSpan {
+                id: active.id,
+                parent: active.parent,
+                name: active.name,
+                start_ns: active.start_ns,
+                end_ns,
+            });
+        }
+    }
+}
+
+/// One node of an assembled trace tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanNode {
+    /// Span name as passed to [`span`].
+    pub name: String,
+    /// Start time in seconds since the process telemetry epoch.
+    pub start_secs: f64,
+    /// Wall time between the span's open and drop, in seconds.
+    pub duration_secs: f64,
+    /// Spans opened (and closed) while this one was live, oldest first.
+    pub children: Vec<SpanNode>,
+}
+
+/// A fully assembled trace: the forest of root spans, oldest first.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Trace {
+    /// Top-level spans (no live parent on their thread when opened).
+    pub roots: Vec<SpanNode>,
+}
+
+impl Trace {
+    /// Total number of spans in the trace.
+    pub fn len(&self) -> usize {
+        fn count(nodes: &[SpanNode]) -> usize {
+            nodes.iter().map(|n| 1 + count(&n.children)).sum()
+        }
+        count(&self.roots)
+    }
+
+    /// True when the trace holds no spans.
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+
+    /// Depth-first walk over every node in the trace.
+    pub fn walk(&self, mut visit: impl FnMut(&SpanNode)) {
+        fn go(nodes: &[SpanNode], visit: &mut impl FnMut(&SpanNode)) {
+            for n in nodes {
+                visit(n);
+                go(&n.children, visit);
+            }
+        }
+        go(&self.roots, &mut visit);
+    }
+}
+
+/// Removes all finished spans from the collector and assembles them into
+/// a [`Trace`]. Spans whose parent is still live (not yet dropped) are
+/// promoted to roots rather than lost.
+pub fn drain() -> Trace {
+    let raw: Vec<RawSpan> = std::mem::take(&mut *collector());
+    build_tree(raw)
+}
+
+/// Discards all finished spans without assembling them.
+pub fn clear() {
+    collector().clear();
+}
+
+fn build_tree(mut raw: Vec<RawSpan>) -> Trace {
+    // Children finish (and are pushed) before their parents, so sort by
+    // start time to get stable oldest-first ordering at every level.
+    raw.sort_by_key(|r| (r.start_ns, r.id));
+    let present: HashMap<u64, usize> = raw.iter().enumerate().map(|(i, r)| (r.id, i)).collect();
+    let mut children: HashMap<u64, Vec<usize>> = HashMap::new();
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, r) in raw.iter().enumerate() {
+        if r.parent != 0 && present.contains_key(&r.parent) {
+            children.entry(r.parent).or_default().push(i);
+        } else {
+            roots.push(i);
+        }
+    }
+    fn assemble(i: usize, raw: &[RawSpan], children: &HashMap<u64, Vec<usize>>) -> SpanNode {
+        let r = &raw[i];
+        let kids = children
+            .get(&r.id)
+            .map(|ks| ks.iter().map(|&k| assemble(k, raw, children)).collect())
+            .unwrap_or_default();
+        SpanNode {
+            name: r.name.to_string(),
+            start_secs: r.start_ns as f64 / 1e9,
+            duration_secs: (r.end_ns - r.start_ns) as f64 / 1e9,
+            children: kids,
+        }
+    }
+    Trace {
+        roots: roots
+            .into_iter()
+            .map(|i| assemble(i, &raw, &children))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _guard = crate::test_guard();
+        clear();
+        crate::set_enabled(false);
+        {
+            let _a = span("a");
+            let _b = span("b");
+        }
+        assert!(drain().is_empty());
+    }
+
+    #[test]
+    fn nesting_builds_a_tree() {
+        let _guard = crate::test_guard();
+        clear();
+        crate::set_enabled(true);
+        {
+            let _root = span("root");
+            {
+                let _first = span("first");
+                let _leaf = span("leaf");
+            }
+            let _second = span("second");
+        }
+        crate::set_enabled(false);
+        let trace = drain();
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace.roots.len(), 1);
+        let root = &trace.roots[0];
+        assert_eq!(root.name, "root");
+        let kids: Vec<&str> = root.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(kids, ["first", "second"]);
+        assert_eq!(root.children[0].children[0].name, "leaf");
+    }
+
+    #[test]
+    fn child_intervals_nest_within_parent() {
+        let _guard = crate::test_guard();
+        clear();
+        crate::set_enabled(true);
+        {
+            let _outer = span("outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            let _inner = span("inner");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        crate::set_enabled(false);
+        let trace = drain();
+        let outer = &trace.roots[0];
+        let inner = &outer.children[0];
+        let eps = 1e-9;
+        assert!(inner.start_secs + eps >= outer.start_secs);
+        assert!(
+            inner.start_secs + inner.duration_secs <= outer.start_secs + outer.duration_secs + eps
+        );
+        assert!(inner.duration_secs <= outer.duration_secs + eps);
+        assert!(outer.duration_secs >= 0.004);
+    }
+
+    #[test]
+    fn spans_from_other_threads_become_separate_roots() {
+        let _guard = crate::test_guard();
+        clear();
+        crate::set_enabled(true);
+        {
+            let _main = span("main");
+            std::thread::spawn(|| {
+                let _worker = span("worker");
+            })
+            .join()
+            .unwrap();
+        }
+        crate::set_enabled(false);
+        let trace = drain();
+        let names: Vec<&str> = trace.roots.iter().map(|r| r.name.as_str()).collect();
+        assert!(names.contains(&"main"));
+        assert!(names.contains(&"worker"));
+        assert!(trace.roots.iter().all(|r| r.children.is_empty()));
+    }
+
+    #[test]
+    fn orphaned_children_are_promoted_to_roots() {
+        let _guard = crate::test_guard();
+        clear();
+        crate::set_enabled(true);
+        let parent = span("parent");
+        {
+            let _child = span("child");
+        }
+        // Drain while the parent is still live: the child's parent id is
+        // absent from the collector and the child must surface as a root.
+        let trace = drain();
+        crate::set_enabled(false);
+        drop(parent);
+        clear();
+        assert_eq!(trace.roots.len(), 1);
+        assert_eq!(trace.roots[0].name, "child");
+    }
+}

@@ -1,0 +1,118 @@
+//! Property test: arbitrarily interleaved open/close/leaf operations
+//! always drain to a well-parented trace tree whose structure matches a
+//! reference model and whose child intervals nest inside their parents.
+
+use proptest::prelude::*;
+
+#[derive(Debug, PartialEq)]
+struct Model {
+    name: String,
+    children: Vec<Model>,
+}
+
+fn attach(stack: &mut [Model], roots: &mut Vec<Model>, node: Model) {
+    match stack.last_mut() {
+        Some(top) => top.children.push(node),
+        None => roots.push(node),
+    }
+}
+
+fn shape(node: &telemetry::SpanNode) -> Model {
+    Model {
+        name: node.name.clone(),
+        children: node.children.iter().map(shape).collect(),
+    }
+}
+
+fn check_intervals(node: &telemetry::SpanNode) {
+    let eps = 1e-9;
+    let end = node.start_secs + node.duration_secs;
+    let mut child_total = 0.0;
+    for child in &node.children {
+        assert!(
+            child.start_secs + eps >= node.start_secs,
+            "child {} starts before parent {}",
+            child.name,
+            node.name
+        );
+        assert!(
+            child.start_secs + child.duration_secs <= end + eps,
+            "child {} ends after parent {}",
+            child.name,
+            node.name
+        );
+        assert!(
+            child.duration_secs <= node.duration_secs + eps,
+            "child {} outlasts parent {}",
+            child.name,
+            node.name
+        );
+        child_total += child.duration_secs;
+        check_intervals(child);
+    }
+    assert!(
+        child_total <= node.duration_secs + 1e-6,
+        "children of {} sum to {} > parent {}",
+        node.name,
+        child_total,
+        node.duration_secs
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    // Command stream: 0 = open a nested span, 1 = close the innermost
+    // open span, 2 = open and immediately close a leaf span.
+    #[test]
+    fn interleaved_spans_always_form_a_well_parented_tree(
+        cmds in prop::collection::vec(0u8..3, 1..60)
+    ) {
+        telemetry::trace::clear();
+        telemetry::set_enabled(true);
+
+        let mut span_stack: Vec<telemetry::Span> = Vec::new();
+        let mut model_stack: Vec<Model> = Vec::new();
+        let mut model_roots: Vec<Model> = Vec::new();
+        let mut opened = 0usize;
+        for cmd in cmds {
+            match cmd {
+                0 => {
+                    span_stack.push(telemetry::span(format!("s{opened}")));
+                    model_stack.push(Model { name: format!("s{opened}"), children: Vec::new() });
+                    opened += 1;
+                }
+                1 => {
+                    if let Some(span) = span_stack.pop() {
+                        drop(span);
+                        let node = model_stack.pop().unwrap();
+                        attach(&mut model_stack, &mut model_roots, node);
+                    }
+                }
+                _ => {
+                    {
+                        let _leaf = telemetry::span(format!("s{opened}"));
+                    }
+                    let node = Model { name: format!("s{opened}"), children: Vec::new() };
+                    attach(&mut model_stack, &mut model_roots, node);
+                    opened += 1;
+                }
+            }
+        }
+        // Unwind innermost-first, as RAII scoping would.
+        while let Some(span) = span_stack.pop() {
+            drop(span);
+            let node = model_stack.pop().unwrap();
+            attach(&mut model_stack, &mut model_roots, node);
+        }
+
+        telemetry::set_enabled(false);
+        let trace = telemetry::trace::drain();
+
+        prop_assert_eq!(trace.len(), opened);
+        let got: Vec<Model> = trace.roots.iter().map(shape).collect();
+        prop_assert_eq!(got, model_roots);
+        for root in &trace.roots {
+            check_intervals(root);
+        }
+    }
+}

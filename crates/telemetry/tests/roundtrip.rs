@@ -1,0 +1,86 @@
+//! JSON round-trip tests: traces, metrics snapshots, and run manifests
+//! must survive serialize → deserialize unchanged, since they are written
+//! next to artifacts and read back by tooling.
+
+use std::sync::Mutex;
+use telemetry::{metrics, trace, RunManifest};
+
+/// Serializes the tests in this binary: they share the global telemetry
+/// switch and collectors.
+static GLOBALS: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GLOBALS.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn trace_json_round_trip() {
+    let guard = lock();
+    trace::clear();
+    telemetry::set_enabled(true);
+    {
+        let _outer = telemetry::span("outer");
+        {
+            let _inner = telemetry::span("inner");
+            let _leaf = telemetry::span("leaf");
+        }
+        let _sibling = telemetry::span("sibling");
+    }
+    telemetry::set_enabled(false);
+    let original = trace::drain();
+    drop(guard);
+
+    assert_eq!(original.len(), 4);
+    let json = serde_json::to_string(&original).unwrap();
+    let restored: telemetry::Trace = serde_json::from_str(&json).unwrap();
+    assert_eq!(restored, original);
+    assert_eq!(restored.roots[0].children[0].children[0].name, "leaf");
+}
+
+#[test]
+fn metrics_snapshot_json_round_trip() {
+    let guard = lock();
+    telemetry::set_enabled(true);
+    metrics::reset();
+    metrics::counter("rt.events").add(7);
+    metrics::gauge("rt.level").set(0.125);
+    let h = metrics::histogram("rt.lat");
+    for i in 1..=100 {
+        h.record(i as f64 * 1e-3);
+    }
+    let original = metrics::snapshot();
+    telemetry::set_enabled(false);
+    metrics::reset();
+    drop(guard);
+
+    let json = serde_json::to_string_pretty(&original).unwrap();
+    let restored: metrics::MetricsSnapshot = serde_json::from_str(&json).unwrap();
+    assert_eq!(restored, original);
+    assert_eq!(restored.counter("rt.events"), Some(7));
+    assert_eq!(restored.gauge("rt.level"), Some(0.125));
+    let hist = restored.histogram("rt.lat").unwrap();
+    assert_eq!(hist.count, 100);
+    assert!(hist.p50.is_some());
+}
+
+#[test]
+fn manifest_json_round_trip() {
+    let mut original = RunManifest::new("repro", "0.1.0", 0xDEADBEEF, "quick");
+    original.push_crate("varstats", "0.1.0");
+    original.push_crate("telemetry", "0.1.0");
+    original.records = 4200;
+    original.machines = 40;
+    original.push_experiment("T2", 0.125, 2);
+    original.push_experiment("F9", 2.5, 1);
+    original.total_wall_secs = 3.0;
+
+    let json = original.to_json().unwrap();
+    for field in ["\"seed\"", "\"scale\"", "\"experiments\"", "\"wall_secs\""] {
+        assert!(json.contains(field), "manifest JSON missing {field}");
+    }
+    let restored = RunManifest::from_json(&json).unwrap();
+    assert_eq!(restored, original);
+    assert_eq!(restored.seed, 0xDEADBEEF);
+    assert_eq!(restored.experiments[1].wall_secs, 2.5);
+    assert_eq!(restored.artifact_count, 3);
+}

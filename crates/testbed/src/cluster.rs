@@ -37,12 +37,8 @@ impl Cluster {
     /// Provisions a cluster from a catalog, scaling each type's fleet
     /// count by `scale` (at least one machine per type), with a campaign
     /// `timeline` and a deterministic `seed`.
-    pub fn provision(
-        types: Vec<MachineType>,
-        scale: f64,
-        timeline: Timeline,
-        seed: u64,
-    ) -> Self {
+    pub fn provision(types: Vec<MachineType>, scale: f64, timeline: Timeline, seed: u64) -> Self {
+        let _span = telemetry::span("testbed.provision");
         let mut machines = Vec::new();
         let mut next_id = 0u32;
         for t in &types {
@@ -52,6 +48,7 @@ impl Cluster {
                 next_id += 1;
             }
         }
+        telemetry::metrics::counter("testbed.machines_provisioned").add(machines.len() as u64);
         Self {
             types,
             machines,
@@ -140,7 +137,8 @@ impl Cluster {
             day.to_bits(),
             run_nonce,
         ] {
-            h ^= k.wrapping_add(0x9E37_79B9_7F4A_7C15)
+            h ^= k
+                .wrapping_add(0x9E37_79B9_7F4A_7C15)
                 .wrapping_add(h << 6)
                 .wrapping_add(h >> 2);
         }
@@ -216,7 +214,9 @@ mod tests {
     #[test]
     fn unknown_machine_returns_none() {
         let c = small_cluster();
-        assert!(c.measure(MachineId(9999), Subsystem::DiskRandom, 0.0, 0).is_none());
+        assert!(c
+            .measure(MachineId(9999), Subsystem::DiskRandom, 0.0, 0)
+            .is_none());
         assert!(c.machine(MachineId(9999)).is_none());
     }
 
@@ -225,9 +225,7 @@ mod tests {
         let c = small_cluster();
         for m in c.machines().iter().take(20) {
             let t = c.type_of(m);
-            let v = c
-                .measure(m.id, Subsystem::MemoryBandwidth, 0.0, 0)
-                .unwrap();
+            let v = c.measure(m.id, Subsystem::MemoryBandwidth, 0.0, 0).unwrap();
             let rel = v / t.mem_bw_mbps;
             assert!((0.8..1.2).contains(&rel), "rel {rel}");
         }
@@ -296,8 +294,7 @@ mod tests {
         let id = c.machines()[0].id;
         let xs = c.measure_n(id, Subsystem::DiskRandom, 1.0, 50).unwrap();
         assert_eq!(xs.len(), 50);
-        let distinct: std::collections::HashSet<u64> =
-            xs.iter().map(|x| x.to_bits()).collect();
+        let distinct: std::collections::HashSet<u64> = xs.iter().map(|x| x.to_bits()).collect();
         assert!(distinct.len() > 40);
     }
 }

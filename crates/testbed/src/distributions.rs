@@ -128,10 +128,7 @@ impl Dist {
             }
             Dist::Mixture(components) => {
                 let total: f64 = components.iter().map(|(w, _)| *w).sum();
-                components
-                    .iter()
-                    .map(|(w, d)| w / total * d.mean())
-                    .sum()
+                components.iter().map(|(w, d)| w / total * d.mean()).sum()
             }
         }
     }
@@ -195,7 +192,10 @@ mod tests {
 
     #[test]
     fn lognormal_median_and_positivity() {
-        let d = Dist::LogNormal { mu: 0.0, sigma: 0.5 };
+        let d = Dist::LogNormal {
+            mu: 0.0,
+            sigma: 0.5,
+        };
         let mut xs = draw(&d, 20001, 4);
         assert!(xs.iter().all(|&x| x > 0.0));
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -233,10 +233,7 @@ mod tests {
 
     #[test]
     fn mixture_weights_respected() {
-        let d = Dist::Mixture(vec![
-            (0.9, Dist::Constant(0.0)),
-            (0.1, Dist::Constant(1.0)),
-        ]);
+        let d = Dist::Mixture(vec![(0.9, Dist::Constant(0.0)), (0.1, Dist::Constant(1.0))]);
         let xs = draw(&d, 20000, 7);
         let frac_ones = xs.iter().filter(|&&x| x == 1.0).count() as f64 / xs.len() as f64;
         assert!((frac_ones - 0.1).abs() < 0.01, "{frac_ones}");
@@ -246,8 +243,20 @@ mod tests {
     #[test]
     fn mixture_creates_bimodality() {
         let d = Dist::Mixture(vec![
-            (0.5, Dist::Normal { mean: 0.0, std: 0.5 }),
-            (0.5, Dist::Normal { mean: 10.0, std: 0.5 }),
+            (
+                0.5,
+                Dist::Normal {
+                    mean: 0.0,
+                    std: 0.5,
+                },
+            ),
+            (
+                0.5,
+                Dist::Normal {
+                    mean: 10.0,
+                    std: 0.5,
+                },
+            ),
         ]);
         let xs = draw(&d, 2000, 8);
         let near_zero = xs.iter().filter(|&&x| x.abs() < 2.0).count();
@@ -257,7 +266,10 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let d = Dist::LogNormal { mu: 1.0, sigma: 0.3 };
+        let d = Dist::LogNormal {
+            mu: 1.0,
+            sigma: 0.3,
+        };
         assert_eq!(draw(&d, 100, 9), draw(&d, 100, 9));
         assert_ne!(draw(&d, 100, 9), draw(&d, 100, 10));
     }

@@ -180,26 +180,176 @@ fn mt(
 /// total, mirroring the scale and diversity of the paper's campaign.
 pub fn catalog() -> Vec<MachineType> {
     vec![
-        mt("m400", "utah", "ARM Cortex-A57 (X-Gene)", 8, 2.4, 64, DiskKind::Ssd, 10, 180,
-            8_800.0, 110.0, 410.0, 240.0, 28.0, 9_400.0),
-        mt("m510", "utah", "Intel Xeon D-1548", 8, 2.0, 64, DiskKind::Nvme, 10, 120,
-            14_500.0, 92.0, 1_150.0, 620.0, 22.0, 9_400.0),
-        mt("xl170", "utah", "Intel E5-2640 v4", 10, 2.4, 64, DiskKind::Ssd, 25, 80,
-            17_200.0, 85.0, 480.0, 300.0, 14.0, 23_500.0),
-        mt("d430", "emulab", "Intel E5-2630 v3", 16, 2.4, 64, DiskKind::Hdd, 10, 80,
-            16_100.0, 88.0, 165.0, 1.8, 25.0, 9_400.0),
-        mt("d710", "emulab", "Intel Xeon E5530", 4, 2.4, 12, DiskKind::Hdd, 1, 80,
-            7_400.0, 105.0, 120.0, 1.2, 85.0, 940.0),
-        mt("c220g1", "wisconsin", "Intel E5-2630 v3", 16, 2.4, 128, DiskKind::Hdd, 10, 90,
-            16_300.0, 87.0, 170.0, 1.9, 24.0, 9_400.0),
-        mt("c220g2", "wisconsin", "Intel E5-2660 v3", 20, 2.6, 160, DiskKind::Hdd, 10, 100,
-            17_000.0, 84.0, 175.0, 2.0, 23.0, 9_400.0),
-        mt("c6220", "clemson", "Intel E5-2660 v2", 16, 2.2, 256, DiskKind::Hdd, 40, 60,
-            15_200.0, 95.0, 155.0, 1.7, 18.0, 37_000.0),
-        mt("c8220", "clemson", "Intel E5-2660 v2", 20, 2.2, 256, DiskKind::Hdd, 40, 70,
-            15_400.0, 94.0, 158.0, 1.7, 18.0, 37_000.0),
-        mt("r320", "emulab", "Intel E5-2450", 8, 2.1, 16, DiskKind::Hdd, 1, 33,
-            11_900.0, 98.0, 140.0, 1.5, 90.0, 940.0),
+        mt(
+            "m400",
+            "utah",
+            "ARM Cortex-A57 (X-Gene)",
+            8,
+            2.4,
+            64,
+            DiskKind::Ssd,
+            10,
+            180,
+            8_800.0,
+            110.0,
+            410.0,
+            240.0,
+            28.0,
+            9_400.0,
+        ),
+        mt(
+            "m510",
+            "utah",
+            "Intel Xeon D-1548",
+            8,
+            2.0,
+            64,
+            DiskKind::Nvme,
+            10,
+            120,
+            14_500.0,
+            92.0,
+            1_150.0,
+            620.0,
+            22.0,
+            9_400.0,
+        ),
+        mt(
+            "xl170",
+            "utah",
+            "Intel E5-2640 v4",
+            10,
+            2.4,
+            64,
+            DiskKind::Ssd,
+            25,
+            80,
+            17_200.0,
+            85.0,
+            480.0,
+            300.0,
+            14.0,
+            23_500.0,
+        ),
+        mt(
+            "d430",
+            "emulab",
+            "Intel E5-2630 v3",
+            16,
+            2.4,
+            64,
+            DiskKind::Hdd,
+            10,
+            80,
+            16_100.0,
+            88.0,
+            165.0,
+            1.8,
+            25.0,
+            9_400.0,
+        ),
+        mt(
+            "d710",
+            "emulab",
+            "Intel Xeon E5530",
+            4,
+            2.4,
+            12,
+            DiskKind::Hdd,
+            1,
+            80,
+            7_400.0,
+            105.0,
+            120.0,
+            1.2,
+            85.0,
+            940.0,
+        ),
+        mt(
+            "c220g1",
+            "wisconsin",
+            "Intel E5-2630 v3",
+            16,
+            2.4,
+            128,
+            DiskKind::Hdd,
+            10,
+            90,
+            16_300.0,
+            87.0,
+            170.0,
+            1.9,
+            24.0,
+            9_400.0,
+        ),
+        mt(
+            "c220g2",
+            "wisconsin",
+            "Intel E5-2660 v3",
+            20,
+            2.6,
+            160,
+            DiskKind::Hdd,
+            10,
+            100,
+            17_000.0,
+            84.0,
+            175.0,
+            2.0,
+            23.0,
+            9_400.0,
+        ),
+        mt(
+            "c6220",
+            "clemson",
+            "Intel E5-2660 v2",
+            16,
+            2.2,
+            256,
+            DiskKind::Hdd,
+            40,
+            60,
+            15_200.0,
+            95.0,
+            155.0,
+            1.7,
+            18.0,
+            37_000.0,
+        ),
+        mt(
+            "c8220",
+            "clemson",
+            "Intel E5-2660 v2",
+            20,
+            2.2,
+            256,
+            DiskKind::Hdd,
+            40,
+            70,
+            15_400.0,
+            94.0,
+            158.0,
+            1.7,
+            18.0,
+            37_000.0,
+        ),
+        mt(
+            "r320",
+            "emulab",
+            "Intel E5-2450",
+            8,
+            2.1,
+            16,
+            DiskKind::Hdd,
+            1,
+            33,
+            11_900.0,
+            98.0,
+            140.0,
+            1.5,
+            90.0,
+            940.0,
+        ),
     ]
 }
 
@@ -235,8 +385,7 @@ mod tests {
         assert!(cat.iter().any(|t| t.disk == DiskKind::Hdd));
         assert!(cat.iter().any(|t| t.disk == DiskKind::Ssd));
         assert!(cat.iter().any(|t| t.disk == DiskKind::Nvme));
-        let sites: std::collections::HashSet<&str> =
-            cat.iter().map(|t| t.site.as_str()).collect();
+        let sites: std::collections::HashSet<&str> = cat.iter().map(|t| t.site.as_str()).collect();
         assert!(sites.len() >= 3);
     }
 

@@ -69,9 +69,27 @@ pub fn default_variation(subsystem: Subsystem, disk: DiskKind) -> SubsystemVaria
             // configuration ~3.5% down; a few percent are ~8% down. This
             // produces the multimodal cross-machine histograms (F2).
             unit_lottery: Dist::Mixture(vec![
-                (0.77, Dist::Normal { mean: 1.0, std: 0.006 }),
-                (0.20, Dist::Normal { mean: 0.965, std: 0.006 }),
-                (0.03, Dist::Normal { mean: 0.92, std: 0.008 }),
+                (
+                    0.77,
+                    Dist::Normal {
+                        mean: 1.0,
+                        std: 0.006,
+                    },
+                ),
+                (
+                    0.20,
+                    Dist::Normal {
+                        mean: 0.965,
+                        std: 0.006,
+                    },
+                ),
+                (
+                    0.03,
+                    Dist::Normal {
+                        mean: 0.92,
+                        std: 0.008,
+                    },
+                ),
             ]),
             run_noise: Dist::rel_normal(0.004),
             outlier_prob: 0.002,
@@ -80,8 +98,20 @@ pub fn default_variation(subsystem: Subsystem, disk: DiskKind) -> SubsystemVaria
         },
         Subsystem::MemoryLatency => SubsystemVariation {
             unit_lottery: Dist::Mixture(vec![
-                (0.8, Dist::Normal { mean: 1.0, std: 0.008 }),
-                (0.2, Dist::Normal { mean: 1.04, std: 0.008 }),
+                (
+                    0.8,
+                    Dist::Normal {
+                        mean: 1.0,
+                        std: 0.008,
+                    },
+                ),
+                (
+                    0.2,
+                    Dist::Normal {
+                        mean: 1.04,
+                        std: 0.008,
+                    },
+                ),
             ]),
             run_noise: Dist::rel_lognormal(0.006),
             outlier_prob: 0.004,
@@ -90,14 +120,20 @@ pub fn default_variation(subsystem: Subsystem, disk: DiskKind) -> SubsystemVaria
         },
         Subsystem::DiskSequential => match disk {
             DiskKind::Hdd => SubsystemVariation {
-                unit_lottery: Dist::Normal { mean: 1.0, std: 0.035 },
+                unit_lottery: Dist::Normal {
+                    mean: 1.0,
+                    std: 0.035,
+                },
                 run_noise: Dist::rel_lognormal(0.045),
                 outlier_prob: 0.02,
                 outlier_factor: Dist::Uniform { lo: 0.55, hi: 0.85 },
                 drift_per_day: -4e-5,
             },
             DiskKind::Ssd | DiskKind::Nvme => SubsystemVariation {
-                unit_lottery: Dist::Normal { mean: 1.0, std: 0.015 },
+                unit_lottery: Dist::Normal {
+                    mean: 1.0,
+                    std: 0.015,
+                },
                 run_noise: Dist::rel_lognormal(0.012),
                 outlier_prob: 0.01,
                 outlier_factor: Dist::Uniform { lo: 0.7, hi: 0.9 },
@@ -106,14 +142,20 @@ pub fn default_variation(subsystem: Subsystem, disk: DiskKind) -> SubsystemVaria
         },
         Subsystem::DiskRandom => match disk {
             DiskKind::Hdd => SubsystemVariation {
-                unit_lottery: Dist::Normal { mean: 1.0, std: 0.05 },
+                unit_lottery: Dist::Normal {
+                    mean: 1.0,
+                    std: 0.05,
+                },
                 run_noise: Dist::rel_lognormal(0.09),
                 outlier_prob: 0.03,
                 outlier_factor: Dist::Uniform { lo: 0.4, hi: 0.8 },
                 drift_per_day: -6e-5,
             },
             DiskKind::Ssd | DiskKind::Nvme => SubsystemVariation {
-                unit_lottery: Dist::Normal { mean: 1.0, std: 0.02 },
+                unit_lottery: Dist::Normal {
+                    mean: 1.0,
+                    std: 0.02,
+                },
                 run_noise: Dist::rel_lognormal(0.025),
                 outlier_prob: 0.02,
                 outlier_factor: Dist::Uniform { lo: 0.5, hi: 0.85 },
@@ -121,15 +163,24 @@ pub fn default_variation(subsystem: Subsystem, disk: DiskKind) -> SubsystemVaria
             },
         },
         Subsystem::NetworkLatency => SubsystemVariation {
-            unit_lottery: Dist::Normal { mean: 1.0, std: 0.01 },
+            unit_lottery: Dist::Normal {
+                mean: 1.0,
+                std: 0.01,
+            },
             // Right-skewed base noise plus a Pareto queueing tail.
             run_noise: Dist::rel_lognormal(0.03),
             outlier_prob: 0.03,
-            outlier_factor: Dist::Pareto { scale: 1.2, shape: 2.5 },
+            outlier_factor: Dist::Pareto {
+                scale: 1.2,
+                shape: 2.5,
+            },
             drift_per_day: 0.0,
         },
         Subsystem::NetworkBandwidth => SubsystemVariation {
-            unit_lottery: Dist::Normal { mean: 1.0, std: 0.002 },
+            unit_lottery: Dist::Normal {
+                mean: 1.0,
+                std: 0.002,
+            },
             run_noise: Dist::rel_normal(0.003),
             outlier_prob: 0.001,
             outlier_factor: Dist::Uniform { lo: 0.93, hi: 0.98 },
@@ -189,7 +240,9 @@ mod tests {
     fn memory_lottery_is_multimodal() {
         let v = default_variation(Subsystem::MemoryBandwidth, DiskKind::Hdd);
         let mut rng = StdRng::seed_from_u64(8);
-        let lots: Vec<f64> = (0..5_000).map(|_| v.unit_lottery.sample(&mut rng)).collect();
+        let lots: Vec<f64> = (0..5_000)
+            .map(|_| v.unit_lottery.sample(&mut rng))
+            .collect();
         let near_nominal = lots.iter().filter(|&&x| x > 0.985).count() as f64;
         let degraded = lots.iter().filter(|&&x| x <= 0.985).count() as f64;
         let frac_degraded = degraded / (near_nominal + degraded);
@@ -204,8 +257,10 @@ mod tests {
         let v = default_variation(Subsystem::DiskSequential, DiskKind::Hdd);
         let mut rng = StdRng::seed_from_u64(9);
         let day0: f64 = (0..5000).map(|_| v.run_factor(0.0, &mut rng)).sum::<f64>() / 5000.0;
-        let day300: f64 =
-            (0..5000).map(|_| v.run_factor(300.0, &mut rng)).sum::<f64>() / 5000.0;
+        let day300: f64 = (0..5000)
+            .map(|_| v.run_factor(300.0, &mut rng))
+            .sum::<f64>()
+            / 5000.0;
         assert!(day300 < day0, "aging should reduce throughput factors");
     }
 

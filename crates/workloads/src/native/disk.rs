@@ -125,10 +125,7 @@ impl Workload for DiskBench {
     fn run_once(&mut self) -> Result<f64> {
         let block = self.mode.block_size();
         let mut buf = vec![0u8; block];
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .open(&self.path)?;
+        let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
         let blocks_per_run = (self.io_bytes / block as u64).max(1);
         let start = Instant::now();
         match self.mode {

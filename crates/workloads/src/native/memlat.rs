@@ -116,8 +116,12 @@ mod tests {
         // ones. Allow generous slack: CI machines are noisy.
         let mut small = MemLatencyBench::new(1 << 9, 1 << 15, 2).unwrap();
         let mut large = MemLatencyBench::new(1 << 20, 1 << 15, 2).unwrap();
-        let s: f64 = (0..3).map(|_| small.run_once().unwrap()).fold(f64::INFINITY, f64::min);
-        let l: f64 = (0..3).map(|_| large.run_once().unwrap()).fold(f64::INFINITY, f64::min);
+        let s: f64 = (0..3)
+            .map(|_| small.run_once().unwrap())
+            .fold(f64::INFINITY, f64::min);
+        let l: f64 = (0..3)
+            .map(|_| large.run_once().unwrap())
+            .fold(f64::INFINITY, f64::min);
         assert!(l > s * 0.8, "large {l} vs small {s}");
     }
 

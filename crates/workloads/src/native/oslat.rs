@@ -43,9 +43,7 @@ impl SyscallLatencyProbe {
                 "need at least 100 calls per run, got {calls_per_run}"
             )));
         }
-        let sink = std::fs::OpenOptions::new()
-            .write(true)
-            .open("/dev/null")?;
+        let sink = std::fs::OpenOptions::new().write(true).open("/dev/null")?;
         Ok(Self {
             sink,
             calls_per_run,

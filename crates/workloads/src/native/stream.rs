@@ -169,12 +169,16 @@ mod tests {
 
     #[test]
     fn kernels_compute_correct_results() {
-        let mut b = StreamBench::new(StreamKernel::Add, 128).unwrap().with_iterations(1);
+        let mut b = StreamBench::new(StreamKernel::Add, 128)
+            .unwrap()
+            .with_iterations(1);
         b.run_once().unwrap();
         // c = a + b with a[i] = 0.5 i, b[i] = 2.0.
         assert_eq!(b.c[10], 10.0 * 0.5 + 2.0);
 
-        let mut b = StreamBench::new(StreamKernel::Copy, 128).unwrap().with_iterations(1);
+        let mut b = StreamBench::new(StreamKernel::Copy, 128)
+            .unwrap()
+            .with_iterations(1);
         b.run_once().unwrap();
         assert_eq!(b.c[17], 17.0 * 0.5);
     }

@@ -88,12 +88,22 @@ impl Harness {
                 "runs must be at least 1".to_string(),
             ));
         }
+        let _span = telemetry::span("workload.collect");
+        let discarded = telemetry::metrics::counter("workload.discarded");
         for _ in 0..self.warmup {
             workload.run_once()?;
+            discarded.inc();
         }
+        let trials = telemetry::metrics::counter("workload.trials");
+        let trial_secs = telemetry::metrics::histogram("workload.trial_secs");
         let mut out = Vec::with_capacity(self.runs);
         for _ in 0..self.runs {
+            let started = telemetry::enabled().then(std::time::Instant::now);
             out.push(workload.run_once()?);
+            if let Some(t) = started {
+                trial_secs.record(t.elapsed().as_secs_f64());
+            }
+            trials.inc();
         }
         Ok(out)
     }

@@ -220,8 +220,7 @@ mod tests {
         let c = Cluster::provision(catalog(), 0.05, Timeline::cloudlab_default(), 4);
         let node = c.machines()[0].id;
         let mut b = SimBenchmark::new(&c, node, BenchmarkId::MemLatency, 90.0);
-        let before: f64 =
-            (0..200).map(|_| b.run_once().unwrap()).sum::<f64>() / 200.0;
+        let before: f64 = (0..200).map(|_| b.run_once().unwrap()).sum::<f64>() / 200.0;
         b.set_day(100.0);
         assert_eq!(b.day(), 100.0);
         let after: f64 = (0..200).map(|_| b.run_once().unwrap()).sum::<f64>() / 200.0;

@@ -167,7 +167,9 @@ impl BenchmarkId {
     /// Workload parameters (for the T2 table).
     pub fn params(&self) -> &'static str {
         match self {
-            BenchmarkId::MemCopy | BenchmarkId::MemScale | BenchmarkId::MemAdd
+            BenchmarkId::MemCopy
+            | BenchmarkId::MemScale
+            | BenchmarkId::MemAdd
             | BenchmarkId::MemTriad => "3 x 32 MiB f64 arrays, 10 iterations",
             BenchmarkId::MemLatency => "64 MiB pointer chain, 2^22 dependent loads",
             BenchmarkId::DiskSeqRead | BenchmarkId::DiskSeqWrite => "1 GiB file, 1 MiB blocks",
@@ -235,8 +237,7 @@ mod tests {
     fn copy_streams_faster_than_triad() {
         assert!(BenchmarkId::MemCopy.baseline_scale() > BenchmarkId::MemTriad.baseline_scale());
         assert!(
-            BenchmarkId::DiskSeqWrite.baseline_scale()
-                < BenchmarkId::DiskSeqRead.baseline_scale()
+            BenchmarkId::DiskSeqWrite.baseline_scale() < BenchmarkId::DiskSeqRead.baseline_scale()
         );
     }
 

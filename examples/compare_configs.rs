@@ -15,7 +15,12 @@ use taming_variability::stats::comparison::{compare_medians, Verdict};
 use taming_variability::testbed::{catalog, Cluster, Timeline};
 use taming_variability::workloads::{sample, BenchmarkId};
 
-fn runs(cluster: &Cluster, m: taming_variability::testbed::MachineId, n: usize, base: u64) -> Vec<f64> {
+fn runs(
+    cluster: &Cluster,
+    m: taming_variability::testbed::MachineId,
+    n: usize,
+    base: u64,
+) -> Vec<f64> {
     (0..n as u64)
         .map(|i| sample(cluster, m, BenchmarkId::MemTriad, 0.0, base + i).unwrap())
         .collect()
@@ -49,7 +54,10 @@ fn main() {
     )
     .unwrap();
     let n = plan.repetitions().unwrap_or(100).max(30);
-    println!("CONFIRM: +/-0.5% on the median needs {} repetitions", plan.requirement.display());
+    println!(
+        "CONFIRM: +/-0.5% on the median needs {} repetitions",
+        plan.requirement.display()
+    );
 
     // 2. Collect that many runs on both machines and compare medians with
     //    non-parametric CIs.

@@ -60,8 +60,9 @@ fn main() {
 
     // 3. Cross-check: CI separation for the pilot's relative difference.
     let med = |v: &[f64]| taming_variability::stats::quantile::median(v).unwrap();
-    let rel_diff =
-        ((med(&pilot_b) - med(&pilot_a)) / med(&pilot_a)).abs().clamp(0.005, 0.5);
+    let rel_diff = ((med(&pilot_b) - med(&pilot_a)) / med(&pilot_a))
+        .abs()
+        .clamp(0.005, 0.5);
     let ci_plan = ci_separation_plan(&pilot_a, rel_diff, &ConfirmConfig::default()).unwrap();
     println!(
         "CI-separation cross-check (for a {:.1}% gap): {} runs",

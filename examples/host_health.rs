@@ -33,7 +33,10 @@ fn main() {
     let overshoots = probe.collect(60).expect("sleep works");
     let s = Summary::from_slice(&overshoots).expect("non-empty");
     println!("sleep(200 us) overshoot:");
-    println!("  median {:8.1} us   p99 {:8.1} us   max {:8.1} us", s.median, s.p99, s.max);
+    println!(
+        "  median {:8.1} us   p99 {:8.1} us   max {:8.1} us",
+        s.median, s.p99, s.max
+    );
     let timer_ok = s.median < 500.0;
     println!(
         "  timer fidelity: {} (microsecond-scale measurements {} trustworthy here)\n",
@@ -44,12 +47,14 @@ fn main() {
     // 2. OS floors: syscall and context-switch costs bound every
     //    blocking harness on this host.
     let mut syscall = SyscallLatencyProbe::new(5000).expect("/dev/null opens");
-    let sys_ns: Vec<f64> = (0..15).map(|_| syscall.run_once().expect("writes")).collect();
+    let sys_ns: Vec<f64> = (0..15)
+        .map(|_| syscall.run_once().expect("writes"))
+        .collect();
     let mut ctx = ContextSwitchProbe::new(500).expect("valid");
-    let ctx_us: Vec<f64> = (0..10).map(|_| ctx.run_once().expect("threads run")).collect();
-    let med = |v: &[f64]| {
-        taming_variability::stats::quantile::median(v).expect("non-empty")
-    };
+    let ctx_us: Vec<f64> = (0..10)
+        .map(|_| ctx.run_once().expect("threads run"))
+        .collect();
+    let med = |v: &[f64]| taming_variability::stats::quantile::median(v).expect("non-empty");
     println!(
         "OS floors: syscall {:.0} ns, thread round trip {:.1} us\n",
         med(&sys_ns),
@@ -63,7 +68,9 @@ fn main() {
     for _ in 0..3 {
         let _ = bench.run_once().expect("triad runs");
     }
-    let runs: Vec<f64> = (0..60).map(|_| bench.run_once().expect("triad runs")).collect();
+    let runs: Vec<f64> = (0..60)
+        .map(|_| bench.run_once().expect("triad runs"))
+        .collect();
     let rs = Summary::from_slice(&runs).expect("non-empty");
     println!("STREAM triad (60 runs after warmup):");
     println!(

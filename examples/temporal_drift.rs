@@ -25,7 +25,14 @@ fn main() {
     // One measurement per day for the whole campaign.
     let series: Vec<f64> = (0..cluster.timeline().duration_days as usize)
         .map(|d| {
-            sample(&cluster, machine, BenchmarkId::MemLatency, d as f64, d as u64).unwrap()
+            sample(
+                &cluster,
+                machine,
+                BenchmarkId::MemLatency,
+                d as f64,
+                d as u64,
+            )
+            .unwrap()
         })
         .collect();
 

@@ -20,6 +20,10 @@
 //!   campaign generator.
 //! * [`analysis`] — the pipelines regenerating every table and figure of
 //!   the paper's evaluation (see `cargo run -p analysis --bin repro`).
+//! * [`telemetry`] — the pipeline's self-measurement: RAII span traces,
+//!   counters/gauges/log-bucketed histograms, dogfooded latency
+//!   summaries (median + non-parametric CI via `varstats`), and run
+//!   manifests. Off by default; near-zero cost while disabled.
 //!
 //! ## Sixty seconds to a defensible result
 //!
@@ -53,6 +57,7 @@
 pub use analysis;
 pub use confirm;
 pub use dataset;
+pub use telemetry;
 pub use testbed;
 pub use workloads;
 
@@ -76,6 +81,7 @@ pub mod prelude {
         SequentialPlanner, Statistic,
     };
     pub use dataset::{run_campaign, CampaignConfig, Store};
+    pub use telemetry::{latency_summary, span, RunManifest};
     pub use testbed::{catalog, Cluster, MachineId, Subsystem, Timeline};
     pub use varstats::ci::nonparametric::{median_ci_approx, median_ci_exact};
     pub use varstats::comparison::{compare_medians, speedup_ci, Verdict};

@@ -11,7 +11,10 @@ use taming_variability::stats::quantile::median;
 use taming_variability::testbed::{catalog, Cluster, Timeline};
 use taming_variability::workloads::{sample, BenchmarkId};
 
-fn reference_median(cluster: &Cluster, bench: BenchmarkId) -> (taming_variability::testbed::MachineId, f64) {
+fn reference_median(
+    cluster: &Cluster,
+    bench: BenchmarkId,
+) -> (taming_variability::testbed::MachineId, f64) {
     let machine = cluster
         .machines()
         .iter()
@@ -32,9 +35,7 @@ where
     let mut hits = 0usize;
     for t in 0..trials {
         let runs: Vec<f64> = (0..n as u64)
-            .map(|i| {
-                sample(cluster, machine, bench, 0.0, (t * n) as u64 + i).unwrap()
-            })
+            .map(|i| sample(cluster, machine, bench, 0.0, (t * n) as u64 + i).unwrap())
             .collect();
         let (lo, hi) = ci(&runs);
         if truth >= lo && truth <= hi {

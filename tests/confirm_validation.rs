@@ -6,8 +6,8 @@
 //! agreement with the parametric formula where its assumptions hold.
 
 use taming_variability::confirm::{
-    estimate, parametric_plan, ConfirmConfig, Growth, PlanStatus, Requirement,
-    SequentialPlanner, Statistic,
+    estimate, parametric_plan, ConfirmConfig, Growth, PlanStatus, Requirement, SequentialPlanner,
+    Statistic,
 };
 use taming_variability::stats::ci::nonparametric::median_ci_approx;
 use taming_variability::testbed::{catalog, Cluster, Timeline};
@@ -39,9 +39,7 @@ fn recommended_repetitions_actually_deliver_the_target() {
     let trials = 40;
     for t in 0..trials {
         let fresh: Vec<f64> = (0..n as u64)
-            .map(|i| {
-                sample(&cluster, machine, bench, 0.0, 10_000 + t * n as u64 + i).unwrap()
-            })
+            .map(|i| sample(&cluster, machine, bench, 0.0, 10_000 + t * n as u64 + i).unwrap())
             .collect();
         let ci = median_ci_approx(&fresh, 0.95).unwrap();
         if ci.ci.relative_half_width() <= 0.005 * 1.5 {
@@ -66,10 +64,7 @@ fn confirm_and_jain_roughly_agree_on_normal_data() {
         .map(|n| sample(&cluster, machine, BenchmarkId::MemTriad, 0.0, n).unwrap())
         .collect();
     let config = ConfirmConfig::default().with_target_rel_error(0.002);
-    let confirm_n = estimate(&pool, &config)
-        .unwrap()
-        .requirement
-        .as_ordinal() as f64;
+    let confirm_n = estimate(&pool, &config).unwrap().requirement.as_ordinal() as f64;
     let jain_n = parametric_plan(&pool, &config).unwrap().repetitions as f64;
     let ratio = confirm_n.max(jain_n) / confirm_n.min(jain_n).max(1.0);
     assert!(

@@ -29,10 +29,8 @@ fn memory_latency_feeds_the_planner() {
     let mut bench = MemLatencyBench::new(1 << 10, 1 << 12, 3).unwrap();
     // A loose 20% target so the test terminates fast even on noisy CI
     // machines.
-    let mut planner = SequentialPlanner::new(
-        ConfirmConfig::default().with_target_rel_error(0.2),
-        200,
-    );
+    let mut planner =
+        SequentialPlanner::new(ConfirmConfig::default().with_target_rel_error(0.2), 200);
     let mut stopped = false;
     for _ in 0..200 {
         let ns = bench.run_once().unwrap();
