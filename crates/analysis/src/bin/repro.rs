@@ -28,19 +28,23 @@ usage: repro <list|all|ID...> [options]
 options:
   --scale quick|paper   campaign scale (default quick)
   --seed N              master seed (default 42)
+  --jobs N              campaign collection workers (default: one per
+                        core; the dataset is byte-identical for any N)
   --out DIR             write artifacts into DIR (CSV, or JSON with --json)
   --json                write artifacts as JSON instead of CSV
   --trace               collect span traces: prints a span latency table
                         (median + 95% CI + CoV) and writes trace.json
                         into --out
-  --metrics             collect counters/gauges/histograms and write
-                        metrics.json into --out
+  --metrics             collect counters/gauges/histograms: prints a
+                        metrics summary table and writes metrics.json
+                        into --out
   --help, -h            print this help";
 
 struct Args {
     ids: Vec<String>,
     scale: Scale,
     seed: u64,
+    jobs: Option<usize>,
     out: Option<PathBuf>,
     json: bool,
     list: bool,
@@ -58,6 +62,7 @@ fn parse_args() -> Result<Parsed, String> {
         ids: Vec::new(),
         scale: Scale::Quick,
         seed: 42,
+        jobs: None,
         out: None,
         json: false,
         list: false,
@@ -76,6 +81,14 @@ fn parse_args() -> Result<Parsed, String> {
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
                 args.seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+            }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad job count `{v}`"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+                args.jobs = Some(n);
             }
             "--out" => {
                 let v = it.next().ok_or("--out needs a value")?;
@@ -130,6 +143,46 @@ fn timing_table(manifest: &telemetry::RunManifest) -> Table {
         format!("{:.3}", manifest.total_wall_secs),
         manifest.artifact_count.to_string(),
     ]);
+    table
+}
+
+fn metrics_table(snapshot: &telemetry::metrics::MetricsSnapshot) -> Table {
+    let mut table = Table::new(
+        "metrics",
+        "metrics summary (counters, gauges, histograms)",
+        &["metric", "kind", "count", "value / p50", "p95", "max"],
+    );
+    let opt = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |x| format!("{x:.6}"));
+    for c in &snapshot.counters {
+        table.push_row(vec![
+            c.name.clone(),
+            "counter".to_string(),
+            "-".to_string(),
+            c.value.to_string(),
+            "-".to_string(),
+            "-".to_string(),
+        ]);
+    }
+    for g in &snapshot.gauges {
+        table.push_row(vec![
+            g.name.clone(),
+            "gauge".to_string(),
+            "-".to_string(),
+            format!("{}", g.value),
+            "-".to_string(),
+            "-".to_string(),
+        ]);
+    }
+    for h in &snapshot.histograms {
+        table.push_row(vec![
+            h.name.clone(),
+            "histogram".to_string(),
+            h.count.to_string(),
+            opt(h.p50),
+            opt(h.p95),
+            opt(h.max),
+        ]);
+    }
     table
 }
 
@@ -227,7 +280,7 @@ fn main() -> ExitCode {
         "building campaign context (scale {:?}, seed {}) ...",
         args.scale, args.seed
     );
-    let ctx = Context::new(args.scale, args.seed);
+    let ctx = Context::with_jobs(args.scale, args.seed, args.jobs);
     manifest.records = ctx.store.len() as u64;
     manifest.machines = ctx.cluster.machines().len() as u64;
     eprintln!(
@@ -295,6 +348,7 @@ fn main() -> ExitCode {
     }
     if args.metrics {
         let snapshot = telemetry::metrics::snapshot();
+        println!("{}", metrics_table(&snapshot).render());
         if let Some(dir) = &args.out {
             let payload =
                 serde_json::to_string_pretty(&snapshot).expect("snapshots always serialize");

@@ -6,7 +6,7 @@
 //! `Scale::Paper` provisions the full fleet and a dense session schedule.
 
 use confirm::ConfirmConfig;
-use dataset::{run_campaign, CampaignConfig, Store};
+use dataset::{CampaignConfig, Store};
 use testbed::Cluster;
 
 /// How big the campaign backing the experiments is.
@@ -75,11 +75,20 @@ pub struct Context {
 }
 
 impl Context {
-    /// Runs the campaign and assembles the context.
+    /// Runs the campaign and assembles the context. Collection is sharded
+    /// across one worker per core; the dataset is byte-identical to a
+    /// single-threaded run (see [`dataset::collect_jobs`]).
     pub fn new(scale: Scale, seed: u64) -> Self {
+        Self::with_jobs(scale, seed, None)
+    }
+
+    /// Like [`Context::new`] with an explicit campaign worker count
+    /// (`None` = one per core). The worker count never changes the data,
+    /// only the wall-clock time to collect it.
+    pub fn with_jobs(scale: Scale, seed: u64, jobs: Option<usize>) -> Self {
         let _span = telemetry::span("context.build");
         let campaign = scale.campaign(seed);
-        let (cluster, store) = run_campaign(&campaign);
+        let (cluster, store) = dataset::run_campaign_jobs(&campaign, jobs);
         Self {
             scale,
             seed,
@@ -101,6 +110,13 @@ mod tests {
         assert!(!ctx.store.is_empty());
         assert_eq!(ctx.scale, Scale::Quick);
         assert!(ctx.cluster.machines().len() >= 10);
+    }
+
+    #[test]
+    fn jobs_never_change_the_context_dataset() {
+        let a = Context::with_jobs(Scale::Quick, 9, Some(1));
+        let b = Context::with_jobs(Scale::Quick, 9, Some(4));
+        assert_eq!(a.store, b.store);
     }
 
     #[test]

@@ -78,6 +78,127 @@ fn t2_runs_and_writes_csv_and_json() {
 }
 
 #[test]
+fn metrics_flag_prints_a_summary_table_and_still_writes_json() {
+    let dir = std::env::temp_dir().join(format!("repro-cli-metrics-{}", std::process::id()));
+    let out = repro()
+        .args([
+            "F3",
+            "--seed",
+            "7",
+            "--jobs",
+            "2",
+            "--metrics",
+            "--out",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // The rendered summary table is on stdout, next to the timing table.
+    assert!(
+        stdout.contains("metrics summary"),
+        "metrics table header missing:\n{stdout}"
+    );
+    for metric in [
+        "campaign.workers",
+        "campaign.records",
+        "campaign.machine_secs",
+    ] {
+        assert!(stdout.contains(metric), "metrics table missing {metric}");
+    }
+    // --jobs 2 is visible in the gauge the campaign sets.
+    let workers_row = stdout
+        .lines()
+        .find(|l| l.contains("campaign.workers"))
+        .expect("workers gauge row");
+    assert!(workers_row.contains('2'), "bad workers row: {workers_row}");
+    // The per-worker shard histograms surface too.
+    assert!(stdout.contains("campaign.machine_secs.w0"));
+    assert!(stdout.contains("campaign.machine_secs.w1"));
+    // The table is additive: metrics.json still lands in --out.
+    let json = std::fs::read_to_string(dir.join("metrics.json")).unwrap();
+    assert!(!json.is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn jobs_flag_rejects_zero_and_garbage() {
+    let out = repro()
+        .args(["F1", "--jobs", "0"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("--jobs must be at least 1"), "{stderr}");
+
+    let out = repro()
+        .args(["F1", "--jobs", "many"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("bad job count"), "{stderr}");
+
+    let out = repro()
+        .args(["F1", "--jobs"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn worker_count_never_changes_artifacts_or_stdout() {
+    let run = |jobs: &str| {
+        let dir = std::env::temp_dir().join(format!("repro-cli-jobs{jobs}-{}", std::process::id()));
+        let out = repro()
+            .args([
+                "F3",
+                "--seed",
+                "11",
+                "--jobs",
+                jobs,
+                "--out",
+                dir.to_str().unwrap(),
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let csv = std::fs::read(dir.join("F3.csv")).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        (String::from_utf8(out.stdout).unwrap(), csv)
+    };
+    let (stdout_seq, csv_seq) = run("1");
+    let (stdout_par, csv_par) = run("4");
+    assert_eq!(
+        stdout_seq, stdout_par,
+        "--jobs 4 must render byte-identical tables to --jobs 1"
+    );
+    assert_eq!(
+        csv_seq, csv_par,
+        "--jobs 4 must write byte-identical artifacts to --jobs 1"
+    );
+}
+
+#[test]
+fn help_documents_the_jobs_and_metrics_flags() {
+    let out = repro().arg("--help").output().expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("--jobs N"));
+    assert!(stdout.contains("--metrics"));
+    assert!(stdout.contains("metrics summary table"));
+}
+
+#[test]
 fn seed_changes_measured_artifacts_but_not_structure() {
     let run = |seed: &str| {
         let out = repro()

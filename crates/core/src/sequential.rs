@@ -72,6 +72,7 @@ pub struct SequentialPlanner {
     config: ConfirmConfig,
     cap: usize,
     data: Vec<f64>,
+    stopped: bool,
 }
 
 impl SequentialPlanner {
@@ -81,7 +82,16 @@ impl SequentialPlanner {
             config,
             cap,
             data: Vec::new(),
+            stopped: false,
         }
+    }
+
+    /// Whether this planner has ever reported [`PlanStatus::Satisfied`]
+    /// from [`SequentialPlanner::push`]. Latches on the first stop: the
+    /// status can be satisfied again and again as data keeps arriving,
+    /// but the experiment stopped only once.
+    pub fn stopped(&self) -> bool {
+        self.stopped
     }
 
     /// Measurements collected so far.
@@ -116,8 +126,17 @@ impl SequentialPlanner {
         telemetry::metrics::counter("confirm.seq.pushed").inc();
         let status = self.status()?;
         if let PlanStatus::Satisfied { repetitions, .. } = &status {
+            // Per-evaluation: counts every satisfied re-evaluation as data
+            // keeps arriving.
             telemetry::metrics::counter("confirm.seq.satisfied").inc();
-            telemetry::metrics::histogram("confirm.seq.stop_n").record(*repetitions as f64);
+            if !self.stopped {
+                // Latching: each planner stops at most once, at its first
+                // satisfied evaluation — `confirm.seq.stopped` counts
+                // planners, `confirm.seq.stop_n` their stopping points.
+                self.stopped = true;
+                telemetry::metrics::counter("confirm.seq.stopped").inc();
+                telemetry::metrics::histogram("confirm.seq.stop_n").record(*repetitions as f64);
+            }
         }
         Ok(status)
     }
@@ -241,6 +260,31 @@ mod tests {
             matches!(last, Some(PlanStatus::CapReached { cap: 40, .. })),
             "{last:?}"
         );
+    }
+
+    #[test]
+    fn stopped_latches_on_first_satisfaction_and_stays() {
+        let mut p =
+            SequentialPlanner::new(ConfirmConfig::default().with_target_rel_error(0.05), 1000);
+        assert!(!p.stopped());
+        let mut u = splitmix(9);
+        let mut first_stop = None;
+        for i in 0..200 {
+            let satisfied = matches!(
+                p.push(100.0 + 0.1 * (u() - 0.5)).unwrap(),
+                PlanStatus::Satisfied { .. }
+            );
+            if satisfied && first_stop.is_none() {
+                first_stop = Some(i);
+            }
+            // stopped() is exactly "some push has been satisfied".
+            assert_eq!(p.stopped(), first_stop.is_some());
+        }
+        let first = first_stop.expect("tight stream satisfies");
+        // The rule stayed satisfied after the latch, so the planner kept
+        // reporting Satisfied — but stopped() never un-latched.
+        assert!(first < 199);
+        assert!(p.stopped());
     }
 
     #[test]

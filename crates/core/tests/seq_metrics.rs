@@ -1,0 +1,90 @@
+//! Metric-level contract of the sequential planner: the per-evaluation
+//! `confirm.seq.satisfied` counter keeps counting as data arrives, while
+//! the latching `confirm.seq.stopped` counter (and the `confirm.seq.stop_n`
+//! histogram) fire **once per planner** — never more.
+//!
+//! Lives in its own integration-test binary so the global telemetry
+//! switch it toggles cannot race with other test processes.
+
+use std::sync::Mutex;
+
+use confirm::{ConfirmConfig, PlanStatus, SequentialPlanner};
+
+/// Serializes the tests in this binary: they toggle the global telemetry
+/// switch and reset the global metrics registry.
+static GLOBALS: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GLOBALS.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Drives one planner on a tight stream for `pushes` measurements,
+/// returning how many of them reported `Satisfied`.
+fn run_planner(seed: u64, pushes: usize) -> usize {
+    let mut planner =
+        SequentialPlanner::new(ConfirmConfig::default().with_target_rel_error(0.05), 10_000);
+    let mut state = seed;
+    let mut satisfied = 0;
+    for _ in 0..pushes {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let noise = ((state >> 11) as f64) / ((1u64 << 53) as f64);
+        if matches!(
+            planner.push(100.0 + 0.1 * (noise - 0.5)).unwrap(),
+            PlanStatus::Satisfied { .. }
+        ) {
+            satisfied += 1;
+        }
+    }
+    assert!(planner.stopped(), "tight stream must satisfy the target");
+    satisfied
+}
+
+#[test]
+fn stopped_fires_once_per_planner_while_satisfied_counts_evaluations() {
+    let _guard = lock();
+    telemetry::metrics::reset();
+    telemetry::set_enabled(true);
+    let satisfied_pushes = run_planner(1, 100);
+    telemetry::set_enabled(false);
+
+    let snapshot = telemetry::metrics::snapshot();
+    assert!(
+        satisfied_pushes > 1,
+        "stream must stay satisfied after the first stop for the \
+         latching distinction to be exercised (got {satisfied_pushes})"
+    );
+    assert_eq!(
+        snapshot.counter("confirm.seq.stopped"),
+        Some(1),
+        "a single planner stops exactly once"
+    );
+    assert_eq!(
+        snapshot.counter("confirm.seq.satisfied"),
+        Some(satisfied_pushes as u64)
+    );
+    assert_eq!(snapshot.counter("confirm.seq.pushed"), Some(100));
+    // The stop-point histogram records one entry per planner, not one
+    // per satisfied evaluation.
+    assert_eq!(
+        snapshot.histogram("confirm.seq.stop_n").map(|h| h.count),
+        Some(1)
+    );
+}
+
+#[test]
+fn stopped_counts_planners() {
+    let _guard = lock();
+    telemetry::metrics::reset();
+    telemetry::set_enabled(true);
+    for seed in 1..=3 {
+        run_planner(seed, 80);
+    }
+    telemetry::set_enabled(false);
+
+    let snapshot = telemetry::metrics::snapshot();
+    assert_eq!(snapshot.counter("confirm.seq.stopped"), Some(3));
+    assert_eq!(
+        snapshot.histogram("confirm.seq.stop_n").map(|h| h.count),
+        Some(3)
+    );
+}

@@ -2,21 +2,23 @@
 //! and export it as CSV (plus a terminal overview).
 //!
 //! ```text
-//! campaign [--scale quick|paper] [--seed N] [--out FILE.csv]
+//! campaign [--scale quick|paper] [--seed N] [--jobs N] [--out FILE.csv]
 //! ```
 
 use std::process::ExitCode;
 
-use dataset::{overview, run_campaign, write_csv, CampaignConfig};
+use dataset::{overview, run_campaign_jobs, write_csv, CampaignConfig};
 
 struct Args {
     config: CampaignConfig,
+    jobs: Option<usize>,
     out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut seed = 42u64;
     let mut scale = "quick".to_string();
+    let mut jobs = None;
     let mut out = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -29,10 +31,19 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "bad seed")?;
             }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                let n: usize = v.parse().map_err(|_| "bad job count")?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+                jobs = Some(n);
+            }
             "--out" => out = Some(it.next().ok_or("--out needs a value")?),
             "--help" | "-h" => {
                 return Err(
-                    "usage: campaign [--scale quick|paper] [--seed N] [--out FILE.csv]".to_string(),
+                    "usage: campaign [--scale quick|paper] [--seed N] [--jobs N] [--out FILE.csv]"
+                        .to_string(),
                 );
             }
             other => return Err(format!("unknown argument `{other}`")),
@@ -43,7 +54,7 @@ fn parse_args() -> Result<Args, String> {
         "paper" => CampaignConfig::paper(seed),
         other => return Err(format!("unknown scale `{other}`")),
     };
-    Ok(Args { config, out })
+    Ok(Args { config, jobs, out })
 }
 
 fn main() -> ExitCode {
@@ -55,7 +66,7 @@ fn main() -> ExitCode {
         }
     };
     eprintln!("running campaign (seed {}) ...", args.config.seed);
-    let (_cluster, store) = run_campaign(&args.config);
+    let (_cluster, store) = run_campaign_jobs(&args.config, args.jobs);
     let o = overview(&store);
     println!(
         "campaign: {} measurements, {} machines, {} types, {} benchmarks, days {:.0}-{:.0}",

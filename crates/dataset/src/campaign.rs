@@ -9,9 +9,24 @@
 //! CI-friendly, finishes in well under a second) and
 //! [`CampaignConfig::paper`] (full fleet, ten months, millions of points
 //! — the scale of the published dataset).
+//!
+//! # Parallel collection and the determinism contract
+//!
+//! The per-machine collect loop is embarrassingly parallel: every
+//! measurement derives from an RNG stream owned by its machine
+//! ([`testbed::machine_stream`]), so no draw depends on which thread — or
+//! in which order — another machine is measured. [`collect`] therefore
+//! shards the selected machines across `min(cores, machines)` scoped
+//! worker threads by default, and **guarantees the resulting [`Store`] is
+//! byte-identical for any worker count** (`tests/parallel_determinism.rs`
+//! enforces this): machines are sorted by id, split into contiguous
+//! chunks, and the per-worker shards are merged back in chunk order.
+
+use std::num::NonZeroUsize;
+use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
-use testbed::{catalog, Cluster, Timeline};
+use testbed::{catalog, Cluster, Machine, Timeline};
 use workloads::{sample, BenchmarkId};
 
 use crate::record::Record;
@@ -80,11 +95,29 @@ impl CampaignConfig {
     }
 }
 
+/// Worker count [`collect`] uses when none is given: one per available
+/// core (1 if parallelism cannot be queried).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 /// Runs a campaign, returning the provisioned cluster and the collected
-/// dataset.
+/// dataset. Collection is sharded across one worker per core; the result
+/// is byte-identical to a single-threaded run (see [`run_campaign_jobs`]).
 ///
 /// Total records = machines x benchmarks x sessions x runs_per_session.
 pub fn run_campaign(config: &CampaignConfig) -> (Cluster, Store) {
+    run_campaign_jobs(config, None)
+}
+
+/// Runs a campaign with an explicit worker count (`None` = one per core).
+///
+/// The returned [`Store`] is guaranteed byte-identical for every value of
+/// `jobs`: each machine's measurements derive from its own RNG stream and
+/// shards merge back in machine-id order.
+pub fn run_campaign_jobs(config: &CampaignConfig, jobs: Option<usize>) -> (Cluster, Store) {
     let _span = telemetry::span("campaign.run");
     let cluster = Cluster::provision(
         catalog(),
@@ -92,14 +125,28 @@ pub fn run_campaign(config: &CampaignConfig) -> (Cluster, Store) {
         Timeline::cloudlab_default(),
         config.seed,
     );
-    let store = collect(&cluster, config);
+    let store = collect_jobs(&cluster, config, jobs);
     (cluster, store)
 }
 
-/// Runs a campaign's measurement phase against an existing cluster.
+/// Runs a campaign's measurement phase against an existing cluster,
+/// sharded across one worker per core (see [`collect_jobs`]).
 pub fn collect(cluster: &Cluster, config: &CampaignConfig) -> Store {
+    collect_jobs(cluster, config, None)
+}
+
+/// Runs a campaign's measurement phase with an explicit worker count
+/// (`None` = one per core, clamped to the number of selected machines).
+///
+/// Machines are selected per type, sorted by id, and split into
+/// contiguous chunks — one scoped worker thread per chunk. Workers
+/// collect into private [`Store`] shards that merge back in chunk order,
+/// so the record sequence (and hence any serialization of it) is
+/// identical for every worker count and thread schedule. Worker spans are
+/// named `campaign.worker.N`, run on threads named `campaign-worker-N`,
+/// and parent under the `campaign.collect` span.
+pub fn collect_jobs(cluster: &Cluster, config: &CampaignConfig, jobs: Option<usize>) -> Store {
     let _span = telemetry::span("campaign.collect");
-    let mut store = Store::new();
     // Select machines: up to `machines_per_type` per type, whole fleet
     // otherwise.
     let mut selected = Vec::new();
@@ -108,13 +155,67 @@ pub fn collect(cluster: &Cluster, config: &CampaignConfig) -> Store {
         let cap = config.machines_per_type.unwrap_or(of_type.len());
         selected.extend(of_type.into_iter().take(cap));
     }
+    // Provisioning assigns ids in type order, so this is usually already
+    // sorted; sorting makes the shard partition (and the merged record
+    // order) independent of catalog iteration order.
+    selected.sort_by_key(|m| m.id);
+    let workers = jobs
+        .unwrap_or_else(default_jobs)
+        .clamp(1, selected.len().max(1));
     telemetry::metrics::gauge("campaign.machines").set(selected.len() as f64);
+    telemetry::metrics::gauge("campaign.workers").set(workers as f64);
     let records = telemetry::metrics::counter("campaign.records");
+    let store = if workers <= 1 {
+        collect_shard(cluster, config, &selected, 0)
+    } else {
+        let chunk = selected.len().div_ceil(workers);
+        let parent = telemetry::trace::current_context();
+        let mut shards: Vec<Store> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = selected
+                .chunks(chunk)
+                .enumerate()
+                .map(|(i, machines)| {
+                    std::thread::Builder::new()
+                        .name(format!("campaign-worker-{i}"))
+                        .spawn_scoped(scope, move || {
+                            let _span = telemetry::span_in(format!("campaign.worker.{i}"), parent);
+                            collect_shard(cluster, config, machines, i)
+                        })
+                        .expect("spawning a campaign worker succeeds")
+                })
+                .collect();
+            // Joining in spawn order merges shards in machine-id order no
+            // matter which worker finishes first.
+            shards = handles
+                .into_iter()
+                .map(|h| h.join().expect("campaign workers do not panic"))
+                .collect();
+        });
+        let mut merged = Store::new();
+        for shard in shards {
+            merged.merge(shard);
+        }
+        merged
+    };
+    records.add(store.len() as u64);
+    store
+}
+
+/// Collects every (benchmark, session, run) measurement for one worker's
+/// slice of the fleet.
+fn collect_shard(
+    cluster: &Cluster,
+    config: &CampaignConfig,
+    machines: &[&Machine],
+    worker: usize,
+) -> Store {
     let machine_secs = telemetry::metrics::histogram("campaign.machine_secs");
+    let worker_secs = telemetry::metrics::histogram(&format!("campaign.machine_secs.w{worker}"));
     let sessions = config.sessions();
-    for machine in selected {
-        let started = telemetry::enabled().then(std::time::Instant::now);
-        let before = store.len();
+    let mut store = Store::new();
+    for machine in machines {
+        let started = telemetry::enabled().then(Instant::now);
         for &bench in &config.benchmarks {
             for session in 0..sessions {
                 let day = session as f64 * config.session_every_days;
@@ -135,9 +236,10 @@ pub fn collect(cluster: &Cluster, config: &CampaignConfig) -> Store {
                 }
             }
         }
-        records.add((store.len() - before) as u64);
         if let Some(t) = started {
-            machine_secs.record(t.elapsed().as_secs_f64());
+            let secs = t.elapsed().as_secs_f64();
+            machine_secs.record(secs);
+            worker_secs.record(secs);
         }
     }
     store
@@ -168,6 +270,30 @@ mod tests {
         assert_eq!(a, b);
         let (_, c) = run_campaign(&CampaignConfig::quick(6));
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn worker_count_never_changes_the_store() {
+        let config = CampaignConfig::quick(11)
+            .with_benchmarks(vec![BenchmarkId::MemTriad, BenchmarkId::NetLatency]);
+        let (cluster, sequential) = run_campaign_jobs(&config, Some(1));
+        for jobs in [2, 3, 4, 7, 64] {
+            let sharded = collect_jobs(&cluster, &config, Some(jobs));
+            assert_eq!(sequential, sharded, "jobs={jobs} diverged");
+        }
+        // The default (one worker per core) must agree too.
+        assert_eq!(sequential, collect(&cluster, &config));
+    }
+
+    #[test]
+    fn worker_count_is_clamped_to_the_fleet() {
+        // 10 types x 1 machine = 10 machines; asking for 1000 workers
+        // must still produce the same store without panicking.
+        let mut config = CampaignConfig::quick(3);
+        config.machines_per_type = Some(1);
+        config.benchmarks = vec![BenchmarkId::MemCopy];
+        let (cluster, store) = run_campaign_jobs(&config, Some(1000));
+        assert_eq!(store, collect_jobs(&cluster, &config, Some(1)));
     }
 
     #[test]

@@ -25,7 +25,9 @@ mod record;
 mod store;
 mod summarize;
 
-pub use campaign::{collect, run_campaign, CampaignConfig};
+pub use campaign::{
+    collect, collect_jobs, default_jobs, run_campaign, run_campaign_jobs, CampaignConfig,
+};
 pub use csv::{read_csv, write_csv, CsvError};
 pub use outliers::{outlier_indices, outlier_sweep, Fence, OutlierReport};
 pub use record::{benchmark_from_label, Record};

@@ -5,7 +5,10 @@
 //! the workspace:
 //!
 //! * **Spans** ([`span`]) — RAII wall-time timers forming a hierarchical,
-//!   thread-safe trace tree collected globally ([`trace::drain`]).
+//!   thread-safe trace tree collected globally ([`trace::drain`]). Every
+//!   span records the ordinal and OS name of the thread it ran on, and
+//!   worker threads parent their spans under the span that spawned them
+//!   by passing a [`SpanContext`] to [`span_in`].
 //! * **Metrics** ([`metrics`]) — named [`metrics::Counter`]s,
 //!   [`metrics::Gauge`]s, and log-bucketed [`metrics::Histogram`]s with
 //!   quantile queries, all lock-free on the hot path.
@@ -67,7 +70,7 @@ pub fn enabled() -> bool {
 
 pub use manifest::{ExperimentTiming, HostInfo, RunManifest};
 pub use report::{latency_summary, span_report, LatencySummary, SpanStats};
-pub use trace::{span, Span, SpanNode, Trace};
+pub use trace::{current_context, span, span_in, Span, SpanContext, SpanNode, Trace};
 
 /// Serializes telemetry tests that toggle the global switch or drain the
 /// global collectors, so `cargo test`'s parallel threads don't interleave.

@@ -104,6 +104,8 @@ mod tests {
     fn leaf(name: &str, start: f64, dur: f64) -> SpanNode {
         SpanNode {
             name: name.to_string(),
+            thread: 1,
+            thread_name: None,
             start_secs: start,
             duration_secs: dur,
             children: Vec::new(),
@@ -138,6 +140,8 @@ mod tests {
         let trace = Trace {
             roots: vec![SpanNode {
                 name: "outer".to_string(),
+                thread: 1,
+                thread_name: None,
                 start_secs: 0.0,
                 duration_secs: 10.0,
                 children: vec![

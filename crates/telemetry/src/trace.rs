@@ -25,6 +25,8 @@ struct RawSpan {
     name: Cow<'static, str>,
     start_ns: u64,
     end_ns: u64,
+    thread: u64,
+    thread_name: Option<String>,
 }
 
 /// Monotonic clock origin shared by every span in the process.
@@ -48,14 +50,31 @@ fn collector() -> MutexGuard<'static, Vec<RawSpan>> {
 /// Span ids start at 1; 0 means "no parent" (a root span).
 static NEXT_ID: AtomicU64 = AtomicU64::new(1);
 
+/// Thread ordinals start at 1 and are assigned in first-span order.
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(1);
+
 thread_local! {
     /// Innermost live span on this thread, or 0 at top level.
     static CURRENT: Cell<u64> = const { Cell::new(0) };
+
+    /// This thread's telemetry identity: a process-unique ordinal plus
+    /// the OS thread name, captured once on the thread's first span.
+    static THREAD_INFO: (u64, Option<String>) = (
+        NEXT_THREAD.fetch_add(1, Ordering::Relaxed),
+        std::thread::current().name().map(str::to_string),
+    );
+}
+
+fn thread_info() -> (u64, Option<String>) {
+    THREAD_INFO.with(|t| (t.0, t.1.clone()))
 }
 
 struct ActiveSpan {
     id: u64,
     parent: u64,
+    /// CURRENT value to restore on drop (differs from `parent` for spans
+    /// opened with an explicit cross-thread [`SpanContext`]).
+    prev: u64,
     name: Cow<'static, str>,
     start_ns: u64,
 }
@@ -70,10 +89,37 @@ pub struct Span {
     _not_send: PhantomData<*const ()>,
 }
 
+/// A handle to a live span that can be passed to another thread so work
+/// done there parents under it in the trace tree (see [`span_in`]).
+///
+/// Obtained from [`current_context`]. The default context parents at the
+/// root, as does any context captured while telemetry is disabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanContext(u64);
+
+/// The innermost live span on the calling thread, as a [`SpanContext`]
+/// that other threads can parent their spans under.
+pub fn current_context() -> SpanContext {
+    SpanContext(CURRENT.with(|c| c.get()))
+}
+
 /// Opens a span named `name`; the returned guard records the scope's wall
 /// time when dropped. Inert (one relaxed atomic load, no allocation) while
 /// telemetry is disabled.
 pub fn span(name: impl Into<Cow<'static, str>>) -> Span {
+    open(name, None)
+}
+
+/// Opens a span parented under `context` instead of the calling thread's
+/// innermost live span. This is how worker threads attach their spans to
+/// the span that spawned them rather than surfacing as unlabeled roots.
+/// Nested [`span`] calls on the worker thread parent under this span as
+/// usual. Inert while telemetry is disabled.
+pub fn span_in(name: impl Into<Cow<'static, str>>, context: SpanContext) -> Span {
+    open(name, Some(context))
+}
+
+fn open(name: impl Into<Cow<'static, str>>, context: Option<SpanContext>) -> Span {
     if !crate::enabled() {
         return Span {
             inner: None,
@@ -81,11 +127,13 @@ pub fn span(name: impl Into<Cow<'static, str>>) -> Span {
         };
     }
     let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
-    let parent = CURRENT.with(|c| c.replace(id));
+    let prev = CURRENT.with(|c| c.replace(id));
+    let parent = context.map_or(prev, |ctx| ctx.0);
     Span {
         inner: Some(ActiveSpan {
             id,
             parent,
+            prev,
             name: name.into(),
             start_ns: now_ns(),
         }),
@@ -97,13 +145,16 @@ impl Drop for Span {
     fn drop(&mut self) {
         if let Some(active) = self.inner.take() {
             let end_ns = now_ns();
-            CURRENT.with(|c| c.set(active.parent));
+            CURRENT.with(|c| c.set(active.prev));
+            let (thread, thread_name) = thread_info();
             collector().push(RawSpan {
                 id: active.id,
                 parent: active.parent,
                 name: active.name,
                 start_ns: active.start_ns,
                 end_ns,
+                thread,
+                thread_name,
             });
         }
     }
@@ -114,6 +165,15 @@ impl Drop for Span {
 pub struct SpanNode {
     /// Span name as passed to [`span`].
     pub name: String,
+    /// Process-unique ordinal of the thread the span ran on, assigned in
+    /// first-span order starting at 1 (0 only in traces predating thread
+    /// attribution).
+    #[serde(default)]
+    pub thread: u64,
+    /// OS name of that thread, when it had one (worker pools name their
+    /// threads so trace tooling can group by worker).
+    #[serde(default)]
+    pub thread_name: Option<String>,
     /// Start time in seconds since the process telemetry epoch.
     pub start_secs: f64,
     /// Wall time between the span's open and drop, in seconds.
@@ -190,6 +250,8 @@ fn build_tree(mut raw: Vec<RawSpan>) -> Trace {
             .unwrap_or_default();
         SpanNode {
             name: r.name.to_string(),
+            thread: r.thread,
+            thread_name: r.thread_name.clone(),
             start_secs: r.start_ns as f64 / 1e9,
             duration_secs: (r.end_ns - r.start_ns) as f64 / 1e9,
             children: kids,
@@ -286,6 +348,81 @@ mod tests {
         assert!(names.contains(&"main"));
         assert!(names.contains(&"worker"));
         assert!(trace.roots.iter().all(|r| r.children.is_empty()));
+    }
+
+    #[test]
+    fn span_in_parents_worker_spans_under_the_spawning_span() {
+        let _guard = crate::test_guard();
+        clear();
+        crate::set_enabled(true);
+        {
+            let _root = span("root");
+            let ctx = current_context();
+            std::thread::Builder::new()
+                .name("pool-7".to_string())
+                .spawn(move || {
+                    let _w = span_in("worker", ctx);
+                    let _leaf = span("leaf");
+                })
+                .unwrap()
+                .join()
+                .unwrap();
+        }
+        crate::set_enabled(false);
+        let trace = drain();
+        assert_eq!(trace.roots.len(), 1);
+        let root = &trace.roots[0];
+        assert_eq!(root.name, "root");
+        assert_eq!(root.children.len(), 1);
+        let worker = &root.children[0];
+        assert_eq!(worker.name, "worker");
+        assert_eq!(worker.thread_name.as_deref(), Some("pool-7"));
+        assert_ne!(worker.thread, root.thread);
+        assert_eq!(worker.children.len(), 1);
+        let leaf = &worker.children[0];
+        assert_eq!(leaf.name, "leaf");
+        // Nested spans on the worker thread stay on the worker's chain.
+        assert_eq!(leaf.thread, worker.thread);
+    }
+
+    #[test]
+    fn every_span_carries_a_nonzero_thread_ordinal() {
+        let _guard = crate::test_guard();
+        clear();
+        crate::set_enabled(true);
+        {
+            let _main = span("main");
+            std::thread::spawn(|| {
+                let _other = span("other");
+            })
+            .join()
+            .unwrap();
+        }
+        crate::set_enabled(false);
+        let trace = drain();
+        let mut threads = Vec::new();
+        trace.walk(|n| threads.push(n.thread));
+        assert_eq!(threads.len(), 2);
+        assert!(threads.iter().all(|&t| t > 0));
+        assert_ne!(threads[0], threads[1]);
+    }
+
+    #[test]
+    fn default_context_and_disabled_context_parent_at_the_root() {
+        let _guard = crate::test_guard();
+        clear();
+        crate::set_enabled(false);
+        let while_disabled = current_context();
+        crate::set_enabled(true);
+        {
+            let _a = span_in("a", SpanContext::default());
+            // `a` is live, but the explicit context still wins.
+            let _b = span_in("b", while_disabled);
+        }
+        crate::set_enabled(false);
+        let trace = drain();
+        let names: Vec<&str> = trace.roots.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
     }
 
     #[test]

@@ -1,8 +1,20 @@
-//! Property test: arbitrarily interleaved open/close/leaf operations
+//! Property tests: arbitrarily interleaved open/close/leaf operations
 //! always drain to a well-parented trace tree whose structure matches a
-//! reference model and whose child intervals nest inside their parents.
+//! reference model and whose child intervals nest inside their parents —
+//! including when spans are opened concurrently on worker threads that
+//! parent under a spawning span via `span_in`.
+
+use std::sync::Mutex;
 
 use proptest::prelude::*;
+
+/// Serializes the tests in this binary: they toggle the global telemetry
+/// switch and drain the global span collector.
+static GLOBALS: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GLOBALS.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 #[derive(Debug, PartialEq)]
 struct Model {
@@ -67,6 +79,7 @@ proptest! {
     fn interleaved_spans_always_form_a_well_parented_tree(
         cmds in prop::collection::vec(0u8..3, 1..60)
     ) {
+        let _guard = lock();
         telemetry::trace::clear();
         telemetry::set_enabled(true);
 
@@ -114,5 +127,78 @@ proptest! {
         for root in &trace.roots {
             check_intervals(root);
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    // Any number of concurrently collecting worker threads, each opening
+    // its own nested spans, drains to one well-formed tree: every worker
+    // span parents under the spawning root, carries its thread's name and
+    // a distinct nonzero thread ordinal, and nested spans stay on their
+    // worker's chain.
+    #[test]
+    fn concurrent_worker_spans_group_under_the_spawning_span(
+        workers in 1usize..7,
+        leaves_per_worker in 0usize..5,
+    ) {
+        let _guard = lock();
+        telemetry::trace::clear();
+        telemetry::set_enabled(true);
+
+        {
+            let _root = telemetry::span("root");
+            let ctx = telemetry::current_context();
+            std::thread::scope(|scope| {
+                for w in 0..workers {
+                    std::thread::Builder::new()
+                        .name(format!("pool-{w}"))
+                        .spawn_scoped(scope, move || {
+                            let _span = telemetry::span_in(format!("worker.{w}"), ctx);
+                            for l in 0..leaves_per_worker {
+                                let _leaf = telemetry::span(format!("leaf.{w}.{l}"));
+                            }
+                        })
+                        .expect("worker threads spawn");
+                }
+            });
+        }
+
+        telemetry::set_enabled(false);
+        let trace = telemetry::trace::drain();
+
+        // One root holding every worker span; nothing leaked to the top.
+        prop_assert_eq!(trace.roots.len(), 1);
+        let root = &trace.roots[0];
+        prop_assert_eq!(root.name.as_str(), "root");
+        prop_assert_eq!(trace.len(), 1 + workers * (1 + leaves_per_worker));
+        prop_assert_eq!(root.children.len(), workers);
+
+        let mut seen_workers: Vec<usize> = Vec::new();
+        let mut seen_threads: Vec<u64> = Vec::new();
+        for child in &root.children {
+            let w: usize = child.name.strip_prefix("worker.").unwrap().parse().unwrap();
+            seen_workers.push(w);
+            // Thread attribution: the OS thread name and a process-unique
+            // nonzero ordinal distinct from the root's.
+            prop_assert_eq!(child.thread_name.as_deref(), Some(format!("pool-{w}").as_str()));
+            prop_assert!(child.thread > 0);
+            prop_assert_ne!(child.thread, root.thread);
+            seen_threads.push(child.thread);
+            // Leaves stay on the worker's chain, in open order.
+            prop_assert_eq!(child.children.len(), leaves_per_worker);
+            for (l, leaf) in child.children.iter().enumerate() {
+                prop_assert_eq!(leaf.name.as_str(), format!("leaf.{w}.{l}").as_str());
+                prop_assert_eq!(leaf.thread, child.thread);
+                prop_assert!(leaf.children.is_empty());
+            }
+            check_intervals(child);
+        }
+        seen_workers.sort_unstable();
+        prop_assert_eq!(seen_workers, (0..workers).collect::<Vec<_>>());
+        seen_threads.sort_unstable();
+        seen_threads.dedup();
+        prop_assert_eq!(seen_threads.len(), workers, "worker threads must have distinct ordinals");
+        check_intervals(root);
     }
 }

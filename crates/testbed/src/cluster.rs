@@ -128,20 +128,14 @@ impl Cluster {
         let machine = self.machine(id)?;
         let mtype = self.type_of(machine);
         let variation = default_variation(subsystem, mtype.disk);
-        // Derive an independent stream per (seed, machine, subsystem, day,
-        // nonce) so measurements are reproducible in any order.
-        let mut h = self.seed;
-        for k in [
-            id.0 as u64,
-            subsystem.index() as u64,
-            day.to_bits(),
-            run_nonce,
-        ] {
-            h ^= k
-                .wrapping_add(0x9E37_79B9_7F4A_7C15)
-                .wrapping_add(h << 6)
-                .wrapping_add(h >> 2);
-        }
+        // Each machine owns an independent stream derived from
+        // (campaign_seed, machine_id); each measurement derives from that
+        // stream via (subsystem, day, nonce). Hierarchical derivation
+        // makes every draw reproducible in any order and on any thread.
+        let h = crate::derive::stream_seed(
+            crate::derive::machine_stream(self.seed, id),
+            &[subsystem.index() as u64, day.to_bits(), run_nonce],
+        );
         let mut rng = StdRng::seed_from_u64(h);
         let baseline = mtype.baseline(subsystem);
         let lottery = machine.unit_factor(subsystem);

@@ -27,6 +27,7 @@
 
 mod allocation;
 mod cluster;
+mod derive;
 mod distributions;
 mod hardware;
 mod interference;
@@ -36,6 +37,7 @@ mod variation;
 
 pub use allocation::{allocate, AllocationPolicy};
 pub use cluster::Cluster;
+pub use derive::{machine_stream, stream_seed};
 pub use distributions::Dist;
 pub use hardware::{catalog, find_type, DiskKind, MachineType, Subsystem};
 pub use interference::InterferenceModel;

@@ -1,0 +1,118 @@
+//! Trace integration test for the sharded campaign: with telemetry
+//! enabled, the worker spans that `collect_jobs` opens on its pool
+//! threads must group under the `campaign.collect` root, carry their
+//! worker thread's name and ordinal, and form a well-shaped tree even
+//! though they close concurrently.
+//!
+//! Lives in its own integration-test binary so the global telemetry
+//! switch it toggles cannot race with other test processes.
+
+use std::sync::Mutex;
+
+use dataset::{collect_jobs, run_campaign_jobs, CampaignConfig};
+use workloads::BenchmarkId;
+
+/// Serializes the tests in this binary: they toggle the global telemetry
+/// switch and drain the global span collector.
+static GLOBALS: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GLOBALS.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn tiny_config(seed: u64) -> CampaignConfig {
+    let mut config = CampaignConfig::quick(seed);
+    config.machines_per_type = Some(1);
+    config.session_every_days = 100.0;
+    config.benchmarks = vec![BenchmarkId::MemTriad];
+    config
+}
+
+/// Drains the trace and returns the first node named `name`, searching
+/// depth-first from the roots.
+fn find<'a>(nodes: &'a [telemetry::SpanNode], name: &str) -> Option<&'a telemetry::SpanNode> {
+    for node in nodes {
+        if node.name == name {
+            return Some(node);
+        }
+        if let Some(hit) = find(&node.children, name) {
+            return Some(hit);
+        }
+    }
+    None
+}
+
+#[test]
+fn worker_spans_group_under_the_collect_root() {
+    let _guard = lock();
+    let config = tiny_config(21);
+    let (cluster, _) = run_campaign_jobs(&config, Some(1));
+
+    telemetry::trace::clear();
+    telemetry::set_enabled(true);
+    let jobs = 3;
+    let store = collect_jobs(&cluster, &config, Some(jobs));
+    telemetry::set_enabled(false);
+    let trace = telemetry::trace::drain();
+
+    assert!(!store.is_empty());
+    let collect = find(&trace.roots, "campaign.collect").expect("collect span recorded");
+    assert_eq!(
+        collect.children.len(),
+        jobs,
+        "one worker span per collection worker"
+    );
+    let mut seen = vec![false; jobs];
+    let mut threads = Vec::new();
+    for child in &collect.children {
+        let w: usize = child
+            .name
+            .strip_prefix("campaign.worker.")
+            .expect("collect's children are worker spans")
+            .parse()
+            .expect("worker spans are numbered");
+        assert!(w < jobs, "worker index {w} out of range");
+        assert!(!seen[w], "worker {w} appeared twice");
+        seen[w] = true;
+        assert_eq!(
+            child.thread_name.as_deref(),
+            Some(format!("campaign-worker-{w}").as_str()),
+            "worker span must carry its pool thread's name"
+        );
+        assert!(child.thread > 0, "worker threads get nonzero ordinals");
+        assert_ne!(
+            child.thread, collect.thread,
+            "worker spans run off the collecting thread"
+        );
+        threads.push(child.thread);
+        // Workers nest inside the collect interval.
+        assert!(child.start_secs + 1e-9 >= collect.start_secs);
+        assert!(
+            child.start_secs + child.duration_secs
+                <= collect.start_secs + collect.duration_secs + 1e-9
+        );
+    }
+    assert!(seen.iter().all(|s| *s), "every worker span present");
+    threads.sort_unstable();
+    threads.dedup();
+    assert_eq!(threads.len(), jobs, "each worker has its own thread");
+}
+
+#[test]
+fn sequential_collection_opens_no_worker_spans() {
+    let _guard = lock();
+    let config = tiny_config(22);
+    let (cluster, _) = run_campaign_jobs(&config, Some(1));
+
+    telemetry::trace::clear();
+    telemetry::set_enabled(true);
+    let _ = collect_jobs(&cluster, &config, Some(1));
+    telemetry::set_enabled(false);
+    let trace = telemetry::trace::drain();
+
+    let collect = find(&trace.roots, "campaign.collect").expect("collect span recorded");
+    assert!(
+        collect.children.is_empty(),
+        "jobs=1 collects inline, without worker spans"
+    );
+}

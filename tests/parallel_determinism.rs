@@ -1,0 +1,95 @@
+//! The determinism contract of the sharded campaign: for a fixed seed,
+//! `run_campaign`/`collect` produce **byte-identical** datasets for every
+//! worker count and thread schedule, and distinct seeds still produce
+//! distinct datasets. This is the gate that lets the collect path be
+//! parallelized (or re-sharded) freely without silently shifting the
+//! distributions every experiment analyzes.
+
+use dataset::{collect_jobs, run_campaign_jobs, write_csv, CampaignConfig, Store};
+use proptest::prelude::*;
+use workloads::BenchmarkId;
+
+/// A campaign small enough to run dozens of times in a test, with more
+/// machines than worker threads so chunking is exercised.
+fn tiny_config(seed: u64, machines_per_type: usize) -> CampaignConfig {
+    let mut config = CampaignConfig::quick(seed);
+    config.machines_per_type = Some(machines_per_type);
+    config.session_every_days = 60.0; // 5 sessions instead of 10
+    config.benchmarks = vec![
+        BenchmarkId::MemTriad,
+        BenchmarkId::DiskSeqRead,
+        BenchmarkId::NetLatency,
+    ];
+    config
+}
+
+/// Serializes a store to the exact bytes `campaign --out` would write.
+fn csv_bytes(store: &Store) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_csv(store, &mut buf).expect("writing to a Vec cannot fail");
+    buf
+}
+
+#[test]
+fn worker_counts_produce_byte_identical_stores() {
+    let config = CampaignConfig::quick(42);
+    let (cluster, baseline) = run_campaign_jobs(&config, Some(1));
+    let baseline_bytes = csv_bytes(&baseline);
+    assert!(!baseline.is_empty());
+    for jobs in [2, 4, dataset::default_jobs().max(2) * 3] {
+        let sharded = collect_jobs(&cluster, &config, Some(jobs));
+        assert_eq!(baseline, sharded, "Store for jobs={jobs} diverged");
+        assert_eq!(
+            baseline_bytes,
+            csv_bytes(&sharded),
+            "serialized bytes for jobs={jobs} diverged"
+        );
+    }
+}
+
+#[test]
+fn default_worker_count_matches_single_thread() {
+    let config = tiny_config(7, 3);
+    let (cluster, auto) = run_campaign_jobs(&config, None);
+    let sequential = collect_jobs(&cluster, &config, Some(1));
+    assert_eq!(auto, sequential);
+    assert_eq!(csv_bytes(&auto), csv_bytes(&sequential));
+}
+
+#[test]
+fn distinct_seeds_still_differ_under_sharding() {
+    let (_, a) = run_campaign_jobs(&tiny_config(1, 2), Some(4));
+    let (_, b) = run_campaign_jobs(&tiny_config(2, 2), Some(4));
+    assert_ne!(a, b, "different seeds must produce different data");
+    // Same seed, different worker counts: identical.
+    let (_, c) = run_campaign_jobs(&tiny_config(1, 2), Some(3));
+    assert_eq!(a, c);
+}
+
+#[test]
+fn full_run_campaign_is_worker_invariant() {
+    // run_campaign (provision + collect) end-to-end, not just collect.
+    let config = tiny_config(11, 2);
+    let (cluster_a, store_a) = run_campaign_jobs(&config, Some(1));
+    let (cluster_b, store_b) = run_campaign_jobs(&config, Some(5));
+    assert_eq!(store_a, store_b);
+    assert_eq!(cluster_a.machines().len(), cluster_b.machines().len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    // Any (seed, fleet size, worker count) agrees with the sequential
+    // collection byte for byte.
+    #[test]
+    fn sharded_collection_always_matches_sequential(
+        seed in 0u64..1_000_000_000_000,
+        machines_per_type in 1usize..=3,
+        workers in 2usize..=9,
+    ) {
+        let config = tiny_config(seed, machines_per_type);
+        let (cluster, sequential) = run_campaign_jobs(&config, Some(1));
+        let sharded = collect_jobs(&cluster, &config, Some(workers));
+        prop_assert_eq!(&sequential, &sharded);
+        prop_assert_eq!(csv_bytes(&sequential), csv_bytes(&sharded));
+    }
+}
