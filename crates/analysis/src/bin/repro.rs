@@ -2,22 +2,33 @@
 //!
 //! ```text
 //! repro list
-//! repro all [--scale quick|paper] [--seed N] [--out DIR] [--trace] [--metrics]
+//! repro all [--scale quick|paper] [--seed N] [--jobs N] [--out DIR] [--trace] [--metrics]
 //! repro F9 T3 ... [--scale ...] [--seed ...] [--out DIR] [--json]
 //! ```
+//!
+//! Experiments run on the engine's deterministic parallel scheduler
+//! (`--jobs` governs both campaign collection and the experiment loop);
+//! the stdout report, artifacts, and manifest are byte-identical for any
+//! worker count. A failing experiment does not abort the run: its
+//! siblings' artifacts are still produced and the failure is reported
+//! per-id with a non-zero exit at the end.
 //!
 //! With `--trace` / `--metrics` the run measures itself through the
 //! `telemetry` crate: a per-experiment timing table and a span-latency
 //! summary (median + non-parametric 95% CI + CoV, per the paper's own
 //! methodology) are printed, and `trace.json` / `metrics.json` land next
-//! to the artifacts. A `manifest.json` recording seed, scale, host, and
-//! per-experiment wall times is written whenever `--out` is given.
+//! to the artifacts (`--trace-chrome` additionally writes
+//! `trace.chrome.json` for chrome://tracing). A `manifest.json` recording
+//! seed, scale, host, and per-experiment wall times is written whenever
+//! `--out` is given.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
-use analysis::{all, find, Context, Scale, Table};
+use analysis::{all, find, Artifact, Context, Experiment, ExperimentError, Scale, Table};
 
 const USAGE: &str = "\
 usage: repro <list|all|ID...> [options]
@@ -28,13 +39,16 @@ usage: repro <list|all|ID...> [options]
 options:
   --scale quick|paper   campaign scale (default quick)
   --seed N              master seed (default 42)
-  --jobs N              campaign collection workers (default: one per
-                        core; the dataset is byte-identical for any N)
+  --jobs N              worker threads for campaign collection AND the
+                        experiment loop (default: one per core; output is
+                        byte-identical for any N)
   --out DIR             write artifacts into DIR (CSV, or JSON with --json)
   --json                write artifacts as JSON instead of CSV
   --trace               collect span traces: prints a span latency table
                         (median + 95% CI + CoV) and writes trace.json
                         into --out
+  --trace-chrome        also write trace.chrome.json (chrome://tracing /
+                        Perfetto format) into --out; implies --trace
   --metrics             collect counters/gauges/histograms: prints a
                         metrics summary table and writes metrics.json
                         into --out
@@ -49,6 +63,7 @@ struct Args {
     json: bool,
     list: bool,
     trace: bool,
+    trace_chrome: bool,
     metrics: bool,
 }
 
@@ -67,13 +82,14 @@ fn parse_args() -> Result<Parsed, String> {
         json: false,
         list: false,
         trace: false,
+        trace_chrome: false,
         metrics: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "list" => args.list = true,
-            "all" => args.ids.extend(all().iter().map(|e| e.id.to_string())),
+            "all" => args.ids.extend(all().iter().map(|e| e.id().to_string())),
             "--scale" => {
                 let v = it.next().ok_or("--scale needs a value")?;
                 args.scale = Scale::parse(&v).ok_or(format!("unknown scale `{v}`"))?;
@@ -96,10 +112,17 @@ fn parse_args() -> Result<Parsed, String> {
             }
             "--json" => args.json = true,
             "--trace" => args.trace = true,
+            "--trace-chrome" => {
+                args.trace = true;
+                args.trace_chrome = true;
+            }
             "--metrics" => args.metrics = true,
             "--help" | "-h" => return Ok(Parsed::Help),
             id => args.ids.push(id.to_string()),
         }
+    }
+    if args.trace_chrome && args.out.is_none() {
+        return Err("--trace-chrome needs --out".to_string());
     }
     // An id may arrive more than once (`repro all F9`, `repro F9 f9`);
     // each experiment runs at most once, in first-seen order.
@@ -113,6 +136,46 @@ fn scale_name(scale: Scale) -> &'static str {
         Scale::Quick => "quick",
         Scale::Paper => "paper",
     }
+}
+
+/// Registry experiment plus an optional injected failure, so the failure
+/// path (`REPRO_FAIL=F9,T3 repro all`) is testable end to end without a
+/// genuinely broken pipeline.
+struct Wrapped {
+    inner: &'static dyn Experiment,
+    fail: bool,
+}
+
+impl Experiment for Wrapped {
+    fn id(&self) -> &str {
+        self.inner.id()
+    }
+    fn kind(&self) -> analysis::Kind {
+        self.inner.kind()
+    }
+    fn title(&self) -> &str {
+        self.inner.title()
+    }
+    fn cost(&self) -> analysis::Cost {
+        self.inner.cost()
+    }
+    fn run(&self, ctx: &Context) -> Result<Vec<Artifact>, ExperimentError> {
+        if self.fail {
+            return Err(ExperimentError::new("injected failure (REPRO_FAIL)"));
+        }
+        self.inner.run(ctx)
+    }
+}
+
+fn injected_failures() -> std::collections::HashSet<String> {
+    std::env::var("REPRO_FAIL")
+        .map(|v| {
+            v.split(',')
+                .map(|id| id.trim().to_ascii_uppercase())
+                .filter(|id| !id.is_empty())
+                .collect()
+        })
+        .unwrap_or_default()
 }
 
 fn write_file(dir: &Path, name: &str, payload: &str) -> Result<(), ExitCode> {
@@ -223,16 +286,14 @@ fn main() -> ExitCode {
         }
     };
     if args.list {
-        println!("{:<4}  {:<6}  title", "id", "kind");
+        println!("{:<4}  {:<6}  {:<6}  title", "id", "kind", "cost");
         for e in all() {
             println!(
-                "{:<4}  {:<6}  {}",
-                e.id,
-                match e.kind {
-                    analysis::Kind::Table => "table",
-                    analysis::Kind::Figure => "figure",
-                },
-                e.title
+                "{:<4}  {:<6}  {:<6}  {}",
+                e.id(),
+                e.kind().label(),
+                e.cost().label(),
+                e.title()
             );
         }
         return ExitCode::SUCCESS;
@@ -242,16 +303,21 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     // Resolve ids before paying for the campaign.
-    let mut experiments = Vec::new();
+    let fail_ids = injected_failures();
+    let mut wrapped = Vec::new();
     for id in &args.ids {
         match find(id) {
-            Some(e) => experiments.push(e),
+            Some(e) => wrapped.push(Wrapped {
+                inner: e,
+                fail: fail_ids.contains(&e.id().to_ascii_uppercase()),
+            }),
             None => {
                 eprintln!("unknown experiment id `{id}` (see `repro list`)");
                 return ExitCode::FAILURE;
             }
         }
     }
+    let experiments: Vec<&dyn Experiment> = wrapped.iter().map(|w| w as &dyn Experiment).collect();
     let self_measuring = args.trace || args.metrics;
     if self_measuring {
         telemetry::set_enabled(true);
@@ -280,7 +346,7 @@ fn main() -> ExitCode {
         "building campaign context (scale {:?}, seed {}) ...",
         args.scale, args.seed
     );
-    let ctx = Context::with_jobs(args.scale, args.seed, args.jobs);
+    let ctx = Arc::new(Context::with_jobs(args.scale, args.seed, args.jobs));
     manifest.records = ctx.store.len() as u64;
     manifest.machines = ctx.cluster.machines().len() as u64;
     eprintln!(
@@ -295,22 +361,32 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+
+    // The engine merges results back in input order; progress lines go to
+    // stderr in completion order and are not under the determinism
+    // contract.
     let total = experiments.len();
-    for (i, e) in experiments.iter().enumerate() {
+    let done = AtomicUsize::new(0);
+    let report = analysis::run_experiments_with(&ctx, &experiments, args.jobs, &|run| {
+        let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+        let status = if run.outcome.is_ok() { "ok" } else { "FAILED" };
         eprintln!(
-            "[{}/{total}] running {} ({}) — {:.2}s elapsed",
-            i + 1,
-            e.id,
-            e.title,
-            run_started.elapsed().as_secs_f64()
+            "[{finished}/{total}] {} {status} ({:.2}s)",
+            run.id, run.wall_secs
         );
-        let started = Instant::now();
-        let artifacts = {
-            let _span = telemetry::span(format!("experiment.{}", e.id));
-            (e.run)(&ctx)
+    });
+
+    let mut failures: Vec<(&str, &ExperimentError)> = Vec::new();
+    for run in &report {
+        manifest.push_experiment(&run.id, run.wall_secs, run.artifact_count());
+        let artifacts = match &run.outcome {
+            Ok(artifacts) => artifacts,
+            Err(err) => {
+                failures.push((&run.id, err));
+                continue;
+            }
         };
-        manifest.push_experiment(e.id, started.elapsed().as_secs_f64(), artifacts.len());
-        for artifact in &artifacts {
+        for artifact in artifacts {
             println!("{}", artifact.render());
             if let Some(dir) = &args.out {
                 let (name, payload) = if args.json {
@@ -344,6 +420,14 @@ fn main() -> ExitCode {
             if let Err(code) = write_file(dir, "trace.json", &payload) {
                 return code;
             }
+            if args.trace_chrome {
+                let chrome = telemetry::chrome::to_chrome_trace(&trace);
+                let payload =
+                    serde_json::to_string_pretty(&chrome).expect("chrome traces always serialize");
+                if let Err(code) = write_file(dir, "trace.chrome.json", &payload) {
+                    return code;
+                }
+            }
         }
     }
     if args.metrics {
@@ -362,6 +446,16 @@ fn main() -> ExitCode {
         if let Err(code) = write_file(dir, "manifest.json", &payload) {
             return code;
         }
+    }
+    if !failures.is_empty() {
+        for (id, err) in &failures {
+            eprintln!("experiment {id} failed: {err}");
+        }
+        eprintln!(
+            "{} of {total} experiments failed; artifacts for the rest were produced",
+            failures.len()
+        );
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

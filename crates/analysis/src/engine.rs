@@ -1,0 +1,252 @@
+//! The experiment engine: a deterministic parallel scheduler for the
+//! registry.
+//!
+//! [`run_experiments`] fans a slice of experiments out across
+//! `min(jobs, experiments)` scoped worker threads that all share one
+//! immutable [`Arc<Context>`]. The contract mirrors the sharded campaign
+//! (see `dataset::collect_jobs`): **the report — and therefore every
+//! artifact, rendered table, and CSV downstream — is byte-identical for
+//! any worker count and thread schedule.** It holds because experiments
+//! are pure functions of the context, each one's artifacts are collected
+//! into a slot keyed by its input position, and the report is assembled
+//! in input order after all workers join. Only wall-clock timings differ
+//! between runs.
+//!
+//! Scheduling is dynamic: workers claim experiments from a shared queue
+//! ordered by descending [`Cost`](crate::registry::Cost) class, so the CONFIRM-heavy pipelines
+//! start first and the run's wall time is bound by the single slowest
+//! experiment instead of an unlucky static partition.
+//!
+//! A failing experiment does not abort the run: its error is captured in
+//! its [`ExperimentRun::outcome`] slot and every sibling still runs.
+//!
+//! Telemetry: the engine opens an `experiments.run` span; each worker
+//! opens `experiment.worker.N` under it (threads named
+//! `experiment-worker-N`) via [`telemetry::span_in`], and every
+//! experiment runs inside an `experiment.<id>` span. Per-experiment wall
+//! times land in the `experiment.secs` histogram and a per-id
+//! `experiment.secs.<id>` histogram; failures bump the
+//! `experiments.failed` counter.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::artifact::Artifact;
+use crate::context::Context;
+use crate::registry::{Experiment, ExperimentError};
+
+/// The outcome of one experiment under the engine.
+#[derive(Debug)]
+pub struct ExperimentRun {
+    /// Experiment id (`T1`, `F9`, ...).
+    pub id: String,
+    /// Wall time of the pipeline, in seconds.
+    pub wall_secs: f64,
+    /// The artifacts, or why the pipeline could not produce them.
+    pub outcome: Result<Vec<Artifact>, ExperimentError>,
+}
+
+impl ExperimentRun {
+    /// Number of artifacts produced (0 for a failed run).
+    pub fn artifact_count(&self) -> usize {
+        self.outcome.as_ref().map_or(0, Vec::len)
+    }
+}
+
+/// Runs `experiments` against the shared context on `jobs` workers
+/// (`None` = one per core, clamped to the experiment count) and returns
+/// one [`ExperimentRun`] per experiment **in input order**, regardless of
+/// worker count or completion order.
+pub fn run_experiments(
+    ctx: &Arc<Context>,
+    experiments: &[&dyn Experiment],
+    jobs: Option<usize>,
+) -> Vec<ExperimentRun> {
+    run_experiments_with(ctx, experiments, jobs, &|_| {})
+}
+
+/// Like [`run_experiments`], invoking `on_done` from the running worker
+/// as each experiment finishes (in completion order — use it for progress
+/// reporting, not for anything the determinism contract covers).
+pub fn run_experiments_with(
+    ctx: &Arc<Context>,
+    experiments: &[&dyn Experiment],
+    jobs: Option<usize>,
+    on_done: &(dyn Fn(&ExperimentRun) + Sync),
+) -> Vec<ExperimentRun> {
+    let _span = telemetry::span("experiments.run");
+    let workers = jobs
+        .unwrap_or_else(dataset::default_jobs)
+        .clamp(1, experiments.len().max(1));
+    telemetry::metrics::gauge("experiments.workers").set(workers as f64);
+    if workers <= 1 {
+        return experiments
+            .iter()
+            .map(|e| {
+                let run = run_one(*e, ctx);
+                on_done(&run);
+                run
+            })
+            .collect();
+    }
+
+    // Claim order: heaviest cost class first, registry order within a
+    // class. The claim index is the only shared mutable state.
+    let mut order: Vec<usize> = (0..experiments.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(experiments[i].cost()), i));
+    let next = AtomicUsize::new(0);
+    let parent = telemetry::trace::current_context();
+
+    let mut slots: Vec<Option<ExperimentRun>> = Vec::new();
+    slots.resize_with(experiments.len(), || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let ctx = Arc::clone(ctx);
+                let (next, order) = (&next, &order);
+                std::thread::Builder::new()
+                    .name(format!("experiment-worker-{w}"))
+                    .spawn_scoped(scope, move || {
+                        let _span = telemetry::span_in(format!("experiment.worker.{w}"), parent);
+                        let mut done: Vec<(usize, ExperimentRun)> = Vec::new();
+                        loop {
+                            let claimed = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&i) = order.get(claimed) else { break };
+                            let run = run_one(experiments[i], &ctx);
+                            on_done(&run);
+                            done.push((i, run));
+                        }
+                        done
+                    })
+                    .expect("spawning an experiment worker succeeds")
+            })
+            .collect();
+        for handle in handles {
+            for (i, run) in handle.join().expect("experiment workers do not panic") {
+                slots[i] = Some(run);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every claimed experiment reports"))
+        .collect()
+}
+
+fn run_one(e: &dyn Experiment, ctx: &Context) -> ExperimentRun {
+    let _span = telemetry::span(format!("experiment.{}", e.id()));
+    let started = Instant::now();
+    let outcome = e.run(ctx);
+    let wall_secs = started.elapsed().as_secs_f64();
+    telemetry::metrics::histogram("experiment.secs").record(wall_secs);
+    telemetry::metrics::histogram(&format!("experiment.secs.{}", e.id())).record(wall_secs);
+    if outcome.is_err() {
+        telemetry::metrics::counter("experiments.failed").inc();
+    }
+    ExperimentRun {
+        id: e.id().to_string(),
+        wall_secs,
+        outcome,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Scale;
+    use crate::registry::{self, Cost, Kind};
+
+    struct Failing;
+
+    impl Experiment for Failing {
+        fn id(&self) -> &str {
+            "FAIL"
+        }
+        fn kind(&self) -> Kind {
+            Kind::Table
+        }
+        fn title(&self) -> &str {
+            "always fails"
+        }
+        fn cost(&self) -> Cost {
+            Cost::Light
+        }
+        fn run(&self, _ctx: &Context) -> Result<Vec<Artifact>, ExperimentError> {
+            Err(ExperimentError::new("injected failure"))
+        }
+    }
+
+    fn quick_ctx() -> Arc<Context> {
+        Arc::new(Context::with_jobs(Scale::Quick, 5, Some(2)))
+    }
+
+    #[test]
+    fn report_preserves_input_order_for_any_worker_count() {
+        let ctx = quick_ctx();
+        let subset: Vec<&dyn Experiment> = ["F3", "T1", "F6", "T2", "F4"]
+            .iter()
+            .map(|id| registry::find(id).expect("registered"))
+            .collect();
+        let sequential = run_experiments(&ctx, &subset, Some(1));
+        for jobs in [2, 3, 8] {
+            let parallel = run_experiments(&ctx, &subset, Some(jobs));
+            let ids: Vec<&str> = parallel.iter().map(|r| r.id.as_str()).collect();
+            assert_eq!(ids, ["F3", "T1", "F6", "T2", "F4"], "jobs={jobs}");
+            for (s, p) in sequential.iter().zip(&parallel) {
+                assert_eq!(
+                    s.outcome.as_ref().unwrap(),
+                    p.outcome.as_ref().unwrap(),
+                    "jobs={jobs} changed {} artifacts",
+                    s.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn failures_are_isolated_to_their_slot() {
+        let ctx = quick_ctx();
+        let failing = Failing;
+        let experiments: Vec<&dyn Experiment> = vec![
+            registry::find("T1").unwrap(),
+            &failing,
+            registry::find("T2").unwrap(),
+        ];
+        let report = run_experiments(&ctx, &experiments, Some(3));
+        assert_eq!(report.len(), 3);
+        assert!(report[0].outcome.is_ok());
+        let err = report[1].outcome.as_ref().unwrap_err();
+        assert_eq!(report[1].id, "FAIL");
+        assert_eq!(err.message(), "injected failure");
+        assert_eq!(report[1].artifact_count(), 0);
+        assert!(report[2].outcome.is_ok());
+        assert!(report[2].artifact_count() > 0);
+    }
+
+    #[test]
+    fn on_done_sees_every_experiment_exactly_once() {
+        let ctx = quick_ctx();
+        let subset: Vec<&dyn Experiment> = ["T1", "T2", "F1"]
+            .iter()
+            .map(|id| registry::find(id).expect("registered"))
+            .collect();
+        let seen = std::sync::Mutex::new(Vec::new());
+        let report = run_experiments_with(&ctx, &subset, Some(2), &|run| {
+            seen.lock().unwrap().push(run.id.clone());
+        });
+        assert_eq!(report.len(), 3);
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort();
+        assert_eq!(seen, ["F1", "T1", "T2"]);
+    }
+
+    #[test]
+    fn oversized_worker_count_is_clamped() {
+        let ctx = quick_ctx();
+        let subset: Vec<&dyn Experiment> = vec![registry::find("T2").unwrap()];
+        let report = run_experiments(&ctx, &subset, Some(64));
+        assert_eq!(report.len(), 1);
+        assert!(report[0].outcome.is_ok());
+    }
+}

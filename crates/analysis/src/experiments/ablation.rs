@@ -11,6 +11,7 @@ use workloads::BenchmarkId;
 use crate::artifact::{Artifact, Table};
 use crate::context::Context;
 use crate::experiments::confirm_study::machine_pool;
+use crate::registry::ExperimentError;
 
 /// One ablation row: a configuration label and its outcome.
 struct AblationRow {
@@ -29,7 +30,7 @@ fn run_variant(pool: &[f64], label: &str, config: &ConfirmConfig) -> AblationRow
 }
 
 /// T5: the ablation grid on one skewed disk pool.
-pub fn t5_confirm_ablation(ctx: &Context) -> Vec<Artifact> {
+pub fn t5_confirm_ablation(ctx: &Context) -> Result<Vec<Artifact>, ExperimentError> {
     let machine = ctx.cluster.machines_of_type("c220g1")[0].id;
     let pool = machine_pool(ctx, machine, BenchmarkId::DiskSeqRead, 120);
     let base = ctx.confirm.with_target_rel_error(0.02).with_rounds(100);
@@ -64,7 +65,7 @@ pub fn t5_confirm_ablation(ctx: &Context) -> Vec<Artifact> {
             row.sizes_tried.to_string(),
         ]);
     }
-    vec![Artifact::Table(t)]
+    Ok(vec![Artifact::Table(t)])
 }
 
 #[cfg(test)]
@@ -79,7 +80,7 @@ mod tests {
     #[test]
     fn ablation_rows_are_consistent() {
         let ctx = Context::new(Scale::Quick, 111);
-        let artifacts = t5_confirm_ablation(&ctx);
+        let artifacts = t5_confirm_ablation(&ctx).unwrap();
         match &artifacts[0] {
             Artifact::Table(t) => {
                 assert_eq!(t.rows.len(), 7);
@@ -110,7 +111,7 @@ mod tests {
     #[test]
     fn geometric_growth_tries_fewer_sizes() {
         let ctx = Context::new(Scale::Quick, 112);
-        let artifacts = t5_confirm_ablation(&ctx);
+        let artifacts = t5_confirm_ablation(&ctx).unwrap();
         match &artifacts[0] {
             Artifact::Table(t) => {
                 let sizes = |label_prefix: &str| -> usize {

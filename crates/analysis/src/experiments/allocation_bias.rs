@@ -13,6 +13,7 @@ use workloads::{sample, BenchmarkId};
 
 use crate::artifact::{pct, Artifact, Table};
 use crate::context::Context;
+use crate::registry::ExperimentError;
 
 /// Result of one policy evaluation.
 #[derive(Debug, Clone)]
@@ -104,7 +105,7 @@ pub fn evaluate_policies(
 /// every type makes the hazard visible: the worst type's fixed prefix is
 /// biased by several percent, while random allocation turns the same
 /// spread into quantifiable (and averageable) sampling noise.
-pub fn f14_allocation_bias(ctx: &Context) -> Vec<Artifact> {
+pub fn f14_allocation_bias(ctx: &Context) -> Result<Vec<Artifact>, ExperimentError> {
     let bench = BenchmarkId::MemTriad;
     let mut t = Table::new(
         "F14",
@@ -142,7 +143,7 @@ pub fn f14_allocation_bias(ctx: &Context) -> Vec<Artifact> {
         "-".to_string(),
         "-".to_string(),
     ]);
-    vec![Artifact::Table(t)]
+    Ok(vec![Artifact::Table(t)])
 }
 
 #[cfg(test)]
@@ -183,7 +184,7 @@ mod tests {
     #[test]
     fn f14_covers_every_type_and_summarizes_worst() {
         let ctx = Context::new(Scale::Quick, 97);
-        let artifacts = f14_allocation_bias(&ctx);
+        let artifacts = f14_allocation_bias(&ctx).unwrap();
         match &artifacts[0] {
             Artifact::Table(t) => {
                 assert_eq!(t.rows.len(), ctx.cluster.types().len() + 1);

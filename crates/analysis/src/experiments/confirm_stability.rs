@@ -14,6 +14,7 @@ use workloads::BenchmarkId;
 use crate::artifact::{fmt, Artifact, Table};
 use crate::context::Context;
 use crate::experiments::confirm_study::machine_pool;
+use crate::registry::ExperimentError;
 
 /// Spread of CONFIRM answers across seeds for one configuration.
 #[derive(Debug, Clone)]
@@ -69,7 +70,7 @@ pub fn stability_sweep(
 }
 
 /// F16: the stability table.
-pub fn f16_confirm_stability(ctx: &Context) -> Vec<Artifact> {
+pub fn f16_confirm_stability(ctx: &Context) -> Result<Vec<Artifact>, ExperimentError> {
     let bench = BenchmarkId::DiskSeqRead;
     let rows = stability_sweep(ctx, bench, &[20, 50, 100, 200], 10);
     let mut t = Table::new(
@@ -86,7 +87,7 @@ pub fn f16_confirm_stability(ctx: &Context) -> Vec<Artifact> {
             r.range.1.to_string(),
         ]);
     }
-    vec![Artifact::Table(t)]
+    Ok(vec![Artifact::Table(t)])
 }
 
 #[cfg(test)]
@@ -128,7 +129,7 @@ mod tests {
     #[test]
     fn f16_artifact_shape() {
         let ctx = Context::new(Scale::Quick, 133);
-        let artifacts = f16_confirm_stability(&ctx);
+        let artifacts = f16_confirm_stability(&ctx).unwrap();
         match &artifacts[0] {
             Artifact::Table(t) => assert_eq!(t.rows.len(), 4),
             _ => panic!("expected table"),

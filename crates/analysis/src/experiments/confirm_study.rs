@@ -15,6 +15,7 @@ use workloads::{sample, BenchmarkId};
 
 use crate::artifact::{Artifact, SeriesSet, Table};
 use crate::context::Context;
+use crate::registry::ExperimentError;
 
 /// The benchmarks the repetition studies track.
 pub const REPRESENTATIVES: [BenchmarkId; 4] = [
@@ -83,7 +84,7 @@ pub fn requirement_cdf(requirements: &[Requirement]) -> Vec<(f64, f64)> {
 }
 
 /// F9: CDFs of required repetitions (±1% @ 95%) across machines.
-pub fn f9_confirm_cdf(ctx: &Context) -> Vec<Artifact> {
+pub fn f9_confirm_cdf(ctx: &Context) -> Result<Vec<Artifact>, ExperimentError> {
     let config = ctx.confirm.with_growth(confirm::Growth::Geometric(1.25));
     let mut fig = SeriesSet::new(
         "F9",
@@ -110,11 +111,11 @@ pub fn f9_confirm_cdf(ctx: &Context) -> Vec<Artifact> {
         ]);
         fig.push_series(bench.label(), requirement_cdf(&reqs));
     }
-    vec![Artifact::Figure(fig), Artifact::Table(t)]
+    Ok(vec![Artifact::Figure(fig), Artifact::Table(t)])
 }
 
 /// F10: repetitions for median vs p95 vs p99 (±5% target).
-pub fn f10_confirm_tails(ctx: &Context) -> Vec<Artifact> {
+pub fn f10_confirm_tails(ctx: &Context) -> Result<Vec<Artifact>, ExperimentError> {
     // Tail quantiles need big pools: generate one large pool per
     // machine on a heavy-tailed benchmark (network latency).
     let bench = BenchmarkId::NetLatency;
@@ -163,11 +164,11 @@ pub fn f10_confirm_tails(ctx: &Context) -> Vec<Artifact> {
         t.push_row(vec![stat.label(), med_display, exhausted.to_string()]);
         fig.push_series(&stat.label(), requirement_cdf(&reqs));
     }
-    vec![Artifact::Figure(fig), Artifact::Table(t)]
+    Ok(vec![Artifact::Figure(fig), Artifact::Table(t)])
 }
 
 /// T4: summary of requirements per benchmark at 1% and 5% targets.
-pub fn t4_repetition_summary(ctx: &Context) -> Vec<Artifact> {
+pub fn t4_repetition_summary(ctx: &Context) -> Result<Vec<Artifact>, ExperimentError> {
     let mut t = Table::new(
         "T4",
         "Repetitions for a 95% median CI (median / p95 machine; `>n` = pool exhausted)",
@@ -210,7 +211,7 @@ pub fn t4_repetition_summary(ctx: &Context) -> Vec<Artifact> {
             ]);
         }
     }
-    vec![Artifact::Table(t)]
+    Ok(vec![Artifact::Table(t)])
 }
 
 #[cfg(test)]
@@ -255,7 +256,7 @@ mod tests {
     #[test]
     fn f10_tails_cost_more() {
         let ctx = Context::new(Scale::Quick, 53);
-        let artifacts = f10_confirm_tails(&ctx);
+        let artifacts = f10_confirm_tails(&ctx).unwrap();
         match &artifacts[1] {
             Artifact::Table(t) => {
                 let parse =
@@ -275,7 +276,7 @@ mod tests {
     #[test]
     fn t4_looser_target_needs_fewer() {
         let ctx = Context::new(Scale::Quick, 54);
-        let artifacts = t4_repetition_summary(&ctx);
+        let artifacts = t4_repetition_summary(&ctx).unwrap();
         match &artifacts[0] {
             Artifact::Table(t) => {
                 assert_eq!(t.rows.len(), REPRESENTATIVES.len() * 2);

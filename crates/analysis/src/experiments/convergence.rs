@@ -11,6 +11,7 @@ use workloads::{sample, BenchmarkId};
 
 use crate::artifact::{Artifact, SeriesSet};
 use crate::context::Context;
+use crate::registry::ExperimentError;
 
 /// Repetition counts evaluated.
 pub const SWEEP: [usize; 7] = [10, 20, 40, 80, 150, 300, 500];
@@ -46,7 +47,7 @@ pub fn convergence_curve(ctx: &Context, bench: BenchmarkId) -> Vec<(f64, f64)> {
 }
 
 /// F8: one series per representative benchmark.
-pub fn f8_ci_convergence(ctx: &Context) -> Vec<Artifact> {
+pub fn f8_ci_convergence(ctx: &Context) -> Result<Vec<Artifact>, ExperimentError> {
     let mut fig = SeriesSet::new(
         "F8",
         "Median-CI relative half-width vs repetitions (one HDD machine)",
@@ -56,7 +57,7 @@ pub fn f8_ci_convergence(ctx: &Context) -> Vec<Artifact> {
     for bench in REPRESENTATIVES {
         fig.push_series(bench.label(), convergence_curve(ctx, bench));
     }
-    vec![Artifact::Figure(fig)]
+    Ok(vec![Artifact::Figure(fig)])
 }
 
 #[cfg(test)]
@@ -104,7 +105,7 @@ mod tests {
     #[test]
     fn f8_artifact_shape() {
         let ctx = Context::new(Scale::Quick, 44);
-        let artifacts = f8_ci_convergence(&ctx);
+        let artifacts = f8_ci_convergence(&ctx).unwrap();
         match &artifacts[0] {
             Artifact::Figure(f) => {
                 assert_eq!(f.series.len(), REPRESENTATIVES.len());

@@ -15,6 +15,7 @@ use workloads::BenchmarkId;
 
 use crate::artifact::{pct, Artifact, Table};
 use crate::context::Context;
+use crate::registry::ExperimentError;
 
 /// Per-(type, benchmark) variability decomposition.
 struct CovRow {
@@ -92,8 +93,8 @@ fn family_table(ctx: &Context, id: &str, title: &str, benches: &[BenchmarkId]) -
 }
 
 /// F3: memory-family CoV by type.
-pub fn f3_cov_memory(ctx: &Context) -> Vec<Artifact> {
-    vec![family_table(
+pub fn f3_cov_memory(ctx: &Context) -> Result<Vec<Artifact>, ExperimentError> {
+    Ok(vec![family_table(
         ctx,
         "F3",
         "CoV by machine type: memory benchmarks",
@@ -102,27 +103,27 @@ pub fn f3_cov_memory(ctx: &Context) -> Vec<Artifact> {
             BenchmarkId::MemTriad,
             BenchmarkId::MemLatency,
         ],
-    )]
+    )])
 }
 
 /// F4: disk-family CoV by type (HDD vs SSD ordering).
-pub fn f4_cov_disk(ctx: &Context) -> Vec<Artifact> {
-    vec![family_table(
+pub fn f4_cov_disk(ctx: &Context) -> Result<Vec<Artifact>, ExperimentError> {
+    Ok(vec![family_table(
         ctx,
         "F4",
         "CoV by machine type: disk benchmarks",
         &BenchmarkId::DISK,
-    )]
+    )])
 }
 
 /// F5: network-family CoV by type (throughput the most stable subsystem).
-pub fn f5_cov_network(ctx: &Context) -> Vec<Artifact> {
-    vec![family_table(
+pub fn f5_cov_network(ctx: &Context) -> Result<Vec<Artifact>, ExperimentError> {
+    Ok(vec![family_table(
         ctx,
         "F5",
         "CoV by machine type: network benchmarks",
         &BenchmarkId::NETWORK,
-    )]
+    )])
 }
 
 /// Median within-machine CoV across all types for one benchmark —
@@ -152,11 +153,14 @@ mod tests {
     fn tables_cover_all_types() {
         let ctx = Context::new(Scale::Quick, 12);
         for (f, rows_per_bench) in [
-            (f3_cov_memory as fn(&Context) -> Vec<Artifact>, 3usize),
+            (
+                f3_cov_memory as fn(&Context) -> Result<Vec<Artifact>, ExperimentError>,
+                3usize,
+            ),
             (f4_cov_disk, 4),
             (f5_cov_network, 2),
         ] {
-            let artifacts = f(&ctx);
+            let artifacts = f(&ctx).unwrap();
             match &artifacts[0] {
                 Artifact::Table(t) => {
                     assert_eq!(t.rows.len(), rows_per_bench * ctx.cluster.types().len());

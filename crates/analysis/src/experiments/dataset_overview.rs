@@ -6,9 +6,10 @@ use dataset::{outlier_sweep, overview, Fence};
 
 use crate::artifact::{fmt, pct, Artifact, Table};
 use crate::context::Context;
+use crate::registry::ExperimentError;
 
 /// T6: overview counts plus the per-benchmark outlier fractions.
-pub fn t6_dataset_overview(ctx: &Context) -> Vec<Artifact> {
+pub fn t6_dataset_overview(ctx: &Context) -> Result<Vec<Artifact>, ExperimentError> {
     let o = overview(&ctx.store);
     let mut head = Table::new("T6", "Campaign dataset overview", &["property", "value"]);
     for (k, v) in [
@@ -48,7 +49,7 @@ pub fn t6_dataset_overview(ctx: &Context) -> Vec<Artifact> {
             pct(r.worst_set_fraction),
         ]);
     }
-    vec![Artifact::Table(head), Artifact::Table(health)]
+    Ok(vec![Artifact::Table(head), Artifact::Table(health)])
 }
 
 #[cfg(test)]
@@ -59,7 +60,7 @@ mod tests {
     #[test]
     fn overview_matches_store() {
         let ctx = Context::new(Scale::Quick, 121);
-        let artifacts = t6_dataset_overview(&ctx);
+        let artifacts = t6_dataset_overview(&ctx).unwrap();
         assert_eq!(artifacts.len(), 2);
         match &artifacts[0] {
             Artifact::Table(t) => {

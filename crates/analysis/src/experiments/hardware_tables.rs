@@ -4,9 +4,10 @@ use workloads::BenchmarkId;
 
 use crate::artifact::{Artifact, Table};
 use crate::context::Context;
+use crate::registry::ExperimentError;
 
 /// T1: the machine-type catalog with provisioned counts.
-pub fn t1_hardware(ctx: &Context) -> Vec<Artifact> {
+pub fn t1_hardware(ctx: &Context) -> Result<Vec<Artifact>, ExperimentError> {
     let mut t = Table::new(
         "T1",
         "Hardware catalog (fleet types and provisioned counts)",
@@ -38,11 +39,11 @@ pub fn t1_hardware(ctx: &Context) -> Vec<Artifact> {
             provisioned.to_string(),
         ]);
     }
-    vec![Artifact::Table(t)]
+    Ok(vec![Artifact::Table(t)])
 }
 
 /// T2: the benchmark suite with families, units, and parameters.
-pub fn t2_benchmarks(_ctx: &Context) -> Vec<Artifact> {
+pub fn t2_benchmarks(_ctx: &Context) -> Result<Vec<Artifact>, ExperimentError> {
     let mut t = Table::new(
         "T2",
         "Benchmark suite (family, unit, parameters)",
@@ -61,7 +62,7 @@ pub fn t2_benchmarks(_ctx: &Context) -> Vec<Artifact> {
             b.params().to_string(),
         ]);
     }
-    vec![Artifact::Table(t)]
+    Ok(vec![Artifact::Table(t)])
 }
 
 #[cfg(test)]
@@ -72,7 +73,7 @@ mod tests {
     #[test]
     fn t1_lists_every_type() {
         let ctx = Context::new(Scale::Quick, 1);
-        let artifacts = t1_hardware(&ctx);
+        let artifacts = t1_hardware(&ctx).unwrap();
         assert_eq!(artifacts.len(), 1);
         match &artifacts[0] {
             Artifact::Table(t) => {
@@ -86,7 +87,7 @@ mod tests {
     #[test]
     fn t2_lists_every_benchmark() {
         let ctx = Context::new(Scale::Quick, 1);
-        let artifacts = t2_benchmarks(&ctx);
+        let artifacts = t2_benchmarks(&ctx).unwrap();
         match &artifacts[0] {
             Artifact::Table(t) => {
                 assert_eq!(t.rows.len(), BenchmarkId::ALL.len());

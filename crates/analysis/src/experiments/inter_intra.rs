@@ -12,6 +12,7 @@ use workloads::BenchmarkId;
 
 use crate::artifact::{pct, Artifact, Table};
 use crate::context::Context;
+use crate::registry::ExperimentError;
 
 /// Variance decomposition of one (type, benchmark) cell.
 #[derive(Debug, Clone)]
@@ -72,7 +73,7 @@ pub fn decompose(ctx: &Context, type_name: &str, bench: BenchmarkId) -> Option<D
 }
 
 /// F12: the decomposition table for memory and disk benchmarks.
-pub fn f12_inter_intra(ctx: &Context) -> Vec<Artifact> {
+pub fn f12_inter_intra(ctx: &Context) -> Result<Vec<Artifact>, ExperimentError> {
     let mut t = Table::new(
         "F12",
         "Inter- vs intra-machine variability (between-machine variance share)",
@@ -97,7 +98,7 @@ pub fn f12_inter_intra(ctx: &Context) -> Vec<Artifact> {
             }
         }
     }
-    vec![Artifact::Table(t)]
+    Ok(vec![Artifact::Table(t)])
 }
 
 #[cfg(test)]
@@ -168,7 +169,7 @@ mod tests {
     #[test]
     fn f12_table_is_populated() {
         let ctx = Context::new(Scale::Quick, 85);
-        let artifacts = f12_inter_intra(&ctx);
+        let artifacts = f12_inter_intra(&ctx).unwrap();
         match &artifacts[0] {
             Artifact::Table(t) => {
                 assert_eq!(t.rows.len(), 2 * ctx.cluster.types().len());

@@ -14,6 +14,7 @@ use workloads::{sample, BenchmarkId};
 
 use crate::artifact::{pct, Artifact, Table};
 use crate::context::Context;
+use crate::registry::ExperimentError;
 
 /// Outcome of the quiet-vs-contended comparison for one benchmark.
 #[derive(Debug, Clone)]
@@ -75,7 +76,7 @@ pub fn compare_interference(ctx: &Context, benches: &[BenchmarkId]) -> Vec<Inter
 }
 
 /// F15: the quiet-vs-contended table.
-pub fn f15_interference(ctx: &Context) -> Vec<Artifact> {
+pub fn f15_interference(ctx: &Context) -> Result<Vec<Artifact>, ExperimentError> {
     let benches = [
         BenchmarkId::MemTriad,
         BenchmarkId::DiskSeqRead,
@@ -106,7 +107,7 @@ pub fn f15_interference(ctx: &Context) -> Vec<Artifact> {
             o.normality.1.to_string(),
         ]);
     }
-    vec![Artifact::Table(t)]
+    Ok(vec![Artifact::Table(t)])
 }
 
 #[cfg(test)]
@@ -174,7 +175,7 @@ mod tests {
     #[test]
     fn f15_artifact_shape() {
         let ctx = Context::new(Scale::Quick, 101);
-        let artifacts = f15_interference(&ctx);
+        let artifacts = f15_interference(&ctx).unwrap();
         match &artifacts[0] {
             Artifact::Table(t) => assert_eq!(t.rows.len(), 4),
             _ => panic!("expected table"),

@@ -14,6 +14,7 @@ use varstats::quantile::median;
 
 use crate::artifact::{fmt, pct, Artifact, SeriesSet, Table};
 use crate::context::Context;
+use crate::registry::ExperimentError;
 
 /// One contamination level's outcome.
 #[derive(Debug, Clone, Copy)]
@@ -83,7 +84,7 @@ pub fn contamination_sweep(
 }
 
 /// F7 artifacts: bias curves and the summary table.
-pub fn f7_mean_vs_median(ctx: &Context) -> Vec<Artifact> {
+pub fn f7_mean_vs_median(ctx: &Context) -> Result<Vec<Artifact>, ExperimentError> {
     let points = contamination_sweep(ctx.seed.wrapping_add(7), 50, 60, 3.0);
     let mut fig = SeriesSet::new(
         "F7",
@@ -125,7 +126,7 @@ pub fn f7_mean_vs_median(ctx: &Context) -> Vec<Artifact> {
             fmt(p.median_ci_halfwidth, 5),
         ]);
     }
-    vec![Artifact::Figure(fig), Artifact::Table(t)]
+    Ok(vec![Artifact::Figure(fig), Artifact::Table(t)])
 }
 
 #[cfg(test)]
@@ -162,7 +163,7 @@ mod tests {
     #[test]
     fn f7_artifacts_shape() {
         let ctx = Context::new(Scale::Quick, 31);
-        let artifacts = f7_mean_vs_median(&ctx);
+        let artifacts = f7_mean_vs_median(&ctx).unwrap();
         assert_eq!(artifacts.len(), 2);
         match &artifacts[0] {
             Artifact::Figure(f) => {

@@ -8,6 +8,7 @@ use workloads::{sample, BenchmarkId};
 
 use crate::artifact::{fmt, Artifact, SeriesSet, Table};
 use crate::context::Context;
+use crate::registry::ExperimentError;
 
 /// Picks the first machine of the first HDD type.
 fn first_hdd_machine(ctx: &Context) -> testbed::MachineId {
@@ -22,7 +23,7 @@ fn first_hdd_machine(ctx: &Context) -> testbed::MachineId {
 
 /// F1: 1000 repeated disk-write runs on one machine are skewed with a
 /// distinct outlier tail; the mean and median visibly disagree.
-pub fn f1_motivating(ctx: &Context) -> Vec<Artifact> {
+pub fn f1_motivating(ctx: &Context) -> Result<Vec<Artifact>, ExperimentError> {
     let machine = first_hdd_machine(ctx);
     let runs: Vec<f64> = (0..1000u64)
         .map(|n| sample(&ctx.cluster, machine, BenchmarkId::DiskSeqWrite, 0.0, n).unwrap())
@@ -66,12 +67,12 @@ pub fn f1_motivating(ctx: &Context) -> Vec<Artifact> {
     ] {
         t.push_row(vec![name.to_string(), fmt(v, 4)]);
     }
-    vec![Artifact::Figure(fig), Artifact::Table(t)]
+    Ok(vec![Artifact::Figure(fig), Artifact::Table(t)])
 }
 
 /// F2: per-machine median memory bandwidth across one type's fleet is
 /// multimodal — nominally identical machines fall into distinct clusters.
-pub fn f2_memory_multimodal(ctx: &Context) -> Vec<Artifact> {
+pub fn f2_memory_multimodal(ctx: &Context) -> Result<Vec<Artifact>, ExperimentError> {
     // Use the type with the largest provisioned fleet for a dense
     // histogram, and widen the per-machine pool beyond the campaign by
     // sampling directly (cross-machine structure needs many machines; the
@@ -129,7 +130,7 @@ pub fn f2_memory_multimodal(ctx: &Context) -> Vec<Artifact> {
         modes.to_string(),
         crate::artifact::pct(spread),
     ]);
-    vec![Artifact::Figure(fig), Artifact::Table(t)]
+    Ok(vec![Artifact::Figure(fig), Artifact::Table(t)])
 }
 
 #[cfg(test)]
@@ -140,7 +141,7 @@ mod tests {
     #[test]
     fn f1_shows_left_skewed_throughput() {
         let ctx = Context::new(Scale::Quick, 3);
-        let artifacts = f1_motivating(&ctx);
+        let artifacts = f1_motivating(&ctx).unwrap();
         assert_eq!(artifacts.len(), 2);
         // Throughput outliers are slow runs, so the mean must sit below
         // the median (left skew).
@@ -170,7 +171,7 @@ mod tests {
         // at larger fleets; assert at least the artifact structure and
         // spread here.
         let ctx = Context::new(Scale::Quick, 4);
-        let artifacts = f2_memory_multimodal(&ctx);
+        let artifacts = f2_memory_multimodal(&ctx).unwrap();
         match &artifacts[1] {
             Artifact::Table(t) => {
                 let spread: f64 = t.rows[0][3].trim_end_matches('%').parse().unwrap();

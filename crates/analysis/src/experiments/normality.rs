@@ -10,6 +10,7 @@ use workloads::BenchmarkId;
 
 use crate::artifact::{pct, Artifact, Table};
 use crate::context::Context;
+use crate::registry::ExperimentError;
 
 /// Outcome of the census for one benchmark.
 #[derive(Debug, Clone, Copy)]
@@ -62,7 +63,7 @@ pub fn census(ctx: &Context, alpha: f64) -> Vec<NormalityCensusRow> {
 }
 
 /// F6: pass rates per benchmark plus the overall fraction.
-pub fn f6_normality(ctx: &Context) -> Vec<Artifact> {
+pub fn f6_normality(ctx: &Context) -> Result<Vec<Artifact>, ExperimentError> {
     let rows = census(ctx, 0.05);
     let mut t = Table::new(
         "F6",
@@ -89,7 +90,7 @@ pub fn f6_normality(ctx: &Context) -> Vec<Artifact> {
         total_passed.to_string(),
         pct(total_passed as f64 / total_sets.max(1) as f64),
     ]);
-    vec![Artifact::Table(t)]
+    Ok(vec![Artifact::Table(t)])
 }
 
 #[cfg(test)]
@@ -129,7 +130,7 @@ mod tests {
     #[test]
     fn f6_table_has_total_row() {
         let ctx = Context::new(Scale::Quick, 23);
-        let artifacts = f6_normality(&ctx);
+        let artifacts = f6_normality(&ctx).unwrap();
         match &artifacts[0] {
             Artifact::Table(t) => {
                 assert_eq!(t.rows.len(), BenchmarkId::ALL.len() + 1);

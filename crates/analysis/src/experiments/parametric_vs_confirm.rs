@@ -13,6 +13,7 @@ use workloads::BenchmarkId;
 use crate::artifact::{Artifact, Table};
 use crate::context::Context;
 use crate::experiments::confirm_study::machine_pool;
+use crate::registry::ExperimentError;
 
 /// The benchmarks compared in T3.
 pub const BENCHES: [BenchmarkId; 3] = [
@@ -22,7 +23,7 @@ pub const BENCHES: [BenchmarkId; 3] = [
 ];
 
 /// T3: the comparison table.
-pub fn t3_parametric_vs_confirm(ctx: &Context) -> Vec<Artifact> {
+pub fn t3_parametric_vs_confirm(ctx: &Context) -> Result<Vec<Artifact>, ExperimentError> {
     let mut t = Table::new(
         "T3",
         "Parametric (Jain) vs CONFIRM repetition estimates (+/-1%, 95%)",
@@ -58,7 +59,7 @@ pub fn t3_parametric_vs_confirm(ctx: &Context) -> Vec<Artifact> {
             ]);
         }
     }
-    vec![Artifact::Table(t)]
+    Ok(vec![Artifact::Table(t)])
 }
 
 #[cfg(test)]
@@ -69,7 +70,7 @@ mod tests {
     #[test]
     fn t3_covers_types_times_benches() {
         let ctx = Context::new(Scale::Quick, 61);
-        let artifacts = t3_parametric_vs_confirm(&ctx);
+        let artifacts = t3_parametric_vs_confirm(&ctx).unwrap();
         match &artifacts[0] {
             Artifact::Table(t) => {
                 assert_eq!(t.rows.len(), ctx.cluster.types().len() * BENCHES.len());
@@ -91,7 +92,7 @@ mod tests {
     #[test]
     fn confirm_never_reports_below_minimum_subset() {
         let ctx = Context::new(Scale::Quick, 62);
-        let artifacts = t3_parametric_vs_confirm(&ctx);
+        let artifacts = t3_parametric_vs_confirm(&ctx).unwrap();
         match &artifacts[0] {
             Artifact::Table(t) => {
                 for row in &t.rows {
@@ -113,7 +114,7 @@ mod tests {
         // does not hold). On the skewed disk benchmark the disagreement
         // should be the rule, not the exception.
         let ctx = Context::new(Scale::Quick, 63);
-        let artifacts = t3_parametric_vs_confirm(&ctx);
+        let artifacts = t3_parametric_vs_confirm(&ctx).unwrap();
         match &artifacts[0] {
             Artifact::Table(t) => {
                 let mut disagree = 0usize;

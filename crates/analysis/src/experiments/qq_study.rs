@@ -11,6 +11,7 @@ use workloads::{sample, BenchmarkId};
 
 use crate::artifact::{fmt, Artifact, SeriesSet, Table};
 use crate::context::Context;
+use crate::registry::ExperimentError;
 
 /// Benchmarks whose QQ lines the figure draws.
 pub const REPRESENTATIVES: [BenchmarkId; 3] = [
@@ -21,7 +22,7 @@ pub const REPRESENTATIVES: [BenchmarkId; 3] = [
 
 /// F13: QQ series per representative benchmark plus the per-benchmark
 /// Filliben correlation census.
-pub fn f13_qq(ctx: &Context) -> Vec<Artifact> {
+pub fn f13_qq(ctx: &Context) -> Result<Vec<Artifact>, ExperimentError> {
     let machine = ctx.cluster.machines()[0].id;
     let mut fig = SeriesSet::new(
         "F13",
@@ -60,7 +61,7 @@ pub fn f13_qq(ctx: &Context) -> Vec<Artifact> {
         let min = rs.iter().cloned().fold(f64::INFINITY, f64::min);
         t.push_row(vec![bench.label().to_string(), fmt(med, 4), fmt(min, 4)]);
     }
-    vec![Artifact::Figure(fig), Artifact::Table(t)]
+    Ok(vec![Artifact::Figure(fig), Artifact::Table(t)])
 }
 
 #[cfg(test)]
@@ -71,7 +72,7 @@ mod tests {
     #[test]
     fn heavy_tailed_benchmarks_have_lower_filliben_r() {
         let ctx = Context::new(Scale::Quick, 91);
-        let artifacts = f13_qq(&ctx);
+        let artifacts = f13_qq(&ctx).unwrap();
         match &artifacts[1] {
             Artifact::Table(t) => {
                 let r_of = |label: &str| -> f64 {
@@ -91,7 +92,7 @@ mod tests {
     #[test]
     fn qq_series_are_monotone() {
         let ctx = Context::new(Scale::Quick, 92);
-        let artifacts = f13_qq(&ctx);
+        let artifacts = f13_qq(&ctx).unwrap();
         match &artifacts[0] {
             Artifact::Figure(f) => {
                 assert_eq!(f.series.len(), REPRESENTATIVES.len());

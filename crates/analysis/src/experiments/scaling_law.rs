@@ -14,6 +14,7 @@ use varstats::special::normal_quantile;
 
 use crate::artifact::{fmt, Artifact, SeriesSet, Table};
 use crate::context::Context;
+use crate::registry::ExperimentError;
 
 /// The CoV levels swept.
 pub const COV_SWEEP: [f64; 5] = [0.005, 0.01, 0.02, 0.04, 0.08];
@@ -66,7 +67,7 @@ pub fn sweep(ctx: &Context, target: f64) -> Vec<ScalingPoint> {
 }
 
 /// F17: measured vs predicted requirements across the CoV sweep.
-pub fn f17_scaling_law(ctx: &Context) -> Vec<Artifact> {
+pub fn f17_scaling_law(ctx: &Context) -> Result<Vec<Artifact>, ExperimentError> {
     let target = 0.01;
     let points = sweep(ctx, target);
     let mut fig = SeriesSet::new(
@@ -97,7 +98,7 @@ pub fn f17_scaling_law(ctx: &Context) -> Vec<Artifact> {
             fmt(ratio, 2),
         ]);
     }
-    vec![Artifact::Figure(fig), Artifact::Table(t)]
+    Ok(vec![Artifact::Figure(fig), Artifact::Table(t)])
 }
 
 #[cfg(test)]
@@ -143,7 +144,7 @@ mod tests {
     #[test]
     fn f17_artifact_shape() {
         let ctx = Context::new(Scale::Quick, 153);
-        let artifacts = f17_scaling_law(&ctx);
+        let artifacts = f17_scaling_law(&ctx).unwrap();
         assert_eq!(artifacts.len(), 2);
         match &artifacts[0] {
             Artifact::Figure(f) => {

@@ -10,6 +10,7 @@ use workloads::{sample, BenchmarkId};
 
 use crate::artifact::{fmt, Artifact, SeriesSet, Table};
 use crate::context::Context;
+use crate::registry::ExperimentError;
 
 /// Builds a daily series (one sample per day, decorrelated nonces) of
 /// `bench` on `machine`.
@@ -21,7 +22,7 @@ pub fn daily_series(ctx: &Context, machine: testbed::MachineId, bench: Benchmark
 }
 
 /// F11 artifacts: the series, the PELT/CUSUM detections, and ground truth.
-pub fn f11_temporal(ctx: &Context) -> Vec<Artifact> {
+pub fn f11_temporal(ctx: &Context) -> Result<Vec<Artifact>, ExperimentError> {
     let bench = BenchmarkId::MemLatency;
     let machine = ctx.cluster.machines()[0].id;
     let series = daily_series(ctx, machine, bench);
@@ -70,7 +71,7 @@ pub fn f11_temporal(ctx: &Context) -> Vec<Artifact> {
             ),
         ]);
     }
-    vec![Artifact::Figure(fig), Artifact::Table(t)]
+    Ok(vec![Artifact::Figure(fig), Artifact::Table(t)])
 }
 
 #[cfg(test)]
@@ -125,7 +126,7 @@ mod tests {
     #[test]
     fn f11_artifacts_include_truth_and_detection() {
         let ctx = Context::new(Scale::Quick, 74);
-        let artifacts = f11_temporal(&ctx);
+        let artifacts = f11_temporal(&ctx).unwrap();
         assert_eq!(artifacts.len(), 2);
         match &artifacts[1] {
             Artifact::Table(t) => {

@@ -11,6 +11,7 @@ use workloads::BenchmarkId;
 
 use crate::artifact::{fmt, Artifact, Table};
 use crate::context::Context;
+use crate::registry::ExperimentError;
 
 /// Outcome for one (type, benchmark) cell.
 #[derive(Debug, Clone)]
@@ -51,7 +52,7 @@ pub fn homogeneity_by_type(ctx: &Context, bench: BenchmarkId) -> Vec<Homogeneity
 /// T7: per-benchmark fraction of types whose machines fail variance
 /// homogeneity, plus the per-type detail for the representative disk
 /// benchmark.
-pub fn t7_variance_homogeneity(ctx: &Context) -> Vec<Artifact> {
+pub fn t7_variance_homogeneity(ctx: &Context) -> Result<Vec<Artifact>, ExperimentError> {
     let mut summary = Table::new(
         "T7",
         "Brown-Forsythe variance homogeneity across same-type machines (alpha = 0.05)",
@@ -90,7 +91,7 @@ pub fn t7_variance_homogeneity(ctx: &Context) -> Vec<Artifact> {
             (cell.p_value >= 0.05).to_string(),
         ]);
     }
-    vec![Artifact::Table(summary), Artifact::Table(detail)]
+    Ok(vec![Artifact::Table(summary), Artifact::Table(detail)])
 }
 
 #[cfg(test)]
@@ -155,7 +156,7 @@ mod tests {
     #[test]
     fn t7_artifact_shape() {
         let ctx = Context::new(Scale::Quick, 143);
-        let artifacts = t7_variance_homogeneity(&ctx);
+        let artifacts = t7_variance_homogeneity(&ctx).unwrap();
         assert_eq!(artifacts.len(), 2);
         match &artifacts[0] {
             Artifact::Table(t) => assert_eq!(t.rows.len(), 5),

@@ -4,12 +4,15 @@
 //! DESIGN.md §4) has a pipeline here that regenerates it from the
 //! simulated campaign: T1/T2 (setup tables), F1–F12 (figures), T3/T4
 //! (comparison and summary tables). The [`registry`] maps ids to
-//! pipelines; the `repro` binary drives them from the command line:
+//! [`Experiment`] trait objects (id, kind, title, cost class, fallible
+//! `run`); the [`engine`] executes any slice of them across worker
+//! threads under a byte-identical determinism contract; the `repro`
+//! binary drives both from the command line:
 //!
 //! ```text
 //! cargo run -p analysis --bin repro -- list
 //! cargo run -p analysis --bin repro -- F9 --scale quick --seed 42
-//! cargo run -p analysis --bin repro -- all --out artifacts/
+//! cargo run -p analysis --bin repro -- all --jobs 8 --out artifacts/
 //! ```
 
 #![forbid(unsafe_code)]
@@ -17,9 +20,11 @@
 
 pub mod artifact;
 pub mod context;
+pub mod engine;
 pub mod experiments;
 pub mod registry;
 
 pub use artifact::{Artifact, Series, SeriesSet, Table};
 pub use context::{Context, Scale};
-pub use registry::{all, find, Experiment, Kind};
+pub use engine::{run_experiments, run_experiments_with, ExperimentRun};
+pub use registry::{all, find, Cost, Experiment, ExperimentError, Kind};

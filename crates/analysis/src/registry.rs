@@ -1,4 +1,12 @@
 //! The experiment registry: every reproduced table and figure, by id.
+//!
+//! Each entry implements the [`Experiment`] trait — id, kind, title,
+//! [`Cost`] class, and a fallible [`Experiment::run`] — and the whole
+//! registry is a static table, so [`all`] and [`find`] hand out
+//! `&'static dyn Experiment` references that can be shared freely across
+//! the scheduler's worker threads (see [`crate::engine`]).
+
+use std::fmt;
 
 use crate::artifact::Artifact;
 use crate::context::Context;
@@ -13,171 +21,304 @@ pub enum Kind {
     Figure,
 }
 
-/// One registered experiment.
-pub struct Experiment {
+impl Kind {
+    /// Lowercase label (`table` / `figure`) for CLI output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Kind::Table => "table",
+            Kind::Figure => "figure",
+        }
+    }
+}
+
+/// Rough wall-time class of an experiment, used by the scheduler to start
+/// the longest pipelines first so the parallel run is bound by the single
+/// slowest experiment rather than an unlucky tail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Cost {
+    /// Renders catalog data or a single small slice; microseconds.
+    Light,
+    /// Full-store scans and per-machine statistics; milliseconds.
+    Medium,
+    /// CONFIRM resampling sweeps; the long pole of `repro all`.
+    Heavy,
+}
+
+impl Cost {
+    /// Lowercase label (`light` / `medium` / `heavy`) for CLI output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Cost::Light => "light",
+            Cost::Medium => "medium",
+            Cost::Heavy => "heavy",
+        }
+    }
+}
+
+/// Why an experiment pipeline could not produce its artifacts.
+///
+/// Experiments are pure functions of the shared [`Context`]; a failure
+/// means the context cannot support the pipeline (empty slice, degenerate
+/// statistics), not an I/O problem. The engine reports failures per id
+/// and keeps running the rest of the registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExperimentError {
+    message: String,
+}
+
+impl ExperimentError {
+    /// Creates an error with a human-readable cause.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// The human-readable cause.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+/// One runnable experiment: metadata plus a fallible pipeline.
+///
+/// Implementations must be [`Sync`] so the engine can fan a registry
+/// slice out across worker threads against one shared immutable context.
+pub trait Experiment: Sync {
     /// Experiment id (`T1`, `F9`, ...).
-    pub id: &'static str,
+    fn id(&self) -> &str;
     /// The kind of artifact it reproduces.
-    pub kind: Kind,
+    fn kind(&self) -> Kind;
     /// What paper finding it reproduces.
-    pub title: &'static str,
-    /// The pipeline.
-    pub run: fn(&Context) -> Vec<Artifact>,
+    fn title(&self) -> &str;
+    /// Rough wall-time class, for scheduling.
+    fn cost(&self) -> Cost;
+    /// Runs the pipeline against the shared campaign context.
+    fn run(&self, ctx: &Context) -> Result<Vec<Artifact>, ExperimentError>;
+}
+
+/// A registry entry: static metadata around a plain function pointer.
+struct Entry {
+    id: &'static str,
+    kind: Kind,
+    title: &'static str,
+    cost: Cost,
+    run: fn(&Context) -> Result<Vec<Artifact>, ExperimentError>,
+}
+
+impl Experiment for Entry {
+    fn id(&self) -> &str {
+        self.id
+    }
+
+    fn kind(&self) -> Kind {
+        self.kind
+    }
+
+    fn title(&self) -> &str {
+        self.title
+    }
+
+    fn cost(&self) -> Cost {
+        self.cost
+    }
+
+    fn run(&self, ctx: &Context) -> Result<Vec<Artifact>, ExperimentError> {
+        (self.run)(ctx)
+    }
 }
 
 /// All experiments, in DESIGN.md order.
-pub fn all() -> Vec<Experiment> {
-    vec![
-        Experiment {
-            id: "T1",
-            kind: Kind::Table,
-            title: "Hardware catalog: machine types, counts, specs",
-            run: experiments::hardware_tables::t1_hardware,
-        },
-        Experiment {
-            id: "T2",
-            kind: Kind::Table,
-            title: "Benchmark suite and parameters",
-            run: experiments::hardware_tables::t2_benchmarks,
-        },
-        Experiment {
-            id: "F1",
-            kind: Kind::Figure,
-            title: "Motivating example: skewed repeated disk runs on one machine",
-            run: experiments::motivating::f1_motivating,
-        },
-        Experiment {
-            id: "F2",
-            kind: Kind::Figure,
-            title: "Memory bandwidth across one type's machines is multimodal",
-            run: experiments::motivating::f2_memory_multimodal,
-        },
-        Experiment {
-            id: "F3",
-            kind: Kind::Figure,
-            title: "CoV by machine type: memory benchmarks",
-            run: experiments::cov::f3_cov_memory,
-        },
-        Experiment {
-            id: "F4",
-            kind: Kind::Figure,
-            title: "CoV by machine type: disk benchmarks (HDD >> SSD)",
-            run: experiments::cov::f4_cov_disk,
-        },
-        Experiment {
-            id: "F5",
-            kind: Kind::Figure,
-            title: "CoV by machine type: network benchmarks",
-            run: experiments::cov::f5_cov_network,
-        },
-        Experiment {
-            id: "F6",
-            kind: Kind::Figure,
-            title: "Shapiro-Wilk normality census: most sample sets are not normal",
-            run: experiments::normality::f6_normality,
-        },
-        Experiment {
-            id: "F7",
-            kind: Kind::Figure,
-            title: "Mean fragile vs median robust under contamination",
-            run: experiments::mean_median::f7_mean_vs_median,
-        },
-        Experiment {
-            id: "F8",
-            kind: Kind::Figure,
-            title: "Median-CI half-width vs repetitions (convergence curves)",
-            run: experiments::convergence::f8_ci_convergence,
-        },
-        Experiment {
-            id: "F9",
-            kind: Kind::Figure,
-            title: "CONFIRM: CDF of required repetitions across machines",
-            run: experiments::confirm_study::f9_confirm_cdf,
-        },
-        Experiment {
-            id: "F10",
-            kind: Kind::Figure,
-            title: "CONFIRM on tail quantiles: p95/p99 cost far more than the median",
-            run: experiments::confirm_study::f10_confirm_tails,
-        },
-        Experiment {
-            id: "T3",
-            kind: Kind::Table,
-            title: "Parametric (Jain) vs CONFIRM estimates with normality verdicts",
-            run: experiments::parametric_vs_confirm::t3_parametric_vs_confirm,
-        },
-        Experiment {
-            id: "F11",
-            kind: Kind::Figure,
-            title: "Temporal variability: maintenance changepoints detected",
-            run: experiments::temporal::f11_temporal,
-        },
-        Experiment {
-            id: "F12",
-            kind: Kind::Figure,
-            title: "Inter- vs intra-machine variability decomposition",
-            run: experiments::inter_intra::f12_inter_intra,
-        },
-        Experiment {
-            id: "T4",
-            kind: Kind::Table,
-            title: "Summary of required repetitions per benchmark and target",
-            run: experiments::confirm_study::t4_repetition_summary,
-        },
-        Experiment {
-            id: "F13",
-            kind: Kind::Figure,
-            title: "Normal QQ study: the visual non-normality argument, quantified",
-            run: experiments::qq_study::f13_qq,
-        },
-        Experiment {
-            id: "F14",
-            kind: Kind::Figure,
-            title: "Allocation-policy bias: randomize machine selection",
-            run: experiments::allocation_bias::f14_allocation_bias,
-        },
-        Experiment {
-            id: "F15",
-            kind: Kind::Figure,
-            title: "Noisy-neighbor interference inflates variability and repetitions",
-            run: experiments::interference_study::f15_interference,
-        },
-        Experiment {
-            id: "T5",
-            kind: Kind::Table,
-            title: "CONFIRM configuration ablation (criterion, CI method, growth)",
-            run: experiments::ablation::t5_confirm_ablation,
-        },
-        Experiment {
-            id: "T6",
-            kind: Kind::Table,
-            title: "Campaign dataset overview and outlier health sweep",
-            run: experiments::dataset_overview::t6_dataset_overview,
-        },
-        Experiment {
-            id: "F16",
-            kind: Kind::Figure,
-            title: "CONFIRM answer stability across subsampling seeds",
-            run: experiments::confirm_stability::f16_confirm_stability,
-        },
-        Experiment {
-            id: "T7",
-            kind: Kind::Table,
-            title: "Variance homogeneity across same-type machines (Brown-Forsythe)",
-            run: experiments::variance_homogeneity::t7_variance_homogeneity,
-        },
-        Experiment {
-            id: "F17",
-            kind: Kind::Figure,
-            title: "CONFIRM requirement vs CoV: the quadratic scaling law vs theory",
-            run: experiments::scaling_law::f17_scaling_law,
-        },
-    ]
+static REGISTRY: [Entry; 24] = [
+    Entry {
+        id: "T1",
+        kind: Kind::Table,
+        title: "Hardware catalog: machine types, counts, specs",
+        cost: Cost::Light,
+        run: experiments::hardware_tables::t1_hardware,
+    },
+    Entry {
+        id: "T2",
+        kind: Kind::Table,
+        title: "Benchmark suite and parameters",
+        cost: Cost::Light,
+        run: experiments::hardware_tables::t2_benchmarks,
+    },
+    Entry {
+        id: "F1",
+        kind: Kind::Figure,
+        title: "Motivating example: skewed repeated disk runs on one machine",
+        cost: Cost::Light,
+        run: experiments::motivating::f1_motivating,
+    },
+    Entry {
+        id: "F2",
+        kind: Kind::Figure,
+        title: "Memory bandwidth across one type's machines is multimodal",
+        cost: Cost::Light,
+        run: experiments::motivating::f2_memory_multimodal,
+    },
+    Entry {
+        id: "F3",
+        kind: Kind::Figure,
+        title: "CoV by machine type: memory benchmarks",
+        cost: Cost::Medium,
+        run: experiments::cov::f3_cov_memory,
+    },
+    Entry {
+        id: "F4",
+        kind: Kind::Figure,
+        title: "CoV by machine type: disk benchmarks (HDD >> SSD)",
+        cost: Cost::Medium,
+        run: experiments::cov::f4_cov_disk,
+    },
+    Entry {
+        id: "F5",
+        kind: Kind::Figure,
+        title: "CoV by machine type: network benchmarks",
+        cost: Cost::Medium,
+        run: experiments::cov::f5_cov_network,
+    },
+    Entry {
+        id: "F6",
+        kind: Kind::Figure,
+        title: "Shapiro-Wilk normality census: most sample sets are not normal",
+        cost: Cost::Medium,
+        run: experiments::normality::f6_normality,
+    },
+    Entry {
+        id: "F7",
+        kind: Kind::Figure,
+        title: "Mean fragile vs median robust under contamination",
+        cost: Cost::Medium,
+        run: experiments::mean_median::f7_mean_vs_median,
+    },
+    Entry {
+        id: "F8",
+        kind: Kind::Figure,
+        title: "Median-CI half-width vs repetitions (convergence curves)",
+        cost: Cost::Medium,
+        run: experiments::convergence::f8_ci_convergence,
+    },
+    Entry {
+        id: "F9",
+        kind: Kind::Figure,
+        title: "CONFIRM: CDF of required repetitions across machines",
+        cost: Cost::Heavy,
+        run: experiments::confirm_study::f9_confirm_cdf,
+    },
+    Entry {
+        id: "F10",
+        kind: Kind::Figure,
+        title: "CONFIRM on tail quantiles: p95/p99 cost far more than the median",
+        cost: Cost::Heavy,
+        run: experiments::confirm_study::f10_confirm_tails,
+    },
+    Entry {
+        id: "T3",
+        kind: Kind::Table,
+        title: "Parametric (Jain) vs CONFIRM estimates with normality verdicts",
+        cost: Cost::Heavy,
+        run: experiments::parametric_vs_confirm::t3_parametric_vs_confirm,
+    },
+    Entry {
+        id: "F11",
+        kind: Kind::Figure,
+        title: "Temporal variability: maintenance changepoints detected",
+        cost: Cost::Medium,
+        run: experiments::temporal::f11_temporal,
+    },
+    Entry {
+        id: "F12",
+        kind: Kind::Figure,
+        title: "Inter- vs intra-machine variability decomposition",
+        cost: Cost::Medium,
+        run: experiments::inter_intra::f12_inter_intra,
+    },
+    Entry {
+        id: "T4",
+        kind: Kind::Table,
+        title: "Summary of required repetitions per benchmark and target",
+        cost: Cost::Heavy,
+        run: experiments::confirm_study::t4_repetition_summary,
+    },
+    Entry {
+        id: "F13",
+        kind: Kind::Figure,
+        title: "Normal QQ study: the visual non-normality argument, quantified",
+        cost: Cost::Medium,
+        run: experiments::qq_study::f13_qq,
+    },
+    Entry {
+        id: "F14",
+        kind: Kind::Figure,
+        title: "Allocation-policy bias: randomize machine selection",
+        cost: Cost::Heavy,
+        run: experiments::allocation_bias::f14_allocation_bias,
+    },
+    Entry {
+        id: "F15",
+        kind: Kind::Figure,
+        title: "Noisy-neighbor interference inflates variability and repetitions",
+        cost: Cost::Heavy,
+        run: experiments::interference_study::f15_interference,
+    },
+    Entry {
+        id: "T5",
+        kind: Kind::Table,
+        title: "CONFIRM configuration ablation (criterion, CI method, growth)",
+        cost: Cost::Heavy,
+        run: experiments::ablation::t5_confirm_ablation,
+    },
+    Entry {
+        id: "T6",
+        kind: Kind::Table,
+        title: "Campaign dataset overview and outlier health sweep",
+        cost: Cost::Medium,
+        run: experiments::dataset_overview::t6_dataset_overview,
+    },
+    Entry {
+        id: "F16",
+        kind: Kind::Figure,
+        title: "CONFIRM answer stability across subsampling seeds",
+        cost: Cost::Heavy,
+        run: experiments::confirm_stability::f16_confirm_stability,
+    },
+    Entry {
+        id: "T7",
+        kind: Kind::Table,
+        title: "Variance homogeneity across same-type machines (Brown-Forsythe)",
+        cost: Cost::Medium,
+        run: experiments::variance_homogeneity::t7_variance_homogeneity,
+    },
+    Entry {
+        id: "F17",
+        kind: Kind::Figure,
+        title: "CONFIRM requirement vs CoV: the quadratic scaling law vs theory",
+        cost: Cost::Heavy,
+        run: experiments::scaling_law::f17_scaling_law,
+    },
+];
+
+/// All experiments, in DESIGN.md order.
+pub fn all() -> Vec<&'static dyn Experiment> {
+    REGISTRY.iter().map(|e| e as &dyn Experiment).collect()
 }
 
 /// Looks up an experiment by id (case-insensitive).
-pub fn find(id: &str) -> Option<Experiment> {
-    all().into_iter().find(|e| e.id.eq_ignore_ascii_case(id))
+pub fn find(id: &str) -> Option<&'static dyn Experiment> {
+    REGISTRY
+        .iter()
+        .find(|e| e.id.eq_ignore_ascii_case(id))
+        .map(|e| e as &dyn Experiment)
 }
 
 #[cfg(test)]
@@ -188,7 +329,7 @@ mod tests {
     fn registry_has_twenty_four_unique_experiments() {
         let exps = all();
         assert_eq!(exps.len(), 24);
-        let mut ids: Vec<&str> = exps.iter().map(|e| e.id).collect();
+        let mut ids: Vec<&str> = exps.iter().map(|e| e.id()).collect();
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), 24);
@@ -204,7 +345,35 @@ mod tests {
     #[test]
     fn tables_and_figures_both_present() {
         let exps = all();
-        assert_eq!(exps.iter().filter(|e| e.kind == Kind::Table).count(), 7);
-        assert_eq!(exps.iter().filter(|e| e.kind == Kind::Figure).count(), 17);
+        assert_eq!(exps.iter().filter(|e| e.kind() == Kind::Table).count(), 7);
+        assert_eq!(exps.iter().filter(|e| e.kind() == Kind::Figure).count(), 17);
+    }
+
+    #[test]
+    fn every_cost_class_is_represented() {
+        let exps = all();
+        for cost in [Cost::Light, Cost::Medium, Cost::Heavy] {
+            assert!(
+                exps.iter().any(|e| e.cost() == cost),
+                "no {} experiment registered",
+                cost.label()
+            );
+        }
+        // The CONFIRM resampling pipelines are the known long poles.
+        assert_eq!(find("F9").unwrap().cost(), Cost::Heavy);
+        assert_eq!(find("T1").unwrap().cost(), Cost::Light);
+    }
+
+    #[test]
+    fn costs_order_light_to_heavy() {
+        assert!(Cost::Light < Cost::Medium);
+        assert!(Cost::Medium < Cost::Heavy);
+    }
+
+    #[test]
+    fn experiment_error_displays_its_message() {
+        let err = ExperimentError::new("empty slice");
+        assert_eq!(err.message(), "empty slice");
+        assert_eq!(err.to_string(), "empty slice");
     }
 }

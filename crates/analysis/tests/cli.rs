@@ -18,6 +18,97 @@ fn list_prints_every_experiment() {
 }
 
 #[test]
+fn list_shows_cost_classes() {
+    let out = repro().arg("list").output().expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let header = stdout.lines().next().unwrap();
+    assert!(
+        header.contains("cost"),
+        "header lacks cost column: {header}"
+    );
+    let f9 = stdout.lines().find(|l| l.starts_with("F9 ")).unwrap();
+    assert!(f9.contains("heavy"), "F9 should be heavy: {f9}");
+    let t1 = stdout.lines().find(|l| l.starts_with("T1 ")).unwrap();
+    assert!(t1.contains("light"), "T1 should be light: {t1}");
+}
+
+#[test]
+fn injected_failure_reports_its_id_and_keeps_sibling_artifacts() {
+    let dir = std::env::temp_dir().join(format!("repro-cli-fail-{}", std::process::id()));
+    let out = repro()
+        .args([
+            "T1",
+            "F1",
+            "T2",
+            "--seed",
+            "7",
+            "--out",
+            dir.to_str().unwrap(),
+        ])
+        .env("REPRO_FAIL", "F1")
+        .output()
+        .expect("binary runs");
+    assert!(
+        !out.status.success(),
+        "a failing experiment must exit non-zero"
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("experiment F1 failed"),
+        "failure is reported per-id: {stderr}"
+    );
+    assert!(stderr.contains("injected failure"), "{stderr}");
+    // Siblings still render and land on disk.
+    assert!(stdout.contains("[T1]"), "T1 artifacts survive the failure");
+    assert!(stdout.contains("[T2]"), "T2 artifacts survive the failure");
+    assert!(!stdout.contains("[F1]"), "F1 produced no artifacts");
+    assert!(dir.join("T1.csv").exists());
+    assert!(dir.join("T2.csv").exists());
+    assert!(!dir.join("F1.csv").exists());
+    // The manifest is still written, recording zero artifacts for F1.
+    assert!(dir.join("manifest.json").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trace_chrome_needs_out_and_writes_the_converted_trace() {
+    let out = repro()
+        .args(["T1", "--trace-chrome"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "--trace-chrome without --out fails");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("--trace-chrome needs --out"), "{stderr}");
+
+    let dir = std::env::temp_dir().join(format!("repro-cli-chrome-{}", std::process::id()));
+    let out = repro()
+        .args([
+            "T1",
+            "--seed",
+            "7",
+            "--trace-chrome",
+            "--out",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // --trace-chrome implies --trace: both serialized traces land.
+    for name in ["trace.json", "trace.chrome.json"] {
+        let payload = std::fs::read_to_string(dir.join(name))
+            .unwrap_or_else(|e| panic!("missing {name}: {e}"));
+        assert!(!payload.trim().is_empty(), "{name} is empty");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn unknown_id_fails_fast_with_message() {
     let out = repro().arg("F99").output().expect("binary runs");
     assert!(!out.status.success());

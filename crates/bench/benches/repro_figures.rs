@@ -16,7 +16,7 @@ fn bench_figures(c: &mut Criterion) {
     ] {
         let experiment = find(id).expect("registered figure");
         group.bench_function(id, |b| {
-            b.iter(|| (experiment.run)(black_box(&ctx)).len());
+            b.iter(|| experiment.run(black_box(&ctx)).map(|a| a.len()));
         });
     }
     group.finish();

@@ -13,7 +13,7 @@ fn bench_tables(c: &mut Criterion) {
     for id in ["T1", "T2", "T3", "T4", "T5", "T6", "T7"] {
         let experiment = find(id).expect("registered table");
         group.bench_function(id, |b| {
-            b.iter(|| (experiment.run)(black_box(&ctx)).len());
+            b.iter(|| experiment.run(black_box(&ctx)).map(|a| a.len()));
         });
     }
     group.finish();

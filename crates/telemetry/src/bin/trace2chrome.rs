@@ -1,0 +1,56 @@
+//! Converts a `trace.json` written by `repro --trace` into
+//! chrome://tracing / Perfetto JSON.
+//!
+//! ```text
+//! trace2chrome trace.json > trace.chrome.json
+//! trace2chrome trace.json trace.chrome.json
+//! ```
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: trace2chrome <trace.json> [out.json]
+
+Converts a span trace written by `repro --trace` into the JSON object
+format consumed by chrome://tracing and https://ui.perfetto.dev. With no
+output path the converted trace goes to stdout.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if args.is_empty() || args.len() > 2 {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let input = &args[0];
+    let payload = match std::fs::read_to_string(input) {
+        Ok(p) => p,
+        Err(err) => {
+            eprintln!("cannot read {input}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace: telemetry::Trace = match serde_json::from_str(&payload) {
+        Ok(t) => t,
+        Err(err) => {
+            eprintln!("{input} is not a telemetry trace: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let chrome = telemetry::chrome::to_chrome_trace(&trace);
+    let rendered = serde_json::to_string_pretty(&chrome).expect("chrome traces always serialize");
+    match args.get(1) {
+        Some(out) => {
+            if let Err(err) = std::fs::write(out, rendered) {
+                eprintln!("cannot write {out}: {err}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {out} ({} spans)", trace.len());
+        }
+        None => println!("{rendered}"),
+    }
+    ExitCode::SUCCESS
+}

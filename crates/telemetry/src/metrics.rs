@@ -11,6 +11,20 @@
 //! per octave, taken straight from the top four mantissa bits of the
 //! `f64` — so quantile queries have a bounded relative error of about
 //! 2.2 % over the full positive range with a fixed 1 344-slot table.
+//! The first [`EXACT_SAMPLES`] observations are additionally kept
+//! verbatim, so quantiles over small counts (most per-experiment
+//! histograms) are exact sorted-sample quantiles, not bucket midpoints.
+//!
+//! # Handle lifetime and the enable switch
+//!
+//! A handle fetched **while telemetry is disabled** is permanently inert:
+//! it does not re-resolve when [`crate::set_enabled`] later turns
+//! collection on. Enable telemetry *before* fetching handles (the usual
+//! pattern — look handles up at the instrumented site, as this whole
+//! workspace does — gets this for free, since lookup is cheap and
+//! per-call). Using an inert handle's write path after telemetry was
+//! enabled trips a debug assertion naming this contract; release builds
+//! keep the write path assertion-free and branch-only.
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -26,8 +40,19 @@ const MAX_EXP: i32 = 39;
 const OCTAVES: usize = (MAX_EXP - MIN_EXP + 1) as usize;
 const BUCKETS: usize = OCTAVES * SUB;
 
+/// Observations kept verbatim for the exact small-count quantile path.
+/// Histograms at or below this count answer quantile queries from the
+/// sorted samples themselves (zero approximation error); above it they
+/// fall back to the log-bucketed grid.
+pub const EXACT_SAMPLES: usize = 256;
+
 struct HistogramCore {
     counts: Vec<AtomicU64>,
+    /// The first [`EXACT_SAMPLES`] observations, as `f64` bit patterns.
+    /// A zero slot is unwritten (0.0 never lands here: non-positive
+    /// values are rejected before sampling), which lets the quantile
+    /// path detect a racing writer and fall back to the grid.
+    samples: Vec<AtomicU64>,
     /// Values rejected from the grid: zero, negative, or non-finite.
     nonpositive: AtomicU64,
     count: AtomicU64,
@@ -40,6 +65,7 @@ impl HistogramCore {
     fn new() -> Self {
         HistogramCore {
             counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            samples: (0..EXACT_SAMPLES).map(|_| AtomicU64::new(0)).collect(),
             nonpositive: AtomicU64::new(0),
             count: AtomicU64::new(0),
             sum_bits: AtomicU64::new(0f64.to_bits()),
@@ -84,8 +110,13 @@ impl HistogramCore {
             return;
         }
         self.counts[Self::index(v)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
         let bits = v.to_bits();
+        // fetch_add hands every observation a unique arrival index; the
+        // first EXACT_SAMPLES of them claim a verbatim sample slot.
+        let arrival = self.count.fetch_add(1, Ordering::Relaxed);
+        if let Some(slot) = self.samples.get(arrival as usize) {
+            slot.store(bits, Ordering::Relaxed);
+        }
         // For positive finite f64 the bit pattern orders like the value.
         self.min_bits.fetch_min(bits, Ordering::Relaxed);
         self.max_bits.fetch_max(bits, Ordering::Relaxed);
@@ -114,15 +145,20 @@ impl HistogramCore {
             .then(|| f64::from_bits(self.max_bits.load(Ordering::Relaxed)))
     }
 
-    /// Nearest-rank quantile over the bucketed values; the returned
+    /// Quantile over the recorded values: exact (sorted-sample, linear
+    /// interpolation) while the count is at most [`EXACT_SAMPLES`];
+    /// otherwise nearest-rank over the buckets, where the returned
     /// representative is the bucket's geometric midpoint clamped to the
-    /// observed [min, max], so q = 0 and q = 1 are exact.
+    /// observed [min, max], so q = 0 and q = 1 stay exact.
     fn quantile(&self, q: f64) -> Option<f64> {
         let n = self.count.load(Ordering::Relaxed);
         if n == 0 {
             return None;
         }
         let q = q.clamp(0.0, 1.0);
+        if let Some(exact) = self.exact_quantile(n, q) {
+            return Some(exact);
+        }
         let rank = (q * (n - 1) as f64).round() as u64;
         let mut cum = 0u64;
         for (i, slot) in self.counts.iter().enumerate() {
@@ -136,6 +172,29 @@ impl HistogramCore {
             }
         }
         self.max()
+    }
+
+    /// The exact small-count path: reads back the first `n` verbatim
+    /// samples and interpolates the quantile on the sorted values.
+    /// Returns `None` when the count exceeds the sample buffer or when a
+    /// racing writer has claimed a slot but not yet stored into it (an
+    /// unwritten slot reads as 0 bits, which no accepted value produces);
+    /// the caller then falls back to the bucketed estimate.
+    fn exact_quantile(&self, n: u64, q: f64) -> Option<f64> {
+        if n as usize > EXACT_SAMPLES {
+            return None;
+        }
+        let mut values = Vec::with_capacity(n as usize);
+        for slot in &self.samples[..n as usize] {
+            let bits = slot.load(Ordering::Relaxed);
+            if bits == 0 {
+                return None;
+            }
+            values.push(f64::from_bits(bits));
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).expect("accepted samples are finite"));
+        varstats::quantile::quantile_sorted(&values, q, varstats::quantile::QuantileMethod::Linear)
+            .ok()
     }
 }
 
@@ -153,8 +212,15 @@ impl Counter {
     /// Adds `n`.
     #[inline]
     pub fn add(&self, n: u64) {
-        if let Some(cell) = &self.0 {
-            cell.fetch_add(n, Ordering::Relaxed);
+        match &self.0 {
+            Some(cell) => {
+                cell.fetch_add(n, Ordering::Relaxed);
+            }
+            None => debug_assert!(
+                !crate::enabled(),
+                "inert Counter written after telemetry was enabled; \
+                 fetch handles after set_enabled(true) (see metrics module docs)"
+            ),
         }
     }
 
@@ -172,8 +238,13 @@ impl Gauge {
     /// Overwrites the gauge with `v`.
     #[inline]
     pub fn set(&self, v: f64) {
-        if let Some(cell) = &self.0 {
-            cell.store(v.to_bits(), Ordering::Relaxed);
+        match &self.0 {
+            Some(cell) => cell.store(v.to_bits(), Ordering::Relaxed),
+            None => debug_assert!(
+                !crate::enabled(),
+                "inert Gauge written after telemetry was enabled; \
+                 fetch handles after set_enabled(true) (see metrics module docs)"
+            ),
         }
     }
 
@@ -194,8 +265,13 @@ impl Histogram {
     /// to a separate rejection counter instead of the grid.
     #[inline]
     pub fn record(&self, v: f64) {
-        if let Some(core) = &self.0 {
-            core.record(v);
+        match &self.0 {
+            Some(core) => core.record(v),
+            None => debug_assert!(
+                !crate::enabled(),
+                "inert Histogram written after telemetry was enabled; \
+                 fetch handles after set_enabled(true) (see metrics module docs)"
+            ),
         }
     }
 
@@ -206,8 +282,9 @@ impl Histogram {
             .map_or(0, |c| c.count.load(Ordering::Relaxed))
     }
 
-    /// Nearest-rank quantile (`0.0 ..= 1.0`) with ≈2.2 % relative bucket
-    /// error; `None` when empty or for an inert handle.
+    /// Quantile (`0.0 ..= 1.0`): exact while at most [`EXACT_SAMPLES`]
+    /// values have been recorded, nearest-rank with ≈2.2 % relative
+    /// bucket error above that; `None` when empty or for an inert handle.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         self.0.as_ref().and_then(|c| c.quantile(q))
     }
@@ -490,6 +567,93 @@ mod tests {
             );
         }
         reset();
+    }
+
+    #[test]
+    fn small_count_quantiles_are_exact() {
+        let _guard = crate::test_guard();
+        crate::set_enabled(true);
+        reset();
+        let h = histogram("t.exact");
+        // Values deliberately placed so bucket midpoints would NOT match.
+        for v in [5.0, 1.0, 4.0, 2.0, 3.0] {
+            h.record(v);
+        }
+        crate::set_enabled(false);
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.quantile(0.5), Some(3.0));
+        assert_eq!(h.quantile(1.0), Some(5.0));
+        // Linear interpolation between order statistics, like varstats.
+        assert_eq!(h.quantile(0.25), Some(2.0));
+        assert_eq!(h.quantile(0.125), Some(1.5));
+        reset();
+    }
+
+    #[test]
+    fn quantiles_stay_exact_up_to_the_sample_threshold() {
+        let _guard = crate::test_guard();
+        crate::set_enabled(true);
+        reset();
+        let h = histogram("t.exact.threshold");
+        for i in 1..=EXACT_SAMPLES {
+            h.record(i as f64);
+        }
+        crate::set_enabled(false);
+        // At exactly EXACT_SAMPLES observations the path is still exact.
+        let sorted: Vec<f64> = (1..=EXACT_SAMPLES).map(|i| i as f64).collect();
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            let exact = varstats::quantile::quantile_sorted(
+                &sorted,
+                q,
+                varstats::quantile::QuantileMethod::Linear,
+            )
+            .unwrap();
+            assert_eq!(h.quantile(q), Some(exact), "q={q}");
+        }
+        reset();
+    }
+
+    #[test]
+    fn quantiles_past_the_threshold_fall_back_to_buckets() {
+        let _guard = crate::test_guard();
+        crate::set_enabled(true);
+        reset();
+        let h = histogram("t.exact.overflow");
+        for i in 1..=(EXACT_SAMPLES + 100) {
+            h.record(i as f64);
+        }
+        crate::set_enabled(false);
+        let n = EXACT_SAMPLES + 100;
+        let p50 = h.quantile(0.5).unwrap();
+        let exact = (n as f64 + 1.0) / 2.0;
+        let rel = (p50 - exact).abs() / exact;
+        assert!(rel < 0.05, "bucketed p50 {p50} vs exact {exact}");
+        // Extremes stay within bucket error (clamped to observed min/max).
+        let p0 = h.quantile(0.0).unwrap();
+        let p100 = h.quantile(1.0).unwrap();
+        assert!((1.0..1.07).contains(&p0), "p0 {p0}");
+        assert!(p100 <= n as f64 && p100 > n as f64 / 1.07, "p100 {p100}");
+        reset();
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "inert Counter written after telemetry was enabled")]
+    fn stale_inert_counter_trips_the_debug_assertion() {
+        let _guard = crate::test_guard();
+        crate::set_enabled(false);
+        let stale = counter("t.stale");
+        crate::set_enabled(true);
+        // Make sure the switch is restored even though this panics.
+        struct Restore;
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                crate::set_enabled(false);
+                reset();
+            }
+        }
+        let _restore = Restore;
+        stale.inc();
     }
 
     #[test]

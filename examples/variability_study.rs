@@ -44,9 +44,10 @@ fn main() {
     // The full disk table (F4), the normality census (F6), and the
     // repetition summary (T4).
     for artifact in f4_cov_disk(&ctx)
+        .expect("F4 runs on the quick campaign")
         .into_iter()
-        .chain(f6_normality(&ctx))
-        .chain(t4_repetition_summary(&ctx))
+        .chain(f6_normality(&ctx).expect("F6 runs on the quick campaign"))
+        .chain(t4_repetition_summary(&ctx).expect("T4 runs on the quick campaign"))
     {
         println!("{}", artifact.render());
     }

@@ -6,17 +6,19 @@ use taming_variability::analysis::{all, Artifact, Context, Kind, Scale};
 fn every_registered_experiment_runs_and_produces_artifacts() {
     let ctx = Context::new(Scale::Quick, 2024);
     for experiment in all() {
-        let artifacts = (experiment.run)(&ctx);
+        let artifacts = experiment
+            .run(&ctx)
+            .unwrap_or_else(|err| panic!("{} failed: {err}", experiment.id()));
         assert!(
             !artifacts.is_empty(),
             "{} produced no artifacts",
-            experiment.id
+            experiment.id()
         );
         // The first artifact's id starts with the experiment id.
         assert!(
-            artifacts[0].id().starts_with(experiment.id),
+            artifacts[0].id().starts_with(experiment.id()),
             "{} produced artifact {}",
-            experiment.id,
+            experiment.id(),
             artifacts[0].id()
         );
         for artifact in &artifacts {
@@ -36,7 +38,7 @@ fn every_registered_experiment_runs_and_produces_artifacts() {
         }
         // Table experiments emit a table first; figure experiments may
         // legitimately render their series as either artifact kind.
-        if experiment.kind == Kind::Table {
+        if experiment.kind() == Kind::Table {
             assert!(matches!(artifacts[0], Artifact::Table(_)));
         }
     }

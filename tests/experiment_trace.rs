@@ -1,0 +1,177 @@
+//! Trace and metrics integration tests for the experiment engine: with
+//! telemetry enabled, the worker spans the scheduler opens on its pool
+//! threads must group under the `experiments.run` root, carry their
+//! worker thread's name and ordinal, and hold the `experiment.<id>`
+//! spans; failures must surface in the `experiments.failed` counter.
+//!
+//! Lives in its own integration-test binary so the global telemetry
+//! switch it toggles cannot race with other test processes.
+
+use std::sync::{Arc, Mutex};
+
+use analysis::{
+    find, run_experiments, Artifact, Context, Cost, Experiment, ExperimentError, Kind, Scale,
+};
+
+/// Serializes the tests in this binary: they toggle the global telemetry
+/// switch and drain the global span collector.
+static GLOBALS: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GLOBALS.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn quick_ctx() -> Arc<Context> {
+    Arc::new(Context::with_jobs(Scale::Quick, 5, Some(2)))
+}
+
+fn subset(ids: &[&str]) -> Vec<&'static dyn Experiment> {
+    ids.iter()
+        .map(|id| find(id).expect("experiment registered"))
+        .collect()
+}
+
+/// Returns the first node named `name`, searching depth-first.
+fn find_span<'a>(nodes: &'a [telemetry::SpanNode], name: &str) -> Option<&'a telemetry::SpanNode> {
+    for node in nodes {
+        if node.name == name {
+            return Some(node);
+        }
+        if let Some(hit) = find_span(&node.children, name) {
+            return Some(hit);
+        }
+    }
+    None
+}
+
+#[test]
+fn worker_spans_group_under_the_run_root() {
+    let _guard = lock();
+    let ctx = quick_ctx();
+    let experiments = subset(&["T1", "T2", "F1", "F2"]);
+
+    telemetry::trace::clear();
+    telemetry::set_enabled(true);
+    let jobs = 2;
+    let report = run_experiments(&ctx, &experiments, Some(jobs));
+    telemetry::set_enabled(false);
+    let trace = telemetry::trace::drain();
+
+    assert_eq!(report.len(), experiments.len());
+    let root = find_span(&trace.roots, "experiments.run").expect("run span recorded");
+    assert_eq!(root.children.len(), jobs, "one span per worker");
+    let mut seen = vec![false; jobs];
+    let mut experiment_spans = Vec::new();
+    for child in &root.children {
+        let w: usize = child
+            .name
+            .strip_prefix("experiment.worker.")
+            .expect("run's children are worker spans")
+            .parse()
+            .expect("worker spans are numbered");
+        assert!(w < jobs, "worker index {w} out of range");
+        assert!(!seen[w], "worker {w} appeared twice");
+        seen[w] = true;
+        assert_eq!(
+            child.thread_name.as_deref(),
+            Some(format!("experiment-worker-{w}").as_str()),
+            "worker span must carry its pool thread's name"
+        );
+        assert_ne!(
+            child.thread, root.thread,
+            "worker spans run off the scheduling thread"
+        );
+        for grandchild in &child.children {
+            assert!(
+                grandchild.name.starts_with("experiment."),
+                "workers only run experiment spans, got {}",
+                grandchild.name
+            );
+            // Experiment spans stay on their worker's thread.
+            assert_eq!(grandchild.thread, child.thread);
+            experiment_spans.push(grandchild.name.clone());
+        }
+    }
+    assert!(seen.iter().all(|s| *s), "every worker span present");
+    experiment_spans.sort();
+    assert_eq!(
+        experiment_spans,
+        [
+            "experiment.F1",
+            "experiment.F2",
+            "experiment.T1",
+            "experiment.T2"
+        ],
+        "each experiment runs exactly once, on exactly one worker"
+    );
+}
+
+#[test]
+fn sequential_runs_open_no_worker_spans() {
+    let _guard = lock();
+    let ctx = quick_ctx();
+    let experiments = subset(&["T1", "F1"]);
+
+    telemetry::trace::clear();
+    telemetry::set_enabled(true);
+    let _ = run_experiments(&ctx, &experiments, Some(1));
+    telemetry::set_enabled(false);
+    let trace = telemetry::trace::drain();
+
+    let root = find_span(&trace.roots, "experiments.run").expect("run span recorded");
+    let names: Vec<&str> = root.children.iter().map(|c| c.name.as_str()).collect();
+    assert_eq!(
+        names,
+        ["experiment.T1", "experiment.F1"],
+        "jobs=1 runs inline, without worker spans"
+    );
+}
+
+struct Failing;
+
+impl Experiment for Failing {
+    fn id(&self) -> &str {
+        "FAIL"
+    }
+    fn kind(&self) -> Kind {
+        Kind::Table
+    }
+    fn title(&self) -> &str {
+        "always fails"
+    }
+    fn cost(&self) -> Cost {
+        Cost::Light
+    }
+    fn run(&self, _ctx: &Context) -> Result<Vec<Artifact>, ExperimentError> {
+        Err(ExperimentError::new("injected failure"))
+    }
+}
+
+#[test]
+fn failures_and_wall_times_surface_in_metrics() {
+    let _guard = lock();
+    let ctx = quick_ctx();
+    let failing = Failing;
+    let mut experiments = subset(&["T1", "T2"]);
+    experiments.push(&failing);
+
+    telemetry::metrics::reset();
+    telemetry::set_enabled(true);
+    let report = run_experiments(&ctx, &experiments, Some(2));
+    let snapshot = telemetry::metrics::snapshot();
+    telemetry::set_enabled(false);
+    telemetry::metrics::reset();
+    telemetry::trace::clear();
+
+    assert_eq!(report.len(), 3);
+    assert_eq!(snapshot.counter("experiments.failed"), Some(1));
+    assert_eq!(snapshot.gauge("experiments.workers"), Some(2.0));
+    let secs = snapshot.histogram("experiment.secs").expect("histogram");
+    assert_eq!(secs.count, 3, "every experiment records a wall time");
+    for id in ["T1", "T2", "FAIL"] {
+        let h = snapshot
+            .histogram(&format!("experiment.secs.{id}"))
+            .unwrap_or_else(|| panic!("missing per-experiment histogram for {id}"));
+        assert_eq!(h.count, 1);
+    }
+}
