@@ -205,6 +205,204 @@ impl Artifact {
     }
 }
 
+/// Error from [`decode_artifacts`]: what made the text undecodable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    message: String,
+}
+
+impl CodecError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// The human-readable cause.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// First line of every [`encode_artifacts`] payload; bumped with the
+/// format.
+pub const CODEC_HEADER: &str = "artifacts-codec v1";
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Result<String, CodecError> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            other => {
+                return Err(CodecError::new(format!(
+                    "bad escape `\\{}`",
+                    other.map_or_else(String::new, String::from)
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Serializes artifacts to the line-based codec the artifact cache
+/// stores (see [`crate::cache`]).
+///
+/// The encoding is **byte-deterministic** (no maps, no float
+/// formatting — point coordinates are written as raw IEEE-754 bits) and
+/// **self-contained**: it needs no serde backend, so an entry written in
+/// one build environment decodes identically in another. Strings are
+/// newline-escaped; every list is length-prefixed so truncation is
+/// always detectable.
+pub fn encode_artifacts(artifacts: &[Artifact]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{CODEC_HEADER}");
+    let _ = writeln!(out, "artifacts {}", artifacts.len());
+    for artifact in artifacts {
+        match artifact {
+            Artifact::Table(t) => {
+                let _ = writeln!(out, "table {}", escape(&t.id));
+                let _ = writeln!(out, "title {}", escape(&t.title));
+                let _ = writeln!(out, "headers {}", t.headers.len());
+                for h in &t.headers {
+                    let _ = writeln!(out, "{}", escape(h));
+                }
+                let _ = writeln!(out, "rows {}", t.rows.len());
+                for row in &t.rows {
+                    for cell in row {
+                        let _ = writeln!(out, "{}", escape(cell));
+                    }
+                }
+            }
+            Artifact::Figure(f) => {
+                let _ = writeln!(out, "figure {}", escape(&f.id));
+                let _ = writeln!(out, "title {}", escape(&f.title));
+                let _ = writeln!(out, "xlabel {}", escape(&f.x_label));
+                let _ = writeln!(out, "ylabel {}", escape(&f.y_label));
+                let _ = writeln!(out, "series {}", f.series.len());
+                for s in &f.series {
+                    let _ = writeln!(out, "name {}", escape(&s.name));
+                    let _ = writeln!(out, "points {}", s.points.len());
+                    for (x, y) in &s.points {
+                        let _ = writeln!(out, "{:016x} {:016x}", x.to_bits(), y.to_bits());
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Decodes an [`encode_artifacts`] payload. Any structural defect —
+/// wrong header, bad counts, truncation, malformed escapes or float
+/// bits — is a [`CodecError`], never a panic: the cache treats it as a
+/// corrupt entry and recomputes.
+pub fn decode_artifacts(text: &str) -> Result<Vec<Artifact>, CodecError> {
+    let mut lines = text.lines();
+    let mut next = move || lines.next().ok_or_else(|| CodecError::new("truncated"));
+    let field = |line: &str, tag: &str| -> Result<String, CodecError> {
+        line.strip_prefix(tag)
+            .and_then(|rest| rest.strip_prefix(' '))
+            .map(str::to_string)
+            .ok_or_else(|| CodecError::new(format!("expected `{tag} ...`, got `{line}`")))
+    };
+    let count = |line: &str, tag: &str| -> Result<usize, CodecError> {
+        field(line, tag)?
+            .parse()
+            .map_err(|_| CodecError::new(format!("bad {tag} count in `{line}`")))
+    };
+
+    if next()? != CODEC_HEADER {
+        return Err(CodecError::new("unknown codec header"));
+    }
+    let n = count(next()?, "artifacts")?;
+    let mut artifacts = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let kind_line = next()?.to_string();
+        if let Ok(id) = field(&kind_line, "table") {
+            let mut t = Table {
+                id: unescape(&id)?,
+                title: unescape(&field(next()?, "title")?)?,
+                headers: Vec::new(),
+                rows: Vec::new(),
+            };
+            let headers = count(next()?, "headers")?;
+            for _ in 0..headers {
+                t.headers.push(unescape(next()?)?);
+            }
+            let rows = count(next()?, "rows")?;
+            for _ in 0..rows {
+                let mut row = Vec::with_capacity(headers);
+                for _ in 0..headers {
+                    row.push(unescape(next()?)?);
+                }
+                t.rows.push(row);
+            }
+            artifacts.push(Artifact::Table(t));
+        } else if let Ok(id) = field(&kind_line, "figure") {
+            let mut f = SeriesSet {
+                id: unescape(&id)?,
+                title: unescape(&field(next()?, "title")?)?,
+                x_label: unescape(&field(next()?, "xlabel")?)?,
+                y_label: unescape(&field(next()?, "ylabel")?)?,
+                series: Vec::new(),
+            };
+            let series = count(next()?, "series")?;
+            for _ in 0..series {
+                let name = unescape(&field(next()?, "name")?)?;
+                let points = count(next()?, "points")?;
+                let mut pts = Vec::with_capacity(points.min(65536));
+                for _ in 0..points {
+                    let line = next()?;
+                    let (x, y) = line
+                        .split_once(' ')
+                        .ok_or_else(|| CodecError::new(format!("bad point `{line}`")))?;
+                    let parse = |s: &str| {
+                        u64::from_str_radix(s, 16)
+                            .map(f64::from_bits)
+                            .map_err(|_| CodecError::new(format!("bad float bits `{s}`")))
+                    };
+                    pts.push((parse(x)?, parse(y)?));
+                }
+                f.series.push(Series { name, points: pts });
+            }
+            artifacts.push(Artifact::Figure(f));
+        } else {
+            return Err(CodecError::new(format!(
+                "expected `table ...` or `figure ...`, got `{kind_line}`"
+            )));
+        }
+    }
+    Ok(artifacts)
+}
+
 /// Formats a float with `digits` decimal places (table cell helper).
 pub fn fmt(value: f64, digits: usize) -> String {
     format!("{value:.digits$}")
@@ -273,5 +471,45 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(fmt(1.23456, 2), "1.23");
         assert_eq!(pct(0.756), "75.6%");
+    }
+
+    #[test]
+    fn codec_round_trips_tables_and_figures() {
+        let mut t = Table::new("T1", "multi\nline title", &["a\\b", "c"]);
+        t.push_row(vec!["x\r\n".to_string(), String::new()]);
+        let mut f = SeriesSet::new("F1", "fig", "x", "y");
+        f.push_series("exact", vec![(0.1, -0.0), (f64::NAN, f64::INFINITY)]);
+        f.push_series("empty", vec![]);
+        let input = vec![Artifact::Table(t), Artifact::Figure(f)];
+
+        let encoded = encode_artifacts(&input);
+        assert!(encoded.starts_with(CODEC_HEADER));
+        let decoded = decode_artifacts(&encoded).unwrap();
+        // PartialEq fails on the NaN point, so compare by re-encoding:
+        // bit-exact floats round-trip to identical bytes.
+        assert_eq!(encode_artifacts(&decoded), encoded);
+        assert_eq!(decoded.len(), 2);
+        match &decoded[0] {
+            Artifact::Table(t) => {
+                assert_eq!(t.title, "multi\nline title");
+                assert_eq!(t.rows[0][0], "x\r\n");
+            }
+            other => panic!("expected table, got {}", other.id()),
+        }
+    }
+
+    #[test]
+    fn codec_rejects_damage_without_panicking() {
+        let encoded = encode_artifacts(&[Artifact::Table(Table::new("T1", "t", &["h"]))]);
+        for bad in [
+            "",
+            "not-a-codec v9\nartifacts 0\n",
+            &encoded[..encoded.len() - 4],              // truncated
+            &encoded.replace("table T1", "blob T1"),    // unknown artifact kind
+            &encoded.replace("headers 1", "headers x"), // bad count
+        ] {
+            assert!(decode_artifacts(bad).is_err(), "accepted: {bad:?}");
+        }
+        assert!(decode_artifacts(&encode_artifacts(&[])).unwrap().is_empty());
     }
 }

@@ -4,6 +4,7 @@
 //! repro list
 //! repro all [--scale quick|paper] [--seed N] [--jobs N] [--out DIR] [--trace] [--metrics]
 //! repro F9 T3 ... [--scale ...] [--seed ...] [--out DIR] [--json]
+//! repro cache stats|clear [--cache-dir DIR]
 //! ```
 //!
 //! Experiments run on the engine's deterministic parallel scheduler
@@ -12,6 +13,14 @@
 //! worker count. A failing experiment does not abort the run: its
 //! siblings' artifacts are still produced and the failure is reported
 //! per-id with a non-zero exit at the end.
+//!
+//! Successful artifacts are cached content-addressed under
+//! `artifacts/.cache` (override with `--cache-dir`, bypass with
+//! `--no-cache`): a rerun with the same scale, seed, and code versions
+//! replays them without executing the pipelines, byte-identically. The
+//! stderr summary line and the manifest's cache section report hits,
+//! misses, invalidated entries, and stores; `repro cache stats|clear`
+//! inspects or purges the directory.
 //!
 //! With `--trace` / `--metrics` the run measures itself through the
 //! `telemetry` crate: a per-experiment timing table and a span-latency
@@ -31,10 +40,12 @@ use std::time::Instant;
 use analysis::{all, find, Artifact, Context, Experiment, ExperimentError, Scale, Table};
 
 const USAGE: &str = "\
-usage: repro <list|all|ID...> [options]
+usage: repro <list|all|ID...|cache stats|cache clear> [options]
 
   list                  print the experiment registry
   all                   run every experiment
+  cache stats           report artifact-cache entry count and size
+  cache clear           delete all artifact-cache entries
 
 options:
   --scale quick|paper   campaign scale (default quick)
@@ -52,6 +63,9 @@ options:
   --metrics             collect counters/gauges/histograms: prints a
                         metrics summary table and writes metrics.json
                         into --out
+  --cache-dir DIR       artifact cache directory
+                        (default artifacts/.cache)
+  --no-cache            neither read nor write the artifact cache
   --help, -h            print this help";
 
 struct Args {
@@ -65,6 +79,9 @@ struct Args {
     trace: bool,
     trace_chrome: bool,
     metrics: bool,
+    cache_cmd: Option<String>,
+    cache_dir: Option<PathBuf>,
+    no_cache: bool,
 }
 
 enum Parsed {
@@ -84,12 +101,29 @@ fn parse_args() -> Result<Parsed, String> {
         trace: false,
         trace_chrome: false,
         metrics: false,
+        cache_cmd: None,
+        cache_dir: None,
+        no_cache: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "list" => args.list = true,
             "all" => args.ids.extend(all().iter().map(|e| e.id().to_string())),
+            "cache" => {
+                let v = it
+                    .next()
+                    .ok_or("cache needs a subcommand: stats or clear")?;
+                if v != "stats" && v != "clear" {
+                    return Err(format!("unknown cache subcommand `{v}`"));
+                }
+                args.cache_cmd = Some(v);
+            }
+            "--cache-dir" => {
+                let v = it.next().ok_or("--cache-dir needs a value")?;
+                args.cache_dir = Some(PathBuf::from(v));
+            }
+            "--no-cache" => args.no_cache = true,
             "--scale" => {
                 let v = it.next().ok_or("--scale needs a value")?;
                 args.scale = Scale::parse(&v).ok_or(format!("unknown scale `{v}`"))?;
@@ -131,13 +165,6 @@ fn parse_args() -> Result<Parsed, String> {
     Ok(Parsed::Run(Box::new(args)))
 }
 
-fn scale_name(scale: Scale) -> &'static str {
-    match scale {
-        Scale::Quick => "quick",
-        Scale::Paper => "paper",
-    }
-}
-
 /// Registry experiment plus an optional injected failure, so the failure
 /// path (`REPRO_FAIL=F9,T3 repro all`) is testable end to end without a
 /// genuinely broken pipeline.
@@ -158,6 +185,13 @@ impl Experiment for Wrapped {
     }
     fn cost(&self) -> analysis::Cost {
         self.inner.cost()
+    }
+    fn code_version(&self) -> u32 {
+        self.inner.code_version()
+    }
+    fn cacheable(&self) -> bool {
+        // A cached success must never mask an injected failure.
+        !self.fail && self.inner.cacheable()
     }
     fn run(&self, ctx: &Context) -> Result<Vec<Artifact>, ExperimentError> {
         if self.fail {
@@ -285,6 +319,40 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let cache_dir = args
+        .cache_dir
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("artifacts/.cache"));
+    if let Some(cmd) = &args.cache_cmd {
+        let cache = analysis::ArtifactCache::new(&cache_dir);
+        return match cmd.as_str() {
+            "stats" => match cache.stats() {
+                Ok(stats) => {
+                    println!(
+                        "cache {}: {} entries, {} bytes",
+                        cache.dir().display(),
+                        stats.entries,
+                        stats.bytes
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(err) => {
+                    eprintln!("cannot read cache {}: {err}", cache.dir().display());
+                    ExitCode::FAILURE
+                }
+            },
+            _ => match cache.clear() {
+                Ok(removed) => {
+                    println!("cache {}: removed {removed} entries", cache.dir().display());
+                    ExitCode::SUCCESS
+                }
+                Err(err) => {
+                    eprintln!("cannot clear cache {}: {err}", cache.dir().display());
+                    ExitCode::FAILURE
+                }
+            },
+        };
+    }
     if args.list {
         println!("{:<4}  {:<6}  {:<6}  title", "id", "kind", "cost");
         for e in all() {
@@ -326,7 +394,7 @@ fn main() -> ExitCode {
         "repro",
         env!("CARGO_PKG_VERSION"),
         args.seed,
-        scale_name(args.scale),
+        args.scale.label(),
     );
     // The workspace shares one version across crates.
     for name in [
@@ -365,16 +433,28 @@ fn main() -> ExitCode {
     // The engine merges results back in input order; progress lines go to
     // stderr in completion order and are not under the determinism
     // contract.
+    let cache = (!args.no_cache).then(|| analysis::ArtifactCache::new(&cache_dir));
     let total = experiments.len();
     let done = AtomicUsize::new(0);
-    let report = analysis::run_experiments_with(&ctx, &experiments, args.jobs, &|run| {
-        let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-        let status = if run.outcome.is_ok() { "ok" } else { "FAILED" };
-        eprintln!(
-            "[{finished}/{total}] {} {status} ({:.2}s)",
-            run.id, run.wall_secs
-        );
-    });
+    let report =
+        analysis::run_experiments_cached(&ctx, &experiments, args.jobs, cache.as_ref(), &|run| {
+            let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+            let status = if run.outcome.is_ok() { "ok" } else { "FAILED" };
+            let cached = if run.cached { " (cached)" } else { "" };
+            eprintln!(
+                "[{finished}/{total}] {} {status}{cached} ({:.2}s)",
+                run.id, run.wall_secs
+            );
+        });
+    let cache_section = telemetry::CacheSection {
+        enabled: cache.is_some(),
+        hits: cache.as_ref().map_or(0, |c| c.hits()),
+        invalidated: cache.as_ref().map_or(0, |c| c.invalidated()),
+        misses: cache.as_ref().map_or(0, |c| c.misses()),
+        stored: cache.as_ref().map_or(0, |c| c.stored()),
+    };
+    manifest.cache = Some(cache_section);
+    eprintln!("{}", cache_section.summary());
 
     let mut failures: Vec<(&str, &ExperimentError)> = Vec::new();
     for run in &report {

@@ -1,0 +1,474 @@
+//! Content-addressed incremental artifact cache for the experiment
+//! engine.
+//!
+//! Every experiment is a pure function of the shared [`Context`], so its
+//! `Vec<Artifact>` can be cached and replayed instead of recomputed. The
+//! cache key is an FNV-1a fingerprint of everything the output depends
+//! on — the cache schema version, the experiment id, its
+//! [`code_version`](crate::registry::Experiment::code_version) tag, and
+//! the context parameters (scale, seed, campaign configuration, CONFIRM
+//! defaults). **Deliberately excluded** from the key: the worker count
+//! (`--jobs` never changes artifacts — the engine's determinism
+//! contract), the host, and wall-clock time. An entry is a single text
+//! file named `<id>-<fingerprint>.entry`: a seven-line envelope (format
+//! header, schema version, experiment id, code version, key, payload
+//! checksum, payload length) followed by the artifacts in the line-based
+//! codec of [`crate::artifact::encode_artifacts`]. The format is
+//! deliberately free of any serialization backend, so entries are
+//! byte-identical across build environments and corruption is always a
+//! parse error, never undefined behavior.
+//!
+//! Invalidation is entirely key- and checksum-driven:
+//!
+//! - changing the seed, scale, or campaign configuration changes the
+//!   fingerprint, so stale entries are simply never addressed again;
+//! - editing an experiment's logic requires bumping its per-experiment
+//!   code-version constant, which likewise changes the fingerprint;
+//! - a corrupt, truncated, checksum-mismatched, or schema-stale entry is
+//!   detected at lookup, counted as *invalidated*, and treated as a miss:
+//!   the experiment recomputes and the entry is rewritten. A bad entry
+//!   can never poison a run — at worst it costs one recompute.
+//!
+//! Lookups and stores bump both the cache's own atomic counters (always
+//! on, surfaced in the run manifest's cache section and the `repro`
+//! summary line) and the `cache.hit` / `cache.miss` /
+//! `cache.invalidated` / `cache.stored` telemetry counters (live when
+//! telemetry is enabled).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::artifact::{self, Artifact};
+use crate::context::{Context, Scale};
+use crate::registry::Experiment;
+
+/// Version of the on-disk entry format. Part of every fingerprint, so a
+/// format change invalidates the whole cache at once.
+pub const CACHE_SCHEMA_VERSION: u32 = 1;
+
+/// First line of every entry file.
+const ENTRY_HEADER: &str = "repro-cache v1";
+
+/// FNV-1a, 64-bit: tiny, dependency-free, and stable across platforms —
+/// the same digest the determinism fixtures pin artifacts with.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The content address of one experiment's artifacts under one context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheKey {
+    id: String,
+    code_version: u32,
+    fingerprint: u64,
+}
+
+impl CacheKey {
+    /// Computes the key from the experiment's identity and the context
+    /// parameters its output depends on. `campaign_repr` and
+    /// `confirm_repr` are canonical renderings of the campaign and
+    /// CONFIRM configurations (see [`CacheKey::for_context`] for the
+    /// usual entry point).
+    pub fn new(
+        experiment: &dyn Experiment,
+        scale: Scale,
+        seed: u64,
+        campaign_repr: &str,
+        confirm_repr: &str,
+    ) -> Self {
+        let id = experiment.id().to_string();
+        let code_version = experiment.code_version();
+        let canonical = format!(
+            "schema={CACHE_SCHEMA_VERSION}\nid={id}\ncode={code_version}\nscale={}\nseed={seed}\ncampaign={campaign_repr}\nconfirm={confirm_repr}\n",
+            scale.label(),
+        );
+        CacheKey {
+            id,
+            code_version,
+            fingerprint: fnv1a64(canonical.as_bytes()),
+        }
+    }
+
+    /// Computes the key for `experiment` under `ctx`. The campaign and
+    /// CONFIRM configurations enter the fingerprint through their full
+    /// `Debug` renderings, so any field change — not just seed and
+    /// scale — changes the address.
+    pub fn for_context(experiment: &dyn Experiment, ctx: &Context) -> Self {
+        let campaign = format!("{:?}", ctx.campaign);
+        let confirm = format!("{:?}", ctx.confirm);
+        CacheKey::new(experiment, ctx.scale, ctx.seed, &campaign, &confirm)
+    }
+
+    /// The experiment id this key addresses.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The 64-bit content address.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Entry file name: `<id>-<fingerprint>.entry`.
+    pub fn file_name(&self) -> String {
+        format!("{}-{:016x}.entry", self.id, self.fingerprint)
+    }
+}
+
+/// Splits one `\n`-terminated line off the front of `rest`.
+fn split_line(rest: &str) -> Option<(&str, &str)> {
+    let idx = rest.find('\n')?;
+    Some((&rest[..idx], &rest[idx + 1..]))
+}
+
+/// Why a lookup did not return artifacts, for the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MissKind {
+    /// No entry at the address.
+    Absent,
+    /// An entry exists but is corrupt, truncated, checksum-mismatched,
+    /// or written by a different schema version.
+    Invalidated,
+}
+
+/// A directory of cached experiment artifacts with hit/miss accounting.
+///
+/// Shared by reference across the engine's worker threads; the counters
+/// are relaxed atomics and the store path writes a temp file and renames
+/// it into place, so concurrent runs over one directory are safe (a
+/// racing rename is last-writer-wins over byte-identical content).
+#[derive(Debug)]
+pub struct ArtifactCache {
+    dir: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidated: AtomicU64,
+    stored: AtomicU64,
+}
+
+/// Aggregate size of a cache directory, for `repro cache stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of entry files.
+    pub entries: usize,
+    /// Total bytes across entry files.
+    pub bytes: u64,
+}
+
+impl ArtifactCache {
+    /// Opens (without creating) a cache rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ArtifactCache {
+            dir: dir.into(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
+            stored: AtomicU64::new(0),
+        }
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Hits recorded by this handle.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Clean misses (no entry at the address) recorded by this handle.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Bad entries (corrupt / truncated / checksum or schema mismatch)
+    /// recorded by this handle. Each one also behaves as a miss.
+    pub fn invalidated(&self) -> u64 {
+        self.invalidated.load(Ordering::Relaxed)
+    }
+
+    /// Entries written by this handle.
+    pub fn stored(&self) -> u64 {
+        self.stored.load(Ordering::Relaxed)
+    }
+
+    /// Returns the cached artifacts for `key`, or `None` on a miss.
+    ///
+    /// Any defect in the entry — unreadable file, truncated or invalid
+    /// JSON, schema or key mismatch, checksum failure, undecodable
+    /// payload — is counted as `cache.invalidated` and reported as a
+    /// miss, so the caller recomputes and rewrites. Lookup never panics
+    /// on disk content.
+    pub fn lookup(&self, key: &CacheKey) -> Option<Vec<Artifact>> {
+        match self.try_lookup(key) {
+            Ok(artifacts) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                telemetry::metrics::counter("cache.hit").inc();
+                Some(artifacts)
+            }
+            Err(MissKind::Absent) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                telemetry::metrics::counter("cache.miss").inc();
+                None
+            }
+            Err(MissKind::Invalidated) => {
+                self.invalidated.fetch_add(1, Ordering::Relaxed);
+                telemetry::metrics::counter("cache.invalidated").inc();
+                None
+            }
+        }
+    }
+
+    fn try_lookup(&self, key: &CacheKey) -> Result<Vec<Artifact>, MissKind> {
+        let path = self.dir.join(key.file_name());
+        let raw = std::fs::read_to_string(&path).map_err(|_| MissKind::Absent)?;
+        let payload = Self::validate_envelope(&raw, key).ok_or(MissKind::Invalidated)?;
+        artifact::decode_artifacts(payload).map_err(|_| MissKind::Invalidated)
+    }
+
+    /// Checks every envelope line against `key` and the payload
+    /// checksum + length; returns the payload slice only if all of them
+    /// hold. `None` means the entry is corrupt or stale.
+    fn validate_envelope<'a>(raw: &'a str, key: &CacheKey) -> Option<&'a str> {
+        let (header, rest) = split_line(raw)?;
+        let (schema, rest) = split_line(rest)?;
+        let (experiment, rest) = split_line(rest)?;
+        let (code, rest) = split_line(rest)?;
+        let (fingerprint, rest) = split_line(rest)?;
+        let (checksum, rest) = split_line(rest)?;
+        let (length, payload) = split_line(rest)?;
+        let length: usize = length.strip_prefix("payload ")?.parse().ok()?;
+        let valid = header == ENTRY_HEADER
+            && schema == format!("schema {CACHE_SCHEMA_VERSION}")
+            && experiment == format!("experiment {}", key.id)
+            && code == format!("code {}", key.code_version)
+            && fingerprint == format!("key {:016x}", key.fingerprint)
+            && payload.len() == length
+            && checksum == format!("checksum {:016x}", fnv1a64(payload.as_bytes()));
+        valid.then_some(payload)
+    }
+
+    /// Writes `artifacts` under `key`, creating the directory on first
+    /// use. Best-effort: an I/O failure leaves the cache unchanged and is
+    /// reported to the caller, never panicked on — a broken cache disk
+    /// must not fail the run that computed the artifacts.
+    pub fn store(&self, key: &CacheKey, artifacts: &[Artifact]) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        let payload = artifact::encode_artifacts(artifacts);
+        let bytes = format!(
+            "{ENTRY_HEADER}\nschema {CACHE_SCHEMA_VERSION}\nexperiment {}\ncode {}\nkey {:016x}\nchecksum {:016x}\npayload {}\n{payload}",
+            key.id,
+            key.code_version,
+            key.fingerprint,
+            fnv1a64(payload.as_bytes()),
+            payload.len(),
+        );
+        // Temp-write + rename so readers never observe a half-written
+        // entry, even across concurrent processes sharing the directory.
+        let tmp = self
+            .dir
+            .join(format!(".{}.tmp.{}", key.file_name(), std::process::id()));
+        std::fs::write(&tmp, &bytes)?;
+        let result = std::fs::rename(&tmp, self.dir.join(key.file_name()));
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result?;
+        self.stored.fetch_add(1, Ordering::Relaxed);
+        telemetry::metrics::counter("cache.stored").inc();
+        Ok(())
+    }
+
+    /// Counts entries and bytes in the cache directory. A missing
+    /// directory is an empty cache.
+    pub fn stats(&self) -> std::io::Result<CacheStats> {
+        let mut stats = CacheStats {
+            entries: 0,
+            bytes: 0,
+        };
+        let read = match std::fs::read_dir(&self.dir) {
+            Ok(read) => read,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(stats),
+            Err(e) => return Err(e),
+        };
+        for entry in read {
+            let entry = entry?;
+            if Self::is_entry_file(&entry.path()) {
+                stats.entries += 1;
+                stats.bytes += entry.metadata()?.len();
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Deletes every cache entry file and returns how many were removed.
+    /// Only `*.entry` files are touched; anything else in the
+    /// directory (and the directory itself) is left alone.
+    pub fn clear(&self) -> std::io::Result<usize> {
+        let mut removed = 0;
+        let read = match std::fs::read_dir(&self.dir) {
+            Ok(read) => read,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e),
+        };
+        for entry in read {
+            let path = entry?.path();
+            if Self::is_entry_file(&path) {
+                std::fs::remove_file(&path)?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+
+    fn is_entry_file(path: &Path) -> bool {
+        path.is_file()
+            && path.extension().is_some_and(|e| e == "entry")
+            && path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| !n.starts_with('.'))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::Table;
+    use crate::registry;
+
+    fn temp_dir(label: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "artifact-cache-{label}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_artifacts() -> Vec<Artifact> {
+        let mut t = Table::new("T0", "demo", &["k", "v"]);
+        t.push_row(vec!["a".to_string(), "1.25".to_string()]);
+        vec![Artifact::Table(t)]
+    }
+
+    fn sample_key() -> CacheKey {
+        let e = registry::find("T1").unwrap();
+        CacheKey::new(e, Scale::Quick, 42, "{\"c\":1}", "{\"p\":0.95}")
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn round_trip_hits_after_store() {
+        let cache = ArtifactCache::new(temp_dir("roundtrip"));
+        let key = sample_key();
+        assert_eq!(cache.lookup(&key), None);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        cache.store(&key, &sample_artifacts()).unwrap();
+        assert_eq!(cache.lookup(&key), Some(sample_artifacts()));
+        assert_eq!((cache.hits(), cache.stored()), (1, 1));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn key_changes_with_every_input() {
+        let e = registry::find("T1").unwrap();
+        let base = CacheKey::new(e, Scale::Quick, 42, "{}", "{}");
+        let seed = CacheKey::new(e, Scale::Quick, 43, "{}", "{}");
+        let scale = CacheKey::new(e, Scale::Paper, 42, "{}", "{}");
+        let campaign = CacheKey::new(e, Scale::Quick, 42, "{\"days\":9}", "{}");
+        let confirm = CacheKey::new(e, Scale::Quick, 42, "{}", "{\"c\":300}");
+        let other = CacheKey::new(registry::find("T2").unwrap(), Scale::Quick, 42, "{}", "{}");
+        let prints: Vec<u64> = [&base, &seed, &scale, &campaign, &confirm, &other]
+            .iter()
+            .map(|k| k.fingerprint())
+            .collect();
+        let mut unique = prints.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), prints.len(), "all fingerprints differ");
+        // Same inputs address the same entry.
+        assert_eq!(
+            base.fingerprint(),
+            CacheKey::new(e, Scale::Quick, 42, "{}", "{}").fingerprint()
+        );
+    }
+
+    #[test]
+    fn file_name_is_content_addressed() {
+        let key = sample_key();
+        let name = key.file_name();
+        assert!(name.starts_with("T1-"));
+        assert!(name.ends_with(".entry"));
+        assert!(name.contains(&format!("{:016x}", key.fingerprint())));
+    }
+
+    #[test]
+    fn corrupt_entries_invalidate_instead_of_panicking() {
+        let cache = ArtifactCache::new(temp_dir("corrupt"));
+        let key = sample_key();
+        cache.store(&key, &sample_artifacts()).unwrap();
+        let path = cache.dir().join(key.file_name());
+
+        // Truncation: cut the file in half.
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert_eq!(cache.lookup(&key), None);
+        assert_eq!(cache.invalidated(), 1);
+
+        // Checksum flip: well-formed envelope, wrong digest.
+        let mut lines: Vec<&str> = full.splitn(8, '\n').collect();
+        lines[5] = "checksum 0000000000000000";
+        std::fs::write(&path, lines.join("\n")).unwrap();
+        assert_eq!(cache.lookup(&key), None);
+        assert_eq!(cache.invalidated(), 2);
+
+        // Stale schema version.
+        let mut lines: Vec<&str> = full.splitn(8, '\n').collect();
+        let bumped = format!("schema {}", CACHE_SCHEMA_VERSION + 1);
+        lines[1] = &bumped;
+        std::fs::write(&path, lines.join("\n")).unwrap();
+        assert_eq!(cache.lookup(&key), None);
+        assert_eq!(cache.invalidated(), 3);
+
+        // Rewriting repairs the entry.
+        cache.store(&key, &sample_artifacts()).unwrap();
+        assert_eq!(cache.lookup(&key), Some(sample_artifacts()));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn stats_and_clear_cover_only_entry_files() {
+        let cache = ArtifactCache::new(temp_dir("stats"));
+        assert_eq!(
+            cache.stats().unwrap(),
+            CacheStats {
+                entries: 0,
+                bytes: 0
+            }
+        );
+        cache.store(&sample_key(), &sample_artifacts()).unwrap();
+        std::fs::write(cache.dir().join("README"), "not an entry").unwrap();
+        let stats = cache.stats().unwrap();
+        assert_eq!(stats.entries, 1);
+        assert!(stats.bytes > 0);
+        assert_eq!(cache.clear().unwrap(), 1);
+        assert_eq!(cache.stats().unwrap().entries, 0);
+        assert!(cache.dir().join("README").exists(), "non-entries survive");
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+}

@@ -30,6 +30,14 @@ impl Scale {
         }
     }
 
+    /// Lowercase label (`quick` / `paper`) for CLI output and cache keys.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Paper => "paper",
+        }
+    }
+
     /// The campaign configuration this scale implies.
     pub fn campaign(&self, seed: u64) -> CampaignConfig {
         match self {

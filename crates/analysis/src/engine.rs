@@ -20,6 +20,12 @@
 //! A failing experiment does not abort the run: its error is captured in
 //! its [`ExperimentRun::outcome`] slot and every sibling still runs.
 //!
+//! [`run_experiments_cached`] additionally consults a content-addressed
+//! [`ArtifactCache`] before fan-out: hits
+//! are served without running the pipeline and merge back in input
+//! order, misses are scheduled as usual and written back on success, so
+//! a cache-hot run is byte-identical to a cache-cold one.
+//!
 //! Telemetry: the engine opens an `experiments.run` span; each worker
 //! opens `experiment.worker.N` under it (threads named
 //! `experiment-worker-N`) via [`telemetry::span_in`], and every
@@ -33,6 +39,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use crate::artifact::Artifact;
+use crate::cache::{ArtifactCache, CacheKey};
 use crate::context::Context;
 use crate::registry::{Experiment, ExperimentError};
 
@@ -41,8 +48,11 @@ use crate::registry::{Experiment, ExperimentError};
 pub struct ExperimentRun {
     /// Experiment id (`T1`, `F9`, ...).
     pub id: String,
-    /// Wall time of the pipeline, in seconds.
+    /// Wall time of the pipeline, in seconds (0.0 for a cache hit).
     pub wall_secs: f64,
+    /// Whether the artifacts were served from the cache instead of
+    /// running the pipeline.
+    pub cached: bool,
     /// The artifacts, or why the pipeline could not produce them.
     pub outcome: Result<Vec<Artifact>, ExperimentError>,
 }
@@ -75,59 +85,116 @@ pub fn run_experiments_with(
     jobs: Option<usize>,
     on_done: &(dyn Fn(&ExperimentRun) + Sync),
 ) -> Vec<ExperimentRun> {
+    run_experiments_cached(ctx, experiments, jobs, None, on_done)
+}
+
+/// Like [`run_experiments_with`], consulting `cache` before fan-out.
+///
+/// For every cacheable experiment the engine computes its
+/// [`CacheKey`] and looks the artifacts up first; hits skip the pipeline
+/// entirely (their [`ExperimentRun::cached`] is set and `wall_secs` is
+/// 0.0) and only the misses are scheduled across workers. Successful
+/// recomputes are written back to the cache from the worker that ran
+/// them. Hits merge back into the report in input order exactly like
+/// computed results, so the byte-identity contract is unchanged: a
+/// cache-hot run renders the same report as a cache-cold one for any
+/// `--jobs N`.
+pub fn run_experiments_cached(
+    ctx: &Arc<Context>,
+    experiments: &[&dyn Experiment],
+    jobs: Option<usize>,
+    cache: Option<&ArtifactCache>,
+    on_done: &(dyn Fn(&ExperimentRun) + Sync),
+) -> Vec<ExperimentRun> {
     let _span = telemetry::span("experiments.run");
-    let workers = jobs
-        .unwrap_or_else(dataset::default_jobs)
-        .clamp(1, experiments.len().max(1));
-    telemetry::metrics::gauge("experiments.workers").set(workers as f64);
-    if workers <= 1 {
-        return experiments
-            .iter()
-            .map(|e| {
-                let run = run_one(*e, ctx);
-                on_done(&run);
-                run
-            })
-            .collect();
-    }
-
-    // Claim order: heaviest cost class first, registry order within a
-    // class. The claim index is the only shared mutable state.
-    let mut order: Vec<usize> = (0..experiments.len()).collect();
-    order.sort_by_key(|&i| (std::cmp::Reverse(experiments[i].cost()), i));
-    let next = AtomicUsize::new(0);
-    let parent = telemetry::trace::current_context();
-
     let mut slots: Vec<Option<ExperimentRun>> = Vec::new();
     slots.resize_with(experiments.len(), || None);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                let ctx = Arc::clone(ctx);
-                let (next, order) = (&next, &order);
-                std::thread::Builder::new()
-                    .name(format!("experiment-worker-{w}"))
-                    .spawn_scoped(scope, move || {
-                        let _span = telemetry::span_in(format!("experiment.worker.{w}"), parent);
-                        let mut done: Vec<(usize, ExperimentRun)> = Vec::new();
-                        loop {
-                            let claimed = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(&i) = order.get(claimed) else { break };
-                            let run = run_one(experiments[i], &ctx);
-                            on_done(&run);
-                            done.push((i, run));
-                        }
-                        done
-                    })
-                    .expect("spawning an experiment worker succeeds")
-            })
-            .collect();
-        for handle in handles {
-            for (i, run) in handle.join().expect("experiment workers do not panic") {
+
+    // Phase 1: serve cache hits before fan-out. Keys depend only on the
+    // experiment identity and the context parameters, never on the
+    // worker count, so the hit set is jobs-invariant too.
+    let mut pending: Vec<usize> = Vec::new();
+    for (i, e) in experiments.iter().enumerate() {
+        let hit = cache.and_then(|cache| {
+            if !e.cacheable() {
+                return None;
+            }
+            cache.lookup(&CacheKey::for_context(*e, ctx))
+        });
+        match hit {
+            Some(artifacts) => {
+                let run = ExperimentRun {
+                    id: e.id().to_string(),
+                    wall_secs: 0.0,
+                    cached: true,
+                    outcome: Ok(artifacts),
+                };
+                on_done(&run);
                 slots[i] = Some(run);
             }
+            None => pending.push(i),
         }
-    });
+    }
+
+    let workers = jobs
+        .unwrap_or_else(dataset::default_jobs)
+        .clamp(1, pending.len().max(1));
+    telemetry::metrics::gauge("experiments.workers").set(workers as f64);
+    let run_and_store = |i: usize, ctx: &Context| {
+        let run = run_one(experiments[i], ctx);
+        if let (Some(cache), true, Ok(artifacts)) =
+            (cache, experiments[i].cacheable(), &run.outcome)
+        {
+            if let Err(err) = cache.store(&CacheKey::for_context(experiments[i], ctx), artifacts) {
+                eprintln!("cache: cannot store {}: {err}", run.id);
+            }
+        }
+        run
+    };
+    if workers <= 1 {
+        for i in pending {
+            let run = run_and_store(i, ctx);
+            on_done(&run);
+            slots[i] = Some(run);
+        }
+    } else {
+        // Claim order: heaviest cost class first, registry order within a
+        // class. The claim index is the only shared mutable state.
+        let mut order: Vec<usize> = pending;
+        order.sort_by_key(|&i| (std::cmp::Reverse(experiments[i].cost()), i));
+        let next = AtomicUsize::new(0);
+        let parent = telemetry::trace::current_context();
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let ctx = Arc::clone(ctx);
+                    let (next, order, run_and_store) = (&next, &order, &run_and_store);
+                    std::thread::Builder::new()
+                        .name(format!("experiment-worker-{w}"))
+                        .spawn_scoped(scope, move || {
+                            let _span =
+                                telemetry::span_in(format!("experiment.worker.{w}"), parent);
+                            let mut done: Vec<(usize, ExperimentRun)> = Vec::new();
+                            loop {
+                                let claimed = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(&i) = order.get(claimed) else { break };
+                                let run = run_and_store(i, &ctx);
+                                on_done(&run);
+                                done.push((i, run));
+                            }
+                            done
+                        })
+                        .expect("spawning an experiment worker succeeds")
+                })
+                .collect();
+            for handle in handles {
+                for (i, run) in handle.join().expect("experiment workers do not panic") {
+                    slots[i] = Some(run);
+                }
+            }
+        });
+    }
     slots
         .into_iter()
         .map(|slot| slot.expect("every claimed experiment reports"))
@@ -147,6 +214,7 @@ fn run_one(e: &dyn Experiment, ctx: &Context) -> ExperimentRun {
     ExperimentRun {
         id: e.id().to_string(),
         wall_secs,
+        cached: false,
         outcome,
     }
 }
@@ -239,6 +307,79 @@ mod tests {
         let mut seen = seen.into_inner().unwrap();
         seen.sort();
         assert_eq!(seen, ["F1", "T1", "T2"]);
+    }
+
+    #[test]
+    fn cache_hits_skip_pipelines_and_preserve_artifacts() {
+        let ctx = quick_ctx();
+        let dir = std::env::temp_dir().join(format!("engine-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ArtifactCache::new(&dir);
+        let subset: Vec<&dyn Experiment> = ["T1", "F3", "T2"]
+            .iter()
+            .map(|id| registry::find(id).expect("registered"))
+            .collect();
+        let cold = run_experiments_cached(&ctx, &subset, Some(2), Some(&cache), &|_| {});
+        assert!(cold.iter().all(|r| !r.cached), "cold run computes");
+        assert_eq!(cache.stored(), 3);
+        assert_eq!(cache.misses(), 3);
+        let hot = run_experiments_cached(&ctx, &subset, Some(2), Some(&cache), &|_| {});
+        assert!(hot.iter().all(|r| r.cached), "hot run serves from cache");
+        assert!(hot.iter().all(|r| r.wall_secs == 0.0));
+        assert_eq!(cache.hits(), 3);
+        for (c, h) in cold.iter().zip(&hot) {
+            assert_eq!(c.id, h.id, "hits merge back in input order");
+            assert_eq!(
+                c.outcome.as_ref().unwrap(),
+                h.outcome.as_ref().unwrap(),
+                "cached artifacts are indistinguishable from computed ones"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failures_and_uncacheable_experiments_never_enter_the_cache() {
+        struct Uncacheable;
+        impl Experiment for Uncacheable {
+            fn id(&self) -> &str {
+                "NOCACHE"
+            }
+            fn kind(&self) -> Kind {
+                Kind::Table
+            }
+            fn title(&self) -> &str {
+                "never cached"
+            }
+            fn cost(&self) -> Cost {
+                Cost::Light
+            }
+            fn cacheable(&self) -> bool {
+                false
+            }
+            fn run(&self, _ctx: &Context) -> Result<Vec<Artifact>, ExperimentError> {
+                Ok(vec![Artifact::Table(crate::artifact::Table::new(
+                    "NOCACHE",
+                    "demo",
+                    &["h"],
+                ))])
+            }
+        }
+        let ctx = quick_ctx();
+        let dir = std::env::temp_dir().join(format!("engine-nocache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ArtifactCache::new(&dir);
+        let failing = Failing;
+        let uncacheable = Uncacheable;
+        let experiments: Vec<&dyn Experiment> = vec![&failing, &uncacheable];
+        for round in 0..2 {
+            let report = run_experiments_cached(&ctx, &experiments, Some(2), Some(&cache), &|_| {});
+            assert!(report[0].outcome.is_err(), "round {round}");
+            assert!(!report[1].cached, "uncacheable experiments always run");
+        }
+        assert_eq!(cache.stored(), 0, "neither failure nor opt-out is stored");
+        assert_eq!(cache.hits(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -5,6 +5,9 @@
 //! runs all of them on the same pool so their effect on the answer (and
 //! its cost) is visible side by side.
 
+/// Cache code-version tag for T5: bump on any edit that could
+/// change `t5_confirm_ablation`'s output, so stale cached artifacts self-invalidate.
+pub const T5_CONFIRM_ABLATION_VERSION: u32 = 1;
 use confirm::{estimate, CiMethod, ConfirmConfig, ErrorCriterion, Growth};
 use workloads::BenchmarkId;
 

@@ -7,6 +7,9 @@
 //! This experiment quantifies both against the fleet-wide ground truth —
 //! the paper's "randomize machine selection" recommendation, measured.
 
+/// Cache code-version tag for F14: bump on any edit that could
+/// change `f14_allocation_bias`'s output, so stale cached artifacts self-invalidate.
+pub const F14_ALLOCATION_BIAS_VERSION: u32 = 1;
 use testbed::{allocate, AllocationPolicy};
 use varstats::quantile::median;
 use workloads::{sample, BenchmarkId};

@@ -7,6 +7,9 @@
 //! `c = 200` rounds are there to provide — and shows how the spread
 //! shrinks as the number of rounds grows.
 
+/// Cache code-version tag for F16: bump on any edit that could
+/// change `f16_confirm_stability`'s output, so stale cached artifacts self-invalidate.
+pub const F16_CONFIRM_STABILITY_VERSION: u32 = 1;
 use confirm::estimate;
 use varstats::descriptive::Moments;
 use workloads::BenchmarkId;

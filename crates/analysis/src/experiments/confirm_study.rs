@@ -9,6 +9,17 @@
 //! * **T4** — the summary table: median and 95th-percentile machine
 //!   requirement per benchmark, at 1% and 5% targets.
 
+/// Cache code-version tag for F9: bump on any edit that could
+/// change `f9_confirm_cdf`'s output, so stale cached artifacts self-invalidate.
+pub const F9_CONFIRM_CDF_VERSION: u32 = 1;
+
+/// Cache code-version tag for F10: bump on any edit that could
+/// change `f10_confirm_tails`'s output, so stale cached artifacts self-invalidate.
+pub const F10_CONFIRM_TAILS_VERSION: u32 = 1;
+
+/// Cache code-version tag for T4: bump on any edit that could
+/// change `t4_repetition_summary`'s output, so stale cached artifacts self-invalidate.
+pub const T4_REPETITION_SUMMARY_VERSION: u32 = 1;
 use confirm::{estimate, ConfirmConfig, Requirement, Statistic};
 use varstats::quantile::{quantile, QuantileMethod};
 use workloads::{sample, BenchmarkId};

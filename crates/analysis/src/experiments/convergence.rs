@@ -6,6 +6,9 @@
 //! very different starting points — the visual explanation of why disk
 //! experiments need an order of magnitude more repetitions.
 
+/// Cache code-version tag for F8: bump on any edit that could
+/// change `f8_ci_convergence`'s output, so stale cached artifacts self-invalidate.
+pub const F8_CI_CONVERGENCE_VERSION: u32 = 1;
 use varstats::ci::nonparametric::median_ci_approx;
 use workloads::{sample, BenchmarkId};
 

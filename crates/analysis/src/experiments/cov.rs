@@ -7,6 +7,17 @@
 //! medians (the hardware-lottery component). The paper's ordering —
 //! disk ≫ memory > network throughput — must emerge.
 
+/// Cache code-version tag for F3: bump on any edit that could
+/// change `f3_cov_memory`'s output, so stale cached artifacts self-invalidate.
+pub const F3_COV_MEMORY_VERSION: u32 = 1;
+
+/// Cache code-version tag for F4: bump on any edit that could
+/// change `f4_cov_disk`'s output, so stale cached artifacts self-invalidate.
+pub const F4_COV_DISK_VERSION: u32 = 1;
+
+/// Cache code-version tag for F5: bump on any edit that could
+/// change `f5_cov_network`'s output, so stale cached artifacts self-invalidate.
+pub const F5_COV_NETWORK_VERSION: u32 = 1;
 use std::collections::BTreeMap;
 
 use varstats::descriptive::Moments;

@@ -2,6 +2,9 @@
 //! section opens with (machines × benchmarks × sessions, per-benchmark
 //! record counts, and the outlier health sweep).
 
+/// Cache code-version tag for T6: bump on any edit that could
+/// change `t6_dataset_overview`'s output, so stale cached artifacts self-invalidate.
+pub const T6_DATASET_OVERVIEW_VERSION: u32 = 1;
 use dataset::{outlier_sweep, overview, Fence};
 
 use crate::artifact::{fmt, pct, Artifact, Table};

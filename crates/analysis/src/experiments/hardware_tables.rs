@@ -1,5 +1,12 @@
 //! T1 (hardware catalog) and T2 (benchmark suite) tables.
 
+/// Cache code-version tag for T1: bump on any edit that could
+/// change `t1_hardware`'s output, so stale cached artifacts self-invalidate.
+pub const T1_HARDWARE_VERSION: u32 = 1;
+
+/// Cache code-version tag for T2: bump on any edit that could
+/// change `t2_benchmarks`'s output, so stale cached artifacts self-invalidate.
+pub const T2_BENCHMARKS_VERSION: u32 = 1;
 use workloads::BenchmarkId;
 
 use crate::artifact::{Artifact, Table};

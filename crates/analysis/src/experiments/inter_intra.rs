@@ -7,6 +7,9 @@
 //! share — nominally identical machines differ persistently, by up to
 //! ~10% end to end.
 
+/// Cache code-version tag for F12: bump on any edit that could
+/// change `f12_inter_intra`'s output, so stale cached artifacts self-invalidate.
+pub const F12_INTER_INTRA_VERSION: u32 = 1;
 use varstats::descriptive::Moments;
 use workloads::BenchmarkId;
 

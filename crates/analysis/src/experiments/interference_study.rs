@@ -6,6 +6,9 @@
 //! the experiment an experimenter should run before trusting numbers
 //! from a shared testbed.
 
+/// Cache code-version tag for F15: bump on any edit that could
+/// change `f15_interference`'s output, so stale cached artifacts self-invalidate.
+pub const F15_INTERFERENCE_VERSION: u32 = 1;
 use confirm::estimate;
 use testbed::{catalog, Cluster, InterferenceModel, Timeline};
 use varstats::descriptive::Moments;

@@ -6,6 +6,9 @@
 //! the bias of the mean (with its t-interval) is compared to the bias of
 //! the median (with its order-statistic interval).
 
+/// Cache code-version tag for F7: bump on any edit that could
+/// change `f7_mean_vs_median`'s output, so stale cached artifacts self-invalidate.
+pub const F7_MEAN_VS_MEDIAN_VERSION: u32 = 1;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use varstats::ci::nonparametric::median_ci_exact;

@@ -1,6 +1,13 @@
 //! F1 (skewed repeated runs on one disk) and F2 (multimodal memory
 //! bandwidth across machines) — the paper's motivating exhibits.
 
+/// Cache code-version tag for F1: bump on any edit that could
+/// change `f1_motivating`'s output, so stale cached artifacts self-invalidate.
+pub const F1_MOTIVATING_VERSION: u32 = 1;
+
+/// Cache code-version tag for F2: bump on any edit that could
+/// change `f2_memory_multimodal`'s output, so stale cached artifacts self-invalidate.
+pub const F2_MEMORY_MULTIMODAL_VERSION: u32 = 1;
 use varstats::histogram::{BinRule, Histogram};
 use varstats::quantile::median;
 use varstats::Summary;

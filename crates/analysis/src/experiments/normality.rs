@@ -5,6 +5,9 @@
 //! is not normal, and which share depends on the subsystem — eventful,
 //! skewed subsystems (disk, network latency) fail most.
 
+/// Cache code-version tag for F6: bump on any edit that could
+/// change `f6_normality`'s output, so stale cached artifacts self-invalidate.
+pub const F6_NORMALITY_VERSION: u32 = 1;
 use varstats::normality::shapiro_wilk;
 use workloads::BenchmarkId;
 

@@ -7,6 +7,9 @@
 //! representative benchmark, the Shapiro–Wilk verdict, and both
 //! estimates.
 
+/// Cache code-version tag for T3: bump on any edit that could
+/// change `t3_parametric_vs_confirm`'s output, so stale cached artifacts self-invalidate.
+pub const T3_PARAMETRIC_VS_CONFIRM_VERSION: u32 = 1;
 use confirm::{recommend, ChosenMethod};
 use workloads::BenchmarkId;
 

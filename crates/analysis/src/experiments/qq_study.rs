@@ -5,6 +5,9 @@
 //! (machine, benchmark) set — the continuous companion of the binary
 //! Shapiro–Wilk census (F6).
 
+/// Cache code-version tag for F13: bump on any edit that could
+/// change `f13_qq`'s output, so stale cached artifacts self-invalidate.
+pub const F13_QQ_VERSION: u32 = 1;
 use varstats::qq::normal_qq;
 use varstats::quantile::median;
 use workloads::{sample, BenchmarkId};

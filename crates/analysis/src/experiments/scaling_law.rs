@@ -7,6 +7,9 @@
 //! scale and checks CONFIRM's measured answers track the quadratic law —
 //! the strongest kind of soundness evidence an estimator can offer.
 
+/// Cache code-version tag for F17: bump on any edit that could
+/// change `f17_scaling_law`'s output, so stale cached artifacts self-invalidate.
+pub const F17_SCALING_LAW_VERSION: u32 = 1;
 use confirm::{estimate, Growth};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};

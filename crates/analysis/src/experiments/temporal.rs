@@ -5,6 +5,9 @@
 //! must locate the level shifts; the artifact compares detected positions
 //! against the simulator's ground truth.
 
+/// Cache code-version tag for F11: bump on any edit that could
+/// change `f11_temporal`'s output, so stale cached artifacts self-invalidate.
+pub const F11_TEMPORAL_VERSION: u32 = 1;
 use varstats::changepoint::{cusum_detect, pelt_mean};
 use workloads::{sample, BenchmarkId};
 

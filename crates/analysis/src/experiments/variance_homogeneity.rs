@@ -6,6 +6,9 @@
 //! rejection means even the run-to-run noise differs per unit — one more
 //! reason single-machine results do not generalize to a type.
 
+/// Cache code-version tag for T7: bump on any edit that could
+/// change `t7_variance_homogeneity`'s output, so stale cached artifacts self-invalidate.
+pub const T7_VARIANCE_HOMOGENEITY_VERSION: u32 = 1;
 use varstats::anova::brown_forsythe;
 use workloads::BenchmarkId;
 

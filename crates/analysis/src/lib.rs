@@ -19,12 +19,14 @@
 #![warn(missing_docs)]
 
 pub mod artifact;
+pub mod cache;
 pub mod context;
 pub mod engine;
 pub mod experiments;
 pub mod registry;
 
 pub use artifact::{Artifact, Series, SeriesSet, Table};
+pub use cache::{ArtifactCache, CacheKey, CacheStats, CACHE_SCHEMA_VERSION};
 pub use context::{Context, Scale};
-pub use engine::{run_experiments, run_experiments_with, ExperimentRun};
+pub use engine::{run_experiments, run_experiments_cached, run_experiments_with, ExperimentRun};
 pub use registry::{all, find, Cost, Experiment, ExperimentError, Kind};

@@ -101,6 +101,21 @@ pub trait Experiment: Sync {
     fn title(&self) -> &str;
     /// Rough wall-time class, for scheduling.
     fn cost(&self) -> Cost;
+    /// Version tag of the pipeline's logic, part of the artifact-cache
+    /// key (see [`crate::cache`]). Bump the experiment's version constant
+    /// whenever an edit could change its output, so stale cached
+    /// artifacts self-invalidate. Registry entries wire this to a
+    /// per-experiment `*_VERSION` constant next to the pipeline code.
+    fn code_version(&self) -> u32 {
+        1
+    }
+    /// Whether artifacts may be served from and stored to the cache.
+    /// `false` forces a recompute every run (used by test shims whose
+    /// behavior is not a pure function of the context, e.g. injected
+    /// failures).
+    fn cacheable(&self) -> bool {
+        true
+    }
     /// Runs the pipeline against the shared campaign context.
     fn run(&self, ctx: &Context) -> Result<Vec<Artifact>, ExperimentError>;
 }
@@ -111,6 +126,7 @@ struct Entry {
     kind: Kind,
     title: &'static str,
     cost: Cost,
+    version: u32,
     run: fn(&Context) -> Result<Vec<Artifact>, ExperimentError>,
 }
 
@@ -131,6 +147,10 @@ impl Experiment for Entry {
         self.cost
     }
 
+    fn code_version(&self) -> u32 {
+        self.version
+    }
+
     fn run(&self, ctx: &Context) -> Result<Vec<Artifact>, ExperimentError> {
         (self.run)(ctx)
     }
@@ -143,6 +163,7 @@ static REGISTRY: [Entry; 24] = [
         kind: Kind::Table,
         title: "Hardware catalog: machine types, counts, specs",
         cost: Cost::Light,
+        version: experiments::hardware_tables::T1_HARDWARE_VERSION,
         run: experiments::hardware_tables::t1_hardware,
     },
     Entry {
@@ -150,6 +171,7 @@ static REGISTRY: [Entry; 24] = [
         kind: Kind::Table,
         title: "Benchmark suite and parameters",
         cost: Cost::Light,
+        version: experiments::hardware_tables::T2_BENCHMARKS_VERSION,
         run: experiments::hardware_tables::t2_benchmarks,
     },
     Entry {
@@ -157,6 +179,7 @@ static REGISTRY: [Entry; 24] = [
         kind: Kind::Figure,
         title: "Motivating example: skewed repeated disk runs on one machine",
         cost: Cost::Light,
+        version: experiments::motivating::F1_MOTIVATING_VERSION,
         run: experiments::motivating::f1_motivating,
     },
     Entry {
@@ -164,6 +187,7 @@ static REGISTRY: [Entry; 24] = [
         kind: Kind::Figure,
         title: "Memory bandwidth across one type's machines is multimodal",
         cost: Cost::Light,
+        version: experiments::motivating::F2_MEMORY_MULTIMODAL_VERSION,
         run: experiments::motivating::f2_memory_multimodal,
     },
     Entry {
@@ -171,6 +195,7 @@ static REGISTRY: [Entry; 24] = [
         kind: Kind::Figure,
         title: "CoV by machine type: memory benchmarks",
         cost: Cost::Medium,
+        version: experiments::cov::F3_COV_MEMORY_VERSION,
         run: experiments::cov::f3_cov_memory,
     },
     Entry {
@@ -178,6 +203,7 @@ static REGISTRY: [Entry; 24] = [
         kind: Kind::Figure,
         title: "CoV by machine type: disk benchmarks (HDD >> SSD)",
         cost: Cost::Medium,
+        version: experiments::cov::F4_COV_DISK_VERSION,
         run: experiments::cov::f4_cov_disk,
     },
     Entry {
@@ -185,6 +211,7 @@ static REGISTRY: [Entry; 24] = [
         kind: Kind::Figure,
         title: "CoV by machine type: network benchmarks",
         cost: Cost::Medium,
+        version: experiments::cov::F5_COV_NETWORK_VERSION,
         run: experiments::cov::f5_cov_network,
     },
     Entry {
@@ -192,6 +219,7 @@ static REGISTRY: [Entry; 24] = [
         kind: Kind::Figure,
         title: "Shapiro-Wilk normality census: most sample sets are not normal",
         cost: Cost::Medium,
+        version: experiments::normality::F6_NORMALITY_VERSION,
         run: experiments::normality::f6_normality,
     },
     Entry {
@@ -199,6 +227,7 @@ static REGISTRY: [Entry; 24] = [
         kind: Kind::Figure,
         title: "Mean fragile vs median robust under contamination",
         cost: Cost::Medium,
+        version: experiments::mean_median::F7_MEAN_VS_MEDIAN_VERSION,
         run: experiments::mean_median::f7_mean_vs_median,
     },
     Entry {
@@ -206,6 +235,7 @@ static REGISTRY: [Entry; 24] = [
         kind: Kind::Figure,
         title: "Median-CI half-width vs repetitions (convergence curves)",
         cost: Cost::Medium,
+        version: experiments::convergence::F8_CI_CONVERGENCE_VERSION,
         run: experiments::convergence::f8_ci_convergence,
     },
     Entry {
@@ -213,6 +243,7 @@ static REGISTRY: [Entry; 24] = [
         kind: Kind::Figure,
         title: "CONFIRM: CDF of required repetitions across machines",
         cost: Cost::Heavy,
+        version: experiments::confirm_study::F9_CONFIRM_CDF_VERSION,
         run: experiments::confirm_study::f9_confirm_cdf,
     },
     Entry {
@@ -220,6 +251,7 @@ static REGISTRY: [Entry; 24] = [
         kind: Kind::Figure,
         title: "CONFIRM on tail quantiles: p95/p99 cost far more than the median",
         cost: Cost::Heavy,
+        version: experiments::confirm_study::F10_CONFIRM_TAILS_VERSION,
         run: experiments::confirm_study::f10_confirm_tails,
     },
     Entry {
@@ -227,6 +259,7 @@ static REGISTRY: [Entry; 24] = [
         kind: Kind::Table,
         title: "Parametric (Jain) vs CONFIRM estimates with normality verdicts",
         cost: Cost::Heavy,
+        version: experiments::parametric_vs_confirm::T3_PARAMETRIC_VS_CONFIRM_VERSION,
         run: experiments::parametric_vs_confirm::t3_parametric_vs_confirm,
     },
     Entry {
@@ -234,6 +267,7 @@ static REGISTRY: [Entry; 24] = [
         kind: Kind::Figure,
         title: "Temporal variability: maintenance changepoints detected",
         cost: Cost::Medium,
+        version: experiments::temporal::F11_TEMPORAL_VERSION,
         run: experiments::temporal::f11_temporal,
     },
     Entry {
@@ -241,6 +275,7 @@ static REGISTRY: [Entry; 24] = [
         kind: Kind::Figure,
         title: "Inter- vs intra-machine variability decomposition",
         cost: Cost::Medium,
+        version: experiments::inter_intra::F12_INTER_INTRA_VERSION,
         run: experiments::inter_intra::f12_inter_intra,
     },
     Entry {
@@ -248,6 +283,7 @@ static REGISTRY: [Entry; 24] = [
         kind: Kind::Table,
         title: "Summary of required repetitions per benchmark and target",
         cost: Cost::Heavy,
+        version: experiments::confirm_study::T4_REPETITION_SUMMARY_VERSION,
         run: experiments::confirm_study::t4_repetition_summary,
     },
     Entry {
@@ -255,6 +291,7 @@ static REGISTRY: [Entry; 24] = [
         kind: Kind::Figure,
         title: "Normal QQ study: the visual non-normality argument, quantified",
         cost: Cost::Medium,
+        version: experiments::qq_study::F13_QQ_VERSION,
         run: experiments::qq_study::f13_qq,
     },
     Entry {
@@ -262,6 +299,7 @@ static REGISTRY: [Entry; 24] = [
         kind: Kind::Figure,
         title: "Allocation-policy bias: randomize machine selection",
         cost: Cost::Heavy,
+        version: experiments::allocation_bias::F14_ALLOCATION_BIAS_VERSION,
         run: experiments::allocation_bias::f14_allocation_bias,
     },
     Entry {
@@ -269,6 +307,7 @@ static REGISTRY: [Entry; 24] = [
         kind: Kind::Figure,
         title: "Noisy-neighbor interference inflates variability and repetitions",
         cost: Cost::Heavy,
+        version: experiments::interference_study::F15_INTERFERENCE_VERSION,
         run: experiments::interference_study::f15_interference,
     },
     Entry {
@@ -276,6 +315,7 @@ static REGISTRY: [Entry; 24] = [
         kind: Kind::Table,
         title: "CONFIRM configuration ablation (criterion, CI method, growth)",
         cost: Cost::Heavy,
+        version: experiments::ablation::T5_CONFIRM_ABLATION_VERSION,
         run: experiments::ablation::t5_confirm_ablation,
     },
     Entry {
@@ -283,6 +323,7 @@ static REGISTRY: [Entry; 24] = [
         kind: Kind::Table,
         title: "Campaign dataset overview and outlier health sweep",
         cost: Cost::Medium,
+        version: experiments::dataset_overview::T6_DATASET_OVERVIEW_VERSION,
         run: experiments::dataset_overview::t6_dataset_overview,
     },
     Entry {
@@ -290,6 +331,7 @@ static REGISTRY: [Entry; 24] = [
         kind: Kind::Figure,
         title: "CONFIRM answer stability across subsampling seeds",
         cost: Cost::Heavy,
+        version: experiments::confirm_stability::F16_CONFIRM_STABILITY_VERSION,
         run: experiments::confirm_stability::f16_confirm_stability,
     },
     Entry {
@@ -297,6 +339,7 @@ static REGISTRY: [Entry; 24] = [
         kind: Kind::Table,
         title: "Variance homogeneity across same-type machines (Brown-Forsythe)",
         cost: Cost::Medium,
+        version: experiments::variance_homogeneity::T7_VARIANCE_HOMOGENEITY_VERSION,
         run: experiments::variance_homogeneity::t7_variance_homogeneity,
     },
     Entry {
@@ -304,6 +347,7 @@ static REGISTRY: [Entry; 24] = [
         kind: Kind::Figure,
         title: "CONFIRM requirement vs CoV: the quadratic scaling law vs theory",
         cost: Cost::Heavy,
+        version: experiments::scaling_law::F17_SCALING_LAW_VERSION,
         run: experiments::scaling_law::f17_scaling_law,
     },
 ];

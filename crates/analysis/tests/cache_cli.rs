@@ -1,0 +1,264 @@
+//! Integration tests for the `repro` binary's artifact cache: the
+//! `--cache-dir` / `--no-cache` flags, the `cache stats|clear`
+//! subcommands, and the headline contract — `repro all` twice into the
+//! same cache directory reports a hit for every experiment, executes
+//! zero pipeline bodies, and writes a byte-identical artifact
+//! directory.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+fn temp_root(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("repro-cache-cli-{label}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Drops the lines of `manifest.json` that legitimately differ between a
+/// cold and a hot run: wall-clock timings, the start timestamp, and the
+/// cache section's own counters. Everything else must match.
+fn normalized_manifest(raw: &str) -> String {
+    raw.lines()
+        .filter(|line| {
+            ![
+                "secs",
+                "\"enabled\"",
+                "\"hits\"",
+                "\"invalidated\"",
+                "\"misses\"",
+                "\"stored\"",
+            ]
+            .iter()
+            .any(|tag| line.contains(tag))
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn read_dir_sorted(dir: &Path) -> Vec<String> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    names.sort();
+    names
+}
+
+#[test]
+fn repro_all_twice_hits_every_experiment_and_replays_the_bytes() {
+    let root = temp_root("all-twice");
+    let cache = root.join("cache");
+    let run = |out: &Path| {
+        let output = repro()
+            .args(["all", "--jobs", "4", "--seed", "5"])
+            .args(["--out", out.to_str().unwrap()])
+            .args(["--cache-dir", cache.to_str().unwrap()])
+            .output()
+            .expect("binary runs");
+        assert!(
+            output.status.success(),
+            "{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        (
+            String::from_utf8(output.stdout).unwrap(),
+            String::from_utf8(output.stderr).unwrap(),
+        )
+    };
+    let (stdout_cold, stderr_cold) = run(&root.join("out1"));
+    assert!(
+        stderr_cold.contains("cache: 0 hits, 24 misses, 0 invalidated, 24 stored"),
+        "cold summary wrong:\n{stderr_cold}"
+    );
+    let (stdout_hot, stderr_hot) = run(&root.join("out2"));
+    assert!(
+        stderr_hot.contains("cache: 24 hits, 0 misses, 0 invalidated, 0 stored"),
+        "hot summary wrong:\n{stderr_hot}"
+    );
+    let progress = stderr_hot
+        .lines()
+        .filter(|l| l.starts_with('['))
+        .collect::<Vec<_>>();
+    assert_eq!(progress.len(), 24);
+    assert!(
+        progress.iter().all(|l| l.contains("(cached)")),
+        "every hot progress line is marked cached:\n{stderr_hot}"
+    );
+    assert_eq!(stdout_cold, stdout_hot, "hot stdout replays cold stdout");
+
+    // Same file set, byte-identical contents; the manifest may differ
+    // only in timings and cache counters.
+    let (out1, out2) = (root.join("out1"), root.join("out2"));
+    let names = read_dir_sorted(&out1);
+    assert_eq!(names, read_dir_sorted(&out2));
+    assert!(names.contains(&"manifest.json".to_string()));
+    assert!(names.len() > 24, "every experiment landed artifacts");
+    for name in &names {
+        let a = std::fs::read(out1.join(name)).unwrap();
+        let b = std::fs::read(out2.join(name)).unwrap();
+        if name == "manifest.json" {
+            assert_eq!(
+                normalized_manifest(&String::from_utf8(a).unwrap()),
+                normalized_manifest(&String::from_utf8(b).unwrap()),
+                "manifests differ beyond timings and cache counters"
+            );
+        } else {
+            assert_eq!(a, b, "{name} differs between cold and hot run");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn hot_runs_show_cache_hits_and_no_pipeline_metrics() {
+    let root = temp_root("metrics");
+    let cache = root.join("cache");
+    let run = || {
+        let output = repro()
+            .args(["T1", "T2", "--seed", "9", "--metrics"])
+            .args(["--cache-dir", cache.to_str().unwrap()])
+            .output()
+            .expect("binary runs");
+        assert!(output.status.success());
+        String::from_utf8(output.stdout).unwrap()
+    };
+    let cold = run();
+    assert!(cold.contains("cache.miss"), "cold metrics:\n{cold}");
+    assert!(cold.contains("cache.stored"), "cold metrics:\n{cold}");
+    assert!(
+        cold.contains("experiment.secs"),
+        "cold run executes pipelines:\n{cold}"
+    );
+    let hot = run();
+    let hit_row = hot
+        .lines()
+        .find(|l| l.trim_start().starts_with("cache.hit"))
+        .unwrap_or_else(|| panic!("no cache.hit row:\n{hot}"));
+    assert!(hit_row.contains('2'), "both experiments hit: {hit_row}");
+    assert!(
+        !hot.contains("experiment.secs"),
+        "a hot run must execute zero pipeline bodies, so the \
+         per-experiment timing histogram never exists:\n{hot}"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn no_cache_bypasses_reads_and_writes() {
+    let root = temp_root("no-cache");
+    let cache = root.join("cache");
+    for _ in 0..2 {
+        let output = repro()
+            .args(["T1", "--seed", "3", "--no-cache"])
+            .args(["--cache-dir", cache.to_str().unwrap()])
+            .output()
+            .expect("binary runs");
+        assert!(output.status.success());
+        let stderr = String::from_utf8(output.stderr).unwrap();
+        assert!(stderr.contains("cache: disabled"), "{stderr}");
+        assert!(!stderr.contains("(cached)"), "{stderr}");
+    }
+    assert!(
+        !cache.exists(),
+        "--no-cache must never create the directory"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn stats_and_clear_subcommands_manage_the_directory() {
+    let root = temp_root("stats-clear");
+    let cache = root.join("cache");
+    let cache_arg = ["--cache-dir", cache.to_str().unwrap()];
+    let stats = || {
+        let output = repro()
+            .arg("cache")
+            .arg("stats")
+            .args(cache_arg)
+            .output()
+            .expect("binary runs");
+        assert!(output.status.success());
+        String::from_utf8(output.stdout).unwrap()
+    };
+    assert!(stats().contains("0 entries"), "a missing dir is empty");
+    let output = repro()
+        .args(["T1", "T2", "--seed", "4"])
+        .args(cache_arg)
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    assert!(stats().contains("2 entries"));
+    let output = repro()
+        .args(["cache", "clear"])
+        .args(cache_arg)
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    assert!(String::from_utf8(output.stdout)
+        .unwrap()
+        .contains("removed 2 entries"));
+    assert!(stats().contains("0 entries"));
+
+    // Bad subcommands fail with usage, not a run.
+    for args in [vec!["cache"], vec!["cache", "frobnicate"]] {
+        let output = repro().args(&args).output().expect("binary runs");
+        assert!(!output.status.success(), "{args:?} should fail");
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn injected_failures_are_never_cached_or_masked_by_the_cache() {
+    let root = temp_root("fail");
+    let cache = root.join("cache");
+    let cache_arg = ["--cache-dir", cache.to_str().unwrap()];
+    let run_failing = || {
+        let output = repro()
+            .args(["T1", "--seed", "6"])
+            .args(cache_arg)
+            .env("REPRO_FAIL", "T1")
+            .output()
+            .expect("binary runs");
+        assert!(!output.status.success(), "injected failure must fail");
+        String::from_utf8(output.stderr).unwrap()
+    };
+    let stderr = run_failing();
+    assert!(
+        stderr.contains("cache: 0 hits, 0 misses, 0 invalidated, 0 stored"),
+        "a failure-injected experiment never touches the cache:\n{stderr}"
+    );
+    // Populate the cache with a genuine success...
+    let output = repro()
+        .args(["T1", "--seed", "6"])
+        .args(cache_arg)
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    let stderr = String::from_utf8(output.stderr).unwrap();
+    assert!(stderr.contains("1 stored"), "{stderr}");
+    // ...and the cached success must still not mask the injected failure.
+    let stderr = run_failing();
+    assert!(stderr.contains("experiment T1 failed"), "{stderr}");
+    assert!(!stderr.contains("(cached)"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn help_documents_the_cache_surface() {
+    let out = repro().arg("--help").output().expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for needle in [
+        "--no-cache",
+        "--cache-dir DIR",
+        "cache stats",
+        "cache clear",
+    ] {
+        assert!(stdout.contains(needle), "help lacks {needle}:\n{stdout}");
+    }
+}

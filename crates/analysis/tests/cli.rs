@@ -43,6 +43,7 @@ fn injected_failure_reports_its_id_and_keeps_sibling_artifacts() {
             "T2",
             "--seed",
             "7",
+            "--no-cache",
             "--out",
             dir.to_str().unwrap(),
         ])
@@ -88,6 +89,7 @@ fn trace_chrome_needs_out_and_writes_the_converted_trace() {
             "T1",
             "--seed",
             "7",
+            "--no-cache",
             "--trace-chrome",
             "--out",
             dir.to_str().unwrap(),
@@ -138,7 +140,14 @@ fn no_ids_is_an_error() {
 fn t2_runs_and_writes_csv_and_json() {
     let dir = std::env::temp_dir().join(format!("repro-cli-test-{}", std::process::id()));
     let out = repro()
-        .args(["T2", "--seed", "7", "--out", dir.to_str().unwrap()])
+        .args([
+            "T2",
+            "--seed",
+            "7",
+            "--no-cache",
+            "--out",
+            dir.to_str().unwrap(),
+        ])
         .output()
         .expect("binary runs");
     assert!(
@@ -156,6 +165,7 @@ fn t2_runs_and_writes_csv_and_json() {
             "T2",
             "--seed",
             "7",
+            "--no-cache",
             "--out",
             dir.to_str().unwrap(),
             "--json",
@@ -178,6 +188,7 @@ fn metrics_flag_prints_a_summary_table_and_still_writes_json() {
             "7",
             "--jobs",
             "2",
+            "--no-cache",
             "--metrics",
             "--out",
             dir.to_str().unwrap(),
@@ -247,12 +258,15 @@ fn worker_count_never_changes_artifacts_or_stdout() {
     let run = |jobs: &str| {
         let dir = std::env::temp_dir().join(format!("repro-cli-jobs{jobs}-{}", std::process::id()));
         let out = repro()
+            // --no-cache: the point is to exercise the scheduler at both
+            // worker counts, not to replay the first run's artifacts.
             .args([
                 "F3",
                 "--seed",
                 "11",
                 "--jobs",
                 jobs,
+                "--no-cache",
                 "--out",
                 dir.to_str().unwrap(),
             ])
@@ -293,7 +307,7 @@ fn help_documents_the_jobs_and_metrics_flags() {
 fn seed_changes_measured_artifacts_but_not_structure() {
     let run = |seed: &str| {
         let out = repro()
-            .args(["F1", "--seed", seed])
+            .args(["F1", "--seed", seed, "--no-cache"])
             .output()
             .expect("binary runs");
         assert!(out.status.success());

@@ -57,6 +57,42 @@ pub struct ExperimentTiming {
     pub artifacts: usize,
 }
 
+/// Artifact-cache accounting for one run. Fields are declared in
+/// alphabetical order so the serialized section is deterministically
+/// keyed, and none of them carries a timestamp or host detail — the
+/// section depends only on what the cache did, which the golden
+/// regression fixture relies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheSection {
+    /// Whether the cache was consulted at all (`false` under
+    /// `--no-cache`; the counters are then all zero).
+    pub enabled: bool,
+    /// Experiments served from the cache.
+    pub hits: u64,
+    /// Entries found corrupt, truncated, or stale and recomputed.
+    pub invalidated: u64,
+    /// Experiments not found in the cache (clean misses).
+    pub misses: u64,
+    /// Entries written by this run.
+    pub stored: u64,
+}
+
+impl CacheSection {
+    /// One-line deterministic rendering, e.g.
+    /// `cache: 24 hits, 0 misses, 0 invalidated, 0 stored`, or
+    /// `cache: disabled`. Stable across hosts and runs with equal
+    /// counters.
+    pub fn summary(&self) -> String {
+        if !self.enabled {
+            return "cache: disabled".to_string();
+        }
+        format!(
+            "cache: {} hits, {} misses, {} invalidated, {} stored",
+            self.hits, self.misses, self.invalidated, self.stored
+        )
+    }
+}
+
 /// Everything needed to identify and reproduce one `repro` invocation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunManifest {
@@ -84,6 +120,10 @@ pub struct RunManifest {
     pub experiments: Vec<ExperimentTiming>,
     /// Total artifacts across all experiments.
     pub artifact_count: u64,
+    /// Artifact-cache accounting, when the producing tool has one.
+    /// Absent in manifests written before the cache existed.
+    #[serde(default)]
+    pub cache: Option<CacheSection>,
 }
 
 impl RunManifest {
@@ -104,6 +144,7 @@ impl RunManifest {
             machines: 0,
             experiments: Vec::new(),
             artifact_count: 0,
+            cache: None,
         }
     }
 
@@ -153,6 +194,32 @@ mod tests {
         assert_eq!(m.experiments[1].id, "F9");
         assert!(m.experiments[1].wall_secs > m.experiments[0].wall_secs);
         assert_eq!(m.crates[0].name, "varstats");
+    }
+
+    #[test]
+    fn cache_section_summary_is_deterministic() {
+        let mut m = RunManifest::new("repro", "0.1.0", 42, "quick");
+        assert_eq!(m.cache, None, "no section until the tool fills one in");
+        let section = CacheSection {
+            enabled: true,
+            hits: 24,
+            invalidated: 1,
+            misses: 0,
+            stored: 1,
+        };
+        m.cache = Some(section);
+        assert_eq!(
+            section.summary(),
+            "cache: 24 hits, 0 misses, 1 invalidated, 1 stored"
+        );
+        let disabled = CacheSection {
+            enabled: false,
+            hits: 0,
+            invalidated: 0,
+            misses: 0,
+            stored: 0,
+        };
+        assert_eq!(disabled.summary(), "cache: disabled");
     }
 
     #[test]

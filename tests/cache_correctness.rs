@@ -1,0 +1,311 @@
+//! Correctness suite for the content-addressed artifact cache.
+//!
+//! Three contracts, each enforced end to end through the engine:
+//!
+//! 1. **Transparency** — a cache-hot run is byte-identical to a
+//!    cache-cold run (artifacts, rendered tables, CSV) over arbitrary
+//!    seeds and experiment subsets, and serves hits without executing a
+//!    single pipeline body.
+//! 2. **Invalidation** — changing the seed, the scale, or an
+//!    experiment's code-version tag misses for exactly the affected
+//!    experiments, observable both through the cache's own counters and
+//!    the `cache.hit` / `cache.miss` telemetry counters.
+//! 3. **Corruption safety** — truncated, checksum-flipped, or
+//!    schema-stale entries are detected, counted as invalidated, and
+//!    recomputed without a panic; the rewritten entry hits on the next
+//!    run.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use analysis::{find, ArtifactCache, CacheKey, Context, Experiment, Scale};
+use proptest::prelude::*;
+
+/// Telemetry counters are process-global; tests that assert on them
+/// serialize behind this lock so concurrent test threads cannot bleed
+/// `cache.*` increments into each other's windows.
+static TELEMETRY: Mutex<()> = Mutex::new(());
+
+fn temp_cache(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "cache-correctness-{label}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Cheap experiments only: the suite runs dozens of engine invocations.
+const POOL: [&str; 6] = ["T1", "T2", "F1", "F6", "F7", "T6"];
+
+fn experiments(ids: &[&str]) -> Vec<&'static dyn Experiment> {
+    ids.iter().map(|id| find(id).expect("registered")).collect()
+}
+
+/// Renders a report the way `repro` does — the bytes the user sees.
+fn rendered(report: &[analysis::ExperimentRun]) -> String {
+    let mut out = String::new();
+    for run in report {
+        for artifact in run.outcome.as_ref().expect("experiment succeeds") {
+            out.push_str(&artifact.render());
+            out.push_str(&artifact.to_csv());
+        }
+    }
+    out
+}
+
+fn run_cached(
+    ctx: &Arc<Context>,
+    subset: &[&dyn Experiment],
+    jobs: usize,
+    cache: &ArtifactCache,
+) -> Vec<analysis::ExperimentRun> {
+    analysis::run_experiments_cached(ctx, subset, Some(jobs), Some(cache), &|_| {})
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    // Transparency: for any seed, any subset, and any worker count, the
+    // hot run replays the cold run's bytes exactly.
+    #[test]
+    fn hot_runs_are_byte_identical_to_cold_runs(
+        seed in 0u64..1_000_000,
+        mask in 1usize..(1 << POOL.len()),
+        jobs in 1usize..=4,
+    ) {
+        let ids: Vec<&str> = POOL
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, id)| *id)
+            .collect();
+        let subset = experiments(&ids);
+        let ctx = Arc::new(Context::with_jobs(Scale::Quick, seed, Some(2)));
+        let cache = ArtifactCache::new(temp_cache("proptest"));
+        let cold = run_cached(&ctx, &subset, jobs, &cache);
+        let hot = run_cached(&ctx, &subset, jobs, &cache);
+        prop_assert_eq!(cache.misses(), ids.len() as u64);
+        prop_assert_eq!(cache.hits(), ids.len() as u64);
+        prop_assert!(hot.iter().all(|r| r.cached));
+        prop_assert_eq!(rendered(&cold), rendered(&hot));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+}
+
+#[test]
+fn hot_runs_execute_zero_experiment_bodies() {
+    /// Wraps a registry experiment and counts how often its pipeline
+    /// actually executes.
+    struct Counting {
+        inner: &'static dyn Experiment,
+        runs: AtomicUsize,
+    }
+    impl Experiment for Counting {
+        fn id(&self) -> &str {
+            self.inner.id()
+        }
+        fn kind(&self) -> analysis::Kind {
+            self.inner.kind()
+        }
+        fn title(&self) -> &str {
+            self.inner.title()
+        }
+        fn cost(&self) -> analysis::Cost {
+            self.inner.cost()
+        }
+        fn run(&self, ctx: &Context) -> Result<Vec<analysis::Artifact>, analysis::ExperimentError> {
+            self.runs.fetch_add(1, Ordering::Relaxed);
+            self.inner.run(ctx)
+        }
+    }
+    let counting: Vec<Counting> = ["T1", "T2", "F6"]
+        .iter()
+        .map(|id| Counting {
+            inner: find(id).unwrap(),
+            runs: AtomicUsize::new(0),
+        })
+        .collect();
+    let subset: Vec<&dyn Experiment> = counting.iter().map(|c| c as &dyn Experiment).collect();
+    let ctx = Arc::new(Context::with_jobs(Scale::Quick, 21, Some(2)));
+    let cache = ArtifactCache::new(temp_cache("zero-bodies"));
+    run_cached(&ctx, &subset, 2, &cache);
+    assert!(counting.iter().all(|c| c.runs.load(Ordering::Relaxed) == 1));
+    run_cached(&ctx, &subset, 2, &cache);
+    assert!(
+        counting.iter().all(|c| c.runs.load(Ordering::Relaxed) == 1),
+        "a hot run must not execute any pipeline body"
+    );
+    let _ = std::fs::remove_dir_all(cache.dir());
+}
+
+/// Snapshot deltas of the `cache.*` telemetry counters around `f`.
+fn cache_counter_deltas(f: impl FnOnce()) -> (u64, u64, u64) {
+    let before = telemetry::metrics::snapshot();
+    f();
+    let after = telemetry::metrics::snapshot();
+    let delta = |name: &str| after.counter(name).unwrap_or(0) - before.counter(name).unwrap_or(0);
+    (
+        delta("cache.hit"),
+        delta("cache.miss"),
+        delta("cache.invalidated"),
+    )
+}
+
+#[test]
+fn seed_change_misses_every_experiment() {
+    let _guard = TELEMETRY.lock().unwrap_or_else(|e| e.into_inner());
+    telemetry::set_enabled(true);
+    let subset = experiments(&["T1", "T2", "F6"]);
+    let cache = ArtifactCache::new(temp_cache("seed"));
+    let ctx_a = Arc::new(Context::with_jobs(Scale::Quick, 3, Some(2)));
+    let ctx_b = Arc::new(Context::with_jobs(Scale::Quick, 4, Some(2)));
+
+    let (hit, miss, _) = cache_counter_deltas(|| {
+        run_cached(&ctx_a, &subset, 2, &cache);
+    });
+    assert_eq!((hit, miss), (0, 3), "cold run misses everything");
+    let (hit, miss, _) = cache_counter_deltas(|| {
+        run_cached(&ctx_b, &subset, 2, &cache);
+    });
+    assert_eq!((hit, miss), (0, 3), "a new seed addresses new entries");
+    let (hit, miss, _) = cache_counter_deltas(|| {
+        run_cached(&ctx_a, &subset, 2, &cache);
+    });
+    assert_eq!((hit, miss), (3, 0), "the original seed still hits");
+    telemetry::set_enabled(false);
+    let _ = std::fs::remove_dir_all(cache.dir());
+}
+
+#[test]
+fn scale_change_misses_every_experiment() {
+    let _guard = TELEMETRY.lock().unwrap_or_else(|e| e.into_inner());
+    telemetry::set_enabled(true);
+    let subset = experiments(&["T1", "T2"]);
+    let cache = ArtifactCache::new(temp_cache("scale"));
+    let ctx = Arc::new(Context::with_jobs(Scale::Quick, 5, Some(2)));
+    // Same dataset, different scale tag: only the key input under test
+    // changes. (Building a real paper-scale campaign here would dominate
+    // the whole suite's runtime.)
+    let mut relabeled = (*ctx).clone();
+    relabeled.scale = Scale::Paper;
+    let relabeled = Arc::new(relabeled);
+
+    run_cached(&ctx, &subset, 2, &cache);
+    let (hit, miss, _) = cache_counter_deltas(|| {
+        run_cached(&relabeled, &subset, 2, &cache);
+    });
+    assert_eq!((hit, miss), (0, 2), "scale is part of every key");
+    let (hit, miss, _) = cache_counter_deltas(|| {
+        run_cached(&ctx, &subset, 2, &cache);
+    });
+    assert_eq!((hit, miss), (2, 0));
+    telemetry::set_enabled(false);
+    let _ = std::fs::remove_dir_all(cache.dir());
+}
+
+#[test]
+fn code_version_bump_misses_exactly_the_changed_experiment() {
+    /// A registry experiment whose code-version tag the test controls.
+    struct Versioned {
+        inner: &'static dyn Experiment,
+        version: u32,
+    }
+    impl Experiment for Versioned {
+        fn id(&self) -> &str {
+            self.inner.id()
+        }
+        fn kind(&self) -> analysis::Kind {
+            self.inner.kind()
+        }
+        fn title(&self) -> &str {
+            self.inner.title()
+        }
+        fn cost(&self) -> analysis::Cost {
+            self.inner.cost()
+        }
+        fn code_version(&self) -> u32 {
+            self.version
+        }
+        fn run(&self, ctx: &Context) -> Result<Vec<analysis::Artifact>, analysis::ExperimentError> {
+            self.inner.run(ctx)
+        }
+    }
+    let _guard = TELEMETRY.lock().unwrap_or_else(|e| e.into_inner());
+    telemetry::set_enabled(true);
+    let ctx = Arc::new(Context::with_jobs(Scale::Quick, 6, Some(2)));
+    let cache = ArtifactCache::new(temp_cache("version"));
+    let run_with_version = |version: u32| {
+        let versioned = Versioned {
+            inner: find("T1").unwrap(),
+            version,
+        };
+        let subset: Vec<&dyn Experiment> = vec![&versioned, find("T2").unwrap()];
+        cache_counter_deltas(|| {
+            run_cached(&ctx, &subset, 2, &cache);
+        })
+    };
+    assert_eq!(run_with_version(1), (0, 2, 0), "cold");
+    assert_eq!(
+        run_with_version(2),
+        (1, 1, 0),
+        "bumping T1's tag must miss T1 and only T1"
+    );
+    assert_eq!(run_with_version(2), (2, 0, 0), "the bumped entry now hits");
+    assert_eq!(run_with_version(1), (2, 0, 0), "the old entry still exists");
+    telemetry::set_enabled(false);
+    let _ = std::fs::remove_dir_all(cache.dir());
+}
+
+#[test]
+fn corrupt_entries_recompute_and_heal() {
+    let _guard = TELEMETRY.lock().unwrap_or_else(|e| e.into_inner());
+    telemetry::set_enabled(true);
+    let ids = ["T1", "T2", "F6"];
+    let subset = experiments(&ids);
+    let ctx = Arc::new(Context::with_jobs(Scale::Quick, 8, Some(2)));
+    let cache = ArtifactCache::new(temp_cache("corrupt"));
+    let cold = run_cached(&ctx, &subset, 2, &cache);
+
+    let entry_path = |id: &str| {
+        cache
+            .dir()
+            .join(CacheKey::for_context(find(id).unwrap(), &ctx).file_name())
+    };
+    // Three distinct defects, one per entry.
+    let t1 = std::fs::read_to_string(entry_path("T1")).unwrap();
+    std::fs::write(entry_path("T1"), &t1[..t1.len() / 2]).unwrap(); // truncated
+    let t2 = std::fs::read_to_string(entry_path("T2")).unwrap();
+    let mut lines: Vec<&str> = t2.splitn(8, '\n').collect();
+    lines[5] = "checksum 0000000000000000";
+    std::fs::write(entry_path("T2"), lines.join("\n")).unwrap(); // bad checksum
+    let f6 = std::fs::read_to_string(entry_path("F6")).unwrap();
+    std::fs::write(entry_path("F6"), f6.replace("schema 1", "schema 999")).unwrap(); // stale schema
+
+    let (hit, miss, invalidated) = cache_counter_deltas(|| {
+        let recomputed = run_cached(&ctx, &subset, 2, &cache);
+        for (c, r) in cold.iter().zip(&recomputed) {
+            assert!(!r.cached, "{} must recompute, not replay a bad entry", r.id);
+            assert_eq!(
+                c.outcome.as_ref().unwrap(),
+                r.outcome.as_ref().unwrap(),
+                "recomputed artifacts match the original"
+            );
+        }
+    });
+    assert_eq!(
+        (hit, miss, invalidated),
+        (0, 0, 3),
+        "every defect is detected as invalidation, not a clean miss"
+    );
+
+    // The recompute rewrote all three entries; they hit again.
+    let (hit, miss, invalidated) = cache_counter_deltas(|| {
+        let healed = run_cached(&ctx, &subset, 2, &cache);
+        assert!(healed.iter().all(|r| r.cached));
+    });
+    assert_eq!((hit, miss, invalidated), (3, 0, 0), "rewritten entries hit");
+    telemetry::set_enabled(false);
+    let _ = std::fs::remove_dir_all(cache.dir());
+}
