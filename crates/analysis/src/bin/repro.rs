@@ -4,6 +4,7 @@
 //! repro list
 //! repro all [--scale quick|paper] [--seed N] [--jobs N] [--out DIR] [--trace] [--metrics]
 //! repro F9 T3 ... [--scale ...] [--seed ...] [--out DIR] [--json]
+//! repro all --resume DIR [--chaos SEED]
 //! repro cache stats|clear [--cache-dir DIR]
 //! ```
 //!
@@ -22,6 +23,15 @@
 //! misses, invalidated entries, and stores; `repro cache stats|clear`
 //! inspects or purges the directory.
 //!
+//! `--resume DIR` keeps a write-ahead journal of completed campaign
+//! shards in DIR: a killed run replays the finished shards on the next
+//! invocation and re-collects only the rest, byte-identical to an
+//! uninterrupted run. `--chaos SEED` (or `REPRO_CHAOS=SEED`) arms the
+//! deterministic fault-injection harness: transient machine faults, I/O
+//! errors, and worker deaths fire at seed-derived sites, transient
+//! failures retry with bounded backoff, and persistent failures are
+//! quarantined per-id. See DESIGN.md §8 for the fault model.
+//!
 //! With `--trace` / `--metrics` the run measures itself through the
 //! `telemetry` crate: a per-experiment timing table and a span-latency
 //! summary (median + non-parametric 95% CI + CoV, per the paper's own
@@ -31,6 +41,9 @@
 //! seed, scale, host, and per-experiment wall times is written whenever
 //! `--out` is given.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+use std::cell::Cell;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -66,6 +79,13 @@ options:
   --cache-dir DIR       artifact cache directory
                         (default artifacts/.cache)
   --no-cache            neither read nor write the artifact cache
+  --resume DIR          journal completed campaign shards into DIR and
+                        replay any already there: a killed run continues
+                        where it stopped, byte-identical to an
+                        uninterrupted one
+  --chaos SEED          arm deterministic fault injection (transient
+                        faults, I/O errors, worker deaths) derived from
+                        SEED; env REPRO_CHAOS=SEED does the same
   --help, -h            print this help";
 
 struct Args {
@@ -82,6 +102,8 @@ struct Args {
     cache_cmd: Option<String>,
     cache_dir: Option<PathBuf>,
     no_cache: bool,
+    resume: Option<PathBuf>,
+    chaos: Option<u64>,
 }
 
 enum Parsed {
@@ -104,6 +126,8 @@ fn parse_args() -> Result<Parsed, String> {
         cache_cmd: None,
         cache_dir: None,
         no_cache: false,
+        resume: None,
+        chaos: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -124,6 +148,14 @@ fn parse_args() -> Result<Parsed, String> {
                 args.cache_dir = Some(PathBuf::from(v));
             }
             "--no-cache" => args.no_cache = true,
+            "--resume" => {
+                let v = it.next().ok_or("--resume needs a directory")?;
+                args.resume = Some(PathBuf::from(v));
+            }
+            "--chaos" => {
+                let v = it.next().ok_or("--chaos needs a seed")?;
+                args.chaos = Some(v.parse().map_err(|_| format!("bad chaos seed `{v}`"))?);
+            }
             "--scale" => {
                 let v = it.next().ok_or("--scale needs a value")?;
                 args.scale = Scale::parse(&v).ok_or(format!("unknown scale `{v}`"))?;
@@ -157,6 +189,14 @@ fn parse_args() -> Result<Parsed, String> {
     }
     if args.trace_chrome && args.out.is_none() {
         return Err("--trace-chrome needs --out".to_string());
+    }
+    if args.chaos.is_none() {
+        if let Ok(v) = std::env::var("REPRO_CHAOS") {
+            args.chaos = Some(
+                v.parse()
+                    .map_err(|_| format!("bad REPRO_CHAOS seed `{v}`"))?,
+            );
+        }
     }
     // An id may arrive more than once (`repro all F9`, `repro F9 f9`);
     // each experiment runs at most once, in first-seen order.
@@ -212,14 +252,66 @@ fn injected_failures() -> std::collections::HashSet<String> {
         .unwrap_or_default()
 }
 
-fn write_file(dir: &Path, name: &str, payload: &str) -> Result<(), ExitCode> {
-    let path = dir.join(name);
-    if let Err(err) = std::fs::write(&path, payload) {
-        eprintln!("cannot write {}: {err}", path.display());
-        return Err(ExitCode::FAILURE);
+/// Writes `payload` to `path` via a temp file in the same directory plus
+/// an atomic rename, so a crash mid-write never leaves a truncated or
+/// half-written artifact behind.
+fn write_atomically(path: &Path, payload: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    std::fs::write(&tmp, payload)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
+}
+
+/// Artifact writer under the fault model: every write is atomic
+/// (temp + rename), and with `--chaos` armed the site
+/// `artifact.write.{name}` may raise injected I/O errors that retry with
+/// bounded backoff like every other fault site.
+struct ArtifactWriter {
+    faults: Option<testbed::FaultPlan>,
+    policy: testbed::FaultPolicy,
+    injected: Cell<u64>,
+    retried: Cell<u64>,
+}
+
+impl ArtifactWriter {
+    fn new(faults: Option<testbed::FaultPlan>, policy: testbed::FaultPolicy) -> Self {
+        Self {
+            faults,
+            policy,
+            injected: Cell::new(0),
+            retried: Cell::new(0),
+        }
     }
-    eprintln!("wrote {}", path.display());
-    Ok(())
+
+    fn write(&self, dir: &Path, name: &str, payload: &str) -> Result<(), ExitCode> {
+        let path = dir.join(name);
+        let site = format!("artifact.write.{name}");
+        let mut attempt = 0u32;
+        loop {
+            let result = if self.faults.is_some_and(|p| p.io_error(&site, attempt)) {
+                self.injected.set(self.injected.get() + 1);
+                Err(std::io::Error::other("injected I/O fault (chaos)"))
+            } else {
+                write_atomically(&path, payload)
+            };
+            match result {
+                Ok(()) => {
+                    eprintln!("wrote {}", path.display());
+                    return Ok(());
+                }
+                Err(_) if attempt < self.policy.max_retries => {
+                    self.retried.set(self.retried.get() + 1);
+                    std::thread::sleep(self.policy.backoff_for(attempt));
+                    attempt += 1;
+                }
+                Err(err) => {
+                    eprintln!("cannot write {}: {err}", path.display());
+                    return Err(ExitCode::FAILURE);
+                }
+            }
+        }
+    }
 }
 
 fn timing_table(manifest: &telemetry::RunManifest) -> Table {
@@ -409,12 +501,53 @@ fn main() -> ExitCode {
         manifest.push_crate(name, env!("CARGO_PKG_VERSION"));
     }
 
+    let faults = args.chaos.map(testbed::FaultPlan::new);
+    let policy = testbed::FaultPolicy::default();
+    if let Some(plan) = &faults {
+        eprintln!("chaos armed (seed {})", plan.seed());
+    }
+    let journal = match &args.resume {
+        Some(dir) => match dataset::ShardJournal::open(dir, &args.scale.campaign(args.seed)) {
+            Ok(j) => Some(j),
+            Err(err) => {
+                eprintln!("cannot open journal {}: {err}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
     let run_started = Instant::now();
     eprintln!(
         "building campaign context (scale {:?}, seed {}) ...",
         args.scale, args.seed
     );
-    let ctx = Arc::new(Context::with_jobs(args.scale, args.seed, args.jobs));
+    let collect_options = dataset::CollectOptions {
+        jobs: args.jobs,
+        journal: journal.as_ref(),
+        faults,
+        policy,
+    };
+    let (ctx, campaign_report) = match Context::build(args.scale, args.seed, &collect_options) {
+        Ok(built) => built,
+        Err(err) => {
+            eprintln!("campaign collection failed: {err}");
+            if let (dataset::CampaignError::WorkerKilled { .. }, Some(dir)) = (&err, &args.resume) {
+                eprintln!(
+                    "completed shards are journaled; rerun with --resume {} to continue",
+                    dir.display()
+                );
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    let ctx = Arc::new(ctx);
+    if journal.is_some() {
+        eprintln!(
+            "journal: {} shards replayed, {} machines collected",
+            campaign_report.replayed, campaign_report.collected
+        );
+    }
     manifest.records = ctx.store.len() as u64;
     manifest.machines = ctx.cluster.machines().len() as u64;
     eprintln!(
@@ -436,8 +569,14 @@ fn main() -> ExitCode {
     let cache = (!args.no_cache).then(|| analysis::ArtifactCache::new(&cache_dir));
     let total = experiments.len();
     let done = AtomicUsize::new(0);
-    let report =
-        analysis::run_experiments_cached(&ctx, &experiments, args.jobs, cache.as_ref(), &|run| {
+    let engine_options = analysis::EngineOptions {
+        jobs: args.jobs,
+        cache: cache.as_ref(),
+        faults,
+        policy,
+    };
+    let (report, fault_stats) =
+        analysis::run_experiments_opts(&ctx, &experiments, &engine_options, &|run| {
             let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
             let status = if run.outcome.is_ok() { "ok" } else { "FAILED" };
             let cached = if run.cached { " (cached)" } else { "" };
@@ -456,6 +595,7 @@ fn main() -> ExitCode {
     manifest.cache = Some(cache_section);
     eprintln!("{}", cache_section.summary());
 
+    let writer = ArtifactWriter::new(faults, policy);
     let mut failures: Vec<(&str, &ExperimentError)> = Vec::new();
     for run in &report {
         manifest.push_experiment(&run.id, run.wall_secs, run.artifact_count());
@@ -477,7 +617,7 @@ fn main() -> ExitCode {
                 } else {
                     (format!("{}.csv", artifact.id()), artifact.to_csv())
                 };
-                if let Err(code) = write_file(dir, &name, &payload) {
+                if let Err(code) = writer.write(dir, &name, &payload) {
                     return code;
                 }
             }
@@ -497,14 +637,14 @@ fn main() -> ExitCode {
         );
         if let Some(dir) = &args.out {
             let payload = serde_json::to_string_pretty(&trace).expect("traces always serialize");
-            if let Err(code) = write_file(dir, "trace.json", &payload) {
+            if let Err(code) = writer.write(dir, "trace.json", &payload) {
                 return code;
             }
             if args.trace_chrome {
                 let chrome = telemetry::chrome::to_chrome_trace(&trace);
                 let payload =
                     serde_json::to_string_pretty(&chrome).expect("chrome traces always serialize");
-                if let Err(code) = write_file(dir, "trace.chrome.json", &payload) {
+                if let Err(code) = writer.write(dir, "trace.chrome.json", &payload) {
                     return code;
                 }
             }
@@ -516,14 +656,26 @@ fn main() -> ExitCode {
         if let Some(dir) = &args.out {
             let payload =
                 serde_json::to_string_pretty(&snapshot).expect("snapshots always serialize");
-            if let Err(code) = write_file(dir, "metrics.json", &payload) {
+            if let Err(code) = writer.write(dir, "metrics.json", &payload) {
                 return code;
             }
         }
     }
+    // Fault accounting spans every layer that can inject: campaign
+    // collection, the engine, and artifact writes. The manifest write
+    // below is the one site whose retries land after the section is
+    // sealed; its faults still retry, they are just not counted.
+    let fault_section = telemetry::FaultSection {
+        enabled: faults.is_some(),
+        injected: campaign_report.injected + fault_stats.injected + writer.injected.get(),
+        quarantined: fault_stats.quarantined,
+        retried: campaign_report.retried + fault_stats.retried + writer.retried.get(),
+    };
+    manifest.faults = Some(fault_section);
+    eprintln!("{}", fault_section.summary());
     if let Some(dir) = &args.out {
         let payload = manifest.to_json().expect("manifests always serialize");
-        if let Err(code) = write_file(dir, "manifest.json", &payload) {
+        if let Err(code) = writer.write(dir, "manifest.json", &payload) {
             return code;
         }
     }

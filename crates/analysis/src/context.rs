@@ -6,8 +6,8 @@
 //! `Scale::Paper` provisions the full fleet and a dense session schedule.
 
 use confirm::ConfirmConfig;
-use dataset::{CampaignConfig, Store};
-use testbed::Cluster;
+use dataset::{CampaignConfig, CampaignError, CollectOptions, CollectReport, Store};
+use testbed::{catalog, Cluster, Timeline};
 
 /// How big the campaign backing the experiments is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -94,17 +94,47 @@ impl Context {
     /// (`None` = one per core). The worker count never changes the data,
     /// only the wall-clock time to collect it.
     pub fn with_jobs(scale: Scale, seed: u64, jobs: Option<usize>) -> Self {
+        let options = CollectOptions {
+            jobs,
+            ..CollectOptions::default()
+        };
+        let (ctx, _) = Self::build(scale, seed, &options)
+            .expect("collection without a journal or fault injection cannot fail");
+        ctx
+    }
+
+    /// The full-featured constructor behind `--resume` and `--chaos`:
+    /// collection checkpoints to (and replays from) the journal in
+    /// `options`, and the chaos plan injects faults at deterministic
+    /// sites (see [`dataset::collect_resumable`]). The resulting store —
+    /// and therefore every downstream artifact — is byte-identical to an
+    /// uninterrupted fault-free run for any worker count and any
+    /// replayed/collected split.
+    pub fn build(
+        scale: Scale,
+        seed: u64,
+        options: &CollectOptions<'_>,
+    ) -> Result<(Self, CollectReport), CampaignError> {
         let _span = telemetry::span("context.build");
         let campaign = scale.campaign(seed);
-        let (cluster, store) = dataset::run_campaign_jobs(&campaign, jobs);
-        Self {
-            scale,
-            seed,
-            campaign,
-            cluster,
-            store,
-            confirm: ConfirmConfig::default().with_seed(seed),
-        }
+        let cluster = Cluster::provision(
+            catalog(),
+            campaign.scale,
+            Timeline::cloudlab_default(),
+            campaign.seed,
+        );
+        let collected = dataset::collect_resumable(&cluster, &campaign, options)?;
+        Ok((
+            Self {
+                scale,
+                seed,
+                campaign,
+                cluster,
+                store: collected.store,
+                confirm: ConfirmConfig::default().with_seed(seed),
+            },
+            collected.report,
+        ))
     }
 }
 
@@ -132,6 +162,30 @@ mod tests {
         assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
         assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
         assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn resumable_build_matches_the_plain_one() {
+        let dir = std::env::temp_dir().join(format!(
+            "context-journal-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let plain = Context::with_jobs(Scale::Quick, 13, Some(2));
+        let journal = dataset::ShardJournal::open(&dir, &Scale::Quick.campaign(13)).unwrap();
+        let options = CollectOptions {
+            jobs: Some(2),
+            journal: Some(&journal),
+            ..CollectOptions::default()
+        };
+        let (first, report) = Context::build(Scale::Quick, 13, &options).unwrap();
+        assert_eq!(first.store, plain.store);
+        assert_eq!(report.replayed, 0);
+        let (resumed, report) = Context::build(Scale::Quick, 13, &options).unwrap();
+        assert_eq!(resumed.store, plain.store, "replay is byte-identical");
+        assert_eq!(report.collected, 0, "completed journal resumes as a no-op");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -26,6 +26,19 @@
 //! order, misses are scheduled as usual and written back on success, so
 //! a cache-hot run is byte-identical to a cache-cold one.
 //!
+//! [`run_experiments_opts`] is the full-featured entry point: an
+//! [`EngineOptions`] adds a [`FaultPolicy`] — transient failures
+//! ([`ExperimentError::is_transient`]) are retried with bounded
+//! exponential backoff, persistent ones are quarantined per-id — and an
+//! optional chaos [`FaultPlan`] that injects transient experiment
+//! failures and cache-write I/O errors at deterministic sites.
+//! Injected faults stop firing before the default retry budget runs out
+//! (see `testbed::faults`), so a chaos run under the default policy
+//! produces artifacts byte-identical to a fault-free run; only genuinely
+//! persistent failures reach the report. Fault activity lands in the
+//! returned [`FaultStats`] and the `fault.injected` / `fault.retried` /
+//! `fault.quarantined` telemetry counters.
+//!
 //! Telemetry: the engine opens an `experiments.run` span; each worker
 //! opens `experiment.worker.N` under it (threads named
 //! `experiment-worker-N`) via [`telemetry::span_in`], and every
@@ -34,14 +47,77 @@
 //! `experiment.secs.<id>` histogram; failures bump the
 //! `experiments.failed` counter.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+use testbed::{FaultPlan, FaultPolicy};
 
 use crate::artifact::Artifact;
 use crate::cache::{ArtifactCache, CacheKey};
 use crate::context::Context;
 use crate::registry::{Experiment, ExperimentError};
+
+/// Everything [`run_experiments_opts`] needs beyond the experiments:
+/// worker count, cache, and the fault model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineOptions<'a> {
+    /// Worker threads (`None` = one per core, clamped to the number of
+    /// cache misses).
+    pub jobs: Option<usize>,
+    /// Artifact cache consulted before fan-out.
+    pub cache: Option<&'a ArtifactCache>,
+    /// Chaos plan; `None` injects nothing.
+    pub faults: Option<FaultPlan>,
+    /// Retry budget and backoff for transient failures.
+    pub policy: FaultPolicy,
+}
+
+/// Fault activity of one engine run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Chaos faults injected (transient experiment failures and
+    /// cache-write I/O errors).
+    pub injected: u64,
+    /// Retries performed after transient failures.
+    pub retried: u64,
+    /// Experiments whose final outcome was still a failure; their error
+    /// stays in their report slot and siblings are unaffected.
+    pub quarantined: u64,
+}
+
+/// Shared atomic tallies behind [`FaultStats`].
+#[derive(Default)]
+struct FaultCounters {
+    injected: AtomicU64,
+    retried: AtomicU64,
+    quarantined: AtomicU64,
+}
+
+impl FaultCounters {
+    fn injected(&self) {
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        telemetry::metrics::counter("fault.injected").inc();
+    }
+
+    fn retried(&self) {
+        self.retried.fetch_add(1, Ordering::Relaxed);
+        telemetry::metrics::counter("fault.retried").inc();
+    }
+
+    fn quarantined(&self) {
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        telemetry::metrics::counter("fault.quarantined").inc();
+    }
+
+    fn stats(&self) -> FaultStats {
+        FaultStats {
+            injected: self.injected.load(Ordering::Relaxed),
+            retried: self.retried.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+        }
+    }
+}
 
 /// The outcome of one experiment under the engine.
 #[derive(Debug)]
@@ -106,16 +182,36 @@ pub fn run_experiments_cached(
     cache: Option<&ArtifactCache>,
     on_done: &(dyn Fn(&ExperimentRun) + Sync),
 ) -> Vec<ExperimentRun> {
+    let options = EngineOptions {
+        jobs,
+        cache,
+        ..EngineOptions::default()
+    };
+    run_experiments_opts(ctx, experiments, &options, on_done).0
+}
+
+/// Like [`run_experiments_cached`], with the full fault model: transient
+/// failures retry under `options.policy` with bounded exponential
+/// backoff, persistent ones are quarantined per-id, and an optional
+/// chaos [`FaultPlan`] injects failures at deterministic sites. Returns
+/// the report plus the run's [`FaultStats`].
+pub fn run_experiments_opts(
+    ctx: &Arc<Context>,
+    experiments: &[&dyn Experiment],
+    options: &EngineOptions<'_>,
+    on_done: &(dyn Fn(&ExperimentRun) + Sync),
+) -> (Vec<ExperimentRun>, FaultStats) {
     let _span = telemetry::span("experiments.run");
     let mut slots: Vec<Option<ExperimentRun>> = Vec::new();
     slots.resize_with(experiments.len(), || None);
+    let counters = FaultCounters::default();
 
     // Phase 1: serve cache hits before fan-out. Keys depend only on the
     // experiment identity and the context parameters, never on the
     // worker count, so the hit set is jobs-invariant too.
     let mut pending: Vec<usize> = Vec::new();
     for (i, e) in experiments.iter().enumerate() {
-        let hit = cache.and_then(|cache| {
+        let hit = options.cache.and_then(|cache| {
             if !e.cacheable() {
                 return None;
             }
@@ -136,18 +232,17 @@ pub fn run_experiments_cached(
         }
     }
 
-    let workers = jobs
+    let workers = options
+        .jobs
         .unwrap_or_else(dataset::default_jobs)
         .clamp(1, pending.len().max(1));
     telemetry::metrics::gauge("experiments.workers").set(workers as f64);
     let run_and_store = |i: usize, ctx: &Context| {
-        let run = run_one(experiments[i], ctx);
+        let run = run_one(experiments[i], ctx, options, &counters);
         if let (Some(cache), true, Ok(artifacts)) =
-            (cache, experiments[i].cacheable(), &run.outcome)
+            (options.cache, experiments[i].cacheable(), &run.outcome)
         {
-            if let Err(err) = cache.store(&CacheKey::for_context(experiments[i], ctx), artifacts) {
-                eprintln!("cache: cannot store {}: {err}", run.id);
-            }
+            store_retrying(cache, experiments[i], ctx, artifacts, options, &counters);
         }
         run
     };
@@ -195,27 +290,94 @@ pub fn run_experiments_cached(
             }
         });
     }
-    slots
+    let report = slots
         .into_iter()
         .map(|slot| slot.expect("every claimed experiment reports"))
-        .collect()
+        .collect();
+    (report, counters.stats())
 }
 
-fn run_one(e: &dyn Experiment, ctx: &Context) -> ExperimentRun {
+/// Runs one experiment with transient-failure retries. The site string
+/// `experiment.<id>` keys the chaos decision, so injection is identical
+/// for any worker count or thread schedule. Wall time spans all
+/// attempts including backoff.
+fn run_one(
+    e: &dyn Experiment,
+    ctx: &Context,
+    options: &EngineOptions<'_>,
+    counters: &FaultCounters,
+) -> ExperimentRun {
     let _span = telemetry::span(format!("experiment.{}", e.id()));
+    let site = format!("experiment.{}", e.id());
     let started = Instant::now();
-    let outcome = e.run(ctx);
+    let mut attempt = 0;
+    let outcome = loop {
+        let outcome = if options.faults.is_some_and(|f| f.transient(&site, attempt)) {
+            counters.injected();
+            Err(ExperimentError::transient(
+                "injected transient fault (chaos)",
+            ))
+        } else {
+            e.run(ctx)
+        };
+        match outcome {
+            Err(err) if err.is_transient() && attempt < options.policy.max_retries => {
+                counters.retried();
+                std::thread::sleep(options.policy.backoff_for(attempt));
+                attempt += 1;
+            }
+            outcome => break outcome,
+        }
+    };
     let wall_secs = started.elapsed().as_secs_f64();
     telemetry::metrics::histogram("experiment.secs").record(wall_secs);
     telemetry::metrics::histogram(&format!("experiment.secs.{}", e.id())).record(wall_secs);
     if outcome.is_err() {
         telemetry::metrics::counter("experiments.failed").inc();
+        counters.quarantined();
     }
     ExperimentRun {
         id: e.id().to_string(),
         wall_secs,
         cached: false,
         outcome,
+    }
+}
+
+/// Stores freshly computed artifacts, injecting and retrying cache-write
+/// I/O faults under the policy. Cache writes are best-effort: a failure
+/// past the retry budget is reported to stderr, never escalated — a
+/// broken cache disk must not fail the run that computed the artifacts.
+fn store_retrying(
+    cache: &ArtifactCache,
+    e: &dyn Experiment,
+    ctx: &Context,
+    artifacts: &[Artifact],
+    options: &EngineOptions<'_>,
+    counters: &FaultCounters,
+) {
+    let key = CacheKey::for_context(e, ctx);
+    let site = format!("cache.store.{}", e.id());
+    let mut attempt = 0;
+    loop {
+        let result = if options.faults.is_some_and(|f| f.io_error(&site, attempt)) {
+            counters.injected();
+            Err(std::io::Error::other("injected I/O fault (chaos)"))
+        } else {
+            cache.store(&key, artifacts)
+        };
+        match result {
+            Ok(()) => return,
+            Err(_) if attempt < options.policy.max_retries => {
+                counters.retried();
+                std::thread::sleep(options.policy.backoff_for(attempt));
+                attempt += 1;
+            }
+            Err(err) => {
+                eprintln!("cache: cannot store {}: {err}", e.id());
+                return;
+            }
+        }
     }
 }
 
@@ -389,5 +551,165 @@ mod tests {
         let report = run_experiments(&ctx, &subset, Some(64));
         assert_eq!(report.len(), 1);
         assert!(report[0].outcome.is_ok());
+    }
+
+    use std::sync::atomic::AtomicU32;
+    use std::time::Duration;
+
+    /// Fails with a transient error the first `failures` times it runs,
+    /// then succeeds — a stand-in for a flaky resource.
+    struct Flaky {
+        failures: u32,
+        calls: AtomicU32,
+    }
+
+    impl Flaky {
+        fn new(failures: u32) -> Self {
+            Flaky {
+                failures,
+                calls: AtomicU32::new(0),
+            }
+        }
+    }
+
+    impl Experiment for Flaky {
+        fn id(&self) -> &str {
+            "FLAKY"
+        }
+        fn kind(&self) -> Kind {
+            Kind::Table
+        }
+        fn title(&self) -> &str {
+            "fails transiently, then succeeds"
+        }
+        fn cost(&self) -> Cost {
+            Cost::Light
+        }
+        fn cacheable(&self) -> bool {
+            false
+        }
+        fn run(&self, _ctx: &Context) -> Result<Vec<Artifact>, ExperimentError> {
+            if self.calls.fetch_add(1, Ordering::Relaxed) < self.failures {
+                return Err(ExperimentError::transient("flaky resource"));
+            }
+            Ok(vec![Artifact::Table(crate::artifact::Table::new(
+                "FLAKY",
+                "demo",
+                &["h"],
+            ))])
+        }
+    }
+
+    fn fast_policy(max_retries: u32) -> testbed::FaultPolicy {
+        testbed::FaultPolicy::new(max_retries, Duration::from_micros(10))
+    }
+
+    #[test]
+    fn transient_failures_retry_until_success() {
+        let ctx = quick_ctx();
+        let flaky = Flaky::new(2);
+        let experiments: Vec<&dyn Experiment> = vec![&flaky];
+        let options = EngineOptions {
+            jobs: Some(1),
+            policy: fast_policy(2),
+            ..EngineOptions::default()
+        };
+        let (report, stats) = run_experiments_opts(&ctx, &experiments, &options, &|_| {});
+        assert!(report[0].outcome.is_ok(), "third attempt succeeds");
+        assert_eq!(flaky.calls.load(Ordering::Relaxed), 3);
+        assert_eq!(stats.retried, 2);
+        assert_eq!(stats.quarantined, 0);
+        assert_eq!(stats.injected, 0, "no chaos plan, nothing injected");
+    }
+
+    #[test]
+    fn exhausted_transient_budget_quarantines() {
+        let ctx = quick_ctx();
+        let flaky = Flaky::new(100);
+        let experiments: Vec<&dyn Experiment> = vec![&flaky];
+        let options = EngineOptions {
+            jobs: Some(1),
+            policy: fast_policy(1),
+            ..EngineOptions::default()
+        };
+        let (report, stats) = run_experiments_opts(&ctx, &experiments, &options, &|_| {});
+        let err = report[0].outcome.as_ref().unwrap_err();
+        assert!(err.is_transient());
+        assert_eq!(flaky.calls.load(Ordering::Relaxed), 2, "initial + 1 retry");
+        assert_eq!(stats.retried, 1);
+        assert_eq!(stats.quarantined, 1);
+    }
+
+    #[test]
+    fn persistent_failures_are_never_retried() {
+        let ctx = quick_ctx();
+        let failing = Failing;
+        let experiments: Vec<&dyn Experiment> = vec![&failing];
+        let options = EngineOptions {
+            jobs: Some(1),
+            policy: fast_policy(5),
+            ..EngineOptions::default()
+        };
+        let (report, stats) = run_experiments_opts(&ctx, &experiments, &options, &|_| {});
+        assert!(report[0].outcome.is_err());
+        assert_eq!(stats.retried, 0, "persistent errors skip the retry loop");
+        assert_eq!(stats.quarantined, 1);
+    }
+
+    #[test]
+    fn chaos_injection_recovers_and_preserves_artifacts() {
+        let ctx = quick_ctx();
+        let subset: Vec<&dyn Experiment> = ["T1", "F3", "T2", "F6", "F4"]
+            .iter()
+            .map(|id| registry::find(id).expect("registered"))
+            .collect();
+        let clean = run_experiments(&ctx, &subset, Some(2));
+        // Aggressive injection, but within the default-budget guarantee:
+        // every experiment must still succeed and match the clean run.
+        let options = EngineOptions {
+            jobs: Some(3),
+            faults: Some(testbed::FaultPlan::with_rates(99, 900, 900, 0)),
+            policy: fast_policy(2),
+            ..EngineOptions::default()
+        };
+        let (chaos, stats) = run_experiments_opts(&ctx, &subset, &options, &|_| {});
+        assert!(stats.injected > 0, "this seed is expected to inject");
+        assert_eq!(stats.quarantined, 0, "injected transients all recover");
+        for (c, f) in clean.iter().zip(&chaos) {
+            assert_eq!(c.id, f.id);
+            assert_eq!(
+                c.outcome.as_ref().unwrap(),
+                f.outcome.as_ref().unwrap(),
+                "chaos must not change {} artifacts",
+                c.id
+            );
+        }
+    }
+
+    #[test]
+    fn injected_cache_write_faults_recover_and_still_store() {
+        let ctx = quick_ctx();
+        let dir = std::env::temp_dir().join(format!("engine-chaos-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ArtifactCache::new(&dir);
+        let subset: Vec<&dyn Experiment> = ["T1", "T2"]
+            .iter()
+            .map(|id| registry::find(id).expect("registered"))
+            .collect();
+        let options = EngineOptions {
+            jobs: Some(2),
+            cache: Some(&cache),
+            faults: Some(testbed::FaultPlan::with_rates(7, 0, 1000, 0)),
+            policy: fast_policy(2),
+        };
+        let (report, stats) = run_experiments_opts(&ctx, &subset, &options, &|_| {});
+        assert!(report.iter().all(|r| r.outcome.is_ok()));
+        assert!(stats.injected > 0, "cache writes were injected");
+        assert_eq!(
+            cache.stored(),
+            2,
+            "every store lands once the injections pass"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -42,7 +42,10 @@ fn estimate_with(
         .iter()
         .map(|m| {
             let xs: Vec<f64> = (0..runs as u64)
-                .map(|n| sample(&ctx.cluster, m.id, bench, 0.0, n).unwrap())
+                .map(|n| {
+                    sample(&ctx.cluster, m.id, bench, 0.0, n)
+                        .expect("machine comes from this cluster")
+                })
                 .collect();
             median(&xs).expect("non-empty")
         })

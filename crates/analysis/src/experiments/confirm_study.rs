@@ -162,7 +162,8 @@ pub fn f10_confirm_tails(ctx: &Context) -> Result<Vec<Artifact>, ExperimentError
             })
             .collect();
         let ordinals: Vec<f64> = reqs.iter().map(|r| r.as_ordinal() as f64).collect();
-        let med = quantile(&ordinals, 0.5, QuantileMethod::Linear).unwrap();
+        let med = quantile(&ordinals, 0.5, QuantileMethod::Linear)
+            .map_err(|e| ExperimentError::new(format!("requirement quantile: {e}")))?;
         let exhausted = reqs
             .iter()
             .filter(|r| matches!(r, Requirement::Exhausted { .. }))
@@ -199,8 +200,10 @@ pub fn t4_repetition_summary(ctx: &Context) -> Result<Vec<Artifact>, ExperimentE
                 .with_growth(confirm::Growth::Geometric(1.25));
             let reqs = requirements_per_machine(ctx, bench, &config);
             let ordinals: Vec<f64> = reqs.iter().map(|r| r.as_ordinal() as f64).collect();
-            let med = quantile(&ordinals, 0.5, QuantileMethod::Linear).unwrap();
-            let p95 = quantile(&ordinals, 0.95, QuantileMethod::Linear).unwrap();
+            let med = quantile(&ordinals, 0.5, QuantileMethod::Linear)
+                .map_err(|e| ExperimentError::new(format!("requirement quantile: {e}")))?;
+            let p95 = quantile(&ordinals, 0.95, QuantileMethod::Linear)
+                .map_err(|e| ExperimentError::new(format!("requirement quantile: {e}")))?;
             let pool = ctx.scale.pool_size() as f64;
             let disp = |v: f64| {
                 if v > pool {

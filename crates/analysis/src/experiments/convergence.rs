@@ -41,7 +41,10 @@ pub fn convergence_curve(ctx: &Context, bench: BenchmarkId) -> Vec<(f64, f64)> {
         .iter()
         .map(|&n| {
             let runs: Vec<f64> = (0..n as u64)
-                .map(|nonce| sample(&ctx.cluster, machine, bench, 0.0, nonce).unwrap())
+                .map(|nonce| {
+                    sample(&ctx.cluster, machine, bench, 0.0, nonce)
+                        .expect("machine comes from this cluster")
+                })
                 .collect();
             let ci = median_ci_approx(&runs, 0.95).expect("n >= 10");
             (n as f64, ci.ci.relative_half_width())

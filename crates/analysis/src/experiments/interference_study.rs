@@ -47,10 +47,10 @@ pub fn compare_interference(ctx: &Context, benches: &[BenchmarkId]) -> Vec<Inter
         .iter()
         .map(|&bench| {
             let q: Vec<f64> = (0..pool_size as u64)
-                .map(|n| sample(&quiet, machine, bench, 0.0, n).unwrap())
+                .map(|n| sample(&quiet, machine, bench, 0.0, n).expect("machine is provisioned"))
                 .collect();
             let c: Vec<f64> = (0..pool_size as u64)
-                .map(|n| sample(&noisy, machine, bench, 0.0, n).unwrap())
+                .map(|n| sample(&noisy, machine, bench, 0.0, n).expect("machine is provisioned"))
                 .collect();
             let cov = |v: &[f64]| v.iter().copied().collect::<Moments>().cov().unwrap_or(0.0);
             let config = ctx

@@ -70,7 +70,7 @@ pub fn contamination_sweep(
                 let m_ci = mean_ci_t(&data, 0.95).expect("n >= 2");
                 let med_ci = median_ci_exact(&data, 0.95).expect("n >= 3");
                 mean_bias += (m_ci.estimate - truth) / truth;
-                median_bias += (median(&data).unwrap() - truth) / truth;
+                median_bias += (median(&data).expect("trial pool is non-empty") - truth) / truth;
                 mean_hw += m_ci.relative_half_width();
                 median_hw += med_ci.ci.relative_half_width();
             }

@@ -1,5 +1,24 @@
 //! The experiment pipelines, one module per DESIGN.md entry.
 
+use crate::registry::ExperimentError;
+
+/// [`workloads::sample`] with a typed error instead of an `Option`.
+///
+/// Pipelines draw from machines they just enumerated out of the shared
+/// cluster, so a miss means the context cannot support the pipeline —
+/// a persistent, per-id-reportable failure rather than a panic
+/// (DESIGN.md §8).
+pub(crate) fn draw(
+    cluster: &testbed::Cluster,
+    machine: testbed::MachineId,
+    bench: workloads::BenchmarkId,
+    day: f64,
+    nonce: u64,
+) -> Result<f64, ExperimentError> {
+    workloads::sample(cluster, machine, bench, day, nonce)
+        .ok_or_else(|| ExperimentError::new(format!("machine {} is not in the cluster", machine.0)))
+}
+
 pub mod ablation;
 pub mod allocation_bias;
 pub mod confirm_stability;

@@ -11,10 +11,11 @@ pub const F2_MEMORY_MULTIMODAL_VERSION: u32 = 1;
 use varstats::histogram::{BinRule, Histogram};
 use varstats::quantile::median;
 use varstats::Summary;
-use workloads::{sample, BenchmarkId};
+use workloads::BenchmarkId;
 
 use crate::artifact::{fmt, Artifact, SeriesSet, Table};
 use crate::context::Context;
+use crate::experiments::draw;
 use crate::registry::ExperimentError;
 
 /// Picks the first machine of the first HDD type.
@@ -33,8 +34,8 @@ fn first_hdd_machine(ctx: &Context) -> testbed::MachineId {
 pub fn f1_motivating(ctx: &Context) -> Result<Vec<Artifact>, ExperimentError> {
     let machine = first_hdd_machine(ctx);
     let runs: Vec<f64> = (0..1000u64)
-        .map(|n| sample(&ctx.cluster, machine, BenchmarkId::DiskSeqWrite, 0.0, n).unwrap())
-        .collect();
+        .map(|n| draw(&ctx.cluster, machine, BenchmarkId::DiskSeqWrite, 0.0, n))
+        .collect::<Result<_, _>>()?;
     let summary = Summary::from_slice(&runs).expect("non-empty runs");
     let hist = Histogram::new(&runs, BinRule::Fixed(30)).expect("non-empty runs");
 
@@ -51,6 +52,12 @@ pub fn f1_motivating(ctx: &Context) -> Result<Vec<Artifact>, ExperimentError> {
             .collect(),
     );
 
+    let p5 = {
+        let mut s = runs.clone();
+        s.sort_by(|a, b| a.total_cmp(b));
+        varstats::quantile::quantile_sorted(&s, 0.05, Default::default())
+            .map_err(|e| ExperimentError::new(format!("p5 quantile: {e}")))?
+    };
     let mut t = Table::new(
         "F1-summary",
         "Summary statistics of the F1 runs (mean vs median disagreement)",
@@ -63,11 +70,7 @@ pub fn f1_motivating(ctx: &Context) -> Result<Vec<Artifact>, ExperimentError> {
         ("std dev", summary.std_dev),
         ("CoV", summary.cov),
         ("skewness", summary.skewness),
-        ("p5", {
-            let mut s = runs.clone();
-            s.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            varstats::quantile::quantile_sorted(&s, 0.05, Default::default()).unwrap()
-        }),
+        ("p5", p5),
         ("min", summary.min),
         ("max", summary.max),
         ("mean-median gap", summary.mean_median_gap()),
@@ -95,11 +98,11 @@ pub fn f2_memory_multimodal(ctx: &Context) -> Result<Vec<Artifact>, ExperimentEr
         .iter()
         .map(|m| {
             let runs: Vec<f64> = (0..30u64)
-                .map(|n| sample(&ctx.cluster, m.id, BenchmarkId::MemTriad, 0.0, n).unwrap())
-                .collect();
-            median(&runs).expect("non-empty")
+                .map(|n| draw(&ctx.cluster, m.id, BenchmarkId::MemTriad, 0.0, n))
+                .collect::<Result<_, _>>()?;
+            median(&runs).map_err(|e| ExperimentError::new(format!("per-machine median: {e}")))
         })
-        .collect();
+        .collect::<Result<_, _>>()?;
     let hist = Histogram::new(&medians, BinRule::Fixed(24)).expect("non-empty");
     let modes = hist.count_modes(0.04);
 

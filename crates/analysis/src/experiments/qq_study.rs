@@ -10,7 +10,7 @@
 pub const F13_QQ_VERSION: u32 = 1;
 use varstats::qq::normal_qq;
 use varstats::quantile::median;
-use workloads::{sample, BenchmarkId};
+use workloads::BenchmarkId;
 
 use crate::artifact::{fmt, Artifact, SeriesSet, Table};
 use crate::context::Context;
@@ -35,8 +35,8 @@ pub fn f13_qq(ctx: &Context) -> Result<Vec<Artifact>, ExperimentError> {
     );
     for bench in REPRESENTATIVES {
         let runs: Vec<f64> = (0..200u64)
-            .map(|n| sample(&ctx.cluster, machine, bench, 0.0, n).unwrap())
-            .collect();
+            .map(|n| crate::experiments::draw(&ctx.cluster, machine, bench, 0.0, n))
+            .collect::<Result<_, _>>()?;
         let med = median(&runs).expect("non-empty");
         let scaled: Vec<f64> = runs.iter().map(|x| x / med).collect();
         let qq = normal_qq(&scaled).expect("valid runs");

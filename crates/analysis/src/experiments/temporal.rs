@@ -20,7 +20,10 @@ use crate::registry::ExperimentError;
 pub fn daily_series(ctx: &Context, machine: testbed::MachineId, bench: BenchmarkId) -> Vec<f64> {
     let days = ctx.cluster.timeline().duration_days as usize;
     (0..days)
-        .map(|d| sample(&ctx.cluster, machine, bench, d as f64, d as u64).unwrap())
+        .map(|d| {
+            sample(&ctx.cluster, machine, bench, d as f64, d as u64)
+                .expect("machine comes from this cluster")
+        })
         .collect()
 }
 

@@ -17,6 +17,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// I/O paths carry typed errors into per-id failure reports; `unwrap()`
+// outside tests regresses that contract (DESIGN.md §8).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod artifact;
 pub mod cache;
@@ -28,5 +31,8 @@ pub mod registry;
 pub use artifact::{Artifact, Series, SeriesSet, Table};
 pub use cache::{ArtifactCache, CacheKey, CacheStats, CACHE_SCHEMA_VERSION};
 pub use context::{Context, Scale};
-pub use engine::{run_experiments, run_experiments_cached, run_experiments_with, ExperimentRun};
-pub use registry::{all, find, Cost, Experiment, ExperimentError, Kind};
+pub use engine::{
+    run_experiments, run_experiments_cached, run_experiments_opts, run_experiments_with,
+    EngineOptions, ExperimentRun, FaultStats,
+};
+pub use registry::{all, find, Cost, ErrorClass, Experiment, ExperimentError, Kind};

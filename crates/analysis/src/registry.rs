@@ -55,28 +55,64 @@ impl Cost {
     }
 }
 
+/// How an experiment failure should be treated by the engine's retry
+/// loop (see DESIGN.md §8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ErrorClass {
+    /// Sporadic — a dropped machine, a chaos injection, a racy resource.
+    /// Worth retrying under the run's fault policy.
+    Transient,
+    /// Deterministic — the context cannot support the pipeline (empty
+    /// slice, degenerate statistics) or the code is wrong. Retrying
+    /// cannot help; the experiment is quarantined per-id. The default.
+    #[default]
+    Persistent,
+}
+
 /// Why an experiment pipeline could not produce its artifacts.
 ///
-/// Experiments are pure functions of the shared [`Context`]; a failure
-/// means the context cannot support the pipeline (empty slice, degenerate
-/// statistics), not an I/O problem. The engine reports failures per id
-/// and keeps running the rest of the registry.
+/// Experiments are pure functions of the shared [`Context`]; a
+/// [`ErrorClass::Persistent`] failure means the context cannot support
+/// the pipeline, a [`ErrorClass::Transient`] one that a retry may
+/// succeed. The engine retries transient failures under its fault
+/// policy, then reports whatever remains per id and keeps running the
+/// rest of the registry.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExperimentError {
     message: String,
+    class: ErrorClass,
 }
 
 impl ExperimentError {
-    /// Creates an error with a human-readable cause.
+    /// Creates a persistent error with a human-readable cause.
     pub fn new(message: impl Into<String>) -> Self {
         Self {
             message: message.into(),
+            class: ErrorClass::Persistent,
+        }
+    }
+
+    /// Creates a transient (retryable) error.
+    pub fn transient(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            class: ErrorClass::Transient,
         }
     }
 
     /// The human-readable cause.
     pub fn message(&self) -> &str {
         &self.message
+    }
+
+    /// The failure class driving the engine's retry decision.
+    pub fn class(&self) -> ErrorClass {
+        self.class
+    }
+
+    /// Whether the engine should retry this failure.
+    pub fn is_transient(&self) -> bool {
+        self.class == ErrorClass::Transient
     }
 }
 

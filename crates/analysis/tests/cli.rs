@@ -304,6 +304,174 @@ fn help_documents_the_jobs_and_metrics_flags() {
 }
 
 #[test]
+fn help_documents_resume_and_chaos() {
+    let out = repro().arg("--help").output().expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("--resume DIR"));
+    assert!(stdout.contains("--chaos SEED"));
+    assert!(stdout.contains("REPRO_CHAOS"));
+}
+
+#[test]
+fn chaos_run_converges_and_is_byte_identical_to_a_clean_run() {
+    let tag = std::process::id();
+    let clean_dir = std::env::temp_dir().join(format!("repro-cli-chaos-clean-{tag}"));
+    let clean = repro()
+        .args([
+            "T1",
+            "F1",
+            "--seed",
+            "7",
+            "--no-cache",
+            "--out",
+            clean_dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        clean.status.success(),
+        "{}",
+        String::from_utf8_lossy(&clean.stderr)
+    );
+
+    let chaos_dir = std::env::temp_dir().join(format!("repro-cli-chaos-out-{tag}"));
+    let journal_dir = std::env::temp_dir().join(format!("repro-cli-chaos-journal-{tag}"));
+    let _ = std::fs::remove_dir_all(&journal_dir);
+    // Worker deaths exit non-zero mid-campaign; --resume picks up the
+    // journal, so repeated invocations converge (at most one kill per
+    // machine). 40 attempts covers the quick fleet's theoretical bound.
+    let mut last = None;
+    for _ in 0..40 {
+        let out = repro()
+            .args([
+                "T1",
+                "F1",
+                "--seed",
+                "7",
+                "--no-cache",
+                "--chaos",
+                "1702",
+                "--resume",
+                journal_dir.to_str().unwrap(),
+                "--out",
+                chaos_dir.to_str().unwrap(),
+            ])
+            .output()
+            .expect("binary runs");
+        if out.status.success() {
+            last = Some(out);
+            break;
+        }
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("rerun with --resume"),
+            "non-zero chaos exits must hint at resume: {stderr}"
+        );
+    }
+    let out = last.expect("chaos run converged within 40 resumes");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("chaos armed (seed 1702)"), "{stderr}");
+    assert!(
+        stderr.contains("faults:"),
+        "fault summary on stderr: {stderr}"
+    );
+    // The contract: a chaos run that completes is byte-identical to a
+    // fault-free run — stdout report and every artifact.
+    assert_eq!(out.stdout, clean.stdout, "stdout must be byte-identical");
+    for name in ["T1.csv", "F1.csv"] {
+        let a = std::fs::read(clean_dir.join(name)).unwrap();
+        let b = std::fs::read(chaos_dir.join(name)).unwrap();
+        assert_eq!(a, b, "{name} must be byte-identical under chaos");
+    }
+    for dir in [&clean_dir, &chaos_dir] {
+        let leftovers: Vec<_> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files leaked: {leftovers:?}");
+    }
+    let _ = std::fs::remove_dir_all(&clean_dir);
+    let _ = std::fs::remove_dir_all(&chaos_dir);
+    let _ = std::fs::remove_dir_all(&journal_dir);
+}
+
+#[test]
+fn completed_journal_resumes_as_a_noop() {
+    let tag = std::process::id();
+    let journal_dir = std::env::temp_dir().join(format!("repro-cli-noop-journal-{tag}"));
+    let _ = std::fs::remove_dir_all(&journal_dir);
+    let run = || {
+        repro()
+            .args([
+                "T1",
+                "--seed",
+                "7",
+                "--no-cache",
+                "--resume",
+                journal_dir.to_str().unwrap(),
+            ])
+            .output()
+            .expect("binary runs")
+    };
+    let first = run();
+    assert!(
+        first.status.success(),
+        "{}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+    let stderr = String::from_utf8(first.stderr).unwrap();
+    assert!(stderr.contains("0 shards replayed"), "{stderr}");
+    let second = run();
+    assert!(second.status.success());
+    let stderr = String::from_utf8(second.stderr).unwrap();
+    assert!(
+        stderr.contains("0 machines collected"),
+        "a complete journal replays everything: {stderr}"
+    );
+    assert_eq!(first.stdout, second.stdout, "replay is byte-identical");
+    let _ = std::fs::remove_dir_all(&journal_dir);
+}
+
+#[test]
+fn truncated_manifest_is_replaced_atomically() {
+    let dir = std::env::temp_dir().join(format!("repro-cli-truncmf-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    // Simulate a crash mid-write under the OLD (non-atomic) scheme: a
+    // garbage half-manifest is already on disk.
+    std::fs::write(dir.join("manifest.json"), "{\"truncated").unwrap();
+    let out = repro()
+        .args([
+            "T1",
+            "--seed",
+            "7",
+            "--no-cache",
+            "--out",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let manifest = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+    assert!(
+        manifest.trim_start().starts_with('{') && !manifest.contains("\"truncated"),
+        "manifest must be rewritten whole: {manifest}"
+    );
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+        .collect();
+    assert!(leftovers.is_empty(), "temp files leaked: {leftovers:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn seed_changes_measured_artifacts_but_not_structure() {
     let run = |seed: &str| {
         let out = repro()

@@ -3,16 +3,35 @@
 //!
 //! ```text
 //! campaign [--scale quick|paper] [--seed N] [--jobs N] [--out FILE.csv]
+//!          [--resume DIR] [--chaos SEED]
 //! ```
+//!
+//! `--resume DIR` journals completed per-machine shards into DIR and
+//! replays any already there, so a killed run continues where it stopped
+//! with a byte-identical store. `--chaos SEED` arms deterministic fault
+//! injection (see DESIGN.md §8); transient faults retry with bounded
+//! backoff and a chaos-killed worker exits non-zero with a resume hint.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-use dataset::{overview, run_campaign_jobs, write_csv, CampaignConfig};
+use dataset::{
+    overview, run_campaign_resumable, write_csv, CampaignConfig, CampaignError, CollectOptions,
+    ShardJournal,
+};
+use testbed::{FaultPlan, FaultPolicy};
+
+const USAGE: &str = "usage: campaign [--scale quick|paper] [--seed N] [--jobs N] \
+[--out FILE.csv] [--resume DIR] [--chaos SEED]";
 
 struct Args {
     config: CampaignConfig,
     jobs: Option<usize>,
     out: Option<String>,
+    resume: Option<PathBuf>,
+    chaos: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -20,6 +39,8 @@ fn parse_args() -> Result<Args, String> {
     let mut scale = "quick".to_string();
     let mut jobs = None;
     let mut out = None;
+    let mut resume = None;
+    let mut chaos = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -40,13 +61,25 @@ fn parse_args() -> Result<Args, String> {
                 jobs = Some(n);
             }
             "--out" => out = Some(it.next().ok_or("--out needs a value")?),
-            "--help" | "-h" => {
-                return Err(
-                    "usage: campaign [--scale quick|paper] [--seed N] [--jobs N] [--out FILE.csv]"
-                        .to_string(),
-                );
+            "--resume" => {
+                resume = Some(PathBuf::from(
+                    it.next().ok_or("--resume needs a directory")?,
+                ));
             }
+            "--chaos" => {
+                let v = it.next().ok_or("--chaos needs a seed")?;
+                chaos = Some(v.parse().map_err(|_| format!("bad chaos seed `{v}`"))?);
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if chaos.is_none() {
+        if let Ok(v) = std::env::var("REPRO_CHAOS") {
+            chaos = Some(
+                v.parse()
+                    .map_err(|_| format!("bad REPRO_CHAOS seed `{v}`"))?,
+            );
         }
     }
     let config = match scale.as_str() {
@@ -54,7 +87,13 @@ fn parse_args() -> Result<Args, String> {
         "paper" => CampaignConfig::paper(seed),
         other => return Err(format!("unknown scale `{other}`")),
     };
-    Ok(Args { config, jobs, out })
+    Ok(Args {
+        config,
+        jobs,
+        out,
+        resume,
+        chaos,
+    })
 }
 
 fn main() -> ExitCode {
@@ -65,8 +104,53 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let faults = args.chaos.map(FaultPlan::new);
+    if let Some(plan) = &faults {
+        eprintln!("chaos armed (seed {})", plan.seed());
+    }
+    let journal = match &args.resume {
+        Some(dir) => match ShardJournal::open(dir, &args.config) {
+            Ok(j) => Some(j),
+            Err(err) => {
+                eprintln!("cannot open journal {}: {err}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     eprintln!("running campaign (seed {}) ...", args.config.seed);
-    let (_cluster, store) = run_campaign_jobs(&args.config, args.jobs);
+    let options = CollectOptions {
+        jobs: args.jobs,
+        journal: journal.as_ref(),
+        faults,
+        policy: FaultPolicy::default(),
+    };
+    let (_cluster, collected) = match run_campaign_resumable(&args.config, &options) {
+        Ok(run) => run,
+        Err(err) => {
+            eprintln!("campaign collection failed: {err}");
+            if let (CampaignError::WorkerKilled { .. }, Some(dir)) = (&err, &args.resume) {
+                eprintln!(
+                    "completed shards are journaled; rerun with --resume {} to continue",
+                    dir.display()
+                );
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    let store = collected.store;
+    if journal.is_some() {
+        eprintln!(
+            "journal: {} shards replayed, {} machines collected",
+            collected.report.replayed, collected.report.collected
+        );
+    }
+    if faults.is_some() {
+        eprintln!(
+            "faults: {} injected, {} retried",
+            collected.report.injected, collected.report.retried
+        );
+    }
     let o = overview(&store);
     println!(
         "campaign: {} measurements, {} machines, {} types, {} benchmarks, days {:.0}-{:.0}",
@@ -76,15 +160,24 @@ fn main() -> ExitCode {
         println!("  {:16} {count}", bench.label());
     }
     if let Some(path) = args.out {
-        let file = match std::fs::File::create(&path) {
+        // CSV export is atomic like every other artifact: write a temp
+        // file beside the target, rename on success.
+        let tmp = format!("{path}.tmp.{}", std::process::id());
+        let file = match std::fs::File::create(&tmp) {
             Ok(f) => f,
             Err(e) => {
-                eprintln!("cannot create {path}: {e}");
+                eprintln!("cannot create {tmp}: {e}");
                 return ExitCode::FAILURE;
             }
         };
         if let Err(e) = write_csv(&store, std::io::BufWriter::new(file)) {
             eprintln!("cannot write {path}: {e}");
+            let _ = std::fs::remove_file(&tmp);
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = std::fs::rename(&tmp, &path) {
+            eprintln!("cannot rename {tmp} to {path}: {e}");
+            let _ = std::fs::remove_file(&tmp);
             return ExitCode::FAILURE;
         }
         eprintln!("wrote {path}");

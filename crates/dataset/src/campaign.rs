@@ -22,13 +22,17 @@
 //! enforces this): machines are sorted by id, split into contiguous
 //! chunks, and the per-worker shards are merged back in chunk order.
 
+use std::collections::HashMap;
+use std::fmt;
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
-use testbed::{catalog, Cluster, Machine, Timeline};
+use testbed::{catalog, Cluster, FaultPlan, FaultPolicy, Machine, MachineId, Timeline};
 use workloads::{sample, BenchmarkId};
 
+use crate::journal::{JournalError, ShardJournal};
 use crate::record::Record;
 use crate::store::Store;
 
@@ -129,6 +133,24 @@ pub fn run_campaign_jobs(config: &CampaignConfig, jobs: Option<usize>) -> (Clust
     (cluster, store)
 }
 
+/// [`run_campaign_jobs`] under the fault model: provisions the cluster
+/// and collects through [`collect_resumable`], so the caller can attach
+/// a journal and a chaos plan.
+pub fn run_campaign_resumable(
+    config: &CampaignConfig,
+    options: &CollectOptions<'_>,
+) -> Result<(Cluster, Collected), CampaignError> {
+    let _span = telemetry::span("campaign.run");
+    let cluster = Cluster::provision(
+        catalog(),
+        config.scale,
+        Timeline::cloudlab_default(),
+        config.seed,
+    );
+    let collected = collect_resumable(&cluster, config, options)?;
+    Ok((cluster, collected))
+}
+
 /// Runs a campaign's measurement phase against an existing cluster,
 /// sharded across one worker per core (see [`collect_jobs`]).
 pub fn collect(cluster: &Cluster, config: &CampaignConfig) -> Store {
@@ -140,12 +162,142 @@ pub fn collect(cluster: &Cluster, config: &CampaignConfig) -> Store {
 ///
 /// Machines are selected per type, sorted by id, and split into
 /// contiguous chunks — one scoped worker thread per chunk. Workers
-/// collect into private [`Store`] shards that merge back in chunk order,
-/// so the record sequence (and hence any serialization of it) is
+/// collect into private per-machine shards that merge back in machine-id
+/// order, so the record sequence (and hence any serialization of it) is
 /// identical for every worker count and thread schedule. Worker spans are
 /// named `campaign.worker.N`, run on threads named `campaign-worker-N`,
 /// and parent under the `campaign.collect` span.
+///
+/// This is the infallible path (no journal, no fault injection); see
+/// [`collect_resumable`] for checkpointed and chaos-injected collection.
 pub fn collect_jobs(cluster: &Cluster, config: &CampaignConfig, jobs: Option<usize>) -> Store {
+    let options = CollectOptions {
+        jobs,
+        ..CollectOptions::default()
+    };
+    collect_resumable(cluster, config, &options)
+        .expect("collection without a journal or fault injection cannot fail")
+        .store
+}
+
+/// How [`collect_resumable`] checkpoints, injects, and retries.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CollectOptions<'a> {
+    /// Worker threads (`None` = one per core, clamped to the number of
+    /// machines still to collect).
+    pub jobs: Option<usize>,
+    /// Write-ahead journal: completed machine shards already present are
+    /// replayed instead of re-collected, and every freshly collected
+    /// shard is durably recorded before the worker moves on.
+    pub journal: Option<&'a ShardJournal>,
+    /// Chaos plan; `None` injects nothing.
+    pub faults: Option<FaultPlan>,
+    /// Retry budget and backoff for transient machine faults and
+    /// journal-write I/O errors.
+    pub policy: FaultPolicy,
+}
+
+/// Why a resumable collection could not complete.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// The journal could not be opened or written (after retries).
+    Journal(JournalError),
+    /// A chaos-injected worker death. The machine named here *was*
+    /// durably journaled first, so a resumed run makes progress past it.
+    WorkerKilled {
+        /// The machine whose post-commit site fired.
+        machine: MachineId,
+    },
+    /// A machine kept failing past the retry budget.
+    MachineFailed {
+        /// The machine that failed.
+        machine: MachineId,
+        /// Total attempts made (initial + retries).
+        attempts: u32,
+        /// Human-readable cause of the final failure.
+        message: String,
+    },
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Journal(e) => write!(f, "{e}"),
+            CampaignError::WorkerKilled { machine } => write!(
+                f,
+                "campaign worker killed by chaos injection after journaling machine {}",
+                machine.0
+            ),
+            CampaignError::MachineFailed {
+                machine,
+                attempts,
+                message,
+            } => write!(
+                f,
+                "machine {} failed after {attempts} attempts: {message}",
+                machine.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<JournalError> for CampaignError {
+    fn from(e: JournalError) -> Self {
+        CampaignError::Journal(e)
+    }
+}
+
+/// Counters describing one resumable collection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CollectReport {
+    /// Machines replayed from the journal instead of re-collected.
+    pub replayed: usize,
+    /// Machines collected fresh this run.
+    pub collected: usize,
+    /// Chaos faults injected (transient + I/O + deaths).
+    pub injected: u64,
+    /// Retries performed after transient or I/O failures.
+    pub retried: u64,
+}
+
+/// A completed resumable collection: the merged store plus its counters.
+#[derive(Debug)]
+pub struct Collected {
+    /// The full campaign dataset, byte-identical to an uninterrupted
+    /// single-threaded run.
+    pub store: Store,
+    /// Replay/collection/fault accounting.
+    pub report: CollectReport,
+}
+
+/// Checkpointed, fault-injectable collection — the engine behind
+/// `--resume` and `--chaos`.
+///
+/// Semantics on top of [`collect_jobs`]:
+///
+/// - machines whose shards are already journaled are **replayed** (a
+///   pure byte-identical substitute for re-collection, because every
+///   measurement derives from the machine's own RNG stream);
+/// - each freshly collected machine is journaled (temp + rename) before
+///   the worker moves on, so a kill at any point loses at most the
+///   shards in flight;
+/// - with a [`FaultPlan`], transient machine faults and journal-write
+///   I/O errors are injected at deterministic sites and retried under
+///   `options.policy` (`fault.injected` / `fault.retried` telemetry
+///   counters), and worker deaths fire at post-commit sites —
+///   [`CampaignError::WorkerKilled`] — which a resumed run never
+///   revisits, so repeated resume converges to a complete store.
+///
+/// The merged store is byte-identical for any worker count, any
+/// replayed/collected split, and any chaos seed that lets the run
+/// complete.
+pub fn collect_resumable(
+    cluster: &Cluster,
+    config: &CampaignConfig,
+    options: &CollectOptions<'_>,
+) -> Result<Collected, CampaignError> {
     let _span = telemetry::span("campaign.collect");
     // Select machines: up to `machines_per_type` per type, whole fleet
     // otherwise.
@@ -159,81 +311,130 @@ pub fn collect_jobs(cluster: &Cluster, config: &CampaignConfig, jobs: Option<usi
     // sorted; sorting makes the shard partition (and the merged record
     // order) independent of catalog iteration order.
     selected.sort_by_key(|m| m.id);
-    let workers = jobs
-        .unwrap_or_else(default_jobs)
-        .clamp(1, selected.len().max(1));
+
+    // Phase 1: replay journaled shards. A corrupt or truncated shard
+    // loads as None and the machine is simply re-collected.
+    let mut replayed: Vec<Option<Vec<Record>>> = Vec::with_capacity(selected.len());
+    let mut pending: Vec<&Machine> = Vec::new();
+    for &m in &selected {
+        let shard = options.journal.and_then(|j| j.load(m.id));
+        if shard.is_none() {
+            pending.push(m);
+        }
+        replayed.push(shard);
+    }
+    let replay_count = selected.len() - pending.len();
     telemetry::metrics::gauge("campaign.machines").set(selected.len() as f64);
+    telemetry::metrics::counter("campaign.machines.replayed").add(replay_count as u64);
+    let workers = options
+        .jobs
+        .unwrap_or_else(default_jobs)
+        .clamp(1, pending.len().max(1));
     telemetry::metrics::gauge("campaign.workers").set(workers as f64);
     let records = telemetry::metrics::counter("campaign.records");
-    let store = if workers <= 1 {
-        collect_shard(cluster, config, &selected, 0)
+    let injected = AtomicU64::new(0);
+    let retried = AtomicU64::new(0);
+
+    // Phase 2: collect the pending machines, sharded as in collect_jobs.
+    let mut collected: WorkerShards = Vec::new();
+    if workers <= 1 {
+        collected = collect_pending(cluster, config, &pending, 0, options, &injected, &retried)?;
     } else {
-        let chunk = selected.len().div_ceil(workers);
+        let chunk = pending.len().div_ceil(workers);
         let parent = telemetry::trace::current_context();
-        let mut shards: Vec<Store> = Vec::new();
+        let mut results: Vec<Result<WorkerShards, CampaignError>> = Vec::new();
         std::thread::scope(|scope| {
-            let handles: Vec<_> = selected
+            let handles: Vec<_> = pending
                 .chunks(chunk)
                 .enumerate()
                 .map(|(i, machines)| {
+                    let (injected, retried) = (&injected, &retried);
                     std::thread::Builder::new()
                         .name(format!("campaign-worker-{i}"))
                         .spawn_scoped(scope, move || {
                             let _span = telemetry::span_in(format!("campaign.worker.{i}"), parent);
-                            collect_shard(cluster, config, machines, i)
+                            collect_pending(
+                                cluster, config, machines, i, options, injected, retried,
+                            )
                         })
                         .expect("spawning a campaign worker succeeds")
                 })
                 .collect();
-            // Joining in spawn order merges shards in machine-id order no
-            // matter which worker finishes first.
-            shards = handles
+            // Joining in spawn order keeps error reporting (and shard
+            // merge order below) independent of which worker finishes
+            // first.
+            results = handles
                 .into_iter()
                 .map(|h| h.join().expect("campaign workers do not panic"))
                 .collect();
         });
-        let mut merged = Store::new();
-        for shard in shards {
-            merged.merge(shard);
+        for result in results {
+            collected.extend(result?);
         }
-        merged
-    };
+    }
+
+    // Phase 3: merge in machine-id order — replayed and fresh shards
+    // interleave exactly as an uninterrupted run would have laid them
+    // out.
+    let mut by_id: HashMap<u32, Vec<Record>> = collected
+        .into_iter()
+        .map(|(id, recs)| (id.0, recs))
+        .collect();
+    let mut store = Store::new();
+    for (slot, &m) in selected.iter().enumerate() {
+        match replayed[slot].take() {
+            Some(shard) => store.extend(shard),
+            None => store.extend(
+                by_id
+                    .remove(&m.id.0)
+                    .expect("every pending machine was collected"),
+            ),
+        }
+    }
     records.add(store.len() as u64);
-    store
+    Ok(Collected {
+        store,
+        report: CollectReport {
+            replayed: replay_count,
+            collected: pending.len(),
+            injected: injected.load(Ordering::Relaxed),
+            retried: retried.load(Ordering::Relaxed),
+        },
+    })
 }
 
-/// Collects every (benchmark, session, run) measurement for one worker's
-/// slice of the fleet.
-fn collect_shard(
+/// One worker's output: the shards it collected, in machine order.
+type WorkerShards = Vec<(MachineId, Vec<Record>)>;
+
+/// Collects one worker's slice of the pending machines, journaling each
+/// completed shard before moving to the next machine.
+fn collect_pending(
     cluster: &Cluster,
     config: &CampaignConfig,
     machines: &[&Machine],
     worker: usize,
-) -> Store {
+    options: &CollectOptions<'_>,
+    injected: &AtomicU64,
+    retried: &AtomicU64,
+) -> Result<WorkerShards, CampaignError> {
     let machine_secs = telemetry::metrics::histogram("campaign.machine_secs");
     let worker_secs = telemetry::metrics::histogram(&format!("campaign.machine_secs.w{worker}"));
-    let sessions = config.sessions();
-    let mut store = Store::new();
+    let mut out = Vec::with_capacity(machines.len());
     for machine in machines {
         let started = telemetry::enabled().then(Instant::now);
-        for &bench in &config.benchmarks {
-            for session in 0..sessions {
-                let day = session as f64 * config.session_every_days;
-                for run in 0..config.runs_per_session {
-                    // The nonce folds the session in so every run of the
-                    // campaign is a distinct draw.
-                    let nonce = (session * config.runs_per_session + run) as u64;
-                    let value = sample(cluster, machine.id, bench, day, nonce)
-                        .expect("selected machines exist");
-                    store.push(Record {
-                        machine: machine.id,
-                        machine_type: machine.type_name.clone(),
-                        benchmark: bench,
-                        day,
-                        run: nonce as u32,
-                        value,
-                    });
-                }
+        let recs = collect_machine_retrying(cluster, config, machine, options, injected, retried)?;
+        if let Some(journal) = options.journal {
+            journal_shard_retrying(journal, machine.id, &recs, options, injected, retried)?;
+            // Post-commit death site: the shard above is durable, so a
+            // resumed run replays it and never re-reaches this site —
+            // every resume makes monotonic progress.
+            let site = format!("campaign.commit.m{}", machine.id.0);
+            if options.faults.is_some_and(|f| f.worker_death(&site)) {
+                injected.fetch_add(1, Ordering::Relaxed);
+                telemetry::metrics::counter("fault.injected").inc();
+                return Err(CampaignError::WorkerKilled {
+                    machine: machine.id,
+                });
             }
         }
         if let Some(t) = started {
@@ -241,8 +442,109 @@ fn collect_shard(
             machine_secs.record(secs);
             worker_secs.record(secs);
         }
+        out.push((machine.id, recs));
     }
-    store
+    Ok(out)
+}
+
+/// Collects one machine, injecting and retrying transient faults under
+/// the policy. Because injected faults stop firing before the default
+/// retry budget is exhausted (see `testbed::faults`), an injected-only
+/// run always recovers; a genuinely failing machine surfaces as
+/// [`CampaignError::MachineFailed`].
+fn collect_machine_retrying(
+    cluster: &Cluster,
+    config: &CampaignConfig,
+    machine: &Machine,
+    options: &CollectOptions<'_>,
+    injected: &AtomicU64,
+    retried: &AtomicU64,
+) -> Result<Vec<Record>, CampaignError> {
+    let site = format!("campaign.machine.m{}", machine.id.0);
+    let mut attempt = 0;
+    loop {
+        if options.faults.is_some_and(|f| f.transient(&site, attempt)) {
+            injected.fetch_add(1, Ordering::Relaxed);
+            telemetry::metrics::counter("fault.injected").inc();
+            if attempt < options.policy.max_retries {
+                retried.fetch_add(1, Ordering::Relaxed);
+                telemetry::metrics::counter("fault.retried").inc();
+                std::thread::sleep(options.policy.backoff_for(attempt));
+                attempt += 1;
+                continue;
+            }
+            return Err(CampaignError::MachineFailed {
+                machine: machine.id,
+                attempts: attempt + 1,
+                message: "injected transient fault (chaos)".to_string(),
+            });
+        }
+        return Ok(collect_machine(cluster, config, machine));
+    }
+}
+
+/// Journals one completed shard, injecting and retrying I/O faults under
+/// the policy. Real journal errors get the same retry budget before they
+/// abort the collection.
+fn journal_shard_retrying(
+    journal: &ShardJournal,
+    machine: MachineId,
+    recs: &[Record],
+    options: &CollectOptions<'_>,
+    injected: &AtomicU64,
+    retried: &AtomicU64,
+) -> Result<(), CampaignError> {
+    let site = format!("journal.write.m{}", machine.0);
+    let mut attempt = 0;
+    loop {
+        let result = if options.faults.is_some_and(|f| f.io_error(&site, attempt)) {
+            injected.fetch_add(1, Ordering::Relaxed);
+            telemetry::metrics::counter("fault.injected").inc();
+            Err(JournalError::Io(std::io::Error::other(
+                "injected I/O fault (chaos)",
+            )))
+        } else {
+            journal.record(machine, recs)
+        };
+        match result {
+            Ok(()) => return Ok(()),
+            Err(_) if attempt < options.policy.max_retries => {
+                retried.fetch_add(1, Ordering::Relaxed);
+                telemetry::metrics::counter("fault.retried").inc();
+                std::thread::sleep(options.policy.backoff_for(attempt));
+                attempt += 1;
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+/// Collects every (benchmark, session, run) measurement for one machine.
+fn collect_machine(cluster: &Cluster, config: &CampaignConfig, machine: &Machine) -> Vec<Record> {
+    let sessions = config.sessions();
+    let mut records =
+        Vec::with_capacity(config.benchmarks.len() * sessions * config.runs_per_session);
+    for &bench in &config.benchmarks {
+        for session in 0..sessions {
+            let day = session as f64 * config.session_every_days;
+            for run in 0..config.runs_per_session {
+                // The nonce folds the session in so every run of the
+                // campaign is a distinct draw.
+                let nonce = (session * config.runs_per_session + run) as u64;
+                let value = sample(cluster, machine.id, bench, day, nonce)
+                    .expect("selected machines exist");
+                records.push(Record {
+                    machine: machine.id,
+                    machine_type: machine.type_name.clone(),
+                    benchmark: bench,
+                    day,
+                    run: nonce as u32,
+                    value,
+                });
+            }
+        }
+    }
+    records
 }
 
 #[cfg(test)]
@@ -348,5 +650,147 @@ mod tests {
         let last_day = ts.last().unwrap().0;
         assert_eq!(first_day, 0.0);
         assert!(last_day >= 240.0, "last day {last_day}");
+    }
+
+    use crate::journal::ShardJournal;
+    use std::path::PathBuf;
+    use std::time::Duration;
+
+    fn journal_dir(label: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "campaign-journal-{label}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tiny_config(seed: u64) -> CampaignConfig {
+        let mut config = CampaignConfig::quick(seed);
+        config.machines_per_type = Some(1);
+        config.benchmarks = vec![BenchmarkId::MemCopy, BenchmarkId::NetLatency];
+        config
+    }
+
+    fn fast_policy(max_retries: u32) -> FaultPolicy {
+        FaultPolicy::new(max_retries, Duration::from_micros(10))
+    }
+
+    #[test]
+    fn journaled_run_resumes_as_a_noop() {
+        let config = tiny_config(21);
+        let (cluster, golden) = run_campaign_jobs(&config, Some(2));
+        let dir = journal_dir("noop");
+        let journal = ShardJournal::open(&dir, &config).unwrap();
+        let options = CollectOptions {
+            jobs: Some(2),
+            journal: Some(&journal),
+            ..CollectOptions::default()
+        };
+        let first = collect_resumable(&cluster, &config, &options).unwrap();
+        assert_eq!(first.store, golden, "journaled run matches plain run");
+        assert_eq!(first.report.replayed, 0);
+        assert_eq!(first.report.collected, 10);
+        // Resuming a completed run replays everything, collects nothing.
+        let second = collect_resumable(&cluster, &config, &options).unwrap();
+        assert_eq!(second.store, golden, "replayed store is byte-identical");
+        assert_eq!(second.report.replayed, 10);
+        assert_eq!(second.report.collected, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_transients_recover_under_the_default_budget() {
+        let config = tiny_config(22);
+        let (cluster, golden) = run_campaign_jobs(&config, Some(1));
+        // Transient + I/O faults at high rates, no deaths: the run must
+        // complete in one go and match the fault-free store.
+        let faults = FaultPlan::with_rates(77, 900, 900, 0);
+        let dir = journal_dir("transient");
+        let journal = ShardJournal::open(&dir, &config).unwrap();
+        let options = CollectOptions {
+            jobs: Some(3),
+            journal: Some(&journal),
+            faults: Some(faults),
+            policy: fast_policy(2),
+        };
+        let collected = collect_resumable(&cluster, &config, &options).unwrap();
+        assert_eq!(collected.store, golden, "chaos run is byte-identical");
+        assert!(collected.report.injected > 0, "faults were injected");
+        assert!(collected.report.retried > 0, "faults were retried");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn worker_death_then_resume_converges_to_the_golden_store() {
+        let config = tiny_config(23);
+        let (cluster, golden) = run_campaign_jobs(&config, Some(1));
+        let faults = FaultPlan::with_rates(5, 400, 300, 500);
+        let dir = journal_dir("death");
+        let journal = ShardJournal::open(&dir, &config).unwrap();
+        let options = CollectOptions {
+            jobs: Some(2),
+            journal: Some(&journal),
+            faults: Some(faults),
+            policy: fast_policy(2),
+        };
+        let mut kills = 0;
+        let collected = loop {
+            match collect_resumable(&cluster, &config, &options) {
+                Ok(c) => break c,
+                Err(CampaignError::WorkerKilled { .. }) => {
+                    kills += 1;
+                    assert!(
+                        kills <= 11,
+                        "resume must converge (one kill per machine max)"
+                    );
+                }
+                Err(e) => panic!("unexpected campaign error: {e}"),
+            }
+        };
+        assert!(kills > 0, "this seed is expected to kill at least once");
+        assert_eq!(collected.store, golden, "resumed store is byte-identical");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_surfaces_machine_failure() {
+        let config = tiny_config(24);
+        let (cluster, _) = run_campaign_jobs(&config, Some(1));
+        let faults = FaultPlan::with_rates(1, 1000, 0, 0);
+        let options = CollectOptions {
+            jobs: Some(1),
+            journal: None,
+            faults: Some(faults),
+            policy: fast_policy(0), // no retries: first injection is fatal
+        };
+        let err = collect_resumable(&cluster, &config, &options).unwrap_err();
+        match err {
+            CampaignError::MachineFailed {
+                attempts, message, ..
+            } => {
+                assert_eq!(attempts, 1);
+                assert!(message.contains("injected transient fault"));
+            }
+            other => panic!("expected MachineFailed, got {other}"),
+        }
+    }
+
+    #[test]
+    fn worker_death_requires_a_journal() {
+        // Without a journal there is no commit point, so deaths are not
+        // injected and the run completes.
+        let config = tiny_config(25);
+        let (cluster, golden) = run_campaign_jobs(&config, Some(1));
+        let faults = FaultPlan::with_rates(5, 0, 0, 1000);
+        let options = CollectOptions {
+            jobs: Some(2),
+            journal: None,
+            faults: Some(faults),
+            policy: fast_policy(2),
+        };
+        let collected = collect_resumable(&cluster, &config, &options).unwrap();
+        assert_eq!(collected.store, golden);
     }
 }

@@ -1,0 +1,388 @@
+//! Write-ahead journal for campaign collection — the crash-safe
+//! checkpoint behind `--resume`.
+//!
+//! A [`ShardJournal`] is a directory holding one checksummed file per
+//! *completed* machine shard. Because every measurement derives from its
+//! machine's own RNG stream ([`testbed::machine_stream`]), a machine's
+//! records are a pure function of the campaign configuration: replaying a
+//! journaled shard is byte-identical to re-collecting it. A resumed run
+//! therefore loads the finished shards, collects only the rest, and
+//! produces exactly the store an uninterrupted run would have.
+//!
+//! On-disk format (text, serialization-free like the artifact cache):
+//!
+//! ```text
+//! journal.meta         campaign-journal v1 \n config <fnv1a64 of the
+//!                      CampaignConfig debug rendering> — guards against
+//!                      resuming under a different configuration.
+//! m<id>.shard          5-line envelope (format, config fingerprint,
+//!                      machine id, record count, payload checksum)
+//!                      followed by one tab-separated line per record;
+//!                      floats as IEEE-754 bit patterns in hex, text
+//!                      fields escaped.
+//! ```
+//!
+//! Every file is written to a temp name and renamed into place, so a
+//! kill mid-write never leaves a half shard: a reader sees either the
+//! complete file or none. Any defect found at load — truncation, bad
+//! checksum, foreign config, unparseable record — makes the shard count
+//! as *not collected*; the campaign simply re-collects that machine. A
+//! corrupt journal can never poison a resumed run.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use testbed::faults::fnv1a64;
+use testbed::MachineId;
+
+use crate::campaign::CampaignConfig;
+use crate::record::{benchmark_from_label, Record};
+
+/// First line of the meta file and of every shard file.
+const JOURNAL_HEADER: &str = "campaign-journal v1";
+
+/// Why the journal could not be opened or written.
+#[derive(Debug)]
+pub enum JournalError {
+    /// The directory holds a journal for a different campaign
+    /// configuration; resuming would mix incompatible data.
+    ConfigMismatch {
+        /// The journal directory.
+        dir: PathBuf,
+    },
+    /// An underlying filesystem failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::ConfigMismatch { dir } => write!(
+                f,
+                "journal {} was written by a different campaign configuration \
+                 (scale/seed mismatch?); use a fresh directory",
+                dir.display()
+            ),
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '\\' => out.push('\\'),
+            't' => out.push('\t'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// A directory of per-machine shard checkpoints for one campaign.
+#[derive(Debug)]
+pub struct ShardJournal {
+    dir: PathBuf,
+    fingerprint: u64,
+}
+
+impl ShardJournal {
+    /// Fingerprint of a campaign configuration, as pinned in the meta
+    /// file and every shard envelope. The full `Debug` rendering enters
+    /// the hash, so any field change — not just seed and scale —
+    /// invalidates the journal.
+    pub fn config_fingerprint(config: &CampaignConfig) -> u64 {
+        fnv1a64(format!("{config:?}").as_bytes())
+    }
+
+    /// Opens (creating if needed) the journal at `dir` for `config`.
+    ///
+    /// A fresh directory gains a meta file pinning the configuration; an
+    /// existing journal is validated against it and refused on mismatch,
+    /// so `--resume` can never silently mix shards from two campaigns.
+    pub fn open(dir: impl Into<PathBuf>, config: &CampaignConfig) -> Result<Self, JournalError> {
+        let dir = dir.into();
+        let fingerprint = Self::config_fingerprint(config);
+        std::fs::create_dir_all(&dir)?;
+        let meta = dir.join("journal.meta");
+        let expected = format!("{JOURNAL_HEADER}\nconfig {fingerprint:016x}\n");
+        match std::fs::read_to_string(&meta) {
+            Ok(found) => {
+                if found != expected {
+                    return Err(JournalError::ConfigMismatch { dir });
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                write_atomically(&meta, &expected)?;
+            }
+            Err(e) => return Err(e.into()),
+        }
+        Ok(ShardJournal { dir, fingerprint })
+    }
+
+    /// The journal directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn shard_path(&self, machine: MachineId) -> PathBuf {
+        self.dir.join(format!("m{}.shard", machine.0))
+    }
+
+    /// Durably records one machine's completed shard (temp + rename; the
+    /// file appears atomically or not at all).
+    pub fn record(&self, machine: MachineId, records: &[Record]) -> Result<(), JournalError> {
+        let mut payload = String::new();
+        for r in records {
+            payload.push_str(&format!(
+                "{}\t{}\t{:016x}\t{}\t{:016x}\n",
+                escape(&r.machine_type),
+                escape(r.benchmark.label()),
+                r.day.to_bits(),
+                r.run,
+                r.value.to_bits(),
+            ));
+        }
+        let bytes = format!(
+            "{JOURNAL_HEADER}\nconfig {:016x}\nmachine {}\nrecords {}\nchecksum {:016x}\n{payload}",
+            self.fingerprint,
+            machine.0,
+            records.len(),
+            fnv1a64(payload.as_bytes()),
+        );
+        write_atomically(&self.shard_path(machine), &bytes)?;
+        Ok(())
+    }
+
+    /// Loads one machine's journaled shard, or `None` if it was never
+    /// recorded — or if the file is corrupt, truncated, checksummed
+    /// wrong, or pinned to a different configuration, in which case the
+    /// machine simply counts as uncollected.
+    pub fn load(&self, machine: MachineId) -> Option<Vec<Record>> {
+        let raw = std::fs::read_to_string(self.shard_path(machine)).ok()?;
+        self.parse_shard(&raw, machine)
+    }
+
+    fn parse_shard(&self, raw: &str, machine: MachineId) -> Option<Vec<Record>> {
+        let mut lines = raw.splitn(6, '\n');
+        let header = lines.next()?;
+        let config = lines.next()?;
+        let machine_line = lines.next()?;
+        let count_line = lines.next()?;
+        let checksum = lines.next()?;
+        let payload = lines.next()?;
+        let count: usize = count_line.strip_prefix("records ")?.parse().ok()?;
+        let valid = header == JOURNAL_HEADER
+            && config == format!("config {:016x}", self.fingerprint)
+            && machine_line == format!("machine {}", machine.0)
+            && checksum == format!("checksum {:016x}", fnv1a64(payload.as_bytes()));
+        if !valid {
+            return None;
+        }
+        let mut records = Vec::with_capacity(count);
+        for line in payload.lines() {
+            let mut fields = line.split('\t');
+            let machine_type = unescape(fields.next()?)?;
+            let benchmark = benchmark_from_label(&unescape(fields.next()?)?)?;
+            let day = f64::from_bits(u64::from_str_radix(fields.next()?, 16).ok()?);
+            let run: u32 = fields.next()?.parse().ok()?;
+            let value = f64::from_bits(u64::from_str_radix(fields.next()?, 16).ok()?);
+            if fields.next().is_some() {
+                return None;
+            }
+            records.push(Record {
+                machine,
+                machine_type,
+                benchmark,
+                day,
+                run,
+                value,
+            });
+        }
+        (records.len() == count).then_some(records)
+    }
+
+    /// Number of shard files currently in the journal (valid or not).
+    pub fn shard_count(&self) -> Result<usize, JournalError> {
+        let mut count = 0;
+        for entry in std::fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.starts_with('m') && name.ends_with(".shard") {
+                count += 1;
+            }
+        }
+        Ok(count)
+    }
+}
+
+/// Temp-write + rename, same contract as the artifact cache: a reader
+/// (or a resumed run) never observes a half-written file.
+fn write_atomically(path: &Path, bytes: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    std::fs::write(&tmp, bytes)?;
+    let result = std::fs::rename(&tmp, path);
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::BenchmarkId;
+
+    fn temp_dir(label: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "shard-journal-{label}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_records(machine: MachineId) -> Vec<Record> {
+        vec![
+            Record {
+                machine,
+                machine_type: "c220g1".to_string(),
+                benchmark: BenchmarkId::DiskSeqRead,
+                day: 12.5,
+                run: 0,
+                value: 171.25,
+            },
+            Record {
+                machine,
+                machine_type: "c220g1".to_string(),
+                benchmark: BenchmarkId::MemTriad,
+                day: 12.5,
+                run: 1,
+                value: 0.1 + 0.2, // a value with no short decimal form
+            },
+        ]
+    }
+
+    #[test]
+    fn shard_round_trips_byte_exactly() {
+        let dir = temp_dir("roundtrip");
+        let config = CampaignConfig::quick(42);
+        let journal = ShardJournal::open(&dir, &config).unwrap();
+        let m = MachineId(7);
+        assert_eq!(journal.load(m), None, "nothing journaled yet");
+        let records = sample_records(m);
+        journal.record(m, &records).unwrap();
+        assert_eq!(journal.load(m), Some(records));
+        assert_eq!(journal.shard_count().unwrap(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopening_with_the_same_config_resumes() {
+        let dir = temp_dir("reopen");
+        let config = CampaignConfig::quick(1);
+        let m = MachineId(3);
+        {
+            let journal = ShardJournal::open(&dir, &config).unwrap();
+            journal.record(m, &sample_records(m)).unwrap();
+        }
+        let journal = ShardJournal::open(&dir, &config).unwrap();
+        assert_eq!(journal.load(m), Some(sample_records(m)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn different_config_is_refused() {
+        let dir = temp_dir("mismatch");
+        ShardJournal::open(&dir, &CampaignConfig::quick(1)).unwrap();
+        let err = ShardJournal::open(&dir, &CampaignConfig::quick(2)).unwrap_err();
+        assert!(matches!(err, JournalError::ConfigMismatch { .. }));
+        assert!(err.to_string().contains("different campaign configuration"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_shards_count_as_uncollected() {
+        let dir = temp_dir("corrupt");
+        let config = CampaignConfig::quick(5);
+        let journal = ShardJournal::open(&dir, &config).unwrap();
+        let m = MachineId(9);
+        journal.record(m, &sample_records(m)).unwrap();
+        let path = dir.join("m9.shard");
+        let full = std::fs::read_to_string(&path).unwrap();
+
+        // Truncation.
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert_eq!(journal.load(m), None);
+
+        // Checksum flip.
+        let flipped = full.replace("checksum", "checksum "); // malformed line
+        std::fs::write(&path, flipped).unwrap();
+        assert_eq!(journal.load(m), None);
+
+        // A record line with garbage.
+        let garbled = format!("{}garbage line\n", full);
+        std::fs::write(&path, garbled).unwrap();
+        assert_eq!(journal.load(m), None);
+
+        // Re-recording repairs it.
+        journal.record(m, &sample_records(m)).unwrap();
+        assert_eq!(journal.load(m), Some(sample_records(m)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn escaping_round_trips_hostile_text() {
+        for s in ["plain", "tab\there", "line\nbreak", "back\\slash", "cr\r"] {
+            assert_eq!(unescape(&escape(s)).as_deref(), Some(s));
+        }
+        assert_eq!(unescape("bad\\x"), None, "unknown escape is rejected");
+    }
+
+    #[test]
+    fn no_temp_files_survive_a_record() {
+        let dir = temp_dir("tmpfiles");
+        let config = CampaignConfig::quick(3);
+        let journal = ShardJournal::open(&dir, &config).unwrap();
+        let m = MachineId(1);
+        journal.record(m, &sample_records(m)).unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files leaked: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -17,18 +17,25 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// I/O paths carry typed errors into per-id failure reports; `unwrap()`
+// outside tests regresses that contract (DESIGN.md §8).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 mod campaign;
 mod csv;
+mod journal;
 mod outliers;
 mod record;
 mod store;
 mod summarize;
 
 pub use campaign::{
-    collect, collect_jobs, default_jobs, run_campaign, run_campaign_jobs, CampaignConfig,
+    collect, collect_jobs, collect_resumable, default_jobs, run_campaign, run_campaign_jobs,
+    run_campaign_resumable, CampaignConfig, CampaignError, CollectOptions, CollectReport,
+    Collected,
 };
 pub use csv::{read_csv, write_csv, CsvError};
+pub use journal::{JournalError, ShardJournal};
 pub use outliers::{outlier_indices, outlier_sweep, Fence, OutlierReport};
 pub use record::{benchmark_from_label, Record};
 pub use store::{Query, Store};

@@ -93,6 +93,41 @@ impl CacheSection {
     }
 }
 
+/// Fault-injection and recovery accounting for one run. Fields are
+/// declared in alphabetical order so the serialized section is
+/// deterministically keyed; like [`CacheSection`] it carries no
+/// timestamps or host details. Counts are observability, not part of the
+/// byte-identity contract: two runs that take different fault paths to
+/// the same artifacts may legitimately differ here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSection {
+    /// Whether chaos injection was armed (`--chaos` / `REPRO_CHAOS`).
+    pub enabled: bool,
+    /// Faults injected: transient machine faults, I/O errors, and
+    /// worker deaths.
+    pub injected: u64,
+    /// Experiments that kept failing past the retry budget and were
+    /// quarantined per-id (their siblings still produced artifacts).
+    pub quarantined: u64,
+    /// Retries performed after transient or I/O failures.
+    pub retried: u64,
+}
+
+impl FaultSection {
+    /// One-line deterministic rendering, e.g.
+    /// `faults: 3 injected, 2 retried, 0 quarantined`, or
+    /// `faults: disabled`.
+    pub fn summary(&self) -> String {
+        if !self.enabled {
+            return "faults: disabled".to_string();
+        }
+        format!(
+            "faults: {} injected, {} retried, {} quarantined",
+            self.injected, self.retried, self.quarantined
+        )
+    }
+}
+
 /// Everything needed to identify and reproduce one `repro` invocation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunManifest {
@@ -124,6 +159,10 @@ pub struct RunManifest {
     /// Absent in manifests written before the cache existed.
     #[serde(default)]
     pub cache: Option<CacheSection>,
+    /// Fault-injection and recovery accounting. Absent in manifests
+    /// written before the fault harness existed.
+    #[serde(default)]
+    pub faults: Option<FaultSection>,
 }
 
 impl RunManifest {
@@ -145,6 +184,7 @@ impl RunManifest {
             experiments: Vec::new(),
             artifact_count: 0,
             cache: None,
+            faults: None,
         }
     }
 
@@ -220,6 +260,30 @@ mod tests {
             stored: 0,
         };
         assert_eq!(disabled.summary(), "cache: disabled");
+    }
+
+    #[test]
+    fn fault_section_summary_is_deterministic() {
+        let mut m = RunManifest::new("repro", "0.1.0", 42, "quick");
+        assert_eq!(m.faults, None, "no section until the tool fills one in");
+        let section = FaultSection {
+            enabled: true,
+            injected: 3,
+            quarantined: 0,
+            retried: 2,
+        };
+        m.faults = Some(section);
+        assert_eq!(
+            section.summary(),
+            "faults: 3 injected, 2 retried, 0 quarantined"
+        );
+        let disabled = FaultSection {
+            enabled: false,
+            injected: 0,
+            quarantined: 0,
+            retried: 0,
+        };
+        assert_eq!(disabled.summary(), "faults: disabled");
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! Seeded, deterministic fault injection — the chaos harness.
+//!
+//! Long measurement campaigns on shared infrastructure lose machines,
+//! hit I/O errors, and get killed mid-run; the recovery layer
+//! (`dataset::journal`, the engine's retry loop) only earns trust if
+//! those failure paths are exercised. A [`FaultPlan`] is a pure function
+//! from a *site* — a stable string naming one failure point, e.g.
+//! `campaign.machine.17` or `experiment.F9` — to a fault decision, so a
+//! chaos run is exactly reproducible from its seed: the same seed injects
+//! the same faults at the same sites no matter the worker count, thread
+//! schedule, or how many times the run was killed and resumed on the way.
+//!
+//! Decisions hash `(seed, kind, site, attempt)` with FNV-1a and compare
+//! against a per-mille rate. Nothing is stateful: two threads asking
+//! about the same site get the same answer, and a resumed process
+//! re-derives the plan from the seed alone.
+//!
+//! # The recovery guarantee
+//!
+//! [`FaultPlan::transient`] and [`FaultPlan::io_error`] never fire on
+//! attempt [`MAX_FAULTS_PER_SITE`] or later, and the default
+//! [`FaultPolicy`] retries exactly that many times — so an injected
+//! transient fault is always survivable under the default policy, and a
+//! chaos run that resumes to completion is byte-identical to a fault-free
+//! run. Persistent failures (real bugs, real bad disks) still surface:
+//! they are not attempt-limited and exhaust the retry budget.
+
+use std::time::Duration;
+
+/// Injected transient/I/O faults fire at most this many times per site.
+/// Matches the default retry budget of [`FaultPolicy`], so default-policy
+/// runs always recover from injected faults.
+pub const MAX_FAULTS_PER_SITE: u32 = 2;
+
+/// FNV-1a, 64-bit: tiny, dependency-free, stable across platforms. Used
+/// for fault decisions here and for content fingerprints in the journal
+/// and artifact cache.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A seeded chaos plan: which fault fires at which site.
+///
+/// Rates are per-mille (0–1000). The plan is `Copy` and carries no
+/// state; share it freely across worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    transient_per_mille: u32,
+    io_per_mille: u32,
+    death_per_mille: u32,
+}
+
+impl FaultPlan {
+    /// A plan with the default rates: 300‰ transient machine faults,
+    /// 250‰ I/O errors, 120‰ worker deaths.
+    pub fn new(seed: u64) -> Self {
+        Self::with_rates(seed, 300, 250, 120)
+    }
+
+    /// A plan with explicit per-mille rates (each clamped to 1000).
+    pub fn with_rates(seed: u64, transient: u32, io: u32, death: u32) -> Self {
+        FaultPlan {
+            seed,
+            transient_per_mille: transient.min(1000),
+            io_per_mille: io.min(1000),
+            death_per_mille: death.min(1000),
+        }
+    }
+
+    /// The chaos seed this plan derives every decision from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether a transient fault (a machine dropping out of a
+    /// measurement, an experiment failing sporadically) fires at `site`
+    /// on retry number `attempt`. Never fires once `attempt` reaches
+    /// [`MAX_FAULTS_PER_SITE`].
+    pub fn transient(&self, site: &str, attempt: u32) -> bool {
+        attempt < MAX_FAULTS_PER_SITE
+            && self.roll("transient", site, attempt, self.transient_per_mille)
+    }
+
+    /// Whether an I/O error (journal, cache, or artifact write) fires at
+    /// `site` on retry number `attempt`. Never fires once `attempt`
+    /// reaches [`MAX_FAULTS_PER_SITE`].
+    pub fn io_error(&self, site: &str, attempt: u32) -> bool {
+        attempt < MAX_FAULTS_PER_SITE && self.roll("io", site, attempt, self.io_per_mille)
+    }
+
+    /// Whether the worker dies at `site`. Unlike the transient/I/O
+    /// decisions this is not attempt-limited: the caller must place
+    /// death sites *after* a durable commit (e.g. right after a machine's
+    /// shard is journaled), so every resumed run makes monotonic progress
+    /// and never revisits a site that already killed it.
+    pub fn worker_death(&self, site: &str) -> bool {
+        self.roll("death", site, 0, self.death_per_mille)
+    }
+
+    fn roll(&self, kind: &str, site: &str, attempt: u32, per_mille: u32) -> bool {
+        let decision = format!(
+            "chaos={}\nkind={kind}\nsite={site}\nattempt={attempt}\n",
+            self.seed
+        );
+        fnv1a64(decision.as_bytes()) % 1000 < per_mille as u64
+    }
+}
+
+/// How the pipeline reacts to transient failures: how often to retry and
+/// how long to back off between attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPolicy {
+    /// Retries after the first failure before giving up. The default (2)
+    /// equals [`MAX_FAULTS_PER_SITE`], so injected faults always recover.
+    pub max_retries: u32,
+    /// Base backoff before the first retry; doubles per attempt (see
+    /// [`FaultPolicy::backoff_for`]).
+    pub backoff: Duration,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        FaultPolicy {
+            max_retries: MAX_FAULTS_PER_SITE,
+            backoff: Duration::from_millis(25),
+        }
+    }
+}
+
+impl FaultPolicy {
+    /// A policy with an explicit retry budget and base backoff.
+    pub fn new(max_retries: u32, backoff: Duration) -> Self {
+        FaultPolicy {
+            max_retries,
+            backoff,
+        }
+    }
+
+    /// Exponential backoff before retry `attempt` (0-based), capped at
+    /// 64x the base so a misconfigured budget cannot sleep forever.
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        self.backoff * 2u32.pow(attempt.min(6))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_and_seed_dependent() {
+        let a = FaultPlan::new(7);
+        let b = FaultPlan::new(7);
+        let c = FaultPlan::new(8);
+        let mut agree = 0;
+        let mut differ = 0;
+        for site in 0..200 {
+            let site = format!("campaign.machine.{site}");
+            assert_eq!(a.transient(&site, 0), b.transient(&site, 0));
+            assert_eq!(a.io_error(&site, 1), b.io_error(&site, 1));
+            assert_eq!(a.worker_death(&site), b.worker_death(&site));
+            if a.transient(&site, 0) == c.transient(&site, 0) {
+                agree += 1;
+            } else {
+                differ += 1;
+            }
+        }
+        assert!(differ > 0, "different seeds must differ somewhere");
+        assert!(agree > 0);
+    }
+
+    #[test]
+    fn rates_roughly_match_over_many_sites() {
+        let plan = FaultPlan::with_rates(42, 300, 250, 120);
+        let n = 10_000;
+        let transient = (0..n)
+            .filter(|i| plan.transient(&format!("s{i}"), 0))
+            .count();
+        let death = (0..n)
+            .filter(|i| plan.worker_death(&format!("s{i}")))
+            .count();
+        // 300 per mille +- a generous tolerance.
+        assert!((2_500..3_500).contains(&transient), "{transient}");
+        assert!((800..1_600).contains(&death), "{death}");
+    }
+
+    #[test]
+    fn injection_budget_respects_the_default_retry_budget() {
+        // A plan at 1000 per mille fires on every eligible attempt, but
+        // never on attempt MAX_FAULTS_PER_SITE — so the default policy
+        // always reaches a fault-free attempt.
+        let plan = FaultPlan::with_rates(1, 1000, 1000, 1000);
+        let policy = FaultPolicy::default();
+        for attempt in 0..MAX_FAULTS_PER_SITE {
+            assert!(plan.transient("x", attempt));
+            assert!(plan.io_error("x", attempt));
+        }
+        assert!(!plan.transient("x", MAX_FAULTS_PER_SITE));
+        assert!(!plan.io_error("x", MAX_FAULTS_PER_SITE));
+        assert!(policy.max_retries >= MAX_FAULTS_PER_SITE);
+    }
+
+    #[test]
+    fn zero_rates_never_fire() {
+        let plan = FaultPlan::with_rates(9, 0, 0, 0);
+        for i in 0..100 {
+            let site = format!("s{i}");
+            assert!(!plan.transient(&site, 0));
+            assert!(!plan.io_error(&site, 0));
+            assert!(!plan.worker_death(&site));
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let policy = FaultPolicy::new(3, Duration::from_millis(10));
+        assert_eq!(policy.backoff_for(0), Duration::from_millis(10));
+        assert_eq!(policy.backoff_for(1), Duration::from_millis(20));
+        assert_eq!(policy.backoff_for(2), Duration::from_millis(40));
+        assert_eq!(policy.backoff_for(100), Duration::from_millis(640));
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+}

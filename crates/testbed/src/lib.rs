@@ -29,6 +29,7 @@ mod allocation;
 mod cluster;
 mod derive;
 mod distributions;
+pub mod faults;
 mod hardware;
 mod interference;
 mod machine;
@@ -39,6 +40,7 @@ pub use allocation::{allocate, AllocationPolicy};
 pub use cluster::Cluster;
 pub use derive::{machine_stream, stream_seed};
 pub use distributions::Dist;
+pub use faults::{FaultPlan, FaultPolicy, MAX_FAULTS_PER_SITE};
 pub use hardware::{catalog, find_type, DiskKind, MachineType, Subsystem};
 pub use interference::InterferenceModel;
 pub use machine::{Machine, MachineId};

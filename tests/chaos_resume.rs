@@ -1,0 +1,203 @@
+//! The fault-model contract of DESIGN.md §8, end to end: inject faults
+//! or kill workers anywhere, resume from the shard journal, and the
+//! final store is **byte-identical** to an uninterrupted fault-free run
+//! — for any seed, any chaos seed, and any worker count. Also the
+//! recovery guarantees: a completed journal resumes as a pure no-op,
+//! and a corrupted shard is quietly re-collected rather than trusted.
+
+use std::path::PathBuf;
+
+use dataset::{
+    collect_jobs, collect_resumable, CampaignConfig, CampaignError, CollectOptions, Collected,
+    ShardJournal,
+};
+use proptest::prelude::*;
+use testbed::{catalog, Cluster, FaultPlan, FaultPolicy, Timeline};
+use workloads::BenchmarkId;
+
+/// A campaign small enough to collect dozens of times in one test, with
+/// enough machines that shard chunking and per-machine kills are
+/// exercised.
+fn tiny_config(seed: u64) -> CampaignConfig {
+    let mut config = CampaignConfig::quick(seed);
+    config.machines_per_type = Some(1);
+    config.session_every_days = 60.0;
+    config.benchmarks = vec![BenchmarkId::MemTriad, BenchmarkId::DiskSeqRead];
+    config
+}
+
+fn provision(config: &CampaignConfig) -> Cluster {
+    Cluster::provision(
+        catalog(),
+        config.scale,
+        Timeline::cloudlab_default(),
+        config.seed,
+    )
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "chaos-resume-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ))
+}
+
+/// Loops `collect_resumable` until it completes, counting chaos kills.
+/// Panics if resume fails to converge within one kill per machine plus
+/// slack, which would mean a killed worker re-visits its commit site.
+fn collect_until_complete(
+    cluster: &Cluster,
+    config: &CampaignConfig,
+    options: &CollectOptions<'_>,
+) -> (Collected, usize) {
+    let budget = cluster.machines().len() + 2;
+    let mut kills = 0usize;
+    loop {
+        match collect_resumable(cluster, config, options) {
+            Ok(collected) => return (collected, kills),
+            Err(CampaignError::WorkerKilled { .. }) => {
+                kills += 1;
+                assert!(
+                    kills <= budget,
+                    "resume did not converge within {budget} kills"
+                );
+            }
+            Err(e) => panic!("unexpected campaign error: {e}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The tentpole invariant: for ANY (seed, chaos seed, worker count),
+    /// killing and injecting at the chaos plan's deterministic sites and
+    /// resuming from the journal converges to the exact store an
+    /// uninterrupted fault-free run produces.
+    #[test]
+    fn kill_or_inject_anywhere_then_resume_is_byte_identical(
+        seed in 0..4u64,
+        chaos in 1..512u64,
+        jobs in 1..4usize,
+    ) {
+        let config = tiny_config(seed);
+        let cluster = provision(&config);
+        let golden = collect_jobs(&cluster, &config, Some(1));
+        let dir = temp_dir(&format!("prop-{seed}-{chaos}-{jobs}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let journal = ShardJournal::open(&dir, &config).expect("journal opens");
+        let options = CollectOptions {
+            jobs: Some(jobs),
+            journal: Some(&journal),
+            faults: Some(FaultPlan::with_rates(chaos, 350, 300, 300)),
+            policy: FaultPolicy::default(),
+        };
+        let (collected, _kills) = collect_until_complete(&cluster, &config, &options);
+        prop_assert_eq!(collected.store, golden);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Resuming a completed journal is a pure replay: zero machines are
+    /// re-collected and the store still matches, whatever faults are
+    /// armed (injection only fires on the collect path).
+    #[test]
+    fn completed_run_resumes_as_a_noop(seed in 0..4u64, chaos in 1..512u64) {
+        let config = tiny_config(seed);
+        let cluster = provision(&config);
+        let golden = collect_jobs(&cluster, &config, Some(1));
+        let dir = temp_dir(&format!("noop-{seed}-{chaos}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let journal = ShardJournal::open(&dir, &config).expect("journal opens");
+        let options = CollectOptions {
+            jobs: Some(2),
+            journal: Some(&journal),
+            faults: Some(FaultPlan::with_rates(chaos, 350, 300, 300)),
+            policy: FaultPolicy::default(),
+        };
+        let (first, _) = collect_until_complete(&cluster, &config, &options);
+        prop_assert_eq!(&first.store, &golden);
+        let (resumed, kills) = collect_until_complete(&cluster, &config, &options);
+        prop_assert_eq!(kills, 0, "a full journal leaves nothing to kill");
+        prop_assert_eq!(resumed.report.collected, 0, "no machine is re-collected");
+        let shards = journal.shard_count().expect("journal dir is readable");
+        prop_assert_eq!(resumed.report.replayed, shards);
+        prop_assert_eq!(resumed.store, golden);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A truncated shard must not be trusted: the loader rejects it and the
+/// machine is re-collected, restoring the golden store.
+#[test]
+fn corrupted_shard_is_recollected_not_trusted() {
+    let config = tiny_config(7);
+    let cluster = provision(&config);
+    let golden = collect_jobs(&cluster, &config, Some(1));
+    let dir = temp_dir("corrupt");
+    let _ = std::fs::remove_dir_all(&dir);
+    let journal = ShardJournal::open(&dir, &config).expect("journal opens");
+    let options = CollectOptions {
+        jobs: Some(2),
+        journal: Some(&journal),
+        ..CollectOptions::default()
+    };
+    let first = collect_resumable(&cluster, &config, &options).expect("fault-free run completes");
+    assert_eq!(first.store, golden);
+
+    // Truncate one shard to half its bytes: checksum validation fails,
+    // load returns None, and only that machine is re-collected.
+    let shard = std::fs::read_dir(&dir)
+        .expect("journal dir exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .find(|p| p.extension().is_some_and(|x| x == "shard"))
+        .expect("at least one shard");
+    let bytes = std::fs::read(&shard).expect("shard readable");
+    std::fs::write(&shard, &bytes[..bytes.len() / 2]).expect("truncation written");
+
+    let resumed = collect_resumable(&cluster, &config, &options).expect("resume completes");
+    assert_eq!(
+        resumed.report.collected, 1,
+        "only the corrupt shard is redone"
+    );
+    assert_eq!(resumed.store, golden, "the store heals byte-identically");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Full-stack convergence at quick scale through `Context::build` — the
+/// exact path `repro --resume --chaos` drives: worker deaths abort the
+/// build, resume replays the journal, and the final context matches a
+/// plain build.
+#[test]
+fn context_chaos_with_journal_converges_to_the_plain_build() {
+    use analysis::{Context, Scale};
+
+    let plain = Context::with_jobs(Scale::Quick, 21, Some(2));
+    let dir = temp_dir("ctx");
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = Scale::Quick.campaign(21);
+    let journal = ShardJournal::open(&dir, &config).expect("journal opens");
+    let options = CollectOptions {
+        jobs: Some(2),
+        journal: Some(&journal),
+        faults: Some(FaultPlan::with_rates(9, 300, 250, 400)),
+        policy: FaultPolicy::default(),
+    };
+    let budget = plain.cluster.machines().len() + 2;
+    let mut kills = 0usize;
+    let ctx = loop {
+        match Context::build(Scale::Quick, 21, &options) {
+            Ok((ctx, _report)) => break ctx,
+            Err(CampaignError::WorkerKilled { .. }) => {
+                kills += 1;
+                assert!(kills <= budget, "context build must converge");
+            }
+            Err(e) => panic!("unexpected campaign error: {e}"),
+        }
+    };
+    assert_eq!(
+        ctx.store, plain.store,
+        "chaos + resume reproduces the store"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
