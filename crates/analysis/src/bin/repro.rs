@@ -6,6 +6,7 @@
 //! repro F9 T3 ... [--scale ...] [--seed ...] [--out DIR] [--json]
 //! repro all --resume DIR [--chaos SEED]
 //! repro cache stats|clear [--cache-dir DIR]
+//! repro sentinel record|audit|watch|report|clear [--sentinel-dir DIR]
 //! ```
 //!
 //! Experiments run on the engine's deterministic parallel scheduler
@@ -40,6 +41,17 @@
 //! `trace.chrome.json` for chrome://tracing). A `manifest.json` recording
 //! seed, scale, host, and per-experiment wall times is written whenever
 //! `--out` is given.
+//!
+//! Every fully successful run also appends one record — wall times as
+//! audited metrics, cache/fault counters as notes — to the regression
+//! sentinel's history under `artifacts/.sentinel` (`--sentinel-dir`
+//! overrides, `--no-sentinel` disables). `repro sentinel audit` scores
+//! the newest record against the comparable history with median/MAD
+//! robust z-scores and an online CUSUM change-point pass, exiting
+//! non-zero on a flagged regression (the CI hook); `report` renders the
+//! per-metric history with change-points, `watch` polls for new records,
+//! `record` ingests a `manifest.json` or Criterion output by hand, and
+//! `clear` wipes the history. See DESIGN.md §9.
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
@@ -53,12 +65,20 @@ use std::time::Instant;
 use analysis::{all, find, Artifact, Context, Experiment, ExperimentError, Scale, Table};
 
 const USAGE: &str = "\
-usage: repro <list|all|ID...|cache stats|cache clear> [options]
+usage: repro <list|all|ID...|cache stats|cache clear|sentinel CMD> [options]
 
   list                  print the experiment registry
   all                   run every experiment
   cache stats           report artifact-cache entry count and size
   cache clear           delete all artifact-cache entries
+  sentinel record       append a run record to the history
+                        (--from DIR reads DIR/manifest.json;
+                         --criterion DIR reads Criterion estimates)
+  sentinel audit        score the newest record against its history;
+                        exits non-zero on a flagged regression
+  sentinel watch        poll the history and audit records as they land
+  sentinel report       render the per-metric history with change-points
+  sentinel clear        delete all run-history records
 
 options:
   --scale quick|paper   campaign scale (default quick)
@@ -86,6 +106,22 @@ options:
   --chaos SEED          arm deterministic fault injection (transient
                         faults, I/O errors, worker deaths) derived from
                         SEED; env REPRO_CHAOS=SEED does the same
+  --sentinel-dir DIR    run-history directory
+                        (default artifacts/.sentinel)
+  --no-sentinel         do not record this run in the history
+  --from DIR            (sentinel record) manifest directory to ingest
+  --criterion DIR       (sentinel record) Criterion output directory to
+                        ingest (e.g. target/criterion)
+  --kind NAME           (sentinel record) record kind label
+  --min-history N       (sentinel audit/watch/report) comparable priors a
+                        metric needs before it can flag (default 4)
+  --max-z Z             (sentinel audit/watch) robust z-score threshold
+                        (default 4)
+  --two-sided           (sentinel audit/watch) flag suspicious speedups
+                        too, not just regressions
+  --poll-ms MS          (sentinel watch) poll interval (default 200)
+  --iterations N        (sentinel watch) stop after N polls (default:
+                        poll forever)
   --help, -h            print this help";
 
 struct Args {
@@ -104,6 +140,17 @@ struct Args {
     no_cache: bool,
     resume: Option<PathBuf>,
     chaos: Option<u64>,
+    sentinel_cmd: Option<String>,
+    sentinel_dir: Option<PathBuf>,
+    no_sentinel: bool,
+    from: Option<PathBuf>,
+    criterion_dir: Option<PathBuf>,
+    kind: Option<String>,
+    min_history: usize,
+    max_z: f64,
+    two_sided: bool,
+    poll_ms: u64,
+    iterations: Option<u64>,
 }
 
 enum Parsed {
@@ -128,6 +175,17 @@ fn parse_args() -> Result<Parsed, String> {
         no_cache: false,
         resume: None,
         chaos: None,
+        sentinel_cmd: None,
+        sentinel_dir: None,
+        no_sentinel: false,
+        from: None,
+        criterion_dir: None,
+        kind: None,
+        min_history: 4,
+        max_z: 4.0,
+        two_sided: false,
+        poll_ms: 200,
+        iterations: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -142,6 +200,49 @@ fn parse_args() -> Result<Parsed, String> {
                     return Err(format!("unknown cache subcommand `{v}`"));
                 }
                 args.cache_cmd = Some(v);
+            }
+            "sentinel" => {
+                let v = it
+                    .next()
+                    .ok_or("sentinel needs a subcommand: record, audit, watch, report, or clear")?;
+                if !["record", "audit", "watch", "report", "clear"].contains(&v.as_str()) {
+                    return Err(format!("unknown sentinel subcommand `{v}`"));
+                }
+                args.sentinel_cmd = Some(v);
+            }
+            "--sentinel-dir" => {
+                let v = it.next().ok_or("--sentinel-dir needs a value")?;
+                args.sentinel_dir = Some(PathBuf::from(v));
+            }
+            "--no-sentinel" => args.no_sentinel = true,
+            "--from" => {
+                let v = it.next().ok_or("--from needs a directory")?;
+                args.from = Some(PathBuf::from(v));
+            }
+            "--criterion" => {
+                let v = it.next().ok_or("--criterion needs a directory")?;
+                args.criterion_dir = Some(PathBuf::from(v));
+            }
+            "--kind" => {
+                let v = it.next().ok_or("--kind needs a value")?;
+                args.kind = Some(v);
+            }
+            "--min-history" => {
+                let v = it.next().ok_or("--min-history needs a value")?;
+                args.min_history = v.parse().map_err(|_| format!("bad min-history `{v}`"))?;
+            }
+            "--max-z" => {
+                let v = it.next().ok_or("--max-z needs a value")?;
+                args.max_z = v.parse().map_err(|_| format!("bad max-z `{v}`"))?;
+            }
+            "--two-sided" => args.two_sided = true,
+            "--poll-ms" => {
+                let v = it.next().ok_or("--poll-ms needs a value")?;
+                args.poll_ms = v.parse().map_err(|_| format!("bad poll-ms `{v}`"))?;
+            }
+            "--iterations" => {
+                let v = it.next().ok_or("--iterations needs a value")?;
+                args.iterations = Some(v.parse().map_err(|_| format!("bad iterations `{v}`"))?);
             }
             "--cache-dir" => {
                 let v = it.next().ok_or("--cache-dir needs a value")?;
@@ -205,12 +306,14 @@ fn parse_args() -> Result<Parsed, String> {
     Ok(Parsed::Run(Box::new(args)))
 }
 
-/// Registry experiment plus an optional injected failure, so the failure
-/// path (`REPRO_FAIL=F9,T3 repro all`) is testable end to end without a
-/// genuinely broken pipeline.
+/// Registry experiment plus optional injected failure or slowdown, so
+/// the failure path (`REPRO_FAIL=F9,T3 repro all`) and the sentinel's
+/// regression path (`REPRO_SLOWDOWN_MS=250 repro all`) are testable end
+/// to end without a genuinely broken or slow pipeline.
 struct Wrapped {
     inner: &'static dyn Experiment,
     fail: bool,
+    slowdown: Option<std::time::Duration>,
 }
 
 impl Experiment for Wrapped {
@@ -230,12 +333,17 @@ impl Experiment for Wrapped {
         self.inner.code_version()
     }
     fn cacheable(&self) -> bool {
-        // A cached success must never mask an injected failure.
-        !self.fail && self.inner.cacheable()
+        // A cached success must never mask an injected failure, and a
+        // cache replay must never hide an injected slowdown from the
+        // sentinel's wall-time metrics.
+        !self.fail && self.slowdown.is_none() && self.inner.cacheable()
     }
     fn run(&self, ctx: &Context) -> Result<Vec<Artifact>, ExperimentError> {
         if self.fail {
             return Err(ExperimentError::new("injected failure (REPRO_FAIL)"));
+        }
+        if let Some(pause) = self.slowdown {
+            std::thread::sleep(pause);
         }
         self.inner.run(ctx)
     }
@@ -250,6 +358,221 @@ fn injected_failures() -> std::collections::HashSet<String> {
                 .collect()
         })
         .unwrap_or_default()
+}
+
+/// `REPRO_SLOWDOWN_MS=N` sleeps N ms inside every experiment — a
+/// deterministic, environment-injected regression for exercising the
+/// sentinel end to end (the CI harness's red run).
+fn injected_slowdown() -> Option<std::time::Duration> {
+    std::env::var("REPRO_SLOWDOWN_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&ms| ms > 0)
+        .map(std::time::Duration::from_millis)
+}
+
+fn sentinel_dir(args: &Args) -> PathBuf {
+    args.sentinel_dir
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("artifacts/.sentinel"))
+}
+
+fn audit_config(args: &Args) -> sentinel::AuditConfig {
+    sentinel::AuditConfig {
+        max_z: args.max_z,
+        min_history: args.min_history,
+        two_sided: args.two_sided,
+        ..Default::default()
+    }
+}
+
+/// Appends this run to the sentinel history. Recording is best-effort
+/// observability: a failure warns and never fails the run that produced
+/// perfectly good artifacts.
+fn sentinel_record_run(args: &Args, manifest: &telemetry::RunManifest) {
+    let workload = if args.ids.len() == all().len() {
+        "all".to_string()
+    } else {
+        sentinel::record::workload_fingerprint(Some(&args.ids))
+    };
+    let dir = sentinel_dir(args);
+    match sentinel::RunRecord::from_manifest(manifest, "repro-all", &workload)
+        .and_then(|rec| sentinel::HistoryStore::new(&dir).append(&rec))
+    {
+        Ok(seq) => eprintln!("sentinel: recorded run #{seq} in {}", dir.display()),
+        Err(err) => eprintln!("sentinel: could not record run: {err}"),
+    }
+}
+
+/// Audits the record at `idx` against everything before it and prints
+/// the report. Returns whether the record flagged a regression.
+fn audit_one(
+    loaded: &sentinel::LoadedHistory,
+    idx: usize,
+    config: &sentinel::AuditConfig,
+) -> Result<bool, sentinel::SentinelError> {
+    let (seq, latest) = &loaded.records[idx];
+    let priors: Vec<sentinel::RunRecord> = loaded.records[..idx]
+        .iter()
+        .map(|(_, r)| r.clone())
+        .collect();
+    let report = sentinel::audit(&priors, latest, config)?;
+    print!("run #{seq}: {}", sentinel::report::render_audit(&report));
+    Ok(report.regression())
+}
+
+fn run_sentinel(cmd: &str, args: &Args) -> ExitCode {
+    let dir = sentinel_dir(args);
+    let store = sentinel::HistoryStore::new(&dir);
+    let fail = |err: &dyn std::fmt::Display| {
+        eprintln!("sentinel {cmd} failed in {}: {err}", dir.display());
+        ExitCode::FAILURE
+    };
+    match cmd {
+        "record" => {
+            let record = if let Some(criterion_dir) = &args.criterion_dir {
+                let medians = sentinel::criterion::criterion_medians(criterion_dir);
+                if medians.is_empty() {
+                    eprintln!(
+                        "sentinel record: no Criterion estimates under {}",
+                        criterion_dir.display()
+                    );
+                    return ExitCode::FAILURE;
+                }
+                let kind = args.kind.as_deref().unwrap_or("bench");
+                let mut rec = sentinel::RunRecord::new(
+                    kind,
+                    "criterion",
+                    env!("CARGO_PKG_VERSION"),
+                    args.seed,
+                    "bench",
+                );
+                for (name, median) in &medians {
+                    if let Err(err) = rec.push_metric(name, *median) {
+                        return fail(&err);
+                    }
+                }
+                rec
+            } else if let Some(from) = &args.from {
+                let path = if from.is_dir() {
+                    from.join("manifest.json")
+                } else {
+                    from.clone()
+                };
+                let manifest = match std::fs::read_to_string(&path)
+                    .map_err(|e| e.to_string())
+                    .and_then(|text| {
+                        telemetry::RunManifest::from_json(&text).map_err(|e| e.to_string())
+                    }) {
+                    Ok(m) => m,
+                    Err(err) => {
+                        eprintln!("sentinel record: cannot read {}: {err}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let kind = args.kind.as_deref().unwrap_or("repro-all");
+                match sentinel::RunRecord::from_manifest(&manifest, kind, "all") {
+                    Ok(rec) => rec,
+                    Err(err) => return fail(&err),
+                }
+            } else {
+                eprintln!("sentinel record needs --from DIR or --criterion DIR");
+                return ExitCode::FAILURE;
+            };
+            match store.append(&record) {
+                Ok(seq) => {
+                    println!("sentinel: recorded run #{seq} in {}", dir.display());
+                    ExitCode::SUCCESS
+                }
+                Err(err) => fail(&err),
+            }
+        }
+        "audit" => {
+            let loaded = match store.load() {
+                Ok(l) => l,
+                Err(err) => return fail(&err),
+            };
+            if loaded.corrupt > 0 {
+                eprintln!(
+                    "sentinel: skipped {} corrupt record file(s)",
+                    loaded.corrupt
+                );
+            }
+            if loaded.records.is_empty() {
+                println!("sentinel audit: history is empty; nothing to audit");
+                return ExitCode::SUCCESS;
+            }
+            match audit_one(&loaded, loaded.records.len() - 1, &audit_config(args)) {
+                Ok(true) => ExitCode::FAILURE,
+                Ok(false) => ExitCode::SUCCESS,
+                Err(err) => fail(&err),
+            }
+        }
+        "watch" => {
+            let config = audit_config(args);
+            let poll = std::time::Duration::from_millis(args.poll_ms.max(1));
+            let mut last_seq = match store.load() {
+                Ok(l) => l.records.last().map_or(0, |(seq, _)| *seq),
+                Err(err) => return fail(&err),
+            };
+            eprintln!(
+                "sentinel watch: {} (from run #{last_seq}, every {}ms)",
+                dir.display(),
+                poll.as_millis()
+            );
+            let mut remaining = args.iterations;
+            let mut regressed = false;
+            loop {
+                if let Some(r) = &mut remaining {
+                    if *r == 0 {
+                        break;
+                    }
+                    *r -= 1;
+                }
+                std::thread::sleep(poll);
+                let loaded = match store.load() {
+                    Ok(l) => l,
+                    Err(err) => return fail(&err),
+                };
+                for idx in 0..loaded.records.len() {
+                    if loaded.records[idx].0 <= last_seq {
+                        continue;
+                    }
+                    last_seq = loaded.records[idx].0;
+                    match audit_one(&loaded, idx, &config) {
+                        Ok(flag) => regressed |= flag,
+                        Err(err) => return fail(&err),
+                    }
+                }
+            }
+            if regressed {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        "report" => match store.load() {
+            Ok(loaded) => {
+                let cusum = varstats::online::OnlineCusumConfig {
+                    warm_up: args.min_history.max(2),
+                    ..Default::default()
+                };
+                print!("{}", sentinel::report::render_history(&loaded, None, cusum));
+                ExitCode::SUCCESS
+            }
+            Err(err) => fail(&err),
+        },
+        _ => match store.clear() {
+            Ok(removed) => {
+                println!(
+                    "sentinel {}: removed {removed} records",
+                    store.dir().display()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(err) => fail(&err),
+        },
+    }
 }
 
 /// Writes `payload` to `path` via a temp file in the same directory plus
@@ -445,6 +768,9 @@ fn main() -> ExitCode {
             },
         };
     }
+    if let Some(cmd) = &args.sentinel_cmd {
+        return run_sentinel(cmd, &args);
+    }
     if args.list {
         println!("{:<4}  {:<6}  {:<6}  title", "id", "kind", "cost");
         for e in all() {
@@ -464,12 +790,14 @@ fn main() -> ExitCode {
     }
     // Resolve ids before paying for the campaign.
     let fail_ids = injected_failures();
+    let slowdown = injected_slowdown();
     let mut wrapped = Vec::new();
     for id in &args.ids {
         match find(id) {
             Some(e) => wrapped.push(Wrapped {
                 inner: e,
                 fail: fail_ids.contains(&e.id().to_ascii_uppercase()),
+                slowdown,
             }),
             None => {
                 eprintln!("unknown experiment id `{id}` (see `repro list`)");
@@ -688,6 +1016,11 @@ fn main() -> ExitCode {
             failures.len()
         );
         return ExitCode::FAILURE;
+    }
+    // Only fully successful runs join the baseline: a run with failed
+    // experiments has misleading wall times.
+    if !args.no_sentinel {
+        sentinel_record_run(&args, &manifest);
     }
     ExitCode::SUCCESS
 }

@@ -9,7 +9,11 @@ use std::path::{Path, PathBuf};
 use std::process::Command;
 
 fn repro() -> Command {
-    Command::new(env!("CARGO_BIN_EXE_repro"))
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_repro"));
+    // Successful runs auto-record into the sentinel history; tests must
+    // not append to the developer's real baseline.
+    cmd.arg("--no-sentinel");
+    cmd
 }
 
 fn temp_root(label: &str) -> PathBuf {
@@ -72,12 +76,12 @@ fn repro_all_twice_hits_every_experiment_and_replays_the_bytes() {
     };
     let (stdout_cold, stderr_cold) = run(&root.join("out1"));
     assert!(
-        stderr_cold.contains("cache: 0 hits, 24 misses, 0 invalidated, 24 stored"),
+        stderr_cold.contains("cache: 0 hits, 0 invalidated, 24 misses, 24 stored"),
         "cold summary wrong:\n{stderr_cold}"
     );
     let (stdout_hot, stderr_hot) = run(&root.join("out2"));
     assert!(
-        stderr_hot.contains("cache: 24 hits, 0 misses, 0 invalidated, 0 stored"),
+        stderr_hot.contains("cache: 24 hits, 0 invalidated, 0 misses, 0 stored"),
         "hot summary wrong:\n{stderr_hot}"
     );
     let progress = stderr_hot
@@ -229,7 +233,7 @@ fn injected_failures_are_never_cached_or_masked_by_the_cache() {
     };
     let stderr = run_failing();
     assert!(
-        stderr.contains("cache: 0 hits, 0 misses, 0 invalidated, 0 stored"),
+        stderr.contains("cache: 0 hits, 0 invalidated, 0 misses, 0 stored"),
         "a failure-injected experiment never touches the cache:\n{stderr}"
     );
     // Populate the cache with a genuine success...

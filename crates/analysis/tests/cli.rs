@@ -3,7 +3,11 @@
 use std::process::Command;
 
 fn repro() -> Command {
-    Command::new(env!("CARGO_BIN_EXE_repro"))
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_repro"));
+    // Successful runs auto-record into the sentinel history; tests must
+    // not append to the developer's real baseline.
+    cmd.arg("--no-sentinel");
+    cmd
 }
 
 #[test]

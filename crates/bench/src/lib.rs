@@ -1,1 +1,80 @@
 //! Benchmark-only crate: see the `benches/` directory.
+//!
+//! The one library export feeds Criterion results into the regression
+//! sentinel, so `cargo bench` runs join the same audited history as
+//! `repro all` and campaign runs:
+//!
+//! ```no_run
+//! bench::record_criterion_run(
+//!     std::path::Path::new("target/criterion"),
+//!     std::path::Path::new("artifacts/.sentinel"),
+//! ).unwrap();
+//! ```
+//!
+//! (`repro sentinel record --criterion target/criterion` does the same
+//! from the CLI.)
+
+use std::path::Path;
+
+/// Records one `bench`-kind run in the sentinel history: every
+/// Criterion median found under `criterion_dir` becomes an audited
+/// `bench.<name>.median_ns` metric. Returns the appended sequence
+/// number.
+///
+/// # Errors
+///
+/// Returns an error when no estimates are found (nothing to record is
+/// more likely a wrong path than an empty benchmark suite) or when the
+/// history cannot be written.
+pub fn record_criterion_run(criterion_dir: &Path, history_dir: &Path) -> sentinel::Result<u64> {
+    let medians = sentinel::criterion::criterion_medians(criterion_dir);
+    if medians.is_empty() {
+        return Err(sentinel::SentinelError::InvalidConfig(format!(
+            "no Criterion estimates under {}",
+            criterion_dir.display()
+        )));
+    }
+    let mut rec =
+        sentinel::RunRecord::new("bench", "criterion", env!("CARGO_PKG_VERSION"), 0, "bench");
+    for (name, median) in &medians {
+        rec.push_metric(name, *median)?;
+    }
+    sentinel::HistoryStore::new(history_dir).append(&rec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    #[test]
+    fn criterion_output_round_trips_into_the_history() {
+        let root = std::env::temp_dir().join(format!(
+            "bench-sentinel-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&root);
+        let criterion = root.join("criterion");
+        let new = criterion.join("confirm_quick").join("new");
+        fs::create_dir_all(&new).unwrap();
+        fs::write(
+            new.join("estimates.json"),
+            "{\"median\": {\"point_estimate\": 123.5}}",
+        )
+        .unwrap();
+        let history = root.join("history");
+
+        let seq = record_criterion_run(&criterion, &history).unwrap();
+        assert_eq!(seq, 1);
+        let loaded = sentinel::HistoryStore::new(&history).load().unwrap();
+        assert_eq!(loaded.records.len(), 1);
+        let rec = &loaded.records[0].1;
+        assert_eq!(rec.kind, "bench");
+        assert_eq!(rec.metrics["bench.confirm_quick.median_ns"], 123.5);
+
+        // An empty or wrong directory is an error, not a silent no-op.
+        assert!(record_criterion_run(&root.join("nope"), &history).is_err());
+        let _ = fs::remove_dir_all(&root);
+    }
+}

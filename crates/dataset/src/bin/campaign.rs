@@ -4,6 +4,7 @@
 //! ```text
 //! campaign [--scale quick|paper] [--seed N] [--jobs N] [--out FILE.csv]
 //!          [--resume DIR] [--chaos SEED]
+//!          [--sentinel-dir DIR] [--no-sentinel]
 //! ```
 //!
 //! `--resume DIR` journals completed per-machine shards into DIR and
@@ -11,6 +12,11 @@
 //! with a byte-identical store. `--chaos SEED` arms deterministic fault
 //! injection (see DESIGN.md §8); transient faults retry with bounded
 //! backoff and a chaos-killed worker exits non-zero with a resume hint.
+//!
+//! A successful run appends one `campaign`-kind record (collection wall
+//! time as the audited metric) to the regression sentinel history under
+//! `artifacts/.sentinel`; `--sentinel-dir` overrides, `--no-sentinel`
+//! disables. `repro sentinel audit|report` consumes it (DESIGN.md §9).
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
@@ -24,14 +30,17 @@ use dataset::{
 use testbed::{FaultPlan, FaultPolicy};
 
 const USAGE: &str = "usage: campaign [--scale quick|paper] [--seed N] [--jobs N] \
-[--out FILE.csv] [--resume DIR] [--chaos SEED]";
+[--out FILE.csv] [--resume DIR] [--chaos SEED] [--sentinel-dir DIR] [--no-sentinel]";
 
 struct Args {
     config: CampaignConfig,
+    scale: String,
     jobs: Option<usize>,
     out: Option<String>,
     resume: Option<PathBuf>,
     chaos: Option<u64>,
+    sentinel_dir: Option<PathBuf>,
+    no_sentinel: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -41,6 +50,8 @@ fn parse_args() -> Result<Args, String> {
     let mut out = None;
     let mut resume = None;
     let mut chaos = None;
+    let mut sentinel_dir = None;
+    let mut no_sentinel = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -70,6 +81,12 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--chaos needs a seed")?;
                 chaos = Some(v.parse().map_err(|_| format!("bad chaos seed `{v}`"))?);
             }
+            "--sentinel-dir" => {
+                sentinel_dir = Some(PathBuf::from(
+                    it.next().ok_or("--sentinel-dir needs a value")?,
+                ));
+            }
+            "--no-sentinel" => no_sentinel = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -89,11 +106,40 @@ fn parse_args() -> Result<Args, String> {
     };
     Ok(Args {
         config,
+        scale,
         jobs,
         out,
         resume,
         chaos,
+        sentinel_dir,
+        no_sentinel,
     })
+}
+
+/// Appends this campaign to the sentinel run history. Best-effort
+/// observability: failures warn, they never fail a run that collected a
+/// perfectly good store.
+fn sentinel_record_run(args: &Args, collect_wall_secs: f64, measurements: u64, machines: u64) {
+    let dir = args
+        .sentinel_dir
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("artifacts/.sentinel"));
+    let mut rec = sentinel::RunRecord::new(
+        "campaign",
+        "campaign",
+        env!("CARGO_PKG_VERSION"),
+        args.config.seed,
+        &args.scale,
+    );
+    rec.push_note("measurements", &measurements.to_string());
+    rec.push_note("machines", &machines.to_string());
+    match rec
+        .push_metric("collect_wall_secs", collect_wall_secs)
+        .and_then(|()| sentinel::HistoryStore::new(&dir).append(&rec))
+    {
+        Ok(seq) => eprintln!("sentinel: recorded run #{seq} in {}", dir.display()),
+        Err(err) => eprintln!("sentinel: could not record run: {err}"),
+    }
 }
 
 fn main() -> ExitCode {
@@ -125,6 +171,7 @@ fn main() -> ExitCode {
         faults,
         policy: FaultPolicy::default(),
     };
+    let collect_started = std::time::Instant::now();
     let (_cluster, collected) = match run_campaign_resumable(&args.config, &options) {
         Ok(run) => run,
         Err(err) => {
@@ -138,6 +185,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let collect_wall_secs = collect_started.elapsed().as_secs_f64();
     let store = collected.store;
     if journal.is_some() {
         eprintln!(
@@ -159,7 +207,7 @@ fn main() -> ExitCode {
     for (bench, count) in &o.per_benchmark {
         println!("  {:16} {count}", bench.label());
     }
-    if let Some(path) = args.out {
+    if let Some(path) = &args.out {
         // CSV export is atomic like every other artifact: write a temp
         // file beside the target, rename on success.
         let tmp = format!("{path}.tmp.{}", std::process::id());
@@ -175,12 +223,20 @@ fn main() -> ExitCode {
             let _ = std::fs::remove_file(&tmp);
             return ExitCode::FAILURE;
         }
-        if let Err(e) = std::fs::rename(&tmp, &path) {
+        if let Err(e) = std::fs::rename(&tmp, path) {
             eprintln!("cannot rename {tmp} to {path}: {e}");
             let _ = std::fs::remove_file(&tmp);
             return ExitCode::FAILURE;
         }
         eprintln!("wrote {path}");
+    }
+    if !args.no_sentinel {
+        sentinel_record_run(
+            &args,
+            collect_wall_secs,
+            o.measurements as u64,
+            o.machines as u64,
+        );
     }
     ExitCode::SUCCESS
 }

@@ -1,0 +1,164 @@
+//! Ingesting Criterion benchmark output into the history.
+//!
+//! Criterion writes `target/criterion/<bench>/new/estimates.json` after
+//! every run. The sentinel wants exactly one number per bench — the
+//! median point estimate, in nanoseconds — and must not grow a JSON
+//! dependency for it (the sentinel sits below `analysis` in the crate
+//! graph), so this module scans the two-level key path
+//! `"median" → "point_estimate"` by hand. The scan is deliberately
+//! narrow: anything unexpected yields no metric rather than a wrong
+//! one.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+/// Extracts `"median": { ... "point_estimate": <number> ... }` from a
+/// Criterion estimates file. Returns `None` when the shape is not
+/// recognized.
+pub fn median_point_estimate(json: &str) -> Option<f64> {
+    let median_key = json.find("\"median\"")?;
+    let object_start = json[median_key..].find('{')? + median_key;
+    // The median object ends at the matching brace; Criterion estimates
+    // contain no nested objects below the estimate level other than
+    // "confidence_interval", so track depth to find the real end.
+    let mut depth = 0usize;
+    let mut object_end = object_start;
+    for (i, b) in json[object_start..].bytes().enumerate() {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    object_end = object_start + i;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    if object_end == object_start {
+        return None;
+    }
+    let object = &json[object_start..=object_end];
+    // point_estimate also appears inside confidence_interval objects;
+    // take the one at depth 1 of the median object.
+    let mut search_from = 0usize;
+    loop {
+        let rel = object[search_from..].find("\"point_estimate\"")?;
+        let abs = search_from + rel;
+        let depth = object[..abs].bytes().fold(0usize, |d, b| match b {
+            b'{' => d + 1,
+            b'}' => d.saturating_sub(1),
+            _ => d,
+        });
+        if depth == 1 {
+            let after_colon = object[abs..].find(':')? + abs + 1;
+            let number: String = object[after_colon..]
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+                .collect();
+            return number.parse::<f64>().ok().filter(|v| v.is_finite());
+        }
+        search_from = abs + 1;
+    }
+}
+
+/// Walks a Criterion output directory (`target/criterion`) and returns
+/// `bench.<name>.median_ns` metrics for every
+/// `<name>/new/estimates.json` found, in name order. Benches whose
+/// estimates cannot be parsed are silently skipped — a half-written
+/// file must not block recording the rest.
+pub fn criterion_medians(dir: &Path) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return out,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if !path.is_dir() {
+            continue;
+        }
+        let name = match path.file_name() {
+            Some(n) => n.to_string_lossy().into_owned(),
+            None => continue,
+        };
+        if name == "report" {
+            continue; // Criterion's HTML summary, not a bench
+        }
+        let estimates = path.join("new").join("estimates.json");
+        let Ok(json) = fs::read_to_string(&estimates) else {
+            continue;
+        };
+        if let Some(median) = median_point_estimate(&json) {
+            // Metric names must be whitespace-free for the record codec.
+            let clean = name.replace(char::is_whitespace, "_");
+            out.insert(format!("bench.{clean}.median_ns"), median);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+        "mean": {"confidence_interval": {"confidence_level": 0.95, "lower_bound": 100.0, "upper_bound": 120.0}, "point_estimate": 110.0, "standard_error": 5.0},
+        "median": {"confidence_interval": {"confidence_level": 0.95, "lower_bound": 95.5, "upper_bound": 105.5}, "point_estimate": 101.25, "standard_error": 2.5},
+        "std_dev": {"point_estimate": 9.0}
+    }"#;
+
+    #[test]
+    fn extracts_the_median_point_estimate_not_the_ci_bound() {
+        assert_eq!(median_point_estimate(SAMPLE), Some(101.25));
+    }
+
+    #[test]
+    fn unrecognized_shapes_yield_none() {
+        assert_eq!(median_point_estimate("{}"), None);
+        assert_eq!(median_point_estimate("not json"), None);
+        assert_eq!(median_point_estimate("{\"median\": 5}"), None);
+        assert_eq!(
+            median_point_estimate("{\"median\": {\"point_estimate\": \"nope\"}}"),
+            None
+        );
+    }
+
+    #[test]
+    fn scans_a_criterion_directory_layout() {
+        let dir = std::env::temp_dir().join(format!(
+            "sentinel-criterion-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        for (bench, estimate) in [("confirm_quick", "11.5"), ("pelt_mean", "220.75")] {
+            let new = dir.join(bench).join("new");
+            fs::create_dir_all(&new).unwrap();
+            fs::write(
+                new.join("estimates.json"),
+                format!("{{\"median\": {{\"point_estimate\": {estimate}}}}}"),
+            )
+            .unwrap();
+        }
+        // Criterion's aggregate report dir and a torn bench are skipped.
+        fs::create_dir_all(dir.join("report")).unwrap();
+        let torn = dir.join("torn_bench").join("new");
+        fs::create_dir_all(&torn).unwrap();
+        fs::write(torn.join("estimates.json"), "{\"median\": {").unwrap();
+
+        let medians = criterion_medians(&dir);
+        let names: Vec<&str> = medians.keys().map(String::as_str).collect();
+        assert_eq!(
+            names,
+            ["bench.confirm_quick.median_ns", "bench.pelt_mean.median_ns"]
+        );
+        assert_eq!(medians["bench.confirm_quick.median_ns"], 11.5);
+        assert_eq!(medians["bench.pelt_mean.median_ns"], 220.75);
+        assert_eq!(criterion_medians(&dir.join("missing")).len(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

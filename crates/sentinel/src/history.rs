@@ -1,0 +1,285 @@
+//! The durable append-only run-history store.
+//!
+//! One directory, one file per record, named by an eight-digit sequence
+//! number (`00000001.rec`, `00000002.rec`, …). Appending is crash-safe:
+//! the record is written and fsynced to a temp file, then *published*
+//! with a hard link to its final name — link either succeeds atomically
+//! or fails because a concurrent writer took the sequence number, in
+//! which case we retry with the next one. A crash at any point leaves
+//! either a complete published record or an orphan temp file the loader
+//! ignores; there is no state in which a reader sees half a record with
+//! a valid name.
+
+use crate::record::RunRecord;
+use crate::{Result, SentinelError};
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::process;
+
+/// Extension of published record files.
+const RECORD_EXT: &str = "rec";
+
+/// Everything a load pass found: decoded records (in sequence order)
+/// and how many files it had to skip.
+#[derive(Debug, Clone, Default)]
+pub struct LoadedHistory {
+    /// Decoded records with their sequence numbers, ascending.
+    pub records: Vec<(u64, RunRecord)>,
+    /// Files with a `.rec` name that failed to decode (truncated write
+    /// from a crash, bit rot, schema from the future). Skipped, never
+    /// trusted.
+    pub corrupt: usize,
+}
+
+impl LoadedHistory {
+    /// The records alone, still in sequence order.
+    pub fn into_records(self) -> Vec<RunRecord> {
+        self.records.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+/// Handle to one history directory.
+#[derive(Debug, Clone)]
+pub struct HistoryStore {
+    dir: PathBuf,
+}
+
+impl HistoryStore {
+    /// Opens (without creating) a store at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        HistoryStore { dir: dir.into() }
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn record_path(&self, seq: u64) -> PathBuf {
+        self.dir.join(format!("{seq:08}.{RECORD_EXT}"))
+    }
+
+    /// Highest published sequence number, 0 when the store is empty.
+    fn last_seq(&self) -> Result<u64> {
+        let mut last = 0u64;
+        let entries = match fs::read_dir(&self.dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e.into()),
+        };
+        for entry in entries {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(stem) = name.strip_suffix(&format!(".{RECORD_EXT}")) {
+                if let Ok(seq) = stem.parse::<u64>() {
+                    last = last.max(seq);
+                }
+            }
+        }
+        Ok(last)
+    }
+
+    /// Appends one record, returning its sequence number.
+    ///
+    /// Write discipline: encode → temp file in the same directory →
+    /// flush + `sync_all` → `hard_link(temp, final)` → unlink temp. The
+    /// link is the commit point. `EEXIST` means another writer (or a
+    /// previous crashed attempt) owns that sequence number — retry with
+    /// the next, same as the artifact cache's publish loop.
+    pub fn append(&self, record: &RunRecord) -> Result<u64> {
+        let encoded = record.encode()?;
+        fs::create_dir_all(&self.dir)?;
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{:08x}",
+            process::id(),
+            crate::fnv1a64(encoded.as_bytes())
+        ));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(encoded.as_bytes())?;
+            f.sync_all()?;
+        }
+        let mut seq = self.last_seq()? + 1;
+        loop {
+            match fs::hard_link(&tmp, self.record_path(seq)) {
+                Ok(()) => break,
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    seq += 1;
+                    if seq > u64::from(u32::MAX) {
+                        let _ = fs::remove_file(&tmp);
+                        return Err(SentinelError::Corrupt(
+                            "sequence space exhausted".to_string(),
+                        ));
+                    }
+                }
+                Err(e) => {
+                    let _ = fs::remove_file(&tmp);
+                    return Err(e.into());
+                }
+            }
+        }
+        let _ = fs::remove_file(&tmp);
+        Ok(seq)
+    }
+
+    /// Loads every readable record, ascending by sequence number.
+    /// Corrupt files are counted and skipped — a crash mid-`append` or a
+    /// damaged disk must never make the whole history unreadable.
+    pub fn load(&self) -> Result<LoadedHistory> {
+        let mut out = LoadedHistory::default();
+        let entries = match fs::read_dir(&self.dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+            Err(e) => return Err(e.into()),
+        };
+        for entry in entries {
+            let path = entry?.path();
+            let name = match path.file_name() {
+                Some(n) => n.to_string_lossy().into_owned(),
+                None => continue,
+            };
+            let seq = match name
+                .strip_suffix(&format!(".{RECORD_EXT}"))
+                .and_then(|stem| stem.parse::<u64>().ok())
+            {
+                Some(seq) => seq,
+                None => continue, // temp files, strangers: not ours to judge
+            };
+            match fs::read_to_string(&path)
+                .map_err(SentinelError::from)
+                .and_then(|text| RunRecord::decode(&text))
+            {
+                Ok(rec) => out.records.push((seq, rec)),
+                Err(_) => out.corrupt += 1,
+            }
+        }
+        out.records.sort_by_key(|(seq, _)| *seq);
+        Ok(out)
+    }
+
+    /// Removes every record file (and stray temp files), returning how
+    /// many records were deleted. Like `repro cache clear`, only files
+    /// the store itself writes are touched; anything else in the
+    /// directory survives, and the directory itself is left in place.
+    pub fn clear(&self) -> Result<usize> {
+        let mut removed = 0usize;
+        let entries = match fs::read_dir(&self.dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e.into()),
+        };
+        for entry in entries {
+            let path = entry?.path();
+            let name = match path.file_name() {
+                Some(n) => n.to_string_lossy().into_owned(),
+                None => continue,
+            };
+            let is_record = name.ends_with(&format!(".{RECORD_EXT}"))
+                && name
+                    .strip_suffix(&format!(".{RECORD_EXT}"))
+                    .is_some_and(|stem| stem.parse::<u64>().is_ok());
+            let is_temp = name.starts_with(".tmp-");
+            if is_record || is_temp {
+                fs::remove_file(&path)?;
+                if is_record {
+                    removed += 1;
+                }
+            }
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> HistoryStore {
+        let dir = std::env::temp_dir().join(format!(
+            "sentinel-history-{tag}-{}-{:?}",
+            process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        HistoryStore::new(dir)
+    }
+
+    fn record(seed: u64, wall: f64) -> RunRecord {
+        let mut r = RunRecord::new("repro-all", "repro", "0.1.0", seed, "quick");
+        r.push_metric("total_wall_secs", wall).unwrap();
+        r
+    }
+
+    #[test]
+    fn append_load_round_trips_in_order() {
+        let store = temp_store("roundtrip");
+        assert_eq!(
+            store.load().unwrap().records.len(),
+            0,
+            "empty store reads empty"
+        );
+        assert_eq!(store.append(&record(1, 1.0)).unwrap(), 1);
+        assert_eq!(store.append(&record(2, 1.1)).unwrap(), 2);
+        assert_eq!(store.append(&record(3, 1.2)).unwrap(), 3);
+        let loaded = store.load().unwrap();
+        assert_eq!(loaded.corrupt, 0);
+        let seeds: Vec<u64> = loaded.records.iter().map(|(_, r)| r.seed).collect();
+        assert_eq!(seeds, [1, 2, 3]);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn corrupt_and_foreign_files_do_not_poison_the_history() {
+        let store = temp_store("corrupt");
+        store.append(&record(1, 1.0)).unwrap();
+        store.append(&record(2, 1.1)).unwrap();
+        // A crash mid-write: temp file with partial content.
+        fs::write(store.dir().join(".tmp-999-deadbeef"), "partial").unwrap();
+        // A torn record: valid name, truncated body.
+        let text = record(3, 1.2).encode().unwrap();
+        fs::write(store.dir().join("00000003.rec"), &text[..text.len() / 2]).unwrap();
+        // A foreign file.
+        fs::write(store.dir().join("README"), "not a record").unwrap();
+        let loaded = store.load().unwrap();
+        assert_eq!(loaded.records.len(), 2);
+        assert_eq!(loaded.corrupt, 1);
+        // And appending continues past the torn record's number.
+        let seq = store.append(&record(4, 1.3)).unwrap();
+        assert_eq!(seq, 4);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn sequence_collisions_retry_instead_of_overwriting() {
+        let store = temp_store("collide");
+        store.append(&record(1, 1.0)).unwrap();
+        // Simulate a racing writer having claimed seq 2 already.
+        fs::write(store.dir().join("00000002.rec"), "squatter").unwrap();
+        let seq = store.append(&record(2, 1.1)).unwrap();
+        assert_eq!(seq, 3, "append must step over the squatter, not clobber it");
+        assert_eq!(
+            fs::read_to_string(store.dir().join("00000002.rec")).unwrap(),
+            "squatter"
+        );
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn clear_removes_only_record_and_temp_files() {
+        let store = temp_store("clear");
+        store.append(&record(1, 1.0)).unwrap();
+        store.append(&record(2, 1.1)).unwrap();
+        fs::write(store.dir().join(".tmp-1-abc"), "orphan").unwrap();
+        fs::write(store.dir().join("keep.txt"), "bystander").unwrap();
+        assert_eq!(store.clear().unwrap(), 2);
+        assert!(store.dir().join("keep.txt").exists());
+        assert!(!store.dir().join("00000001.rec").exists());
+        assert!(!store.dir().join(".tmp-1-abc").exists());
+        assert_eq!(store.load().unwrap().records.len(), 0);
+        // Clearing an empty or missing store is fine.
+        assert_eq!(store.clear().unwrap(), 0);
+        assert_eq!(temp_store("clear-missing").clear().unwrap(), 0);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+}

@@ -1,0 +1,213 @@
+//! Plain-text rendering of histories and audits.
+//!
+//! The sentinel sits below the `analysis` crate in the dependency
+//! graph, so it carries its own small fixed-width renderer instead of
+//! reusing the CLI's table type. Output is deterministic for a given
+//! history: no timestamps are printed except the ones stored in the
+//! records themselves.
+
+use crate::audit::{AuditReport, MetricStatus};
+use crate::history::LoadedHistory;
+use crate::record::RunRecord;
+use varstats::online::{online_changepoints, OnlineCusumConfig};
+
+/// Renders one line per finding:
+/// `flag? name value baseline z priors [changepoint]`.
+pub fn render_audit(report: &AuditReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "sentinel audit: {} comparable prior run(s), max_z {}\n",
+        report.history_len, report.config.max_z
+    ));
+    let name_width = report
+        .findings
+        .iter()
+        .map(|f| f.name.len())
+        .max()
+        .unwrap_or(6)
+        .max(6);
+    for f in &report.findings {
+        let mark = match f.status {
+            MetricStatus::Flagged => "FLAG",
+            MetricStatus::Ok => "  ok",
+            MetricStatus::WarmUp => "warm",
+        };
+        let z = if f.z.is_nan() {
+            "    -".to_string()
+        } else {
+            format!("{:+.2}", f.z)
+        };
+        let cp = match f.changepoint {
+            Some(i) => format!("  change-point @ {i}"),
+            None => String::new(),
+        };
+        out.push_str(&format!(
+            "{mark}  {:<name_width$}  value {:>12.6}  baseline {:>12.6}  z {z:>8}  n {:>3}{cp}\n",
+            f.name, f.value, f.baseline, f.priors
+        ));
+    }
+    match report.flagged().as_slice() {
+        [] if report.all_warm_up() && !report.findings.is_empty() => {
+            out.push_str("verdict: warm-up (history below min_history; nothing can flag)\n");
+        }
+        [] => out.push_str("verdict: pass\n"),
+        flagged => {
+            out.push_str(&format!("verdict: REGRESSION in {}\n", flagged.join(", ")));
+        }
+    }
+    out
+}
+
+/// Renders the stored history per metric: every comparable run's value
+/// in sequence order, with change-points from a fresh online scan
+/// marked inline. `focus` restricts rendering to records comparable to
+/// the given one (pass the latest record); `None` renders every record
+/// grouped by population.
+pub fn render_history(
+    loaded: &LoadedHistory,
+    focus: Option<&RunRecord>,
+    cusum: OnlineCusumConfig,
+) -> String {
+    let mut out = String::new();
+    if loaded.records.is_empty() {
+        out.push_str("sentinel history: empty\n");
+        return out;
+    }
+    out.push_str(&format!(
+        "sentinel history: {} record(s), {} corrupt file(s) skipped\n",
+        loaded.records.len(),
+        loaded.corrupt
+    ));
+    // Populations, in first-seen order.
+    let mut groups: Vec<(&RunRecord, Vec<&(u64, RunRecord)>)> = Vec::new();
+    for entry in &loaded.records {
+        if let Some(f) = focus {
+            if !entry.1.comparable_to(f) {
+                continue;
+            }
+        }
+        match groups
+            .iter_mut()
+            .find(|(probe, _)| probe.comparable_to(&entry.1))
+        {
+            Some((_, members)) => members.push(entry),
+            None => groups.push((&entry.1, vec![entry])),
+        }
+    }
+    for (probe, members) in &groups {
+        out.push_str(&format!(
+            "\npopulation kind={} scale={} workload={} ({} run(s))\n",
+            probe.kind,
+            probe.scale,
+            probe.workload,
+            members.len()
+        ));
+        // Metric names from the newest member: the current contract.
+        let latest = &members[members.len() - 1].1;
+        for name in latest.metrics.keys() {
+            let series: Vec<f64> = members
+                .iter()
+                .filter_map(|(_, r)| r.metrics.get(name).copied())
+                .collect();
+            let changepoints = online_changepoints(&series, cusum).unwrap_or_default();
+            out.push_str(&format!("  metric {name}"));
+            if !changepoints.is_empty() {
+                out.push_str(&format!("  change-points at {changepoints:?}"));
+            }
+            out.push('\n');
+            let mut si = 0usize;
+            for (seq, r) in members {
+                if let Some(v) = r.metrics.get(name) {
+                    let mark = if changepoints.contains(&si) {
+                        " <-- change-point"
+                    } else {
+                        ""
+                    };
+                    out.push_str(&format!("    #{seq:<6} seed {:<12} {v}{mark}\n", r.seed));
+                    si += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::{audit, AuditConfig};
+    use crate::history::LoadedHistory;
+
+    fn run(seed: u64, wall: f64) -> RunRecord {
+        let mut r = RunRecord::new("repro-all", "repro", "0.1.0", seed, "quick");
+        r.push_metric("total_wall_secs", wall).unwrap();
+        r
+    }
+
+    #[test]
+    fn audit_rendering_names_the_flagged_metric() {
+        let history: Vec<RunRecord> = (0..6)
+            .map(|i| run(i, 1.0 + 0.01 * (i % 3) as f64))
+            .collect();
+        let report = audit(&history, &run(9, 50.0), &AuditConfig::default()).unwrap();
+        let text = render_audit(&report);
+        assert!(
+            text.contains("verdict: REGRESSION in total_wall_secs"),
+            "{text}"
+        );
+        assert!(text.contains("FLAG"), "{text}");
+        // The excursion-start estimator may date the change a couple of
+        // jitter points before the audited index 6.
+        assert!(text.contains("change-point @ "), "{text}");
+
+        let pass = audit(&history, &run(9, 1.005), &AuditConfig::default()).unwrap();
+        let text = render_audit(&pass);
+        assert!(text.contains("verdict: pass"), "{text}");
+
+        let warm = audit(&history[..2], &run(9, 50.0), &AuditConfig::default()).unwrap();
+        let text = render_audit(&warm);
+        assert!(text.contains("verdict: warm-up"), "{text}");
+    }
+
+    #[test]
+    fn history_rendering_groups_populations_and_marks_changepoints() {
+        let mut records: Vec<(u64, RunRecord)> = (0..8)
+            .map(|i| {
+                (
+                    i + 1,
+                    // A constant baseline keeps the CUSUM statistic at
+                    // exactly zero until the step, so the scan reports
+                    // the single true change-point at index 6.
+                    run(i, if i < 6 { 1.0 } else { 9.0 }),
+                )
+            })
+            .collect();
+        let mut paper = run(99, 1.0);
+        paper.scale = "paper".to_string();
+        records.push((9, paper));
+        let loaded = LoadedHistory {
+            records,
+            corrupt: 1,
+        };
+        let cusum = OnlineCusumConfig {
+            warm_up: 2,
+            ..Default::default()
+        };
+        let text = render_history(&loaded, None, cusum);
+        assert!(
+            text.contains("8 record(s)") || text.contains("9 record(s)"),
+            "{text}"
+        );
+        assert!(text.contains("1 corrupt file(s) skipped"), "{text}");
+        assert!(text.contains("scale=quick"), "{text}");
+        assert!(text.contains("scale=paper"), "{text}");
+        assert!(text.contains("change-points at [6]"), "{text}");
+        assert!(text.contains("<-- change-point"), "{text}");
+
+        // Focus drops the paper-scale population.
+        let focused = render_history(&loaded, Some(&run(0, 1.0)), cusum);
+        assert!(!focused.contains("scale=paper"), "{focused}");
+        let empty = render_history(&LoadedHistory::default(), None, cusum);
+        assert!(empty.contains("empty"), "{empty}");
+    }
+}

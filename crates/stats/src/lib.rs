@@ -23,7 +23,9 @@
 //! * **Sample-size estimation** — Jain's parametric formula
 //!   ([`samplesize`]); the non-parametric CONFIRM procedure lives in the
 //!   companion `confirm` crate.
-//! * **Changepoint detection** — CUSUM and PELT ([`changepoint`]).
+//! * **Changepoint detection** — CUSUM and PELT ([`changepoint`]) for
+//!   batch series, plus an incremental robust CUSUM ([`online`]) that
+//!   reports regime shifts as points arrive.
 //! * **Two-sample comparison** — CI-overlap verdicts, Mann–Whitney U,
 //!   Cliff's delta ([`comparison`]).
 //!
@@ -58,6 +60,7 @@ pub mod error;
 pub mod histogram;
 pub mod independence;
 pub mod normality;
+pub mod online;
 pub mod qq;
 pub mod quantile;
 pub mod ranktests;

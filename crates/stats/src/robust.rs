@@ -1,10 +1,17 @@
-//! Robust location estimators.
+//! Robust location estimators and robust standardization.
 //!
 //! Between "the mean" (efficient, fragile) and "the median" (robust, less
 //! efficient) sits a family of estimators the measurement literature
 //! leans on: trimmed and winsorized means, and the Hodges–Lehmann
 //! pseudo-median with its exact distribution-free confidence interval
 //! (the one-sample companion of the Mann–Whitney test).
+//!
+//! The median/MAD pair also powers robust standardization
+//! ([`robust_zscore`], [`robust_zscores`]): the regression sentinel
+//! scores every incoming run against its history with these z-scores,
+//! because a single pathological run must not be able to drag the
+//! baseline it is judged against (mean/stddev z-scores have a breakdown
+//! point of 0; median/MAD hold up to 50% contamination).
 
 use crate::ci::{check_confidence, ConfidenceInterval};
 use crate::error::{check_finite, invalid, Result, StatsError};
@@ -118,6 +125,110 @@ fn walsh_averages(data: &[f64]) -> Vec<f64> {
     averages
 }
 
+/// Robust location and scale of a sample: the median paired with the
+/// normal-consistent MAD.
+///
+/// Heavily tied samples (quantized timers, counters) can collapse the
+/// MAD to zero even though the sample varies; the scale then falls back
+/// to the normal-consistent IQR (`/ 1.349`) and finally to the standard
+/// deviation, the same ladder [`crate::changepoint::robust_noise_sigma`]
+/// uses. A returned scale of exactly `0.0` therefore means the sample is
+/// constant. Every rung of the ladder is shift- and (positive-)
+/// scale-equivariant, so z-scores built from this pair are too.
+///
+/// # Errors
+///
+/// Returns an error on invalid input or fewer than 2 samples.
+pub fn robust_location_scale(data: &[f64]) -> Result<(f64, f64)> {
+    check_finite(data)?;
+    if data.len() < 2 {
+        return Err(StatsError::TooFewSamples {
+            needed: 2,
+            got: data.len(),
+        });
+    }
+    let location = crate::quantile::median(data)?;
+    let mad = crate::descriptive::mad(data)?;
+    if mad > 0.0 {
+        return Ok((location, mad));
+    }
+    let q1 = crate::quantile::quantile(data, 0.25, crate::quantile::QuantileMethod::Linear)?;
+    let q3 = crate::quantile::quantile(data, 0.75, crate::quantile::QuantileMethod::Linear)?;
+    let iqr = q3 - q1;
+    if iqr > 0.0 {
+        return Ok((location, iqr / 1.349));
+    }
+    Ok((location, crate::descriptive::std_dev(data)?))
+}
+
+/// Standardizes `x` against `(location, scale)` from
+/// [`robust_location_scale`], defining the constant-sample case: with
+/// `scale == 0` the z-score is `0` when `x` equals the location and
+/// `±inf` otherwise — any deviation from a perfectly constant baseline
+/// is infinitely surprising.
+fn standardize(x: f64, location: f64, scale: f64) -> f64 {
+    if scale > 0.0 {
+        (x - location) / scale
+    } else if x == location {
+        0.0
+    } else if x > location {
+        f64::INFINITY
+    } else {
+        f64::NEG_INFINITY
+    }
+}
+
+/// Robust z-score of one new observation `x` against a reference sample:
+/// `(x - median) / MAD` with the fallback ladder and constant-sample
+/// semantics of [`robust_location_scale`]. The reference is *not*
+/// expected to contain `x` — this is the auditor's "score the incoming
+/// run against history" primitive.
+///
+/// # Errors
+///
+/// Returns an error on invalid input, a non-finite `x`, or a reference
+/// of fewer than 2 samples.
+///
+/// # Examples
+///
+/// ```
+/// use varstats::robust::robust_zscore;
+///
+/// let history = [10.0, 10.5, 9.5, 10.2, 9.8];
+/// assert!(robust_zscore(&history, 10.1).unwrap().abs() < 1.0);
+/// assert!(robust_zscore(&history, 25.0).unwrap() > 10.0);
+/// ```
+pub fn robust_zscore(reference: &[f64], x: f64) -> Result<f64> {
+    if !x.is_finite() {
+        return Err(invalid("x", format!("must be finite, got {x}")));
+    }
+    let (location, scale) = robust_location_scale(reference)?;
+    Ok(standardize(x, location, scale))
+}
+
+/// Robust z-scores of every sample against the whole sample's median and
+/// MAD (fallback ladder and constant-sample semantics of
+/// [`robust_location_scale`]). Shift- and positive-scale-equivariant:
+/// `robust_zscores(a*x + b) == robust_zscores(x)` for `a > 0`.
+///
+/// # Errors
+///
+/// Returns an error on invalid input or fewer than 3 samples.
+pub fn robust_zscores(data: &[f64]) -> Result<Vec<f64>> {
+    check_finite(data)?;
+    if data.len() < 3 {
+        return Err(StatsError::TooFewSamples {
+            needed: 3,
+            got: data.len(),
+        });
+    }
+    let (location, scale) = robust_location_scale(data)?;
+    Ok(data
+        .iter()
+        .map(|&x| standardize(x, location, scale))
+        .collect())
+}
+
 /// Distribution-free confidence interval for the Hodges–Lehmann
 /// pseudo-median, from the Wilcoxon signed-rank distribution (normal
 /// approximation to the rank count).
@@ -225,6 +336,69 @@ mod tests {
         }
         let coverage = hits as f64 / trials as f64;
         assert!(coverage >= 0.90, "coverage {coverage}");
+    }
+
+    #[test]
+    fn zscores_on_clean_data_center_and_scale() {
+        let data: Vec<f64> = (1..=9).map(f64::from).collect();
+        let z = robust_zscores(&data).unwrap();
+        assert_eq!(z[4], 0.0, "the median scores 0");
+        assert!(z[0] < 0.0 && z[8] > 0.0);
+        assert_eq!(z[0], -z[8], "symmetric data scores symmetrically");
+    }
+
+    #[test]
+    fn zscores_constant_series_mad_zero() {
+        // MAD, IQR, and stddev are all 0: every in-place score is 0, and
+        // any deviation from the constant baseline is infinitely
+        // surprising.
+        let constant = vec![5.0; 8];
+        assert!(robust_zscores(&constant).unwrap().iter().all(|&z| z == 0.0));
+        assert_eq!(robust_zscore(&constant, 5.0).unwrap(), 0.0);
+        assert_eq!(robust_zscore(&constant, 5.1).unwrap(), f64::INFINITY);
+        assert_eq!(robust_zscore(&constant, 4.9).unwrap(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn zscores_too_few_samples() {
+        // robust_zscores needs n >= 3; robust_zscore needs 2 reference
+        // points (the auditor's minimum usable history).
+        assert!(robust_zscores(&[]).is_err());
+        assert!(robust_zscores(&[1.0]).is_err());
+        assert!(robust_zscores(&[1.0, 2.0]).is_err());
+        assert!(robust_zscore(&[1.0], 2.0).is_err());
+        assert!(robust_zscore(&[1.0, 2.0], 3.0).is_ok());
+    }
+
+    #[test]
+    fn zscores_single_outlier_stands_out_without_masking() {
+        // A mean/stddev z-score lets one huge outlier inflate the scale
+        // it is judged by (self-masking). The MAD ignores it: the
+        // outlier scores enormous, the clean points stay small.
+        let mut data: Vec<f64> = (1..=20).map(f64::from).collect();
+        data.push(1.0e6);
+        let z = robust_zscores(&data).unwrap();
+        assert!(z[20] > 1e4, "outlier z {}", z[20]);
+        assert!(z[..20].iter().all(|z| z.abs() < 2.0), "{:?}", &z[..20]);
+    }
+
+    #[test]
+    fn zscores_tied_data_fall_back_to_iqr() {
+        // 75% ties collapse the MAD to 0 while the sample still varies;
+        // the IQR rung must keep the scale finite and positive.
+        let data = [1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 2.0, 3.0];
+        let (_, scale) = robust_location_scale(&data).unwrap();
+        assert!(scale > 0.0 && scale.is_finite());
+        let z = robust_zscores(&data).unwrap();
+        assert!(z.iter().all(|z| z.is_finite()), "{z:?}");
+        assert!(z[7] > z[6]);
+    }
+
+    #[test]
+    fn zscore_rejects_non_finite_observation() {
+        let history = [1.0, 2.0, 3.0];
+        assert!(robust_zscore(&history, f64::NAN).is_err());
+        assert!(robust_zscore(&history, f64::INFINITY).is_err());
     }
 
     #[test]

@@ -69,7 +69,9 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
-pub use manifest::{CacheSection, ExperimentTiming, FaultSection, HostInfo, RunManifest};
+pub use manifest::{
+    CacheSection, ExperimentTiming, FaultSection, HostInfo, RunManifest, MANIFEST_SCHEMA_VERSION,
+};
 pub use report::{latency_summary, span_report, LatencySummary, SpanStats};
 pub use trace::{current_context, span, span_in, Span, SpanContext, SpanNode, Trace};
 

@@ -8,6 +8,14 @@
 use serde::{Deserialize, Serialize};
 use std::time::{SystemTime, UNIX_EPOCH};
 
+/// Version of the manifest schema. Bump when a field changes meaning or
+/// a consumer-visible invariant (like the [`CacheSection::summary`]
+/// ordering contract) changes. Manifests written before the field
+/// existed deserialize with `schema_version == 0`; consumers such as the
+/// regression sentinel upgrade version 0 gracefully and refuse versions
+/// *newer* than they understand rather than misreading them.
+pub const MANIFEST_SCHEMA_VERSION: u32 = 1;
+
 /// Host identification captured at manifest creation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HostInfo {
@@ -79,16 +87,24 @@ pub struct CacheSection {
 
 impl CacheSection {
     /// One-line deterministic rendering, e.g.
-    /// `cache: 24 hits, 0 misses, 0 invalidated, 0 stored`, or
+    /// `cache: 24 hits, 0 invalidated, 0 misses, 0 stored`, or
     /// `cache: disabled`. Stable across hosts and runs with equal
     /// counters.
+    ///
+    /// **Ordering contract:** counters appear in alphabetical order of
+    /// their field names (`hits`, `invalidated`, `misses`, `stored`) —
+    /// the same order the struct declares and serializes them. The
+    /// regression sentinel stores these lines in run-history records,
+    /// so the rendering must diff cleanly across runs and releases;
+    /// reordering it is a manifest-schema change
+    /// ([`MANIFEST_SCHEMA_VERSION`]).
     pub fn summary(&self) -> String {
         if !self.enabled {
             return "cache: disabled".to_string();
         }
         format!(
-            "cache: {} hits, {} misses, {} invalidated, {} stored",
-            self.hits, self.misses, self.invalidated, self.stored
+            "cache: {} hits, {} invalidated, {} misses, {} stored",
+            self.hits, self.invalidated, self.misses, self.stored
         )
     }
 }
@@ -115,15 +131,20 @@ pub struct FaultSection {
 
 impl FaultSection {
     /// One-line deterministic rendering, e.g.
-    /// `faults: 3 injected, 2 retried, 0 quarantined`, or
+    /// `faults: 3 injected, 0 quarantined, 2 retried`, or
     /// `faults: disabled`.
+    ///
+    /// **Ordering contract:** counters appear in alphabetical order of
+    /// their field names (`injected`, `quarantined`, `retried`), like
+    /// [`CacheSection::summary`] — see there for why the order is part
+    /// of the schema.
     pub fn summary(&self) -> String {
         if !self.enabled {
             return "faults: disabled".to_string();
         }
         format!(
-            "faults: {} injected, {} retried, {} quarantined",
-            self.injected, self.retried, self.quarantined
+            "faults: {} injected, {} quarantined, {} retried",
+            self.injected, self.quarantined, self.retried
         )
     }
 }
@@ -131,6 +152,11 @@ impl FaultSection {
 /// Everything needed to identify and reproduce one `repro` invocation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunManifest {
+    /// Schema version of this manifest
+    /// ([`MANIFEST_SCHEMA_VERSION`] at write time). Deserializes to 0
+    /// for manifests written before the field existed.
+    #[serde(default)]
+    pub schema_version: u32,
     /// Producing tool (e.g. `"repro"`).
     pub tool: String,
     /// Version of the producing tool.
@@ -169,6 +195,7 @@ impl RunManifest {
     /// Starts a manifest for `tool` at `version`, stamping host and time.
     pub fn new(tool: &str, version: &str, seed: u64, scale: &str) -> Self {
         RunManifest {
+            schema_version: MANIFEST_SCHEMA_VERSION,
             tool: tool.to_string(),
             version: version.to_string(),
             seed,
@@ -237,7 +264,14 @@ mod tests {
     }
 
     #[test]
-    fn cache_section_summary_is_deterministic() {
+    fn manifest_stamps_current_schema_version() {
+        let m = RunManifest::new("repro", "0.1.0", 42, "quick");
+        assert_eq!(m.schema_version, MANIFEST_SCHEMA_VERSION);
+        assert!(MANIFEST_SCHEMA_VERSION >= 1, "0 is reserved for legacy");
+    }
+
+    #[test]
+    fn cache_section_summary_is_deterministic_and_alphabetical() {
         let mut m = RunManifest::new("repro", "0.1.0", 42, "quick");
         assert_eq!(m.cache, None, "no section until the tool fills one in");
         let section = CacheSection {
@@ -248,10 +282,16 @@ mod tests {
             stored: 1,
         };
         m.cache = Some(section);
+        // Counter labels render in alphabetical order — the contract
+        // that lets history records diff cleanly across runs.
         assert_eq!(
             section.summary(),
-            "cache: 24 hits, 0 misses, 1 invalidated, 1 stored"
+            "cache: 24 hits, 1 invalidated, 0 misses, 1 stored"
         );
+        let labels = ["hits", "invalidated", "misses", "stored"];
+        let mut sorted = labels;
+        sorted.sort_unstable();
+        assert_eq!(labels, sorted);
         let disabled = CacheSection {
             enabled: false,
             hits: 0,
@@ -263,7 +303,7 @@ mod tests {
     }
 
     #[test]
-    fn fault_section_summary_is_deterministic() {
+    fn fault_section_summary_is_deterministic_and_alphabetical() {
         let mut m = RunManifest::new("repro", "0.1.0", 42, "quick");
         assert_eq!(m.faults, None, "no section until the tool fills one in");
         let section = FaultSection {
@@ -275,8 +315,12 @@ mod tests {
         m.faults = Some(section);
         assert_eq!(
             section.summary(),
-            "faults: 3 injected, 2 retried, 0 quarantined"
+            "faults: 3 injected, 0 quarantined, 2 retried"
         );
+        let labels = ["injected", "quarantined", "retried"];
+        let mut sorted = labels;
+        sorted.sort_unstable();
+        assert_eq!(labels, sorted);
         let disabled = FaultSection {
             enabled: false,
             injected: 0,

@@ -393,7 +393,14 @@ pub struct HistogramSummary {
     pub p99: Option<f64>,
 }
 
-/// Point-in-time view of every registered metric, sorted by name.
+/// Point-in-time view of every registered metric.
+///
+/// **Ordering contract:** each vector is sorted by metric name in
+/// ascending byte order (the registry is a `BTreeMap`). The `repro
+/// --metrics` summary table, `metrics.json`, and the regression
+/// sentinel's history records all inherit this order, so equal runs
+/// render and serialize identically; reordering it is a breaking change
+/// to those consumers ([`crate::manifest::MANIFEST_SCHEMA_VERSION`]).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct MetricsSnapshot {
     /// All counters.
@@ -424,7 +431,8 @@ impl MetricsSnapshot {
     }
 }
 
-/// Captures the current value of every registered metric.
+/// Captures the current value of every registered metric, sorted by
+/// name (see the [`MetricsSnapshot`] ordering contract).
 pub fn snapshot() -> MetricsSnapshot {
     let reg = registry();
     MetricsSnapshot {
@@ -654,6 +662,29 @@ mod tests {
         }
         let _restore = Restore;
         stale.inc();
+    }
+
+    #[test]
+    fn snapshot_lists_metrics_in_alphabetical_order() {
+        let _guard = crate::test_guard();
+        crate::set_enabled(true);
+        reset();
+        // Registered deliberately out of order.
+        for name in ["z.last", "a.first", "m.middle"] {
+            counter(name).inc();
+            gauge(name).set(1.0);
+            histogram(name).record(1.0);
+        }
+        let snap = snapshot();
+        crate::set_enabled(false);
+        reset();
+        let expect = ["a.first", "m.middle", "z.last"];
+        let counters: Vec<&str> = snap.counters.iter().map(|c| c.name.as_str()).collect();
+        let gauges: Vec<&str> = snap.gauges.iter().map(|g| g.name.as_str()).collect();
+        let hists: Vec<&str> = snap.histograms.iter().map(|h| h.name.as_str()).collect();
+        assert_eq!(counters, expect);
+        assert_eq!(gauges, expect);
+        assert_eq!(hists, expect);
     }
 
     #[test]

@@ -24,6 +24,10 @@
 //!   counters/gauges/log-bucketed histograms, dogfooded latency
 //!   summaries (median + non-parametric CI via `varstats`), and run
 //!   manifests. Off by default; near-zero cost while disabled.
+//! * [`sentinel`] — the regression sentinel: a durable run-history
+//!   store, median/MAD audits of every new run against its history, and
+//!   incremental (online CUSUM) change-point detection. Wired into
+//!   `repro sentinel record|audit|watch|report|clear`.
 //!
 //! ## Sixty seconds to a defensible result
 //!
@@ -57,6 +61,7 @@
 pub use analysis;
 pub use confirm;
 pub use dataset;
+pub use sentinel;
 pub use telemetry;
 pub use testbed;
 pub use workloads;

@@ -139,6 +139,38 @@ proptest! {
     }
 
     #[test]
+    fn robust_zscores_are_shift_and_scale_equivariant(
+        data in measurements(3),
+        shift in -1.0e4..1.0e4f64,
+        scale in 1.0e-2..1.0e3f64,
+    ) {
+        use taming_variability::stats::robust::robust_zscores;
+        let z = robust_zscores(&data).unwrap();
+        // z-scores of a*x + b equal the z-scores of x: the affine map
+        // moves the median and scales the MAD by |a|, cancelling out.
+        let mapped: Vec<f64> = data.iter().map(|x| scale * x + shift).collect();
+        let zm = robust_zscores(&mapped).unwrap();
+        for (a, b) in z.iter().zip(zm.iter()) {
+            if a.is_finite() && b.is_finite() {
+                let tol = 1e-6 * (1.0 + a.abs());
+                prop_assert!((a - b).abs() <= tol, "z {a} vs mapped z {b}");
+            } else {
+                // Degenerate (constant-series) infinities keep their sign.
+                prop_assert_eq!(a, b);
+            }
+        }
+        // Negative scale flips the sign instead.
+        let flipped: Vec<f64> = data.iter().map(|x| -scale * x + shift).collect();
+        let zf = robust_zscores(&flipped).unwrap();
+        for (a, b) in z.iter().zip(zf.iter()) {
+            if a.is_finite() && b.is_finite() {
+                let tol = 1e-6 * (1.0 + a.abs());
+                prop_assert!((a + b).abs() <= tol, "z {a} vs flipped z {b}");
+            }
+        }
+    }
+
+    #[test]
     fn pelt_changepoints_are_sorted_in_range(data in measurements(10)) {
         let cps = taming_variability::stats::changepoint::pelt_mean(&data, None).unwrap();
         for w in cps.windows(2) {

@@ -1,0 +1,128 @@
+//! End-to-end exercise of the regression sentinel through the public
+//! API: the green/green/red contract (two clean runs build a baseline,
+//! a degraded third run flags with a change-point), and crash safety
+//! (a torn record never poisons the history or blocks further writes).
+
+use std::path::PathBuf;
+
+use taming_variability::sentinel::{audit, AuditConfig, HistoryStore, MetricStatus, RunRecord};
+
+fn temp_history(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sentinel-audit-{label}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A `repro-all`-shaped record with one wall-clock metric.
+fn run_record(total_wall_secs: f64) -> RunRecord {
+    let mut rec = RunRecord::new("repro-all", "repro", "0.1.0", 42, "quick");
+    rec.push_metric("total_wall_secs", total_wall_secs).unwrap();
+    rec
+}
+
+#[test]
+fn green_green_red_with_online_changepoint() {
+    let dir = temp_history("ggr");
+    let store = HistoryStore::new(&dir);
+    let config = AuditConfig {
+        min_history: 2,
+        ..AuditConfig::default()
+    };
+
+    // Run 1: empty history. Everything warms up, nothing can flag.
+    let run1 = run_record(12.0);
+    let report = audit(&[], &run1, &config).unwrap();
+    assert!(!report.regression(), "run 1 must be green");
+    assert!(report.all_warm_up());
+    store.append(&run1).unwrap();
+
+    // Run 2: one prior — still below min_history, still green.
+    let run2 = run_record(12.4);
+    let priors = store.load().unwrap().into_records();
+    let report = audit(&priors, &run2, &config).unwrap();
+    assert!(!report.regression(), "run 2 must be green");
+    assert!(report.all_warm_up());
+    store.append(&run2).unwrap();
+
+    // Run 3: a gross slowdown against two comparable priors — red,
+    // naming the metric, with the online detector placing the
+    // change-point at the audited value (index 2 of the series).
+    let run3 = run_record(30.0);
+    let priors = store.load().unwrap().into_records();
+    let report = audit(&priors, &run3, &config).unwrap();
+    assert!(report.regression(), "run 3 must be red");
+    assert_eq!(report.flagged(), vec!["total_wall_secs"]);
+    let finding = report
+        .findings
+        .iter()
+        .find(|f| f.name == "total_wall_secs")
+        .unwrap();
+    assert_eq!(finding.status, MetricStatus::Flagged);
+    assert!(
+        finding.z > config.max_z,
+        "robust z {} clears the bar",
+        finding.z
+    );
+    assert_eq!(
+        finding.changepoint,
+        Some(2),
+        "online CUSUM pins the shift to the audited run"
+    );
+
+    // Determinism: the same history and value reproduce the same
+    // verdict bit for bit.
+    let again = audit(&priors, &run3, &config).unwrap();
+    assert_eq!(again, report);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn speedups_stay_green_one_sided() {
+    let config = AuditConfig {
+        min_history: 2,
+        ..AuditConfig::default()
+    };
+    let priors = vec![run_record(12.0), run_record(12.4), run_record(12.2)];
+    let fast = run_record(1.0);
+    let report = audit(&priors, &fast, &config).unwrap();
+    assert!(
+        !report.regression(),
+        "a speedup is not a regression under the default one-sided audit"
+    );
+}
+
+#[test]
+fn torn_record_leaves_history_readable_and_appendable() {
+    let dir = temp_history("torn");
+    let store = HistoryStore::new(&dir);
+    store.append(&run_record(12.0)).unwrap();
+    store.append(&run_record(12.4)).unwrap();
+
+    // Simulate a crash mid-publish: a half-written record at the next
+    // sequence number and an orphaned temp file.
+    let whole = run_record(12.2).encode().unwrap();
+    std::fs::write(dir.join("00000003.rec"), &whole[..whole.len() / 2]).unwrap();
+    std::fs::write(dir.join(".tmp-999-deadbeef"), b"partial").unwrap();
+
+    // The torn record is counted and skipped, never parsed into junk.
+    let loaded = store.load().unwrap();
+    assert_eq!(loaded.records.len(), 2);
+    assert_eq!(loaded.corrupt, 1);
+
+    // New appends step over the squatting sequence number, and the
+    // store stays fully auditable.
+    let seq = store.append(&run_record(12.1)).unwrap();
+    assert!(seq > 3, "append steps past the torn seq, got {seq}");
+    let records = store.load().unwrap().into_records();
+    assert_eq!(records.len(), 3);
+    let config = AuditConfig {
+        min_history: 2,
+        ..AuditConfig::default()
+    };
+    let (latest, priors) = records.split_last().unwrap();
+    let report = audit(priors, latest, &config).unwrap();
+    assert!(!report.regression());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
