@@ -37,6 +37,8 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::SystemTime;
 
 use crate::artifact::{self, Artifact};
 use crate::context::{Context, Scale};
@@ -104,6 +106,19 @@ impl CacheKey {
         CacheKey::new(experiment, ctx.scale, ctx.seed, &campaign, &confirm)
     }
 
+    /// Computes the key for `experiment` at (`scale`, `seed`) without
+    /// building a [`Context`]. The campaign and CONFIRM configurations
+    /// are pure functions of scale and seed — the same values
+    /// [`Context::build`] derives — so this key equals
+    /// [`CacheKey::for_context`] for the context those parameters would
+    /// build, at none of the collection cost. The serving layer's hot
+    /// path and `ETag` computation rely on that equality.
+    pub fn for_params(experiment: &dyn Experiment, scale: Scale, seed: u64) -> Self {
+        let campaign = format!("{:?}", scale.campaign(seed));
+        let confirm = format!("{:?}", confirm::ConfirmConfig::default().with_seed(seed));
+        CacheKey::new(experiment, scale, seed, &campaign, &confirm)
+    }
+
     /// The experiment id this key addresses.
     pub fn id(&self) -> &str {
         &self.id
@@ -149,6 +164,12 @@ pub struct ArtifactCache {
     misses: AtomicU64,
     invalidated: AtomicU64,
     stored: AtomicU64,
+    /// Last full directory scan, keyed by the directory mtime it
+    /// observed. See [`ArtifactCache::stats`] for the validity rule.
+    stats_memo: Mutex<Option<(SystemTime, CacheStats)>>,
+    /// Directory scans actually performed (memo misses), for the
+    /// memoization regression test.
+    stats_scans: AtomicU64,
 }
 
 /// Aggregate size of a cache directory, for `repro cache stats`.
@@ -169,6 +190,8 @@ impl ArtifactCache {
             misses: AtomicU64::new(0),
             invalidated: AtomicU64::new(0),
             stored: AtomicU64::new(0),
+            stats_memo: Mutex::new(None),
+            stats_scans: AtomicU64::new(0),
         }
     }
 
@@ -287,7 +310,34 @@ impl ArtifactCache {
 
     /// Counts entries and bytes in the cache directory. A missing
     /// directory is an empty cache.
+    ///
+    /// The scan is memoized on the directory's modification time: a
+    /// repeat call against an unchanged directory returns the cached
+    /// totals without touching `read_dir` at all. Every mutation the
+    /// cache performs — storing (rename into the directory), clearing
+    /// (unlinks) — bumps the directory mtime and invalidates the memo.
+    /// A result is only memoized when the mtime strictly predates the
+    /// scan's start *and* is unchanged after it (the racy-timestamp
+    /// discipline git's index uses), so a store landing while the scan
+    /// runs can never freeze a stale total into the memo. File-content
+    /// edits that bypass the directory (rewriting an entry in place) are
+    /// outside the cache's own write discipline and may be served stale
+    /// until the directory itself changes.
     pub fn stats(&self) -> std::io::Result<CacheStats> {
+        let dir_mtime = std::fs::metadata(&self.dir).and_then(|m| m.modified()).ok();
+        if let (Some(mtime), Some((seen, memoized))) = (
+            dir_mtime,
+            *self
+                .stats_memo
+                .lock()
+                .expect("stats memo lock not poisoned"),
+        ) {
+            if seen == mtime {
+                return Ok(memoized);
+            }
+        }
+        let scan_started = SystemTime::now();
+        self.stats_scans.fetch_add(1, Ordering::Relaxed);
         let mut stats = CacheStats {
             entries: 0,
             bytes: 0,
@@ -304,7 +354,25 @@ impl ArtifactCache {
                 stats.bytes += entry.metadata()?.len();
             }
         }
+        if let Some(mtime) = dir_mtime {
+            let quiescent = mtime < scan_started
+                && std::fs::metadata(&self.dir)
+                    .and_then(|m| m.modified())
+                    .is_ok_and(|after| after == mtime);
+            if quiescent {
+                *self
+                    .stats_memo
+                    .lock()
+                    .expect("stats memo lock not poisoned") = Some((mtime, stats));
+            }
+        }
         Ok(stats)
+    }
+
+    /// Directory scans [`ArtifactCache::stats`] actually performed —
+    /// calls served from the mtime memo do not count.
+    pub fn stats_scans(&self) -> u64 {
+        self.stats_scans.load(Ordering::Relaxed)
     }
 
     /// Deletes every cache entry file and returns how many were removed.
@@ -448,6 +516,60 @@ mod tests {
         // Rewriting repairs the entry.
         cache.store(&key, &sample_artifacts()).unwrap();
         assert_eq!(cache.lookup(&key), Some(sample_artifacts()));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn for_params_addresses_the_same_entry_as_for_context() {
+        let ctx = Context::new(Scale::Quick, 7);
+        for id in ["T1", "F6"] {
+            let e = registry::find(id).unwrap();
+            let from_ctx = CacheKey::for_context(e, &ctx);
+            let from_params = CacheKey::for_params(e, Scale::Quick, 7);
+            assert_eq!(from_ctx, from_params, "{id}: params path must agree");
+        }
+        // And the params path still separates seeds and scales.
+        let e = registry::find("T1").unwrap();
+        assert_ne!(
+            CacheKey::for_params(e, Scale::Quick, 7).fingerprint(),
+            CacheKey::for_params(e, Scale::Quick, 8).fingerprint()
+        );
+        assert_ne!(
+            CacheKey::for_params(e, Scale::Quick, 7).fingerprint(),
+            CacheKey::for_params(e, Scale::Paper, 7).fingerprint()
+        );
+    }
+
+    #[test]
+    fn stats_memoizes_scans_by_directory_mtime() {
+        let cache = ArtifactCache::new(temp_dir("memo"));
+        cache.store(&sample_key(), &sample_artifacts()).unwrap();
+        // Let the directory mtime fall strictly behind the scan start so
+        // the quiescence rule can engage (Linux filesystems keep
+        // nanosecond mtimes; the sleep is belt and braces).
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let first = cache.stats().unwrap();
+        assert_eq!(cache.stats_scans(), 1);
+        // Unchanged directory: served from the memo, no new scan.
+        assert_eq!(cache.stats().unwrap(), first);
+        assert_eq!(cache.stats_scans(), 1, "second call must not rescan");
+        // Proof it really is the memo: growing an entry file *in place*
+        // leaves the directory mtime alone, so the stale byte total is
+        // returned (the documented trade-off) without a scan.
+        let entry = cache.dir().join(sample_key().file_name());
+        let mut grown = std::fs::read_to_string(&entry).unwrap();
+        grown.push_str("tail");
+        std::fs::write(&entry, &grown).unwrap();
+        assert_eq!(cache.stats().unwrap(), first);
+        assert_eq!(cache.stats_scans(), 1);
+        // A store renames a new entry into the directory, bumping its
+        // mtime: the memo invalidates and the rescan sees everything.
+        let other = CacheKey::new(registry::find("T2").unwrap(), Scale::Quick, 42, "{}", "{}");
+        cache.store(&other, &sample_artifacts()).unwrap();
+        let after = cache.stats().unwrap();
+        assert_eq!(cache.stats_scans(), 2);
+        assert_eq!(after.entries, 2);
+        assert!(after.bytes > first.bytes);
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 

@@ -10,9 +10,9 @@
 //! binary drives both from the command line:
 //!
 //! ```text
-//! cargo run -p analysis --bin repro -- list
-//! cargo run -p analysis --bin repro -- F9 --scale quick --seed 42
-//! cargo run -p analysis --bin repro -- all --jobs 8 --out artifacts/
+//! cargo run -p serve --bin repro -- list
+//! cargo run -p serve --bin repro -- F9 --scale quick --seed 42
+//! cargo run -p serve --bin repro -- all --jobs 8 --out artifacts/
 //! ```
 
 #![forbid(unsafe_code)]

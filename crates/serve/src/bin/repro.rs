@@ -65,10 +65,14 @@ use std::time::Instant;
 use analysis::{all, find, Artifact, Context, Experiment, ExperimentError, Scale, Table};
 
 const USAGE: &str = "\
-usage: repro <list|all|ID...|cache stats|cache clear|sentinel CMD> [options]
+usage: repro <list|all|ID...|serve|cache stats|cache clear|sentinel CMD> [options]
 
   list                  print the experiment registry
   all                   run every experiment
+  serve                 run the artifact-serving daemon: answers
+                        GET /v1/experiments, /v1/artifacts/{id},
+                        /v1/manifest/{id}, /metrics, /healthz from the
+                        artifact cache, computing misses on demand
   cache stats           report artifact-cache entry count and size
   cache clear           delete all artifact-cache entries
   sentinel record       append a run record to the history
@@ -119,6 +123,8 @@ options:
                         (default 4)
   --two-sided           (sentinel audit/watch) flag suspicious speedups
                         too, not just regressions
+  --addr HOST:PORT      (serve) listen address (default 127.0.0.1:8787;
+                        port 0 picks an ephemeral port)
   --poll-ms MS          (sentinel watch) poll interval (default 200)
   --iterations N        (sentinel watch) stop after N polls (default:
                         poll forever)
@@ -135,6 +141,8 @@ struct Args {
     trace: bool,
     trace_chrome: bool,
     metrics: bool,
+    serve: bool,
+    addr: String,
     cache_cmd: Option<String>,
     cache_dir: Option<PathBuf>,
     no_cache: bool,
@@ -170,6 +178,8 @@ fn parse_args() -> Result<Parsed, String> {
         trace: false,
         trace_chrome: false,
         metrics: false,
+        serve: false,
+        addr: "127.0.0.1:8787".to_string(),
         cache_cmd: None,
         cache_dir: None,
         no_cache: false,
@@ -191,6 +201,11 @@ fn parse_args() -> Result<Parsed, String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "list" => args.list = true,
+            "serve" => args.serve = true,
+            "--addr" => {
+                let v = it.next().ok_or("--addr needs HOST:PORT")?;
+                args.addr = v;
+            }
             "all" => args.ids.extend(all().iter().map(|e| e.id().to_string())),
             "cache" => {
                 let v = it
@@ -522,6 +537,12 @@ fn run_sentinel(cmd: &str, args: &Args) -> ExitCode {
             );
             let mut remaining = args.iterations;
             let mut regressed = false;
+            // `HistoryStore::load` treats a missing directory as an empty
+            // history (so `watch` can start before the first record), but
+            // a directory that *was* there and vanished mid-watch means
+            // the history is gone — polling forever would just busy-loop
+            // on ENOENT. Track whether we ever saw it.
+            let mut dir_seen = dir.is_dir();
             loop {
                 if let Some(r) = &mut remaining {
                     if *r == 0 {
@@ -530,6 +551,15 @@ fn run_sentinel(cmd: &str, args: &Args) -> ExitCode {
                     *r -= 1;
                 }
                 std::thread::sleep(poll);
+                let dir_exists = dir.is_dir();
+                if dir_seen && !dir_exists {
+                    eprintln!(
+                        "sentinel watch: history directory {} disappeared",
+                        dir.display()
+                    );
+                    return ExitCode::FAILURE;
+                }
+                dir_seen |= dir_exists;
                 let loaded = match store.load() {
                     Ok(l) => l,
                     Err(err) => return fail(&err),
@@ -770,6 +800,36 @@ fn main() -> ExitCode {
     }
     if let Some(cmd) = &args.sentinel_cmd {
         return run_sentinel(cmd, &args);
+    }
+    if args.serve {
+        // The daemon's telemetry (request counters, latency histograms,
+        // cache hit/miss tallies) is what /metrics serves; it is always
+        // on for the lifetime of the process.
+        telemetry::set_enabled(true);
+        let faults = args.chaos.map(testbed::FaultPlan::new);
+        if let Some(plan) = &faults {
+            eprintln!("chaos armed (seed {})", plan.seed());
+        }
+        let service = Arc::new(serve::ArtifactService::new(serve::ServeOptions {
+            cache_dir: cache_dir.clone(),
+            jobs: args.jobs,
+            faults,
+            policy: testbed::FaultPolicy::default(),
+        }));
+        let server = match serve::Server::bind(args.addr.as_str(), service) {
+            Ok(server) => server,
+            Err(err) => {
+                eprintln!("cannot bind {}: {err}", args.addr);
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("serving on http://{}", server.addr());
+        // Harnesses parse the line above to learn the ephemeral port;
+        // stdout is block-buffered when piped, so push it out now.
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        server.wait();
+        return ExitCode::SUCCESS;
     }
     if args.list {
         println!("{:<4}  {:<6}  {:<6}  title", "id", "kind", "cost");

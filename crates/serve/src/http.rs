@@ -1,0 +1,369 @@
+//! A deliberately small HTTP/1.1 implementation over std I/O.
+//!
+//! The serving daemon needs exactly what a reproducibility artifact
+//! server needs and nothing more: `GET` requests with a path, a query
+//! string, and a handful of headers in; status + headers + body out,
+//! with keep-alive. Hand-rolling ~200 lines keeps the workspace free of
+//! network dependencies (the container builds offline) and keeps every
+//! byte of the response under the byte-identity contract's control.
+
+use std::io::{BufRead, Write};
+
+/// Longest request line and longest single header accepted, in bytes.
+/// Anything beyond this is a client error, not a buffer to grow.
+const MAX_LINE: usize = 8 * 1024;
+
+/// Maximum headers per request.
+const MAX_HEADERS: usize = 64;
+
+/// A parsed request head. Bodies are not modeled: the artifact server
+/// is read-only, and `GET`/`HEAD` requests carry none.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, uppercased (e.g. `GET`).
+    pub method: String,
+    /// Path component, without the query string (e.g. `/v1/artifacts/F6`).
+    pub path: String,
+    /// Decoded `key=value` query pairs, in request order.
+    pub query: Vec<(String, String)>,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The connection closed cleanly before a request line.
+    ConnectionClosed,
+    /// I/O failure mid-request.
+    Io(String),
+    /// The bytes are not HTTP the server understands.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::ConnectionClosed => write!(f, "connection closed"),
+            ParseError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseError::Malformed(why) => write!(f, "malformed request: {why}"),
+        }
+    }
+}
+
+/// Reads one `\r\n`- (or `\n`-) terminated line, capped at [`MAX_LINE`].
+fn read_line(reader: &mut impl BufRead) -> Result<Option<String>, ParseError> {
+    let mut line = String::new();
+    let mut taken = 0usize;
+    loop {
+        let mut byte = [0u8; 1];
+        let n = std::io::Read::read(reader, &mut byte).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                ParseError::ConnectionClosed
+            } else {
+                ParseError::Io(e.to_string())
+            }
+        })?;
+        if n == 0 {
+            return if line.is_empty() {
+                Ok(None)
+            } else {
+                Err(ParseError::Malformed("truncated line"))
+            };
+        }
+        taken += 1;
+        if taken > MAX_LINE {
+            return Err(ParseError::Malformed("line too long"));
+        }
+        match byte[0] {
+            b'\n' => {
+                if line.ends_with('\r') {
+                    line.pop();
+                }
+                return Ok(Some(line));
+            }
+            b => line.push(b as char),
+        }
+    }
+}
+
+/// Splits a query string into decoded pairs. Only `%XX` and `+` are
+/// decoded; experiment ids and the parameters the server accepts are
+/// ASCII, so this covers every legal request.
+fn parse_query(raw: &str) -> Vec<(String, String)> {
+    raw.split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (percent_decode(k), percent_decode(v))
+        })
+        .collect()
+}
+
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' if i + 2 < bytes.len() + 1 && i + 2 < bytes.len() + 1 => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok());
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 2;
+                    }
+                    None => out.push(b'%'),
+                }
+            }
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+impl Request {
+    /// Reads one request head from `reader`. `Ok(None)` is a clean
+    /// end-of-connection (the client finished a keep-alive session).
+    pub fn read_from(reader: &mut impl BufRead) -> Result<Option<Request>, ParseError> {
+        let Some(request_line) = read_line(reader)? else {
+            return Ok(None);
+        };
+        if request_line.is_empty() {
+            return Err(ParseError::Malformed("empty request line"));
+        }
+        let mut parts = request_line.split(' ');
+        let method = parts
+            .next()
+            .filter(|m| !m.is_empty())
+            .ok_or(ParseError::Malformed("missing method"))?
+            .to_ascii_uppercase();
+        let target = parts.next().ok_or(ParseError::Malformed("missing path"))?;
+        let version = parts
+            .next()
+            .ok_or(ParseError::Malformed("missing version"))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(ParseError::Malformed("unsupported version"));
+        }
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p.to_string(), parse_query(q)),
+            None => (target.to_string(), Vec::new()),
+        };
+        let mut headers = Vec::new();
+        loop {
+            let line = read_line(reader)?.ok_or(ParseError::Malformed("truncated headers"))?;
+            if line.is_empty() {
+                break;
+            }
+            if headers.len() >= MAX_HEADERS {
+                return Err(ParseError::Malformed("too many headers"));
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or(ParseError::Malformed("header without colon"))?;
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+        Ok(Some(Request {
+            method,
+            path,
+            query,
+            headers,
+        }))
+    }
+
+    /// First header with `name` (case-insensitive), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First query parameter named `name`, if any.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to keep the connection open after this
+    /// response (HTTP/1.1 default unless `Connection: close`).
+    pub fn keep_alive(&self) -> bool {
+        !self
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// A response ready to serialize. Header order is fixed by insertion
+/// order, so responses are byte-deterministic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `(name, value)` headers, serialized in order.
+    pub headers: Vec<(String, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        304 => "Not Modified",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+impl Response {
+    /// A plain-text response (`text/plain; charset=utf-8`).
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            headers: vec![(
+                "Content-Type".to_string(),
+                "text/plain; charset=utf-8".to_string(),
+            )],
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// An empty response with no content-type (e.g. `304`).
+    pub fn empty(status: u16) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Appends a header, builder style.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Replaces the declared content type.
+    pub fn with_content_type(mut self, value: &str) -> Self {
+        self.headers.retain(|(n, _)| n != "Content-Type");
+        self.headers
+            .insert(0, ("Content-Type".to_string(), value.to_string()));
+        self
+    }
+
+    /// Serializes the response. `Content-Length` and `Connection` are
+    /// written by the server, so handlers never get them wrong.
+    pub fn write_to(&self, writer: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
+        write!(
+            writer,
+            "HTTP/1.1 {} {}\r\n",
+            self.status,
+            reason(self.status)
+        )?;
+        for (name, value) in &self.headers {
+            write!(writer, "{name}: {value}\r\n")?;
+        }
+        write!(writer, "Content-Length: {}\r\n", self.body.len())?;
+        write!(
+            writer,
+            "Connection: {}\r\n\r\n",
+            if keep_alive { "keep-alive" } else { "close" }
+        )?;
+        writer.write_all(&self.body)?;
+        writer.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Option<Request>, ParseError> {
+        Request::read_from(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_a_request_with_query_and_headers() {
+        let req = parse(
+            "GET /v1/artifacts/F6?seed=7&scale=quick HTTP/1.1\r\nHost: x\r\nIf-None-Match: \"abc\"\r\n\r\n",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/artifacts/F6");
+        assert_eq!(req.query_param("seed"), Some("7"));
+        assert_eq!(req.query_param("scale"), Some("quick"));
+        assert_eq!(req.query_param("absent"), None);
+        assert_eq!(req.header("if-none-match"), Some("\"abc\""));
+        assert_eq!(req.header("IF-NONE-MATCH"), Some("\"abc\""));
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn connection_close_and_clean_eof() {
+        let req = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.keep_alive());
+        assert_eq!(parse("").unwrap(), None, "clean EOF yields no request");
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_not_panicked() {
+        assert!(matches!(parse("\r\n\r\n"), Err(ParseError::Malformed(_))));
+        assert!(matches!(
+            parse("GET /\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / SPDY/3\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nbroken header\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_LINE));
+        assert!(matches!(parse(&long), Err(ParseError::Malformed(_))));
+    }
+
+    #[test]
+    fn percent_decoding_covers_the_ascii_cases() {
+        assert_eq!(percent_decode("F6"), "F6");
+        assert_eq!(percent_decode("a%20b+c"), "a b c");
+        assert_eq!(percent_decode("100%"), "100%", "dangling % passes through");
+    }
+
+    #[test]
+    fn responses_serialize_with_length_and_connection() {
+        let mut out = Vec::new();
+        Response::text(200, "hi")
+            .with_header("ETag", "\"d00d\"")
+            .write_to(&mut out, false)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Type: text/plain; charset=utf-8\r\n"));
+        assert!(text.contains("ETag: \"d00d\"\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\nhi"));
+        let mut out = Vec::new();
+        Response::empty(304).write_to(&mut out, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 304 Not Modified\r\n"));
+        assert!(text.contains("Content-Length: 0\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+    }
+}

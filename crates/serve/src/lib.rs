@@ -1,0 +1,45 @@
+//! # serve — the artifact-serving daemon
+//!
+//! A long-running HTTP/1.1 daemon over the content-addressed artifact
+//! cache: `repro serve --addr HOST:PORT --cache-dir DIR` answers
+//! requests for regenerated tables, figures, and manifests, computing
+//! cache misses on demand through the same engine path `repro all`
+//! uses. The serving contract (DESIGN.md §10) extends the repo's
+//! byte-identity guarantee over the network:
+//!
+//! - **Byte-identical responses.** For a given `(experiment, scale,
+//!   seed)` the response body is identical across requests, restarts,
+//!   worker counts, and chaos seeds — the bytes are the artifact's
+//!   `render()`/`to_csv()`, the same bytes the CLI writes.
+//! - **Single-flight misses.** N concurrent requests for the same cold
+//!   key execute the pipeline exactly once: one `cache.miss`, one
+//!   `cache.stored`, N−1 waiters sharing the leader's result
+//!   ([`singleflight`]).
+//! - **Strong validators.** `ETag` is the cache fingerprint of the
+//!   request's [`analysis::CacheKey`]; `If-None-Match` round-trips to
+//!   `304` without touching the cache or the engine.
+//! - **Live telemetry.** `GET /metrics` renders the process's metric
+//!   registry as deterministic text (`serve.request`,
+//!   `serve.singleflight.lead`/`.wait`, `cache.hit`/`cache.miss`,
+//!   per-endpoint latency histograms).
+//!
+//! Endpoints: `GET /v1/experiments` (the registry listing,
+//! byte-identical to `repro list`), `GET
+//! /v1/artifacts/{id}?seed=&scale=&format=&artifact=`, `GET
+//! /v1/manifest/{id}?seed=&scale=`, `GET /metrics`, `GET /healthz`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// The daemon reports I/O failures per-connection and keeps serving;
+// `unwrap()` outside tests regresses that (DESIGN.md §8).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+pub mod http;
+pub mod server;
+pub mod service;
+pub mod singleflight;
+
+pub use http::{Request, Response};
+pub use server::Server;
+pub use service::{render_experiments, render_metrics, ArtifactService, ServeOptions};
+pub use singleflight::{Group, Role};

@@ -1,0 +1,273 @@
+//! The TCP front end: an accept thread feeding a fixed worker pool,
+//! keep-alive connections, and cooperative shutdown.
+//!
+//! Workers are plain threads over a shared [`ArtifactService`]; there is
+//! no async runtime (the container builds offline, and a daemon serving
+//! a reproducibility cache does not need one). Shutdown flips a flag and
+//! nudges the accept loop with a self-connection so tests can stop a
+//! server deterministically; the daemon simply never calls it.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::http::{ParseError, Request, Response};
+use crate::service::ArtifactService;
+
+/// How long a keep-alive connection may sit idle between requests
+/// before the worker drops it.
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Connection-handling worker threads.
+const WORKERS: usize = 8;
+
+/// A running server: listener address, worker pool, shutdown switch.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// starts serving `service` in background threads.
+    pub fn bind(addr: impl ToSocketAddrs, service: Arc<ArtifactService>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let (sender, receiver) = mpsc::channel::<TcpStream>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..WORKERS)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                let service = Arc::clone(&service);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || loop {
+                        let stream = {
+                            let receiver = receiver.lock().expect("connection queue lock");
+                            receiver.recv()
+                        };
+                        match stream {
+                            Ok(stream) => handle_connection(stream, &service),
+                            Err(_) => return, // accept loop gone: shutdown
+                        }
+                    })
+                    .expect("spawn serve worker")
+            })
+            .collect();
+
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("serve-accept".to_string())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        if sender.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    // Dropping `sender` here disconnects the channel and
+                    // retires the worker pool.
+                })
+                .expect("spawn serve accept loop")
+        };
+
+        Ok(Server {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the real port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the server shuts down. The daemon's main thread
+    /// parks here; only [`Server::shutdown`] (or process death) returns.
+    pub fn wait(mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+
+    /// Stops accepting, drains the workers, and joins every thread.
+    /// In-flight requests complete; idle keep-alive connections are cut
+    /// at their next read timeout.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop is blocked in `incoming()`; a throwaway
+        // connection wakes it so it can observe the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // Dropped without `wait`/`shutdown` (e.g. a panicking test):
+        // stop accepting so the threads can retire, but don't block.
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// Serves one connection until the client closes, errors, stops asking
+/// for keep-alive, or idles past [`READ_TIMEOUT`].
+fn handle_connection(stream: TcpStream, service: &ArtifactService) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(writer) => writer,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let request = match Request::read_from(&mut reader) {
+            Ok(Some(request)) => request,
+            Ok(None) => return,
+            Err(ParseError::ConnectionClosed) => return,
+            Err(ParseError::Io(_)) => return,
+            Err(ParseError::Malformed(why)) => {
+                let resp = Response::text(400, format!("malformed request: {why}\n"));
+                let _ = resp.write_to(&mut writer, false);
+                return;
+            }
+        };
+        let keep_alive = request.keep_alive();
+        let response = service.handle(&request);
+        if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServeOptions;
+    use std::io::{Read, Write};
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "serve-server-{tag}-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("clock after epoch")
+                .as_nanos()
+        ))
+    }
+
+    fn start(tag: &str) -> (Server, std::path::PathBuf) {
+        let dir = temp_dir(tag);
+        let service = Arc::new(ArtifactService::new(ServeOptions {
+            jobs: Some(2),
+            ..ServeOptions::new(&dir)
+        }));
+        let server = Server::bind("127.0.0.1:0", service).expect("bind ephemeral port");
+        (server, dir)
+    }
+
+    fn fetch(addr: SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(request.as_bytes()).expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("receive");
+        response
+    }
+
+    #[test]
+    fn serves_healthz_and_shuts_down() {
+        let (server, dir) = start("health");
+        let addr = server.addr();
+        let response = fetch(addr, "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+        assert!(response.ends_with("ok\n"), "{response}");
+        server.shutdown();
+        assert!(
+            TcpStream::connect(addr).map_or(true, |mut s| {
+                // Accept queue may take the connection, but nothing serves it.
+                let _ = s.write_all(b"GET /healthz HTTP/1.1\r\n\r\n");
+                let mut buf = String::new();
+                let _ = s.set_read_timeout(Some(Duration::from_millis(500)));
+                s.read_to_string(&mut buf).map_or(true, |_| buf.is_empty())
+            }),
+            "a shut-down server answers nothing"
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    /// Reads one full response (head + `Content-Length` body) so short
+    /// TCP reads cannot truncate what the assertions see.
+    fn read_response(stream: &mut TcpStream) -> String {
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 512];
+        loop {
+            let head_end = buf.windows(4).position(|w| w == b"\r\n\r\n");
+            if let Some(end) = head_end {
+                let head = String::from_utf8_lossy(&buf[..end]).to_string();
+                let length: usize = head
+                    .lines()
+                    .find_map(|l| l.strip_prefix("Content-Length: "))
+                    .and_then(|v| v.parse().ok())
+                    .expect("responses declare Content-Length");
+                if buf.len() >= end + 4 + length {
+                    return String::from_utf8_lossy(&buf[..end + 4 + length]).to_string();
+                }
+            }
+            let n = stream.read(&mut chunk).expect("receive");
+            assert!(n > 0, "connection closed mid-response");
+            buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests_on_one_connection() {
+        let (server, dir) = start("keepalive");
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        for _ in 0..3 {
+            stream
+                .write_all(b"GET /healthz HTTP/1.1\r\n\r\n")
+                .expect("send");
+            let response = read_response(&mut stream);
+            assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+            assert!(response.contains("Connection: keep-alive\r\n"));
+            assert!(response.ends_with("ok\n"));
+        }
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn malformed_requests_get_a_400_not_a_hang() {
+        let (server, dir) = start("malformed");
+        let response = fetch(server.addr(), "NONSENSE\r\n\r\n");
+        assert!(
+            response.starts_with("HTTP/1.1 400 Bad Request\r\n"),
+            "{response}"
+        );
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,627 @@
+//! Request handling: routes, response rendering, and the single-flight
+//! miss path over the content-addressed artifact cache.
+//!
+//! The serving contract (DESIGN.md §10) is byte-identity: for a given
+//! `(experiment, scale, seed)` the response body is identical across
+//! requests, restarts, worker counts, and chaos seeds — the same
+//! contract `repro all` honors, extended over HTTP. Hot requests are
+//! served straight from the [`ArtifactCache`]; cold ones compute through
+//! the engine exactly once no matter how many clients ask concurrently
+//! (see [`crate::singleflight`]), then store back with the engine's own
+//! bounded-backoff retry discipline.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use analysis::{
+    find, run_experiments_opts, Artifact, ArtifactCache, CacheKey, Context, EngineOptions,
+    Experiment, Scale,
+};
+use testbed::{FaultPlan, FaultPolicy};
+
+use crate::http::{Request, Response};
+
+/// Contexts kept warm, keyed by `(scale, seed)`. A quick-scale context
+/// is a few hundred milliseconds of campaign collection; keeping a small
+/// pool bounds memory while making repeat seeds cheap.
+const CONTEXT_POOL_CAP: usize = 8;
+
+/// Configuration for [`ArtifactService`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Directory of the content-addressed artifact cache.
+    pub cache_dir: PathBuf,
+    /// Engine worker threads per pipeline run (`None` = one per core).
+    pub jobs: Option<usize>,
+    /// Chaos plan applied to pipeline runs and cache stores; `None`
+    /// injects nothing. Context collection runs fault-free: the daemon
+    /// keeps no journal, and the byte-identity contract already pins the
+    /// dataset.
+    pub faults: Option<FaultPlan>,
+    /// Retry budget and backoff for transient faults.
+    pub policy: FaultPolicy,
+}
+
+impl ServeOptions {
+    /// Options serving from `cache_dir` with library defaults.
+    pub fn new(cache_dir: impl Into<PathBuf>) -> Self {
+        ServeOptions {
+            cache_dir: cache_dir.into(),
+            jobs: None,
+            faults: None,
+            policy: FaultPolicy::default(),
+        }
+    }
+}
+
+/// Running totals of chaos activity observed while serving, kept in
+/// plain atomics so they are observable even when telemetry is off.
+#[derive(Debug, Default)]
+struct FaultTotals {
+    injected: AtomicU64,
+    retried: AtomicU64,
+}
+
+/// Single-flight key: `(experiment id, scale label, seed)`.
+type FlightKey = (String, String, u64);
+/// What a flight resolves to: the artifact set, or the leader's error.
+type FlightResult = Result<Arc<Vec<Artifact>>, String>;
+/// Warm contexts keyed by `(scale label, seed)`; the [`OnceLock`] lets
+/// waiters block on the builder without holding the pool lock.
+type ContextPool = std::collections::HashMap<(String, u64), Arc<OnceLock<Arc<Context>>>>;
+
+/// The stateful request handler shared by every connection.
+pub struct ArtifactService {
+    cache: ArtifactCache,
+    jobs: Option<usize>,
+    faults: Option<FaultPlan>,
+    policy: FaultPolicy,
+    flights: crate::singleflight::Group<FlightKey, FlightResult>,
+    contexts: Mutex<ContextPool>,
+    fault_totals: FaultTotals,
+}
+
+impl ArtifactService {
+    /// A service over the cache in `options.cache_dir`.
+    pub fn new(options: ServeOptions) -> Self {
+        ArtifactService {
+            cache: ArtifactCache::new(options.cache_dir),
+            jobs: options.jobs,
+            faults: options.faults,
+            policy: options.policy,
+            flights: crate::singleflight::Group::new(),
+            contexts: Mutex::new(std::collections::HashMap::new()),
+            fault_totals: FaultTotals::default(),
+        }
+    }
+
+    /// Chaos faults `(injected, retried)` observed since startup.
+    pub fn fault_stats(&self) -> (u64, u64) {
+        (
+            self.fault_totals.injected.load(Ordering::Relaxed),
+            self.fault_totals.retried.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The cache this service serves from.
+    pub fn cache(&self) -> &ArtifactCache {
+        &self.cache
+    }
+
+    /// Dispatches one request and returns the response. Telemetry:
+    /// `serve.request` (+ per-endpoint), `serve.status.<code>`, and a
+    /// `serve.latency.<endpoint>` histogram recorded after the response
+    /// is built, so `/metrics` never includes its own in-flight request.
+    pub fn handle(&self, req: &Request) -> Response {
+        let started = Instant::now();
+        let endpoint = endpoint_label(&req.path);
+        telemetry::metrics::counter("serve.request").inc();
+        telemetry::metrics::counter(&format!("serve.request.{endpoint}")).inc();
+        let response = self.route(req);
+        telemetry::metrics::counter(&format!("serve.status.{}", response.status)).inc();
+        telemetry::metrics::histogram(&format!("serve.latency.{endpoint}"))
+            .record(started.elapsed().as_secs_f64());
+        response
+    }
+
+    fn route(&self, req: &Request) -> Response {
+        if req.method != "GET" {
+            return Response::text(405, "only GET is supported\n");
+        }
+        match req.path.as_str() {
+            "/healthz" => Response::text(200, "ok\n"),
+            "/metrics" => Response::text(200, render_metrics()),
+            "/v1/experiments" => Response::text(200, render_experiments()),
+            path => {
+                if let Some(id) = path.strip_prefix("/v1/artifacts/") {
+                    self.artifacts_endpoint(id, req)
+                } else if let Some(id) = path.strip_prefix("/v1/manifest/") {
+                    self.manifest_endpoint(id, req)
+                } else {
+                    Response::text(404, format!("no such route: {path}\n"))
+                }
+            }
+        }
+    }
+
+    /// `GET /v1/artifacts/{id}?seed=&scale=&format=&artifact=`
+    fn artifacts_endpoint(&self, id: &str, req: &Request) -> Response {
+        let (experiment, scale, seed) = match self.resolve(id, req) {
+            Ok(triple) => triple,
+            Err(resp) => return resp,
+        };
+        let etag = self.etag(experiment, scale, seed);
+        if req.header("if-none-match") == Some(etag.as_str()) {
+            return Response::empty(304).with_header("ETag", etag);
+        }
+        let artifacts = match self.artifacts_for(experiment, scale, seed) {
+            Ok(artifacts) => artifacts,
+            Err(why) => return Response::text(500, format!("{id}: {why}\n")),
+        };
+        let selected: Vec<&Artifact> = match req.query_param("artifact") {
+            Some(aid) => match artifacts.iter().find(|a| a.id() == aid) {
+                Some(a) => vec![a],
+                None => return Response::text(404, format!("{id} has no artifact `{aid}`\n")),
+            },
+            None => artifacts.iter().collect(),
+        };
+        let body = match req.query_param("format").unwrap_or("text") {
+            "text" => {
+                // Matches the CLI: one `render()` per artifact, each
+                // followed by the `println!` newline.
+                let mut out = String::new();
+                for artifact in &selected {
+                    out.push_str(&artifact.render());
+                    out.push('\n');
+                }
+                out
+            }
+            "csv" => {
+                if selected.len() != 1 {
+                    return Response::text(400, "format=csv requires an artifact= selector\n");
+                }
+                selected[0].to_csv()
+            }
+            other => return Response::text(400, format!("unknown format `{other}`\n")),
+        };
+        Response::text(200, body).with_header("ETag", etag)
+    }
+
+    /// `GET /v1/manifest/{id}?seed=&scale=`: experiment metadata plus
+    /// the artifact inventory, as JSON with a fixed key order.
+    fn manifest_endpoint(&self, id: &str, req: &Request) -> Response {
+        let (experiment, scale, seed) = match self.resolve(id, req) {
+            Ok(triple) => triple,
+            Err(resp) => return resp,
+        };
+        let artifacts = match self.artifacts_for(experiment, scale, seed) {
+            Ok(artifacts) => artifacts,
+            Err(why) => return Response::text(500, format!("{id}: {why}\n")),
+        };
+        let key = CacheKey::for_params(experiment, scale, seed);
+        let mut entries = String::new();
+        for (i, artifact) in artifacts.iter().enumerate() {
+            if i > 0 {
+                entries.push(',');
+            }
+            let kind = match artifact {
+                Artifact::Table(_) => "table",
+                Artifact::Figure(_) => "figure",
+            };
+            entries.push_str(&format!(
+                "{{\"id\":{},\"kind\":\"{kind}\",\"bytes\":{}}}",
+                json_string(artifact.id()),
+                artifact.render().len(),
+            ));
+        }
+        let body = format!(
+            concat!(
+                "{{\"experiment\":{},\"kind\":\"{}\",\"cost\":\"{}\",\"title\":{},",
+                "\"code_version\":{},\"scale\":\"{}\",\"seed\":{},\"cacheable\":{},",
+                "\"fingerprint\":\"{:016x}\",\"artifacts\":[{}]}}\n"
+            ),
+            json_string(experiment.id()),
+            experiment.kind().label(),
+            experiment.cost().label(),
+            json_string(experiment.title()),
+            experiment.code_version(),
+            scale.label(),
+            seed,
+            experiment.cacheable(),
+            key.fingerprint(),
+            entries,
+        );
+        Response::text(200, body).with_content_type("application/json")
+    }
+
+    /// Validates id / scale / seed, or produces the error response.
+    fn resolve(
+        &self,
+        id: &str,
+        req: &Request,
+    ) -> Result<(&'static dyn Experiment, Scale, u64), Response> {
+        let Some(experiment) = find(id) else {
+            return Err(Response::text(
+                404,
+                format!("unknown experiment id `{id}` (see /v1/experiments)\n"),
+            ));
+        };
+        let scale_param = req.query_param("scale").unwrap_or("quick");
+        let Some(scale) = Scale::parse(scale_param) else {
+            return Err(Response::text(
+                400,
+                format!("unknown scale `{scale_param}` (quick|paper)\n"),
+            ));
+        };
+        let seed = match req.query_param("seed").unwrap_or("42").parse::<u64>() {
+            Ok(seed) => seed,
+            Err(_) => return Err(Response::text(400, "seed must be an unsigned integer\n")),
+        };
+        Ok((experiment, scale, seed))
+    }
+
+    /// The strong validator for an artifact response: the cache
+    /// fingerprint of `(experiment, scale, seed)`, derivable without
+    /// collecting a campaign.
+    fn etag(&self, experiment: &dyn Experiment, scale: Scale, seed: u64) -> String {
+        format!(
+            "\"{:016x}\"",
+            CacheKey::for_params(experiment, scale, seed).fingerprint()
+        )
+    }
+
+    /// Returns the experiment's artifacts, from the cache when hot,
+    /// computing through the engine when cold. Concurrent callers for
+    /// the same `(id, scale, seed)` share one computation.
+    pub fn artifacts_for(
+        &self,
+        experiment: &'static dyn Experiment,
+        scale: Scale,
+        seed: u64,
+    ) -> Result<Arc<Vec<Artifact>>, String> {
+        let flight_key = (experiment.id().to_string(), scale.label().to_string(), seed);
+        let (outcome, role) = self
+            .flights
+            .run(&flight_key, || self.compute(experiment, scale, seed));
+        let counter = match role {
+            crate::singleflight::Role::Led => "serve.singleflight.lead",
+            crate::singleflight::Role::Waited => "serve.singleflight.wait",
+        };
+        telemetry::metrics::counter(counter).inc();
+        outcome
+    }
+
+    /// The leader's path: cache lookup, then a full pipeline run on a
+    /// pooled context, then a retried store-back. The engine is invoked
+    /// with `cache: None` — the service already did the lookup, and one
+    /// cold request must count exactly one `cache.miss`.
+    fn compute(
+        &self,
+        experiment: &'static dyn Experiment,
+        scale: Scale,
+        seed: u64,
+    ) -> Result<Arc<Vec<Artifact>>, String> {
+        let key = CacheKey::for_params(experiment, scale, seed);
+        if experiment.cacheable() {
+            if let Some(artifacts) = self.cache.lookup(&key) {
+                return Ok(Arc::new(artifacts));
+            }
+        }
+        let ctx = self.context(scale, seed);
+        let options = EngineOptions {
+            jobs: self.jobs,
+            cache: None,
+            faults: self.faults,
+            policy: self.policy,
+        };
+        let (runs, fault_stats) = run_experiments_opts(&ctx, &[experiment], &options, &|_| {});
+        self.fault_totals
+            .injected
+            .fetch_add(fault_stats.injected, Ordering::Relaxed);
+        self.fault_totals
+            .retried
+            .fetch_add(fault_stats.retried, Ordering::Relaxed);
+        telemetry::metrics::counter("serve.faults.injected").add(fault_stats.injected);
+        telemetry::metrics::counter("serve.faults.retried").add(fault_stats.retried);
+        let run = runs
+            .into_iter()
+            .next()
+            .ok_or_else(|| "engine returned no report".to_string())?;
+        let artifacts = run.outcome.map_err(|e| e.message().to_string())?;
+        if experiment.cacheable() {
+            self.store_retrying(experiment, &key, &artifacts);
+        }
+        Ok(Arc::new(artifacts))
+    }
+
+    /// Best-effort store-back, mirroring the engine's discipline: chaos
+    /// can inject I/O faults at `cache.store.<id>`, transient failures
+    /// retry under the policy's bounded backoff, and a failure past the
+    /// budget is logged, never served as an error — the artifacts were
+    /// computed fine.
+    fn store_retrying(&self, experiment: &dyn Experiment, key: &CacheKey, artifacts: &[Artifact]) {
+        let site = format!("cache.store.{}", experiment.id());
+        let mut attempt = 0;
+        loop {
+            let result = if self.faults.is_some_and(|f| f.io_error(&site, attempt)) {
+                self.fault_totals.injected.fetch_add(1, Ordering::Relaxed);
+                telemetry::metrics::counter("serve.faults.injected").inc();
+                Err(std::io::Error::other("injected I/O fault (chaos)"))
+            } else {
+                self.cache.store(key, artifacts)
+            };
+            match result {
+                Ok(()) => return,
+                Err(_) if attempt < self.policy.max_retries => {
+                    self.fault_totals.retried.fetch_add(1, Ordering::Relaxed);
+                    telemetry::metrics::counter("serve.faults.retried").inc();
+                    std::thread::sleep(self.policy.backoff_for(attempt));
+                    attempt += 1;
+                }
+                Err(err) => {
+                    eprintln!("serve: cannot store {}: {err}", experiment.id());
+                    return;
+                }
+            }
+        }
+    }
+
+    /// A context from the pool, collecting the campaign on first use.
+    /// `OnceLock::get_or_init` gives context builds their own
+    /// single-flight: concurrent cold requests for different experiments
+    /// at the same `(scale, seed)` collect one campaign, not two.
+    fn context(&self, scale: Scale, seed: u64) -> Arc<Context> {
+        let cell = {
+            let mut pool = self
+                .contexts
+                .lock()
+                .expect("context pool lock not poisoned");
+            let pool_key = (scale.label().to_string(), seed);
+            if pool.len() >= CONTEXT_POOL_CAP && !pool.contains_key(&pool_key) {
+                // Evict an arbitrary entry; in-flight users hold Arcs and
+                // are unaffected, and contexts are pure functions of their
+                // key, so eviction only costs a rebuild.
+                if let Some(evict) = pool.keys().next().cloned() {
+                    pool.remove(&evict);
+                }
+            }
+            Arc::clone(pool.entry(pool_key).or_default())
+        };
+        Arc::clone(cell.get_or_init(|| Arc::new(Context::with_jobs(scale, seed, self.jobs))))
+    }
+}
+
+/// Which latency/request bucket a path belongs to.
+fn endpoint_label(path: &str) -> &'static str {
+    if path == "/healthz" {
+        "healthz"
+    } else if path == "/metrics" {
+        "metrics"
+    } else if path == "/v1/experiments" {
+        "experiments"
+    } else if path.starts_with("/v1/artifacts/") {
+        "artifacts"
+    } else if path.starts_with("/v1/manifest/") {
+        "manifest"
+    } else {
+        "other"
+    }
+}
+
+/// The registry listing, byte-identical to `repro list`.
+pub fn render_experiments() -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<4}  {:<6}  {:<6}  title\n",
+        "id", "kind", "cost"
+    ));
+    for e in analysis::all() {
+        out.push_str(&format!(
+            "{:<4}  {:<6}  {:<6}  {}\n",
+            e.id(),
+            e.kind().label(),
+            e.cost().label(),
+            e.title(),
+        ));
+    }
+    out
+}
+
+/// The live metrics snapshot as a deterministic text format: one line
+/// per metric, sections in snapshot order (alphabetical by name — the
+/// [`telemetry::metrics::MetricsSnapshot`] ordering contract).
+pub fn render_metrics() -> String {
+    fn opt(v: Option<f64>) -> String {
+        v.map_or_else(|| "-".to_string(), |v| format!("{v}"))
+    }
+    let snapshot = telemetry::metrics::snapshot();
+    let mut out = String::from("# serve metrics v1\n");
+    for c in &snapshot.counters {
+        out.push_str(&format!("counter {} {}\n", c.name, c.value));
+    }
+    for g in &snapshot.gauges {
+        out.push_str(&format!("gauge {} {}\n", g.name, g.value));
+    }
+    for h in &snapshot.histograms {
+        out.push_str(&format!(
+            "histogram {} count {} rejected {} total {} min {} max {} p50 {} p90 {} p95 {} p99 {}\n",
+            h.name,
+            h.count,
+            h.rejected,
+            h.total,
+            opt(h.min),
+            opt(h.max),
+            opt(h.p50),
+            opt(h.p90),
+            opt(h.p95),
+            opt(h.p99),
+        ));
+    }
+    out
+}
+
+/// Serializes `s` as a JSON string literal (the manifest endpoint's
+/// values are ASCII, but escaping is still done properly).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn get(path: &str) -> Request {
+        Request::read_from(&mut BufReader::new(
+            format!("GET {path} HTTP/1.1\r\n\r\n").as_bytes(),
+        ))
+        .unwrap()
+        .unwrap()
+    }
+
+    fn temp_service() -> (ArtifactService, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "serve-unit-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("clock after epoch")
+                .as_nanos()
+        ));
+        let service = ArtifactService::new(ServeOptions {
+            jobs: Some(2),
+            ..ServeOptions::new(&dir)
+        });
+        (service, dir)
+    }
+
+    #[test]
+    fn experiments_listing_matches_the_registry() {
+        let listing = render_experiments();
+        let mut lines = listing.lines();
+        assert_eq!(lines.next(), Some("id    kind    cost    title"));
+        assert_eq!(listing.lines().count(), analysis::all().len() + 1);
+        assert!(listing.lines().any(|l| l.starts_with("T1")));
+        assert!(listing.lines().any(|l| l.starts_with("F6")));
+    }
+
+    #[test]
+    fn routing_rejects_what_it_should() {
+        let (service, dir) = temp_service();
+        assert_eq!(service.handle(&get("/nope")).status, 404);
+        assert_eq!(
+            service.handle(&get("/v1/artifacts/ZZ?seed=1")).status,
+            404,
+            "unknown experiment id"
+        );
+        assert_eq!(
+            service
+                .handle(&get("/v1/artifacts/T1?scale=galactic"))
+                .status,
+            400
+        );
+        assert_eq!(
+            service
+                .handle(&get("/v1/artifacts/T1?seed=minus-one"))
+                .status,
+            400
+        );
+        assert_eq!(
+            service.handle(&get("/v1/artifacts/T1?format=yaml")).status,
+            400
+        );
+        let mut post = get("/healthz");
+        post.method = "POST".to_string();
+        assert_eq!(service.handle(&post).status, 405);
+        assert_eq!(service.handle(&get("/healthz")).status, 200);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn etag_round_trip_yields_304_without_recomputing() {
+        let (service, dir) = temp_service();
+        let first = service.handle(&get("/v1/artifacts/T1?seed=7&scale=quick"));
+        assert_eq!(first.status, 200);
+        let etag = first
+            .headers
+            .iter()
+            .find(|(n, _)| n == "ETag")
+            .map(|(_, v)| v.clone())
+            .expect("artifact responses carry an ETag");
+        let mut conditional = get("/v1/artifacts/T1?seed=7&scale=quick");
+        conditional
+            .headers
+            .push(("if-none-match".to_string(), etag.clone()));
+        let second = service.handle(&conditional);
+        assert_eq!(second.status, 304);
+        assert!(second.body.is_empty());
+        // The validator is the cache fingerprint, so it must differ
+        // across seeds and scales.
+        let other = service.handle(&get("/v1/artifacts/T1?seed=8&scale=quick"));
+        let other_etag = other
+            .headers
+            .iter()
+            .find(|(n, _)| n == "ETag")
+            .map(|(_, v)| v.clone());
+        assert_ne!(Some(etag), other_etag);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn manifest_lists_artifacts_with_fixed_key_order() {
+        let (service, dir) = temp_service();
+        let resp = service.handle(&get("/v1/manifest/T1?seed=7&scale=quick"));
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.starts_with("{\"experiment\":\"T1\",\"kind\":\"table\","));
+        assert!(body.contains("\"scale\":\"quick\",\"seed\":7,"));
+        assert!(body.contains("\"fingerprint\":\""));
+        assert!(body.contains("\"artifacts\":[{\"id\":"));
+        assert!(body.ends_with("]}\n"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn csv_format_selects_one_artifact() {
+        let (service, dir) = temp_service();
+        let manifest = service.handle(&get("/v1/manifest/T1?seed=7"));
+        let body = String::from_utf8(manifest.body).unwrap();
+        let aid = body
+            .split("\"artifacts\":[{\"id\":\"")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+            .expect("manifest names at least one artifact")
+            .to_string();
+        let csv = service.handle(&get(&format!(
+            "/v1/artifacts/T1?seed=7&format=csv&artifact={aid}"
+        )));
+        assert_eq!(csv.status, 200);
+        assert!(!csv.body.is_empty());
+        let missing = service.handle(&get("/v1/artifacts/T1?seed=7&artifact=nope"));
+        assert_eq!(missing.status, 404);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("x\ny"), "\"x\\ny\"");
+    }
+}

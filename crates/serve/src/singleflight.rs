@@ -1,0 +1,254 @@
+//! Keyed single-flight execution: concurrent callers asking for the
+//! same key run the computation exactly once.
+//!
+//! The first caller to claim a key becomes its **leader** and runs the
+//! closure; everyone else arriving while the flight is open becomes a
+//! **waiter**, blocks on the flight's condvar, and receives a clone of
+//! the leader's value. The flight is removed from the table the moment
+//! the leader completes, so results are never cached here — a later
+//! request for the same key starts a fresh flight (and, in the serving
+//! layer, finds the artifact cache warm instead). Failures therefore
+//! cannot stick: an error is handed to the callers of *this* flight and
+//! forgotten.
+//!
+//! If a leader panics, its flight is marked abandoned on unwind and the
+//! waiters retry the claim — one of them becomes the next leader rather
+//! than blocking forever.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// What a flight's slot currently holds.
+enum State<V> {
+    /// The leader is still computing.
+    Pending,
+    /// The leader finished; waiters clone this.
+    Done(V),
+    /// The leader unwound without a value; waiters must retry.
+    Abandoned,
+}
+
+struct Slot<V> {
+    state: Mutex<State<V>>,
+    ready: Condvar,
+}
+
+impl<V> Slot<V> {
+    fn new() -> Self {
+        Slot {
+            state: Mutex::new(State::Pending),
+            ready: Condvar::new(),
+        }
+    }
+}
+
+/// How a caller obtained its value: by computing it, or by waiting on
+/// the caller that did. The serving layer's `serve.singleflight.lead` /
+/// `serve.singleflight.wait` counters hang off this distinction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// This caller ran the computation.
+    Led,
+    /// This caller received the leader's value.
+    Waited,
+}
+
+/// A table of in-flight computations keyed by `K`.
+pub struct Group<K, V> {
+    slots: Mutex<HashMap<K, Arc<Slot<V>>>>,
+}
+
+impl<K, V> Default for Group<K, V> {
+    fn default() -> Self {
+        Group {
+            slots: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+/// Marks the flight abandoned if the leader unwinds before publishing a
+/// value, so waiters wake up and retry instead of blocking forever.
+struct LeaderGuard<'a, K: Eq + Hash, V> {
+    group: &'a Group<K, V>,
+    key: &'a K,
+    slot: &'a Arc<Slot<V>>,
+    published: bool,
+}
+
+impl<K: Eq + Hash, V> Drop for LeaderGuard<'_, K, V> {
+    fn drop(&mut self) {
+        if self.published {
+            return;
+        }
+        self.group.remove(self.key);
+        let mut state = match self.slot.state.lock() {
+            Ok(state) => state,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        *state = State::Abandoned;
+        self.slot.ready.notify_all();
+    }
+}
+
+impl<K: Eq + Hash, V> Group<K, V> {
+    fn remove(&self, key: &K) {
+        if let Ok(mut slots) = self.slots.lock() {
+            slots.remove(key);
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Group<K, V> {
+    /// An empty group.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `compute` for `key` unless a flight for it is already open,
+    /// in which case the call blocks and returns the open flight's
+    /// value. Returns the value and this caller's [`Role`].
+    pub fn run(&self, key: &K, compute: impl FnOnce() -> V) -> (V, Role) {
+        let mut compute = Some(compute);
+        loop {
+            let (slot, leader) = {
+                let mut slots = self.slots.lock().expect("flight table lock not poisoned");
+                match slots.get(key) {
+                    Some(slot) => (Arc::clone(slot), false),
+                    None => {
+                        let slot = Arc::new(Slot::new());
+                        slots.insert(key.clone(), Arc::clone(&slot));
+                        (slot, true)
+                    }
+                }
+            };
+            if leader {
+                let mut guard = LeaderGuard {
+                    group: self,
+                    key,
+                    slot: &slot,
+                    published: false,
+                };
+                let value = (compute.take().expect("a leader claims at most once"))();
+                // Unlink before publishing: a request arriving after this
+                // point starts a fresh flight instead of reading a stale
+                // result, which is what keeps failures from sticking.
+                self.remove(key);
+                let mut state = slot.state.lock().expect("flight slot lock not poisoned");
+                *state = State::Done(value.clone());
+                guard.published = true;
+                drop(state);
+                slot.ready.notify_all();
+                return (value, Role::Led);
+            }
+            let mut state = slot.state.lock().expect("flight slot lock not poisoned");
+            loop {
+                match &*state {
+                    State::Pending => {
+                        state = slot
+                            .ready
+                            .wait(state)
+                            .expect("flight slot lock not poisoned");
+                    }
+                    State::Done(value) => return (value.clone(), Role::Waited),
+                    State::Abandoned => break,
+                }
+            }
+            // Abandoned flight: loop around and re-claim the key.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    #[test]
+    fn concurrent_callers_compute_once_and_share_the_value() {
+        let group = Arc::new(Group::<&'static str, usize>::new());
+        let executions = Arc::new(AtomicUsize::new(0));
+        let arrived = Arc::new(Barrier::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let (group, executions, arrived) = (
+                    Arc::clone(&group),
+                    Arc::clone(&executions),
+                    Arc::clone(&arrived),
+                );
+                std::thread::spawn(move || {
+                    arrived.wait();
+                    group.run(&"key", || {
+                        // Hold the flight open long enough for every
+                        // thread that passed the barrier to join it.
+                        std::thread::sleep(std::time::Duration::from_millis(200));
+                        executions.fetch_add(1, Ordering::SeqCst) + 1
+                    })
+                })
+            })
+            .collect();
+        let outcomes: Vec<(usize, Role)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(executions.load(Ordering::SeqCst), 1, "one execution");
+        assert!(outcomes.iter().all(|(v, _)| *v == 1), "one shared value");
+        let leaders = outcomes.iter().filter(|(_, r)| *r == Role::Led).count();
+        assert_eq!(leaders, 1, "exactly one leader");
+    }
+
+    #[test]
+    fn sequential_callers_each_run_a_fresh_flight() {
+        let group = Group::<u32, u32>::new();
+        let (a, role_a) = group.run(&1, || 10);
+        let (b, role_b) = group.run(&1, || 20);
+        assert_eq!((a, role_a), (10, Role::Led));
+        assert_eq!((b, role_b), (20, Role::Led), "results are not cached");
+    }
+
+    #[test]
+    fn distinct_keys_fly_independently() {
+        let group = Arc::new(Group::<u32, u32>::new());
+        let gate = Arc::new(Barrier::new(2));
+        let g2 = Arc::clone(&group);
+        let gate2 = Arc::clone(&gate);
+        let other = std::thread::spawn(move || {
+            g2.run(&2, || {
+                gate2.wait();
+                200
+            })
+        });
+        gate.wait();
+        // Key 1 is claimable while key 2's flight is open.
+        let (v, role) = group.run(&1, || 100);
+        assert_eq!((v, role), (100, Role::Led));
+        assert_eq!(other.join().unwrap(), (200, Role::Led));
+    }
+
+    #[test]
+    fn a_panicking_leader_hands_the_flight_to_a_waiter() {
+        let group = Arc::new(Group::<&'static str, u32>::new());
+        let opened = Arc::new(Barrier::new(2));
+        let g2 = Arc::clone(&group);
+        let opened2 = Arc::clone(&opened);
+        let waiter = std::thread::spawn(move || {
+            opened2.wait();
+            // By now the doomed leader holds the flight (it waits on the
+            // same barrier inside the closure before panicking).
+            std::thread::sleep(std::time::Duration::from_millis(100));
+            g2.run(&"key", || 7)
+        });
+        let doomed = std::thread::spawn({
+            let group = Arc::clone(&group);
+            let opened = Arc::clone(&opened);
+            move || {
+                group.run(&"key", || {
+                    opened.wait();
+                    std::thread::sleep(std::time::Duration::from_millis(300));
+                    panic!("leader dies");
+                })
+            }
+        });
+        assert!(doomed.join().is_err(), "the leader panicked");
+        let (v, _role) = waiter.join().unwrap();
+        assert_eq!(v, 7, "a waiter re-claimed the abandoned flight");
+    }
+}

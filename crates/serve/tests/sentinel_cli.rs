@@ -259,6 +259,47 @@ fn watch_audits_records_that_arrive_while_it_runs() {
 }
 
 #[test]
+fn watch_exits_cleanly_when_the_history_directory_disappears() {
+    let root = temp_root("gone");
+    let sdir = root.join("history");
+    let store = sentinel::HistoryStore::new(&sdir);
+    let mut rec = sentinel::RunRecord::new("repro-all", "repro", "0.1.0", 42, "quick");
+    rec.push_metric("total_wall_secs", 12.0).unwrap();
+    store.append(&rec).unwrap();
+
+    // An unbounded watch over an existing history; deleting the
+    // directory mid-watch must end the process with a clear error, not
+    // leave it polling an empty void forever.
+    let child = repro()
+        .args(["sentinel", "watch", "--min-history", "2"])
+        .args(["--poll-ms", "20"])
+        .args(["--sentinel-dir", sdir.to_str().unwrap()])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("watch spawns");
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    std::fs::remove_dir_all(&sdir).unwrap();
+    let started = std::time::Instant::now();
+    let output = child.wait_with_output().expect("watch exits");
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(10),
+        "watch must notice the deleted directory promptly"
+    );
+    let stderr = String::from_utf8(output.stderr).unwrap();
+    assert!(
+        !output.status.success(),
+        "watch exits non-zero when its history vanishes:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("history directory") && stderr.contains("disappeared"),
+        "{stderr}"
+    );
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
 fn audit_tolerates_a_torn_record() {
     let root = temp_root("torn");
     let sdir = root.join("history");

@@ -1,0 +1,206 @@
+//! Integration tests for `repro serve` through the real binary: spawn
+//! the daemon on an ephemeral port, drive a fixed request session over
+//! TCP, and pin the responses against golden fixtures — the registry
+//! listing byte-for-byte, the `/metrics` text format with numeric
+//! values normalized. Then SIGKILL the daemon and prove a restart over
+//! the same cache directory serves identical bytes, from the cache.
+//!
+//! Regenerate fixtures after an intentional format change with:
+//! `REGEN_FIXTURES=1 cargo test -p serve --test serve_cli`
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+fn temp_root(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("repro-serve-cli-{label}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Compares `actual` against the named fixture; with `REGEN_FIXTURES=1`
+/// rewrites the fixture instead (for intentional format changes).
+fn assert_matches_fixture(actual: &str, name: &str) {
+    let path = fixture_path(name);
+    if std::env::var("REGEN_FIXTURES").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()));
+    assert_eq!(
+        actual, expected,
+        "response does not match fixture {name}; if the format change is \
+         intentional, regenerate with REGEN_FIXTURES=1"
+    );
+}
+
+/// A running daemon child plus the address it printed.
+struct Daemon {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl Daemon {
+    /// Spawns `repro serve` on an ephemeral port and parses the
+    /// announced address from its stdout.
+    fn spawn(cache_dir: &Path) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args(["serve", "--addr", "127.0.0.1:0", "--jobs", "2"])
+            .args(["--cache-dir", cache_dir.to_str().unwrap()])
+            .env_remove("REPRO_CHAOS")
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("daemon spawns");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut lines = BufReader::new(stdout).lines();
+        let addr = loop {
+            let line = lines
+                .next()
+                .expect("daemon announces its address before exiting")
+                .expect("stdout readable");
+            if let Some(rest) = line.strip_prefix("serving on http://") {
+                break rest.parse().expect("announced address parses");
+            }
+        };
+        Daemon { child, addr }
+    }
+
+    fn get(&self, path: &str, extra_header: Option<&str>) -> (u16, Vec<String>, String) {
+        let mut stream = TcpStream::connect(self.addr).expect("connect");
+        let extra = extra_header.map_or(String::new(), |h| format!("{h}\r\n"));
+        stream
+            .write_all(
+                format!("GET {path} HTTP/1.1\r\n{extra}Connection: close\r\n\r\n").as_bytes(),
+            )
+            .expect("send");
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).expect("receive");
+        let raw = String::from_utf8(raw).expect("utf-8 response");
+        let (head, body) = raw.split_once("\r\n\r\n").expect("complete response");
+        let mut lines = head.lines();
+        let status: u16 = lines
+            .next()
+            .and_then(|l| l.split(' ').nth(1))
+            .and_then(|s| s.parse().ok())
+            .expect("status line");
+        (
+            status,
+            lines.map(str::to_string).collect(),
+            body.to_string(),
+        )
+    }
+
+    fn kill(mut self) {
+        let _ = self.child.kill(); // SIGKILL: no notice, no cleanup
+        let _ = self.child.wait();
+    }
+}
+
+fn header(headers: &[String], name: &str) -> Option<String> {
+    let prefix = format!("{name}: ");
+    headers
+        .iter()
+        .find_map(|l| l.strip_prefix(&prefix).map(str::to_string))
+}
+
+/// Replaces every numeric token with `N` so the fixture pins the metric
+/// *names and shape*, not wall-clock-dependent values.
+fn normalize_metrics(metrics: &str) -> String {
+    metrics
+        .lines()
+        .map(|line| {
+            line.split(' ')
+                .map(|tok| if tok.parse::<f64>().is_ok() { "N" } else { tok })
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n"
+}
+
+#[test]
+fn daemon_serves_the_golden_session_and_survives_sigkill() {
+    let root = temp_root("golden");
+    let cache_dir = root.join("cache");
+    let daemon = Daemon::spawn(&cache_dir);
+
+    // A fixed request session; its telemetry is what the /metrics
+    // fixture pins, so order matters.
+    let (status, _, body) = daemon.get("/healthz", None);
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+    let (status, _, listing) = daemon.get("/v1/experiments", None);
+    assert_eq!(status, 200);
+    assert_matches_fixture(&listing, "golden_experiments.txt");
+
+    let (status, headers, cold_body) = daemon.get("/v1/artifacts/T1?seed=7&scale=quick", None);
+    assert_eq!(status, 200);
+    assert!(!cold_body.is_empty());
+    let etag = header(&headers, "ETag").expect("artifact responses carry an ETag");
+    assert!(etag.starts_with('"') && etag.ends_with('"'), "{etag}");
+
+    let (status, headers, not_modified) = daemon.get(
+        "/v1/artifacts/T1?seed=7&scale=quick",
+        Some(&format!("If-None-Match: {etag}")),
+    );
+    assert_eq!(status, 304);
+    assert!(not_modified.is_empty());
+    assert_eq!(header(&headers, "ETag").as_deref(), Some(etag.as_str()));
+
+    let (status, _, metrics) = daemon.get("/metrics", None);
+    assert_eq!(status, 200);
+    assert_matches_fixture(&normalize_metrics(&metrics), "golden_metrics.txt");
+    // Beyond the shape, the session's exact counts are deterministic.
+    assert!(metrics.contains("counter cache.miss 1\n"), "{metrics}");
+    assert!(metrics.contains("counter cache.stored 1\n"), "{metrics}");
+    assert!(metrics.contains("counter serve.singleflight.lead 1\n"));
+    assert!(metrics.contains("counter serve.status.304 1\n"));
+
+    // SIGKILL mid-flight leaves only the cache directory behind; a new
+    // daemon over it must serve the very same bytes, without computing.
+    daemon.kill();
+    let revived = Daemon::spawn(&cache_dir);
+    let (status, headers, hot_body) = revived.get("/v1/artifacts/T1?seed=7&scale=quick", None);
+    assert_eq!(status, 200);
+    assert_eq!(hot_body, cold_body, "restart must not change a single byte");
+    assert_eq!(header(&headers, "ETag").as_deref(), Some(etag.as_str()));
+    let (_, _, metrics) = revived.get("/metrics", None);
+    assert!(
+        metrics.contains("counter cache.hit 1\n"),
+        "the revived daemon served from the cache:\n{metrics}"
+    );
+    assert!(!metrics.contains("counter cache.miss"), "{metrics}");
+    revived.kill();
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn daemon_rejects_bad_requests_without_dying() {
+    let root = temp_root("badreq");
+    let daemon = Daemon::spawn(&root.join("cache"));
+    let (status, _, body) = daemon.get("/v1/artifacts/ZZ?seed=1", None);
+    assert_eq!(status, 404);
+    assert!(body.contains("unknown experiment id"), "{body}");
+    let (status, _, _) = daemon.get("/v1/artifacts/T1?scale=cosmic", None);
+    assert_eq!(status, 400);
+    let (status, _, _) = daemon.get("/nope", None);
+    assert_eq!(status, 404);
+    // Still alive and serving after every rejection.
+    let (status, _, body) = daemon.get("/healthz", None);
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+    daemon.kill();
+    let _ = std::fs::remove_dir_all(&root);
+}

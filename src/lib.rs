@@ -19,7 +19,7 @@
 //! * [`dataset`] — records, the sliceable store, CSV/JSON, and the
 //!   campaign generator.
 //! * [`analysis`] — the pipelines regenerating every table and figure of
-//!   the paper's evaluation (see `cargo run -p analysis --bin repro`).
+//!   the paper's evaluation (see `cargo run -p serve --bin repro`).
 //! * [`telemetry`] — the pipeline's self-measurement: RAII span traces,
 //!   counters/gauges/log-bucketed histograms, dogfooded latency
 //!   summaries (median + non-parametric CI via `varstats`), and run

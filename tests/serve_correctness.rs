@@ -1,0 +1,359 @@
+//! Serving-correctness suite for the artifact daemon (DESIGN.md §10).
+//!
+//! Four contracts, enforced in-process against [`serve::ArtifactService`]
+//! and over real TCP against [`serve::Server`]:
+//!
+//! 1. **Byte-identity** — a served response body is exactly the bytes
+//!    the engine produces for the same `(experiment, scale, seed)`:
+//!    `render()` for the text form, `to_csv()` for the CSV form, across
+//!    arbitrary request mixes, hot or cold.
+//! 2. **Single-flight** — N concurrent requests for one cold key execute
+//!    the pipeline exactly once: one `cache.miss`, one `cache.stored`,
+//!    one flight leader, N−1 waiters sharing the leader's artifacts.
+//! 3. **Restart identity** — a daemon restarted over the same cache
+//!    directory serves byte-identical responses, now from the cache.
+//! 4. **Chaos identity** — with deterministic fault injection armed,
+//!    transient faults retry under bounded backoff and the response
+//!    bytes never change.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier, Mutex};
+
+use analysis::{find, Context, Scale};
+use proptest::prelude::*;
+use serve::{ArtifactService, ServeOptions, Server};
+use testbed::{FaultPlan, FaultPolicy};
+
+/// Telemetry counters are process-global; every test in this file takes
+/// this lock (they either assert on counter windows or bump counters
+/// while another test is asserting), so windows never bleed.
+static TELEMETRY: Mutex<()> = Mutex::new(());
+
+fn temp_cache(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "serve-correctness-{label}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Cheap experiments only: the suite runs many pipeline executions.
+const POOL: [&str; 4] = ["T1", "T2", "F6", "F7"];
+
+fn service(dir: &PathBuf) -> ArtifactService {
+    ArtifactService::new(ServeOptions {
+        jobs: Some(2),
+        ..ServeOptions::new(dir)
+    })
+}
+
+/// The text body the daemon serves for an experiment: one `render()`
+/// per artifact, each followed by the CLI's `println!` newline.
+fn text_body(artifacts: &[analysis::Artifact]) -> String {
+    let mut out = String::new();
+    for artifact in artifacts {
+        out.push_str(&artifact.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// What the engine produces for `(id, seed)` at quick scale, computed
+/// directly — the reference bytes for every serving assertion.
+fn engine_direct(ctx: &Context, id: &str) -> Vec<analysis::Artifact> {
+    find(id)
+        .expect("registered")
+        .run(ctx)
+        .expect("experiment succeeds")
+}
+
+fn parse_request(path: &str) -> serve::Request {
+    serve::Request::read_from(&mut std::io::BufReader::new(
+        format!("GET {path} HTTP/1.1\r\n\r\n").as_bytes(),
+    ))
+    .expect("well-formed")
+    .expect("one request")
+}
+
+fn body_of(service: &ArtifactService, path: &str) -> String {
+    let resp = service.handle(&parse_request(path));
+    assert_eq!(resp.status, 200, "GET {path}");
+    String::from_utf8(resp.body).expect("utf-8 body")
+}
+
+#[test]
+fn served_bodies_match_engine_artifacts_byte_for_byte() {
+    let _guard = TELEMETRY.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = temp_cache("identity");
+    let service = service(&dir);
+    for seed in [7u64, 11] {
+        let ctx = Context::with_jobs(Scale::Quick, seed, Some(2));
+        for id in POOL {
+            let reference = engine_direct(&ctx, id);
+            // Text form: cold on the first seed pass, hot on the second
+            // request — the bytes must not care.
+            let path = format!("/v1/artifacts/{id}?seed={seed}&scale=quick");
+            let cold = body_of(&service, &path);
+            let hot = body_of(&service, &path);
+            assert_eq!(cold, text_body(&reference), "{id} seed {seed} (cold)");
+            assert_eq!(cold, hot, "{id} seed {seed} must not vary per request");
+            // CSV form, one artifact at a time — the bytes `repro all
+            // --out` writes to disk.
+            for artifact in &reference {
+                let csv = body_of(
+                    &service,
+                    &format!(
+                        "/v1/artifacts/{id}?seed={seed}&scale=quick&format=csv&artifact={}",
+                        artifact.id()
+                    ),
+                );
+                assert_eq!(csv, artifact.to_csv(), "{id}/{} csv", artifact.id());
+            }
+        }
+    }
+    assert!(
+        service.cache().hits() >= POOL.len() as u64 * 2,
+        "second requests are served from the cache"
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    // Byte-identity over proptest-chosen (id, seed) request mixes: the
+    // served text body always equals the engine's artifacts.
+    #[test]
+    fn served_bodies_match_for_arbitrary_seed_and_id_mixes(
+        seed in 0u64..1_000_000,
+        mask in 1usize..(1 << POOL.len()),
+    ) {
+        let _guard = TELEMETRY.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = temp_cache("proptest");
+        let service = service(&dir);
+        let ctx = Context::with_jobs(Scale::Quick, seed, Some(2));
+        for (i, id) in POOL.iter().enumerate() {
+            if mask & (1 << i) == 0 {
+                continue;
+            }
+            let body = body_of(&service, &format!("/v1/artifacts/{id}?seed={seed}"));
+            prop_assert_eq!(body, text_body(&engine_direct(&ctx, id)));
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+#[test]
+fn eight_concurrent_clients_on_a_cold_key_execute_the_pipeline_once() {
+    let _guard = TELEMETRY.lock().unwrap_or_else(|e| e.into_inner());
+    telemetry::metrics::reset();
+    telemetry::set_enabled(true);
+    let dir = temp_cache("singleflight");
+    let service = Arc::new(service(&dir));
+    let experiment = find("T6").expect("registered");
+    const CLIENTS: usize = 8;
+    let arrived = Arc::new(Barrier::new(CLIENTS));
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let service = Arc::clone(&service);
+            let arrived = Arc::clone(&arrived);
+            std::thread::spawn(move || {
+                arrived.wait();
+                service
+                    .artifacts_for(experiment, Scale::Quick, 13)
+                    .expect("pipeline succeeds")
+            })
+        })
+        .collect();
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    telemetry::set_enabled(false);
+
+    // Every client got the same artifacts (literally the same allocation
+    // for the waiters, but assert bytes, which is the contract).
+    let reference = text_body(&results[0]);
+    assert!(results.iter().all(|r| text_body(r) == reference));
+
+    // The cache saw exactly one cold lookup and one store: the leader's.
+    assert_eq!(service.cache().misses(), 1, "exactly one cache.miss");
+    assert_eq!(service.cache().stored(), 1, "exactly one cache.stored");
+    assert_eq!(service.cache().hits(), 0, "nobody hit a half-warm cache");
+
+    // Telemetry saw the same story: one miss, one store, one flight
+    // leader, seven waiters.
+    let snapshot = telemetry::metrics::snapshot();
+    assert_eq!(snapshot.counter("cache.miss"), Some(1));
+    assert_eq!(snapshot.counter("cache.stored"), Some(1));
+    assert_eq!(
+        snapshot.counter("cache.hit"),
+        None,
+        "no hit counter registered"
+    );
+    assert_eq!(snapshot.counter("serve.singleflight.lead"), Some(1));
+    assert_eq!(
+        snapshot.counter("serve.singleflight.wait"),
+        Some((CLIENTS - 1) as u64)
+    );
+
+    // A later request finds the cache warm: a fresh flight, not a shared
+    // stale one, and a hit instead of a recompute.
+    let after = service
+        .artifacts_for(experiment, Scale::Quick, 13)
+        .expect("pipeline succeeds");
+    assert_eq!(text_body(&after), reference);
+    assert_eq!(service.cache().hits(), 1);
+    assert_eq!(service.cache().misses(), 1, "still exactly one miss");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn a_restarted_daemon_serves_identical_bytes_from_the_same_cache_dir() {
+    let _guard = TELEMETRY.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = temp_cache("restart");
+    let path = "/v1/artifacts/T1?seed=29&scale=quick";
+
+    let first_body;
+    let first_etag;
+    {
+        let service = Arc::new(service(&dir));
+        let server = Server::bind("127.0.0.1:0", Arc::clone(&service)).expect("bind");
+        let (status, headers, body) = http_get(server.addr(), path);
+        assert_eq!(status, 200);
+        first_body = body;
+        first_etag = header(&headers, "ETag").expect("artifact responses carry an ETag");
+        assert_eq!(service.cache().misses(), 1, "first daemon computed it");
+        server.shutdown();
+    }
+
+    // A brand-new process-equivalent: fresh service, fresh server, same
+    // cache directory on disk.
+    {
+        let service = Arc::new(service(&dir));
+        let server = Server::bind("127.0.0.1:0", Arc::clone(&service)).expect("bind");
+        let (status, headers, body) = http_get(server.addr(), path);
+        assert_eq!(status, 200);
+        assert_eq!(body, first_body, "restart must not change a single byte");
+        assert_eq!(
+            header(&headers, "ETag").as_deref(),
+            Some(first_etag.as_str())
+        );
+        assert_eq!(
+            service.cache().hits(),
+            1,
+            "second daemon served the stored entry"
+        );
+        assert_eq!(service.cache().misses(), 0);
+        server.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn chaos_under_serving_retries_faults_and_keeps_bytes_identical() {
+    let _guard = TELEMETRY.lock().unwrap_or_else(|e| e.into_inner());
+    let clean_dir = temp_cache("chaos-clean");
+    let chaotic_dir = temp_cache("chaos-armed");
+    let clean = service(&clean_dir);
+    let chaotic = ArtifactService::new(ServeOptions {
+        jobs: Some(2),
+        // 90% transient and I/O fault rates, no worker deaths: every
+        // fault site fires up to the per-site cap, and a 2-retry budget
+        // with millisecond backoff always outlasts it.
+        faults: Some(FaultPlan::with_rates(99, 900, 900, 0)),
+        policy: FaultPolicy::new(2, std::time::Duration::from_millis(1)),
+        ..ServeOptions::new(&chaotic_dir)
+    });
+    for id in ["T1", "F6"] {
+        let path = format!("/v1/artifacts/{id}?seed=31&scale=quick");
+        assert_eq!(
+            body_of(&clean, &path),
+            body_of(&chaotic, &path),
+            "{id}: chaos must be invisible in the response bytes"
+        );
+    }
+    let (injected, retried) = chaotic.fault_stats();
+    assert!(injected > 0, "the chaos plan actually fired");
+    assert!(retried > 0, "transient faults were retried, not masked");
+    assert_eq!(clean.fault_stats(), (0, 0), "the clean daemon saw none");
+    let _ = std::fs::remove_dir_all(clean_dir);
+    let _ = std::fs::remove_dir_all(chaotic_dir);
+}
+
+#[test]
+fn concurrent_http_clients_over_mixed_hot_and_cold_keys_agree() {
+    let _guard = TELEMETRY.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = temp_cache("hammer");
+    let service = Arc::new(service(&dir));
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&service)).expect("bind");
+    let addr = server.addr();
+
+    // Warm one key so the mix genuinely spans hot and cold.
+    let warm = "/v1/artifacts/T1?seed=37&scale=quick";
+    let (status, _, warm_body) = http_get(addr, warm);
+    assert_eq!(status, 200);
+
+    let paths = [
+        warm.to_string(),
+        "/v1/artifacts/T2?seed=37&scale=quick".to_string(),
+        "/v1/artifacts/F6?seed=37&scale=quick".to_string(),
+    ];
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            let paths = paths.clone();
+            std::thread::spawn(move || {
+                let mut bodies = Vec::new();
+                for round in 0..3 {
+                    let path = &paths[(i + round) % paths.len()];
+                    let (status, _, body) = http_get(addr, path);
+                    assert_eq!(status, 200, "GET {path}");
+                    bodies.push((path.clone(), body));
+                }
+                bodies
+            })
+        })
+        .collect();
+    let mut by_path: std::collections::HashMap<String, String> = std::collections::HashMap::new();
+    by_path.insert(warm.to_string(), warm_body);
+    for handle in handles {
+        for (path, body) in handle.join().unwrap() {
+            let seen = by_path.entry(path.clone()).or_insert_with(|| body.clone());
+            assert_eq!(*seen, body, "{path}: every client sees the same bytes");
+        }
+    }
+    assert_eq!(by_path.len(), paths.len());
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// One `Connection: close` GET over real TCP; returns (status, header
+/// lines, body string).
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (u16, Vec<String>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nConnection: close\r\n\r\n").as_bytes())
+        .expect("send");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("receive");
+    let raw = String::from_utf8(raw).expect("utf-8 response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("complete response");
+    let mut lines = head.lines();
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    (
+        status,
+        lines.map(str::to_string).collect(),
+        body.to_string(),
+    )
+}
+
+fn header(headers: &[String], name: &str) -> Option<String> {
+    let prefix = format!("{name}: ");
+    headers
+        .iter()
+        .find_map(|l| l.strip_prefix(&prefix).map(str::to_string))
+}
