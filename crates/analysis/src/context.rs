@@ -1,13 +1,28 @@
 //! Shared experiment context.
 //!
 //! All experiments slice the same campaign dataset, so the registry
-//! builds one [`Context`] (cluster + store + defaults) and hands it to
-//! every pipeline. `Scale::Quick` keeps everything CI-sized;
+//! builds one [`Context`] (cluster + data source + defaults) and hands
+//! it to every pipeline. `Scale::Quick` keeps everything CI-sized;
 //! `Scale::Paper` provisions the full fleet and a dense session schedule.
+//!
+//! The context's measurements live behind a [`DataSource`]: either the
+//! classic fully materialized [`Store`], or a streaming replay of the
+//! shard journal that keeps at most one machine shard resident at a
+//! time (DESIGN.md §11). Experiments that walk the dataset do so
+//! through [`Context::for_each_shard`], which visits machines in the
+//! canonical ascending-id order in *both* modes — the per-machine value
+//! vectors are identical, so every downstream artifact is byte-for-byte
+//! the same whichever source backs the context.
 
 use confirm::ConfirmConfig;
-use dataset::{CampaignConfig, CampaignError, CollectOptions, CollectReport, Store};
-use testbed::{catalog, Cluster, Timeline};
+use dataset::{
+    CampaignConfig, CampaignError, CollectOptions, CollectReport, Record, ShardReader, Store,
+    StreamStats,
+};
+use testbed::{catalog, Cluster, MachineId, Timeline};
+use workloads::BenchmarkId;
+
+use crate::registry::ExperimentError;
 
 /// How big the campaign backing the experiments is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -65,6 +80,62 @@ impl Scale {
     }
 }
 
+/// Where a context's measurements live.
+#[derive(Debug, Clone)]
+pub enum DataSource {
+    /// The whole campaign materialized in memory — O(fleet) resident.
+    Materialized(Store),
+    /// A shard-journal replay — one machine shard resident at a time,
+    /// O(largest shard) resident (DESIGN.md §11).
+    Streaming(StreamSource),
+}
+
+/// The streaming side of [`DataSource`]: a [`ShardReader`] over a
+/// completed journal, plus the total record count (read once from the
+/// shard envelopes, so sizing the manifest never replays data).
+#[derive(Debug, Clone)]
+pub struct StreamSource {
+    reader: ShardReader,
+    records: usize,
+}
+
+impl StreamSource {
+    /// The reader backing this source.
+    pub fn reader(&self) -> &ShardReader {
+        &self.reader
+    }
+}
+
+/// One machine's complete sample set, as visited by
+/// [`Context::for_each_shard`]. Borrowed from the store in materialized
+/// mode and from the one resident shard in streaming mode.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardView<'a> {
+    /// The machine.
+    pub machine: MachineId,
+    /// The machine's hardware type.
+    pub type_name: &'a str,
+    records: &'a [Record],
+}
+
+impl ShardView<'_> {
+    /// Every record of this machine, in collection order.
+    pub fn records(&self) -> &[Record] {
+        self.records
+    }
+
+    /// This machine's values for one benchmark, in collection order —
+    /// exactly the vector `store.filter().benchmark(b).group_by_machine()`
+    /// yields for this machine.
+    pub fn values(&self, benchmark: BenchmarkId) -> Vec<f64> {
+        self.records
+            .iter()
+            .filter(|r| r.benchmark == benchmark)
+            .map(|r| r.value)
+            .collect()
+    }
+}
+
 /// Everything an experiment pipeline needs.
 #[derive(Debug, Clone)]
 pub struct Context {
@@ -76,8 +147,8 @@ pub struct Context {
     pub campaign: CampaignConfig,
     /// The provisioned cluster.
     pub cluster: Cluster,
-    /// The collected dataset.
-    pub store: Store,
+    /// The collected dataset (materialized or streaming).
+    pub data: DataSource,
     /// CONFIRM defaults (95%, ±1%, c = 200, s >= 10).
     pub confirm: ConfirmConfig,
 }
@@ -117,12 +188,7 @@ impl Context {
     ) -> Result<(Self, CollectReport), CampaignError> {
         let _span = telemetry::span("context.build");
         let campaign = scale.campaign(seed);
-        let cluster = Cluster::provision(
-            catalog(),
-            campaign.scale,
-            Timeline::cloudlab_default(),
-            campaign.seed,
-        );
+        let cluster = Self::provision(&campaign);
         let collected = dataset::collect_resumable(&cluster, &campaign, options)?;
         Ok((
             Self {
@@ -130,22 +196,165 @@ impl Context {
                 seed,
                 campaign,
                 cluster,
-                store: collected.store,
+                data: DataSource::Materialized(collected.store),
                 confirm: ConfirmConfig::default().with_seed(seed),
             },
             collected.report,
         ))
+    }
+
+    /// The `--stream` constructor: collection goes straight to the
+    /// journal in `options` (which must carry one) without ever holding
+    /// the fleet's records in memory, and the context reads the data
+    /// back one shard at a time. Artifacts are byte-identical to the
+    /// materialized path's for any worker count.
+    pub fn build_streaming(
+        scale: Scale,
+        seed: u64,
+        options: &CollectOptions<'_>,
+    ) -> Result<(Self, CollectReport), CampaignError> {
+        let _span = telemetry::span("context.build_streaming");
+        let campaign = scale.campaign(seed);
+        let cluster = Self::provision(&campaign);
+        let report = dataset::collect_to_journal(&cluster, &campaign, options)?;
+        let journal = options
+            .journal
+            .expect("collect_to_journal already required a journal");
+        let reader = ShardReader::open(journal.dir(), &campaign).map_err(|e| {
+            CampaignError::Journal(dataset::JournalError::Io(std::io::Error::other(
+                e.to_string(),
+            )))
+        })?;
+        let records = reader.record_count().map_err(|e| {
+            CampaignError::Journal(dataset::JournalError::Io(std::io::Error::other(
+                e.to_string(),
+            )))
+        })? as usize;
+        Ok((
+            Self {
+                scale,
+                seed,
+                campaign,
+                cluster,
+                data: DataSource::Streaming(StreamSource { reader, records }),
+                confirm: ConfirmConfig::default().with_seed(seed),
+            },
+            report,
+        ))
+    }
+
+    fn provision(campaign: &CampaignConfig) -> Cluster {
+        Cluster::provision(
+            catalog(),
+            campaign.scale,
+            Timeline::cloudlab_default(),
+            campaign.seed,
+        )
+    }
+
+    /// Whether the context streams from the journal.
+    pub fn is_streaming(&self) -> bool {
+        matches!(self.data, DataSource::Streaming(_))
+    }
+
+    /// The materialized store.
+    ///
+    /// # Panics
+    ///
+    /// Panics in streaming mode — callers that genuinely need the whole
+    /// store at once cannot run under `--stream`. Every registry
+    /// experiment goes through [`Context::for_each_shard`] instead.
+    pub fn store(&self) -> &Store {
+        match &self.data {
+            DataSource::Materialized(store) => store,
+            DataSource::Streaming(_) => {
+                panic!("the materialized store is not available under --stream")
+            }
+        }
+    }
+
+    /// Total number of measurement records, in either mode. Streaming
+    /// contexts answer from the shard envelopes without replaying data.
+    pub fn records_len(&self) -> usize {
+        match &self.data {
+            DataSource::Materialized(store) => store.len(),
+            DataSource::Streaming(src) => src.records,
+        }
+    }
+
+    /// Live streaming gauges (peak live samples, shards resident), or
+    /// `None` for a materialized context.
+    pub fn stream_stats(&self) -> Option<std::sync::Arc<StreamStats>> {
+        match &self.data {
+            DataSource::Materialized(_) => None,
+            DataSource::Streaming(src) => Some(src.reader.stats()),
+        }
+    }
+
+    /// Visits every machine's complete sample set in ascending
+    /// machine-id order — the one dataset walk experiments use.
+    ///
+    /// Materialized mode slices the store's contiguous per-machine runs
+    /// in place; streaming mode reads one shard at a time from the
+    /// journal and drops it before the next (the [`StreamStats`] gauges
+    /// record the resulting memory bound). Both visit identical records
+    /// in identical order, which is what makes `--stream` artifacts
+    /// byte-identical.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a journal shard is missing or unreadable mid-stream
+    /// (streaming mode only).
+    pub fn for_each_shard(&self, mut f: impl FnMut(ShardView<'_>)) -> Result<(), ExperimentError> {
+        match &self.data {
+            DataSource::Materialized(store) => {
+                // Store order is ascending machine id with contiguous
+                // per-machine runs, so chunking is the shard structure.
+                for run in store.records().chunk_by(|a, b| a.machine == b.machine) {
+                    f(ShardView {
+                        machine: run[0].machine,
+                        type_name: run[0].machine_type.as_str(),
+                        records: run,
+                    });
+                }
+                Ok(())
+            }
+            DataSource::Streaming(src) => {
+                for result in src.reader.stream() {
+                    let shard = result.map_err(|e| ExperimentError::new(e.to_string()))?;
+                    let type_name = self
+                        .cluster
+                        .machine(shard.machine)
+                        .map(|m| m.type_name.as_str())
+                        .ok_or_else(|| {
+                            ExperimentError::new(format!(
+                                "journal shard m{} has no machine in the cluster",
+                                shard.machine.0
+                            ))
+                        })?;
+                    f(ShardView {
+                        machine: shard.machine,
+                        type_name,
+                        records: shard.records(),
+                    });
+                }
+                Ok(())
+            }
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dataset::ShardJournal;
 
     #[test]
     fn quick_context_builds() {
         let ctx = Context::new(Scale::Quick, 1);
-        assert!(!ctx.store.is_empty());
+        assert!(!ctx.store().is_empty());
+        assert!(!ctx.is_streaming());
+        assert_eq!(ctx.records_len(), ctx.store().len());
         assert_eq!(ctx.scale, Scale::Quick);
         assert!(ctx.cluster.machines().len() >= 10);
     }
@@ -154,7 +363,7 @@ mod tests {
     fn jobs_never_change_the_context_dataset() {
         let a = Context::with_jobs(Scale::Quick, 9, Some(1));
         let b = Context::with_jobs(Scale::Quick, 9, Some(4));
-        assert_eq!(a.store, b.store);
+        assert_eq!(a.store(), b.store());
     }
 
     #[test]
@@ -173,19 +382,80 @@ mod tests {
         ));
         let _ = std::fs::remove_dir_all(&dir);
         let plain = Context::with_jobs(Scale::Quick, 13, Some(2));
-        let journal = dataset::ShardJournal::open(&dir, &Scale::Quick.campaign(13)).unwrap();
+        let journal = ShardJournal::open(&dir, &Scale::Quick.campaign(13)).unwrap();
         let options = CollectOptions {
             jobs: Some(2),
             journal: Some(&journal),
             ..CollectOptions::default()
         };
         let (first, report) = Context::build(Scale::Quick, 13, &options).unwrap();
-        assert_eq!(first.store, plain.store);
+        assert_eq!(first.store(), plain.store());
         assert_eq!(report.replayed, 0);
         let (resumed, report) = Context::build(Scale::Quick, 13, &options).unwrap();
-        assert_eq!(resumed.store, plain.store, "replay is byte-identical");
+        assert_eq!(resumed.store(), plain.store(), "replay is byte-identical");
         assert_eq!(report.collected, 0, "completed journal resumes as a no-op");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn streaming_build_visits_the_materialized_shards_exactly() {
+        let dir = std::env::temp_dir().join(format!(
+            "context-stream-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let plain = Context::with_jobs(Scale::Quick, 17, Some(2));
+        let journal = ShardJournal::open(&dir, &Scale::Quick.campaign(17)).unwrap();
+        let options = CollectOptions {
+            jobs: Some(2),
+            journal: Some(&journal),
+            ..CollectOptions::default()
+        };
+        let (streaming, _) = Context::build_streaming(Scale::Quick, 17, &options).unwrap();
+        assert!(streaming.is_streaming());
+        assert_eq!(streaming.records_len(), plain.records_len());
+
+        // Both walks must yield identical shards in identical order.
+        let mut materialized_shards = Vec::new();
+        plain
+            .for_each_shard(|s| {
+                materialized_shards.push((s.machine, s.type_name.to_string(), s.records().to_vec()))
+            })
+            .unwrap();
+        let mut streamed_shards = Vec::new();
+        streaming
+            .for_each_shard(|s| {
+                streamed_shards.push((s.machine, s.type_name.to_string(), s.records().to_vec()))
+            })
+            .unwrap();
+        assert_eq!(streamed_shards, materialized_shards);
+
+        let stats = streaming.stream_stats().unwrap();
+        assert_eq!(stats.peak_shards_resident(), 1, "one shard at a time");
+        assert!(stats.shards_streamed() >= 10);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "not available under --stream")]
+    fn streaming_context_has_no_store() {
+        let dir = std::env::temp_dir().join(format!(
+            "context-nostore-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let journal = ShardJournal::open(&dir, &Scale::Quick.campaign(19)).unwrap();
+        let options = CollectOptions {
+            jobs: Some(1),
+            journal: Some(&journal),
+            ..CollectOptions::default()
+        };
+        let (ctx, _) = Context::build_streaming(Scale::Quick, 19, &options).unwrap();
+        let cleanup = std::fs::remove_dir_all(&dir);
+        drop(cleanup);
+        let _ = ctx.store();
     }
 
     #[test]

@@ -37,21 +37,24 @@ struct CovRow {
     machines: usize,
 }
 
-fn cov_rows(ctx: &Context, bench: BenchmarkId) -> Vec<CovRow> {
-    let by_machine = ctx.store.filter().benchmark(bench).group_by_machine();
-    // Organize machines by type.
-    let mut per_type: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new(); // (cov, median)
-    for (machine, values) in by_machine {
-        let m = ctx.cluster.machine(machine).expect("machine in store");
+fn cov_rows(ctx: &Context, bench: BenchmarkId) -> Result<Vec<CovRow>, ExperimentError> {
+    // One shard pass in canonical machine order (identical in both data
+    // modes), bucketing per-machine (cov, median) pairs by type.
+    let mut per_type: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+    ctx.for_each_shard(|shard| {
+        let values = shard.values(bench);
+        if values.is_empty() {
+            return;
+        }
         let moments: Moments = values.iter().copied().collect();
         let cov = moments.cov().unwrap_or(0.0);
         let med = median(&values).expect("non-empty group");
         per_type
-            .entry(m.type_name.clone())
+            .entry(shard.type_name.to_string())
             .or_default()
             .push((cov, med));
-    }
-    per_type
+    })?;
+    Ok(per_type
         .into_iter()
         .map(|(type_name, entries)| {
             let covs: Vec<f64> = entries.iter().map(|(c, _)| *c).collect();
@@ -72,10 +75,15 @@ fn cov_rows(ctx: &Context, bench: BenchmarkId) -> Vec<CovRow> {
                 machines: entries.len(),
             }
         })
-        .collect()
+        .collect())
 }
 
-fn family_table(ctx: &Context, id: &str, title: &str, benches: &[BenchmarkId]) -> Artifact {
+fn family_table(
+    ctx: &Context,
+    id: &str,
+    title: &str,
+    benches: &[BenchmarkId],
+) -> Result<Artifact, ExperimentError> {
     let mut t = Table::new(
         id,
         title,
@@ -89,7 +97,7 @@ fn family_table(ctx: &Context, id: &str, title: &str, benches: &[BenchmarkId]) -
         ],
     );
     for &bench in benches {
-        for row in cov_rows(ctx, bench) {
+        for row in cov_rows(ctx, bench)? {
             t.push_row(vec![
                 row.type_name,
                 row.disk.to_string(),
@@ -100,7 +108,7 @@ fn family_table(ctx: &Context, id: &str, title: &str, benches: &[BenchmarkId]) -
             ]);
         }
     }
-    Artifact::Table(t)
+    Ok(Artifact::Table(t))
 }
 
 /// F3: memory-family CoV by type.
@@ -114,7 +122,7 @@ pub fn f3_cov_memory(ctx: &Context) -> Result<Vec<Artifact>, ExperimentError> {
             BenchmarkId::MemTriad,
             BenchmarkId::MemLatency,
         ],
-    )])
+    )?])
 }
 
 /// F4: disk-family CoV by type (HDD vs SSD ordering).
@@ -124,7 +132,7 @@ pub fn f4_cov_disk(ctx: &Context) -> Result<Vec<Artifact>, ExperimentError> {
         "F4",
         "CoV by machine type: disk benchmarks",
         &BenchmarkId::DISK,
-    )])
+    )?])
 }
 
 /// F5: network-family CoV by type (throughput the most stable subsystem).
@@ -134,13 +142,13 @@ pub fn f5_cov_network(ctx: &Context) -> Result<Vec<Artifact>, ExperimentError> {
         "F5",
         "CoV by machine type: network benchmarks",
         &BenchmarkId::NETWORK,
-    )])
+    )?])
 }
 
 /// Median within-machine CoV across all types for one benchmark —
 /// the summary number the cross-family comparisons quote.
 pub fn overall_cov(ctx: &Context, bench: BenchmarkId) -> f64 {
-    let rows = cov_rows(ctx, bench);
+    let rows = cov_rows(ctx, bench).expect("data path readable");
     let covs: Vec<f64> = rows.iter().map(|r| r.median_within_cov).collect();
     median(&covs).unwrap_or(0.0)
 }
@@ -184,7 +192,7 @@ mod tests {
     #[test]
     fn hdd_types_show_higher_disk_cov_than_flash() {
         let ctx = Context::new(Scale::Quick, 13);
-        let rows = cov_rows(&ctx, BenchmarkId::DiskSeqRead);
+        let rows = cov_rows(&ctx, BenchmarkId::DiskSeqRead).unwrap();
         let hdd_med = median(
             &rows
                 .iter()

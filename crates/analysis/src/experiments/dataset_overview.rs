@@ -5,7 +5,7 @@
 /// Cache code-version tag for T6: bump on any edit that could
 /// change `t6_dataset_overview`'s output, so stale cached artifacts self-invalidate.
 pub const T6_DATASET_OVERVIEW_VERSION: u32 = 1;
-use dataset::{outlier_sweep, overview, Fence};
+use dataset::{Fence, OverviewBuilder, SweepBuilder};
 
 use crate::artifact::{fmt, pct, Artifact, Table};
 use crate::context::Context;
@@ -13,7 +13,18 @@ use crate::registry::ExperimentError;
 
 /// T6: overview counts plus the per-benchmark outlier fractions.
 pub fn t6_dataset_overview(ctx: &Context) -> Result<Vec<Artifact>, ExperimentError> {
-    let o = overview(&ctx.store);
+    // One shard pass feeds both mergeable folds — identical outputs to
+    // `overview(&store)` / `outlier_sweep(&store, ..)`, which run the
+    // same folds over the materialized record chunks.
+    let mut builder = OverviewBuilder::new();
+    let mut sweep = SweepBuilder::new(Fence::MadZ { threshold: 3.5 });
+    ctx.for_each_shard(|shard| {
+        builder.observe_records(shard.records());
+        sweep
+            .observe_shard(shard.records())
+            .expect("campaign values are finite");
+    })?;
+    let o = builder.finish();
     let mut head = Table::new("T6", "Campaign dataset overview", &["property", "value"]);
     for (k, v) in [
         ("measurements", o.measurements.to_string()),
@@ -42,7 +53,7 @@ pub fn t6_dataset_overview(ctx: &Context) -> Result<Vec<Artifact>, ExperimentErr
             "worst set",
         ],
     );
-    let reports = outlier_sweep(&ctx.store, Fence::MadZ { threshold: 3.5 }).expect("valid store");
+    let reports = sweep.finish();
     for r in &reports {
         health.push_row(vec![
             r.benchmark.label().to_string(),
@@ -70,7 +81,7 @@ mod tests {
                 let get = |name: &str| -> String {
                     t.rows.iter().find(|r| r[0] == name).unwrap()[1].clone()
                 };
-                assert_eq!(get("measurements"), ctx.store.len().to_string());
+                assert_eq!(get("measurements"), ctx.records_len().to_string());
                 assert_eq!(get("machines"), "30");
                 assert_eq!(get("benchmarks"), "11");
             }

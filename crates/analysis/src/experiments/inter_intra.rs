@@ -33,21 +33,35 @@ pub struct Decomposition {
 }
 
 /// Decomposes one (type, benchmark).
-pub fn decompose(ctx: &Context, type_name: &str, bench: BenchmarkId) -> Option<Decomposition> {
-    let groups = ctx
-        .store
-        .filter()
-        .benchmark(bench)
-        .machine_type(type_name)
-        .group_by_machine();
+///
+/// # Errors
+///
+/// Fails only if a streaming context cannot read a journal shard.
+pub fn decompose(
+    ctx: &Context,
+    type_name: &str,
+    bench: BenchmarkId,
+) -> Result<Option<Decomposition>, ExperimentError> {
+    // One shard pass over the type's machines, ascending id — the same
+    // per-machine vectors the grouped store walk yields.
+    let mut groups: Vec<Vec<f64>> = Vec::new();
+    ctx.for_each_shard(|shard| {
+        if shard.type_name != type_name {
+            return;
+        }
+        let values = shard.values(bench);
+        if !values.is_empty() {
+            groups.push(values);
+        }
+    })?;
     if groups.len() < 2 {
-        return None;
+        return Ok(None);
     }
     let mut within = 0.0;
     let mut means = Vec::new();
     let mut medians = Vec::new();
     let mut total_moments = Moments::new();
-    for values in groups.values() {
+    for values in &groups {
         let m: Moments = values.iter().copied().collect();
         within += m.population_variance();
         means.push(m.mean());
@@ -62,7 +76,7 @@ pub fn decompose(ctx: &Context, type_name: &str, bench: BenchmarkId) -> Option<D
     let total = within + between_var;
     let max = medians.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let min = medians.iter().cloned().fold(f64::INFINITY, f64::min);
-    Some(Decomposition {
+    Ok(Some(Decomposition {
         type_name: type_name.to_string(),
         benchmark: bench,
         machines: groups.len(),
@@ -72,7 +86,7 @@ pub fn decompose(ctx: &Context, type_name: &str, bench: BenchmarkId) -> Option<D
             0.0
         },
         median_spread: if max > 0.0 { (max - min) / max } else { 0.0 },
-    })
+    }))
 }
 
 /// F12: the decomposition table for memory and disk benchmarks.
@@ -90,7 +104,7 @@ pub fn f12_inter_intra(ctx: &Context) -> Result<Vec<Artifact>, ExperimentError> 
     );
     for bench in [BenchmarkId::MemTriad, BenchmarkId::DiskSeqRead] {
         for mtype in ctx.cluster.types() {
-            if let Some(d) = decompose(ctx, &mtype.name, bench) {
+            if let Some(d) = decompose(ctx, &mtype.name, bench)? {
                 t.push_row(vec![
                     d.type_name,
                     d.benchmark.label().to_string(),
@@ -119,7 +133,7 @@ mod tests {
             .cluster
             .types()
             .iter()
-            .filter_map(|t| decompose(&ctx, &t.name, BenchmarkId::MemTriad))
+            .filter_map(|t| decompose(&ctx, &t.name, BenchmarkId::MemTriad).unwrap())
             .map(|d| d.between_fraction)
             .collect();
         assert!(!fractions.is_empty());
@@ -137,7 +151,7 @@ mod tests {
                 .cluster
                 .types()
                 .iter()
-                .filter_map(|t| decompose(&ctx, &t.name, bench))
+                .filter_map(|t| decompose(&ctx, &t.name, bench).unwrap())
                 .map(|d| d.between_fraction)
                 .collect();
             fr.iter().sum::<f64>() / fr.len() as f64
@@ -154,7 +168,7 @@ mod tests {
             .cluster
             .types()
             .iter()
-            .filter_map(|t| decompose(&ctx, &t.name, BenchmarkId::MemTriad))
+            .filter_map(|t| decompose(&ctx, &t.name, BenchmarkId::MemTriad).unwrap())
             .map(|d| d.median_spread)
             .fold(0.0, f64::max);
         assert!(
@@ -166,7 +180,9 @@ mod tests {
     #[test]
     fn single_machine_type_is_skipped() {
         let ctx = Context::new(Scale::Quick, 84);
-        assert!(decompose(&ctx, "no-such-type", BenchmarkId::MemTriad).is_none());
+        assert!(decompose(&ctx, "no-such-type", BenchmarkId::MemTriad)
+            .unwrap()
+            .is_none());
     }
 
     #[test]

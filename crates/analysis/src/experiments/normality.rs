@@ -38,36 +38,42 @@ impl NormalityCensusRow {
 }
 
 /// Runs the census at significance `alpha`.
-pub fn census(ctx: &Context, alpha: f64) -> Vec<NormalityCensusRow> {
-    BenchmarkId::ALL
+///
+/// # Errors
+///
+/// Fails only if a streaming context cannot read a journal shard.
+pub fn census(ctx: &Context, alpha: f64) -> Result<Vec<NormalityCensusRow>, ExperimentError> {
+    // One shard pass; each machine's set is complete within its shard,
+    // so the per-benchmark pass counters accumulate shard by shard.
+    let mut tallies = vec![(0usize, 0usize); BenchmarkId::ALL.len()];
+    ctx.for_each_shard(|shard| {
+        for (&benchmark, tally) in BenchmarkId::ALL.iter().zip(tallies.iter_mut()) {
+            let values = shard.values(benchmark);
+            if values.len() < 20 {
+                continue;
+            }
+            if let Ok(result) = shapiro_wilk(&values) {
+                tally.0 += 1;
+                if result.is_normal(alpha) {
+                    tally.1 += 1;
+                }
+            }
+        }
+    })?;
+    Ok(BenchmarkId::ALL
         .iter()
-        .map(|&benchmark| {
-            let groups = ctx.store.filter().benchmark(benchmark).group_by_machine();
-            let mut sets = 0usize;
-            let mut passed = 0usize;
-            for values in groups.values() {
-                if values.len() < 20 {
-                    continue;
-                }
-                if let Ok(result) = shapiro_wilk(values) {
-                    sets += 1;
-                    if result.is_normal(alpha) {
-                        passed += 1;
-                    }
-                }
-            }
-            NormalityCensusRow {
-                benchmark,
-                sets,
-                passed,
-            }
+        .zip(tallies)
+        .map(|(&benchmark, (sets, passed))| NormalityCensusRow {
+            benchmark,
+            sets,
+            passed,
         })
-        .collect()
+        .collect())
 }
 
 /// F6: pass rates per benchmark plus the overall fraction.
 pub fn f6_normality(ctx: &Context) -> Result<Vec<Artifact>, ExperimentError> {
-    let rows = census(ctx, 0.05);
+    let rows = census(ctx, 0.05)?;
     let mut t = Table::new(
         "F6",
         "Shapiro-Wilk normality census (alpha = 0.05), per benchmark",
@@ -104,9 +110,9 @@ mod tests {
     #[test]
     fn census_covers_every_benchmark_and_machine() {
         let ctx = Context::new(Scale::Quick, 21);
-        let rows = census(&ctx, 0.05);
+        let rows = census(&ctx, 0.05).unwrap();
         assert_eq!(rows.len(), BenchmarkId::ALL.len());
-        let machines = ctx.store.machines().len();
+        let machines = ctx.store().machines().len();
         for row in &rows {
             assert_eq!(row.sets, machines, "{:?}", row.benchmark);
             assert!(row.passed <= row.sets);
@@ -120,7 +126,7 @@ mod tests {
         // far less often than memory bandwidth (no drift, tiny normal
         // noise).
         let ctx = Context::new(Scale::Quick, 22);
-        let rows = census(&ctx, 0.05);
+        let rows = census(&ctx, 0.05).unwrap();
         let rate = |b: BenchmarkId| rows.iter().find(|r| r.benchmark == b).unwrap().pass_rate();
         let mem = rate(BenchmarkId::MemCopy);
         let disk = rate(BenchmarkId::DiskRandRead);
@@ -146,8 +152,8 @@ mod tests {
     #[test]
     fn stricter_alpha_passes_more() {
         let ctx = Context::new(Scale::Quick, 24);
-        let r5 = census(&ctx, 0.05);
-        let r1 = census(&ctx, 0.01);
+        let r5 = census(&ctx, 0.05).unwrap();
+        let r1 = census(&ctx, 0.01).unwrap();
         let total = |rows: &[NormalityCensusRow]| -> usize { rows.iter().map(|r| r.passed).sum() };
         assert!(total(&r1) >= total(&r5));
     }

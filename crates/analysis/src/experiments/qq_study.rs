@@ -49,14 +49,21 @@ pub fn f13_qq(ctx: &Context) -> Result<Vec<Artifact>, ExperimentError> {
         "Filliben probability-plot correlation per benchmark (median across machines)",
         &["benchmark", "median r", "min r"],
     );
-    for bench in BenchmarkId::ALL {
-        let groups = ctx.store.filter().benchmark(bench).group_by_machine();
-        let mut rs = Vec::new();
-        for values in groups.values() {
-            if let Ok(qq) = normal_qq(values) {
+    // One shard pass collects the per-machine correlations for every
+    // benchmark (machine-ascending order, same as the grouped walk).
+    let mut rs_per_bench = vec![Vec::new(); BenchmarkId::ALL.len()];
+    ctx.for_each_shard(|shard| {
+        for (&bench, rs) in BenchmarkId::ALL.iter().zip(rs_per_bench.iter_mut()) {
+            let values = shard.values(bench);
+            if values.is_empty() {
+                continue;
+            }
+            if let Ok(qq) = normal_qq(&values) {
                 rs.push(qq.correlation);
             }
         }
+    })?;
+    for (bench, rs) in BenchmarkId::ALL.into_iter().zip(rs_per_bench) {
         if rs.is_empty() {
             continue;
         }

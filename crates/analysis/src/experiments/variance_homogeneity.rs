@@ -28,16 +28,33 @@ pub struct HomogeneityCell {
 }
 
 /// Runs Brown–Forsythe across each type's machines for `bench`.
-pub fn homogeneity_by_type(ctx: &Context, bench: BenchmarkId) -> Vec<HomogeneityCell> {
+///
+/// # Errors
+///
+/// Fails only if a streaming context cannot read a journal shard.
+pub fn homogeneity_by_type(
+    ctx: &Context,
+    bench: BenchmarkId,
+) -> Result<Vec<HomogeneityCell>, ExperimentError> {
+    // One shard pass gathers every type's per-machine groups in
+    // ascending machine order — identical vectors to the grouped walk.
+    let mut per_type: std::collections::BTreeMap<String, Vec<Vec<f64>>> =
+        std::collections::BTreeMap::new();
+    ctx.for_each_shard(|shard| {
+        let values = shard.values(bench);
+        if !values.is_empty() {
+            per_type
+                .entry(shard.type_name.to_string())
+                .or_default()
+                .push(values);
+        }
+    })?;
     let mut out = Vec::new();
     for mtype in ctx.cluster.types() {
-        let groups = ctx
-            .store
-            .filter()
-            .benchmark(bench)
-            .machine_type(&mtype.name)
-            .group_by_machine();
-        let refs: Vec<&[f64]> = groups.values().map(|v| v.as_slice()).collect();
+        let Some(groups) = per_type.get(&mtype.name) else {
+            continue;
+        };
+        let refs: Vec<&[f64]> = groups.iter().map(|v| v.as_slice()).collect();
         if refs.len() < 2 {
             continue;
         }
@@ -49,7 +66,7 @@ pub fn homogeneity_by_type(ctx: &Context, bench: BenchmarkId) -> Vec<Homogeneity
             });
         }
     }
-    out
+    Ok(out)
 }
 
 /// T7: per-benchmark fraction of types whose machines fail variance
@@ -68,7 +85,7 @@ pub fn t7_variance_homogeneity(ctx: &Context) -> Result<Vec<Artifact>, Experimen
         BenchmarkId::NetLatency,
         BenchmarkId::NetBandwidth,
     ] {
-        let cells = homogeneity_by_type(ctx, bench);
+        let cells = homogeneity_by_type(ctx, bench)?;
         let rejected = cells.iter().filter(|c| c.p_value < 0.05).count();
         let min_p = cells
             .iter()
@@ -87,7 +104,7 @@ pub fn t7_variance_homogeneity(ctx: &Context) -> Result<Vec<Artifact>, Experimen
         "Per-type Brown-Forsythe p-values (disk-seq-read)",
         &["type", "p-value", "homogeneous at 5%"],
     );
-    for cell in homogeneity_by_type(ctx, BenchmarkId::DiskSeqRead) {
+    for cell in homogeneity_by_type(ctx, BenchmarkId::DiskSeqRead)? {
         detail.push_row(vec![
             cell.type_name,
             fmt(cell.p_value, 4),
@@ -112,7 +129,7 @@ mod tests {
         // would be tagging genuinely heteroscedastic hardware.)
         let ctx = Context::new(Scale::Quick, 141);
         for bench in [BenchmarkId::DiskRandRead, BenchmarkId::NetBandwidth] {
-            let cells = homogeneity_by_type(&ctx, bench);
+            let cells = homogeneity_by_type(&ctx, bench).unwrap();
             let rejected = cells.iter().filter(|c| c.p_value < 0.05).count();
             assert!(
                 rejected <= cells.len() / 2,
@@ -129,13 +146,13 @@ mod tests {
         // differs by an order of magnitude (HDD vs NVMe baselines).
         let ctx = Context::new(Scale::Quick, 144);
         let hdd = ctx
-            .store
+            .store()
             .filter()
             .benchmark(BenchmarkId::DiskSeqRead)
             .machine_type("c220g1")
             .group_by_machine();
         let nvme = ctx
-            .store
+            .store()
             .filter()
             .benchmark(BenchmarkId::DiskSeqRead)
             .machine_type("m510")
@@ -149,7 +166,7 @@ mod tests {
     #[test]
     fn cells_cover_types_with_enough_machines() {
         let ctx = Context::new(Scale::Quick, 142);
-        let cells = homogeneity_by_type(&ctx, BenchmarkId::MemTriad);
+        let cells = homogeneity_by_type(&ctx, BenchmarkId::MemTriad).unwrap();
         assert_eq!(cells.len(), ctx.cluster.types().len());
         for c in &cells {
             assert!((0.0..=1.0).contains(&c.p_value));

@@ -30,7 +30,7 @@ pub mod registry;
 
 pub use artifact::{Artifact, Series, SeriesSet, Table};
 pub use cache::{ArtifactCache, CacheKey, CacheStats, CACHE_SCHEMA_VERSION};
-pub use context::{Context, Scale};
+pub use context::{Context, DataSource, Scale, ShardView, StreamSource};
 pub use engine::{
     run_experiments, run_experiments_cached, run_experiments_opts, run_experiments_with,
     EngineOptions, ExperimentRun, FaultStats,

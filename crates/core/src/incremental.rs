@@ -1,0 +1,153 @@
+//! Incremental consumption front-end for CONFIRM.
+//!
+//! The streaming data path (DESIGN.md §11) replays the campaign one
+//! machine shard at a time, so the estimators need a way to *observe*
+//! measurements as they arrive rather than being handed a fully
+//! materialized pool. [`ConfirmAccumulator`] is that front-end: feed it
+//! values with [`observe`](ConfirmAccumulator::observe) or whole shards
+//! with [`observe_shard`](ConfirmAccumulator::observe_shard), watch the
+//! running [`Moments`] for free, then [`finalize`] into the exact same
+//! [`ConfirmResult`] a one-shot [`estimate`] call would produce.
+//!
+//! CONFIRM proper resamples the pool at many subset sizes, so the pool
+//! itself must be retained — the accumulator bounds *scratch* memory
+//! (per-shard), not the pool. The running moments cost O(1) and let
+//! callers report progress (count, mean, CoV) mid-stream without
+//! touching the pool.
+//!
+//! [`finalize`]: ConfirmAccumulator::finalize
+
+use varstats::error::Result;
+use varstats::Moments;
+
+use crate::config::ConfirmConfig;
+use crate::estimator::{estimate, ConfirmResult};
+
+/// Streaming accumulator over a measurement pool destined for CONFIRM.
+///
+/// # Examples
+///
+/// ```
+/// use confirm::{ConfirmAccumulator, ConfirmConfig};
+///
+/// let mut acc = ConfirmAccumulator::new(ConfirmConfig::default());
+/// for shard in [[100.0, 101.0, 99.5], [100.5, 100.2, 99.9]] {
+///     acc.observe_shard(&shard);
+/// }
+/// assert_eq!(acc.len(), 6);
+/// assert!(acc.moments().cov().unwrap() < 0.1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConfirmAccumulator {
+    config: ConfirmConfig,
+    pool: Vec<f64>,
+    moments: Moments,
+}
+
+impl ConfirmAccumulator {
+    /// Starts an empty accumulator that will finalize under `config`.
+    pub fn new(config: ConfirmConfig) -> Self {
+        ConfirmAccumulator {
+            config,
+            pool: Vec::new(),
+            moments: Moments::new(),
+        }
+    }
+
+    /// Observes one measurement.
+    pub fn observe(&mut self, value: f64) {
+        self.pool.push(value);
+        self.moments.update(value);
+    }
+
+    /// Observes a whole shard of measurements in order.
+    pub fn observe_shard(&mut self, values: &[f64]) {
+        self.pool.reserve(values.len());
+        for &v in values {
+            self.observe(v);
+        }
+    }
+
+    /// Number of measurements observed so far.
+    pub fn len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Whether nothing has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.pool.is_empty()
+    }
+
+    /// Running moments of everything observed — O(1) progress signal
+    /// (count, mean, CoV) available mid-stream.
+    pub fn moments(&self) -> &Moments {
+        &self.moments
+    }
+
+    /// The configuration the accumulator will finalize under.
+    pub fn config(&self) -> &ConfirmConfig {
+        &self.config
+    }
+
+    /// Runs CONFIRM over everything observed. Identical to calling
+    /// [`estimate`] on the materialized pool: observation order is the
+    /// pool order, so a shard-by-shard fold in the canonical machine
+    /// order reproduces the materialized result bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`estimate`] (validation, finiteness, pool at
+    /// least `min_subset`).
+    pub fn finalize(&self) -> Result<ConfirmResult> {
+        estimate(&self.pool, &self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> Vec<f64> {
+        (0..240)
+            .map(|i| 100.0 + ((i * 17) % 23) as f64 * 0.1)
+            .collect()
+    }
+
+    #[test]
+    fn incremental_finalize_matches_one_shot_estimate() {
+        let config = ConfirmConfig::default();
+        let data = pool();
+        let mut acc = ConfirmAccumulator::new(config.clone());
+        for shard in data.chunks(37) {
+            acc.observe_shard(shard);
+        }
+        let streamed = acc.finalize().unwrap();
+        let one_shot = estimate(&data, &config).unwrap();
+        assert_eq!(streamed.requirement, one_shot.requirement);
+        assert_eq!(streamed.reference, one_shot.reference);
+        assert_eq!(streamed.curve, one_shot.curve);
+    }
+
+    #[test]
+    fn moments_track_the_pool_exactly() {
+        let data = pool();
+        let mut acc = ConfirmAccumulator::new(ConfirmConfig::default());
+        assert!(acc.is_empty());
+        for &v in &data {
+            acc.observe(v);
+        }
+        let direct: Moments = data.iter().copied().collect();
+        assert_eq!(acc.len(), data.len());
+        assert_eq!(acc.moments().count(), direct.count());
+        assert_eq!(acc.moments().mean(), direct.mean());
+        assert_eq!(acc.moments().min(), direct.min());
+        assert_eq!(acc.moments().max(), direct.max());
+    }
+
+    #[test]
+    fn too_small_pools_fail_at_finalize_not_observe() {
+        let mut acc = ConfirmAccumulator::new(ConfirmConfig::default());
+        acc.observe_shard(&[1.0, 2.0, 3.0]);
+        assert!(acc.finalize().is_err());
+    }
+}

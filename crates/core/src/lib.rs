@@ -44,6 +44,7 @@
 mod config;
 mod estimator;
 mod flow;
+mod incremental;
 mod multi;
 mod parametric;
 mod power;
@@ -54,6 +55,7 @@ mod sequential;
 pub use config::{CiMethod, ConfirmConfig, ErrorCriterion, Growth, Statistic};
 pub use estimator::{estimate, ConfirmResult, Requirement, SizePoint};
 pub use flow::{recommend, ChosenMethod, Recommendation};
+pub use incremental::ConfirmAccumulator;
 pub use multi::{plan_joint, JointPlan};
 pub use parametric::{parametric_plan, ParametricPlan};
 pub use power::{ci_separation_plan, estimate_p_prime, noether_sample_size, NoetherPlan};

@@ -141,6 +141,25 @@ impl SequentialPlanner {
         Ok(status)
     }
 
+    /// Feeds a whole shard of measurements in order, stopping early at
+    /// the first satisfied evaluation — the streaming data path's bulk
+    /// entry point (one call per machine shard). Returns the status
+    /// after the last value consumed.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`push`](Self::push).
+    pub fn push_shard(&mut self, values: &[f64]) -> Result<PlanStatus> {
+        let mut status = self.status()?;
+        for &v in values {
+            if self.stopped {
+                break;
+            }
+            status = self.push(v)?;
+        }
+        Ok(status)
+    }
+
     /// Evaluates the stopping rule on the current data.
     ///
     /// # Errors
@@ -245,6 +264,39 @@ mod tests {
             }
         }
         panic!("never satisfied");
+    }
+
+    #[test]
+    fn push_shard_matches_value_at_a_time_and_stops_early() {
+        let config = ConfirmConfig::default().with_target_rel_error(0.01);
+        let mut u = splitmix(1);
+        let values: Vec<f64> = (0..500).map(|_| 100.0 + 0.1 * (u() - 0.5)).collect();
+
+        let mut one_at_a_time = SequentialPlanner::new(config, 500);
+        let mut stop_n = None;
+        for &v in &values {
+            if let PlanStatus::Satisfied { repetitions, .. } = one_at_a_time.push(v).unwrap() {
+                stop_n = Some(repetitions);
+                break;
+            }
+        }
+        let stop_n = stop_n.expect("tight stream satisfies");
+
+        let mut sharded = SequentialPlanner::new(config, 500);
+        let mut last = sharded.status().unwrap();
+        for shard in values.chunks(37) {
+            last = sharded.push_shard(shard).unwrap();
+            if sharded.stopped() {
+                break;
+            }
+        }
+        assert!(matches!(last, PlanStatus::Satisfied { repetitions, .. } if repetitions == stop_n));
+        assert_eq!(
+            sharded.len(),
+            stop_n,
+            "push_shard must not consume past the stopping point"
+        );
+        assert_eq!(sharded.data(), &values[..stop_n]);
     }
 
     #[test]

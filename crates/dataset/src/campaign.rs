@@ -34,7 +34,7 @@ use workloads::{sample, BenchmarkId};
 
 use crate::journal::{JournalError, ShardJournal};
 use crate::record::Record;
-use crate::store::Store;
+use crate::store::{sorted_machine_ids, Store};
 
 /// Parameters of a simulated campaign.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -299,18 +299,7 @@ pub fn collect_resumable(
     options: &CollectOptions<'_>,
 ) -> Result<Collected, CampaignError> {
     let _span = telemetry::span("campaign.collect");
-    // Select machines: up to `machines_per_type` per type, whole fleet
-    // otherwise.
-    let mut selected = Vec::new();
-    for t in cluster.types() {
-        let of_type = cluster.machines_of_type(&t.name);
-        let cap = config.machines_per_type.unwrap_or(of_type.len());
-        selected.extend(of_type.into_iter().take(cap));
-    }
-    // Provisioning assigns ids in type order, so this is usually already
-    // sorted; sorting makes the shard partition (and the merged record
-    // order) independent of catalog iteration order.
-    selected.sort_by_key(|m| m.id);
+    let selected = selected_machines(cluster, config);
 
     // Phase 1: replay journaled shards. A corrupt or truncated shard
     // loads as None and the machine is simply re-collected.
@@ -326,52 +315,14 @@ pub fn collect_resumable(
     let replay_count = selected.len() - pending.len();
     telemetry::metrics::gauge("campaign.machines").set(selected.len() as f64);
     telemetry::metrics::counter("campaign.machines.replayed").add(replay_count as u64);
-    let workers = options
-        .jobs
-        .unwrap_or_else(default_jobs)
-        .clamp(1, pending.len().max(1));
-    telemetry::metrics::gauge("campaign.workers").set(workers as f64);
     let records = telemetry::metrics::counter("campaign.records");
     let injected = AtomicU64::new(0);
     let retried = AtomicU64::new(0);
 
     // Phase 2: collect the pending machines, sharded as in collect_jobs.
-    let mut collected: WorkerShards = Vec::new();
-    if workers <= 1 {
-        collected = collect_pending(cluster, config, &pending, 0, options, &injected, &retried)?;
-    } else {
-        let chunk = pending.len().div_ceil(workers);
-        let parent = telemetry::trace::current_context();
-        let mut results: Vec<Result<WorkerShards, CampaignError>> = Vec::new();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = pending
-                .chunks(chunk)
-                .enumerate()
-                .map(|(i, machines)| {
-                    let (injected, retried) = (&injected, &retried);
-                    std::thread::Builder::new()
-                        .name(format!("campaign-worker-{i}"))
-                        .spawn_scoped(scope, move || {
-                            let _span = telemetry::span_in(format!("campaign.worker.{i}"), parent);
-                            collect_pending(
-                                cluster, config, machines, i, options, injected, retried,
-                            )
-                        })
-                        .expect("spawning a campaign worker succeeds")
-                })
-                .collect();
-            // Joining in spawn order keeps error reporting (and shard
-            // merge order below) independent of which worker finishes
-            // first.
-            results = handles
-                .into_iter()
-                .map(|h| h.join().expect("campaign workers do not panic"))
-                .collect();
-        });
-        for result in results {
-            collected.extend(result?);
-        }
-    }
+    let collected = collect_pending_sharded(
+        cluster, config, &pending, options, &injected, &retried, true,
+    )?;
 
     // Phase 3: merge in machine-id order — replayed and fresh shards
     // interleave exactly as an uninterrupted run would have laid them
@@ -403,11 +354,157 @@ pub fn collect_resumable(
     })
 }
 
+/// Collects a campaign *into the journal only* — phases 1–2 of
+/// [`collect_resumable`] with no phase-3 merge, so no store is ever
+/// materialized. This is the producer half of the streaming data path
+/// (DESIGN.md §11): each worker holds at most one shard of records at a
+/// time and drops it as soon as it is durably journaled, bounding
+/// collection memory at O(jobs × largest shard) instead of O(fleet).
+///
+/// On return the journal is complete: every selected machine has a
+/// valid shard, ready for [`crate::stream::ShardReader`] replay in
+/// ascending machine-id order. Resume, chaos injection, and worker-death
+/// semantics are identical to [`collect_resumable`] — the two share the
+/// selection, replay-validation, and worker code paths.
+///
+/// # Errors
+///
+/// Fails like [`collect_resumable`]; additionally, a missing
+/// `options.journal` is an error (there is nowhere to stream from).
+pub fn collect_to_journal(
+    cluster: &Cluster,
+    config: &CampaignConfig,
+    options: &CollectOptions<'_>,
+) -> Result<CollectReport, CampaignError> {
+    let _span = telemetry::span("campaign.collect");
+    let journal = options.journal.ok_or_else(|| {
+        CampaignError::Journal(JournalError::Io(std::io::Error::other(
+            "streaming collection requires a journal directory",
+        )))
+    })?;
+    let selected = selected_machines(cluster, config);
+
+    // Phase 1: validate existing shards (full checksum parse, records
+    // dropped immediately); anything invalid is re-collected.
+    let mut pending: Vec<&Machine> = Vec::new();
+    let mut replay_count = 0usize;
+    for &m in &selected {
+        if journal.load(m.id).is_some() {
+            replay_count += 1;
+        } else {
+            pending.push(m);
+        }
+    }
+    telemetry::metrics::gauge("campaign.machines").set(selected.len() as f64);
+    telemetry::metrics::counter("campaign.machines.replayed").add(replay_count as u64);
+    let injected = AtomicU64::new(0);
+    let retried = AtomicU64::new(0);
+
+    // Phase 2: collect + journal the pending machines; `keep = false`
+    // discards each shard once durable.
+    collect_pending_sharded(
+        cluster, config, &pending, options, &injected, &retried, false,
+    )?;
+
+    let total: usize = selected
+        .iter()
+        .filter_map(|m| journal.record_count(m.id))
+        .sum();
+    telemetry::metrics::counter("campaign.records").add(total as u64);
+    Ok(CollectReport {
+        replayed: replay_count,
+        collected: pending.len(),
+        injected: injected.load(Ordering::Relaxed),
+        retried: retried.load(Ordering::Relaxed),
+    })
+}
+
+/// Selects up to `machines_per_type` machines per type (whole fleet
+/// otherwise), in the canonical ascending-id order shared by collection
+/// and journal replay ([`sorted_machine_ids`]). Provisioning assigns ids
+/// in type order, so this is usually already sorted; normalizing makes
+/// the shard partition (and the merged record order) independent of
+/// catalog iteration order.
+fn selected_machines<'a>(cluster: &'a Cluster, config: &CampaignConfig) -> Vec<&'a Machine> {
+    let mut of_type = Vec::new();
+    for t in cluster.types() {
+        let machines = cluster.machines_of_type(&t.name);
+        let cap = config.machines_per_type.unwrap_or(machines.len());
+        of_type.extend(machines.into_iter().take(cap));
+    }
+    sorted_machine_ids(of_type.iter().map(|m| m.id))
+        .into_iter()
+        .map(|id| cluster.machine(id).expect("selected machines exist"))
+        .collect()
+}
+
+/// Fans the pending machines across `options.jobs` scoped workers (the
+/// phase-2 body shared by [`collect_resumable`] and
+/// [`collect_to_journal`]). With `keep`, each worker returns its shards
+/// for the phase-3 merge; without it, shards are dropped as soon as they
+/// are journaled and the result is empty — the bounded-memory producer
+/// mode.
+#[allow(clippy::too_many_arguments)]
+fn collect_pending_sharded(
+    cluster: &Cluster,
+    config: &CampaignConfig,
+    pending: &[&Machine],
+    options: &CollectOptions<'_>,
+    injected: &AtomicU64,
+    retried: &AtomicU64,
+    keep: bool,
+) -> Result<WorkerShards, CampaignError> {
+    let workers = options
+        .jobs
+        .unwrap_or_else(default_jobs)
+        .clamp(1, pending.len().max(1));
+    telemetry::metrics::gauge("campaign.workers").set(workers as f64);
+    if workers <= 1 {
+        return collect_pending(
+            cluster, config, pending, 0, options, injected, retried, keep,
+        );
+    }
+    let chunk = pending.len().div_ceil(workers);
+    let parent = telemetry::trace::current_context();
+    let mut results: Vec<Result<WorkerShards, CampaignError>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = pending
+            .chunks(chunk)
+            .enumerate()
+            .map(|(i, machines)| {
+                std::thread::Builder::new()
+                    .name(format!("campaign-worker-{i}"))
+                    .spawn_scoped(scope, move || {
+                        let _span = telemetry::span_in(format!("campaign.worker.{i}"), parent);
+                        collect_pending(
+                            cluster, config, machines, i, options, injected, retried, keep,
+                        )
+                    })
+                    .expect("spawning a campaign worker succeeds")
+            })
+            .collect();
+        // Joining in spawn order keeps error reporting (and shard
+        // merge order) independent of which worker finishes first.
+        results = handles
+            .into_iter()
+            .map(|h| h.join().expect("campaign workers do not panic"))
+            .collect();
+    });
+    let mut collected: WorkerShards = Vec::new();
+    for result in results {
+        collected.extend(result?);
+    }
+    Ok(collected)
+}
+
 /// One worker's output: the shards it collected, in machine order.
 type WorkerShards = Vec<(MachineId, Vec<Record>)>;
 
 /// Collects one worker's slice of the pending machines, journaling each
-/// completed shard before moving to the next machine.
+/// completed shard before moving to the next machine. Without `keep`,
+/// shards are dropped once journaled (streaming producer mode) and the
+/// returned vector stays empty.
+#[allow(clippy::too_many_arguments)]
 fn collect_pending(
     cluster: &Cluster,
     config: &CampaignConfig,
@@ -416,10 +513,11 @@ fn collect_pending(
     options: &CollectOptions<'_>,
     injected: &AtomicU64,
     retried: &AtomicU64,
+    keep: bool,
 ) -> Result<WorkerShards, CampaignError> {
     let machine_secs = telemetry::metrics::histogram("campaign.machine_secs");
     let worker_secs = telemetry::metrics::histogram(&format!("campaign.machine_secs.w{worker}"));
-    let mut out = Vec::with_capacity(machines.len());
+    let mut out = Vec::with_capacity(if keep { machines.len() } else { 0 });
     for machine in machines {
         let started = telemetry::enabled().then(Instant::now);
         let recs = collect_machine_retrying(cluster, config, machine, options, injected, retried)?;
@@ -442,7 +540,9 @@ fn collect_pending(
             machine_secs.record(secs);
             worker_secs.record(secs);
         }
-        out.push((machine.id, recs));
+        if keep {
+            out.push((machine.id, recs));
+        }
     }
     Ok(out)
 }

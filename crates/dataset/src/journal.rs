@@ -110,7 +110,7 @@ fn unescape(s: &str) -> Option<String> {
 }
 
 /// A directory of per-machine shard checkpoints for one campaign.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ShardJournal {
     dir: PathBuf,
     fingerprint: u64,
@@ -188,9 +188,26 @@ impl ShardJournal {
     /// recorded — or if the file is corrupt, truncated, checksummed
     /// wrong, or pinned to a different configuration, in which case the
     /// machine simply counts as uncollected.
+    ///
+    /// A shard that exists but fails validation bumps the
+    /// `journal.shard.skipped` telemetry counter (a missing file does
+    /// not), so chaos tests can assert that corruption was detected
+    /// rather than trusted.
     pub fn load(&self, machine: MachineId) -> Option<Vec<Record>> {
-        let raw = std::fs::read_to_string(self.shard_path(machine)).ok()?;
-        self.parse_shard(&raw, machine)
+        let raw = match std::fs::read_to_string(self.shard_path(machine)) {
+            Ok(raw) => raw,
+            Err(e) => {
+                if e.kind() != std::io::ErrorKind::NotFound {
+                    telemetry::metrics::counter("journal.shard.skipped").inc();
+                }
+                return None;
+            }
+        };
+        let parsed = self.parse_shard(&raw, machine);
+        if parsed.is_none() {
+            telemetry::metrics::counter("journal.shard.skipped").inc();
+        }
+        parsed
     }
 
     fn parse_shard(&self, raw: &str, machine: MachineId) -> Option<Vec<Record>> {
@@ -234,15 +251,53 @@ impl ShardJournal {
 
     /// Number of shard files currently in the journal (valid or not).
     pub fn shard_count(&self) -> Result<usize, JournalError> {
-        let mut count = 0;
+        Ok(self.machines()?.len())
+    }
+
+    /// Sorted unique machine ids that currently have a shard file in the
+    /// journal directory — the canonical replay order
+    /// ([`crate::store::sorted_machine_ids`]). Presence only: validation
+    /// (checksum, config, payload) still happens at [`Self::load`] time.
+    pub fn machines(&self) -> Result<Vec<MachineId>, JournalError> {
+        let mut ids = Vec::new();
         for entry in std::fs::read_dir(&self.dir)? {
             let path = entry?.path();
             let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
-            if name.starts_with('m') && name.ends_with(".shard") {
-                count += 1;
+            if let Some(id) = name
+                .strip_prefix('m')
+                .and_then(|n| n.strip_suffix(".shard"))
+                .and_then(|n| n.parse::<u32>().ok())
+            {
+                ids.push(MachineId(id));
             }
         }
-        Ok(count)
+        Ok(crate::store::sorted_machine_ids(ids))
+    }
+
+    /// Reads just the envelope of one machine's shard and returns its
+    /// record count, without parsing (or holding) the payload. `None` if
+    /// the shard is missing or its envelope is malformed or pinned to a
+    /// different configuration.
+    ///
+    /// This is the cheap accounting path the streaming layer uses to
+    /// report dataset totals without materializing a single record;
+    /// payload integrity is still enforced by the checksum at
+    /// [`Self::load`] time.
+    pub fn record_count(&self, machine: MachineId) -> Option<usize> {
+        use std::io::BufRead;
+        let file = std::fs::File::open(self.shard_path(machine)).ok()?;
+        let mut lines = std::io::BufReader::new(file).lines();
+        let header = lines.next()?.ok()?;
+        let config = lines.next()?.ok()?;
+        let machine_line = lines.next()?.ok()?;
+        let count_line = lines.next()?.ok()?;
+        let valid = header == JOURNAL_HEADER
+            && config == format!("config {:016x}", self.fingerprint)
+            && machine_line == format!("machine {}", machine.0);
+        if !valid {
+            return None;
+        }
+        count_line.strip_prefix("records ")?.parse().ok()
     }
 }
 
@@ -272,6 +327,11 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
+
+    /// Serializes the tests that load corrupt shards: they share the
+    /// process-global `journal.shard.skipped` counter with the test that
+    /// asserts on its exact delta.
+    static SKIP_COUNTER: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     fn sample_records(machine: MachineId) -> Vec<Record> {
         vec![
@@ -334,6 +394,7 @@ mod tests {
 
     #[test]
     fn corrupt_shards_count_as_uncollected() {
+        let _guard = SKIP_COUNTER.lock().unwrap_or_else(|e| e.into_inner());
         let dir = temp_dir("corrupt");
         let config = CampaignConfig::quick(5);
         let journal = ShardJournal::open(&dir, &config).unwrap();
@@ -359,6 +420,69 @@ mod tests {
         // Re-recording repairs it.
         journal.record(m, &sample_records(m)).unwrap();
         assert_eq!(journal.load(m), Some(sample_records(m)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn machines_lists_shards_in_ascending_id_order() {
+        let dir = temp_dir("listing");
+        let config = CampaignConfig::quick(11);
+        let journal = ShardJournal::open(&dir, &config).unwrap();
+        for id in [30, 2, 117] {
+            let m = MachineId(id);
+            journal.record(m, &sample_records(m)).unwrap();
+        }
+        assert_eq!(
+            journal.machines().unwrap(),
+            vec![MachineId(2), MachineId(30), MachineId(117)]
+        );
+        assert_eq!(journal.shard_count().unwrap(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn record_count_reads_the_envelope_only() {
+        let dir = temp_dir("count");
+        let config = CampaignConfig::quick(13);
+        let journal = ShardJournal::open(&dir, &config).unwrap();
+        let m = MachineId(4);
+        assert_eq!(journal.record_count(m), None, "missing shard");
+        journal.record(m, &sample_records(m)).unwrap();
+        assert_eq!(journal.record_count(m), Some(2));
+        // A garbled envelope is rejected even though the payload is fine.
+        let path = dir.join("m4.shard");
+        let raw = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, raw.replace("machine 4", "machine 5")).unwrap();
+        assert_eq!(journal.record_count(m), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_load_bumps_the_skipped_counter() {
+        let _guard = SKIP_COUNTER.lock().unwrap_or_else(|e| e.into_inner());
+        telemetry::set_enabled(true);
+        let skipped = telemetry::metrics::counter("journal.shard.skipped");
+        let dir = temp_dir("skipcounter");
+        let config = CampaignConfig::quick(17);
+        let journal = ShardJournal::open(&dir, &config).unwrap();
+        let m = MachineId(6);
+
+        // A never-recorded shard is not "skipped" — nothing to distrust.
+        let before = skipped.value();
+        assert_eq!(journal.load(m), None);
+        assert_eq!(skipped.value(), before, "missing file is not a skip");
+
+        journal.record(m, &sample_records(m)).unwrap();
+        let path = dir.join("m6.shard");
+        let raw = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &raw[..raw.len() / 2]).unwrap();
+        assert_eq!(journal.load(m), None);
+        assert_eq!(
+            skipped.value(),
+            before + 1,
+            "corruption counts once per load"
+        );
+        telemetry::set_enabled(false);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

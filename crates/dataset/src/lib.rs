@@ -27,16 +27,21 @@ mod journal;
 mod outliers;
 mod record;
 mod store;
+mod stream;
 mod summarize;
 
 pub use campaign::{
-    collect, collect_jobs, collect_resumable, default_jobs, run_campaign, run_campaign_jobs,
-    run_campaign_resumable, CampaignConfig, CampaignError, CollectOptions, CollectReport,
-    Collected,
+    collect, collect_jobs, collect_resumable, collect_to_journal, default_jobs, run_campaign,
+    run_campaign_jobs, run_campaign_resumable, CampaignConfig, CampaignError, CollectOptions,
+    CollectReport, Collected,
 };
 pub use csv::{read_csv, write_csv, CsvError};
 pub use journal::{JournalError, ShardJournal};
-pub use outliers::{outlier_indices, outlier_sweep, Fence, OutlierReport};
+pub use outliers::{outlier_indices, outlier_sweep, Fence, OutlierReport, SweepBuilder};
 pub use record::{benchmark_from_label, Record};
-pub use store::{Query, Store};
-pub use summarize::{overview, summarize_groups, DatasetOverview, GroupSummary};
+pub use store::{sorted_machine_ids, Query, Store};
+pub use stream::{MeasurementStream, Shard, ShardReader, StreamError, StreamStats};
+pub use summarize::{
+    finish_groups, observe_shard_groups, overview, summarize_groups, DatasetOverview, GroupStats,
+    GroupSummary, OverviewBuilder, PartialSummary,
+};

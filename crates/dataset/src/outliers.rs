@@ -118,40 +118,95 @@ impl OutlierReport {
     }
 }
 
-/// Sweeps the store and reports outlier fractions per benchmark.
+/// Streaming accumulator behind [`outlier_sweep`].
+///
+/// Outlier fences need a *complete* per-(machine, benchmark) sample set,
+/// and the shard journal keeps each machine's data whole — so the sweep
+/// streams one shard at a time, feeding each machine's per-benchmark
+/// sets through [`SweepBuilder::observe_set`]. Every accumulated field
+/// is a sum or a max, so the result is exactly the materialized sweep's
+/// regardless of shard order; state is O(benchmarks), not O(data).
+#[derive(Debug, Clone)]
+pub struct SweepBuilder {
+    fence: Fence,
+    acc: std::collections::BTreeMap<BenchmarkId, OutlierReport>,
+}
+
+impl SweepBuilder {
+    /// Starts an empty sweep under `fence`.
+    pub fn new(fence: Fence) -> Self {
+        SweepBuilder {
+            fence,
+            acc: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Folds in one complete (machine, benchmark) sample set. Sets with
+    /// fewer than 8 samples are recorded as seen but not fenced, same
+    /// as the materialized sweep.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fence errors.
+    pub fn observe_set(&mut self, benchmark: BenchmarkId, values: &[f64]) -> Result<()> {
+        let report = self.acc.entry(benchmark).or_insert(OutlierReport {
+            benchmark,
+            sets: 0,
+            measurements: 0,
+            outliers: 0,
+            worst_set_fraction: 0.0,
+        });
+        if values.len() < 8 {
+            return Ok(());
+        }
+        let flagged = outlier_indices(values, self.fence)?.len();
+        report.sets += 1;
+        report.measurements += values.len();
+        report.outliers += flagged;
+        report.worst_set_fraction = report
+            .worst_set_fraction
+            .max(flagged as f64 / values.len() as f64);
+        Ok(())
+    }
+
+    /// Folds in one machine shard, splitting its records into
+    /// per-benchmark sets in record order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fence errors.
+    pub fn observe_shard(&mut self, records: &[crate::record::Record]) -> Result<()> {
+        let mut sets: std::collections::BTreeMap<BenchmarkId, Vec<f64>> =
+            std::collections::BTreeMap::new();
+        for r in records {
+            sets.entry(r.benchmark).or_default().push(r.value);
+        }
+        for (benchmark, values) in sets {
+            self.observe_set(benchmark, &values)?;
+        }
+        Ok(())
+    }
+
+    /// Finishes the sweep: one report per benchmark seen, in
+    /// [`BenchmarkId`] order.
+    pub fn finish(self) -> Vec<OutlierReport> {
+        self.acc.into_values().collect()
+    }
+}
+
+/// Sweeps the store and reports outlier fractions per benchmark — the
+/// materialized entry point of the same per-shard fold the streaming
+/// path runs through [`SweepBuilder`].
 ///
 /// # Errors
 ///
 /// Propagates fence errors.
 pub fn outlier_sweep(store: &Store, fence: Fence) -> Result<Vec<OutlierReport>> {
-    store
-        .benchmarks()
-        .into_iter()
-        .map(|benchmark| {
-            let groups = store.filter().benchmark(benchmark).group_by_machine();
-            let mut sets = 0usize;
-            let mut measurements = 0usize;
-            let mut outliers = 0usize;
-            let mut worst: f64 = 0.0;
-            for values in groups.values() {
-                if values.len() < 8 {
-                    continue;
-                }
-                let flagged = outlier_indices(values, fence)?.len();
-                sets += 1;
-                measurements += values.len();
-                outliers += flagged;
-                worst = worst.max(flagged as f64 / values.len() as f64);
-            }
-            Ok(OutlierReport {
-                benchmark,
-                sets,
-                measurements,
-                outliers,
-                worst_set_fraction: worst,
-            })
-        })
-        .collect()
+    let mut sweep = SweepBuilder::new(fence);
+    for run in store.records().chunk_by(|a, b| a.machine == b.machine) {
+        sweep.observe_shard(run)?;
+    }
+    Ok(sweep.finish())
 }
 
 #[cfg(test)]

@@ -69,10 +69,7 @@ impl Store {
 
     /// Sorted unique machine ids present.
     pub fn machines(&self) -> Vec<MachineId> {
-        let mut ids: Vec<MachineId> = self.records.iter().map(|r| r.machine).collect();
-        ids.sort_unstable();
-        ids.dedup();
-        ids
+        sorted_machine_ids(self.records.iter().map(|r| r.machine))
     }
 
     /// Sorted unique machine-type names present.
@@ -94,6 +91,20 @@ impl Store {
         bs.dedup();
         bs
     }
+}
+
+/// Sorts machine ids ascending and drops duplicates.
+///
+/// This is THE canonical machine order of the whole data path: campaign
+/// collection visits machines in this order, the shard journal replays
+/// them in this order, and the streaming layer folds shards in this
+/// order — which is what makes materialized and streaming analysis
+/// byte-identical (DESIGN.md §11).
+pub fn sorted_machine_ids(ids: impl IntoIterator<Item = MachineId>) -> Vec<MachineId> {
+    let mut ids: Vec<MachineId> = ids.into_iter().collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids
 }
 
 /// A lazily evaluated filter over a [`Store`].

@@ -1,0 +1,463 @@
+//! Bounded-memory shard replay — the consumer half of the streaming
+//! data path (DESIGN.md §11).
+//!
+//! A [`ShardReader`] sits over a completed [`ShardJournal`] and replays
+//! one machine's records at a time, in the canonical ascending
+//! machine-id order ([`crate::store::sorted_machine_ids`]) — the same
+//! order campaign collection lays records into a materialized
+//! [`crate::Store`]. Because each machine's records are a pure function
+//! of the campaign configuration, folding over the stream visits exactly
+//! the value sequences a materialized store would yield, which is what
+//! makes streaming analysis byte-identical to materialized analysis.
+//!
+//! Memory is bounded by construction: a [`Shard`] is a guard that
+//! registers its records with the reader's [`StreamStats`] on load and
+//! releases them on drop, so the peak-residency accounting (and the
+//! `stream.peak_live_samples` / `stream.shards_resident` telemetry
+//! gauges) *prove* the bound — O(largest shard × concurrent consumers),
+//! never O(fleet) — rather than assert it.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use testbed::MachineId;
+
+use crate::campaign::CampaignConfig;
+use crate::journal::{JournalError, ShardJournal};
+use crate::record::Record;
+
+/// Why a shard could not be streamed. Unlike collection-time replay —
+/// where an invalid shard simply means "re-collect that machine" — the
+/// streaming consumer runs over a journal that is supposed to be
+/// complete, so a missing or corrupt shard is data loss, not a retry.
+#[derive(Debug)]
+pub enum StreamError {
+    /// The journal could not be opened or listed.
+    Journal(JournalError),
+    /// A shard file is missing or failed validation (truncation, bad
+    /// checksum, foreign config). Re-run collection (`--resume`) to heal
+    /// the journal.
+    ShardUnreadable {
+        /// The machine whose shard could not be replayed.
+        machine: MachineId,
+        /// The journal directory.
+        dir: PathBuf,
+    },
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Journal(e) => write!(f, "stream: {e}"),
+            StreamError::ShardUnreadable { machine, dir } => write!(
+                f,
+                "stream: shard for machine {} in {} is missing or corrupt; \
+                 re-run collection with --resume to heal the journal",
+                machine.0,
+                dir.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<JournalError> for StreamError {
+    fn from(e: JournalError) -> Self {
+        StreamError::Journal(e)
+    }
+}
+
+/// Live residency accounting for one reader — the proof of the memory
+/// bound. Shared by every [`Shard`] guard the reader hands out, updated
+/// on load/drop, and mirrored to the `stream.peak_live_samples` and
+/// `stream.shards_resident` telemetry gauges (plus peaks kept here, so
+/// the run manifest can report them even when telemetry is disabled).
+#[derive(Debug, Default)]
+pub struct StreamStats {
+    live_samples: AtomicU64,
+    peak_live_samples: AtomicU64,
+    shards_resident: AtomicU64,
+    peak_shards_resident: AtomicU64,
+    shards_streamed: AtomicU64,
+}
+
+impl StreamStats {
+    fn acquire(&self, samples: u64) {
+        let live = self.live_samples.fetch_add(samples, Ordering::Relaxed) + samples;
+        self.peak_live_samples.fetch_max(live, Ordering::Relaxed);
+        let resident = self.shards_resident.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_shards_resident
+            .fetch_max(resident, Ordering::Relaxed);
+        self.shards_streamed.fetch_add(1, Ordering::Relaxed);
+        telemetry::metrics::gauge("stream.peak_live_samples")
+            .set_max(self.peak_live_samples.load(Ordering::Relaxed) as f64);
+        telemetry::metrics::gauge("stream.shards_resident").set(resident as f64);
+    }
+
+    fn release(&self, samples: u64) {
+        self.live_samples.fetch_sub(samples, Ordering::Relaxed);
+        let resident = self.shards_resident.fetch_sub(1, Ordering::Relaxed) - 1;
+        telemetry::metrics::gauge("stream.shards_resident").set(resident as f64);
+    }
+
+    /// Records currently resident in guards.
+    pub fn live_samples(&self) -> u64 {
+        self.live_samples.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of simultaneously resident records.
+    pub fn peak_live_samples(&self) -> u64 {
+        self.peak_live_samples.load(Ordering::Relaxed)
+    }
+
+    /// Shards currently held by live guards.
+    pub fn shards_resident(&self) -> u64 {
+        self.shards_resident.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of simultaneously held shards.
+    pub fn peak_shards_resident(&self) -> u64 {
+        self.peak_shards_resident.load(Ordering::Relaxed)
+    }
+
+    /// Total shard replays performed (every `read`, across all passes).
+    pub fn shards_streamed(&self) -> u64 {
+        self.shards_streamed.load(Ordering::Relaxed)
+    }
+}
+
+/// One machine's replayed records, alive only while analysis needs them.
+///
+/// Dropping the guard releases its residency from the reader's
+/// [`StreamStats`]; holding several guards at once (e.g. all machines of
+/// one type for a variance decomposition) is visible in the peaks.
+#[derive(Debug)]
+pub struct Shard {
+    /// The machine this shard belongs to.
+    pub machine: MachineId,
+    records: Vec<Record>,
+    stats: Arc<StreamStats>,
+}
+
+impl Shard {
+    /// The replayed records, in collection order (benchmark-major, then
+    /// session, then run — exactly the order a materialized store holds
+    /// them).
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// The values of one benchmark, in record order — identical to the
+    /// per-machine vector `Store::group_by_machine` would yield.
+    pub fn values(&self, benchmark: workloads::BenchmarkId) -> Vec<f64> {
+        self.records
+            .iter()
+            .filter(|r| r.benchmark == benchmark)
+            .map(|r| r.value)
+            .collect()
+    }
+}
+
+impl Drop for Shard {
+    fn drop(&mut self) {
+        self.stats.release(self.records.len() as u64);
+    }
+}
+
+/// Replays a completed shard journal one machine at a time, in ascending
+/// machine-id order, without ever materializing the full store.
+#[derive(Debug, Clone)]
+pub struct ShardReader {
+    journal: ShardJournal,
+    machines: Vec<MachineId>,
+    stats: Arc<StreamStats>,
+}
+
+impl ShardReader {
+    /// Opens a reader over the journal at `dir`, streaming every shard
+    /// present (discovered by directory listing, replayed in ascending
+    /// machine-id order).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the journal cannot be opened (I/O, config mismatch) or
+    /// listed.
+    pub fn open(dir: impl Into<PathBuf>, config: &CampaignConfig) -> Result<Self, StreamError> {
+        let journal = ShardJournal::open(dir, config)?;
+        let machines = journal.machines()?;
+        Ok(ShardReader {
+            journal,
+            machines,
+            stats: Arc::new(StreamStats::default()),
+        })
+    }
+
+    /// Opens a reader restricted to `machines` (normalized to the
+    /// canonical sorted order). Use when the selection is known — e.g.
+    /// right after [`crate::collect_to_journal`] — so a stray shard file
+    /// can never widen the dataset.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the journal cannot be opened (I/O, config mismatch).
+    pub fn with_machines(
+        dir: impl Into<PathBuf>,
+        config: &CampaignConfig,
+        machines: impl IntoIterator<Item = MachineId>,
+    ) -> Result<Self, StreamError> {
+        let journal = ShardJournal::open(dir, config)?;
+        Ok(ShardReader {
+            journal,
+            machines: crate::store::sorted_machine_ids(machines),
+            stats: Arc::new(StreamStats::default()),
+        })
+    }
+
+    /// The machines this reader replays, ascending.
+    pub fn machines(&self) -> &[MachineId] {
+        &self.machines
+    }
+
+    /// The journal directory.
+    pub fn dir(&self) -> &Path {
+        self.journal.dir()
+    }
+
+    /// The residency accounting shared by all guards of this reader.
+    pub fn stats(&self) -> Arc<StreamStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Total records across all shards, by envelope reads only — no
+    /// payload is parsed or held.
+    ///
+    /// # Errors
+    ///
+    /// A missing or envelope-corrupt shard is [`StreamError::ShardUnreadable`].
+    pub fn record_count(&self) -> Result<u64, StreamError> {
+        let mut total = 0u64;
+        for &m in &self.machines {
+            let n = self
+                .journal
+                .record_count(m)
+                .ok_or_else(|| self.unreadable(m))?;
+            total += n as u64;
+        }
+        Ok(total)
+    }
+
+    /// Replays one machine's shard into a residency-tracked guard.
+    ///
+    /// # Errors
+    ///
+    /// A missing or invalid shard is [`StreamError::ShardUnreadable`] —
+    /// the streaming consumer never silently narrows the dataset.
+    pub fn read(&self, machine: MachineId) -> Result<Shard, StreamError> {
+        let records = self
+            .journal
+            .load(machine)
+            .ok_or_else(|| self.unreadable(machine))?;
+        self.stats.acquire(records.len() as u64);
+        Ok(Shard {
+            machine,
+            records,
+            stats: Arc::clone(&self.stats),
+        })
+    }
+
+    /// Iterates every shard in ascending machine-id order.
+    pub fn stream(&self) -> MeasurementStream<'_> {
+        MeasurementStream {
+            reader: self,
+            next: 0,
+        }
+    }
+
+    fn unreadable(&self, machine: MachineId) -> StreamError {
+        StreamError::ShardUnreadable {
+            machine,
+            dir: self.journal.dir().to_path_buf(),
+        }
+    }
+}
+
+/// Iterator over a [`ShardReader`]'s shards in ascending machine-id
+/// order. Each item is independently loaded and dropped by the consumer,
+/// so a plain `for` loop holds one shard at a time.
+#[derive(Debug)]
+pub struct MeasurementStream<'a> {
+    reader: &'a ShardReader,
+    next: usize,
+}
+
+impl Iterator for MeasurementStream<'_> {
+    type Item = Result<Shard, StreamError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let machine = *self.reader.machines.get(self.next)?;
+        self.next += 1;
+        Some(self.reader.read(machine))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.reader.machines.len() - self.next;
+        (left, Some(left))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{collect_to_journal, CollectOptions};
+    use crate::store::Store;
+    use testbed::{catalog, Cluster, Timeline};
+
+    fn temp_dir(label: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "stream-{label}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn quick_cluster(config: &CampaignConfig) -> Cluster {
+        Cluster::provision(
+            catalog(),
+            config.scale,
+            Timeline::cloudlab_default(),
+            config.seed,
+        )
+    }
+
+    #[test]
+    fn stream_replays_the_materialized_store_in_order() {
+        let dir = temp_dir("order");
+        let config = CampaignConfig::quick(42);
+        let cluster = quick_cluster(&config);
+        let journal = ShardJournal::open(&dir, &config).unwrap();
+        let options = CollectOptions {
+            jobs: Some(2),
+            journal: Some(&journal),
+            faults: None,
+            policy: Default::default(),
+        };
+        let report = collect_to_journal(&cluster, &config, &options).unwrap();
+        assert_eq!(report.replayed, 0);
+        assert!(report.collected > 0);
+
+        // The same campaign, materialized the classic way.
+        let golden = crate::campaign::collect_resumable(&cluster, &config, &options)
+            .unwrap()
+            .store;
+
+        let reader = ShardReader::open(&dir, &config).unwrap();
+        assert_eq!(reader.record_count().unwrap() as usize, golden.len());
+        let mut replayed = Store::new();
+        let mut last = None;
+        for shard in reader.stream() {
+            let shard = shard.unwrap();
+            assert!(
+                last.is_none_or(|prev| prev < shard.machine),
+                "ascending ids"
+            );
+            last = Some(shard.machine);
+            replayed.extend(shard.records().iter().cloned());
+        }
+        assert_eq!(replayed, golden, "stream order is store order");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn residency_is_bounded_by_one_shard_at_a_time() {
+        let dir = temp_dir("bound");
+        let config = CampaignConfig::quick(7);
+        let cluster = quick_cluster(&config);
+        let journal = ShardJournal::open(&dir, &config).unwrap();
+        let options = CollectOptions {
+            jobs: Some(1),
+            journal: Some(&journal),
+            faults: None,
+            policy: Default::default(),
+        };
+        collect_to_journal(&cluster, &config, &options).unwrap();
+
+        let reader = ShardReader::open(&dir, &config).unwrap();
+        let stats = reader.stats();
+        let mut largest = 0u64;
+        for shard in reader.stream() {
+            let shard = shard.unwrap();
+            largest = largest.max(shard.records().len() as u64);
+            assert_eq!(stats.shards_resident(), 1, "one guard live inside the loop");
+        }
+        assert_eq!(stats.live_samples(), 0, "everything released");
+        assert_eq!(stats.shards_resident(), 0);
+        assert_eq!(stats.peak_shards_resident(), 1, "never more than one shard");
+        assert_eq!(
+            stats.peak_live_samples(),
+            largest,
+            "peak is the largest shard, not the fleet"
+        );
+        assert_eq!(stats.shards_streamed(), reader.machines().len() as u64);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_and_corrupt_shards_are_errors_not_silence() {
+        let dir = temp_dir("corrupt");
+        let config = CampaignConfig::quick(3);
+        let cluster = quick_cluster(&config);
+        let journal = ShardJournal::open(&dir, &config).unwrap();
+        let options = CollectOptions {
+            jobs: Some(1),
+            journal: Some(&journal),
+            faults: None,
+            policy: Default::default(),
+        };
+        collect_to_journal(&cluster, &config, &options).unwrap();
+
+        let reader = ShardReader::open(&dir, &config).unwrap();
+        let victim = reader.machines()[0];
+        let path = dir.join(format!("m{}.shard", victim.0));
+        let raw = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &raw[..raw.len() / 3]).unwrap();
+        let err = reader.read(victim).unwrap_err();
+        assert!(matches!(err, StreamError::ShardUnreadable { machine, .. } if machine == victim));
+        assert!(err.to_string().contains("--resume"));
+
+        std::fs::remove_file(&path).unwrap();
+        assert!(
+            reader.read(victim).is_err(),
+            "missing shard is an error too"
+        );
+        assert!(reader.record_count().is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn with_machines_pins_the_selection() {
+        let dir = temp_dir("pin");
+        let config = CampaignConfig::quick(5);
+        let cluster = quick_cluster(&config);
+        let journal = ShardJournal::open(&dir, &config).unwrap();
+        let options = CollectOptions {
+            jobs: Some(1),
+            journal: Some(&journal),
+            faults: None,
+            policy: Default::default(),
+        };
+        collect_to_journal(&cluster, &config, &options).unwrap();
+        let all = ShardJournal::open(&dir, &config)
+            .unwrap()
+            .machines()
+            .unwrap();
+        let subset = vec![all[2], all[0], all[0]]; // unsorted, with a dup
+        let reader = ShardReader::with_machines(&dir, &config, subset).unwrap();
+        assert_eq!(reader.machines(), &[all[0], all[2]], "sorted + deduped");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

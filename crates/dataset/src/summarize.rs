@@ -1,15 +1,40 @@
-//! Dataset-level summaries.
+//! Dataset-level summaries, built as streaming folds.
 //!
-//! The campaign overview the paper's data section opens with: how many
-//! measurements, over how many machines and sessions, and the per-group
-//! descriptive statistics everything downstream starts from.
+//! The campaign overview the paper's data section opens with — and the
+//! per-(type, benchmark) descriptive statistics everything downstream
+//! starts from — are computed by folding **mergeable partial summaries**
+//! over the data one machine shard at a time (DESIGN.md §11):
+//!
+//! * [`OverviewBuilder`] accumulates the dataset overview
+//!   (counts, day range, per-benchmark totals) record by record;
+//! * [`PartialSummary`] accumulates one (type, benchmark) group as exact
+//!   moments (count/mean/M2/M3/M4/min/max via [`varstats::Moments`])
+//!   plus a mergeable [`Histogram`] for approximate quantiles.
+//!
+//! Both are order-insensitive in their exact fields and merge
+//! associatively, so the same fold runs over a materialized [`Store`]
+//! (see [`overview`] / [`summarize_groups`], which are now thin folds)
+//! or over a [`crate::ShardReader`] replay with O(shard) live memory.
+//! Approximate quantiles come from histogram merges, which are
+//! deterministic for a fixed fold order — the data path always folds in
+//! ascending machine-id order ([`crate::store::sorted_machine_ids`]).
+
+use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
+use testbed::MachineId;
 use varstats::error::Result;
-use varstats::Summary;
+use varstats::histogram::{BinRule, Histogram};
+use varstats::Moments;
 use workloads::BenchmarkId;
 
+use crate::record::Record;
 use crate::store::Store;
+
+/// Bin count for the mergeable per-group histograms. Fixed (rather than
+/// data-driven) so shard-level histograms share a resolution and merge
+/// losslessly in count, with quantile error bounded by one bin width.
+const SUMMARY_BINS: usize = 64;
 
 /// Overview counts of a campaign dataset.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -30,71 +55,268 @@ pub struct DatasetOverview {
     pub per_benchmark: Vec<(BenchmarkId, usize)>,
 }
 
-/// Builds the overview.
-pub fn overview(store: &Store) -> DatasetOverview {
-    let mut first_day = f64::INFINITY;
-    let mut last_day = f64::NEG_INFINITY;
-    for r in store.records() {
-        first_day = first_day.min(r.day);
-        last_day = last_day.max(r.day);
+/// Mergeable accumulator behind [`DatasetOverview`] — the streaming
+/// fold's state. Holds one entry per distinct machine/type/benchmark
+/// (never per record), so its size is O(fleet metadata), not O(data).
+#[derive(Debug, Clone, Default)]
+pub struct OverviewBuilder {
+    measurements: usize,
+    machines: BTreeSet<MachineId>,
+    machine_types: BTreeSet<String>,
+    per_benchmark: BTreeMap<BenchmarkId, usize>,
+    first_day: f64,
+    last_day: f64,
+}
+
+impl OverviewBuilder {
+    /// Starts an empty builder.
+    pub fn new() -> Self {
+        OverviewBuilder {
+            first_day: f64::INFINITY,
+            last_day: f64::NEG_INFINITY,
+            ..Default::default()
+        }
     }
-    if store.is_empty() {
-        first_day = 0.0;
-        last_day = 0.0;
+
+    /// Folds one record in.
+    pub fn observe(&mut self, r: &Record) {
+        self.measurements += 1;
+        self.machines.insert(r.machine);
+        if !self.machine_types.contains(r.machine_type.as_str()) {
+            self.machine_types.insert(r.machine_type.clone());
+        }
+        *self.per_benchmark.entry(r.benchmark).or_insert(0) += 1;
+        self.first_day = self.first_day.min(r.day);
+        self.last_day = self.last_day.max(r.day);
     }
-    let per_benchmark = store
-        .benchmarks()
-        .into_iter()
-        .map(|b| (b, store.filter().benchmark(b).count()))
-        .collect();
-    DatasetOverview {
-        measurements: store.len(),
-        machines: store.machines().len(),
-        machine_types: store.machine_types().len(),
-        benchmarks: store.benchmarks().len(),
-        first_day,
-        last_day,
-        per_benchmark,
+
+    /// Folds a whole shard in.
+    pub fn observe_records(&mut self, records: &[Record]) {
+        for r in records {
+            self.observe(r);
+        }
+    }
+
+    /// Merges another builder (e.g. from a sibling shard range) into
+    /// this one. Exact: every overview field is order-insensitive.
+    pub fn merge(&mut self, other: &OverviewBuilder) {
+        self.measurements += other.measurements;
+        self.machines.extend(other.machines.iter().copied());
+        self.machine_types
+            .extend(other.machine_types.iter().cloned());
+        for (&b, &n) in &other.per_benchmark {
+            *self.per_benchmark.entry(b).or_insert(0) += n;
+        }
+        self.first_day = self.first_day.min(other.first_day);
+        self.last_day = self.last_day.max(other.last_day);
+    }
+
+    /// Finishes the fold.
+    pub fn finish(&self) -> DatasetOverview {
+        DatasetOverview {
+            measurements: self.measurements,
+            machines: self.machines.len(),
+            machine_types: self.machine_types.len(),
+            benchmarks: self.per_benchmark.len(),
+            first_day: if self.measurements == 0 {
+                0.0
+            } else {
+                self.first_day
+            },
+            last_day: if self.measurements == 0 {
+                0.0
+            } else {
+                self.last_day
+            },
+            per_benchmark: self.per_benchmark.iter().map(|(&b, &n)| (b, n)).collect(),
+        }
     }
 }
 
-/// A per-(machine-type, benchmark) descriptive summary row.
+/// Builds the overview of a materialized store — the same fold the
+/// streaming path runs shard by shard.
+pub fn overview(store: &Store) -> DatasetOverview {
+    let mut b = OverviewBuilder::new();
+    b.observe_records(store.records());
+    b.finish()
+}
+
+/// Mergeable partial summary of one measurement group: exact moments
+/// (count, mean, M2/M3/M4, min, max) plus a fixed-resolution histogram
+/// for approximate quantiles. One of these per (type, benchmark) group
+/// is the entire analysis-side state of the streaming summarizer.
+#[derive(Debug, Clone)]
+pub struct PartialSummary {
+    /// Exact running moments (Welford update, exact parallel merge).
+    pub moments: Moments,
+    /// Mergeable histogram of everything observed (`None` until the
+    /// first non-empty batch).
+    pub histogram: Option<Histogram>,
+}
+
+impl Default for PartialSummary {
+    fn default() -> Self {
+        // `Moments::new()`, not the derived zeros: min/max sentinels
+        // must start at ±infinity for the first update to take.
+        PartialSummary {
+            moments: Moments::new(),
+            histogram: None,
+        }
+    }
+}
+
+impl PartialSummary {
+    /// Starts an empty partial.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one shard's values for this group into the partial: exact
+    /// moment updates plus one shard-level histogram merged in.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-finite values (histograms cannot bin them).
+    pub fn observe_values(&mut self, values: &[f64]) -> Result<()> {
+        if values.is_empty() {
+            return Ok(());
+        }
+        let shard = Histogram::new(values, BinRule::Fixed(SUMMARY_BINS))?;
+        for &v in values {
+            self.moments.update(v);
+        }
+        self.histogram = Some(match self.histogram.take() {
+            Some(h) => h.merge(&shard),
+            None => shard,
+        });
+        Ok(())
+    }
+
+    /// Merges another partial (e.g. the same group from another shard
+    /// range). Moments merge exactly; histograms merge with quantile
+    /// error bounded by one bin width.
+    pub fn merge(&mut self, other: &PartialSummary) {
+        self.moments.merge(&other.moments);
+        if let Some(theirs) = &other.histogram {
+            self.histogram = Some(match self.histogram.take() {
+                Some(h) => h.merge(theirs),
+                None => theirs.clone(),
+            });
+        }
+    }
+
+    /// Finishes the partial into reportable statistics, or `None` if
+    /// nothing was observed.
+    pub fn finish(&self) -> Option<GroupStats> {
+        let h = self.histogram.as_ref()?;
+        Some(GroupStats {
+            count: self.moments.count(),
+            mean: self.moments.mean(),
+            std_dev: self.moments.std_dev(),
+            cov: self.moments.cov().unwrap_or(0.0),
+            min: self.moments.min(),
+            max: self.moments.max(),
+            approx_median: h.approx_quantile(0.5).unwrap_or(self.moments.mean()),
+            approx_p95: h.approx_quantile(0.95).unwrap_or(self.moments.max()),
+            approx_p99: h.approx_quantile(0.99).unwrap_or(self.moments.max()),
+        })
+    }
+}
+
+/// Finished statistics of one (type, benchmark) group. The first six
+/// fields are exact regardless of sharding; the quantiles are
+/// histogram-approximate with error bounded by one bin width.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupStats {
+    /// Number of measurements.
+    pub count: u64,
+    /// Arithmetic mean (exact).
+    pub mean: f64,
+    /// Sample standard deviation (exact).
+    pub std_dev: f64,
+    /// Coefficient of variation (exact; 0 for zero-mean groups).
+    pub cov: f64,
+    /// Minimum (exact).
+    pub min: f64,
+    /// Maximum (exact).
+    pub max: f64,
+    /// Approximate median.
+    pub approx_median: f64,
+    /// Approximate 95th percentile.
+    pub approx_p95: f64,
+    /// Approximate 99th percentile.
+    pub approx_p99: f64,
+}
+
+/// A per-(machine-type, benchmark) summary row.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GroupSummary {
     /// Machine type.
     pub machine_type: String,
     /// Benchmark.
     pub benchmark: BenchmarkId,
-    /// Descriptive summary of all measurements in the group.
-    pub summary: Summary,
+    /// Statistics of all measurements in the group.
+    pub stats: GroupStats,
 }
 
-/// Summarizes every (type, benchmark) group with at least `min_samples`
-/// measurements.
+/// Folds one shard's records into a map of per-(type, benchmark)
+/// partials — the inner step of [`summarize_groups`] and of the
+/// streaming summarizer. Scratch memory is O(shard).
 ///
 /// # Errors
 ///
-/// Propagates summary errors (cannot occur for non-empty groups).
-pub fn summarize_groups(store: &Store, min_samples: usize) -> Result<Vec<GroupSummary>> {
-    let mut out = Vec::new();
-    for machine_type in store.machine_types() {
-        for benchmark in store.benchmarks() {
-            let values = store
-                .filter()
-                .machine_type(&machine_type)
-                .benchmark(benchmark)
-                .values();
-            if values.len() < min_samples.max(1) {
-                continue;
-            }
-            out.push(GroupSummary {
-                machine_type: machine_type.clone(),
-                benchmark,
-                summary: Summary::from_slice(&values)?,
-            });
-        }
+/// Rejects non-finite measurement values.
+pub fn observe_shard_groups(
+    acc: &mut BTreeMap<(String, BenchmarkId), PartialSummary>,
+    records: &[Record],
+) -> Result<()> {
+    let mut local: BTreeMap<(&str, BenchmarkId), Vec<f64>> = BTreeMap::new();
+    for r in records {
+        local
+            .entry((r.machine_type.as_str(), r.benchmark))
+            .or_default()
+            .push(r.value);
     }
-    Ok(out)
+    for ((machine_type, benchmark), values) in local {
+        acc.entry((machine_type.to_string(), benchmark))
+            .or_default()
+            .observe_values(&values)?;
+    }
+    Ok(())
+}
+
+/// Finishes a partial-summary map into rows (sorted by type, then
+/// benchmark), keeping groups with at least `min_samples` measurements.
+pub fn finish_groups(
+    acc: &BTreeMap<(String, BenchmarkId), PartialSummary>,
+    min_samples: usize,
+) -> Vec<GroupSummary> {
+    acc.iter()
+        .filter_map(|((machine_type, benchmark), partial)| {
+            let stats = partial.finish()?;
+            (stats.count >= min_samples.max(1) as u64).then(|| GroupSummary {
+                machine_type: machine_type.clone(),
+                benchmark: *benchmark,
+                stats,
+            })
+        })
+        .collect()
+}
+
+/// Summarizes every (type, benchmark) group with at least `min_samples`
+/// measurements — the materialized entry point of the same shard-major
+/// fold the streaming path runs: records are visited in per-machine
+/// chunks, each chunk contributing one mergeable partial per group.
+///
+/// # Errors
+///
+/// Rejects non-finite measurement values.
+pub fn summarize_groups(store: &Store, min_samples: usize) -> Result<Vec<GroupSummary>> {
+    let mut acc = BTreeMap::new();
+    for run in store.records().chunk_by(|a, b| a.machine == b.machine) {
+        observe_shard_groups(&mut acc, run)?;
+    }
+    Ok(finish_groups(&acc, min_samples))
 }
 
 #[cfg(test)]
@@ -118,15 +340,78 @@ mod tests {
     }
 
     #[test]
+    fn overview_merge_equals_one_pass() {
+        let (_, store) = run_campaign(&CampaignConfig::quick(21));
+        let records = store.records();
+        let mut whole = OverviewBuilder::new();
+        whole.observe_records(records);
+        let (left, right) = records.split_at(records.len() / 3);
+        let mut a = OverviewBuilder::new();
+        a.observe_records(left);
+        let mut b = OverviewBuilder::new();
+        b.observe_records(right);
+        a.merge(&b);
+        assert_eq!(a.finish(), whole.finish());
+    }
+
+    #[test]
     fn group_summaries_cover_the_grid() {
         let (_, store) = run_campaign(&CampaignConfig::quick(10));
         let groups = summarize_groups(&store, 10).unwrap();
         assert_eq!(groups.len(), 10 * 11);
         for g in &groups {
-            assert!(g.summary.n >= 10);
-            assert!(g.summary.min <= g.summary.median);
-            assert!(g.summary.median <= g.summary.max);
+            assert!(g.stats.count >= 10);
+            assert!(g.stats.min <= g.stats.approx_median);
+            assert!(g.stats.approx_median <= g.stats.max);
+            assert!(g.stats.approx_p95 <= g.stats.max);
         }
+    }
+
+    #[test]
+    fn exact_fields_match_the_exact_summary() {
+        let (_, store) = run_campaign(&CampaignConfig::quick(12));
+        let groups = summarize_groups(&store, 1).unwrap();
+        for g in groups.iter().take(5) {
+            let values = store
+                .filter()
+                .machine_type(&g.machine_type)
+                .benchmark(g.benchmark)
+                .values();
+            let exact = varstats::Summary::from_slice(&values).unwrap();
+            assert_eq!(g.stats.count as usize, exact.n);
+            assert!((g.stats.mean - exact.mean).abs() < 1e-9 * exact.mean.abs());
+            assert!((g.stats.std_dev - exact.std_dev).abs() < 1e-6 * exact.std_dev.abs());
+            assert_eq!(g.stats.min, exact.min);
+            assert_eq!(g.stats.max, exact.max);
+            // Approximate quantiles stay within one merged-bin width.
+            let span = g.stats.max - g.stats.min;
+            assert!((g.stats.approx_median - exact.median).abs() <= span / 8.0);
+        }
+    }
+
+    #[test]
+    fn partial_merge_matches_single_fold_exactly_in_moments() {
+        let values: Vec<f64> = (0..500).map(|i| 50.0 + ((i * 13) % 97) as f64).collect();
+        let mut whole = PartialSummary::new();
+        whole.observe_values(&values).unwrap();
+        let mut a = PartialSummary::new();
+        a.observe_values(&values[..200]).unwrap();
+        let mut b = PartialSummary::new();
+        b.observe_values(&values[200..]).unwrap();
+        a.merge(&b);
+        assert_eq!(a.moments.count(), whole.moments.count());
+        assert_eq!(a.moments.min(), whole.moments.min());
+        assert_eq!(a.moments.max(), whole.moments.max());
+        assert!((a.moments.mean() - whole.moments.mean()).abs() < 1e-9);
+        let sa = a.finish().unwrap();
+        let sw = whole.finish().unwrap();
+        assert!((sa.std_dev - sw.std_dev).abs() < 1e-6);
+        assert_eq!(
+            a.histogram.unwrap().n,
+            500,
+            "histogram counts survive the merge"
+        );
+        let _ = sw;
     }
 
     #[test]

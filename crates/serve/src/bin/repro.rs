@@ -5,6 +5,7 @@
 //! repro all [--scale quick|paper] [--seed N] [--jobs N] [--out DIR] [--trace] [--metrics]
 //! repro F9 T3 ... [--scale ...] [--seed ...] [--out DIR] [--json]
 //! repro all --resume DIR [--chaos SEED]
+//! repro all --stream [--resume DIR]
 //! repro cache stats|clear [--cache-dir DIR]
 //! repro sentinel record|audit|watch|report|clear [--sentinel-dir DIR]
 //! ```
@@ -27,7 +28,12 @@
 //! `--resume DIR` keeps a write-ahead journal of completed campaign
 //! shards in DIR: a killed run replays the finished shards on the next
 //! invocation and re-collects only the rest, byte-identical to an
-//! uninterrupted run. `--chaos SEED` (or `REPRO_CHAOS=SEED`) arms the
+//! uninterrupted run. `--stream` (or `REPRO_STREAM=1`) runs the whole
+//! data path against the shard journal instead of a materialized store:
+//! collection writes each machine's shard and drops it, experiments
+//! replay one shard at a time, and peak memory is bounded by the
+//! largest shard instead of the fleet (DESIGN.md §11) — with artifacts
+//! byte-identical to the materialized run's. `--chaos SEED` (or `REPRO_CHAOS=SEED`) arms the
 //! deterministic fault-injection harness: transient machine faults, I/O
 //! errors, and worker deaths fire at seed-derived sites, transient
 //! failures retry with bounded backoff, and persistent failures are
@@ -107,6 +113,11 @@ options:
                         replay any already there: a killed run continues
                         where it stopped, byte-identical to an
                         uninterrupted one
+  --stream              stream the data path from the shard journal
+                        (bounded memory: one machine shard resident at
+                        a time; artifacts byte-identical); uses --resume
+                        DIR as the journal when given, else a scratch
+                        directory; env REPRO_STREAM=1 does the same
   --chaos SEED          arm deterministic fault injection (transient
                         faults, I/O errors, worker deaths) derived from
                         SEED; env REPRO_CHAOS=SEED does the same
@@ -130,6 +141,17 @@ options:
                         poll forever)
   --help, -h            print this help";
 
+/// Removes a scratch journal directory on every exit path.
+struct ScratchDir(Option<PathBuf>);
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        if let Some(dir) = &self.0 {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+}
+
 struct Args {
     ids: Vec<String>,
     scale: Scale,
@@ -147,6 +169,7 @@ struct Args {
     cache_dir: Option<PathBuf>,
     no_cache: bool,
     resume: Option<PathBuf>,
+    stream: bool,
     chaos: Option<u64>,
     sentinel_cmd: Option<String>,
     sentinel_dir: Option<PathBuf>,
@@ -184,6 +207,7 @@ fn parse_args() -> Result<Parsed, String> {
         cache_dir: None,
         no_cache: false,
         resume: None,
+        stream: false,
         chaos: None,
         sentinel_cmd: None,
         sentinel_dir: None,
@@ -268,6 +292,7 @@ fn parse_args() -> Result<Parsed, String> {
                 let v = it.next().ok_or("--resume needs a directory")?;
                 args.resume = Some(PathBuf::from(v));
             }
+            "--stream" => args.stream = true,
             "--chaos" => {
                 let v = it.next().ok_or("--chaos needs a seed")?;
                 args.chaos = Some(v.parse().map_err(|_| format!("bad chaos seed `{v}`"))?);
@@ -305,6 +330,11 @@ fn parse_args() -> Result<Parsed, String> {
     }
     if args.trace_chrome && args.out.is_none() {
         return Err("--trace-chrome needs --out".to_string());
+    }
+    if !args.stream {
+        if let Ok(v) = std::env::var("REPRO_STREAM") {
+            args.stream = !matches!(v.as_str(), "" | "0" | "false");
+        }
     }
     if args.chaos.is_none() {
         if let Ok(v) = std::env::var("REPRO_CHAOS") {
@@ -894,7 +924,15 @@ fn main() -> ExitCode {
     if let Some(plan) = &faults {
         eprintln!("chaos armed (seed {})", plan.seed());
     }
-    let journal = match &args.resume {
+    // Streaming needs a journal to stream from; without --resume it
+    // lives in a scratch directory for the duration of the run (removed
+    // on every exit path by the guard's Drop).
+    let stream_scratch = (args.stream && args.resume.is_none()).then(|| {
+        std::env::temp_dir().join(format!("repro-stream-{}-{}", args.seed, std::process::id()))
+    });
+    let _scratch_guard = ScratchDir(stream_scratch.clone());
+    let journal_dir = args.resume.clone().or(stream_scratch);
+    let journal = match &journal_dir {
         Some(dir) => match dataset::ShardJournal::open(dir, &args.scale.campaign(args.seed)) {
             Ok(j) => Some(j),
             Err(err) => {
@@ -916,7 +954,12 @@ fn main() -> ExitCode {
         faults,
         policy,
     };
-    let (ctx, campaign_report) = match Context::build(args.scale, args.seed, &collect_options) {
+    let built = if args.stream {
+        Context::build_streaming(args.scale, args.seed, &collect_options)
+    } else {
+        Context::build(args.scale, args.seed, &collect_options)
+    };
+    let (ctx, campaign_report) = match built {
         Ok(built) => built,
         Err(err) => {
             eprintln!("campaign collection failed: {err}");
@@ -936,7 +979,10 @@ fn main() -> ExitCode {
             campaign_report.replayed, campaign_report.collected
         );
     }
-    manifest.records = ctx.store.len() as u64;
+    if args.stream {
+        eprintln!("streaming: experiments replay the journal one shard at a time");
+    }
+    manifest.records = ctx.records_len() as u64;
     manifest.machines = ctx.cluster.machines().len() as u64;
     eprintln!(
         "campaign: {} machines, {} records ({:.2}s)",
@@ -1061,6 +1107,20 @@ fn main() -> ExitCode {
     };
     manifest.faults = Some(fault_section);
     eprintln!("{}", fault_section.summary());
+    // The streaming gauges are filled in by the shard reads the
+    // experiments just performed; the manifest records the observed
+    // memory bound (peak live samples ~= the largest shard, not the
+    // fleet).
+    if let Some(stats) = ctx.stream_stats() {
+        let stream_section = telemetry::StreamSection {
+            enabled: true,
+            peak_live_samples: stats.peak_live_samples(),
+            peak_shards_resident: stats.peak_shards_resident(),
+            shards_streamed: stats.shards_streamed(),
+        };
+        manifest.stream = Some(stream_section);
+        eprintln!("{}", stream_section.summary());
+    }
     if let Some(dir) = &args.out {
         let payload = manifest.to_json().expect("manifests always serialize");
         if let Err(code) = writer.write(dir, "manifest.json", &payload) {

@@ -1,0 +1,139 @@
+//! `--stream` through the `repro` binary: the streaming data path must
+//! be invisible in every artifact byte while announcing itself (and its
+//! memory bound) on stderr. DESIGN.md §11 is the contract under test.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repro() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_repro"));
+    // Never append to the developer's sentinel baseline, and never let
+    // the cache paper over a data-path difference.
+    cmd.args(["--no-sentinel", "--no-cache"]);
+    cmd
+}
+
+fn out_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("repro-stream-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Sorted (name, bytes) of every CSV artifact in an output directory.
+fn csv_artifacts(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .expect("output dir exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "csv"))
+        .map(|p| {
+            let name = p.file_name().unwrap().to_string_lossy().into_owned();
+            (name, std::fs::read(&p).expect("artifact readable"))
+        })
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "run produced no CSV artifacts");
+    files
+}
+
+#[test]
+fn stream_artifacts_are_byte_identical_across_modes_and_jobs() {
+    let materialized = out_dir("mat");
+    let base = repro()
+        .args(["T1", "F3", "--seed", "5", "--jobs", "1"])
+        .args(["--out", materialized.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(base.status.success(), "materialized run succeeds");
+
+    for jobs in ["1", "4"] {
+        let streamed = out_dir(&format!("str{jobs}"));
+        let out = repro()
+            .args(["T1", "F3", "--seed", "5", "--jobs", jobs, "--stream"])
+            .args(["--out", streamed.to_str().unwrap()])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "streaming run succeeds");
+        assert_eq!(
+            out.stdout, base.stdout,
+            "--jobs {jobs}: streaming stdout must match materialized"
+        );
+        assert_eq!(
+            csv_artifacts(&streamed),
+            csv_artifacts(&materialized),
+            "--jobs {jobs}: streaming CSVs must match materialized byte for byte"
+        );
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(
+            stderr.contains("streaming: experiments replay the journal"),
+            "streaming announces itself: {stderr}"
+        );
+        assert!(
+            stderr.contains("peak live samples"),
+            "the memory-bound summary is reported: {stderr}"
+        );
+        let _ = std::fs::remove_dir_all(&streamed);
+    }
+    let _ = std::fs::remove_dir_all(&materialized);
+}
+
+#[test]
+fn repro_stream_env_toggles_streaming() {
+    let on = repro()
+        .args(["T1", "--seed", "3"])
+        .env("REPRO_STREAM", "1")
+        .output()
+        .expect("binary runs");
+    assert!(on.status.success());
+    let stderr = String::from_utf8(on.stderr).unwrap();
+    assert!(
+        stderr.contains("streaming: experiments replay the journal"),
+        "REPRO_STREAM=1 enables streaming: {stderr}"
+    );
+
+    for off_value in ["0", "false", ""] {
+        let off = repro()
+            .args(["T1", "--seed", "3"])
+            .env("REPRO_STREAM", off_value)
+            .output()
+            .expect("binary runs");
+        assert!(off.status.success());
+        let stderr = String::from_utf8(off.stderr).unwrap();
+        assert!(
+            !stderr.contains("streaming:"),
+            "REPRO_STREAM={off_value:?} must stay materialized: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn stream_with_resume_reuses_the_journal_on_disk() {
+    let journal = out_dir("journal");
+    let artifacts = out_dir("resume-out");
+    let run = |label: &str| {
+        let out = repro()
+            .args(["T1", "--seed", "11", "--stream"])
+            .args(["--resume", journal.to_str().unwrap()])
+            .args(["--out", artifacts.to_str().unwrap()])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "{label} run succeeds");
+        String::from_utf8(out.stderr).unwrap()
+    };
+    run("cold");
+    let shards = std::fs::read_dir(&journal)
+        .expect("journal dir persists under --resume")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "shard"))
+        .count();
+    assert!(shards > 0, "the journal holds the collected shards");
+
+    // Second run: the journal is complete, so collection replays it
+    // instead of re-measuring, and streaming reads the same shards.
+    let stderr = run("warm");
+    assert!(
+        stderr.contains("peak live samples"),
+        "warm run still streams: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&journal);
+    let _ = std::fs::remove_dir_all(&artifacts);
+}

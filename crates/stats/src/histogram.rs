@@ -148,6 +148,79 @@ impl Histogram {
         modes.max(1)
     }
 
+    /// Merges two histograms onto a common equal-width grid spanning both
+    /// ranges, with `max(self.bins(), other.bins())` bins.
+    ///
+    /// Each source bin's count lands in the destination bin containing the
+    /// source bin's center, so the merge is lossy by at most one source bin
+    /// width per sample. Counts and `n` are preserved exactly; `min`/`max`
+    /// widen to cover both inputs. The operation is deterministic in its
+    /// argument order (A ⊕ B is not bit-identical to B ⊕ A when the grids
+    /// differ), so streaming folds must merge in a canonical order — the
+    /// data path uses ascending machine-id order (DESIGN.md §11).
+    pub fn merge(&self, other: &Histogram) -> Histogram {
+        let min = self.min.min(other.min);
+        let max = self.max.max(other.max);
+        let bins = self.bins().max(other.bins()).max(1);
+        let span = if max > min { max - min } else { 1.0 };
+        let bin_width = span / bins as f64;
+        let mut counts = vec![0u64; bins];
+        for h in [self, other] {
+            for (i, &c) in h.counts.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                let center = h.bin_center(i).clamp(min, max);
+                let idx = (((center - min) / bin_width) as usize).min(bins - 1);
+                counts[idx] += c;
+            }
+        }
+        Histogram {
+            min,
+            max,
+            bin_width,
+            counts,
+            n: self.n + other.n,
+        }
+    }
+
+    /// Approximates the `q`-quantile (`0.0..=1.0`) from the bin counts by
+    /// linear interpolation inside the bin where the cumulative count
+    /// crosses `q * n`. Error is bounded by one bin width.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the histogram is empty or `q` is not in `[0, 1]`.
+    pub fn approx_quantile(&self, q: f64) -> Result<f64> {
+        if self.n == 0 {
+            return Err(invalid(
+                "histogram",
+                "cannot take a quantile of zero samples",
+            ));
+        }
+        if !(0.0..=1.0).contains(&q) {
+            return Err(invalid("q", "must be within [0, 1]"));
+        }
+        if q == 0.0 {
+            return Ok(self.min);
+        }
+        if q == 1.0 {
+            return Ok(self.max);
+        }
+        let target = q * self.n as f64;
+        let mut cum = 0.0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let next = cum + c as f64;
+            if next >= target && c > 0 {
+                let frac = (target - cum) / c as f64;
+                let v = self.bin_left(i) + frac * self.bin_width;
+                return Ok(v.clamp(self.min, self.max));
+            }
+            cum = next;
+        }
+        Ok(self.max)
+    }
+
     /// Renders a compact ASCII sketch (one row per bin), for terminal
     /// artifacts.
     pub fn ascii(&self, width: usize) -> String {
@@ -252,6 +325,61 @@ mod tests {
         let s = h.ascii(20);
         assert_eq!(s.lines().count(), 3);
         assert!(s.contains('#'));
+    }
+
+    #[test]
+    fn merge_preserves_counts_and_widens_range() {
+        let a = Histogram::new(&[0.0, 1.0, 2.0, 3.0], BinRule::Fixed(4)).unwrap();
+        let b = Histogram::new(&[10.0, 11.0, 12.0], BinRule::Fixed(2)).unwrap();
+        let m = a.merge(&b);
+        assert_eq!(m.n, 7);
+        assert_eq!(m.counts.iter().sum::<u64>(), 7);
+        assert_eq!(m.min, 0.0);
+        assert_eq!(m.max, 12.0);
+        assert_eq!(m.bins(), 4);
+    }
+
+    #[test]
+    fn merge_is_deterministic_for_fixed_order() {
+        let a = Histogram::new(&[0.0, 1.0, 5.0], BinRule::Fixed(3)).unwrap();
+        let b = Histogram::new(&[2.0, 9.0], BinRule::Fixed(5)).unwrap();
+        assert_eq!(a.merge(&b), a.merge(&b));
+    }
+
+    #[test]
+    fn merged_quantiles_stay_within_a_bin_width() {
+        let left: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let right: Vec<f64> = (100..200).map(|i| i as f64).collect();
+        let all: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let merged = Histogram::new(&left, BinRule::Fixed(50))
+            .unwrap()
+            .merge(&Histogram::new(&right, BinRule::Fixed(50)).unwrap());
+        let exact = Histogram::new(&all, BinRule::Fixed(50)).unwrap();
+        for q in [0.1, 0.5, 0.9, 0.95] {
+            let got = merged.approx_quantile(q).unwrap();
+            let want = exact.approx_quantile(q).unwrap();
+            assert!(
+                (got - want).abs() <= merged.bin_width + exact.bin_width,
+                "q={q}: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn approx_quantile_endpoints_and_median() {
+        let data: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let h = Histogram::new(&data, BinRule::Fixed(100)).unwrap();
+        assert_eq!(h.approx_quantile(0.0).unwrap(), 0.0);
+        assert_eq!(h.approx_quantile(1.0).unwrap(), 999.0);
+        let med = h.approx_quantile(0.5).unwrap();
+        assert!((med - 499.5).abs() <= h.bin_width, "median {med}");
+    }
+
+    #[test]
+    fn approx_quantile_rejects_bad_input() {
+        let h = Histogram::new(&[1.0, 2.0], BinRule::Fixed(2)).unwrap();
+        assert!(h.approx_quantile(-0.1).is_err());
+        assert!(h.approx_quantile(1.1).is_err());
     }
 
     #[test]

@@ -149,6 +149,47 @@ impl FaultSection {
     }
 }
 
+/// Streaming data-path accounting for one run (DESIGN.md §11). Fields
+/// are declared in alphabetical order so the serialized section is
+/// deterministically keyed; like [`CacheSection`] it carries no
+/// timestamps or host details. The residency peaks are observability,
+/// not output: they prove the memory bound (O(largest shard), not
+/// O(fleet)) without entering the byte-identity contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamSection {
+    /// Whether the streaming path was selected (`--stream` /
+    /// `REPRO_STREAM`).
+    pub enabled: bool,
+    /// Peak number of measurement records simultaneously resident in
+    /// the stream layer — bounded by the largest shard times the number
+    /// of concurrent consumers, never by the fleet.
+    pub peak_live_samples: u64,
+    /// Peak number of journal shards held in memory at once.
+    pub peak_shards_resident: u64,
+    /// Total shard replays performed across all streaming passes.
+    pub shards_streamed: u64,
+}
+
+impl StreamSection {
+    /// One-line deterministic rendering, e.g.
+    /// `stream: 5500 peak live samples, 2 peak shards resident, 330 shards streamed`,
+    /// or `stream: disabled`.
+    ///
+    /// **Ordering contract:** counters appear in alphabetical order of
+    /// their field names (`peak_live_samples`, `peak_shards_resident`,
+    /// `shards_streamed`), like [`CacheSection::summary`] — see there
+    /// for why the order is part of the schema.
+    pub fn summary(&self) -> String {
+        if !self.enabled {
+            return "stream: disabled".to_string();
+        }
+        format!(
+            "stream: {} peak live samples, {} peak shards resident, {} shards streamed",
+            self.peak_live_samples, self.peak_shards_resident, self.shards_streamed
+        )
+    }
+}
+
 /// Everything needed to identify and reproduce one `repro` invocation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunManifest {
@@ -189,6 +230,10 @@ pub struct RunManifest {
     /// written before the fault harness existed.
     #[serde(default)]
     pub faults: Option<FaultSection>,
+    /// Streaming data-path accounting. Absent in manifests written
+    /// before the streaming path existed and in materialized runs.
+    #[serde(default)]
+    pub stream: Option<StreamSection>,
 }
 
 impl RunManifest {
@@ -212,6 +257,7 @@ impl RunManifest {
             artifact_count: 0,
             cache: None,
             faults: None,
+            stream: None,
         }
     }
 
@@ -328,6 +374,38 @@ mod tests {
             retried: 0,
         };
         assert_eq!(disabled.summary(), "faults: disabled");
+    }
+
+    #[test]
+    fn stream_section_summary_is_deterministic_and_alphabetical() {
+        let mut m = RunManifest::new("repro", "0.1.0", 42, "quick");
+        assert_eq!(m.stream, None, "no section until the tool fills one in");
+        let section = StreamSection {
+            enabled: true,
+            peak_live_samples: 5500,
+            peak_shards_resident: 2,
+            shards_streamed: 330,
+        };
+        m.stream = Some(section);
+        assert_eq!(
+            section.summary(),
+            "stream: 5500 peak live samples, 2 peak shards resident, 330 shards streamed"
+        );
+        let labels = [
+            "peak_live_samples",
+            "peak_shards_resident",
+            "shards_streamed",
+        ];
+        let mut sorted = labels;
+        sorted.sort_unstable();
+        assert_eq!(labels, sorted);
+        let disabled = StreamSection {
+            enabled: false,
+            peak_live_samples: 0,
+            peak_shards_resident: 0,
+            shards_streamed: 0,
+        };
+        assert_eq!(disabled.summary(), "stream: disabled");
     }
 
     #[test]

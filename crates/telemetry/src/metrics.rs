@@ -248,6 +248,36 @@ impl Gauge {
         }
     }
 
+    /// Raises the gauge to `v` if `v` exceeds the current value — a
+    /// monotone high-water mark (used by the streaming data path for
+    /// peak-residency gauges). Writes race benignly: every update only
+    /// moves the value upward, so concurrent `set_max` calls converge on
+    /// the true maximum.
+    #[inline]
+    pub fn set_max(&self, v: f64) {
+        match &self.0 {
+            Some(cell) => {
+                let mut cur = cell.load(Ordering::Relaxed);
+                while v > f64::from_bits(cur) {
+                    match cell.compare_exchange_weak(
+                        cur,
+                        v.to_bits(),
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => break,
+                        Err(seen) => cur = seen,
+                    }
+                }
+            }
+            None => debug_assert!(
+                !crate::enabled(),
+                "inert Gauge written after telemetry was enabled; \
+                 fetch handles after set_enabled(true) (see metrics module docs)"
+            ),
+        }
+    }
+
     /// Current value (0.0 for an inert handle).
     pub fn value(&self) -> f64 {
         self.0
@@ -520,6 +550,22 @@ mod tests {
         reset();
         assert_eq!(snap.counter("t.requests"), Some(4));
         assert_eq!(snap.gauge("t.depth"), Some(7.5));
+    }
+
+    #[test]
+    fn set_max_is_a_high_water_mark() {
+        let _guard = crate::test_guard();
+        crate::set_enabled(true);
+        reset();
+        let g = gauge("t.peak");
+        g.set_max(5.0);
+        g.set_max(2.0); // lower values never pull the peak down
+        assert_eq!(g.value(), 5.0);
+        g.set_max(9.5);
+        let snap = snapshot();
+        crate::set_enabled(false);
+        reset();
+        assert_eq!(snap.gauge("t.peak"), Some(9.5));
     }
 
     #[test]

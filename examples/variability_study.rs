@@ -20,7 +20,7 @@ fn main() {
         "fleet: {} machines across {} types; dataset: {} measurements\n",
         ctx.cluster.machines().len(),
         ctx.cluster.types().len(),
-        ctx.store.len()
+        ctx.records_len()
     );
 
     // The cross-family headline: disks dwarf everything else.

@@ -8,8 +8,8 @@
 use std::path::PathBuf;
 
 use dataset::{
-    collect_jobs, collect_resumable, CampaignConfig, CampaignError, CollectOptions, Collected,
-    ShardJournal,
+    collect_jobs, collect_resumable, collect_to_journal, CampaignConfig, CampaignError,
+    CollectOptions, Collected, ShardJournal, ShardReader, Store,
 };
 use proptest::prelude::*;
 use testbed::{catalog, Cluster, FaultPlan, FaultPolicy, Timeline};
@@ -95,6 +95,52 @@ proptest! {
         };
         let (collected, _kills) = collect_until_complete(&cluster, &config, &options);
         prop_assert_eq!(collected.store, golden);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The streaming half of the same invariant: collection that never
+    /// materializes a store — workers killed mid-run, journal resumed
+    /// until complete — leaves a journal whose one-shard-at-a-time
+    /// replay reproduces the fault-free materialized store byte for
+    /// byte, while never holding more than one shard live.
+    #[test]
+    fn streaming_replay_after_chaos_matches_the_materialized_store(
+        seed in 0..4u64,
+        chaos in 1..512u64,
+        jobs in 1..4usize,
+    ) {
+        let config = tiny_config(seed);
+        let cluster = provision(&config);
+        let golden = collect_jobs(&cluster, &config, Some(1));
+        let dir = temp_dir(&format!("stream-{seed}-{chaos}-{jobs}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let journal = ShardJournal::open(&dir, &config).expect("journal opens");
+        let options = CollectOptions {
+            jobs: Some(jobs),
+            journal: Some(&journal),
+            faults: Some(FaultPlan::with_rates(chaos, 350, 300, 300)),
+            policy: FaultPolicy::default(),
+        };
+        let budget = cluster.machines().len() + 2;
+        let mut kills = 0usize;
+        loop {
+            match collect_to_journal(&cluster, &config, &options) {
+                Ok(_report) => break,
+                Err(CampaignError::WorkerKilled { .. }) => {
+                    kills += 1;
+                    prop_assert!(kills <= budget, "streaming resume must converge");
+                }
+                Err(e) => panic!("unexpected campaign error: {e}"),
+            }
+        }
+        let reader = ShardReader::open(&dir, &config).expect("journal is complete");
+        let mut replayed = Store::new();
+        for shard in reader.stream() {
+            let shard = shard.expect("every shard is readable after convergence");
+            replayed.extend(shard.records().iter().cloned());
+        }
+        prop_assert_eq!(replayed, golden, "stream replay equals the materialized store");
+        prop_assert_eq!(reader.stats().peak_shards_resident(), 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -196,8 +242,59 @@ fn context_chaos_with_journal_converges_to_the_plain_build() {
         }
     };
     assert_eq!(
-        ctx.store, plain.store,
+        ctx.store(),
+        plain.store(),
         "chaos + resume reproduces the store"
     );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The `repro --stream --chaos --resume` path end to end: a streaming
+/// context built under worker kills (resumed until the journal is
+/// complete) renders the same experiment artifacts, byte for byte, as a
+/// plain materialized build — without ever holding the full store.
+#[test]
+fn streaming_context_chaos_renders_byte_identical_artifacts() {
+    use analysis::{find, Context, Scale};
+
+    let plain = Context::with_jobs(Scale::Quick, 21, Some(2));
+    let dir = temp_dir("stream-ctx");
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = Scale::Quick.campaign(21);
+    let journal = ShardJournal::open(&dir, &config).expect("journal opens");
+    let options = CollectOptions {
+        jobs: Some(2),
+        journal: Some(&journal),
+        faults: Some(FaultPlan::with_rates(9, 300, 250, 400)),
+        policy: FaultPolicy::default(),
+    };
+    let budget = plain.cluster.machines().len() + 2;
+    let mut kills = 0usize;
+    let ctx = loop {
+        match Context::build_streaming(Scale::Quick, 21, &options) {
+            Ok((ctx, _report)) => break ctx,
+            Err(CampaignError::WorkerKilled { .. }) => {
+                kills += 1;
+                assert!(kills <= budget, "streaming context build must converge");
+            }
+            Err(e) => panic!("unexpected campaign error: {e}"),
+        }
+    };
+    assert!(ctx.is_streaming(), "the context replays the journal");
+    for id in ["T1", "F3", "F6"] {
+        let experiment = find(id).expect("registered");
+        let got = experiment.run(&ctx).expect("streaming run succeeds");
+        let want = experiment.run(&plain).expect("materialized run succeeds");
+        let render = |artifacts: &[analysis::Artifact]| -> String {
+            artifacts.iter().map(|a| a.to_csv()).collect()
+        };
+        assert_eq!(
+            render(&got),
+            render(&want),
+            "{id}: streaming and materialized artifacts must be byte-identical"
+        );
+    }
+    let stats = ctx.stream_stats().expect("streaming context has stats");
+    assert_eq!(stats.peak_shards_resident(), 1, "one shard live at a time");
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -60,7 +60,7 @@ fn key_paper_shapes_hold_end_to_end() {
     assert!(net < mem, "net-bw {net} should undercut memory {mem}");
 
     // Shape 2: a substantial share of sample sets fail normality.
-    let rows = census(&ctx, 0.05);
+    let rows = census(&ctx, 0.05).unwrap();
     let sets: usize = rows.iter().map(|r| r.sets).sum();
     let passed: usize = rows.iter().map(|r| r.passed).sum();
     let fail_rate = 1.0 - passed as f64 / sets as f64;

@@ -39,6 +39,19 @@ fn rng_fingerprint() -> String {
     format!("rng-fingerprint: {}", draws.join(" "))
 }
 
+/// Renders the golden experiment's artifacts as CSV — the part of the
+/// fixture that both data paths (materialized and streaming) must
+/// reproduce byte for byte.
+fn artifact_text(ctx: &Context) -> String {
+    let mut out = String::new();
+    let experiment = find(EXPERIMENT).expect("golden experiment is registered");
+    for artifact in experiment.run(ctx).expect("golden experiment succeeds") {
+        writeln!(out, "--- artifact {} ---", artifact.id()).unwrap();
+        out.push_str(&artifact.to_csv());
+    }
+    out
+}
+
 /// Renders everything the fixture pins: the backend fingerprint, a
 /// campaign summary, and the experiment's artifacts as CSV.
 fn golden_text() -> String {
@@ -48,17 +61,49 @@ fn golden_text() -> String {
     writeln!(
         out,
         "campaign: scale=quick seed={SEED} machines={} records={} benchmarks={}",
-        ctx.store.machines().len(),
-        ctx.store.len(),
-        ctx.store.benchmarks().len()
+        ctx.store().machines().len(),
+        ctx.store().len(),
+        ctx.store().benchmarks().len()
     )
     .unwrap();
-    let experiment = find(EXPERIMENT).expect("golden experiment is registered");
-    for artifact in experiment.run(&ctx).expect("golden experiment succeeds") {
-        writeln!(out, "--- artifact {} ---", artifact.id()).unwrap();
-        out.push_str(&artifact.to_csv());
-    }
+    out.push_str(&artifact_text(&ctx));
     out
+}
+
+/// The streaming data path (DESIGN.md §11) against the same fixture: a
+/// `--stream` context — journal replay, no materialized store — must
+/// render the golden experiment's artifacts byte-identically to the
+/// materialized build, for every worker count. Combined with
+/// [`quick_campaign_and_cov_experiment_match_the_fixture`], this pins
+/// the streaming path to the checked-in fixture transitively.
+#[test]
+fn streaming_renders_the_same_golden_artifacts() {
+    use dataset::{CollectOptions, ShardJournal};
+
+    let materialized = artifact_text(&Context::with_jobs(Scale::Quick, SEED, Some(4)));
+    for jobs in [1usize, 4] {
+        let dir = std::env::temp_dir().join(format!(
+            "golden-stream-{jobs}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = Scale::Quick.campaign(SEED);
+        let journal = ShardJournal::open(&dir, &config).expect("journal opens");
+        let options = CollectOptions {
+            jobs: Some(jobs),
+            journal: Some(&journal),
+            ..CollectOptions::default()
+        };
+        let (ctx, _report) = Context::build_streaming(Scale::Quick, SEED, &options)
+            .expect("fault-free streaming build succeeds");
+        assert_eq!(
+            artifact_text(&ctx),
+            materialized,
+            "--jobs {jobs}: streaming artifacts must be byte-identical"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
 
 #[test]

@@ -12,11 +12,15 @@ fn paper_scale_campaign_reproduces_the_headlines() {
     let ctx = Context::new(Scale::Paper, 42);
     // The published dataset's scale: ~900 machines, millions of points.
     assert!(ctx.cluster.machines().len() >= 850);
-    assert!(ctx.store.len() >= 4_000_000, "records {}", ctx.store.len());
+    assert!(
+        ctx.records_len() >= 4_000_000,
+        "records {}",
+        ctx.records_len()
+    );
 
     // At this sample size the normality census has full power: the
     // overwhelming majority of sets fail.
-    let rows = census(&ctx, 0.05);
+    let rows = census(&ctx, 0.05).unwrap();
     let sets: usize = rows.iter().map(|r| r.sets).sum();
     let passed: usize = rows.iter().map(|r| r.passed).sum();
     let fail_rate = 1.0 - passed as f64 / sets as f64;
