@@ -1,0 +1,116 @@
+//! Criterion benches for the serving daemon's hot path: in-process
+//! request handling (text, CSV, gzip), streamed-body chunk production,
+//! and full HTTP round trips over a real TCP connection. Recorded into
+//! the sentinel history by CI (`repro sentinel record --criterion`), so
+//! a serving-throughput regression trips the same audit as an engine
+//! slowdown.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use serve::{ArtifactService, Reply, Request, ServeOptions, Server};
+
+fn temp_cache(label: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("serve-bench-{label}-{}", std::process::id()))
+}
+
+fn warm_service(label: &str) -> Arc<ArtifactService> {
+    let service = Arc::new(ArtifactService::new(ServeOptions {
+        jobs: Some(2),
+        ..ServeOptions::new(temp_cache(label))
+    }));
+    // Warm the key every bench hits so iterations measure serving, not
+    // the one-time artifact computation.
+    let reply = service.handle(&request("/v1/artifacts/T1?seed=7&scale=quick", &[]));
+    assert_eq!(reply.status(), 200);
+    service
+}
+
+fn request(path: &str, extra: &[&str]) -> Request {
+    let mut raw = format!("GET {path} HTTP/1.1\r\n");
+    for h in extra {
+        raw.push_str(h);
+        raw.push_str("\r\n");
+    }
+    raw.push_str("\r\n");
+    Request::read_from(&mut BufReader::new(raw.as_bytes()))
+        .expect("well-formed")
+        .expect("one request")
+}
+
+fn bench_handle(c: &mut Criterion) {
+    let service = warm_service("handle");
+    let mut group = c.benchmark_group("serve_throughput");
+    let text = request("/v1/artifacts/T1?seed=7&scale=quick", &[]);
+    group.bench_function("hot_text", |b| {
+        b.iter(|| {
+            let reply = service.handle(std::hint::black_box(&text));
+            reply.into_response().body.len()
+        });
+    });
+    let gzip = request(
+        "/v1/artifacts/T1?seed=7&scale=quick",
+        &["Accept-Encoding: gzip"],
+    );
+    group.bench_function("hot_gzip", |b| {
+        b.iter(|| {
+            let reply = service.handle(std::hint::black_box(&gzip));
+            reply.into_response().body.len()
+        });
+    });
+    group.bench_function("hot_streamed_chunks", |b| {
+        b.iter(|| match service.handle(std::hint::black_box(&text)) {
+            Reply::Streamed(s) => s.body.map(|chunk| chunk.len()).sum::<usize>(),
+            Reply::Whole(r) => r.body.len(),
+        });
+    });
+    group.finish();
+}
+
+fn bench_tcp_round_trip(c: &mut Criterion) {
+    let server = Server::bind("127.0.0.1:0", warm_service("tcp")).expect("bind");
+    let addr = server.addr();
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(20);
+    group.bench_function("tcp_round_trip_hot", |b| {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        let mut reader = BufReader::new(stream);
+        b.iter(|| {
+            reader
+                .get_mut()
+                .write_all(b"GET /v1/artifacts/T1?seed=7&scale=quick HTTP/1.1\r\n\r\n")
+                .expect("send");
+            // Drain head, then chunked frames until the terminal chunk.
+            let mut line = String::new();
+            loop {
+                line.clear();
+                reader.read_line(&mut line).expect("head line");
+                if line == "\r\n" {
+                    break;
+                }
+            }
+            let mut total = 0usize;
+            loop {
+                line.clear();
+                reader.read_line(&mut line).expect("chunk size");
+                let size = usize::from_str_radix(line.trim(), 16).expect("hex size");
+                let mut chunk = vec![0u8; size + 2];
+                reader.read_exact(&mut chunk).expect("chunk data");
+                if size == 0 {
+                    break;
+                }
+                total += size;
+            }
+            total
+        });
+    });
+    group.finish();
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_handle, bench_tcp_round_trip);
+criterion_main!(benches);

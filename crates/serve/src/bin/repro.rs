@@ -8,6 +8,7 @@
 //! repro all --stream [--resume DIR]
 //! repro cache stats|clear [--cache-dir DIR]
 //! repro sentinel record|audit|watch|report|clear [--sentinel-dir DIR]
+//! repro serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-dir DIR]
 //! ```
 //!
 //! Experiments run on the engine's deterministic parallel scheduler
@@ -136,6 +137,11 @@ options:
                         too, not just regressions
   --addr HOST:PORT      (serve) listen address (default 127.0.0.1:8787;
                         port 0 picks an ephemeral port)
+  --workers N           (serve) connection-handling worker threads
+                        (default: one per core)
+  --queue-cap N         (serve) accepted connections allowed to wait for
+                        a worker; beyond this the daemon sheds load with
+                        503 Retry-After (default 128)
   --poll-ms MS          (sentinel watch) poll interval (default 200)
   --iterations N        (sentinel watch) stop after N polls (default:
                         poll forever)
@@ -165,6 +171,8 @@ struct Args {
     metrics: bool,
     serve: bool,
     addr: String,
+    workers: Option<usize>,
+    queue_cap: Option<usize>,
     cache_cmd: Option<String>,
     cache_dir: Option<PathBuf>,
     no_cache: bool,
@@ -203,6 +211,8 @@ fn parse_args() -> Result<Parsed, String> {
         metrics: false,
         serve: false,
         addr: "127.0.0.1:8787".to_string(),
+        workers: None,
+        queue_cap: None,
         cache_cmd: None,
         cache_dir: None,
         no_cache: false,
@@ -229,6 +239,22 @@ fn parse_args() -> Result<Parsed, String> {
             "--addr" => {
                 let v = it.next().ok_or("--addr needs HOST:PORT")?;
                 args.addr = v;
+            }
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad worker count `{v}`"))?;
+                if n == 0 {
+                    return Err("--workers must be at least 1".to_string());
+                }
+                args.workers = Some(n);
+            }
+            "--queue-cap" => {
+                let v = it.next().ok_or("--queue-cap needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad queue cap `{v}`"))?;
+                if n == 0 {
+                    return Err("--queue-cap must be at least 1".to_string());
+                }
+                args.queue_cap = Some(n);
             }
             "all" => args.ids.extend(all().iter().map(|e| e.id().to_string())),
             "cache" => {
@@ -841,12 +867,17 @@ fn main() -> ExitCode {
             eprintln!("chaos armed (seed {})", plan.seed());
         }
         let service = Arc::new(serve::ArtifactService::new(serve::ServeOptions {
-            cache_dir: cache_dir.clone(),
             jobs: args.jobs,
             faults,
-            policy: testbed::FaultPolicy::default(),
+            ..serve::ServeOptions::new(cache_dir.clone())
         }));
-        let server = match serve::Server::bind(args.addr.as_str(), service) {
+        let defaults = serve::ServerConfig::default();
+        let config = serve::ServerConfig {
+            workers: args.workers,
+            queue_cap: args.queue_cap.unwrap_or(defaults.queue_cap),
+            read_timeout: defaults.read_timeout,
+        };
+        let server = match serve::Server::bind_with(args.addr.as_str(), service, config) {
             Ok(server) => server,
             Err(err) => {
                 eprintln!("cannot bind {}: {err}", args.addr);

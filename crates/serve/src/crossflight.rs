@@ -1,0 +1,206 @@
+//! Cross-process single-flight over a shared cache directory.
+//!
+//! [`crate::singleflight`] collapses concurrent cold requests *within*
+//! one daemon; in shared-nothing multi-process mode (several daemons,
+//! one cache directory) each process would still compute the same cold
+//! key once. This module extends the leader/waiter discipline across
+//! process boundaries with nothing but the filesystem the processes
+//! already share:
+//!
+//! - A leader claims a key by atomically creating
+//!   `<cache>/.flights/<fingerprint>.flight` (`O_CREAT|O_EXCL`); the
+//!   [`Lease`] removes the file on drop, panic- and error-path safe.
+//! - A process that fails the claim knows a sibling is computing and
+//!   polls the cache for the entry to land instead of computing.
+//! - The coordination is **advisory and degrades gracefully**: if the
+//!   lease looks stale (older than [`FlightTable::stale_after`] — a
+//!   crashed or SIGKILLed leader never removed it) it is broken and
+//!   re-claimed, and a follower whose wait ends without an entry
+//!   computes the key itself. Duplicated work is the worst case; wrong
+//!   bytes are impossible, because the cache's temp+rename store
+//!   discipline means an entry is either absent or complete.
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, SystemTime};
+
+/// How long a follower sleeps between cache polls while a sibling
+/// process computes.
+pub const POLL_INTERVAL: Duration = Duration::from_millis(10);
+
+/// The claim table: a directory of lease files next to the cache.
+#[derive(Debug)]
+pub struct FlightTable {
+    dir: PathBuf,
+    stale_after: Duration,
+}
+
+/// Outcome of a claim attempt.
+#[derive(Debug)]
+pub enum Claim {
+    /// This process leads the flight; compute, store, then drop the
+    /// lease.
+    Lead(Lease),
+    /// Another process holds a fresh lease; poll the cache.
+    Follow,
+}
+
+/// A held lease; dropping it releases the claim file.
+#[derive(Debug)]
+pub struct Lease {
+    path: PathBuf,
+}
+
+impl Drop for Lease {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+impl FlightTable {
+    /// A table under `cache_dir/.flights` whose leases go stale after
+    /// `stale_after`.
+    pub fn new(cache_dir: &Path, stale_after: Duration) -> Self {
+        FlightTable {
+            dir: cache_dir.join(".flights"),
+            stale_after,
+        }
+    }
+
+    /// The staleness horizon leases are broken past.
+    pub fn stale_after(&self) -> Duration {
+        self.stale_after
+    }
+
+    fn lease_path(&self, fingerprint: u64) -> PathBuf {
+        self.dir.join(format!("{fingerprint:016x}.flight"))
+    }
+
+    /// Attempts to claim the flight for `fingerprint`. Errors are
+    /// treated as a lead with no lease file — coordination is advisory,
+    /// and an unwritable flights directory must never stop the daemon
+    /// from serving.
+    pub fn claim(&self, fingerprint: u64) -> Claim {
+        let path = self.lease_path(fingerprint);
+        let _ = std::fs::create_dir_all(&self.dir);
+        match std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+        {
+            Ok(_) => Claim::Lead(Lease { path }),
+            Err(err) if err.kind() == std::io::ErrorKind::AlreadyExists => {
+                if self.is_stale(&path) {
+                    // The previous leader died without releasing; break
+                    // the lease and race to re-claim it. Losing the race
+                    // means someone else broke it first — follow them.
+                    let _ = std::fs::remove_file(&path);
+                    match std::fs::OpenOptions::new()
+                        .write(true)
+                        .create_new(true)
+                        .open(&path)
+                    {
+                        Ok(_) => Claim::Lead(Lease { path }),
+                        Err(_) => Claim::Follow,
+                    }
+                } else {
+                    Claim::Follow
+                }
+            }
+            // Flights dir unwritable (permissions, disk): degrade to
+            // uncoordinated computation rather than failing the request.
+            Err(_) => Claim::Lead(Lease {
+                path: PathBuf::new(),
+            }),
+        }
+    }
+
+    /// Whether a sibling's lease for `fingerprint` is still held (and
+    /// fresh). Followers poll this alongside the cache: the lease
+    /// vanishing without an entry means the leader failed.
+    pub fn held(&self, fingerprint: u64) -> bool {
+        let path = self.lease_path(fingerprint);
+        path.exists() && !self.is_stale(&path)
+    }
+
+    fn is_stale(&self, path: &Path) -> bool {
+        match std::fs::metadata(path).and_then(|m| m.modified()) {
+            Ok(modified) => SystemTime::now()
+                .duration_since(modified)
+                .is_ok_and(|age| age > self.stale_after),
+            // Racing removal (the leader just released): not stale,
+            // the next `held` check resolves it.
+            Err(_) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(tag: &str, stale_after: Duration) -> (FlightTable, PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "crossflight-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        (FlightTable::new(&dir, stale_after), dir)
+    }
+
+    #[test]
+    fn second_claim_follows_and_release_reopens() {
+        let (table, dir) = table("claim", Duration::from_secs(60));
+        let lease = match table.claim(0xF00D) {
+            Claim::Lead(lease) => lease,
+            Claim::Follow => panic!("first claim must lead"),
+        };
+        assert!(matches!(table.claim(0xF00D), Claim::Follow));
+        assert!(table.held(0xF00D));
+        // A different key flies independently.
+        assert!(matches!(table.claim(0xBEEF), Claim::Lead(_)));
+        drop(lease);
+        assert!(!table.held(0xF00D), "release removes the lease file");
+        assert!(matches!(table.claim(0xF00D), Claim::Lead(_)));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn stale_leases_are_broken_and_reclaimed() {
+        let (table, dir) = table("stale", Duration::from_millis(50));
+        let abandoned = match table.claim(0xDEAD) {
+            Claim::Lead(lease) => lease,
+            Claim::Follow => panic!("first claim must lead"),
+        };
+        // Simulate a SIGKILLed leader: the lease file outlives the
+        // process. `forget` keeps Drop from releasing it.
+        std::mem::forget(abandoned);
+        std::thread::sleep(Duration::from_millis(80));
+        assert!(!table.held(0xDEAD), "an expired lease is not held");
+        assert!(
+            matches!(table.claim(0xDEAD), Claim::Lead(_)),
+            "a stale lease is broken, not followed forever"
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn unwritable_table_degrades_to_leading() {
+        // A path that cannot be a directory: a file stands where the
+        // flights dir should go.
+        let root = std::env::temp_dir().join(format!(
+            "crossflight-degrade-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+        std::fs::write(root.join(".flights"), b"in the way").unwrap();
+        let table = FlightTable::new(&root, Duration::from_secs(60));
+        assert!(
+            matches!(table.claim(0xCAFE), Claim::Lead(_)),
+            "an unusable flights dir must never block serving"
+        );
+        let _ = std::fs::remove_dir_all(root);
+    }
+}

@@ -28,6 +28,10 @@ pub struct Request {
     pub query: Vec<(String, String)>,
     /// Header `(name, value)` pairs; names lowercased.
     pub headers: Vec<(String, String)>,
+    /// Minor HTTP version: `1` for `HTTP/1.1`, `0` for `HTTP/1.0`.
+    /// Chunked transfer coding is only legal at 1.1; keep-alive
+    /// defaults differ.
+    pub minor: u8,
 }
 
 /// Why a request could not be parsed.
@@ -35,6 +39,10 @@ pub struct Request {
 pub enum ParseError {
     /// The connection closed cleanly before a request line.
     ConnectionClosed,
+    /// The socket's read timeout expired mid-request — a stalled
+    /// (slow-loris) or idle client. The server answers `408` and drops
+    /// the connection rather than letting the client pin a worker.
+    TimedOut,
     /// I/O failure mid-request.
     Io(String),
     /// The bytes are not HTTP the server understands.
@@ -45,6 +53,7 @@ impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ParseError::ConnectionClosed => write!(f, "connection closed"),
+            ParseError::TimedOut => write!(f, "read timed out"),
             ParseError::Io(e) => write!(f, "i/o error: {e}"),
             ParseError::Malformed(why) => write!(f, "malformed request: {why}"),
         }
@@ -57,12 +66,12 @@ fn read_line(reader: &mut impl BufRead) -> Result<Option<String>, ParseError> {
     let mut taken = 0usize;
     loop {
         let mut byte = [0u8; 1];
-        let n = std::io::Read::read(reader, &mut byte).map_err(|e| {
-            if e.kind() == std::io::ErrorKind::UnexpectedEof {
-                ParseError::ConnectionClosed
-            } else {
-                ParseError::Io(e.to_string())
-            }
+        let n = std::io::Read::read(reader, &mut byte).map_err(|e| match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => ParseError::ConnectionClosed,
+            // Both kinds occur for an expired `set_read_timeout`,
+            // platform-dependently.
+            std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => ParseError::TimedOut,
+            _ => ParseError::Io(e.to_string()),
         })?;
         if n == 0 {
             return if line.is_empty() {
@@ -146,9 +155,11 @@ impl Request {
         let version = parts
             .next()
             .ok_or(ParseError::Malformed("missing version"))?;
-        if !version.starts_with("HTTP/1.") {
-            return Err(ParseError::Malformed("unsupported version"));
-        }
+        let minor = match version {
+            "HTTP/1.1" => 1,
+            "HTTP/1.0" => 0,
+            _ => return Err(ParseError::Malformed("unsupported version")),
+        };
         let (path, query) = match target.split_once('?') {
             Some((p, q)) => (p.to_string(), parse_query(q)),
             None => (target.to_string(), Vec::new()),
@@ -172,6 +183,7 @@ impl Request {
             path,
             query,
             headers,
+            minor,
         }))
     }
 
@@ -193,11 +205,20 @@ impl Request {
     }
 
     /// Whether the client asked to keep the connection open after this
-    /// response (HTTP/1.1 default unless `Connection: close`).
+    /// response: HTTP/1.1 defaults to keep-alive unless
+    /// `Connection: close`, HTTP/1.0 defaults to close unless
+    /// `Connection: keep-alive`.
     pub fn keep_alive(&self) -> bool {
-        !self
-            .header("connection")
-            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+        match self.header("connection") {
+            Some(v) => v.eq_ignore_ascii_case("keep-alive"),
+            None => self.minor >= 1,
+        }
+    }
+
+    /// Whether the response may use chunked transfer coding (HTTP/1.1
+    /// only; a 1.0 client must get `Content-Length` framing).
+    pub fn accepts_chunked(&self) -> bool {
+        self.minor >= 1
     }
 }
 
@@ -220,7 +241,9 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
@@ -245,6 +268,14 @@ impl Response {
             headers: Vec::new(),
             body: Vec::new(),
         }
+    }
+
+    /// First response header named `name` (case-insensitive), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
     }
 
     /// Appends a header, builder style.
@@ -282,6 +313,80 @@ impl Response {
         writer.write_all(&self.body)?;
         writer.flush()
     }
+
+    /// Serializes this response head with `Transfer-Encoding: chunked`
+    /// framing and streams `chunks` as the body, one `chunk-size CRLF
+    /// chunk-data CRLF` frame each (empty chunks are skipped — an empty
+    /// frame would terminate the body early), ending with the `0` frame.
+    /// `self.body` must be empty: the chunks ARE the body.
+    ///
+    /// Memory stays O(largest chunk): each chunk is written and dropped
+    /// before the next is pulled from the iterator.
+    pub fn write_chunked_to(
+        &self,
+        writer: &mut impl Write,
+        keep_alive: bool,
+        chunks: impl Iterator<Item = Vec<u8>>,
+    ) -> std::io::Result<()> {
+        debug_assert!(
+            self.body.is_empty(),
+            "chunked responses carry no eager body"
+        );
+        write!(
+            writer,
+            "HTTP/1.1 {} {}\r\n",
+            self.status,
+            reason(self.status)
+        )?;
+        for (name, value) in &self.headers {
+            write!(writer, "{name}: {value}\r\n")?;
+        }
+        write!(writer, "Transfer-Encoding: chunked\r\n")?;
+        write!(
+            writer,
+            "Connection: {}\r\n\r\n",
+            if keep_alive { "keep-alive" } else { "close" }
+        )?;
+        for chunk in chunks {
+            if chunk.is_empty() {
+                continue;
+            }
+            write!(writer, "{:x}\r\n", chunk.len())?;
+            writer.write_all(&chunk)?;
+            writer.write_all(b"\r\n")?;
+        }
+        writer.write_all(b"0\r\n\r\n")?;
+        writer.flush()
+    }
+}
+
+/// Decodes a chunked transfer-coded body back to its payload bytes.
+/// Used by tests and the load harness to compare streamed responses
+/// against whole-body ones; returns an error on malformed framing.
+pub fn decode_chunked(body: &[u8]) -> Result<Vec<u8>, String> {
+    let mut out = Vec::new();
+    let mut rest = body;
+    loop {
+        let line_end = rest
+            .windows(2)
+            .position(|w| w == b"\r\n")
+            .ok_or("missing chunk-size line")?;
+        let size_line = std::str::from_utf8(&rest[..line_end]).map_err(|_| "bad chunk size")?;
+        let size_token = size_line.split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_token, 16).map_err(|_| "bad chunk size")?;
+        rest = &rest[line_end + 2..];
+        if size == 0 {
+            return Ok(out);
+        }
+        if rest.len() < size + 2 {
+            return Err("truncated chunk".to_string());
+        }
+        out.extend_from_slice(&rest[..size]);
+        if &rest[size..size + 2] != b"\r\n" {
+            return Err("chunk not CRLF-terminated".to_string());
+        }
+        rest = &rest[size + 2..];
+    }
 }
 
 #[cfg(test)]
@@ -317,6 +422,50 @@ mod tests {
             .unwrap();
         assert!(!req.keep_alive());
         assert_eq!(parse("").unwrap(), None, "clean EOF yields no request");
+    }
+
+    #[test]
+    fn http_1_0_defaults_to_close_and_whole_bodies() {
+        let old = parse("GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert_eq!(old.minor, 0);
+        assert!(!old.keep_alive(), "1.0 defaults to close");
+        assert!(!old.accepts_chunked(), "chunked framing is 1.1-only");
+        let pinned = parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(pinned.keep_alive(), "1.0 opts in explicitly");
+        let new = parse("GET / HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert_eq!(new.minor, 1);
+        assert!(new.keep_alive());
+        assert!(new.accepts_chunked());
+    }
+
+    #[test]
+    fn chunked_responses_frame_and_decode_round_trip() {
+        let mut out = Vec::new();
+        let head = Response {
+            status: 200,
+            headers: vec![("Content-Type".to_string(), "text/plain".to_string())],
+            body: Vec::new(),
+        };
+        let chunks = vec![b"first ".to_vec(), Vec::new(), b"second".to_vec()];
+        head.write_chunked_to(&mut out, true, chunks.into_iter())
+            .unwrap();
+        let text = String::from_utf8(out.clone()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"));
+        assert!(!text.contains("Content-Length"), "chunked excludes length");
+        assert!(text.ends_with("0\r\n\r\n"));
+        let body_at = out.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 4;
+        assert_eq!(decode_chunked(&out[body_at..]).unwrap(), b"first second");
+    }
+
+    #[test]
+    fn chunked_decoding_rejects_damage() {
+        assert!(decode_chunked(b"").is_err());
+        assert!(decode_chunked(b"zz\r\nabc\r\n0\r\n\r\n").is_err());
+        assert!(decode_chunked(b"5\r\nab").is_err(), "truncated chunk");
+        assert!(decode_chunked(b"3\r\nabcXY0\r\n\r\n").is_err(), "bad CRLF");
     }
 
     #[test]

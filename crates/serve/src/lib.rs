@@ -18,10 +18,25 @@
 //! - **Strong validators.** `ETag` is the cache fingerprint of the
 //!   request's [`analysis::CacheKey`]; `If-None-Match` round-trips to
 //!   `304` without touching the cache or the engine.
+//! - **Backpressure, not hangs.** A configurable worker pool
+//!   (`--workers`, default cores) drains a bounded accept queue; when
+//!   the queue is full the daemon sheds load with a fast `503
+//!   Retry-After` ([`server::ServerConfig`]).
+//! - **Streamed bodies.** HTTP/1.1 artifact responses use chunked
+//!   framing, one artifact per chunk, so paper-scale bodies are served
+//!   in O(chunk) memory — byte-identical to the whole-body
+//!   (`Content-Length`) framing HTTP/1.0 clients get.
+//! - **Content-negotiated gzip.** `Accept-Encoding: gzip` switches the
+//!   payload to a hand-rolled, dependency-free gzip encoding
+//!   ([`gzip`]), with identity fallback and per-variant `ETag`s.
+//! - **Multi-process serving.** Several daemons can share one cache
+//!   directory; cold keys coordinate through advisory lease files
+//!   ([`crossflight`]) and degrade to duplicated — never wrong — work.
 //! - **Live telemetry.** `GET /metrics` renders the process's metric
 //!   registry as deterministic text (`serve.request`,
-//!   `serve.singleflight.lead`/`.wait`, `cache.hit`/`cache.miss`,
-//!   per-endpoint latency histograms).
+//!   `serve.singleflight.lead`/`.wait`, `serve.queue.depth`/`.peak`,
+//!   `serve.shed`, `cache.hit`/`cache.miss`, per-endpoint latency
+//!   histograms).
 //!
 //! Endpoints: `GET /v1/experiments` (the registry listing,
 //! byte-identical to `repro list`), `GET
@@ -34,12 +49,16 @@
 // `unwrap()` outside tests regresses that (DESIGN.md §8).
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod crossflight;
+pub mod gzip;
 pub mod http;
 pub mod server;
 pub mod service;
 pub mod singleflight;
 
 pub use http::{Request, Response};
-pub use server::Server;
-pub use service::{render_experiments, render_metrics, ArtifactService, ServeOptions};
+pub use server::{Server, ServerConfig};
+pub use service::{
+    render_experiments, render_metrics, ArtifactService, BodyStream, Reply, ServeOptions, Streamed,
+};
 pub use singleflight::{Group, Role};

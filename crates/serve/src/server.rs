@@ -1,28 +1,133 @@
-//! The TCP front end: an accept thread feeding a fixed worker pool,
-//! keep-alive connections, and cooperative shutdown.
+//! The TCP front end: an accept thread feeding a configurable worker
+//! pool over a bounded connection queue, keep-alive connections, load
+//! shedding, and cooperative shutdown.
 //!
 //! Workers are plain threads over a shared [`ArtifactService`]; there is
 //! no async runtime (the container builds offline, and a daemon serving
-//! a reproducibility cache does not need one). Shutdown flips a flag and
-//! nudges the accept loop with a self-connection so tests can stop a
-//! server deterministically; the daemon simply never calls it.
+//! a reproducibility cache does not need one). Backpressure is explicit:
+//! accepted connections wait in a queue bounded by
+//! [`ServerConfig::queue_cap`], and when it is full the accept loop
+//! sheds the connection with a fast `503 Retry-After` instead of letting
+//! latency grow without bound — the daemon degrades loudly
+//! (`serve.shed`), never by hanging. Shutdown flips a flag and nudges
+//! the accept loop with a self-connection so tests can stop a server
+//! deterministically; the daemon simply never calls it.
 
+use std::collections::VecDeque;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::http::{ParseError, Request, Response};
-use crate::service::ArtifactService;
+use crate::service::{ArtifactService, Reply};
 
-/// How long a keep-alive connection may sit idle between requests
-/// before the worker drops it.
-const READ_TIMEOUT: Duration = Duration::from_secs(30);
+/// Tuning knobs for [`Server::bind_with`]. `Default` matches the
+/// daemon's defaults: one worker per core, a 128-connection queue, and
+/// a 30-second read timeout.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Connection-handling worker threads; `None` = available cores.
+    pub workers: Option<usize>,
+    /// Accepted connections allowed to wait for a worker before the
+    /// accept loop starts shedding with `503`.
+    pub queue_cap: usize,
+    /// How long a connection may sit idle (or stall mid-request) before
+    /// the worker answers `408`/drops it.
+    pub read_timeout: Duration,
+}
 
-/// Connection-handling worker threads.
-const WORKERS: usize = 8;
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: None,
+            queue_cap: 128,
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The effective worker count (resolves `None` to the machine's
+    /// available parallelism, and never goes below one thread).
+    pub fn worker_count(&self) -> usize {
+        self.workers
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4)
+            })
+            .max(1)
+    }
+}
+
+/// The bounded hand-off between the accept loop and the workers.
+struct ConnQueue {
+    state: Mutex<QueueState>,
+    available: Condvar,
+    cap: usize,
+}
+
+struct QueueState {
+    pending: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+impl ConnQueue {
+    fn new(cap: usize) -> Self {
+        ConnQueue {
+            state: Mutex::new(QueueState {
+                pending: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Enqueues a connection, or gives it back when the queue is full —
+    /// the caller sheds it. Telemetry: `serve.queue.depth` tracks the
+    /// live depth, `serve.queue.peak` its high-water mark.
+    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut state = self.state.lock().expect("connection queue lock");
+        if state.closed || state.pending.len() >= self.cap {
+            return Err(stream);
+        }
+        state.pending.push_back(stream);
+        let depth = state.pending.len() as f64;
+        telemetry::metrics::gauge("serve.queue.depth").set(depth);
+        telemetry::metrics::gauge("serve.queue.peak").set_max(depth);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next connection; `None` means the queue closed
+    /// and drained, so the worker retires.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut state = self.state.lock().expect("connection queue lock");
+        loop {
+            if let Some(stream) = state.pending.pop_front() {
+                telemetry::metrics::gauge("serve.queue.depth").set(state.pending.len() as f64);
+                return Some(stream);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.available.wait(state).expect("connection queue lock");
+        }
+    }
+
+    /// Closes the queue and wakes every waiting worker.
+    fn close(&self) {
+        let mut state = self.state.lock().expect("connection queue lock");
+        state.closed = true;
+        drop(state);
+        self.available.notify_all();
+    }
+}
 
 /// A running server: listener address, worker pool, shutdown switch.
 pub struct Server {
@@ -33,29 +138,36 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
-    /// starts serving `service` in background threads.
+    /// Binds `addr` with the default [`ServerConfig`].
     pub fn bind(addr: impl ToSocketAddrs, service: Arc<ArtifactService>) -> std::io::Result<Self> {
+        Self::bind_with(addr, service, ServerConfig::default())
+    }
+
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// starts serving `service` in background threads under `config`.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        service: Arc<ArtifactService>,
+        config: ServerConfig,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let worker_count = config.worker_count();
+        telemetry::metrics::gauge("serve.workers").set(worker_count as f64);
+        telemetry::metrics::gauge("serve.queue.cap").set(config.queue_cap.max(1) as f64);
 
-        let (sender, receiver) = mpsc::channel::<TcpStream>();
-        let receiver = Arc::new(Mutex::new(receiver));
-        let workers = (0..WORKERS)
+        let queue = Arc::new(ConnQueue::new(config.queue_cap));
+        let read_timeout = config.read_timeout;
+        let workers = (0..worker_count)
             .map(|i| {
-                let receiver = Arc::clone(&receiver);
+                let queue = Arc::clone(&queue);
                 let service = Arc::clone(&service);
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
-                    .spawn(move || loop {
-                        let stream = {
-                            let receiver = receiver.lock().expect("connection queue lock");
-                            receiver.recv()
-                        };
-                        match stream {
-                            Ok(stream) => handle_connection(stream, &service),
-                            Err(_) => return, // accept loop gone: shutdown
+                    .spawn(move || {
+                        while let Some(stream) = queue.pop() {
+                            handle_connection(stream, &service, read_timeout);
                         }
                     })
                     .expect("spawn serve worker")
@@ -72,12 +184,13 @@ impl Server {
                             break;
                         }
                         let Ok(stream) = stream else { continue };
-                        if sender.send(stream).is_err() {
-                            break;
+                        if let Err(stream) = queue.push(stream) {
+                            shed(stream);
                         }
                     }
-                    // Dropping `sender` here disconnects the channel and
-                    // retires the worker pool.
+                    // Closing the queue retires the worker pool once the
+                    // backlog drains.
+                    queue.close();
                 })
                 .expect("spawn serve accept loop")
         };
@@ -132,10 +245,24 @@ impl Drop for Server {
     }
 }
 
+/// Sheds a connection the queue has no room for: a fast `503` with
+/// `Retry-After`, written from the accept thread with a short write
+/// timeout so a slow receiver cannot stall accepting. The tiny response
+/// fits any socket send buffer, so in practice the write never blocks.
+fn shed(stream: TcpStream) {
+    telemetry::metrics::counter("serve.shed").inc();
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream;
+    let _ = Response::text(503, "server is at capacity, retry shortly\n")
+        .with_header("Retry-After", "1")
+        .write_to(&mut writer, false);
+}
+
 /// Serves one connection until the client closes, errors, stops asking
-/// for keep-alive, or idles past [`READ_TIMEOUT`].
-fn handle_connection(stream: TcpStream, service: &ArtifactService) {
-    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+/// for keep-alive, or idles past the read timeout.
+fn handle_connection(stream: TcpStream, service: &ArtifactService, read_timeout: Duration) {
+    let _ = stream.set_read_timeout(Some(read_timeout));
     let _ = stream.set_nodelay(true);
     let mut writer = match stream.try_clone() {
         Ok(writer) => writer,
@@ -147,6 +274,14 @@ fn handle_connection(stream: TcpStream, service: &ArtifactService) {
             Ok(Some(request)) => request,
             Ok(None) => return,
             Err(ParseError::ConnectionClosed) => return,
+            Err(ParseError::TimedOut) => {
+                // A stalled (slow-loris) or idle client: best-effort 408,
+                // then free the worker for clients that actually talk.
+                telemetry::metrics::counter("serve.timeout").inc();
+                let resp = Response::text(408, "request timed out\n");
+                let _ = resp.write_to(&mut writer, false);
+                return;
+            }
             Err(ParseError::Io(_)) => return,
             Err(ParseError::Malformed(why)) => {
                 let resp = Response::text(400, format!("malformed request: {why}\n"));
@@ -155,8 +290,15 @@ fn handle_connection(stream: TcpStream, service: &ArtifactService) {
             }
         };
         let keep_alive = request.keep_alive();
-        let response = service.handle(&request);
-        if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
+        let written = match service.handle(&request) {
+            Reply::Whole(response) => response.write_to(&mut writer, keep_alive),
+            Reply::Streamed(streamed) => {
+                streamed
+                    .head
+                    .write_chunked_to(&mut writer, keep_alive, streamed.body)
+            }
+        };
+        if written.is_err() || !keep_alive {
             return;
         }
     }
@@ -179,14 +321,24 @@ mod tests {
         ))
     }
 
-    fn start(tag: &str) -> (Server, std::path::PathBuf) {
+    fn start_with(tag: &str, config: ServerConfig) -> (Server, std::path::PathBuf) {
         let dir = temp_dir(tag);
         let service = Arc::new(ArtifactService::new(ServeOptions {
             jobs: Some(2),
             ..ServeOptions::new(&dir)
         }));
-        let server = Server::bind("127.0.0.1:0", service).expect("bind ephemeral port");
+        let server = Server::bind_with("127.0.0.1:0", service, config).expect("bind ephemeral");
         (server, dir)
+    }
+
+    fn start(tag: &str) -> (Server, std::path::PathBuf) {
+        start_with(
+            tag,
+            ServerConfig {
+                workers: Some(4),
+                ..ServerConfig::default()
+            },
+        )
     }
 
     fn fetch(addr: SocketAddr, request: &str) -> String {
@@ -267,6 +419,78 @@ mod tests {
             response.starts_with("HTTP/1.1 400 Bad Request\r\n"),
             "{response}"
         );
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn stalled_clients_time_out_with_408_and_free_the_worker() {
+        let (server, dir) = start_with(
+            "loris",
+            ServerConfig {
+                workers: Some(1),
+                queue_cap: 8,
+                read_timeout: Duration::from_millis(200),
+            },
+        );
+        let addr = server.addr();
+        // A slow-loris client: request line, partial headers, then silence.
+        let mut loris = TcpStream::connect(addr).expect("connect");
+        loris
+            .write_all(b"GET /healthz HTTP/1.1\r\nX-Slow:")
+            .expect("send partial");
+        let mut response = String::new();
+        loris.read_to_string(&mut response).expect("receive");
+        assert!(
+            response.starts_with("HTTP/1.1 408 Request Timeout\r\n"),
+            "{response}"
+        );
+        // With the single worker freed, an honest client is served.
+        let healthy = fetch(addr, "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(healthy.starts_with("HTTP/1.1 200 OK\r\n"), "{healthy}");
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn full_queue_sheds_with_fast_503_retry_after() {
+        // One worker, pinned by a deliberately silent connection; a
+        // one-slot queue holds a second connection; everything beyond
+        // that must shed immediately instead of waiting.
+        let (server, dir) = start_with(
+            "shed",
+            ServerConfig {
+                workers: Some(1),
+                queue_cap: 1,
+                read_timeout: Duration::from_secs(5),
+            },
+        );
+        let addr = server.addr();
+        let pin = TcpStream::connect(addr).expect("pin worker");
+        // Give the accept loop time to hand `pin` to the worker, then
+        // fill the single queue slot.
+        std::thread::sleep(Duration::from_millis(100));
+        let queued = TcpStream::connect(addr).expect("fill queue");
+        std::thread::sleep(Duration::from_millis(100));
+        let mut shed_seen = false;
+        for _ in 0..3 {
+            let mut extra = TcpStream::connect(addr).expect("overflow connect");
+            extra
+                .set_read_timeout(Some(Duration::from_secs(2)))
+                .expect("timeout");
+            let mut response = String::new();
+            if extra.read_to_string(&mut response).is_ok()
+                && response.starts_with("HTTP/1.1 503 Service Unavailable\r\n")
+            {
+                assert!(response.contains("Retry-After: 1\r\n"), "{response}");
+                assert!(response.contains("Connection: close\r\n"), "{response}");
+                shed_seen = true;
+                break;
+            }
+        }
+        assert!(shed_seen, "overflow connections must be shed with 503");
+        drop(pin);
+        drop(queued);
         server.shutdown();
         let _ = std::fs::remove_dir_all(dir);
     }

@@ -8,12 +8,23 @@
 //! served straight from the [`ArtifactCache`]; cold ones compute through
 //! the engine exactly once no matter how many clients ask concurrently
 //! (see [`crate::singleflight`]), then store back with the engine's own
-//! bounded-backoff retry discipline.
+//! bounded-backoff retry discipline. Across *processes* sharing one
+//! cache directory, cold keys coordinate through [`crate::crossflight`]
+//! lease files — advisory single-flight that degrades to duplicated
+//! (never wrong) work.
+//!
+//! Handlers produce a [`Reply`]: either a whole [`Response`] or a
+//! [`Streamed`] head plus a [`BodyStream`] that renders one artifact per
+//! chunk, so paper-scale bodies are served in O(chunk) memory. Content
+//! negotiation (`Accept-Encoding: gzip`) rides the same path: the
+//! stream pushes each chunk through [`gzip::StreamEncoder`], whole
+//! bodies go through [`gzip::encode`], and the ETag is a per-variant
+//! validator so a `304` never short-circuits the wrong representation.
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use analysis::{
     find, run_experiments_opts, Artifact, ArtifactCache, CacheKey, Context, EngineOptions,
@@ -21,6 +32,8 @@ use analysis::{
 };
 use testbed::{FaultPlan, FaultPolicy};
 
+use crate::crossflight::{self, FlightTable};
+use crate::gzip;
 use crate::http::{Request, Response};
 
 /// Contexts kept warm, keyed by `(scale, seed)`. A quick-scale context
@@ -42,6 +55,11 @@ pub struct ServeOptions {
     pub faults: Option<FaultPlan>,
     /// Retry budget and backoff for transient faults.
     pub policy: FaultPolicy,
+    /// How long a cross-process flight lease stays credible before a
+    /// follower stops waiting and a new claimant breaks it (the leader
+    /// presumably died). Bounds the worst-case added latency a sibling
+    /// daemon's crash can impose on a cold request.
+    pub crossflight_stale: Duration,
 }
 
 impl ServeOptions {
@@ -52,6 +70,7 @@ impl ServeOptions {
             jobs: None,
             faults: None,
             policy: FaultPolicy::default(),
+            crossflight_stale: Duration::from_secs(60),
         }
     }
 }
@@ -72,6 +91,109 @@ type FlightResult = Result<Arc<Vec<Artifact>>, String>;
 /// waiters block on the builder without holding the pool lock.
 type ContextPool = std::collections::HashMap<(String, u64), Arc<OnceLock<Arc<Context>>>>;
 
+/// What a handler hands the connection loop: a fully materialized
+/// response, or a head plus a lazy body to write with chunked framing.
+pub enum Reply {
+    /// Serialize with `Content-Length` framing.
+    Whole(Response),
+    /// Serialize the head with `Transfer-Encoding: chunked` and pull
+    /// body chunks from the stream one at a time.
+    Streamed(Streamed),
+}
+
+/// A streamed reply: status + headers, body rendered on demand.
+pub struct Streamed {
+    /// Status and headers; `head.body` stays empty.
+    pub head: Response,
+    /// The body, one chunk per artifact (gzip-encoded when negotiated).
+    pub body: BodyStream,
+}
+
+impl Reply {
+    /// The reply's status code.
+    pub fn status(&self) -> u16 {
+        match self {
+            Reply::Whole(resp) => resp.status,
+            Reply::Streamed(s) => s.head.status,
+        }
+    }
+
+    /// First header named `name` (case-insensitive), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        match self {
+            Reply::Whole(resp) => resp.header(name),
+            Reply::Streamed(s) => s.head.header(name),
+        }
+    }
+
+    /// Collapses the reply into a whole [`Response`], draining a
+    /// streamed body into `body`. The bytes are exactly the payload a
+    /// client would reassemble from the chunked frames (still
+    /// gzip-encoded when the stream negotiated gzip).
+    pub fn into_response(self) -> Response {
+        match self {
+            Reply::Whole(resp) => resp,
+            Reply::Streamed(s) => {
+                let mut resp = s.head;
+                resp.body = s.body.fold(Vec::new(), |mut acc, chunk| {
+                    acc.extend_from_slice(&chunk);
+                    acc
+                });
+                resp
+            }
+        }
+    }
+}
+
+impl From<Response> for Reply {
+    fn from(resp: Response) -> Reply {
+        Reply::Whole(resp)
+    }
+}
+
+/// Lazily rendered artifact body: yields one chunk per selected
+/// artifact (the CLI's `render()` + newline, or `to_csv`), optionally
+/// pushed through a streaming gzip encoder. Memory stays O(one
+/// artifact's rendering) regardless of how many artifacts the response
+/// spans.
+pub struct BodyStream {
+    artifacts: Arc<Vec<Artifact>>,
+    selected: Vec<usize>,
+    csv: bool,
+    next: usize,
+    encoder: Option<gzip::StreamEncoder>,
+    finished: bool,
+}
+
+impl Iterator for BodyStream {
+    type Item = Vec<u8>;
+
+    fn next(&mut self) -> Option<Vec<u8>> {
+        if let Some(&index) = self.selected.get(self.next) {
+            self.next += 1;
+            let artifact = &self.artifacts[index];
+            let chunk = if self.csv {
+                artifact.to_csv().into_bytes()
+            } else {
+                let mut text = artifact.render();
+                text.push('\n');
+                text.into_bytes()
+            };
+            return Some(match &mut self.encoder {
+                Some(enc) => enc.push(&chunk),
+                None => chunk,
+            });
+        }
+        if self.finished {
+            return None;
+        }
+        self.finished = true;
+        // The gzip trailer (final empty block, CRC-32, ISIZE) is its
+        // own last chunk; identity streams end with the artifacts.
+        self.encoder.take().map(|enc| enc.finish())
+    }
+}
+
 /// The stateful request handler shared by every connection.
 pub struct ArtifactService {
     cache: ArtifactCache,
@@ -79,6 +201,7 @@ pub struct ArtifactService {
     faults: Option<FaultPlan>,
     policy: FaultPolicy,
     flights: crate::singleflight::Group<FlightKey, FlightResult>,
+    crossflights: FlightTable,
     contexts: Mutex<ContextPool>,
     fault_totals: FaultTotals,
 }
@@ -86,12 +209,15 @@ pub struct ArtifactService {
 impl ArtifactService {
     /// A service over the cache in `options.cache_dir`.
     pub fn new(options: ServeOptions) -> Self {
+        let cache = ArtifactCache::new(options.cache_dir);
+        let crossflights = FlightTable::new(cache.dir(), options.crossflight_stale);
         ArtifactService {
-            cache: ArtifactCache::new(options.cache_dir),
+            cache,
             jobs: options.jobs,
             faults: options.faults,
             policy: options.policy,
             flights: crate::singleflight::Group::new(),
+            crossflights,
             contexts: Mutex::new(std::collections::HashMap::new()),
             fault_totals: FaultTotals::default(),
         }
@@ -110,83 +236,142 @@ impl ArtifactService {
         &self.cache
     }
 
-    /// Dispatches one request and returns the response. Telemetry:
+    /// Dispatches one request and returns the reply. Telemetry:
     /// `serve.request` (+ per-endpoint), `serve.status.<code>`, and a
-    /// `serve.latency.<endpoint>` histogram recorded after the response
-    /// is built, so `/metrics` never includes its own in-flight request.
-    pub fn handle(&self, req: &Request) -> Response {
+    /// `serve.latency.<endpoint>` histogram recorded after the reply
+    /// is built (for streamed bodies: after routing and any cold
+    /// compute — the chunks themselves render during the write), so
+    /// `/metrics` never includes its own in-flight request.
+    pub fn handle(&self, req: &Request) -> Reply {
         let started = Instant::now();
         let endpoint = endpoint_label(&req.path);
         telemetry::metrics::counter("serve.request").inc();
         telemetry::metrics::counter(&format!("serve.request.{endpoint}")).inc();
-        let response = self.route(req);
-        telemetry::metrics::counter(&format!("serve.status.{}", response.status)).inc();
+        let mut reply = self.route(req);
+        self.negotiate_encoding(req, &mut reply);
+        telemetry::metrics::counter(&format!("serve.status.{}", reply.status())).inc();
         telemetry::metrics::histogram(&format!("serve.latency.{endpoint}"))
             .record(started.elapsed().as_secs_f64());
-        response
+        reply
     }
 
-    fn route(&self, req: &Request) -> Response {
+    /// Applies content negotiation to a routed reply: any `200` with a
+    /// body is gzip-encoded when the client negotiated it (streamed
+    /// bodies were already encoded chunk-wise by the handler), and every
+    /// negotiable response — including `304`, whose validator is
+    /// per-variant — carries `Vary: Accept-Encoding`.
+    fn negotiate_encoding(&self, req: &Request, reply: &mut Reply) {
+        fn add_vary(resp: &mut Response) {
+            if resp.header("Vary").is_none() {
+                resp.headers
+                    .push(("Vary".to_string(), "Accept-Encoding".to_string()));
+            }
+        }
+        match reply {
+            Reply::Whole(resp) => {
+                if resp.status == 200 && !resp.body.is_empty() {
+                    if gzip::negotiates_gzip(req.header("accept-encoding"))
+                        && resp.header("Content-Encoding").is_none()
+                    {
+                        resp.body = gzip::encode(&resp.body);
+                        resp.headers
+                            .push(("Content-Encoding".to_string(), "gzip".to_string()));
+                    }
+                    add_vary(resp);
+                } else if resp.status == 304 {
+                    add_vary(resp);
+                }
+            }
+            Reply::Streamed(s) => add_vary(&mut s.head),
+        }
+    }
+
+    fn route(&self, req: &Request) -> Reply {
         if req.method != "GET" {
-            return Response::text(405, "only GET is supported\n");
+            return Response::text(405, "only GET is supported\n").into();
         }
         match req.path.as_str() {
-            "/healthz" => Response::text(200, "ok\n"),
-            "/metrics" => Response::text(200, render_metrics()),
-            "/v1/experiments" => Response::text(200, render_experiments()),
+            "/healthz" => Response::text(200, "ok\n").into(),
+            "/metrics" => Response::text(200, render_metrics()).into(),
+            "/v1/experiments" => Response::text(200, render_experiments()).into(),
             path => {
                 if let Some(id) = path.strip_prefix("/v1/artifacts/") {
                     self.artifacts_endpoint(id, req)
                 } else if let Some(id) = path.strip_prefix("/v1/manifest/") {
-                    self.manifest_endpoint(id, req)
+                    self.manifest_endpoint(id, req).into()
                 } else {
-                    Response::text(404, format!("no such route: {path}\n"))
+                    Response::text(404, format!("no such route: {path}\n")).into()
                 }
             }
         }
     }
 
     /// `GET /v1/artifacts/{id}?seed=&scale=&format=&artifact=`
-    fn artifacts_endpoint(&self, id: &str, req: &Request) -> Response {
+    ///
+    /// HTTP/1.1 clients get the body streamed with chunked framing, one
+    /// artifact per chunk; HTTP/1.0 clients get the same bytes whole
+    /// under `Content-Length`. With `Accept-Encoding: gzip` the payload
+    /// is gzip-encoded (either way) and the ETag switches to the gzip
+    /// variant's validator.
+    fn artifacts_endpoint(&self, id: &str, req: &Request) -> Reply {
         let (experiment, scale, seed) = match self.resolve(id, req) {
             Ok(triple) => triple,
-            Err(resp) => return resp,
+            Err(resp) => return resp.into(),
         };
-        let etag = self.etag(experiment, scale, seed);
+        let gzip_negotiated = gzip::negotiates_gzip(req.header("accept-encoding"));
+        let etag = etag(experiment, scale, seed, gzip_negotiated);
         if req.header("if-none-match") == Some(etag.as_str()) {
-            return Response::empty(304).with_header("ETag", etag);
+            return Response::empty(304).with_header("ETag", etag).into();
         }
         let artifacts = match self.artifacts_for(experiment, scale, seed) {
             Ok(artifacts) => artifacts,
-            Err(why) => return Response::text(500, format!("{id}: {why}\n")),
+            Err(why) => return Response::text(500, format!("{id}: {why}\n")).into(),
         };
-        let selected: Vec<&Artifact> = match req.query_param("artifact") {
-            Some(aid) => match artifacts.iter().find(|a| a.id() == aid) {
-                Some(a) => vec![a],
-                None => return Response::text(404, format!("{id} has no artifact `{aid}`\n")),
-            },
-            None => artifacts.iter().collect(),
-        };
-        let body = match req.query_param("format").unwrap_or("text") {
-            "text" => {
-                // Matches the CLI: one `render()` per artifact, each
-                // followed by the `println!` newline.
-                let mut out = String::new();
-                for artifact in &selected {
-                    out.push_str(&artifact.render());
-                    out.push('\n');
+        let selected: Vec<usize> = match req.query_param("artifact") {
+            Some(aid) => match artifacts.iter().position(|a| a.id() == aid) {
+                Some(i) => vec![i],
+                None => {
+                    return Response::text(404, format!("{id} has no artifact `{aid}`\n")).into()
                 }
-                out
-            }
+            },
+            None => (0..artifacts.len()).collect(),
+        };
+        let csv = match req.query_param("format").unwrap_or("text") {
+            "text" => false,
             "csv" => {
                 if selected.len() != 1 {
-                    return Response::text(400, "format=csv requires an artifact= selector\n");
+                    return Response::text(400, "format=csv requires an artifact= selector\n")
+                        .into();
                 }
-                selected[0].to_csv()
+                true
             }
-            other => return Response::text(400, format!("unknown format `{other}`\n")),
+            other => return Response::text(400, format!("unknown format `{other}`\n")).into(),
         };
-        Response::text(200, body).with_header("ETag", etag)
+        let mut head = Response::text(200, "").with_header("ETag", etag);
+        let encoder = if gzip_negotiated {
+            head.headers
+                .push(("Content-Encoding".to_string(), "gzip".to_string()));
+            Some(gzip::StreamEncoder::new())
+        } else {
+            None
+        };
+        let body = BodyStream {
+            artifacts,
+            selected,
+            csv,
+            next: 0,
+            encoder,
+            finished: false,
+        };
+        if req.accepts_chunked() {
+            Reply::Streamed(Streamed { head, body })
+        } else {
+            head.body = body.fold(Vec::new(), |mut acc, chunk| {
+                acc.extend_from_slice(&chunk);
+                acc
+            });
+            Reply::Whole(head)
+        }
     }
 
     /// `GET /v1/manifest/{id}?seed=&scale=`: experiment metadata plus
@@ -262,16 +447,6 @@ impl ArtifactService {
         Ok((experiment, scale, seed))
     }
 
-    /// The strong validator for an artifact response: the cache
-    /// fingerprint of `(experiment, scale, seed)`, derivable without
-    /// collecting a campaign.
-    fn etag(&self, experiment: &dyn Experiment, scale: Scale, seed: u64) -> String {
-        format!(
-            "\"{:016x}\"",
-            CacheKey::for_params(experiment, scale, seed).fingerprint()
-        )
-    }
-
     /// Returns the experiment's artifacts, from the cache when hot,
     /// computing through the engine when cold. Concurrent callers for
     /// the same `(id, scale, seed)` share one computation.
@@ -293,10 +468,12 @@ impl ArtifactService {
         outcome
     }
 
-    /// The leader's path: cache lookup, then a full pipeline run on a
-    /// pooled context, then a retried store-back. The engine is invoked
-    /// with `cache: None` — the service already did the lookup, and one
-    /// cold request must count exactly one `cache.miss`.
+    /// The in-process flight leader's path: cache lookup, then — on a
+    /// true miss — cross-process coordination. Claiming the flight lease
+    /// means this process computes (`serve.crossflight.lead`); losing it
+    /// means a sibling daemon already is, so wait for its entry to land
+    /// (`serve.crossflight.follow`) and only compute ourselves if the
+    /// sibling vanishes without one (`serve.crossflight.degraded`).
     fn compute(
         &self,
         experiment: &'static dyn Experiment,
@@ -308,7 +485,60 @@ impl ArtifactService {
             if let Some(artifacts) = self.cache.lookup(&key) {
                 return Ok(Arc::new(artifacts));
             }
+            match self.crossflights.claim(key.fingerprint()) {
+                crossflight::Claim::Lead(_lease) => {
+                    telemetry::metrics::counter("serve.crossflight.lead").inc();
+                    // `_lease` drops (and releases the claim file) after
+                    // the compute + store-back below completes.
+                    return self.compute_locally(experiment, scale, seed, &key);
+                }
+                crossflight::Claim::Follow => {
+                    if let Some(artifacts) = self.await_sibling(&key) {
+                        telemetry::metrics::counter("serve.crossflight.follow").inc();
+                        return Ok(Arc::new(artifacts));
+                    }
+                    // The sibling released (or went stale) without an
+                    // entry: degrade to uncoordinated duplicate work.
+                    telemetry::metrics::counter("serve.crossflight.degraded").inc();
+                }
+            }
         }
+        self.compute_locally(experiment, scale, seed, &key)
+    }
+
+    /// Waits for a sibling process's flight to land its entry in the
+    /// shared cache. Polls for the entry *file* rather than calling
+    /// `lookup` each round, so a follower's wait cannot inflate the
+    /// `cache.miss` counter; the one real lookup happens when the file
+    /// appears (or the wait ends). `None` means the sibling failed —
+    /// the caller computes locally.
+    fn await_sibling(&self, key: &CacheKey) -> Option<Vec<Artifact>> {
+        let entry = self.cache.dir().join(key.file_name());
+        let deadline = Instant::now() + self.crossflights.stale_after();
+        loop {
+            if entry.exists() {
+                return self.cache.lookup(key);
+            }
+            if !self.crossflights.held(key.fingerprint()) || Instant::now() >= deadline {
+                // One last look: the leader may have stored and released
+                // between our poll and the held() check.
+                return self.cache.lookup(key);
+            }
+            std::thread::sleep(crossflight::POLL_INTERVAL);
+        }
+    }
+
+    /// A full pipeline run on a pooled context, then a retried
+    /// store-back. The engine is invoked with `cache: None` — the
+    /// service already did the lookup, and one cold request must count
+    /// exactly one `cache.miss`.
+    fn compute_locally(
+        &self,
+        experiment: &'static dyn Experiment,
+        scale: Scale,
+        seed: u64,
+        key: &CacheKey,
+    ) -> Result<Arc<Vec<Artifact>>, String> {
         let ctx = self.context(scale, seed);
         let options = EngineOptions {
             jobs: self.jobs,
@@ -331,7 +561,7 @@ impl ArtifactService {
             .ok_or_else(|| "engine returned no report".to_string())?;
         let artifacts = run.outcome.map_err(|e| e.message().to_string())?;
         if experiment.cacheable() {
-            self.store_retrying(experiment, &key, &artifacts);
+            self.store_retrying(experiment, key, &artifacts);
         }
         Ok(Arc::new(artifacts))
     }
@@ -390,6 +620,20 @@ impl ArtifactService {
             Arc::clone(pool.entry(pool_key).or_default())
         };
         Arc::clone(cell.get_or_init(|| Arc::new(Context::with_jobs(scale, seed, self.jobs))))
+    }
+}
+
+/// The strong validator for an artifact response: the cache fingerprint
+/// of `(experiment, scale, seed)`, derivable without collecting a
+/// campaign. Each encoding is its own representation with its own
+/// validator (`"<fp>"` vs `"<fp>-gzip"`), so `If-None-Match` can only
+/// revalidate the representation the negotiation would actually serve.
+fn etag(experiment: &dyn Experiment, scale: Scale, seed: u64, gzip: bool) -> String {
+    let fp = CacheKey::for_params(experiment, scale, seed).fingerprint();
+    if gzip {
+        format!("\"{fp:016x}-gzip\"")
+    } else {
+        format!("\"{fp:016x}\"")
     }
 }
 
@@ -495,6 +739,19 @@ mod tests {
         .unwrap()
     }
 
+    fn get_1_0(path: &str) -> Request {
+        Request::read_from(&mut BufReader::new(
+            format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes(),
+        ))
+        .unwrap()
+        .unwrap()
+    }
+
+    fn with_header(mut req: Request, name: &str, value: &str) -> Request {
+        req.headers.push((name.to_string(), value.to_string()));
+        req
+    }
+
     fn temp_service() -> (ArtifactService, std::path::PathBuf) {
         let dir = std::env::temp_dir().join(format!(
             "serve-unit-{}-{:x}",
@@ -524,32 +781,34 @@ mod tests {
     #[test]
     fn routing_rejects_what_it_should() {
         let (service, dir) = temp_service();
-        assert_eq!(service.handle(&get("/nope")).status, 404);
+        assert_eq!(service.handle(&get("/nope")).status(), 404);
         assert_eq!(
-            service.handle(&get("/v1/artifacts/ZZ?seed=1")).status,
+            service.handle(&get("/v1/artifacts/ZZ?seed=1")).status(),
             404,
             "unknown experiment id"
         );
         assert_eq!(
             service
                 .handle(&get("/v1/artifacts/T1?scale=galactic"))
-                .status,
+                .status(),
             400
         );
         assert_eq!(
             service
                 .handle(&get("/v1/artifacts/T1?seed=minus-one"))
-                .status,
+                .status(),
             400
         );
         assert_eq!(
-            service.handle(&get("/v1/artifacts/T1?format=yaml")).status,
+            service
+                .handle(&get("/v1/artifacts/T1?format=yaml"))
+                .status(),
             400
         );
         let mut post = get("/healthz");
         post.method = "POST".to_string();
-        assert_eq!(service.handle(&post).status, 405);
-        assert_eq!(service.handle(&get("/healthz")).status, 200);
+        assert_eq!(service.handle(&post).status(), 405);
+        assert_eq!(service.handle(&get("/healthz")).status(), 200);
         let _ = std::fs::remove_dir_all(dir);
     }
 
@@ -557,36 +816,120 @@ mod tests {
     fn etag_round_trip_yields_304_without_recomputing() {
         let (service, dir) = temp_service();
         let first = service.handle(&get("/v1/artifacts/T1?seed=7&scale=quick"));
-        assert_eq!(first.status, 200);
+        assert_eq!(first.status(), 200);
         let etag = first
-            .headers
-            .iter()
-            .find(|(n, _)| n == "ETag")
-            .map(|(_, v)| v.clone())
-            .expect("artifact responses carry an ETag");
-        let mut conditional = get("/v1/artifacts/T1?seed=7&scale=quick");
-        conditional
-            .headers
-            .push(("if-none-match".to_string(), etag.clone()));
+            .header("ETag")
+            .expect("artifact responses carry an ETag")
+            .to_string();
+        let conditional = with_header(
+            get("/v1/artifacts/T1?seed=7&scale=quick"),
+            "if-none-match",
+            &etag,
+        );
         let second = service.handle(&conditional);
-        assert_eq!(second.status, 304);
-        assert!(second.body.is_empty());
+        assert_eq!(second.status(), 304);
+        assert_eq!(
+            second.header("Vary"),
+            Some("Accept-Encoding"),
+            "variant-selecting 304s must carry Vary"
+        );
+        assert!(second.into_response().body.is_empty());
         // The validator is the cache fingerprint, so it must differ
         // across seeds and scales.
         let other = service.handle(&get("/v1/artifacts/T1?seed=8&scale=quick"));
-        let other_etag = other
-            .headers
-            .iter()
-            .find(|(n, _)| n == "ETag")
-            .map(|(_, v)| v.clone());
+        let other_etag = other.header("ETag").map(str::to_string);
         assert_ne!(Some(etag), other_etag);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn streamed_and_whole_bodies_are_byte_identical() {
+        let (service, dir) = temp_service();
+        let streamed = service.handle(&get("/v1/artifacts/T1?seed=7&scale=quick"));
+        assert!(
+            matches!(streamed, Reply::Streamed(_)),
+            "HTTP/1.1 artifact responses stream"
+        );
+        let whole = service.handle(&get_1_0("/v1/artifacts/T1?seed=7&scale=quick"));
+        assert!(
+            matches!(whole, Reply::Whole(_)),
+            "HTTP/1.0 gets Content-Length framing"
+        );
+        let streamed_body = streamed.into_response().body;
+        let whole_body = whole.into_response().body;
+        assert!(!streamed_body.is_empty());
+        assert_eq!(streamed_body, whole_body);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn gzip_negotiation_encodes_and_varies_the_validator() {
+        let (service, dir) = temp_service();
+        let plain = service.handle(&get("/v1/artifacts/T1?seed=7&scale=quick"));
+        let plain_etag = plain.header("ETag").unwrap().to_string();
+        let gz_req = || {
+            with_header(
+                get("/v1/artifacts/T1?seed=7&scale=quick"),
+                "accept-encoding",
+                "gzip",
+            )
+        };
+        let gz = service.handle(&gz_req());
+        assert_eq!(gz.status(), 200);
+        assert_eq!(gz.header("Content-Encoding"), Some("gzip"));
+        assert_eq!(gz.header("Vary"), Some("Accept-Encoding"));
+        let gz_etag = gz.header("ETag").unwrap().to_string();
+        assert_ne!(
+            plain_etag, gz_etag,
+            "each representation has its own validator"
+        );
+        assert!(gz_etag.contains("-gzip"));
+        // The identity validator cannot revalidate the gzip variant...
+        let stale = with_header(gz_req(), "if-none-match", &plain_etag);
+        assert_eq!(service.handle(&stale).status(), 200);
+        // ...but the variant's own validator can.
+        let fresh = with_header(gz_req(), "if-none-match", &gz_etag);
+        assert_eq!(service.handle(&fresh).status(), 304);
+        // And the encoded body decodes to exactly the identity bytes.
+        let plain_body = plain.into_response().body;
+        let gz_body = gz.into_response().body;
+        assert!(gz_body.len() < plain_body.len(), "gzip should shrink text");
+        assert_eq!(gzip::decode(&gz_body).unwrap(), plain_body);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn non_artifact_endpoints_gzip_whole_bodies_on_request() {
+        let (service, dir) = temp_service();
+        let plain = service.handle(&get("/v1/experiments")).into_response();
+        let gz = service
+            .handle(&with_header(
+                get("/v1/experiments"),
+                "accept-encoding",
+                "gzip",
+            ))
+            .into_response();
+        assert_eq!(gz.header("Content-Encoding"), Some("gzip"));
+        assert_eq!(gzip::decode(&gz.body).unwrap(), plain.body);
+        // Refused encodings stay identity.
+        let refused = service
+            .handle(&with_header(
+                get("/v1/experiments"),
+                "accept-encoding",
+                "gzip;q=0",
+            ))
+            .into_response();
+        assert_eq!(refused.header("Content-Encoding"), None);
+        assert_eq!(refused.body, plain.body);
         let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]
     fn manifest_lists_artifacts_with_fixed_key_order() {
         let (service, dir) = temp_service();
-        let resp = service.handle(&get("/v1/manifest/T1?seed=7&scale=quick"));
+        let resp = service
+            .handle(&get("/v1/manifest/T1?seed=7&scale=quick"))
+            .into_response();
         assert_eq!(resp.status, 200);
         let body = String::from_utf8(resp.body).unwrap();
         assert!(body.starts_with("{\"experiment\":\"T1\",\"kind\":\"table\","));
@@ -600,7 +943,9 @@ mod tests {
     #[test]
     fn csv_format_selects_one_artifact() {
         let (service, dir) = temp_service();
-        let manifest = service.handle(&get("/v1/manifest/T1?seed=7"));
+        let manifest = service
+            .handle(&get("/v1/manifest/T1?seed=7"))
+            .into_response();
         let body = String::from_utf8(manifest.body).unwrap();
         let aid = body
             .split("\"artifacts\":[{\"id\":\"")
@@ -611,10 +956,10 @@ mod tests {
         let csv = service.handle(&get(&format!(
             "/v1/artifacts/T1?seed=7&format=csv&artifact={aid}"
         )));
-        assert_eq!(csv.status, 200);
-        assert!(!csv.body.is_empty());
+        assert_eq!(csv.status(), 200);
+        assert!(!csv.into_response().body.is_empty());
         let missing = service.handle(&get("/v1/artifacts/T1?seed=7&artifact=nope"));
-        assert_eq!(missing.status, 404);
+        assert_eq!(missing.status(), 404);
         let _ = std::fs::remove_dir_all(dir);
     }
 

@@ -1,0 +1,195 @@
+//! Property tests for the hand-rolled HTTP parser (`serve::http`):
+//! arbitrary byte soup, oversized lines and header blocks, hostile
+//! percent-encoding, and pipelined request streams must never panic —
+//! every outcome is a valid parse, a clean end-of-stream, or a typed
+//! [`ParseError`] the server maps to a well-formed 4xx.
+
+use std::io::BufReader;
+
+use proptest::prelude::*;
+use serve::http::{decode_chunked, ParseError};
+use serve::Request;
+
+/// Parses requests off `bytes` until end-of-stream or the first error —
+/// exactly the server's keep-alive loop, minus the sockets.
+fn parse_all(bytes: &[u8]) -> (Vec<Request>, Option<ParseError>) {
+    let mut reader = BufReader::new(bytes);
+    let mut requests = Vec::new();
+    loop {
+        match Request::read_from(&mut reader) {
+            Ok(Some(req)) => requests.push(req),
+            Ok(None) => return (requests, None),
+            Err(err) => return (requests, Some(err)),
+        }
+    }
+}
+
+proptest! {
+    // The parser's only job under hostile input is to not panic and to
+    // classify: every byte soup ends in a clean EOF or a typed error.
+    #[test]
+    fn arbitrary_byte_soup_never_panics(
+        bytes in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let (_requests, _err) = parse_all(&bytes);
+    }
+
+    // Printable-ASCII soup with CRLFs sprinkled in exercises the
+    // line-splitting paths much harder than uniform bytes do.
+    #[test]
+    fn structured_ascii_soup_never_panics(s in "[ -~\r\n]{0,512}") {
+        let (_requests, _err) = parse_all(s.as_bytes());
+    }
+
+    // A request line past MAX_LINE is refused as malformed — the buffer
+    // must not grow to accommodate it.
+    #[test]
+    fn oversized_request_lines_are_malformed(extra in 1usize..4096) {
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(8 * 1024 + extra));
+        let (requests, err) = parse_all(raw.as_bytes());
+        prop_assert!(requests.is_empty());
+        prop_assert!(matches!(err, Some(ParseError::Malformed(_))));
+    }
+
+    // More headers than MAX_HEADERS is a client error, not an
+    // allocation.
+    #[test]
+    fn oversized_header_blocks_are_malformed(n in 65usize..128) {
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..n {
+            raw.push_str(&format!("x-h{i}: v\r\n"));
+        }
+        raw.push_str("\r\n");
+        let (requests, err) = parse_all(raw.as_bytes());
+        prop_assert!(requests.is_empty());
+        prop_assert!(matches!(err, Some(ParseError::Malformed(_))));
+    }
+
+    // Percent-encoding in query strings — including dangling `%`, bad
+    // hex, and `+` — always decodes to *something* without panicking,
+    // and never corrupts the path.
+    #[test]
+    fn hostile_percent_encoding_decodes_without_panic(
+        q in "[%a-zA-Z0-9+=&.]{0,64}",
+    ) {
+        let raw = format!("GET /v1/artifacts/T1?{q} HTTP/1.1\r\n\r\n");
+        let (requests, err) = parse_all(raw.as_bytes());
+        prop_assert!(err.is_none(), "{err:?}");
+        prop_assert_eq!(requests.len(), 1);
+        prop_assert_eq!(requests[0].path.as_str(), "/v1/artifacts/T1");
+    }
+
+    // Pipelined well-formed requests parse in order; a torn tail after
+    // them is an error for the tail only, never a panic and never a
+    // corruption of the requests already parsed.
+    #[test]
+    fn pipelined_requests_parse_in_order(n in 1usize..16, torn_tail in any::<bool>()) {
+        let mut raw = String::new();
+        for i in 0..n {
+            raw.push_str(&format!("GET /r/{i} HTTP/1.1\r\nHost: t\r\n\r\n"));
+        }
+        if torn_tail {
+            raw.push_str("GET /trunc");
+        }
+        let (requests, err) = parse_all(raw.as_bytes());
+        prop_assert_eq!(requests.len(), n);
+        for (i, req) in requests.iter().enumerate() {
+            prop_assert_eq!(req.path.clone(), format!("/r/{i}"));
+            prop_assert_eq!(req.minor, 1);
+        }
+        if torn_tail {
+            prop_assert!(matches!(err, Some(ParseError::Malformed(_))));
+        } else {
+            prop_assert!(err.is_none(), "{err:?}");
+        }
+    }
+
+    // The chunked-framing decoder is fed untrusted bytes by tests and
+    // harnesses; it must reject damage, never panic.
+    #[test]
+    fn chunked_decoding_never_panics(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let _ = decode_chunked(&bytes);
+    }
+}
+
+// Deterministic companions to the properties above: a seeded xorshift
+// fuzz sweep that runs everywhere (the proptest harness is unavailable
+// in offline builds), so the never-panic contract is exercised by
+// tier-1 CI too.
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+#[test]
+fn seeded_byte_soup_sweep_never_panics() {
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    for round in 0..512 {
+        let len = (xorshift(&mut state) % 1024) as usize;
+        let mut bytes = Vec::with_capacity(len);
+        for _ in 0..len {
+            bytes.push(xorshift(&mut state) as u8);
+        }
+        // Bias half the rounds toward HTTP-shaped prefixes so the soup
+        // reaches deep parser states, not just the method check.
+        if round % 2 == 0 {
+            let mut shaped = b"GET /v1/artifacts/T1?seed=".to_vec();
+            shaped.extend_from_slice(&bytes);
+            bytes = shaped;
+        }
+        let _ = parse_all(&bytes);
+        let _ = decode_chunked(&bytes);
+    }
+}
+
+#[test]
+fn oversized_request_line_is_refused_deterministically() {
+    let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(9 * 1024));
+    let (requests, err) = parse_all(raw.as_bytes());
+    assert!(requests.is_empty());
+    assert!(matches!(err, Some(ParseError::Malformed(_))), "{err:?}");
+}
+
+#[test]
+fn oversized_header_block_is_refused_deterministically() {
+    let mut raw = String::from("GET / HTTP/1.1\r\n");
+    for i in 0..80 {
+        raw.push_str(&format!("x-h{i}: v\r\n"));
+    }
+    raw.push_str("\r\n");
+    let (requests, err) = parse_all(raw.as_bytes());
+    assert!(requests.is_empty());
+    assert!(matches!(err, Some(ParseError::Malformed(_))), "{err:?}");
+}
+
+#[test]
+fn hostile_percent_encoding_is_tolerated_deterministically() {
+    for q in ["%", "%%", "%zz", "a=%4", "a=%G1&b=+", "=%25%25%", "&&&=%"] {
+        let raw = format!("GET /v1/artifacts/T1?{q} HTTP/1.1\r\n\r\n");
+        let (requests, err) = parse_all(raw.as_bytes());
+        assert!(err.is_none(), "query `{q}`: {err:?}");
+        assert_eq!(requests.len(), 1, "query `{q}`");
+        assert_eq!(requests[0].path, "/v1/artifacts/T1", "query `{q}`");
+    }
+}
+
+#[test]
+fn pipelined_requests_with_torn_tail_parse_deterministically() {
+    let mut raw = String::new();
+    for i in 0..5 {
+        raw.push_str(&format!("GET /r/{i} HTTP/1.1\r\nHost: t\r\n\r\n"));
+    }
+    raw.push_str("GET /trunc");
+    let (requests, err) = parse_all(raw.as_bytes());
+    assert_eq!(requests.len(), 5);
+    for (i, req) in requests.iter().enumerate() {
+        assert_eq!(req.path, format!("/r/{i}"));
+        assert_eq!(req.minor, 1);
+    }
+    assert!(matches!(err, Some(ParseError::Malformed(_))), "{err:?}");
+}

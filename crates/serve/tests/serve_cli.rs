@@ -54,9 +54,15 @@ impl Daemon {
     /// Spawns `repro serve` on an ephemeral port and parses the
     /// announced address from its stdout.
     fn spawn(cache_dir: &Path) -> Daemon {
+        Self::spawn_with(cache_dir, &[])
+    }
+
+    /// Like [`Daemon::spawn`], with extra CLI flags appended.
+    fn spawn_with(cache_dir: &Path, extra: &[&str]) -> Daemon {
         let mut child = Command::new(env!("CARGO_BIN_EXE_repro"))
             .args(["serve", "--addr", "127.0.0.1:0", "--jobs", "2"])
             .args(["--cache-dir", cache_dir.to_str().unwrap()])
+            .args(extra)
             .env_remove("REPRO_CHAOS")
             .stdout(Stdio::piped())
             .stderr(Stdio::null())
@@ -94,11 +100,17 @@ impl Daemon {
             .and_then(|l| l.split(' ').nth(1))
             .and_then(|s| s.parse().ok())
             .expect("status line");
-        (
-            status,
-            lines.map(str::to_string).collect(),
-            body.to_string(),
-        )
+        let headers: Vec<String> = lines.map(str::to_string).collect();
+        // HTTP/1.1 artifact responses stream with chunked framing;
+        // decode back to the payload so assertions see the real bytes.
+        let body = if header(&headers, "Transfer-Encoding").as_deref() == Some("chunked") {
+            let payload =
+                serve::http::decode_chunked(body.as_bytes()).expect("valid chunked framing");
+            String::from_utf8(payload).expect("utf-8 payload")
+        } else {
+            body.to_string()
+        };
+        (status, headers, body)
     }
 
     fn kill(mut self) {
@@ -184,6 +196,65 @@ fn daemon_serves_the_golden_session_and_survives_sigkill() {
     assert!(!metrics.contains("counter cache.miss"), "{metrics}");
     revived.kill();
 
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn workers_flag_sizes_the_pool_and_queue_cap_is_reported() {
+    let root = temp_root("workers");
+    let daemon = Daemon::spawn_with(&root.join("cache"), &["--workers", "3", "--queue-cap", "7"]);
+    let (status, _, metrics) = daemon.get("/metrics", None);
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("gauge serve.workers 3\n"),
+        "--workers must size the pool:\n{metrics}"
+    );
+    assert!(
+        metrics.contains("gauge serve.queue.cap 7\n"),
+        "--queue-cap must bound the accept queue:\n{metrics}"
+    );
+    daemon.kill();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn gzip_is_negotiated_end_to_end_over_the_real_binary() {
+    let root = temp_root("gzip");
+    let daemon = Daemon::spawn(&root.join("cache"));
+    let path = "/v1/artifacts/T1?seed=7&scale=quick";
+    let (status, _, identity) = daemon.get(path, None);
+    assert_eq!(status, 200);
+    // Raw fetch (no chunked auto-decode applies to the encoded bytes
+    // either way — gzip output is binary, so fetch manually).
+    let mut stream = TcpStream::connect(daemon.addr).expect("connect");
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nAccept-Encoding: gzip\r\nConnection: close\r\n\r\n")
+                .as_bytes(),
+        )
+        .expect("send");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("receive");
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("complete head");
+    let head = String::from_utf8_lossy(&raw[..head_end]).to_string();
+    assert!(head.contains("Content-Encoding: gzip"), "{head}");
+    assert!(head.contains("Vary: Accept-Encoding"), "{head}");
+    let framed = &raw[head_end + 4..];
+    let payload = if head.contains("Transfer-Encoding: chunked") {
+        serve::http::decode_chunked(framed).expect("valid chunked framing")
+    } else {
+        framed.to_vec()
+    };
+    let decoded = serve::gzip::decode(&payload).expect("valid gzip stream");
+    assert_eq!(
+        String::from_utf8(decoded).expect("utf-8 payload"),
+        identity,
+        "gzip and identity representations must decode to the same bytes"
+    );
+    daemon.kill();
     let _ = std::fs::remove_dir_all(&root);
 }
 

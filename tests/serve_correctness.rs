@@ -80,9 +80,9 @@ fn parse_request(path: &str) -> serve::Request {
 }
 
 fn body_of(service: &ArtifactService, path: &str) -> String {
-    let resp = service.handle(&parse_request(path));
-    assert_eq!(resp.status, 200, "GET {path}");
-    String::from_utf8(resp.body).expect("utf-8 body")
+    let reply = service.handle(&parse_request(path));
+    assert_eq!(reply.status(), 200, "GET {path}");
+    String::from_utf8(reply.into_response().body).expect("utf-8 body")
 }
 
 #[test]
@@ -328,7 +328,8 @@ fn concurrent_http_clients_over_mixed_hot_and_cold_keys_agree() {
 }
 
 /// One `Connection: close` GET over real TCP; returns (status, header
-/// lines, body string).
+/// lines, body string). Chunked bodies (the default framing for
+/// HTTP/1.1 artifact responses) are decoded back to their payload.
 fn http_get(addr: std::net::SocketAddr, path: &str) -> (u16, Vec<String>, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
@@ -344,11 +345,14 @@ fn http_get(addr: std::net::SocketAddr, path: &str) -> (u16, Vec<String>, String
         .and_then(|l| l.split(' ').nth(1))
         .and_then(|s| s.parse().ok())
         .expect("status line");
-    (
-        status,
-        lines.map(str::to_string).collect(),
-        body.to_string(),
-    )
+    let headers: Vec<String> = lines.map(str::to_string).collect();
+    let body = if header(&headers, "Transfer-Encoding").as_deref() == Some("chunked") {
+        let payload = serve::http::decode_chunked(body.as_bytes()).expect("valid chunked framing");
+        String::from_utf8(payload).expect("utf-8 payload")
+    } else {
+        body.to_string()
+    };
+    (status, headers, body)
 }
 
 fn header(headers: &[String], name: &str) -> Option<String> {

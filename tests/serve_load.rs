@@ -1,0 +1,629 @@
+//! Load/soak harness for the serving daemon (DESIGN.md §10): a
+//! hand-rolled multi-threaded load generator driving hot/cold/mixed key
+//! schedules over real TCP, with every socket under a timeout so a hang
+//! is a test failure, never a stuck CI job.
+//!
+//! Contracts exercised:
+//!
+//! 1. **No hangs, bounded queue.** Under a mixed hot/cold schedule from
+//!    hundreds of concurrent keep-alive connections, every request
+//!    completes with `200` and bytes identical to the engine's
+//!    artifacts; the accept queue's high-water mark never exceeds its
+//!    configured bound.
+//! 2. **Saturation sheds, never hangs.** With a tiny worker pool and
+//!    queue deliberately saturated, overflow connections receive a fast
+//!    `503 Retry-After` — and once the pressure lifts, the daemon
+//!    serves `200`s again.
+//! 3. **Representation identity.** Streamed (chunked), whole-body
+//!    (HTTP/1.0), and gzip-encoded responses all decode to the same
+//!    bytes the CLI writes.
+//! 4. **Cross-process single-flight.** Two daemons sharing one cache
+//!    directory serve identical bytes; a follower waits for a sibling's
+//!    lease and serves its entry without recomputing, and a dead
+//!    sibling's stale lease degrades to local computation instead of
+//!    waiting forever.
+//! 5. **Stalled clients cannot starve honest ones.** Slow-loris
+//!    connections time out with `408` and free their workers.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+use analysis::{find, ArtifactCache, CacheKey, Context, Scale};
+use serve::crossflight::FlightTable;
+use serve::{ArtifactService, ServeOptions, Server, ServerConfig};
+
+/// Telemetry counters are process-global and the servers under test set
+/// gauges at bind; every test serializes on this lock so metric windows
+/// never bleed across tests.
+static TELEMETRY: Mutex<()> = Mutex::new(());
+
+/// Client-side socket timeout: any read or write slower than this is a
+/// hang, and hangs are failures.
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
+
+fn temp_cache(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "serve-load-{label}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The text body the daemon serves for an experiment: one `render()`
+/// per artifact, each followed by the CLI's `println!` newline.
+fn reference_body(id: &str, seed: u64) -> Vec<u8> {
+    let ctx = Context::with_jobs(Scale::Quick, seed, Some(2));
+    let artifacts = find(id)
+        .expect("registered experiment")
+        .run(&ctx)
+        .expect("experiment succeeds");
+    let mut out = String::new();
+    for artifact in &artifacts {
+        out.push_str(&artifact.render());
+        out.push('\n');
+    }
+    out.into_bytes()
+}
+
+/// A keep-alive HTTP client over one TCP connection, with every socket
+/// operation under [`CLIENT_TIMEOUT`].
+struct Client {
+    reader: BufReader<TcpStream>,
+}
+
+/// One parsed response: status, header lines, payload bytes (chunked
+/// framing already decoded; gzip left encoded for the caller).
+struct ClientResponse {
+    status: u16,
+    headers: Vec<String>,
+    payload: Vec<u8>,
+}
+
+impl ClientResponse {
+    fn header(&self, name: &str) -> Option<&str> {
+        let prefix = format!("{name}: ");
+        self.headers.iter().find_map(|l| l.strip_prefix(&prefix))
+    }
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(CLIENT_TIMEOUT))
+            .expect("read timeout");
+        stream
+            .set_write_timeout(Some(CLIENT_TIMEOUT))
+            .expect("write timeout");
+        stream.set_nodelay(true).expect("nodelay");
+        Client {
+            reader: BufReader::new(stream),
+        }
+    }
+
+    /// Sends one request and reads the complete response. `version` is
+    /// `"HTTP/1.1"` or `"HTTP/1.0"`; extra headers go in verbatim.
+    fn request(&mut self, path: &str, version: &str, extra: &[&str]) -> ClientResponse {
+        let mut raw = format!("GET {path} {version}\r\n");
+        for h in extra {
+            raw.push_str(h);
+            raw.push_str("\r\n");
+        }
+        raw.push_str("\r\n");
+        self.reader
+            .get_mut()
+            .write_all(raw.as_bytes())
+            .expect("send request");
+        self.read_response()
+    }
+
+    fn read_line(&mut self) -> String {
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .expect("read within timeout");
+        assert!(n > 0, "connection closed mid-response");
+        line.trim_end_matches(['\r', '\n']).to_string()
+    }
+
+    fn read_response(&mut self) -> ClientResponse {
+        let status_line = self.read_line();
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("bad status line `{status_line}`"));
+        let mut headers = Vec::new();
+        loop {
+            let line = self.read_line();
+            if line.is_empty() {
+                break;
+            }
+            headers.push(line);
+        }
+        let find_header = |name: &str| {
+            let prefix = format!("{name}: ");
+            headers
+                .iter()
+                .find_map(|l: &String| l.strip_prefix(&prefix).map(str::to_string))
+        };
+        let payload = if find_header("Transfer-Encoding").as_deref() == Some("chunked") {
+            let mut out = Vec::new();
+            loop {
+                let size_line = self.read_line();
+                let size = usize::from_str_radix(size_line.trim(), 16)
+                    .unwrap_or_else(|_| panic!("bad chunk size `{size_line}`"));
+                if size == 0 {
+                    let trailer = self.read_line();
+                    assert!(trailer.is_empty(), "unexpected trailer `{trailer}`");
+                    break;
+                }
+                let mut chunk = vec![0u8; size + 2];
+                self.reader.read_exact(&mut chunk).expect("chunk data");
+                assert_eq!(&chunk[size..], b"\r\n", "chunk not CRLF-terminated");
+                chunk.truncate(size);
+                out.extend_from_slice(&chunk);
+            }
+            out
+        } else {
+            let length: usize = find_header("Content-Length")
+                .and_then(|v| v.parse().ok())
+                .expect("framed responses declare Content-Length");
+            let mut body = vec![0u8; length];
+            self.reader.read_exact(&mut body).expect("body bytes");
+            body
+        };
+        ClientResponse {
+            status,
+            headers,
+            payload,
+        }
+    }
+}
+
+fn service(dir: &PathBuf) -> Arc<ArtifactService> {
+    Arc::new(ArtifactService::new(ServeOptions {
+        jobs: Some(2),
+        ..ServeOptions::new(dir)
+    }))
+}
+
+#[test]
+fn soak_mixed_hot_cold_schedule_is_byte_identical_with_bounded_queue() {
+    let _guard = TELEMETRY.lock().unwrap_or_else(|e| e.into_inner());
+    telemetry::metrics::reset();
+    telemetry::set_enabled(true);
+    let dir = temp_cache("soak");
+    const QUEUE_CAP: usize = 512;
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        service(&dir),
+        ServerConfig {
+            workers: Some(8),
+            queue_cap: QUEUE_CAP,
+            read_timeout: Duration::from_secs(30),
+        },
+    )
+    .expect("bind");
+    let addr = server.addr();
+
+    // Six keys across cheap experiments and two seeds. Three are warmed
+    // (hot), three stay cold until the storm finds them.
+    let keys = [
+        ("T1", 7u64),
+        ("T2", 7),
+        ("F6", 7),
+        ("T1", 11),
+        ("T2", 11),
+        ("F6", 11),
+    ];
+    let expected: Arc<HashMap<String, Vec<u8>>> = Arc::new(
+        keys.iter()
+            .map(|(id, seed)| {
+                let path = format!("/v1/artifacts/{id}?seed={seed}&scale=quick");
+                (path, reference_body(id, *seed))
+            })
+            .collect(),
+    );
+    let paths: Arc<Vec<String>> = Arc::new(expected.keys().cloned().collect());
+    for path in paths.iter().take(3) {
+        let resp = Client::connect(addr).request(path, "HTTP/1.1", &[]);
+        assert_eq!(resp.status, 200, "warm-up GET {path}");
+    }
+
+    // 150 concurrent keep-alive connections, 4 requests each, schedules
+    // offset per connection so every moment mixes hot and cold keys.
+    const CONNECTIONS: usize = 150;
+    const REQUESTS_PER_CONNECTION: usize = 4;
+    let started = Instant::now();
+    let ready = Arc::new(Barrier::new(CONNECTIONS));
+    let handles: Vec<_> = (0..CONNECTIONS)
+        .map(|i| {
+            let paths = Arc::clone(&paths);
+            let expected = Arc::clone(&expected);
+            let ready = Arc::clone(&ready);
+            std::thread::spawn(move || {
+                ready.wait();
+                let mut client = Client::connect(addr);
+                for round in 0..REQUESTS_PER_CONNECTION {
+                    let path = &paths[(i + round) % paths.len()];
+                    let resp = client.request(path, "HTTP/1.1", &[]);
+                    assert_eq!(resp.status, 200, "GET {path} (conn {i}, round {round})");
+                    assert_eq!(
+                        &resp.payload, &expected[path],
+                        "GET {path}: served bytes must match the engine's"
+                    );
+                }
+                REQUESTS_PER_CONNECTION
+            })
+        })
+        .collect();
+    let total: usize = handles
+        .into_iter()
+        .map(|h| h.join().expect("no panics"))
+        .sum();
+    assert_eq!(total, CONNECTIONS * REQUESTS_PER_CONNECTION);
+    // The socket timeouts above make a hang impossible; this bound just
+    // documents that the soak finishes in CI time.
+    assert!(
+        started.elapsed() < Duration::from_secs(120),
+        "soak took {:?}",
+        started.elapsed()
+    );
+
+    let snapshot = telemetry::metrics::snapshot();
+    telemetry::set_enabled(false);
+    let peak = snapshot.gauge("serve.queue.peak").unwrap_or(0.0);
+    assert!(
+        peak <= QUEUE_CAP as f64,
+        "queue depth must stay within its bound (peak {peak})"
+    );
+    assert_eq!(
+        snapshot.counter("serve.shed"),
+        None,
+        "an unsaturated queue sheds nothing"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn saturation_sheds_overflow_with_fast_503_and_recovers() {
+    let _guard = TELEMETRY.lock().unwrap_or_else(|e| e.into_inner());
+    telemetry::metrics::reset();
+    telemetry::set_enabled(true);
+    let dir = temp_cache("saturate");
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        service(&dir),
+        ServerConfig {
+            workers: Some(1),
+            queue_cap: 2,
+            read_timeout: Duration::from_secs(5),
+        },
+    )
+    .expect("bind");
+    let addr = server.addr();
+    let hot = "/v1/artifacts/T1?seed=7&scale=quick";
+    let warm = Client::connect(addr).request(hot, "HTTP/1.1", &[]);
+    assert_eq!(warm.status, 200);
+    let reference = warm.payload.clone();
+
+    // Saturate: one silent connection pins the lone worker inside its
+    // read; two more fill the queue. Everything beyond must shed.
+    let pins: Vec<TcpStream> = (0..3)
+        .map(|_| TcpStream::connect(addr).expect("pin connect"))
+        .collect();
+    std::thread::sleep(Duration::from_millis(200));
+
+    const STORM: usize = 24;
+    let ready = Arc::new(Barrier::new(STORM));
+    let handles: Vec<_> = (0..STORM)
+        .map(|_| {
+            let ready = Arc::clone(&ready);
+            std::thread::spawn(move || {
+                ready.wait();
+                let started = Instant::now();
+                let resp = Client::connect(addr).request(hot, "HTTP/1.1", &[]);
+                (
+                    resp.status,
+                    resp.header("Retry-After").map(str::to_string),
+                    started.elapsed(),
+                )
+            })
+        })
+        .collect();
+    let mut shed = 0usize;
+    for handle in handles {
+        let (status, retry_after, elapsed) = handle.join().expect("no panics");
+        match status {
+            503 => {
+                shed += 1;
+                assert_eq!(retry_after.as_deref(), Some("1"), "503s carry Retry-After");
+                assert!(
+                    elapsed < Duration::from_secs(2),
+                    "shed must be fast, took {elapsed:?}"
+                );
+            }
+            // A storm connection that raced into a freed queue slot is
+            // legitimately served; correctness still holds.
+            200 => {}
+            other => panic!("response must be 200 or a clean 503, got {other}"),
+        }
+    }
+    assert!(
+        shed >= STORM - 2,
+        "a saturated daemon sheds nearly the whole storm (shed {shed}/{STORM})"
+    );
+    let snapshot = telemetry::metrics::snapshot();
+    assert!(
+        snapshot.counter("serve.shed").unwrap_or(0) >= shed as u64,
+        "shed connections are counted"
+    );
+    let peak = snapshot.gauge("serve.queue.peak").unwrap_or(0.0);
+    assert!(peak <= 2.0, "queue peak {peak} must respect the cap");
+
+    // Release the pins: the pinned worker times out its silent client,
+    // drains the queue, and the daemon serves again — it never hung.
+    drop(pins);
+    let after = Client::connect(addr).request(hot, "HTTP/1.1", &[]);
+    assert_eq!(after.status, 200, "daemon recovers after saturation");
+    assert_eq!(after.payload, reference);
+    telemetry::set_enabled(false);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn streamed_whole_and_gzip_responses_decode_to_identical_bytes() {
+    let _guard = TELEMETRY.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = temp_cache("representations");
+    let server = Server::bind("127.0.0.1:0", service(&dir)).expect("bind");
+    let addr = server.addr();
+    let path = "/v1/artifacts/T2?seed=7&scale=quick";
+    let reference = reference_body("T2", 7);
+
+    let streamed = Client::connect(addr).request(path, "HTTP/1.1", &[]);
+    assert_eq!(streamed.status, 200);
+    assert_eq!(
+        streamed.header("Transfer-Encoding"),
+        Some("chunked"),
+        "HTTP/1.1 artifact bodies stream"
+    );
+    assert_eq!(streamed.payload, reference, "streamed == engine bytes");
+
+    let whole = Client::connect(addr).request(path, "HTTP/1.0", &[]);
+    assert_eq!(whole.status, 200);
+    assert!(
+        whole.header("Content-Length").is_some(),
+        "HTTP/1.0 gets whole-body framing"
+    );
+    assert_eq!(whole.payload, reference, "whole == engine bytes");
+
+    let gz_streamed = Client::connect(addr).request(path, "HTTP/1.1", &["Accept-Encoding: gzip"]);
+    assert_eq!(gz_streamed.status, 200);
+    assert_eq!(gz_streamed.header("Content-Encoding"), Some("gzip"));
+    assert_eq!(
+        serve::gzip::decode(&gz_streamed.payload).expect("valid gzip"),
+        reference,
+        "streamed gzip decodes to engine bytes"
+    );
+
+    let gz_whole = Client::connect(addr).request(path, "HTTP/1.0", &["Accept-Encoding: gzip"]);
+    assert_eq!(gz_whole.status, 200);
+    assert_eq!(gz_whole.header("Content-Encoding"), Some("gzip"));
+    assert_eq!(
+        serve::gzip::decode(&gz_whole.payload).expect("valid gzip"),
+        reference,
+        "whole gzip decodes to engine bytes"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn two_daemons_on_one_cache_dir_serve_identical_bytes() {
+    let _guard = TELEMETRY.lock().unwrap_or_else(|e| e.into_inner());
+    telemetry::metrics::reset();
+    telemetry::set_enabled(true);
+    let dir = temp_cache("multiproc");
+    let server_a = Server::bind("127.0.0.1:0", service(&dir)).expect("bind a");
+    let server_b = Server::bind("127.0.0.1:0", service(&dir)).expect("bind b");
+    let addrs = [server_a.addr(), server_b.addr()];
+
+    // A concurrent cold storm split across both daemons: whichever
+    // coordination path timing selects (shared lease, degraded
+    // duplicate), the bytes must be identical everywhere.
+    let path = "/v1/artifacts/F6?seed=19&scale=quick";
+    const CLIENTS: usize = 8;
+    let ready = Arc::new(Barrier::new(CLIENTS));
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            let ready = Arc::clone(&ready);
+            std::thread::spawn(move || {
+                ready.wait();
+                let resp = Client::connect(addrs[i % 2]).request(path, "HTTP/1.1", &[]);
+                assert_eq!(resp.status, 200);
+                resp.payload
+            })
+        })
+        .collect();
+    let bodies: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("no panics"))
+        .collect();
+    let reference = reference_body("F6", 19);
+    for body in &bodies {
+        assert_eq!(body, &reference, "every client of either daemon agrees");
+    }
+    // The storm left exactly one entry; hot requests on both daemons now
+    // serve it without computing.
+    for addr in addrs {
+        let hot = Client::connect(addr).request(path, "HTTP/1.1", &[]);
+        assert_eq!(hot.payload, reference);
+    }
+    telemetry::set_enabled(false);
+    server_a.shutdown();
+    server_b.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn a_follower_waits_on_a_sibling_lease_and_serves_its_entry() {
+    let _guard = TELEMETRY.lock().unwrap_or_else(|e| e.into_inner());
+    telemetry::metrics::reset();
+    telemetry::set_enabled(true);
+    let dir = temp_cache("follow");
+    let server = Server::bind("127.0.0.1:0", service(&dir)).expect("bind");
+    let addr = server.addr();
+
+    // Simulate a sibling daemon mid-compute: claim the key's lease from
+    // "outside" (this is exactly what another process would hold), then
+    // land the entry and release while the daemon's request waits.
+    let experiment = find("T1").expect("registered");
+    let key = CacheKey::for_params(experiment, Scale::Quick, 23);
+    let cache = ArtifactCache::new(&dir);
+    let table = FlightTable::new(cache.dir(), Duration::from_secs(60));
+    let lease = match table.claim(key.fingerprint()) {
+        serve::crossflight::Claim::Lead(lease) => lease,
+        serve::crossflight::Claim::Follow => panic!("test claims first"),
+    };
+
+    let sibling = std::thread::spawn(move || {
+        // The "sibling process" computes and stores while holding the
+        // lease, exactly as a leading daemon would.
+        std::thread::sleep(Duration::from_millis(300));
+        let ctx = Context::with_jobs(Scale::Quick, 23, Some(2));
+        let artifacts = experiment.run(&ctx).expect("experiment succeeds");
+        cache.store(&key, &artifacts).expect("store");
+        drop(lease);
+    });
+
+    std::thread::sleep(Duration::from_millis(50));
+    let resp =
+        Client::connect(addr).request("/v1/artifacts/T1?seed=23&scale=quick", "HTTP/1.1", &[]);
+    sibling.join().expect("sibling thread");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.payload, reference_body("T1", 23));
+    let snapshot = telemetry::metrics::snapshot();
+    telemetry::set_enabled(false);
+    assert_eq!(
+        snapshot.counter("serve.crossflight.follow"),
+        Some(1),
+        "the daemon followed the sibling's flight instead of recomputing"
+    );
+    assert_eq!(
+        snapshot.counter("serve.crossflight.lead"),
+        None,
+        "no lead: the sibling held the lease the whole time"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn a_dead_siblings_stale_lease_degrades_to_local_compute() {
+    let _guard = TELEMETRY.lock().unwrap_or_else(|e| e.into_inner());
+    telemetry::metrics::reset();
+    telemetry::set_enabled(true);
+    let dir = temp_cache("degrade");
+    let svc = Arc::new(ArtifactService::new(ServeOptions {
+        jobs: Some(2),
+        // A short staleness horizon so the test's "crashed sibling"
+        // resolves quickly.
+        crossflight_stale: Duration::from_millis(300),
+        ..ServeOptions::new(&dir)
+    }));
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&svc)).expect("bind");
+    let addr = server.addr();
+
+    // A lease with no living owner: created, never released, never
+    // followed by an entry — a SIGKILLed sibling.
+    let experiment = find("T2").expect("registered");
+    let key = CacheKey::for_params(experiment, Scale::Quick, 29);
+    let table = FlightTable::new(svc.cache().dir(), Duration::from_secs(60));
+    match table.claim(key.fingerprint()) {
+        serve::crossflight::Claim::Lead(lease) => std::mem::forget(lease),
+        serve::crossflight::Claim::Follow => panic!("test claims first"),
+    }
+
+    let started = Instant::now();
+    let resp =
+        Client::connect(addr).request("/v1/artifacts/T2?seed=29&scale=quick", "HTTP/1.1", &[]);
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.payload, reference_body("T2", 29));
+    assert!(
+        started.elapsed() < Duration::from_secs(20),
+        "a stale lease must not block serving indefinitely"
+    );
+    let snapshot = telemetry::metrics::snapshot();
+    telemetry::set_enabled(false);
+    let degraded = snapshot.counter("serve.crossflight.degraded").unwrap_or(0);
+    let led = snapshot.counter("serve.crossflight.lead").unwrap_or(0);
+    assert!(
+        degraded == 1 || led == 1,
+        "the abandoned lease is either waited out (degraded) or broken \
+         and re-claimed (lead); got degraded={degraded} lead={led}"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn slow_loris_connections_cannot_starve_honest_clients() {
+    let _guard = TELEMETRY.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = temp_cache("loris");
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        service(&dir),
+        ServerConfig {
+            workers: Some(2),
+            queue_cap: 32,
+            read_timeout: Duration::from_millis(500),
+        },
+    )
+    .expect("bind");
+    let addr = server.addr();
+
+    // Four stalled connections against two workers: without the read
+    // timeout these would pin the pool forever.
+    let loris: Vec<TcpStream> = (0..4)
+        .map(|i| {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(format!("GET /healthz HTTP/1.1\r\nX-Slow-{i}:").as_bytes())
+                .expect("partial send");
+            s
+        })
+        .collect();
+
+    // An honest client queued behind them is served once the stalled
+    // connections time out — well within the client timeout.
+    let started = Instant::now();
+    let resp = Client::connect(addr).request("/healthz", "HTTP/1.1", &[]);
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.payload, b"ok\n");
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "honest client waited {:?}",
+        started.elapsed()
+    );
+    // Each stalled connection got a clean 408 before the drop.
+    for mut s in loris {
+        let mut buf = String::new();
+        s.set_read_timeout(Some(CLIENT_TIMEOUT)).expect("timeout");
+        s.read_to_string(&mut buf).expect("read 408");
+        assert!(
+            buf.starts_with("HTTP/1.1 408 Request Timeout\r\n"),
+            "stalled connections are answered, not abandoned: {buf}"
+        );
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+}
