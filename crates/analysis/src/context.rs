@@ -243,7 +243,12 @@ impl Context {
         ))
     }
 
-    fn provision(campaign: &CampaignConfig) -> Cluster {
+    /// Provisions the simulated cluster a campaign collects from — the
+    /// one canonical provisioning path, shared by the in-process
+    /// constructors above and by external collectors (the distributed
+    /// supervisor and its worker processes) that must agree on the
+    /// machine universe exactly.
+    pub fn provision(campaign: &CampaignConfig) -> Cluster {
         Cluster::provision(
             catalog(),
             campaign.scale,

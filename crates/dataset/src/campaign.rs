@@ -419,6 +419,52 @@ pub fn collect_to_journal(
     })
 }
 
+/// The ids of the machines a campaign would collect, in the canonical
+/// ascending order ([`sorted_machine_ids`]). This is the unit-of-work
+/// universe distributed collection partitions: supervisor and workers
+/// must agree on it exactly, and it is a pure function of the cluster
+/// and configuration.
+pub fn selected_machine_ids(cluster: &Cluster, config: &CampaignConfig) -> Vec<MachineId> {
+    selected_machines(cluster, config)
+        .into_iter()
+        .map(|m| m.id)
+        .collect()
+}
+
+/// Collects a single machine and journals its shard, with the same
+/// transient-fault injection and retry semantics as
+/// [`collect_resumable`] — but no post-commit worker-death site: the
+/// distributed layer places its own process-level fault sites around
+/// this call. `options.journal` is ignored; the shard goes to `journal`.
+///
+/// Returns the fault accounting for this one machine
+/// (`collected == 1`, `replayed == 0`).
+pub fn collect_one_machine(
+    cluster: &Cluster,
+    config: &CampaignConfig,
+    machine: MachineId,
+    journal: &ShardJournal,
+    options: &CollectOptions<'_>,
+) -> Result<CollectReport, CampaignError> {
+    let machine = cluster
+        .machine(machine)
+        .ok_or_else(|| CampaignError::MachineFailed {
+            machine,
+            attempts: 0,
+            message: "machine is not part of the provisioned cluster".to_string(),
+        })?;
+    let injected = AtomicU64::new(0);
+    let retried = AtomicU64::new(0);
+    let recs = collect_machine_retrying(cluster, config, machine, options, &injected, &retried)?;
+    journal_shard_retrying(journal, machine.id, &recs, options, &injected, &retried)?;
+    Ok(CollectReport {
+        replayed: 0,
+        collected: 1,
+        injected: injected.load(Ordering::Relaxed),
+        retried: retried.load(Ordering::Relaxed),
+    })
+}
+
 /// Selects up to `machines_per_type` machines per type (whole fleet
 /// otherwise), in the canonical ascending-id order shared by collection
 /// and journal replay ([`sorted_machine_ids`]). Provisioning assigns ids

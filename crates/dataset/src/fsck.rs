@@ -1,0 +1,304 @@
+//! Journal integrity checking — the engine behind `repro journal fsck`.
+//!
+//! Validates a journal directory (or a whole distributed exchange)
+//! against its own pinned configuration fingerprint: the meta file is
+//! the ground truth, every `m<id>.shard` is fully parsed and
+//! checksum-verified, and anything else in the directory is flagged.
+//! The check is read-only and config-free — it needs no
+//! [`CampaignConfig`](crate::CampaignConfig), so CI can fsck any journal
+//! it finds without knowing how it was produced.
+//!
+//! Classification:
+//!
+//! - **ok** — a canonical `m<id>.shard` that passes every envelope and
+//!   checksum check;
+//! - **corrupt** — a shard file that exists but fails validation
+//!   (truncated, bad checksum, foreign config, garbled payload);
+//! - **orphan** — any other file: leftover temp files, non-canonical
+//!   names (`m07.shard` aliasing `m7.shard`), strays;
+//! - **duplicate** — in exchange mode, a machine with a valid shard in
+//!   more than one worker journal. Benign by construction (valid shards
+//!   for a machine are byte-identical), reported for visibility.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use testbed::MachineId;
+
+use crate::journal::{JournalError, ShardJournal, ShardStatus};
+
+/// What an fsck pass found.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FsckReport {
+    /// Journal directories examined (1, or one per worker in exchange
+    /// mode).
+    pub journals: usize,
+    /// Shards that passed full validation.
+    pub shards_ok: usize,
+    /// Total records across valid shards.
+    pub records: usize,
+    /// Shard files that failed validation, with the reason.
+    pub corrupt: Vec<String>,
+    /// Files that do not belong in a journal directory.
+    pub orphans: Vec<String>,
+    /// Machines with valid shards in more than one worker journal
+    /// (exchange mode only; informational).
+    pub duplicates: Vec<String>,
+}
+
+impl FsckReport {
+    /// Whether the journal is clean: no corrupt shards, no orphans.
+    /// Duplicates do not dirty a journal — they are expected fallout of
+    /// reassignment and byte-identical by construction.
+    pub fn clean(&self) -> bool {
+        self.corrupt.is_empty() && self.orphans.is_empty()
+    }
+
+    fn absorb(&mut self, other: FsckReport) {
+        self.journals += other.journals;
+        self.shards_ok += other.shards_ok;
+        self.records += other.records;
+        self.corrupt.extend(other.corrupt);
+        self.orphans.extend(other.orphans);
+        self.duplicates.extend(other.duplicates);
+    }
+}
+
+impl fmt::Display for FsckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} journal(s): {} shard(s) ok ({} records), {} corrupt, {} orphan(s), {} duplicate(s)",
+            self.journals,
+            self.shards_ok,
+            self.records,
+            self.corrupt.len(),
+            self.orphans.len(),
+            self.duplicates.len()
+        )
+    }
+}
+
+/// Checks one directory: a plain shard journal (has `journal.meta`) or a
+/// whole exchange (has `exchange.meta`; every worker journal under
+/// `workers/` is checked and cross-journal duplicates are reported).
+///
+/// Errors only when the directory is unreadable or is neither kind of
+/// journal — corruption inside a readable journal is a *finding*, not an
+/// error.
+pub fn fsck(dir: &Path) -> Result<FsckReport, JournalError> {
+    if dir.join("journal.meta").is_file() {
+        return fsck_journal(dir, "");
+    }
+    if dir.join("exchange.meta").is_file() {
+        return fsck_exchange(dir);
+    }
+    Err(JournalError::Io(std::io::Error::new(
+        std::io::ErrorKind::NotFound,
+        format!(
+            "{} holds neither a journal (journal.meta) nor an exchange (exchange.meta)",
+            dir.display()
+        ),
+    )))
+}
+
+/// Validates a single journal directory. `prefix` qualifies finding
+/// labels in exchange mode (e.g. `w3/`).
+fn fsck_journal(dir: &Path, prefix: &str) -> Result<FsckReport, JournalError> {
+    let journal = ShardJournal::open_existing(dir)?;
+    let mut report = FsckReport {
+        journals: 1,
+        ..FsckReport::default()
+    };
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(JournalError::Io)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("")
+            .to_string();
+        if name == "journal.meta" {
+            continue;
+        }
+        if path.is_dir() {
+            report.orphans.push(format!("{prefix}{name}/ (directory)"));
+            continue;
+        }
+        let id = name
+            .strip_prefix('m')
+            .and_then(|n| n.strip_suffix(".shard"))
+            .and_then(|n| n.parse::<u32>().ok());
+        match id {
+            // Only the canonical rendering counts: `m07.shard` would
+            // alias `m7.shard` and must not be trusted as a shard.
+            Some(id) if name == format!("m{id}.shard") => {
+                match journal.load_status(MachineId(id)) {
+                    ShardStatus::Valid(records) => {
+                        report.shards_ok += 1;
+                        report.records += records.len();
+                    }
+                    ShardStatus::Missing | ShardStatus::Corrupt => report
+                        .corrupt
+                        .push(format!("{prefix}{name} (failed validation)")),
+                }
+            }
+            Some(_) => report
+                .orphans
+                .push(format!("{prefix}{name} (non-canonical shard name)")),
+            None => report.orphans.push(format!("{prefix}{name} (stray file)")),
+        }
+    }
+    Ok(report)
+}
+
+/// Validates every worker journal under an exchange root and reports
+/// machines whose valid shards appear in more than one of them.
+fn fsck_exchange(root: &Path) -> Result<FsckReport, JournalError> {
+    let mut report = FsckReport::default();
+    let workers = root.join("workers");
+    let mut dirs: Vec<(usize, PathBuf)> = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(&workers) {
+        for entry in entries.flatten() {
+            if let Some(index) = entry
+                .file_name()
+                .to_str()
+                .and_then(|n| n.strip_prefix('w'))
+                .and_then(|n| n.parse::<usize>().ok())
+            {
+                dirs.push((index, entry.path()));
+            }
+        }
+    }
+    dirs.sort_by_key(|(index, _)| *index);
+    let mut seen: std::collections::BTreeMap<u32, Vec<usize>> = std::collections::BTreeMap::new();
+    for (index, dir) in &dirs {
+        let sub = fsck_journal(dir, &format!("w{index}/"))?;
+        report.absorb(sub);
+        if let Ok(journal) = ShardJournal::open_existing(dir) {
+            for machine in journal.machines().unwrap_or_default() {
+                if journal.load_quiet(machine).is_some() {
+                    seen.entry(machine.0).or_default().push(*index);
+                }
+            }
+        }
+    }
+    for (machine, holders) in seen {
+        if holders.len() > 1 {
+            let list: Vec<String> = holders.iter().map(|w| format!("w{w}")).collect();
+            report
+                .duplicates
+                .push(format!("m{machine} in {}", list.join(", ")));
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::CampaignConfig;
+    use crate::record::Record;
+    use workloads::BenchmarkId;
+
+    fn temp_dir(label: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "fsck-{label}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_records(machine: MachineId) -> Vec<Record> {
+        vec![Record {
+            machine,
+            machine_type: "c220g1".to_string(),
+            benchmark: BenchmarkId::DiskSeqRead,
+            day: 3.0,
+            run: 0,
+            value: 171.25,
+        }]
+    }
+
+    #[test]
+    fn clean_journal_reports_clean() {
+        let dir = temp_dir("clean");
+        let config = CampaignConfig::quick(51);
+        let journal = ShardJournal::open(&dir, &config).unwrap();
+        for id in [1, 5, 12] {
+            journal
+                .record(MachineId(id), &sample_records(MachineId(id)))
+                .unwrap();
+        }
+        let report = fsck(&dir).unwrap();
+        assert!(report.clean(), "{report}");
+        assert_eq!(report.shards_ok, 3);
+        assert_eq!(report.records, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_orphans_and_aliases_are_flagged() {
+        let dir = temp_dir("dirty");
+        let config = CampaignConfig::quick(52);
+        let journal = ShardJournal::open(&dir, &config).unwrap();
+        journal
+            .record(MachineId(1), &sample_records(MachineId(1)))
+            .unwrap();
+        journal
+            .record(MachineId(2), &sample_records(MachineId(2)))
+            .unwrap();
+        // Truncate one shard; plant a temp leftover, a stray, and a
+        // non-canonical alias.
+        let shard = journal.shard_path(MachineId(2));
+        let raw = std::fs::read_to_string(&shard).unwrap();
+        std::fs::write(&shard, &raw[..raw.len() / 2]).unwrap();
+        std::fs::write(dir.join("m3.shard.tmp.123"), "partial").unwrap();
+        std::fs::write(dir.join("notes.txt"), "hello").unwrap();
+        std::fs::write(dir.join("m07.shard"), "alias").unwrap();
+        let report = fsck(&dir).unwrap();
+        assert!(!report.clean());
+        assert_eq!(report.shards_ok, 1);
+        assert_eq!(report.corrupt.len(), 1, "{:?}", report.corrupt);
+        assert!(report.corrupt[0].contains("m2.shard"));
+        assert_eq!(report.orphans.len(), 3, "{:?}", report.orphans);
+        assert!(report.orphans.iter().any(|o| o.contains("m07.shard")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn non_journal_dir_is_an_error() {
+        let dir = temp_dir("nothing");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(fsck(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn exchange_mode_reports_cross_worker_duplicates() {
+        use crate::distributed::{partition_units, ExchangeDir};
+        let root = temp_dir("exchange");
+        let config = CampaignConfig::quick(53);
+        let machines = vec![MachineId(1), MachineId(2)];
+        let exchange = ExchangeDir::create(&root, &config, partition_units(&machines, 1)).unwrap();
+        let w0 = ShardJournal::open(exchange.worker_dir(0), &config).unwrap();
+        let w1 = ShardJournal::open(exchange.worker_dir(1), &config).unwrap();
+        w0.record(MachineId(1), &sample_records(MachineId(1)))
+            .unwrap();
+        w1.record(MachineId(1), &sample_records(MachineId(1)))
+            .unwrap();
+        w1.record(MachineId(2), &sample_records(MachineId(2)))
+            .unwrap();
+        let report = fsck(&root).unwrap();
+        assert!(report.clean(), "{report}");
+        assert_eq!(report.journals, 2);
+        assert_eq!(report.shards_ok, 3);
+        assert_eq!(report.duplicates, vec!["m1 in w0, w1".to_string()]);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -109,6 +109,18 @@ fn unescape(s: &str) -> Option<String> {
     Some(out)
 }
 
+/// Outcome of a full-validation shard load ([`ShardJournal::load_status`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardStatus {
+    /// The shard exists and every check passed; here are its records.
+    Valid(Vec<Record>),
+    /// No shard file exists for the machine.
+    Missing,
+    /// A shard file exists but failed validation (truncated, bad
+    /// checksum, foreign config, or unparseable payload).
+    Corrupt,
+}
+
 /// A directory of per-machine shard checkpoints for one campaign.
 #[derive(Debug, Clone)]
 pub struct ShardJournal {
@@ -150,12 +162,44 @@ impl ShardJournal {
         Ok(ShardJournal { dir, fingerprint })
     }
 
+    /// Opens an *existing* journal, taking the configuration fingerprint
+    /// from the meta file instead of a [`CampaignConfig`]. This is the
+    /// config-free path `repro journal fsck` and the distributed merge
+    /// scanner use: the journal's own pinned fingerprint is the ground
+    /// truth every shard envelope is validated against.
+    pub fn open_existing(dir: impl Into<PathBuf>) -> Result<Self, JournalError> {
+        let dir = dir.into();
+        let meta = dir.join("journal.meta");
+        let raw = std::fs::read_to_string(&meta)?;
+        let mut lines = raw.lines();
+        let header = lines.next().unwrap_or("");
+        let fingerprint = lines
+            .next()
+            .and_then(|l| l.strip_prefix("config "))
+            .and_then(|hex| u64::from_str_radix(hex, 16).ok());
+        match fingerprint {
+            Some(fingerprint) if header == JOURNAL_HEADER && lines.next().is_none() => {
+                Ok(ShardJournal { dir, fingerprint })
+            }
+            _ => Err(JournalError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{} is not a valid journal meta file", meta.display()),
+            ))),
+        }
+    }
+
     /// The journal directory.
     pub fn dir(&self) -> &Path {
         &self.dir
     }
 
-    fn shard_path(&self, machine: MachineId) -> PathBuf {
+    /// The campaign-configuration fingerprint pinned in the meta file.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Path of one machine's shard file (whether or not it exists).
+    pub fn shard_path(&self, machine: MachineId) -> PathBuf {
         self.dir.join(format!("m{}.shard", machine.0))
     }
 
@@ -194,20 +238,40 @@ impl ShardJournal {
     /// not), so chaos tests can assert that corruption was detected
     /// rather than trusted.
     pub fn load(&self, machine: MachineId) -> Option<Vec<Record>> {
+        match self.load_status(machine) {
+            ShardStatus::Valid(records) => Some(records),
+            ShardStatus::Missing => None,
+            ShardStatus::Corrupt => {
+                telemetry::metrics::counter("journal.shard.skipped").inc();
+                None
+            }
+        }
+    }
+
+    /// [`Self::load`] without the `journal.shard.skipped` side effect —
+    /// the read-only path for fsck and for distributed peers scanning
+    /// each other's journals, where a missing or torn shard is an
+    /// expected observation rather than detected corruption.
+    pub fn load_quiet(&self, machine: MachineId) -> Option<Vec<Record>> {
+        match self.load_status(machine) {
+            ShardStatus::Valid(records) => Some(records),
+            ShardStatus::Missing | ShardStatus::Corrupt => None,
+        }
+    }
+
+    /// Full-validation load distinguishing "never recorded" from
+    /// "present but corrupt" (truncation, bad checksum, foreign config,
+    /// unparseable payload). No telemetry side effects.
+    pub fn load_status(&self, machine: MachineId) -> ShardStatus {
         let raw = match std::fs::read_to_string(self.shard_path(machine)) {
             Ok(raw) => raw,
-            Err(e) => {
-                if e.kind() != std::io::ErrorKind::NotFound {
-                    telemetry::metrics::counter("journal.shard.skipped").inc();
-                }
-                return None;
-            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return ShardStatus::Missing,
+            Err(_) => return ShardStatus::Corrupt,
         };
-        let parsed = self.parse_shard(&raw, machine);
-        if parsed.is_none() {
-            telemetry::metrics::counter("journal.shard.skipped").inc();
+        match self.parse_shard(&raw, machine) {
+            Some(records) => ShardStatus::Valid(records),
+            None => ShardStatus::Corrupt,
         }
-        parsed
     }
 
     fn parse_shard(&self, raw: &str, machine: MachineId) -> Option<Vec<Record>> {
@@ -302,8 +366,9 @@ impl ShardJournal {
 }
 
 /// Temp-write + rename, same contract as the artifact cache: a reader
-/// (or a resumed run) never observes a half-written file.
-fn write_atomically(path: &Path, bytes: &str) -> std::io::Result<()> {
+/// (or a resumed run) never observes a half-written file. Shared with
+/// the distributed exchange protocol.
+pub(crate) fn write_atomically(path: &Path, bytes: &str) -> std::io::Result<()> {
     let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
     std::fs::write(&tmp, bytes)?;
     let result = std::fs::rename(&tmp, path);
@@ -483,6 +548,52 @@ mod tests {
             "corruption counts once per load"
         );
         telemetry::set_enabled(false);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_existing_reads_the_pinned_fingerprint() {
+        let dir = temp_dir("existing");
+        let config = CampaignConfig::quick(19);
+        let m = MachineId(8);
+        {
+            let journal = ShardJournal::open(&dir, &config).unwrap();
+            journal.record(m, &sample_records(m)).unwrap();
+        }
+        let journal = ShardJournal::open_existing(&dir).unwrap();
+        assert_eq!(
+            journal.fingerprint(),
+            ShardJournal::config_fingerprint(&config)
+        );
+        assert_eq!(journal.load_quiet(m), Some(sample_records(m)));
+        // A directory without a journal is refused, as is a garbled meta.
+        let empty = temp_dir("existing-none");
+        std::fs::create_dir_all(&empty).unwrap();
+        assert!(ShardJournal::open_existing(&empty).is_err());
+        std::fs::write(dir.join("journal.meta"), "not a journal\n").unwrap();
+        assert!(ShardJournal::open_existing(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&empty);
+    }
+
+    #[test]
+    fn load_status_distinguishes_missing_from_corrupt() {
+        let dir = temp_dir("status");
+        let config = CampaignConfig::quick(29);
+        let journal = ShardJournal::open(&dir, &config).unwrap();
+        let m = MachineId(2);
+        assert_eq!(journal.load_status(m), ShardStatus::Missing);
+        journal.record(m, &sample_records(m)).unwrap();
+        assert_eq!(
+            journal.load_status(m),
+            ShardStatus::Valid(sample_records(m))
+        );
+        let path = journal.shard_path(m);
+        let raw = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &raw[..raw.len() / 2]).unwrap();
+        assert_eq!(journal.load_status(m), ShardStatus::Corrupt);
+        // The quiet loader reports the same outcomes without telemetry.
+        assert_eq!(journal.load_quiet(m), None);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

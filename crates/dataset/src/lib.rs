@@ -23,6 +23,8 @@
 
 mod campaign;
 mod csv;
+mod distributed;
+mod fsck;
 mod journal;
 mod outliers;
 mod record;
@@ -31,12 +33,18 @@ mod stream;
 mod summarize;
 
 pub use campaign::{
-    collect, collect_jobs, collect_resumable, collect_to_journal, default_jobs, run_campaign,
-    run_campaign_jobs, run_campaign_resumable, CampaignConfig, CampaignError, CollectOptions,
-    CollectReport, Collected,
+    collect, collect_jobs, collect_one_machine, collect_resumable, collect_to_journal,
+    default_jobs, run_campaign, run_campaign_jobs, run_campaign_resumable, selected_machine_ids,
+    CampaignConfig, CampaignError, CollectOptions, CollectReport, Collected,
 };
 pub use csv::{read_csv, write_csv, CsvError};
-pub use journal::{JournalError, ShardJournal};
+pub use distributed::{
+    merge_exchange, partition_units, run_worker, supervise, DistributedError, DistributedReport,
+    ExchangeDir, MergeReport, SupervisorConfig, UnitLease, WorkUnit, WorkerExit, WorkerHandle,
+    WorkerOptions, WorkerOutcome,
+};
+pub use fsck::{fsck, FsckReport};
+pub use journal::{JournalError, ShardJournal, ShardStatus};
 pub use outliers::{outlier_indices, outlier_sweep, Fence, OutlierReport, SweepBuilder};
 pub use record::{benchmark_from_label, Record};
 pub use store::{sorted_machine_ids, Query, Store};

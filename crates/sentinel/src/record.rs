@@ -152,6 +152,10 @@ impl RunRecord {
         if let Some(faults) = &manifest.faults {
             rec.notes.insert("faults".to_string(), faults.summary());
         }
+        if let Some(distributed) = &manifest.distributed {
+            rec.notes
+                .insert("distributed".to_string(), distributed.summary());
+        }
         Ok(rec)
     }
 

@@ -9,6 +9,8 @@
 //! repro cache stats|clear [--cache-dir DIR]
 //! repro sentinel record|audit|watch|report|clear [--sentinel-dir DIR]
 //! repro serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-dir DIR]
+//! repro collect --journal DIR [--distributed N] [--chaos SEED]
+//! repro journal fsck DIR
 //! ```
 //!
 //! Experiments run on the engine's deterministic parallel scheduler
@@ -40,6 +42,20 @@
 //! failures retry with bounded backoff, and persistent failures are
 //! quarantined per-id. See DESIGN.md §8 for the fault model.
 //!
+//! `repro collect --journal DIR` runs the campaign as a standalone
+//! product: a shard journal on disk, ready for `--resume`/`--stream`
+//! replay or fsck. `--distributed N` collects it with a supervisor
+//! plus N worker *subprocesses* coordinating through a lease-file
+//! exchange directory — workers heartbeat while they collect, the
+//! supervisor reaps the dead, reassigns their work units, and merges
+//! the per-worker journals into DIR, byte-identical to a
+//! single-process collection for any N and any kill schedule
+//! (DESIGN.md §12). `repro journal fsck DIR` checksum-verifies a
+//! journal or exchange and exits 0/1/2 (clean/findings/unreadable).
+//! `repro serve` shuts down gracefully on SIGTERM/SIGINT: it stops
+//! accepting, drains in-flight requests, flushes the telemetry
+//! counters to stderr, and exits 0.
+//!
 //! With `--trace` / `--metrics` the run measures itself through the
 //! `telemetry` crate: a per-experiment timing table and a span-latency
 //! summary (median + non-parametric 95% CI + CoV, per the paper's own
@@ -62,6 +78,13 @@
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+// The helper modules live under `repro/` so cargo's bin auto-discovery
+// does not mistake them for standalone binaries.
+#[path = "repro/collect.rs"]
+mod collect;
+#[path = "repro/signals.rs"]
+mod signals;
+
 use std::cell::Cell;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -72,14 +95,23 @@ use std::time::Instant;
 use analysis::{all, find, Artifact, Context, Experiment, ExperimentError, Scale, Table};
 
 const USAGE: &str = "\
-usage: repro <list|all|ID...|serve|cache stats|cache clear|sentinel CMD> [options]
+usage: repro <list|all|ID...|serve|collect|journal fsck DIR|cache CMD|sentinel CMD> [options]
 
   list                  print the experiment registry
   all                   run every experiment
   serve                 run the artifact-serving daemon: answers
                         GET /v1/experiments, /v1/artifacts/{id},
                         /v1/manifest/{id}, /metrics, /healthz from the
-                        artifact cache, computing misses on demand
+                        artifact cache, computing misses on demand;
+                        SIGTERM/SIGINT drains and exits 0
+  collect               collect the campaign into a shard journal
+                        (--journal DIR); with --distributed N, a
+                        supervisor and N worker subprocesses share the
+                        work over a lease-file exchange, surviving
+                        worker kills with byte-identical output
+  journal fsck DIR      verify a shard journal (or exchange) against
+                        its pinned fingerprint; exit 0 clean,
+                        1 findings, 2 unreadable
   cache stats           report artifact-cache entry count and size
   cache clear           delete all artifact-cache entries
   sentinel record       append a run record to the history
@@ -145,6 +177,18 @@ options:
   --poll-ms MS          (sentinel watch) poll interval (default 200)
   --iterations N        (sentinel watch) stop after N polls (default:
                         poll forever)
+  --journal DIR         (collect) the output shard journal directory
+  --distributed N       (collect) supervise N worker subprocesses over
+                        a shared exchange instead of collecting
+                        in-process
+  --exchange DIR        (collect) the exchange directory
+                        (default: <journal>.exchange)
+  --units N             (collect) work units to partition the fleet
+                        into (default: 4 per worker)
+  --stale-ms MS         (collect) heartbeat staleness horizon before a
+                        worker's lease is reclaimed (default 1000)
+  --keep-exchange       (collect) keep the exchange directory after a
+                        converged run instead of removing it
   --help, -h            print this help";
 
 /// Removes a scratch journal directory on every exit path.
@@ -190,6 +234,16 @@ struct Args {
     two_sided: bool,
     poll_ms: u64,
     iterations: Option<u64>,
+    collect: bool,
+    collect_worker: bool,
+    journal: Option<PathBuf>,
+    distributed: Option<usize>,
+    exchange: Option<PathBuf>,
+    worker: Option<usize>,
+    units: Option<usize>,
+    stale_ms: Option<u64>,
+    keep_exchange: bool,
+    fsck: Option<PathBuf>,
 }
 
 enum Parsed {
@@ -230,6 +284,16 @@ fn parse_args() -> Result<Parsed, String> {
         two_sided: false,
         poll_ms: 200,
         iterations: None,
+        collect: false,
+        collect_worker: false,
+        journal: None,
+        distributed: None,
+        exchange: None,
+        worker: None,
+        units: None,
+        stale_ms: None,
+        keep_exchange: false,
+        fsck: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -257,6 +321,53 @@ fn parse_args() -> Result<Parsed, String> {
                 args.queue_cap = Some(n);
             }
             "all" => args.ids.extend(all().iter().map(|e| e.id().to_string())),
+            "collect" => args.collect = true,
+            "collect-worker" => args.collect_worker = true,
+            "journal" => {
+                let v = it.next().ok_or("journal needs a subcommand: fsck DIR")?;
+                if v != "fsck" {
+                    return Err(format!("unknown journal subcommand `{v}`"));
+                }
+                let dir = it.next().ok_or("journal fsck needs a directory")?;
+                args.fsck = Some(PathBuf::from(dir));
+            }
+            "--journal" => {
+                let v = it.next().ok_or("--journal needs a directory")?;
+                args.journal = Some(PathBuf::from(v));
+            }
+            "--distributed" => {
+                let v = it.next().ok_or("--distributed needs a worker count")?;
+                let n: usize = v.parse().map_err(|_| format!("bad worker count `{v}`"))?;
+                if n == 0 {
+                    return Err("--distributed must be at least 1".to_string());
+                }
+                args.distributed = Some(n);
+            }
+            "--exchange" => {
+                let v = it.next().ok_or("--exchange needs a directory")?;
+                args.exchange = Some(PathBuf::from(v));
+            }
+            "--worker" => {
+                let v = it.next().ok_or("--worker needs an index")?;
+                args.worker = Some(v.parse().map_err(|_| format!("bad worker index `{v}`"))?);
+            }
+            "--units" => {
+                let v = it.next().ok_or("--units needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad unit count `{v}`"))?;
+                if n == 0 {
+                    return Err("--units must be at least 1".to_string());
+                }
+                args.units = Some(n);
+            }
+            "--stale-ms" => {
+                let v = it.next().ok_or("--stale-ms needs a value")?;
+                let ms: u64 = v.parse().map_err(|_| format!("bad stale-ms `{v}`"))?;
+                if ms == 0 {
+                    return Err("--stale-ms must be at least 1".to_string());
+                }
+                args.stale_ms = Some(ms);
+            }
+            "--keep-exchange" => args.keep_exchange = true,
             "cache" => {
                 let v = it
                     .next()
@@ -857,6 +968,15 @@ fn main() -> ExitCode {
     if let Some(cmd) = &args.sentinel_cmd {
         return run_sentinel(cmd, &args);
     }
+    if let Some(dir) = &args.fsck {
+        return collect::run_fsck(dir);
+    }
+    if args.collect_worker {
+        return collect::run_collect_worker(&args);
+    }
+    if args.collect {
+        return collect::run_collect(&args);
+    }
     if args.serve {
         // The daemon's telemetry (request counters, latency histograms,
         // cache hit/miss tallies) is what /metrics serves; it is always
@@ -884,12 +1004,25 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        // Install before accepting so no delivery window is unguarded;
+        // the main thread parks on the flag instead of in `wait()`.
+        signals::install_shutdown_handler();
         println!("serving on http://{}", server.addr());
         // Harnesses parse the line above to learn the ephemeral port;
         // stdout is block-buffered when piped, so push it out now.
         use std::io::Write as _;
         let _ = std::io::stdout().flush();
-        server.wait();
+        while !signals::shutdown_requested() {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        // Graceful drain: stop accepting, let in-flight requests
+        // complete, then flush the run's telemetry to stderr — the same
+        // counters /metrics was serving — and exit cleanly.
+        eprintln!("shutdown: signal received, draining in-flight requests");
+        server.shutdown();
+        let snapshot = telemetry::metrics::snapshot();
+        eprintln!("{}", metrics_table(&snapshot).render());
+        eprintln!("shutdown: drained, exiting");
         return ExitCode::SUCCESS;
     }
     if args.list {

@@ -1,0 +1,307 @@
+//! The `collect`, hidden `collect-worker`, and `journal fsck`
+//! subcommands: campaign collection as a standalone product (a shard
+//! journal on disk), single-process or fault-tolerant multi-process.
+//!
+//! `repro collect --journal DIR` collects the campaign into DIR with
+//! the in-process sharded collector. `--distributed N` runs the same
+//! campaign as a supervisor plus N worker *subprocesses* coordinating
+//! through a lease-file exchange directory (DESIGN.md §12): workers
+//! claim work units, heartbeat while collecting, and die freely — the
+//! supervisor reaps them, reclaims their leases, reassigns the units,
+//! and merges the per-worker journals into DIR. The merged journal is
+//! byte-identical to the single-process one for any worker count and
+//! any kill schedule.
+//!
+//! `repro journal fsck DIR` verifies a journal (or a whole exchange)
+//! against its pinned fingerprint and exits 0 (clean), 1 (findings),
+//! or 2 (not a journal / unreadable) — the CI hook for journal
+//! integrity.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use crate::Args;
+
+/// Default work-unit multiplier: enough units per worker that
+/// reassignment after a death moves a small slice of the fleet, not a
+/// worker-sized chunk.
+const UNITS_PER_WORKER: usize = 4;
+
+fn campaign_setup(args: &Args) -> (dataset::CampaignConfig, testbed::Cluster) {
+    let config = args.scale.campaign(args.seed);
+    let cluster = analysis::Context::provision(&config);
+    (config, cluster)
+}
+
+fn stale_after(args: &Args) -> Duration {
+    Duration::from_millis(args.stale_ms.unwrap_or(1000).max(1))
+}
+
+/// `repro journal fsck DIR`: exit 0 clean, 1 findings, 2 unreadable.
+pub fn run_fsck(dir: &Path) -> ExitCode {
+    match dataset::fsck(dir) {
+        Ok(report) => {
+            println!("fsck {}: {report}", dir.display());
+            for finding in &report.corrupt {
+                println!("corrupt: {finding}");
+            }
+            for finding in &report.orphans {
+                println!("orphan: {finding}");
+            }
+            for finding in &report.duplicates {
+                println!("duplicate: {finding}");
+            }
+            if report.clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(err) => {
+            eprintln!("fsck {}: {err}", dir.display());
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The hidden worker entry point `repro collect --distributed N` spawns:
+/// drains the exchange, then exits 0. A chaos process fault exits 9
+/// without cleanup — to the supervisor, indistinguishable from SIGKILL.
+pub fn run_collect_worker(args: &Args) -> ExitCode {
+    let Some(root) = &args.exchange else {
+        eprintln!("collect-worker needs --exchange DIR");
+        return ExitCode::FAILURE;
+    };
+    let Some(worker) = args.worker else {
+        eprintln!("collect-worker needs --worker INDEX");
+        return ExitCode::FAILURE;
+    };
+    let (config, cluster) = campaign_setup(args);
+    let options = dataset::WorkerOptions {
+        faults: args.chaos.map(testbed::FaultPlan::new),
+        stale_after: stale_after(args),
+        ..dataset::WorkerOptions::default()
+    };
+    match dataset::run_worker(root, &cluster, &config, worker, &options) {
+        // A fired kill/torn-handoff site: die like a crash, nonzero and
+        // without unwinding, so the supervisor observes a real death.
+        Ok(outcome) if outcome.killed => std::process::exit(9),
+        Ok(_) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("collect-worker {worker}: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `repro collect`: the campaign into a journal, single-process by
+/// default, supervised multi-process with `--distributed N`.
+pub fn run_collect(args: &Args) -> ExitCode {
+    let Some(journal_dir) = &args.journal else {
+        eprintln!("collect needs --journal DIR (the output shard journal)");
+        return ExitCode::FAILURE;
+    };
+    let started = Instant::now();
+    let (config, cluster) = campaign_setup(args);
+    let machines = dataset::selected_machine_ids(&cluster, &config);
+    let faults = args.chaos.map(testbed::FaultPlan::new);
+    if let Some(plan) = &faults {
+        eprintln!("chaos armed (seed {})", plan.seed());
+    }
+    let journal = match dataset::ShardJournal::open(journal_dir, &config) {
+        Ok(j) => j,
+        Err(err) => {
+            eprintln!("cannot open journal {}: {err}", journal_dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let distributed = match args.distributed {
+        Some(workers) => match collect_distributed(args, &config, &machines, &journal, workers) {
+            Ok(section) => Some(section),
+            Err(code) => return code,
+        },
+        None => {
+            let options = dataset::CollectOptions {
+                jobs: args.jobs,
+                journal: Some(&journal),
+                faults,
+                policy: testbed::FaultPolicy::default(),
+            };
+            match dataset::collect_to_journal(&cluster, &config, &options) {
+                Ok(report) => {
+                    eprintln!(
+                        "journal: {} shards replayed, {} machines collected",
+                        report.replayed, report.collected
+                    );
+                    None
+                }
+                Err(err) => {
+                    eprintln!("campaign collection failed: {err}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    let records: usize = machines
+        .iter()
+        .filter_map(|&m| journal.record_count(m))
+        .sum();
+    println!(
+        "collect: {} machines, {records} records -> {}",
+        machines.len(),
+        journal_dir.display()
+    );
+    if let Some(out) = &args.out {
+        if let Err(e) = std::fs::create_dir_all(out) {
+            eprintln!("cannot create {}: {e}", out.display());
+            return ExitCode::FAILURE;
+        }
+        let mut manifest = telemetry::RunManifest::new(
+            "repro-collect",
+            env!("CARGO_PKG_VERSION"),
+            args.seed,
+            args.scale.label(),
+        );
+        manifest.machines = machines.len() as u64;
+        manifest.records = records as u64;
+        manifest.distributed = distributed;
+        manifest.total_wall_secs = started.elapsed().as_secs_f64();
+        let payload = manifest.to_json().expect("manifests always serialize");
+        let path = out.join("manifest.json");
+        if let Err(err) = crate::write_atomically(&path, &payload) {
+            eprintln!("cannot write {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
+}
+
+/// A worker subprocess under the supervisor's non-blocking reap.
+struct ChildWorker {
+    worker: usize,
+    child: std::process::Child,
+}
+
+impl dataset::WorkerHandle for ChildWorker {
+    fn worker(&self) -> usize {
+        self.worker
+    }
+    fn try_finish(&mut self) -> io::Result<Option<dataset::WorkerExit>> {
+        Ok(self.child.try_wait()?.map(|status| {
+            if status.success() {
+                dataset::WorkerExit::Clean
+            } else {
+                dataset::WorkerExit::Died
+            }
+        }))
+    }
+}
+
+/// The supervisor half of `--distributed N`: partition, spawn, reap,
+/// reassign, merge. Returns the manifest section on convergence.
+fn collect_distributed(
+    args: &Args,
+    config: &dataset::CampaignConfig,
+    machines: &[testbed::MachineId],
+    canonical: &dataset::ShardJournal,
+    workers: usize,
+) -> Result<telemetry::DistributedSection, ExitCode> {
+    let fail = |msg: String| {
+        eprintln!("{msg}");
+        ExitCode::FAILURE
+    };
+    let root = args.exchange.clone().unwrap_or_else(|| {
+        PathBuf::from(format!(
+            "{}.exchange",
+            args.journal
+                .as_deref()
+                .map_or_else(|| "collect".to_string(), |d| d.display().to_string(),)
+        ))
+    });
+    let unit_count = args
+        .units
+        .unwrap_or_else(|| (workers * UNITS_PER_WORKER).clamp(1, machines.len().max(1)));
+    let units = dataset::partition_units(machines, unit_count);
+    let exchange = dataset::ExchangeDir::create(&root, config, units)
+        .map_err(|err| fail(format!("cannot create exchange {}: {err}", root.display())))?;
+    let stale = stale_after(args);
+    let mut supervisor = dataset::SupervisorConfig::new(workers);
+    supervisor.stale_after = stale;
+    let exe = std::env::current_exe()
+        .map_err(|err| fail(format!("cannot locate the worker binary: {err}")))?;
+    eprintln!(
+        "distributed: {workers} workers over {} units ({} machines), exchange {}",
+        exchange.units().len(),
+        machines.len(),
+        root.display()
+    );
+    let mut spawn = |worker: usize| -> io::Result<Box<dyn dataset::WorkerHandle>> {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("collect-worker")
+            .arg("--exchange")
+            .arg(&root)
+            .arg("--worker")
+            .arg(worker.to_string())
+            .arg("--scale")
+            .arg(args.scale.label())
+            .arg("--seed")
+            .arg(args.seed.to_string())
+            .arg("--stale-ms")
+            .arg(stale.as_millis().to_string())
+            .stdin(std::process::Stdio::null())
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null());
+        if let Some(chaos) = args.chaos {
+            cmd.arg("--chaos").arg(chaos.to_string());
+        }
+        let child = cmd.spawn()?;
+        Ok(Box::new(ChildWorker { worker, child }))
+    };
+    let report = dataset::supervise(&exchange, &mut spawn, &supervisor)
+        .map_err(|err| fail(format!("distributed collection failed: {err}")))?;
+    let merge = dataset::merge_exchange(&exchange, canonical)
+        .map_err(|err| fail(format!("journal merge failed: {err}")))?;
+    // One greppable line per run: the supervisor counters, in the same
+    // order and names the telemetry layer uses.
+    println!(
+        "collect.worker.spawned={} collect.worker.died={} \
+         collect.worker.reassigned={} collect.worker.quarantined={}",
+        report.spawned, report.died, report.reassigned, report.quarantined
+    );
+    println!(
+        "merge: {} machines merged, {} duplicate shards, {} missing",
+        merge.merged,
+        merge.duplicates,
+        merge.missing.len()
+    );
+    if report.quarantined > 0 || !merge.missing.is_empty() {
+        for machine in &merge.missing {
+            eprintln!("missing: m{} has no valid shard in the exchange", machine.0);
+        }
+        return Err(fail(format!(
+            "distributed collection did not converge: {} units quarantined, {} machines missing \
+             (exchange kept at {})",
+            report.quarantined,
+            merge.missing.len(),
+            root.display()
+        )));
+    }
+    if args.keep_exchange {
+        eprintln!("exchange kept at {}", root.display());
+    } else {
+        let _ = std::fs::remove_dir_all(&root);
+    }
+    Ok(telemetry::DistributedSection {
+        enabled: true,
+        died: report.died,
+        duplicates: merge.duplicates,
+        quarantined: report.quarantined,
+        reassigned: report.reassigned,
+        spawned: report.spawned,
+        units: report.units,
+        workers: workers as u64,
+    })
+}

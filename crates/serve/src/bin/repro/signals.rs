@@ -1,0 +1,35 @@
+//! Minimal POSIX signal hookup for graceful shutdown, with no libc
+//! dependency: the handler is installed through the C `signal(2)` entry
+//! point directly and does nothing but raise an `AtomicBool` — the only
+//! kind of work that is async-signal-safe. The serve loop polls the
+//! flag and performs the actual drain on the main thread.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" fn on_signal(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+unsafe extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+/// Routes SIGTERM and SIGINT to the shutdown flag. Install before the
+/// server starts accepting so no delivery window is unguarded.
+pub fn install_shutdown_handler() {
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}
+
+/// Whether a shutdown signal has arrived since the handler was
+/// installed.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}

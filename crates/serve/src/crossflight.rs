@@ -19,8 +19,14 @@
 //!   computes the key itself. Duplicated work is the worst case; wrong
 //!   bytes are impossible, because the cache's temp+rename store
 //!   discipline means an entry is either absent or complete.
+//! - A *live* leader is never mistaken for a dead one: the [`Lease`]
+//!   runs a heartbeat thread that refreshes the file's mtime every
+//!   quarter of the staleness horizon, so a cold compute that takes
+//!   longer than `stale_after` keeps its claim instead of having a
+//!   sibling break the lease mid-compute and duplicate the work.
 
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, SystemTime};
 
 /// How long a follower sleeps between cache polls while a sibling
@@ -45,14 +51,78 @@ pub enum Claim {
 }
 
 /// A held lease; dropping it releases the claim file.
+///
+/// While held, a background heartbeat refreshes the lease file's mtime
+/// every `stale_after / 4`, so a leader whose cold compute outlasts the
+/// staleness horizon is not declared dead and robbed of its claim — the
+/// same lease/heartbeat discipline distributed collection uses for its
+/// work units.
 #[derive(Debug)]
 pub struct Lease {
     path: PathBuf,
+    stop: Option<Arc<(Mutex<bool>, Condvar)>>,
+    beat: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Lease {
+    /// A lease over a real claim file, heartbeating until dropped.
+    fn held(path: PathBuf, stale_after: Duration) -> Self {
+        let period = (stale_after / 4).max(Duration::from_millis(5));
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let thread_stop = Arc::clone(&stop);
+        let thread_path = path.clone();
+        let beat = std::thread::Builder::new()
+            .name("crossflight-heartbeat".to_string())
+            .spawn(move || {
+                let (flag, wake) = &*thread_stop;
+                let mut stopped = flag.lock().unwrap_or_else(|e| e.into_inner());
+                while !*stopped {
+                    let (guard, timeout) = wake
+                        .wait_timeout(stopped, period)
+                        .unwrap_or_else(|e| e.into_inner());
+                    stopped = guard;
+                    if !*stopped && timeout.timed_out() {
+                        // Best effort: a vanished file (the lease was
+                        // broken externally) is not resurrected.
+                        let _ = std::fs::OpenOptions::new()
+                            .append(true)
+                            .open(&thread_path)
+                            .and_then(|f| f.set_modified(SystemTime::now()));
+                    }
+                }
+            })
+            .ok();
+        Lease {
+            path,
+            stop: Some(stop),
+            beat,
+        }
+    }
+
+    /// The leaseless degraded form: no file, no heartbeat (an unwritable
+    /// flights directory must never stop the daemon from serving).
+    fn unguarded() -> Self {
+        Lease {
+            path: PathBuf::new(),
+            stop: None,
+            beat: None,
+        }
+    }
 }
 
 impl Drop for Lease {
     fn drop(&mut self) {
-        let _ = std::fs::remove_file(&self.path);
+        if let Some(stop) = &self.stop {
+            let (flag, wake) = &**stop;
+            *flag.lock().unwrap_or_else(|e| e.into_inner()) = true;
+            wake.notify_all();
+        }
+        if let Some(beat) = self.beat.take() {
+            let _ = beat.join();
+        }
+        if !self.path.as_os_str().is_empty() {
+            let _ = std::fs::remove_file(&self.path);
+        }
     }
 }
 
@@ -87,7 +157,7 @@ impl FlightTable {
             .create_new(true)
             .open(&path)
         {
-            Ok(_) => Claim::Lead(Lease { path }),
+            Ok(_) => Claim::Lead(Lease::held(path, self.stale_after)),
             Err(err) if err.kind() == std::io::ErrorKind::AlreadyExists => {
                 if self.is_stale(&path) {
                     // The previous leader died without releasing; break
@@ -99,7 +169,7 @@ impl FlightTable {
                         .create_new(true)
                         .open(&path)
                     {
-                        Ok(_) => Claim::Lead(Lease { path }),
+                        Ok(_) => Claim::Lead(Lease::held(path, self.stale_after)),
                         Err(_) => Claim::Follow,
                     }
                 } else {
@@ -108,9 +178,7 @@ impl FlightTable {
             }
             // Flights dir unwritable (permissions, disk): degrade to
             // uncoordinated computation rather than failing the request.
-            Err(_) => Claim::Lead(Lease {
-                path: PathBuf::new(),
-            }),
+            Err(_) => Claim::Lead(Lease::unguarded()),
         }
     }
 
@@ -168,19 +236,46 @@ mod tests {
     #[test]
     fn stale_leases_are_broken_and_reclaimed() {
         let (table, dir) = table("stale", Duration::from_millis(50));
-        let abandoned = match table.claim(0xDEAD) {
-            Claim::Lead(lease) => lease,
-            Claim::Follow => panic!("first claim must lead"),
-        };
         // Simulate a SIGKILLed leader: the lease file outlives the
-        // process. `forget` keeps Drop from releasing it.
-        std::mem::forget(abandoned);
+        // process, and — crucially — nothing heartbeats it. (A live
+        // Lease would keep refreshing the mtime, so plant the orphan
+        // file directly, exactly as a dead process leaves it.)
+        std::fs::create_dir_all(dir.join(".flights")).unwrap();
+        std::fs::write(
+            dir.join(".flights")
+                .join(format!("{:016x}.flight", 0xDEADu64)),
+            b"",
+        )
+        .unwrap();
         std::thread::sleep(Duration::from_millis(80));
         assert!(!table.held(0xDEAD), "an expired lease is not held");
         assert!(
             matches!(table.claim(0xDEAD), Claim::Lead(_)),
             "a stale lease is broken, not followed forever"
         );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn live_leaders_heartbeat_past_the_staleness_horizon() {
+        // Regression: a leader mid-cold-compute used to never refresh
+        // its lease mtime, so after `stale_after` a sibling would break
+        // the lease and duplicate the work. The heartbeat must keep a
+        // held lease fresh indefinitely.
+        let (table, dir) = table("heartbeat", Duration::from_millis(100));
+        let lease = match table.claim(0xFEED) {
+            Claim::Lead(lease) => lease,
+            Claim::Follow => panic!("first claim must lead"),
+        };
+        // Wait several staleness horizons — a long cold compute.
+        std::thread::sleep(Duration::from_millis(350));
+        assert!(table.held(0xFEED), "a live leader must not look stale");
+        assert!(
+            matches!(table.claim(0xFEED), Claim::Follow),
+            "a live lease must not be stolen mid-compute"
+        );
+        drop(lease);
+        assert!(!table.held(0xFEED), "release removes the lease file");
         let _ = std::fs::remove_dir_all(dir);
     }
 

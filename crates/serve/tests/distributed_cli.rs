@@ -1,0 +1,183 @@
+//! `repro collect --distributed N` and `repro journal fsck` through the
+//! real binary: a supervisor process spawning genuine worker
+//! subprocesses over the exchange directory, with chaos kills firing
+//! mid-unit — the merged journal must be byte-identical to a
+//! single-process `--jobs 1` collection, and fsck must prove it clean.
+//!
+//! The chaos seeds here are the CI harness's: both produce worker
+//! deaths *and* reassignments at quick scale, so the counters in the
+//! summary line are load-bearing assertions, not smoke.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn temp_root(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "repro-distributed-cli-{label}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .env_remove("REPRO_CHAOS")
+        .env_remove("REPRO_STREAM")
+        .output()
+        .expect("repro runs")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).to_string()
+}
+
+fn journal_bytes(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    std::fs::read_dir(dir)
+        .expect("journal directory is readable")
+        .map(|e| {
+            let path = e.expect("entry").path();
+            let name = path.file_name().unwrap().to_str().unwrap().to_string();
+            (name, std::fs::read(&path).expect("file readable"))
+        })
+        .collect()
+}
+
+/// The counter value from the supervisor's greppable summary line.
+fn counter(out: &str, name: &str) -> u64 {
+    let needle = format!("{name}=");
+    out.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(&needle))
+        .unwrap_or_else(|| panic!("summary line must carry {name}: {out}"))
+        .parse()
+        .expect("counter parses")
+}
+
+#[test]
+fn distributed_chaos_runs_are_byte_identical_to_single_process() {
+    let root = temp_root("chaos");
+    let ref_dir = root.join("reference");
+    let out = repro(&[
+        "collect",
+        "--journal",
+        ref_dir.to_str().unwrap(),
+        "--jobs",
+        "1",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let reference = journal_bytes(&ref_dir);
+    assert!(reference.contains_key("journal.meta"));
+
+    // Two fleet sizes, two chaos seeds, every run killing workers
+    // mid-unit (the seeds are chosen so deaths and reassignments are
+    // guaranteed at quick scale).
+    for (workers, chaos) in [("2", "1702"), ("4", "90210")] {
+        let dist_dir = root.join(format!("dist-{chaos}"));
+        let manifest_dir = root.join(format!("manifest-{chaos}"));
+        let out = repro(&[
+            "collect",
+            "--journal",
+            dist_dir.to_str().unwrap(),
+            "--distributed",
+            workers,
+            "--chaos",
+            chaos,
+            "--stale-ms",
+            "500",
+            "--out",
+            manifest_dir.to_str().unwrap(),
+        ]);
+        assert!(out.status.success(), "{out:?}");
+        let text = stdout(&out);
+        assert!(
+            counter(&text, "collect.worker.died") > 0,
+            "the chaos seed must fell workers: {text}"
+        );
+        assert!(
+            counter(&text, "collect.worker.reassigned") > 0,
+            "orphaned units must be reassigned: {text}"
+        );
+        assert_eq!(counter(&text, "collect.worker.quarantined"), 0, "{text}");
+        assert_eq!(
+            journal_bytes(&dist_dir),
+            reference,
+            "the merged journal must be byte-identical to --jobs 1"
+        );
+        // A converged run cleans up its exchange by default.
+        assert!(
+            !dist_dir.with_extension("exchange").exists()
+                && !PathBuf::from(format!("{}.exchange", dist_dir.display())).exists(),
+            "the exchange directory must be removed after convergence"
+        );
+        // The manifest records the distributed section. Offline builds
+        // link a serde_json stub that serializes to an empty string, so
+        // the content assertions only bind where the real serializer is
+        // present; the file itself must exist either way.
+        let manifest =
+            std::fs::read_to_string(manifest_dir.join("manifest.json")).expect("manifest written");
+        if !manifest.is_empty() {
+            assert!(manifest.contains("\"distributed\""), "{manifest}");
+            assert!(manifest.contains("\"enabled\": true"), "{manifest}");
+        }
+        // The merged journal passes fsck.
+        let fsck = repro(&["journal", "fsck", dist_dir.to_str().unwrap()]);
+        assert!(fsck.status.success(), "{fsck:?}");
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn fsck_exit_codes_are_the_ci_contract() {
+    let root = temp_root("fsck");
+    let journal = root.join("journal");
+    let out = repro(&[
+        "collect",
+        "--journal",
+        journal.to_str().unwrap(),
+        "--jobs",
+        "1",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+
+    // Clean: exit 0.
+    let clean = repro(&["journal", "fsck", journal.to_str().unwrap()]);
+    assert!(clean.status.success(), "{clean:?}");
+    assert!(stdout(&clean).contains("0 corrupt"));
+
+    // Truncate one shard and plant a stray: exit 1, findings named.
+    let shard = std::fs::read_dir(&journal)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "shard"))
+        .expect("journal holds shards");
+    let raw = std::fs::read(&shard).unwrap();
+    std::fs::write(&shard, &raw[..raw.len() / 2]).unwrap();
+    std::fs::write(journal.join("stray.txt"), "not a shard").unwrap();
+    let dirty = repro(&["journal", "fsck", journal.to_str().unwrap()]);
+    assert_eq!(dirty.status.code(), Some(1), "{dirty:?}");
+    let text = stdout(&dirty);
+    assert!(text.contains("corrupt:"), "{text}");
+    assert!(text.contains("orphan: stray.txt"), "{text}");
+
+    // Not a journal at all: exit 2.
+    let empty = root.join("empty");
+    std::fs::create_dir_all(&empty).unwrap();
+    let not_journal = repro(&["journal", "fsck", empty.to_str().unwrap()]);
+    assert_eq!(not_journal.status.code(), Some(2), "{not_journal:?}");
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn collect_requires_a_journal_directory() {
+    let out = repro(&["collect"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--journal"),
+        "{out:?}"
+    );
+}

@@ -259,6 +259,70 @@ fn gzip_is_negotiated_end_to_end_over_the_real_binary() {
 }
 
 #[test]
+fn sigterm_drains_and_exits_zero() {
+    let root = temp_root("sigterm");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--jobs", "2"])
+        .args(["--cache-dir", root.join("cache").to_str().unwrap()])
+        .env_remove("REPRO_CHAOS")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("daemon spawns");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr: SocketAddr = loop {
+        let line = lines
+            .next()
+            .expect("daemon announces its address before exiting")
+            .expect("stdout readable");
+        if let Some(rest) = line.strip_prefix("serving on http://") {
+            break rest.parse().expect("announced address parses");
+        }
+    };
+    // Prove the daemon serves before the signal lands.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .expect("send");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("receive");
+    assert!(String::from_utf8_lossy(&raw).contains("200 OK"));
+
+    // SIGTERM must drain and exit 0 — unlike the SIGKILL path above,
+    // this is the orderly operator shutdown.
+    let kill = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(kill.success());
+    let mut stderr_text = String::new();
+    child
+        .stderr
+        .take()
+        .expect("stderr piped")
+        .read_to_string(&mut stderr_text)
+        .expect("stderr readable");
+    let status = child.wait().expect("daemon exits");
+    assert!(
+        status.success(),
+        "graceful shutdown must exit 0, got {status:?}\nstderr:\n{stderr_text}"
+    );
+    assert!(
+        stderr_text.contains("shutdown: signal received, draining in-flight requests"),
+        "{stderr_text}"
+    );
+    assert!(
+        stderr_text.contains("shutdown: drained, exiting"),
+        "{stderr_text}"
+    );
+    // The drain flushed the run's telemetry: the request we made above
+    // is visible in the flushed counters.
+    assert!(stderr_text.contains("serve.request"), "{stderr_text}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
 fn daemon_rejects_bad_requests_without_dying() {
     let root = temp_root("badreq");
     let daemon = Daemon::spawn(&root.join("cache"));

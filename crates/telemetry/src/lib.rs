@@ -70,8 +70,8 @@ pub fn enabled() -> bool {
 }
 
 pub use manifest::{
-    CacheSection, ExperimentTiming, FaultSection, HostInfo, RunManifest, StreamSection,
-    MANIFEST_SCHEMA_VERSION,
+    CacheSection, DistributedSection, ExperimentTiming, FaultSection, HostInfo, RunManifest,
+    StreamSection, MANIFEST_SCHEMA_VERSION,
 };
 pub use report::{latency_summary, span_report, LatencySummary, SpanStats};
 pub use trace::{current_context, span, span_in, Span, SpanContext, SpanNode, Trace};

@@ -190,6 +190,61 @@ impl StreamSection {
     }
 }
 
+/// Distributed-collection accounting for one run (DESIGN.md §12).
+/// Fields are declared in alphabetical order so the serialized section
+/// is deterministically keyed; like [`CacheSection`] it carries no
+/// timestamps or host details. Counts are observability, not part of
+/// the byte-identity contract: two kill schedules that converge to the
+/// same journal may legitimately differ here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DistributedSection {
+    /// Whether collection ran distributed (`--distributed N`).
+    pub enabled: bool,
+    /// Worker deaths the supervisor observed (nonzero exits, kills).
+    pub died: u64,
+    /// Duplicate valid shards found at merge time (reassignment fallout,
+    /// byte-identical by construction).
+    pub duplicates: u64,
+    /// Work units quarantined past the reassignment budget.
+    pub quarantined: u64,
+    /// Lease reclaims that put a unit back up for grabs.
+    pub reassigned: u64,
+    /// Worker processes spawned (initial fleet + respawns).
+    pub spawned: u64,
+    /// Work units in the partition.
+    pub units: u64,
+    /// Worker processes the supervisor aimed to keep live.
+    pub workers: u64,
+}
+
+impl DistributedSection {
+    /// One-line deterministic rendering, e.g.
+    /// `distributed: 2 died, 1 duplicates, 0 quarantined, 2 reassigned, 6 spawned, 16 units, 4 workers`,
+    /// or `distributed: disabled`.
+    ///
+    /// **Ordering contract:** counters appear in alphabetical order of
+    /// their field names (`died`, `duplicates`, `quarantined`,
+    /// `reassigned`, `spawned`, `units`, `workers`), like
+    /// [`CacheSection::summary`] — see there for why the order is part
+    /// of the schema.
+    pub fn summary(&self) -> String {
+        if !self.enabled {
+            return "distributed: disabled".to_string();
+        }
+        format!(
+            "distributed: {} died, {} duplicates, {} quarantined, {} reassigned, \
+             {} spawned, {} units, {} workers",
+            self.died,
+            self.duplicates,
+            self.quarantined,
+            self.reassigned,
+            self.spawned,
+            self.units,
+            self.workers
+        )
+    }
+}
+
 /// Everything needed to identify and reproduce one `repro` invocation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunManifest {
@@ -234,6 +289,10 @@ pub struct RunManifest {
     /// before the streaming path existed and in materialized runs.
     #[serde(default)]
     pub stream: Option<StreamSection>,
+    /// Distributed-collection accounting. Absent in manifests written
+    /// before distributed collection existed and in single-process runs.
+    #[serde(default)]
+    pub distributed: Option<DistributedSection>,
 }
 
 impl RunManifest {
@@ -258,6 +317,7 @@ impl RunManifest {
             cache: None,
             faults: None,
             stream: None,
+            distributed: None,
         }
     }
 
@@ -406,6 +466,54 @@ mod tests {
             shards_streamed: 0,
         };
         assert_eq!(disabled.summary(), "stream: disabled");
+    }
+
+    #[test]
+    fn distributed_section_summary_is_deterministic_and_alphabetical() {
+        let mut m = RunManifest::new("repro", "0.1.0", 42, "quick");
+        assert_eq!(
+            m.distributed, None,
+            "no section until the tool fills one in"
+        );
+        let section = DistributedSection {
+            enabled: true,
+            died: 2,
+            duplicates: 1,
+            quarantined: 0,
+            reassigned: 3,
+            spawned: 6,
+            units: 16,
+            workers: 4,
+        };
+        m.distributed = Some(section);
+        assert_eq!(
+            section.summary(),
+            "distributed: 2 died, 1 duplicates, 0 quarantined, 3 reassigned, \
+             6 spawned, 16 units, 4 workers"
+        );
+        let labels = [
+            "died",
+            "duplicates",
+            "quarantined",
+            "reassigned",
+            "spawned",
+            "units",
+            "workers",
+        ];
+        let mut sorted = labels;
+        sorted.sort_unstable();
+        assert_eq!(labels, sorted);
+        let disabled = DistributedSection {
+            enabled: false,
+            died: 0,
+            duplicates: 0,
+            quarantined: 0,
+            reassigned: 0,
+            spawned: 0,
+            units: 0,
+            workers: 0,
+        };
+        assert_eq!(disabled.summary(), "distributed: disabled");
     }
 
     #[test]

@@ -54,23 +54,46 @@ pub struct FaultPlan {
     transient_per_mille: u32,
     io_per_mille: u32,
     death_per_mille: u32,
+    kill_per_mille: u32,
+    stall_per_mille: u32,
+    torn_per_mille: u32,
 }
 
 impl FaultPlan {
     /// A plan with the default rates: 300‰ transient machine faults,
-    /// 250‰ I/O errors, 120‰ worker deaths.
+    /// 250‰ I/O errors, 120‰ worker deaths, plus the process-level rates
+    /// (200‰ worker kills, 60‰ heartbeat stalls, 80‰ torn handoffs) used
+    /// by distributed collection.
     pub fn new(seed: u64) -> Self {
-        Self::with_rates(seed, 300, 250, 120)
+        Self::with_rates(seed, 300, 250, 120).with_process_rates(200, 60, 80)
     }
 
-    /// A plan with explicit per-mille rates (each clamped to 1000).
+    /// A plan with explicit per-mille rates (each clamped to 1000) for
+    /// the in-process fault kinds. Process-level rates start at zero;
+    /// arm them with [`Self::with_process_rates`].
     pub fn with_rates(seed: u64, transient: u32, io: u32, death: u32) -> Self {
         FaultPlan {
             seed,
             transient_per_mille: transient.min(1000),
             io_per_mille: io.min(1000),
             death_per_mille: death.min(1000),
+            kill_per_mille: 0,
+            stall_per_mille: 0,
+            torn_per_mille: 0,
         }
+    }
+
+    /// Arms the process-level fault kinds exercised by distributed
+    /// collection: whole-worker kills (the process equivalent of
+    /// [`Self::worker_death`]), heartbeat stalls (the worker goes silent
+    /// long enough to be declared dead), and torn journal handoffs (a
+    /// freshly committed shard is destroyed as the worker dies). Rates
+    /// are per-mille, clamped to 1000.
+    pub fn with_process_rates(mut self, kill: u32, stall: u32, torn: u32) -> Self {
+        self.kill_per_mille = kill.min(1000);
+        self.stall_per_mille = stall.min(1000);
+        self.torn_per_mille = torn.min(1000);
+        self
     }
 
     /// The chaos seed this plan derives every decision from.
@@ -101,6 +124,35 @@ impl FaultPlan {
     /// and never revisits a site that already killed it.
     pub fn worker_death(&self, site: &str) -> bool {
         self.roll("death", site, 0, self.death_per_mille)
+    }
+
+    /// Whether a whole worker *process* is killed at `site` on the
+    /// unit's reassignment round `attempt`. Kill sites must sit after a
+    /// durable commit (like [`Self::worker_death`]), and — because the
+    /// supervisor bumps the unit's attempt counter on every reassignment
+    /// — the attempt gate guarantees a unit stops being killed after
+    /// [`MAX_FAULTS_PER_SITE`] rounds, so a bounded retry budget always
+    /// converges.
+    pub fn worker_kill(&self, site: &str, attempt: u32) -> bool {
+        attempt < MAX_FAULTS_PER_SITE && self.roll("kill", site, attempt, self.kill_per_mille)
+    }
+
+    /// Whether a worker's heartbeat stalls at `site` on reassignment
+    /// round `attempt`: the worker sleeps past the supervisor's staleness
+    /// horizon without touching its lease, so a *live* worker is declared
+    /// dead and its unit reassigned. Attempt-limited like
+    /// [`Self::worker_kill`].
+    pub fn heartbeat_stall(&self, site: &str, attempt: u32) -> bool {
+        attempt < MAX_FAULTS_PER_SITE && self.roll("stall", site, attempt, self.stall_per_mille)
+    }
+
+    /// Whether a journal handoff is torn at `site` on reassignment round
+    /// `attempt`: the worker dies *and* its just-committed shard is
+    /// truncated mid-file, so the next claimant must detect the
+    /// corruption (checksum) and re-collect rather than trust the bytes.
+    /// Attempt-limited like [`Self::worker_kill`].
+    pub fn torn_handoff(&self, site: &str, attempt: u32) -> bool {
+        attempt < MAX_FAULTS_PER_SITE && self.roll("torn", site, attempt, self.torn_per_mille)
     }
 
     fn roll(&self, kind: &str, site: &str, attempt: u32, per_mille: u32) -> bool {
@@ -214,7 +266,55 @@ mod tests {
             assert!(!plan.transient(&site, 0));
             assert!(!plan.io_error(&site, 0));
             assert!(!plan.worker_death(&site));
+            assert!(!plan.worker_kill(&site, 0));
+            assert!(!plan.heartbeat_stall(&site, 0));
+            assert!(!plan.torn_handoff(&site, 0));
         }
+    }
+
+    #[test]
+    fn with_rates_leaves_process_faults_disarmed() {
+        // Pre-existing chaos tests built plans with `with_rates` and
+        // never expected process-level faults; the builder must not arm
+        // them retroactively.
+        let plan = FaultPlan::with_rates(3, 1000, 1000, 1000);
+        for i in 0..50 {
+            let site = format!("s{i}");
+            assert!(!plan.worker_kill(&site, 0));
+            assert!(!plan.heartbeat_stall(&site, 0));
+            assert!(!plan.torn_handoff(&site, 0));
+        }
+    }
+
+    #[test]
+    fn process_faults_are_attempt_limited_and_deterministic() {
+        let plan = FaultPlan::with_rates(4, 0, 0, 0).with_process_rates(1000, 1000, 1000);
+        for attempt in 0..MAX_FAULTS_PER_SITE {
+            assert!(plan.worker_kill("u0.m1", attempt));
+            assert!(plan.heartbeat_stall("u0.m1", attempt));
+            assert!(plan.torn_handoff("u0.m1", attempt));
+        }
+        // Past the budget a unit can no longer be killed, stalled, or
+        // torn — a bounded reassignment budget always converges.
+        assert!(!plan.worker_kill("u0.m1", MAX_FAULTS_PER_SITE));
+        assert!(!plan.heartbeat_stall("u0.m1", MAX_FAULTS_PER_SITE));
+        assert!(!plan.torn_handoff("u0.m1", MAX_FAULTS_PER_SITE));
+        // Deterministic: the same (seed, site, attempt) always agrees.
+        let again = FaultPlan::with_rates(4, 0, 0, 0).with_process_rates(400, 400, 400);
+        for i in 0..100 {
+            let site = format!("u{i}.m{i}");
+            assert_eq!(again.worker_kill(&site, 1), again.worker_kill(&site, 1));
+        }
+    }
+
+    #[test]
+    fn default_plan_arms_process_faults() {
+        let plan = FaultPlan::new(42);
+        let kills = (0..1000)
+            .filter(|i| plan.worker_kill(&format!("u{i}.m{i}"), 0))
+            .count();
+        // 200 per mille +- a generous tolerance.
+        assert!((120..300).contains(&kills), "{kills}");
     }
 
     #[test]

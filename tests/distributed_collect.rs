@@ -1,0 +1,316 @@
+//! Distributed collection correctness under process faults (DESIGN.md
+//! §12): a supervisor plus a fleet of in-process worker threads driving
+//! the same exchange protocol the CLI subprocesses use. Workers are
+//! killed, stalled, and torn at seed-chosen points; every schedule must
+//! converge with no quarantined units, and the merged canonical journal
+//! must be byte-identical to a single-process `--jobs 1` collection.
+//!
+//! Thread-backed workers stand in for subprocesses: a chaos kill makes
+//! the thread return with `killed` set (its unit lease left in place,
+//! exactly as a SIGKILLed process would leave it), which the handle
+//! reports as a death. The binary-level twin of this suite
+//! (`crates/serve/tests/distributed_cli.rs`) covers real subprocesses.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use dataset::{
+    collect_to_journal, merge_exchange, partition_units, run_worker, selected_machine_ids,
+    supervise, CampaignConfig, CollectOptions, DistributedError, ExchangeDir, ShardJournal,
+    SupervisorConfig, WorkerExit, WorkerHandle, WorkerOptions, WorkerOutcome,
+};
+use proptest::prelude::*;
+use testbed::{catalog, Cluster, FaultPlan, MachineId, Timeline};
+use workloads::BenchmarkId;
+
+fn temp_dir(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "dist-collect-{label}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A small campaign that still exercises several machines and shards.
+fn tiny_config(seed: u64) -> CampaignConfig {
+    let mut config = CampaignConfig::quick(seed);
+    config.machines_per_type = Some(1);
+    config.benchmarks = vec![BenchmarkId::MemCopy, BenchmarkId::NetLatency];
+    config
+}
+
+fn provision(config: &CampaignConfig) -> Cluster {
+    Cluster::provision(
+        catalog(),
+        config.scale,
+        Timeline::cloudlab_default(),
+        config.seed,
+    )
+}
+
+/// The `--jobs 1` reference journal every distributed run must match.
+fn reference_journal(dir: &Path, cluster: &Cluster, config: &CampaignConfig) -> ShardJournal {
+    let journal = ShardJournal::open(dir, config).expect("reference journal opens");
+    let options = CollectOptions {
+        jobs: Some(1),
+        journal: Some(&journal),
+        ..CollectOptions::default()
+    };
+    collect_to_journal(cluster, config, &options).expect("fault-free collection succeeds");
+    journal
+}
+
+/// Every file of both journal directories, byte for byte.
+fn journal_bytes(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    std::fs::read_dir(dir)
+        .expect("journal directory is readable")
+        .map(|e| {
+            let path = e.expect("entry").path();
+            let name = path.file_name().unwrap().to_str().unwrap().to_string();
+            (name, std::fs::read(&path).expect("file readable"))
+        })
+        .collect()
+}
+
+fn assert_same_journal(reference: &Path, merged: &Path) {
+    let expected = journal_bytes(reference);
+    let actual = journal_bytes(merged);
+    assert_eq!(
+        expected.keys().collect::<Vec<_>>(),
+        actual.keys().collect::<Vec<_>>(),
+        "merged journal must hold exactly the reference shards"
+    );
+    for (name, bytes) in &expected {
+        assert_eq!(
+            bytes, &actual[name],
+            "{name} must be byte-identical to the single-process collection"
+        );
+    }
+}
+
+/// An in-process stand-in for a worker subprocess.
+struct ThreadWorker {
+    worker: usize,
+    handle: Option<std::thread::JoinHandle<Result<WorkerOutcome, DistributedError>>>,
+}
+
+impl WorkerHandle for ThreadWorker {
+    fn worker(&self) -> usize {
+        self.worker
+    }
+    fn try_finish(&mut self) -> io::Result<Option<WorkerExit>> {
+        if !self.handle.as_ref().is_some_and(|h| h.is_finished()) {
+            return Ok(None);
+        }
+        let outcome = self.handle.take().expect("handle present").join();
+        Ok(Some(match outcome {
+            // A chaos kill or a terminal error is a death; only a clean
+            // drain (no kill flag) exits like a healthy process.
+            Ok(Ok(o)) if !o.killed => WorkerExit::Clean,
+            _ => WorkerExit::Died,
+        }))
+    }
+}
+
+/// A spawn closure launching thread-backed workers over `root`.
+fn thread_fleet(
+    root: &Path,
+    cluster: &Arc<Cluster>,
+    config: &Arc<CampaignConfig>,
+    options: WorkerOptions,
+) -> impl FnMut(usize) -> io::Result<Box<dyn WorkerHandle>> {
+    let root = root.to_path_buf();
+    let cluster = Arc::clone(cluster);
+    let config = Arc::clone(config);
+    move |worker| {
+        let root = root.clone();
+        let cluster = Arc::clone(&cluster);
+        let config = Arc::clone(&config);
+        let handle =
+            std::thread::spawn(move || run_worker(&root, &cluster, &config, worker, &options));
+        Ok(Box::new(ThreadWorker {
+            worker,
+            handle: Some(handle),
+        }))
+    }
+}
+
+/// Fast horizons so stalls and reassignments resolve in tens of
+/// milliseconds instead of seconds.
+fn fast_configs(workers: usize, faults: Option<FaultPlan>) -> (SupervisorConfig, WorkerOptions) {
+    let stale = Duration::from_millis(250);
+    let mut supervisor = SupervisorConfig::new(workers);
+    supervisor.stale_after = stale;
+    supervisor.poll = Duration::from_millis(10);
+    let options = WorkerOptions {
+        faults,
+        stale_after: stale,
+        poll: Duration::from_millis(10),
+        ..WorkerOptions::default()
+    };
+    (supervisor, options)
+}
+
+/// Runs one full distributed collection and returns what the supervisor
+/// and merge observed.
+fn run_distributed(
+    label: &str,
+    workers: usize,
+    unit_count: usize,
+    faults: Option<FaultPlan>,
+) -> (dataset::DistributedReport, dataset::MergeReport) {
+    let config = Arc::new(tiny_config(77));
+    let cluster = Arc::new(provision(&config));
+    let machines = selected_machine_ids(&cluster, &config);
+    assert!(
+        machines.len() >= 2,
+        "the tiny campaign has several machines"
+    );
+
+    let ref_dir = temp_dir(&format!("{label}-ref"));
+    reference_journal(&ref_dir, &cluster, &config);
+
+    let root = temp_dir(&format!("{label}-exchange"));
+    let units = partition_units(&machines, unit_count);
+    let exchange = ExchangeDir::create(&root, &config, units).expect("exchange creates");
+    let (supervisor, options) = fast_configs(workers, faults);
+    let mut spawn = thread_fleet(&root, &cluster, &config, options);
+    let report = supervise(&exchange, &mut spawn, &supervisor).expect("supervision converges");
+
+    let merged_dir = temp_dir(&format!("{label}-merged"));
+    let canonical = ShardJournal::open(&merged_dir, &config).expect("canonical journal opens");
+    let merge = merge_exchange(&exchange, &canonical).expect("merge succeeds");
+    assert!(
+        merge.missing.is_empty(),
+        "a converged run leaves no machine without a shard: {:?}",
+        merge.missing
+    );
+    assert_same_journal(&ref_dir, &merged_dir);
+
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    let _ = std::fs::remove_dir_all(&root);
+    let _ = std::fs::remove_dir_all(&merged_dir);
+    (report, merge)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 6,
+        ..ProptestConfig::default()
+    })]
+
+    /// Any chaos seed, any fleet size: workers are killed, stalled, and
+    /// torn at seed-chosen points, yet the run converges with nothing
+    /// quarantined and the merged journal byte-identical to `--jobs 1`.
+    #[test]
+    fn chaos_schedules_converge_byte_identically(
+        chaos_seed in 0u64..1_000_000,
+        workers in 2usize..=4,
+    ) {
+        let (report, _) = run_distributed(
+            &format!("prop{chaos_seed}w{workers}"),
+            workers,
+            6,
+            Some(FaultPlan::new(chaos_seed)),
+        );
+        prop_assert_eq!(report.quarantined, 0, "chaos faults are attempt-gated");
+        prop_assert!(report.spawned >= workers as u64);
+    }
+}
+
+/// One pinned chaos schedule, always compiled: offline builds link a
+/// proptest stub that erases `proptest!` blocks, and this keeps at
+/// least one seed-chosen kill/stall/tear schedule running there.
+#[test]
+fn pinned_chaos_schedule_converges_byte_identically() {
+    let (report, _) = run_distributed("pinned", 3, 6, Some(FaultPlan::new(1702)));
+    assert_eq!(report.quarantined, 0, "chaos faults are attempt-gated");
+    assert!(report.spawned >= 3);
+}
+
+#[test]
+fn fault_free_fleet_converges_without_deaths() {
+    let (report, merge) = run_distributed("clean", 3, 4, None);
+    assert_eq!(report.died, 0);
+    assert_eq!(report.reassigned, 0);
+    assert_eq!(report.quarantined, 0);
+    assert_eq!(report.spawned, 3);
+    assert_eq!(merge.duplicates, 0);
+}
+
+#[test]
+fn forced_kills_are_reaped_reassigned_and_survived() {
+    // Every machine site kills post-commit on rounds 0 and 1: each death
+    // still commits at least one shard, survivors inherit it through the
+    // exchange scan, and the attempt gate ends the carnage by round 2.
+    let plan = FaultPlan::with_rates(4242, 0, 0, 0).with_process_rates(1000, 0, 0);
+    let (report, _) = run_distributed("kills", 2, 4, Some(plan));
+    assert!(report.died > 0, "kill sites must fell workers: {report:?}");
+    assert!(
+        report.reassigned > 0,
+        "orphaned units must be reassigned: {report:?}"
+    );
+    assert_eq!(report.quarantined, 0);
+    assert!(
+        report.spawned > 2,
+        "the supervisor must respawn after deaths: {report:?}"
+    );
+}
+
+#[test]
+fn forced_stalls_lose_their_leases_without_dying() {
+    // Every machine site stalls silently past the staleness horizon on
+    // rounds 0 and 1: the supervisor breaks the lease mid-stall and
+    // reassigns; the stalled worker notices ownership loss and moves on.
+    let plan = FaultPlan::with_rates(4242, 0, 0, 0).with_process_rates(0, 1000, 0);
+    let (report, _) = run_distributed("stalls", 2, 3, Some(plan));
+    assert!(
+        report.reassigned > 0,
+        "stale leases must be broken and reassigned: {report:?}"
+    );
+    assert_eq!(report.quarantined, 0);
+}
+
+#[test]
+fn unservable_units_are_quarantined_and_the_rest_converge() {
+    // A unit holding a machine no cluster has: every attempt fails, the
+    // reassignment budget runs out, and the unit is quarantined — while
+    // every healthy unit still collects and merges byte-identically.
+    let config = Arc::new(tiny_config(77));
+    let cluster = Arc::new(provision(&config));
+    let machines = selected_machine_ids(&cluster, &config);
+    let mut poisoned = machines.clone();
+    poisoned.push(MachineId(999_999));
+
+    let root = temp_dir("quarantine-exchange");
+    // One machine per unit: the poison pill quarantines alone.
+    let units = partition_units(&poisoned, poisoned.len());
+    let exchange = ExchangeDir::create(&root, &config, units).expect("exchange creates");
+    let (mut supervisor, options) = fast_configs(2, None);
+    supervisor.max_unit_attempts = 2;
+    let mut spawn = thread_fleet(&root, &cluster, &config, options);
+    let report = supervise(&exchange, &mut spawn, &supervisor).expect("supervision terminates");
+    assert_eq!(report.quarantined, 1, "{report:?}");
+    assert!(report.died > 0, "each failed attempt is a worker death");
+
+    let merged_dir = temp_dir("quarantine-merged");
+    let canonical = ShardJournal::open(&merged_dir, &config).expect("canonical journal opens");
+    let merge = merge_exchange(&exchange, &canonical).expect("merge succeeds");
+    assert_eq!(
+        merge.missing,
+        vec![MachineId(999_999)],
+        "only the unservable machine is missing"
+    );
+    let ref_dir = temp_dir("quarantine-ref");
+    reference_journal(&ref_dir, &cluster, &config);
+    assert_same_journal(&ref_dir, &merged_dir);
+
+    for dir in [&root, &merged_dir, &ref_dir] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
